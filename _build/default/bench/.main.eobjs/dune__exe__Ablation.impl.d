@@ -1,0 +1,1 @@
+bench/ablation.ml: Benchgen Bsolo List Pbo Printf Run

@@ -1,0 +1,1 @@
+bench/cp_extension.ml: Benchgen Bsolo List Printf Run

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Cp_extension List Micro Printf Scaling Sys Table1

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchgen Benchmark Engine Hashtbl List Lowerbound Measure Pbo Printf Staged Test Time Toolkit

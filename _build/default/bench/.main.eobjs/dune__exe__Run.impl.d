@@ -1,0 +1,1 @@
+bench/run.ml: Bsolo List Milp Pbo Printf String

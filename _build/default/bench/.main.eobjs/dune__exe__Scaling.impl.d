@@ -1,0 +1,1 @@
+bench/scaling.ml: Benchgen Bsolo List Pbo Printf

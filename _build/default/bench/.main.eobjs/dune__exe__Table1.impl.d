@@ -1,0 +1,1 @@
+bench/table1.ml: Array Benchgen Bsolo List Pbo Printf Run

@@ -1,0 +1,54 @@
+(* Shared solver roster and table formatting for the benchmark harness. *)
+
+type solver = {
+  name : string;
+  run : time_limit:float -> Pbo.Problem.t -> Bsolo.Outcome.t;
+}
+
+let bsolo_with lb ~time_limit problem =
+  let options = { (Bsolo.Options.with_lb lb) with time_limit = Some time_limit } in
+  Bsolo.Solver.solve ~options problem
+
+let pbs ~time_limit problem =
+  let options = { Bsolo.Linear_search.pbs_like with time_limit = Some time_limit } in
+  Bsolo.Linear_search.solve ~options problem
+
+let galena ~time_limit problem =
+  let options = { Bsolo.Linear_search.pbs_like with time_limit = Some time_limit } in
+  Bsolo.Linear_search.solve ~options ~pb_learning:true problem
+
+let cplex_like ~time_limit problem =
+  let options = { Bsolo.Options.default with time_limit = Some time_limit } in
+  Milp.Branch_and_bound.solve ~options problem
+
+let baselines = [ { name = "pbs"; run = pbs }; { name = "galena"; run = galena }; { name = "cplex*"; run = cplex_like } ]
+
+let bsolo_variants =
+  [
+    { name = "plain"; run = bsolo_with Bsolo.Options.Plain };
+    { name = "MIS"; run = bsolo_with Bsolo.Options.Mis };
+    { name = "LGR"; run = bsolo_with Bsolo.Options.Lgr };
+    { name = "LPR"; run = bsolo_with Bsolo.Options.Lpr };
+  ]
+
+let all = baselines @ bsolo_variants
+
+let solved (o : Bsolo.Outcome.t) =
+  match o.status with
+  | Bsolo.Outcome.Optimal | Bsolo.Outcome.Satisfiable | Bsolo.Outcome.Unsatisfiable -> true
+  | Bsolo.Outcome.Unknown -> false
+
+(* Table entries in the paper's style: CPU seconds when solved, "ub N"
+   when only an upper bound was proved, "time" when nothing was found. *)
+let entry (o : Bsolo.Outcome.t) =
+  match o.status with
+  | Bsolo.Outcome.Optimal | Bsolo.Outcome.Satisfiable -> Printf.sprintf "%.2f" o.elapsed
+  | Bsolo.Outcome.Unsatisfiable -> Printf.sprintf "UNS %.2f" o.elapsed
+  | Bsolo.Outcome.Unknown ->
+    (match o.best with
+    | Some (_, c) -> Printf.sprintf "ub %d" c
+    | None -> "time")
+
+let print_row cells widths =
+  let padded = List.map2 (fun c w -> Printf.sprintf "%-*s" w c) cells widths in
+  print_endline (String.concat "  " padded)

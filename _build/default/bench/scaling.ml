@@ -1,0 +1,49 @@
+(* Size-scaling sweep: how each lower-bounding method degrades as the
+   instances grow.  The paper has no figure, but its Section 6 narrative
+   ("with higher estimates the search can be pruned earlier") predicts the
+   series shape: plain degrades fastest, LPR slowest. *)
+
+let run ~limit ~per_family () =
+  let scales = [ 0.50; 0.75; 1.00; 1.25 ] in
+  let methods =
+    [
+      "plain", Bsolo.Options.Plain;
+      "MIS", Bsolo.Options.Mis;
+      "LGR", Bsolo.Options.Lgr;
+      "LPR", Bsolo.Options.Lpr;
+    ]
+  in
+  Printf.printf
+    "Scaling sweep (optimization families only, %.1fs limit, %d instances per family):\n\
+     columns: solved/total at each scale\n\n%!"
+    limit (per_family * 3);
+  Printf.printf "%-8s" "method";
+  List.iter (fun s -> Printf.printf "  scale %.2f " s) scales;
+  print_newline ();
+  List.iter
+    (fun (name, lb) ->
+      Printf.printf "%-8s" name;
+      List.iter
+        (fun scale ->
+          let instances =
+            Benchgen.Suite.instances ~scale ~per_family ()
+            |> List.filter (fun (i : Benchgen.Suite.instance) ->
+                   not (Pbo.Problem.is_satisfaction i.problem))
+          in
+          let solved = ref 0 in
+          let total_time = ref 0. in
+          List.iter
+            (fun (i : Benchgen.Suite.instance) ->
+              let options = { (Bsolo.Options.with_lb lb) with time_limit = Some limit } in
+              let o = Bsolo.Solver.solve ~options i.problem in
+              match o.status with
+              | Bsolo.Outcome.Optimal | Bsolo.Outcome.Satisfiable
+              | Bsolo.Outcome.Unsatisfiable ->
+                incr solved;
+                total_time := !total_time +. o.elapsed
+              | Bsolo.Outcome.Unknown -> total_time := !total_time +. limit)
+            instances;
+          Printf.printf "  %2d (%5.1fs)" !solved !total_time)
+        scales;
+      print_newline ())
+    methods

@@ -1,0 +1,155 @@
+(* Command-line PBO solver over OPB files: the reproduction of the bsolo
+   prototype, with the baselines selectable for comparison. *)
+
+open Cmdliner
+
+type engine_choice =
+  | Bsolo_engine
+  | Pbs_engine
+  | Galena_engine
+  | Milp_engine
+
+let parse path =
+  if Filename.check_suffix path ".cnf" || Filename.check_suffix path ".dimacs" then
+    Pbo.Dimacs.parse_file path
+  else Pbo.Opb.parse_file path
+
+let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching no_preprocess
+    verify verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some Logs.Info)
+  end;
+  match parse path with
+  | exception Pbo.Opb.Parse_error msg ->
+    Printf.eprintf "parse error: %s\n" msg;
+    2
+  | exception Pbo.Dimacs.Parse_error msg ->
+    Printf.eprintf "parse error: %s\n" msg;
+    2
+  | exception Sys_error msg ->
+    Printf.eprintf "%s\n" msg;
+    2
+  | problem ->
+    let options =
+      {
+        (Bsolo.Options.with_lb lb) with
+        time_limit;
+        conflict_limit;
+        knapsack_cuts = not no_cuts;
+        cardinality_inference = not no_cuts;
+        lp_guided_branching = not no_lp_branching;
+        preprocess = not no_preprocess;
+      }
+    in
+    let outcome =
+      match engine with
+      | Bsolo_engine -> Bsolo.Solver.solve ~options problem
+      | Pbs_engine ->
+        Bsolo.Linear_search.solve ~options:{ options with restarts = true } problem
+      | Galena_engine ->
+        Bsolo.Linear_search.solve ~options:{ options with restarts = true } ~pb_learning:true
+          problem
+      | Milp_engine -> Milp.Branch_and_bound.solve ~options problem
+    in
+    (* Output in the PB-competition style. *)
+    (match outcome.status with
+    | Bsolo.Outcome.Optimal ->
+      (match outcome.best with
+      | Some (_, c) -> Printf.printf "o %d\ns OPTIMUM FOUND\n" c
+      | None -> Printf.printf "s OPTIMUM FOUND\n")
+    | Bsolo.Outcome.Satisfiable -> Printf.printf "s SATISFIABLE\n"
+    | Bsolo.Outcome.Unsatisfiable -> Printf.printf "s UNSATISFIABLE\n"
+    | Bsolo.Outcome.Unknown ->
+      (match outcome.best with
+      | Some (_, c) -> Printf.printf "o %d\ns UNKNOWN\n" c
+      | None -> Printf.printf "s UNKNOWN\n"));
+    (match outcome.best with
+    | Some (m, _) ->
+      let buf = Buffer.create 256 in
+      for v = 0 to Pbo.Model.nvars m - 1 do
+        if v > 0 then Buffer.add_char buf ' ';
+        if not (Pbo.Model.value m v) then Buffer.add_char buf '-';
+        Buffer.add_string buf ("x" ^ string_of_int (v + 1))
+      done;
+      Printf.printf "v %s\n" (Buffer.contents buf)
+    | None -> ());
+    Printf.printf "c %s\n"
+      (Format.asprintf "%a" Bsolo.Outcome.pp outcome);
+    (if verify then
+       match Bsolo.Certify.check problem outcome with
+       | Ok () -> Printf.printf "c verification: OK\n"
+       | Error e ->
+         Printf.printf "c verification: FAILED (%s)\n" e;
+         exit 3);
+    (match outcome.status with
+    | Bsolo.Outcome.Optimal | Bsolo.Outcome.Satisfiable | Bsolo.Outcome.Unsatisfiable -> 0
+    | Bsolo.Outcome.Unknown -> 1)
+
+let file_arg =
+  let doc = "OPB instance file." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let engine_arg =
+  let choices =
+    [
+      "bsolo", Bsolo_engine;
+      "pbs", Pbs_engine;
+      "galena", Galena_engine;
+      "milp", Milp_engine;
+    ]
+  in
+  let doc = "Solver engine: bsolo (branch-and-bound + SAT), pbs, galena, or milp." in
+  Arg.(value & opt (enum choices) Bsolo_engine & info [ "engine" ] ~doc)
+
+let lb_arg =
+  let choices =
+    [
+      "plain", Bsolo.Options.Plain;
+      "mis", Bsolo.Options.Mis;
+      "lgr", Bsolo.Options.Lgr;
+      "lpr", Bsolo.Options.Lpr;
+    ]
+  in
+  let doc = "Lower-bound procedure for the bsolo engine: plain, mis, lgr or lpr." in
+  Arg.(value & opt (enum choices) Bsolo.Options.Lpr & info [ "lb" ] ~doc)
+
+let time_arg =
+  let doc = "Wall-clock time limit in seconds." in
+  Arg.(value & opt (some float) None & info [ "timeout"; "t" ] ~doc)
+
+let conflict_arg =
+  let doc = "Conflict limit." in
+  Arg.(value & opt (some int) None & info [ "conflicts" ] ~doc)
+
+let no_cuts_arg =
+  let doc = "Disable the knapsack and cardinality incumbent cuts (Section 5)." in
+  Arg.(value & flag & info [ "no-cuts" ] ~doc)
+
+let no_lp_branching_arg =
+  let doc = "Disable LP-guided branching (Section 5)." in
+  Arg.(value & flag & info [ "no-lp-branching" ] ~doc)
+
+let no_preprocess_arg =
+  let doc = "Disable probing preprocessing." in
+  Arg.(value & flag & info [ "no-preprocess" ] ~doc)
+
+let verify_arg =
+  let doc = "Independently re-check the reported model and cost." in
+  Arg.(value & flag & info [ "verify" ] ~doc)
+
+let verbose_arg =
+  let doc = "Verbose logging." in
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+
+let cmd =
+  let doc = "pseudo-Boolean optimizer with lower bounding (bsolo reproduction)" in
+  let info = Cmd.info "bsolo" ~version:"1.0.0" ~doc in
+  let term =
+    Term.(
+      const solve_file $ file_arg $ engine_arg $ lb_arg $ time_arg $ conflict_arg $ no_cuts_arg
+      $ no_lp_branching_arg $ no_preprocess_arg $ verify_arg $ verbose_arg)
+  in
+  Cmd.v info term
+
+let () = exit (Cmd.eval' cmd)

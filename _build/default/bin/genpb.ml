@@ -1,0 +1,52 @@
+(* Generates the synthetic EDA benchmark families to OPB files. *)
+
+open Cmdliner
+
+let generate family seed scale output =
+  let s n = max 1 (int_of_float (float_of_int n *. scale +. 0.5)) in
+  let problem =
+    match family with
+    | `Grout ->
+      Benchgen.Routing.generate
+        ~params:{ Benchgen.Routing.default with width = s 8; height = s 8; nets = s 26 }
+        seed
+    | `Synth ->
+      Benchgen.Synthesis.generate
+        ~params:{ Benchgen.Synthesis.default with nodes = s 28; support_cells = s 14 }
+        seed
+    | `Mcnc ->
+      Benchgen.Two_level.generate
+        ~params:{ Benchgen.Two_level.default with minterms = s 70; implicants = s 40 }
+        seed
+    | `Acc -> Benchgen.Acc.generate ~params:{ Benchgen.Acc.default with tasks = s 30 } seed
+  in
+  match output with
+  | None -> Pbo.Opb.print Format.std_formatter problem
+  | Some path ->
+    Pbo.Opb.write_file path problem;
+    Printf.printf "wrote %s (%d vars, %d constraints)\n" path (Pbo.Problem.nvars problem)
+      (Array.length (Pbo.Problem.constraints problem))
+
+let family_arg =
+  let choices = [ "grout", `Grout; "synth", `Synth; "mcnc", `Mcnc; "acc", `Acc ] in
+  let doc = "Benchmark family: grout, synth, mcnc or acc." in
+  Arg.(required & pos 0 (some (enum choices)) None & info [] ~docv:"FAMILY" ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+
+let scale_arg =
+  let doc = "Size scale factor." in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~doc)
+
+let output_arg =
+  let doc = "Output file (stdout when omitted)." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
+
+let cmd =
+  let doc = "generate synthetic EDA PBO benchmarks in OPB format" in
+  let info = Cmd.info "genpb" ~version:"1.0.0" ~doc in
+  Cmd.v info Term.(const generate $ family_arg $ seed_arg $ scale_arg $ output_arg)
+
+let () = exit (Cmd.eval cmd)

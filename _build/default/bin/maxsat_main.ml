@@ -1,0 +1,67 @@
+(* Weighted partial MaxSAT / WBO solver front-end over the PBO engine.
+   Input format chosen by extension: .wcnf (DIMACS-style weighted CNF) or
+   .wbo (PB-competition soft PB constraints). *)
+
+open Cmdliner
+
+let print_model m nvars =
+  let buf = Buffer.create 128 in
+  for v = 0 to nvars - 1 do
+    if v > 0 then Buffer.add_char buf ' ';
+    if not (Pbo.Model.value m v) then Buffer.add_char buf '-';
+    Buffer.add_string buf (string_of_int (v + 1))
+  done;
+  Printf.printf "v %s\n" (Buffer.contents buf)
+
+let run path time_limit =
+  let options = { Bsolo.Options.default with time_limit } in
+  if Filename.check_suffix path ".wbo" then begin
+    match Maxsat.Wbo.parse_file path with
+    | exception Maxsat.Wbo.Parse_error msg ->
+      Printf.eprintf "parse error: %s\n" msg;
+      2
+    | t ->
+      (match Maxsat.Wbo.solve ~options t with
+      | Maxsat.Wbo.Optimum { model; violation } ->
+        Printf.printf "o %d\ns OPTIMUM FOUND\n" violation;
+        print_model model (Maxsat.Wbo.nvars t);
+        0
+      | Maxsat.Wbo.Unsatisfiable ->
+        Printf.printf "s UNSATISFIABLE\n";
+        0
+      | Maxsat.Wbo.Unknown_result ->
+        Printf.printf "s UNKNOWN\n";
+        1)
+  end
+  else begin
+    match Maxsat.Wpm.parse_wcnf_file path with
+    | exception Maxsat.Wpm.Parse_error msg ->
+      Printf.eprintf "parse error: %s\n" msg;
+      2
+    | t ->
+      (match Maxsat.Wpm.solve ~options t with
+      | Maxsat.Wpm.Optimum { model; falsified_weight } ->
+        Printf.printf "o %d\ns OPTIMUM FOUND\n" falsified_weight;
+        print_model model (Maxsat.Wpm.nvars t);
+        0
+      | Maxsat.Wpm.Unsatisfiable ->
+        Printf.printf "s UNSATISFIABLE\n";
+        0
+      | Maxsat.Wpm.Unknown_result ->
+        Printf.printf "s UNKNOWN\n";
+        1)
+  end
+
+let file_arg =
+  let doc = "Instance file (.wcnf or .wbo)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let time_arg =
+  let doc = "Wall-clock time limit in seconds." in
+  Arg.(value & opt (some float) None & info [ "timeout"; "t" ] ~doc)
+
+let cmd =
+  let doc = "weighted partial MaxSAT / WBO solver over the bsolo PBO engine" in
+  Cmd.v (Cmd.info "maxsat" ~version:"1.0.0" ~doc) Term.(const run $ file_arg $ time_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/covering_example.ml: Benchgen Bsolo Format List Lit Model Pbo Problem

@@ -1,0 +1,1 @@
+examples/design_exploration.ml: Array Bsolo Format List Lit Maxsat Model Pbo Problem

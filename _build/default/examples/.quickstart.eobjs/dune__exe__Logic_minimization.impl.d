@@ -1,0 +1,1 @@
+examples/logic_minimization.ml: Array Bcp Bsolo Format List String

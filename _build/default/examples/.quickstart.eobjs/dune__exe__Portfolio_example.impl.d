@@ -1,0 +1,1 @@
+examples/portfolio_example.ml: Array Benchgen Bsolo Format List Milp Pbo

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bsolo Format Lit Model Pbo Problem

@@ -1,0 +1,1 @@
+examples/routing_example.ml: Array Benchgen Bsolo Format Hashtbl List Lit Model Option Pbo Printf Problem String

@@ -1,0 +1,55 @@
+(* Runs the whole solver portfolio of Table 1 on one instance of each
+   family — a one-instance preview of the benchmark harness.
+
+   Run with: dune exec examples/portfolio_example.exe *)
+
+let () =
+  let limit = 3.0 in
+  let solvers =
+    [
+      ( "pbs",
+        fun p ->
+          Bsolo.Linear_search.solve
+            ~options:{ Bsolo.Linear_search.pbs_like with time_limit = Some limit }
+            p );
+      ( "galena",
+        fun p ->
+          Bsolo.Linear_search.solve
+            ~options:{ Bsolo.Linear_search.pbs_like with time_limit = Some limit }
+            ~pb_learning:true p );
+      ( "cplex*",
+        fun p ->
+          Milp.Branch_and_bound.solve
+            ~options:{ Bsolo.Options.default with time_limit = Some limit }
+            p );
+      ( "bsolo-plain",
+        fun p ->
+          Bsolo.Solver.solve
+            ~options:{ (Bsolo.Options.with_lb Bsolo.Options.Plain) with time_limit = Some limit }
+            p );
+      ( "bsolo-LPR",
+        fun p ->
+          Bsolo.Solver.solve
+            ~options:{ Bsolo.Options.default with time_limit = Some limit }
+            p );
+    ]
+  in
+  let instances =
+    [
+      "grout (routing)", Benchgen.Routing.generate 4;
+      "synth (PTL/CMOS mapping)", Benchgen.Synthesis.generate 4;
+      "mcnc (two-level cover)", Benchgen.Two_level.generate 4;
+      "acc-tight (PB satisfaction)", Benchgen.Acc.generate 4;
+    ]
+  in
+  List.iter
+    (fun (name, problem) ->
+      Format.printf "%s: %d vars, %d constraints@." name (Pbo.Problem.nvars problem)
+        (Array.length (Pbo.Problem.constraints problem));
+      List.iter
+        (fun (sname, solve) ->
+          let o = solve problem in
+          Format.printf "  %-12s %a@." sname Bsolo.Outcome.pp o)
+        solvers;
+      Format.printf "@.")
+    instances

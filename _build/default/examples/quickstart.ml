@@ -1,0 +1,38 @@
+(* Quickstart: build a pseudo-Boolean optimization problem with the
+   [Pbo.Problem.Builder] API and solve it with bsolo.
+
+   We pick a tiny gate-sizing flavoured problem: three modules, each
+   available in a fast-but-large or slow-but-small variant, a timing
+   constraint requiring enough "speed weight", and area minimization.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Pbo
+
+let () =
+  let b = Problem.Builder.create () in
+  (* one variable per (module, variant): true = use the fast variant *)
+  let fast_a = Problem.Builder.fresh_var b in
+  let fast_b = Problem.Builder.fresh_var b in
+  let fast_c = Problem.Builder.fresh_var b in
+  (* timing: the fast variants contribute speed 3, 2, 2; we need >= 4 *)
+  Problem.Builder.add_ge b [ 3, Lit.pos fast_a; 2, Lit.pos fast_b; 2, Lit.pos fast_c ] 4;
+  (* the fast variants of a and b share a power island: at most one *)
+  Problem.Builder.add_clause b [ Lit.neg fast_a; Lit.neg fast_b ];
+  (* area penalty of choosing each fast variant *)
+  Problem.Builder.set_objective b [ 7, Lit.pos fast_a; 4, Lit.pos fast_b; 5, Lit.pos fast_c ];
+  let problem = Problem.Builder.build b in
+  Format.printf "Instance:@.%a@." Problem.pp problem;
+  let outcome = Bsolo.Solver.solve problem in
+  match outcome.status, outcome.best with
+  | Bsolo.Outcome.Optimal, Some (m, cost) ->
+    Format.printf "optimum area penalty: %d@." cost;
+    let show name v =
+      Format.printf "  %s: %s variant@." name (if Model.value m v then "fast" else "slow")
+    in
+    show "module a" fast_a;
+    show "module b" fast_b;
+    show "module c" fast_c;
+    assert (Model.satisfies problem m)
+  | status, _ ->
+    Format.printf "unexpected outcome: %s@." (Bsolo.Outcome.status_name status)

@@ -1,0 +1,83 @@
+(* Global routing as PBO, the paper's grout scenario: nets choose routes
+   on a grid under edge capacities, minimizing wirelength.  This example
+   builds a small instance explicitly so the solution can be decoded back
+   into routes, and shows the effect of the LPR lower bound.
+
+   Run with: dune exec examples/routing_example.exe *)
+
+open Pbo
+
+type route = {
+  net : string;
+  path : (int * int * char) list;  (* edge: x, y, 'H' or 'V' *)
+  var : Lit.var;
+}
+
+let hseg x0 x1 y = List.init (abs (x1 - x0)) (fun i -> min x0 x1 + i, y, 'H')
+let vseg y0 y1 x = List.init (abs (y1 - y0)) (fun i -> x, min y0 y1 + i, 'V')
+
+let () =
+  let b = Problem.Builder.create () in
+  let routes = ref [] in
+  let add_net net (x0, y0) (x1, y1) =
+    let candidates =
+      [ hseg x0 x1 y0 @ vseg y0 y1 x1; vseg y0 y1 x0 @ hseg x0 x1 y1 ]
+    in
+    let vars =
+      List.map
+        (fun path ->
+          let var = Problem.Builder.fresh_var b in
+          routes := { net; path; var } :: !routes;
+          var)
+        candidates
+    in
+    Problem.Builder.add_clause b (List.map Lit.pos vars)
+  in
+  (* four nets crossing the middle of a 4x4 grid *)
+  add_net "n1" (0, 0) (3, 3);
+  add_net "n2" (0, 3) (3, 0);
+  add_net "n3" (0, 1) (3, 2);
+  add_net "n4" (1, 0) (2, 3);
+  (* each edge carries at most two nets *)
+  let by_edge = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun e ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt by_edge e) in
+          Hashtbl.replace by_edge e (Lit.pos r.var :: cur))
+        r.path)
+    !routes;
+  Hashtbl.iter
+    (fun _ users ->
+      if List.length users > 2 then Problem.Builder.add_le b (List.map (fun l -> 1, l) users) 2)
+    by_edge;
+  (* wirelength objective *)
+  Problem.Builder.set_objective b
+    (List.map (fun r -> List.length r.path, Lit.pos r.var) !routes);
+  let problem = Problem.Builder.build b in
+  Format.printf "routing instance: %d route variables, %d constraints@."
+    (Problem.nvars problem)
+    (Array.length (Problem.constraints problem));
+  let outcome = Bsolo.Solver.solve problem in
+  (match outcome.status, outcome.best with
+  | Bsolo.Outcome.Optimal, Some (m, wirelength) ->
+    Format.printf "optimal wirelength: %d@." wirelength;
+    List.iter
+      (fun r ->
+        if Model.value m r.var then
+          Format.printf "  net %s uses %d edges via %s@." r.net (List.length r.path)
+            (String.concat ","
+               (List.map (fun (x, y, d) -> Printf.sprintf "%d.%d%c" x y d) r.path)))
+      (List.rev !routes)
+  | status, _ -> Format.printf "unexpected: %s@." (Bsolo.Outcome.status_name status));
+  (* compare lower-bound configurations on a bigger generated instance *)
+  let big = Benchgen.Routing.generate 11 in
+  Format.printf "@.generated grout-style instance (%d vars):@." (Problem.nvars big);
+  let run name lb =
+    let options = { (Bsolo.Options.with_lb lb) with time_limit = Some 5.0 } in
+    let o = Bsolo.Solver.solve ~options big in
+    Format.printf "  %-6s %a@." name Bsolo.Outcome.pp o
+  in
+  run "plain" Bsolo.Options.Plain;
+  run "LPR" Bsolo.Options.Lpr

@@ -1,0 +1,1 @@
+lib/bcp/covering.ml: Array Bsolo Fun Hashtbl List Lit Model Pbo Printf Problem

@@ -1,0 +1,1 @@
+lib/bcp/covering.mli: Bsolo Pbo Problem

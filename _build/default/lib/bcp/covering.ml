@@ -1,0 +1,268 @@
+open Pbo
+
+type entry =
+  | Pos
+  | Neg
+
+type t = {
+  ncols : int;
+  col_cost : int array;
+  rows : (int * entry) list array;
+}
+
+let create ~ncols ~cost ~rows =
+  let col_cost = Array.init ncols cost in
+  Array.iteri
+    (fun c k -> if k < 0 then invalid_arg (Printf.sprintf "Covering.create: cost of column %d" c))
+    col_cost;
+  let check_row row =
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun (c, _) ->
+        if c < 0 || c >= ncols then invalid_arg "Covering.create: column out of range";
+        if Hashtbl.mem seen c then invalid_arg "Covering.create: duplicate column in row";
+        Hashtbl.add seen c ())
+      row
+  in
+  List.iter check_row rows;
+  { ncols; col_cost; rows = Array.of_list rows }
+
+let ncols t = t.ncols
+let nrows t = Array.length t.rows
+
+let is_unate t =
+  Array.for_all (List.for_all (fun (_, e) -> e = Pos)) t.rows
+
+type reduction = {
+  selected : int list;
+  excluded : int list;
+  kept_rows : int;
+  infeasible : bool;
+  essential_steps : int;
+  dominated_rows : int;
+  dominated_cols : int;
+}
+
+(* Mutable reduction state: [fix] per column, [alive] per row, and the
+   rows filtered down to unfixed columns. *)
+type state = {
+  fix : [ `Free | `Selected | `Excluded ] array;
+  alive : bool array;
+  work : (int * entry) list array;
+  mutable unsat : bool;
+  mutable essentials : int;
+  mutable dom_rows : int;
+  mutable dom_cols : int;
+}
+
+let satisfied_by_fix st (c, e) =
+  match st.fix.(c), e with
+  | `Selected, Pos | `Excluded, Neg -> true
+  | `Selected, Neg | `Excluded, Pos | `Free, (Pos | Neg) -> false
+
+let falsified_by_fix st (c, e) =
+  match st.fix.(c), e with
+  | `Selected, Neg | `Excluded, Pos -> true
+  | `Selected, Pos | `Excluded, Neg | `Free, (Pos | Neg) -> false
+
+(* Re-filter every live row against the current fixings; kill satisfied
+   rows, drop falsified entries, flag empty rows as unsat. *)
+let refilter st =
+  Array.iteri
+    (fun r row ->
+      if st.alive.(r) then begin
+        if List.exists (satisfied_by_fix st) row then st.alive.(r) <- false
+        else begin
+          let remaining = List.filter (fun it -> not (falsified_by_fix st it)) row in
+          st.work.(r) <- remaining;
+          if remaining = [] then st.unsat <- true
+        end
+      end)
+    st.work
+
+let essential_pass st =
+  let changed = ref false in
+  Array.iteri
+    (fun r row ->
+      if st.alive.(r) && not st.unsat then begin
+        match row with
+        | [ (c, e) ] ->
+          if st.fix.(c) = `Free then begin
+            st.fix.(c) <- (match e with Pos -> `Selected | Neg -> `Excluded);
+            st.essentials <- st.essentials + 1;
+            changed := true
+          end
+        | [] | _ :: _ :: _ -> ()
+      end)
+    st.work;
+  if !changed then refilter st;
+  !changed
+
+(* Row r1 dominates r2 when r1's entries are a subset of r2's: satisfying
+   r1 then necessarily satisfies r2. *)
+let row_dominance_pass st =
+  let changed = ref false in
+  let n = Array.length st.work in
+  let subset a b = List.for_all (fun it -> List.mem it b) a in
+  for r1 = 0 to n - 1 do
+    if st.alive.(r1) then
+      for r2 = 0 to n - 1 do
+        if r1 <> r2 && st.alive.(r2) && st.alive.(r1) then begin
+          let a = st.work.(r1) and b = st.work.(r2) in
+          let strictly_before = List.length a < List.length b || (List.length a = List.length b && r1 < r2) in
+          if strictly_before && subset a b then begin
+            st.alive.(r2) <- false;
+            st.dom_rows <- st.dom_rows + 1;
+            changed := true
+          end
+        end
+      done
+  done;
+  !changed
+
+(* Column c2 is dominated by c1 (both appearing only positively among the
+   live rows) when c1 covers every row c2 covers at no greater cost:
+   excluding c2 cannot hurt. *)
+let col_dominance_pass t st =
+  let n = Array.length st.work in
+  let pure_pos = Array.make t.ncols true in
+  let rows_of = Array.make t.ncols [] in
+  for r = 0 to n - 1 do
+    if st.alive.(r) then
+      List.iter
+        (fun (c, e) ->
+          match e with
+          | Pos -> rows_of.(c) <- r :: rows_of.(c)
+          | Neg -> pure_pos.(c) <- false)
+        st.work.(r)
+  done;
+  let changed = ref false in
+  for c2 = 0 to t.ncols - 1 do
+    if st.fix.(c2) = `Free && pure_pos.(c2) && rows_of.(c2) <> [] then begin
+      let dominated = ref false in
+      for c1 = 0 to t.ncols - 1 do
+        if
+          (not !dominated) && c1 <> c2 && st.fix.(c1) = `Free && pure_pos.(c1)
+          && (t.col_cost.(c1) < t.col_cost.(c2)
+             || (t.col_cost.(c1) = t.col_cost.(c2) && c1 < c2))
+          && List.for_all (fun r -> List.mem r rows_of.(c1)) rows_of.(c2)
+        then dominated := true
+      done;
+      if !dominated then begin
+        st.fix.(c2) <- `Excluded;
+        st.dom_cols <- st.dom_cols + 1;
+        changed := true
+      end
+    end
+  done;
+  if !changed then refilter st;
+  !changed
+
+let run_reductions t =
+  let st =
+    {
+      fix = Array.make t.ncols `Free;
+      alive = Array.make (Array.length t.rows) true;
+      work = Array.map (fun r -> r) t.rows;
+      unsat = false;
+      essentials = 0;
+      dom_rows = 0;
+      dom_cols = 0;
+    }
+  in
+  refilter st;
+  let rec fixpoint () =
+    if not st.unsat then begin
+      let e = essential_pass st in
+      let r = (not st.unsat) && row_dominance_pass st in
+      let c = (not st.unsat) && col_dominance_pass t st in
+      if e || r || c then fixpoint ()
+    end
+  in
+  fixpoint ();
+  st
+
+let reduction_of_state st =
+  let selected = ref [] and excluded = ref [] in
+  Array.iteri
+    (fun c f ->
+      match f with
+      | `Selected -> selected := c :: !selected
+      | `Excluded -> excluded := c :: !excluded
+      | `Free -> ())
+    st.fix;
+  {
+    selected = List.rev !selected;
+    excluded = List.rev !excluded;
+    kept_rows = Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 st.alive;
+    infeasible = st.unsat;
+    essential_steps = st.essentials;
+    dominated_rows = st.dom_rows;
+    dominated_cols = st.dom_cols;
+  }
+
+let reduce t = reduction_of_state (run_reductions t)
+
+let lit_of_entry col_var (c, e) =
+  match e with
+  | Pos -> Lit.pos (col_var c)
+  | Neg -> Lit.neg (col_var c)
+
+let to_problem t =
+  let b = Problem.Builder.create ~nvars:t.ncols () in
+  Array.iter (fun row -> Problem.Builder.add_clause b (List.map (lit_of_entry Fun.id) row)) t.rows;
+  let costs = ref [] in
+  Array.iteri (fun c k -> if k > 0 then costs := (k, Lit.pos c) :: !costs) t.col_cost;
+  Problem.Builder.set_objective b !costs;
+  Problem.Builder.build b
+
+type solution = {
+  selection : bool array;
+  cost : int;
+}
+
+let solve ?options t =
+  let st = run_reductions t in
+  if st.unsat then None
+  else begin
+    (* residual core over the free columns of the live rows *)
+    let col_var = Hashtbl.create 16 in
+    let next = ref 0 in
+    let var_of c =
+      match Hashtbl.find_opt col_var c with
+      | Some v -> v
+      | None ->
+        let v = !next in
+        incr next;
+        Hashtbl.add col_var c v;
+        v
+    in
+    let b = Problem.Builder.create () in
+    Array.iteri
+      (fun r row ->
+        if st.alive.(r) then
+          Problem.Builder.add_clause b (List.map (lit_of_entry var_of) row))
+      st.work;
+    let costs = ref [] in
+    Hashtbl.iter
+      (fun c v -> if t.col_cost.(c) > 0 then costs := (t.col_cost.(c), Lit.pos v) :: !costs)
+      col_var;
+    Problem.Builder.set_objective b !costs;
+    let core = Problem.Builder.build b in
+    let outcome =
+      match options with
+      | None -> Bsolo.Solver.solve core
+      | Some options -> Bsolo.Solver.solve ~options core
+    in
+    match outcome.status, outcome.best with
+    | (Bsolo.Outcome.Optimal | Bsolo.Outcome.Satisfiable), Some (m, _) ->
+      let selection = Array.make t.ncols false in
+      Array.iteri (fun c f -> if f = `Selected then selection.(c) <- true) st.fix;
+      Hashtbl.iter (fun c v -> if Model.value m v then selection.(c) <- true) col_var;
+      let cost = ref 0 in
+      Array.iteri (fun c sel -> if sel then cost := !cost + t.col_cost.(c)) selection;
+      Some { selection; cost = !cost }
+    | Bsolo.Outcome.Unsatisfiable, _ -> None
+    | Bsolo.Outcome.Unknown, _ -> None
+    | (Bsolo.Outcome.Optimal | Bsolo.Outcome.Satisfiable), None -> None
+  end

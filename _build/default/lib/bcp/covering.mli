@@ -1,0 +1,59 @@
+open Pbo
+
+(** Binate covering problems (BCP), the special case of PBO the paper's
+    lower-bounding lineage comes from (Coudert; Villa–Kam–Brayton–
+    Sangiovanni-Vincentelli; Manquinho–Silva 2002).
+
+    A BCP is given by a covering matrix: every row must be satisfied,
+    and a row is satisfied by selecting a column that appears positively
+    in it or by {e not} selecting a column that appears negatively.  The
+    objective is a minimum-cost column selection.  When every entry is
+    positive the problem is unate covering (two-level minimization).
+
+    This module provides the classical matrix reductions — essential
+    columns, row dominance and (unate) column dominance — and solves the
+    reduced core with the bsolo engine. *)
+
+type entry =
+  | Pos  (** selecting the column satisfies the row *)
+  | Neg  (** excluding the column satisfies the row *)
+
+type t
+
+val create : ncols:int -> cost:(int -> int) -> rows:(int * entry) list list -> t
+(** [create ~ncols ~cost ~rows]: column costs must be non-negative; rows
+    list (column, entry) pairs with distinct columns per row.  Raises
+    [Invalid_argument] on malformed input. *)
+
+val ncols : t -> int
+val nrows : t -> int
+val is_unate : t -> bool
+
+(** Outcome of the reduction fixpoint. *)
+type reduction = {
+  selected : int list;  (** columns forced into the solution *)
+  excluded : int list;  (** columns forced out *)
+  kept_rows : int;  (** rows remaining in the reduced core *)
+  infeasible : bool;  (** an unsatisfiable row was derived *)
+  essential_steps : int;
+  dominated_rows : int;
+  dominated_cols : int;
+}
+
+val reduce : t -> reduction
+(** Runs essential-column, row-dominance and column-dominance reductions
+    to fixpoint.  Column dominance is only applied between unate
+    columns, where it is cost-safe. *)
+
+val to_problem : t -> Problem.t
+(** The PBO encoding: one clause per row, the cost on positive column
+    literals. *)
+
+type solution = {
+  selection : bool array;  (** per column *)
+  cost : int;
+}
+
+val solve : ?options:Bsolo.Options.t -> t -> solution option
+(** Reduce, solve the core with bsolo, and reassemble a full selection.
+    [None] when the instance is infeasible. *)

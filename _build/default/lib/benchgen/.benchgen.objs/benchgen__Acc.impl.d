@@ -1,0 +1,1 @@
+lib/benchgen/acc.ml: Array List Lit Pbo Problem Random

@@ -1,0 +1,1 @@
+lib/benchgen/acc.mli: Pbo Problem

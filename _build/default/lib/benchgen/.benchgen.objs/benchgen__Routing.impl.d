@@ -1,0 +1,1 @@
+lib/benchgen/routing.ml: Hashtbl List Lit Option Pbo Problem Random

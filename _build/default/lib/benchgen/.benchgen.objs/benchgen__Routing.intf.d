@@ -1,0 +1,1 @@
+lib/benchgen/routing.mli: Pbo Problem

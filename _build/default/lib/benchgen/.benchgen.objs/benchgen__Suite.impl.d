@@ -1,0 +1,1 @@
+lib/benchgen/suite.ml: Acc List Pbo Printf Routing Synthesis Two_level

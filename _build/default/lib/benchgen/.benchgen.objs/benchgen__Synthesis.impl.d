@@ -1,0 +1,1 @@
+lib/benchgen/synthesis.ml: Array List Lit Pbo Problem Random

@@ -1,0 +1,1 @@
+lib/benchgen/synthesis.mli: Pbo Problem

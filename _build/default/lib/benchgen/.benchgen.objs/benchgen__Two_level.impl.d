@@ -1,0 +1,1 @@
+lib/benchgen/two_level.ml: Hashtbl List Lit Pbo Problem Random

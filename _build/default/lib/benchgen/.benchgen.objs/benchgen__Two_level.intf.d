@@ -1,0 +1,1 @@
+lib/benchgen/two_level.mli: Pbo Problem

@@ -1,0 +1,53 @@
+open Pbo
+
+type params = {
+  tasks : int;
+  slots : int;
+  max_demand : int;
+  conflicts : int;
+  slack : int;
+}
+
+let default = { tasks = 30; slots = 5; max_demand = 20; conflicts = 50; slack = 0 }
+
+(* Instances are generated around a planted assignment so they are always
+   satisfiable, like the original acc-tight set.  Slot capacities equal
+   the planted loads (plus [slack]), as *equalities* when [slack = 0]:
+   every slot must be packed exactly, which is what makes the family hard
+   for branch-and-bound without propagation and for LP rounding. *)
+let generate ?(params = default) seed =
+  let p = params in
+  let rng = Random.State.make [| seed; 0x5eed0acc |] in
+  let b = Problem.Builder.create () in
+  let demand = Array.init p.tasks (fun _ -> 1 + Random.State.int rng p.max_demand) in
+  let planted = Array.init p.tasks (fun _ -> Random.State.int rng p.slots) in
+  let x = Array.init p.tasks (fun _ -> Array.init p.slots (fun _ -> Problem.Builder.fresh_var b)) in
+  for t = 0 to p.tasks - 1 do
+    let slots = Array.to_list (Array.map Lit.pos x.(t)) in
+    Problem.Builder.add_clause b slots;
+    (* at most one slot per task *)
+    Problem.Builder.add_le b (List.map (fun l -> 1, l) slots) 1
+  done;
+  let load = Array.make p.slots 0 in
+  for t = 0 to p.tasks - 1 do
+    load.(planted.(t)) <- load.(planted.(t)) + demand.(t)
+  done;
+  for s = 0 to p.slots - 1 do
+    let terms = List.init p.tasks (fun t -> demand.(t), Lit.pos x.(t).(s)) in
+    if p.slack = 0 then Problem.Builder.add_eq b terms load.(s)
+    else Problem.Builder.add_le b terms (load.(s) + p.slack)
+  done;
+  (* conflict pairs, only between tasks the planted solution separates *)
+  let added = ref 0 in
+  let attempts = ref 0 in
+  while !added < p.conflicts && !attempts < 50 * p.conflicts do
+    incr attempts;
+    let t1 = Random.State.int rng p.tasks and t2 = Random.State.int rng p.tasks in
+    if t1 <> t2 && planted.(t1) <> planted.(t2) then begin
+      incr added;
+      for s = 0 to p.slots - 1 do
+        Problem.Builder.add_clause b [ Lit.neg x.(t1).(s); Lit.neg x.(t2).(s) ]
+      done
+    end
+  done;
+  Problem.Builder.build b

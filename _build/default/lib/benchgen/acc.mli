@@ -1,0 +1,20 @@
+open Pbo
+
+(** Synthetic PB *satisfaction* instances in the style of Walser's
+    acc-tight family: tightly capacitated assignment with no cost
+    function.  Tasks with integer demands are packed into slots whose
+    capacities barely exceed total demand; conflict pairs must not share a
+    slot.  With no objective there is nothing to lower-bound — all bsolo
+    configurations behave identically (footnote a of Table 1). *)
+
+type params = {
+  tasks : int;
+  slots : int;
+  max_demand : int;
+  conflicts : int;
+  slack : int;  (** spare capacity distributed over slots *)
+}
+
+val default : params
+
+val generate : ?params:params -> int -> Problem.t

@@ -1,0 +1,109 @@
+open Pbo
+
+type params = {
+  width : int;
+  height : int;
+  nets : int;
+  capacity : int;
+  detours : int;
+}
+
+let default = { width = 8; height = 8; nets = 26; capacity = 2; detours = 2 }
+
+(* Grid edges are identified by their endpoints; horizontal edge
+   ((x,y),(x+1,y)) and vertical edge ((x,y),(x,y+1)). *)
+type edge = int * int * [ `H | `V ]
+
+let hsegment x0 x1 y =
+  let lo = min x0 x1 and hi = max x0 x1 in
+  List.init (hi - lo) (fun i -> lo + i, y, `H)
+
+let vsegment y0 y1 x =
+  let lo = min y0 y1 and hi = max y0 y1 in
+  List.init (hi - lo) (fun i -> x, lo + i, `V)
+
+(* The two L-shaped routes between two terminals. *)
+let l_routes (x0, y0) (x1, y1) =
+  let via_corner1 = hsegment x0 x1 y0 @ vsegment y0 y1 x1 in
+  let via_corner2 = vsegment y0 y1 x0 @ hsegment x0 x1 y1 in
+  [ via_corner1; via_corner2 ]
+
+(* A detour route through a random intermediate point. *)
+let detour_route rng p (x0, y0) (x1, y1) =
+  let mx = Random.State.int rng p.width and my = Random.State.int rng p.height in
+  hsegment x0 mx y0 @ vsegment y0 my mx @ hsegment mx x1 my @ vsegment my y1 x1
+
+let generate ?(params = default) seed =
+  let p = params in
+  let rng = Random.State.make [| seed; 0x6f0ced21 |] in
+  let b = Problem.Builder.create () in
+  let edge_users : (edge, Lit.t list ref) Hashtbl.t = Hashtbl.create 97 in
+  let note_route var route =
+    let note e =
+      let users =
+        match Hashtbl.find_opt edge_users e with
+        | Some r -> r
+        | None ->
+          let r = ref [] in
+          Hashtbl.add edge_users e r;
+          r
+      in
+      users := Lit.pos var :: !users
+    in
+    List.iter note route
+  in
+  let costs = ref [] in
+  (* plant a feasible routing: the first candidate of every net counts as
+     "used" and edge capacities cover the planted usage, so instances are
+     always satisfiable (like the original benchmark set) *)
+  let planted_usage : (edge, int) Hashtbl.t = Hashtbl.create 97 in
+  let plant route =
+    let count e =
+      let cur = Option.value ~default:0 (Hashtbl.find_opt planted_usage e) in
+      Hashtbl.replace planted_usage e (cur + 1)
+    in
+    List.iter count route
+  in
+  for _ = 1 to p.nets do
+    let terminal () = Random.State.int rng p.width, Random.State.int rng p.height in
+    let src = terminal () in
+    let dst =
+      let rec distinct () =
+        let d = terminal () in
+        if d = src then distinct () else d
+      in
+      distinct ()
+    in
+    let candidates =
+      l_routes src dst @ List.init p.detours (fun _ -> detour_route rng p src dst)
+    in
+    let routes =
+      match List.filter (fun r -> r <> []) candidates with
+      | [] ->
+        (* distinct terminals always yield at least one non-empty route *)
+        assert false
+      | (first :: _) as non_empty ->
+        plant first;
+        non_empty
+    in
+    let vars =
+      List.map
+        (fun route ->
+          let v = Problem.Builder.fresh_var b in
+          note_route v route;
+          costs := (List.length route, Lit.pos v) :: !costs;
+          v)
+        routes
+    in
+    (* the net must be routed *)
+    Problem.Builder.add_clause b (List.map Lit.pos vars)
+  done;
+  (* edge capacities, never below the planted usage *)
+  let cap_constraint e users =
+    let cap = max p.capacity (Option.value ~default:0 (Hashtbl.find_opt planted_usage e)) in
+    if List.length !users > cap then
+      Problem.Builder.add_le b (List.map (fun l -> 1, l) !users) cap
+  in
+  Hashtbl.iter cap_constraint edge_users;
+  Problem.Builder.set_objective b (List.filter (fun (c, _) -> c > 0) !costs);
+  Problem.Builder.build b

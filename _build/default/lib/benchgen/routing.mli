@@ -1,0 +1,23 @@
+open Pbo
+
+(** Synthetic global-routing instances in the style of the paper's
+    grout-4-3-* family (Aloul et al.'s routing benchmarks).
+
+    Each net connecting two grid terminals chooses one of its candidate
+    routes (the two L-shaped paths plus longer detours); grid edges have a
+    routing capacity; the objective minimizes total wirelength.  The
+    instances are lightly constrained with a meaningful cost function —
+    the regime where lower bounding shines. *)
+
+type params = {
+  width : int;
+  height : int;
+  nets : int;
+  capacity : int;  (** max nets per grid edge *)
+  detours : int;  (** extra longer candidate routes per net *)
+}
+
+val default : params
+
+val generate : ?params:params -> int -> Problem.t
+(** [generate seed] builds a deterministic instance. *)

@@ -1,0 +1,64 @@
+type family =
+  | Grout
+  | Synth
+  | Mcnc
+  | Acc
+
+type instance = {
+  family : family;
+  name : string;
+  problem : Pbo.Problem.t;
+}
+
+let family_name = function
+  | Grout -> "grout"
+  | Synth -> "synth"
+  | Mcnc -> "mcnc"
+  | Acc -> "acc-tight"
+
+let family_ref = function
+  | Grout -> "[2]"
+  | Synth -> "[18]"
+  | Mcnc -> "[17]"
+  | Acc -> "[16]"
+
+let scaled scale n = max 1 (int_of_float (float_of_int n *. scale +. 0.5))
+
+let instances ?(scale = 1.0) ?(per_family = 10) () =
+  let s = scaled scale in
+  let grout seed =
+    let params =
+      { Routing.default with width = s 8; height = s 8; nets = s 26 }
+    in
+    {
+      family = Grout;
+      name = Printf.sprintf "grout-%d-%d:%d" (s 8) (s 8) seed;
+      problem = Routing.generate ~params seed;
+    }
+  in
+  let synth seed =
+    let params = { Synthesis.default with nodes = s 28; support_cells = s 14 } in
+    {
+      family = Synth;
+      name = Printf.sprintf "synth-%d:%d" (s 28) seed;
+      problem = Synthesis.generate ~params seed;
+    }
+  in
+  let mcnc seed =
+    let params = { Two_level.default with minterms = s 70; implicants = s 40 } in
+    {
+      family = Mcnc;
+      name = Printf.sprintf "mcnc-%d:%d" (s 70) seed;
+      problem = Two_level.generate ~params seed;
+    }
+  in
+  let acc seed =
+    let params = { Acc.default with tasks = s 30 } in
+    {
+      family = Acc;
+      name = Printf.sprintf "acc-tight-%d:%d" (s 30) seed;
+      problem = Acc.generate ~params seed;
+    }
+  in
+  let range f = List.init per_family (fun i -> f (i + 1)) in
+  range grout @ range synth @ range mcnc @ range acc

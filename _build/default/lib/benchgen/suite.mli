@@ -1,0 +1,24 @@
+open Pbo
+
+(** The full benchmark suite mirroring Table 1: ten instances of each of
+    the four families, with sizes controlled by a scale factor. *)
+
+type family =
+  | Grout  (** routing [2] *)
+  | Synth  (** mixed PTL/CMOS synthesis [18] *)
+  | Mcnc  (** two-level minimization [17] *)
+  | Acc  (** PB satisfaction [16] *)
+
+type instance = {
+  family : family;
+  name : string;
+  problem : Problem.t;
+}
+
+val family_name : family -> string
+val family_ref : family -> string
+(** Bibliography tag used in the paper's table ([2], [18], [17], [16]). *)
+
+val instances : ?scale:float -> ?per_family:int -> unit -> instance list
+(** [scale] (default 1.0) grows or shrinks the instances; [per_family]
+    (default 10) instances per family, seeds 1..n. *)

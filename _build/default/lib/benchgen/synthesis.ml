@@ -1,0 +1,56 @@
+open Pbo
+
+type params = {
+  nodes : int;
+  impls_per_node : int;
+  support_cells : int;
+  support_degree : int;
+  exclusions : int;
+  area_min : int;
+  area_max : int;
+}
+
+let default =
+  {
+    nodes = 28;
+    impls_per_node = 3;
+    support_cells = 14;
+    support_degree = 2;
+    exclusions = 30;
+    area_min = 20;
+    area_max = 400;
+  }
+
+let generate ?(params = default) seed =
+  let p = params in
+  let rng = Random.State.make [| seed; 0x1234ab5 |] in
+  let b = Problem.Builder.create () in
+  let area () = p.area_min + Random.State.int rng (p.area_max - p.area_min + 1) in
+  let supports = Array.init p.support_cells (fun _ -> Problem.Builder.fresh_var b) in
+  let costs = ref [] in
+  Array.iter (fun v -> costs := (area (), Lit.pos v) :: !costs) supports;
+  let impls = ref [] in
+  for _ = 1 to p.nodes do
+    let node_impls =
+      List.init p.impls_per_node (fun _ ->
+          let v = Problem.Builder.fresh_var b in
+          costs := (area (), Lit.pos v) :: !costs;
+          (* choosing this implementation requires its support cells *)
+          for _ = 1 to p.support_degree do
+            let cell = supports.(Random.State.int rng p.support_cells) in
+            Problem.Builder.add_clause b [ Lit.neg v; Lit.pos cell ]
+          done;
+          v)
+    in
+    Problem.Builder.add_clause b (List.map Lit.pos node_impls);
+    impls := node_impls @ !impls
+  done;
+  let impls = Array.of_list !impls in
+  let n = Array.length impls in
+  for _ = 1 to p.exclusions do
+    let i = Random.State.int rng n and j = Random.State.int rng n in
+    if impls.(i) <> impls.(j) then
+      Problem.Builder.add_clause b [ Lit.neg impls.(i); Lit.neg impls.(j) ]
+  done;
+  Problem.Builder.set_objective b !costs;
+  Problem.Builder.build b

@@ -1,0 +1,26 @@
+open Pbo
+
+(** Synthetic mixed PTL/CMOS technology-mapping instances in the style of
+    the paper's synthesis family (Zhu's benchmarks: 9symml, C432, ...).
+
+    Each logic node picks one implementation among a few styles with very
+    different areas (costs in the tens to hundreds); implementations can
+    require shared support cells (binate implication clauses) and some
+    pairs are electrically incompatible (mutual exclusion).  The large
+    weights make the cost function dominate the difficulty, which is the
+    regime where plain SAT-based search drowns (the "ub" columns of
+    Table 1). *)
+
+type params = {
+  nodes : int;
+  impls_per_node : int;
+  support_cells : int;
+  support_degree : int;  (** required support cells per implementation *)
+  exclusions : int;
+  area_min : int;
+  area_max : int;
+}
+
+val default : params
+
+val generate : ?params:params -> int -> Problem.t

@@ -1,0 +1,45 @@
+open Pbo
+
+type params = {
+  minterms : int;
+  implicants : int;
+  cover_degree : int;
+  max_cost : int;
+  groups : int;
+}
+
+let default = { minterms = 70; implicants = 40; cover_degree = 3; max_cost = 3; groups = 4 }
+
+let generate ?(params = default) seed =
+  let p = params in
+  let rng = Random.State.make [| seed; 0x77aa113 |] in
+  let b = Problem.Builder.create ~nvars:p.implicants () in
+  let pick_distinct k =
+    let chosen = Hashtbl.create 8 in
+    let rec go acc n =
+      if n = 0 then acc
+      else begin
+        let i = Random.State.int rng p.implicants in
+        if Hashtbl.mem chosen i then go acc n
+        else begin
+          Hashtbl.add chosen i ();
+          go (i :: acc) (n - 1)
+        end
+      end
+    in
+    go [] (min k p.implicants)
+  in
+  for _ = 1 to p.minterms do
+    let cover = pick_distinct p.cover_degree in
+    Problem.Builder.add_clause b (List.map Lit.pos cover)
+  done;
+  (* output-phase style side constraints: at least 2 implicants of a group *)
+  for _ = 1 to p.groups do
+    let group = pick_distinct (4 + Random.State.int rng 3) in
+    Problem.Builder.add_cardinality b (List.map Lit.pos group) 2
+  done;
+  let costs =
+    List.init p.implicants (fun v -> 1 + Random.State.int rng p.max_cost, Lit.pos v)
+  in
+  Problem.Builder.set_objective b costs;
+  Problem.Builder.build b

@@ -1,0 +1,23 @@
+open Pbo
+
+(** Synthetic two-level logic minimization instances in the style of the
+    MCNC .b family (5xp1.b, 9sym.b, ...): unate covering.
+
+    A set of minterms must each be covered by at least one selected
+    implicant; implicant costs are small (literal counts), so optima are
+    small integers.  Cardinality side constraints on implicant groups
+    mimic the output-phase selection constraints of the original
+    encodings and give the cardinality-inference technique (eq. 11-13)
+    something to work on. *)
+
+type params = {
+  minterms : int;
+  implicants : int;
+  cover_degree : int;  (** implicants covering each minterm *)
+  max_cost : int;
+  groups : int;  (** cardinality side constraints *)
+}
+
+val default : params
+
+val generate : ?params:params -> int -> Problem.t

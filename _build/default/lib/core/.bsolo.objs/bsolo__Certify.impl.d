@@ -1,0 +1,1 @@
+lib/core/certify.ml: Constr Model Outcome Pbo Printf Problem

@@ -1,0 +1,1 @@
+lib/core/enumerate.ml: Array Constr List Lit Model Outcome Pbo Problem Solver

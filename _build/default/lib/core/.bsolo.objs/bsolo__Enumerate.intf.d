@@ -1,0 +1,1 @@
+lib/core/enumerate.mli: Model Options Pbo Problem

@@ -1,0 +1,1 @@
+lib/core/exhaustive.ml: Array Model Pbo Problem

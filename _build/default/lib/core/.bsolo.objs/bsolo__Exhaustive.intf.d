@@ -1,0 +1,1 @@
+lib/core/exhaustive.mli: Model Pbo Problem

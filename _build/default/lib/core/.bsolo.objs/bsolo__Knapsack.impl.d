@@ -1,0 +1,1 @@
+lib/core/knapsack.ml: Array Constr List Lit Pbo Problem

@@ -1,0 +1,1 @@
+lib/core/linear_search.ml: Constr Engine Hashtbl Knapsack List Lit Model Option Options Outcome Pbo Preprocess Problem Unix

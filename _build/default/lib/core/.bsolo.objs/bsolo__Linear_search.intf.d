@@ -1,0 +1,1 @@
+lib/core/linear_search.mli: Options Outcome Pbo Problem

@@ -1,0 +1,1 @@
+lib/core/preprocess.ml: Constr Engine Lit Pbo Value

@@ -1,0 +1,1 @@
+lib/core/solver.ml: Constr Engine Knapsack Lazy List Lit Logs Lowerbound Model Option Options Outcome Pbo Preprocess Problem Strengthen Unix Value

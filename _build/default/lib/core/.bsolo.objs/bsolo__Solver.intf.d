@@ -1,0 +1,1 @@
+lib/core/solver.mli: Lit Model Options Outcome Pbo Problem

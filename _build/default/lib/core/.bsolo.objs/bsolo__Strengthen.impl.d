@@ -1,0 +1,1 @@
+lib/core/strengthen.ml: Array Constr Engine List Lit Pbo Problem Value

@@ -1,0 +1,1 @@
+lib/core/strengthen.mli: Pbo Problem

@@ -1,0 +1,45 @@
+open Pbo
+
+let check problem (o : Outcome.t) =
+  match o.status, o.best with
+  | Outcome.Unsatisfiable, Some _ -> Error "UNSATISFIABLE outcome carries a model"
+  | Outcome.Unsatisfiable, None -> Ok ()
+  | (Outcome.Optimal | Outcome.Satisfiable), None -> Error "positive outcome without a model"
+  | (Outcome.Optimal | Outcome.Satisfiable), Some (m, c) ->
+    if not (Model.satisfies problem m) then
+      Error
+        (match Model.violated_constraint problem m with
+        | Some viol -> "model violates: " ^ Constr.to_string viol
+        | None -> "model rejected")
+    else if Model.cost problem m <> c then
+      Error
+        (Printf.sprintf "claimed cost %d but the model costs %d" c (Model.cost problem m))
+    else if Problem.is_satisfaction problem && c <> 0 then
+      Error "satisfaction instance with non-zero cost"
+    else Ok ()
+  | Outcome.Unknown, None -> Ok ()
+  | Outcome.Unknown, Some (m, c) ->
+    if not (Model.satisfies problem m) then Error "anytime model violates a constraint"
+    else if Model.cost problem m <> c then Error "anytime model cost mismatch"
+    else Ok ()
+
+let check_optimal_against problem (o : Outcome.t) ~reference =
+  match check problem o, check problem reference with
+  | Error e, _ -> Error ("outcome: " ^ e)
+  | _, Error e -> Error ("reference: " ^ e)
+  | Ok (), Ok () ->
+    (match o.status, reference.status, Outcome.best_cost o, Outcome.best_cost reference with
+    | Outcome.Optimal, Outcome.Optimal, Some c1, Some c2 ->
+      if c1 <> c2 then Error (Printf.sprintf "optima disagree: %d vs %d" c1 c2) else Ok ()
+    | Outcome.Optimal, _, Some opt, Some other ->
+      if other < opt then Error (Printf.sprintf "reference found %d below proved optimum %d" other opt)
+      else Ok ()
+    | _, Outcome.Optimal, Some other, Some opt ->
+      if other < opt then Error (Printf.sprintf "outcome found %d below proved optimum %d" other opt)
+      else Ok ()
+    | Outcome.Unsatisfiable, (Outcome.Optimal | Outcome.Satisfiable), _, _
+    | (Outcome.Optimal | Outcome.Satisfiable), Outcome.Unsatisfiable, _, _ ->
+      Error "satisfiability verdicts disagree"
+    | (Outcome.Optimal | Outcome.Satisfiable | Outcome.Unsatisfiable | Outcome.Unknown), _, _, _
+      ->
+      Ok ())

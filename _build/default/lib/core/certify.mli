@@ -1,0 +1,15 @@
+open Pbo
+
+(** Independent verification of solver results (the checks a cautious
+    downstream user would script around any solver). *)
+
+val check : Problem.t -> Outcome.t -> (unit, string) result
+(** Verifies the internal consistency of an outcome against the problem:
+    a reported model must satisfy every constraint and cost exactly what
+    the outcome claims; [Unsatisfiable] must not carry a model; a
+    satisfaction instance must not report a non-zero cost. *)
+
+val check_optimal_against : Problem.t -> Outcome.t -> reference:Outcome.t -> (unit, string) result
+(** Cross-checks two outcomes of (possibly different) solvers on the same
+    problem: [Optimal] costs must agree, and no solver may report a model
+    better than another's proved optimum. *)

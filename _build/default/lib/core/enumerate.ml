@@ -1,0 +1,65 @@
+open Pbo
+
+let blocking_clause problem m =
+  List.init (Problem.nvars problem) (fun v ->
+      if Model.value m v then Lit.neg v else Lit.pos v)
+
+(* Constraint "cost <= c": binds the objective literals. *)
+let cost_cap problem c =
+  match Problem.objective problem with
+  | None -> []
+  | Some o ->
+    let raw = Array.to_list (Array.map (fun (ct : Problem.cost_term) -> ct.cost, ct.lit) o.cost_terms) in
+    (match Constr.of_relation raw Constr.Le (c - o.offset) with
+    | [ Constr.Constr cut ] -> [ cut ]
+    | [ Constr.Trivial_true ] -> []
+    | [ Constr.Trivial_false ] | [] | _ :: _ ->
+      (* the optimum itself satisfies the cap, so it cannot be trivially
+         false; [Le] yields exactly one result *)
+      assert false)
+
+let optimal_models ?options ?(limit = 1000) problem =
+  let solve p =
+    match options with
+    | None -> Solver.solve p
+    | Some options -> Solver.solve ~options p
+  in
+  match solve problem with
+  | { Outcome.status = Outcome.Unsatisfiable; _ } -> [], None
+  | { Outcome.status = Outcome.Unknown; _ } -> [], None
+  | { Outcome.status = Outcome.Optimal | Outcome.Satisfiable; best = Some (first, c); _ } ->
+    let capped = Problem.with_constraints problem (cost_cap problem c) in
+    let rec collect acc blocked n =
+      if n >= limit then List.rev acc
+      else begin
+        let p = Problem.with_constraints capped blocked in
+        match solve p with
+        | { Outcome.status = Outcome.Optimal | Outcome.Satisfiable; best = Some (m, _); _ } ->
+          (match Constr.clause (blocking_clause problem m) with
+          | Constr.Constr block -> collect (m :: acc) (block :: blocked) (n + 1)
+          | Constr.Trivial_true | Constr.Trivial_false ->
+            (* only possible for the 0-variable problem, which has a
+               single model *)
+            List.rev (m :: acc))
+        | { Outcome.status = Outcome.Unsatisfiable | Outcome.Unknown; _ }
+        | { Outcome.status = Outcome.Optimal | Outcome.Satisfiable; best = None; _ } ->
+          List.rev acc
+      end
+    in
+    let models =
+      match Constr.clause (blocking_clause problem first) with
+      | Constr.Constr block -> collect [ first ] [ block ] 1
+      | Constr.Trivial_true | Constr.Trivial_false -> [ first ]
+    in
+    models, Some c
+  | { Outcome.status = Outcome.Optimal | Outcome.Satisfiable; best = None; _ } -> [], None
+
+let count_optimal_models ?options ?limit problem =
+  let models, _ =
+    match options, limit with
+    | None, None -> optimal_models problem
+    | Some o, None -> optimal_models ~options:o problem
+    | None, Some l -> optimal_models ~limit:l problem
+    | Some o, Some l -> optimal_models ~options:o ~limit:l problem
+  in
+  List.length models

@@ -1,0 +1,17 @@
+open Pbo
+
+(** Model enumeration on top of the solver, via blocking clauses.
+
+    Enumeration restarts the solver per model (the engine is not
+    incremental), so this is intended for instances with manageable model
+    counts — e.g. inspecting all optimal routings or all minimum covers. *)
+
+val optimal_models : ?options:Options.t -> ?limit:int -> Problem.t -> Model.t list * int option
+(** All models attaining the optimal cost, oldest first, capped at
+    [limit] (default 1000).  Returns the optimum as well.  For
+    satisfaction instances, enumerates all models.  [([], None)] when
+    unsatisfiable; if the solver hits a budget limit mid-way the list is
+    a (possibly empty) prefix. *)
+
+val count_optimal_models : ?options:Options.t -> ?limit:int -> Problem.t -> int
+(** [List.length (fst (optimal_models ...))]. *)

@@ -1,0 +1,35 @@
+open Pbo
+
+let check_size p =
+  if Problem.nvars p > 24 then invalid_arg "Exhaustive: too many variables"
+
+let iter_models p f =
+  check_size p;
+  if not (Problem.trivially_unsat p) then begin
+    let n = Problem.nvars p in
+    let a = Array.make n false in
+    let total = 1 lsl n in
+    for mask = 0 to total - 1 do
+      for v = 0 to n - 1 do
+        a.(v) <- (mask lsr v) land 1 = 1
+      done;
+      let m = Model.of_array a in
+      if Model.satisfies p m then f m
+    done
+  end
+
+let optimum p =
+  let best = ref None in
+  let consider m =
+    let c = Model.cost p m in
+    match !best with
+    | Some (_, bc) when bc <= c -> ()
+    | Some _ | None -> best := Some (m, c)
+  in
+  iter_models p consider;
+  !best
+
+let count_models p =
+  let n = ref 0 in
+  iter_models p (fun _ -> incr n);
+  !n

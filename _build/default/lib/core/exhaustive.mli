@@ -1,0 +1,12 @@
+open Pbo
+
+(** Brute-force reference optimizer: enumerates all assignments.  Only for
+    testing and tiny examples (raises [Invalid_argument] beyond 24
+    variables). *)
+
+val optimum : Problem.t -> (Model.t * int) option
+(** Best model and total cost (offset included), or [None] when
+    unsatisfiable.  For satisfaction instances, any model with cost 0. *)
+
+val count_models : Problem.t -> int
+(** Number of satisfying assignments (useful in tests). *)

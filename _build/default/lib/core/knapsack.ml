@@ -1,0 +1,52 @@
+open Pbo
+
+let cost_terms p =
+  match Problem.objective p with
+  | None -> [||]
+  | Some o -> o.cost_terms
+
+let upper_cut p ~upper =
+  let raw =
+    Array.to_list (Array.map (fun (ct : Problem.cost_term) -> ct.cost, ct.lit) (cost_terms p))
+  in
+  match Constr.of_relation raw Constr.Le (upper - 1) with
+  | [ n ] -> n
+  | [] | _ :: _ :: _ -> assert false
+
+let lit_cost p l =
+  let v = Lit.var l in
+  match Problem.cost_of_var p v with
+  | Some (c, cl) when Lit.equal cl l -> c
+  | Some _ | None -> 0
+
+(* V of eq. (12): the U smallest costs of making literals of K true. *)
+let min_mandatory_cost p c =
+  let costs = Constr.fold_lits (fun l acc -> lit_cost p l :: acc) c [] in
+  let sorted = List.sort compare costs in
+  let rec take k acc = function
+    | [] -> acc
+    | x :: rest -> if k = 0 then acc else take (k - 1) (acc + x) rest
+  in
+  take (Constr.degree c) 0 sorted
+
+let cardinality_inferences p ~upper =
+  let infer c =
+    if not (Constr.is_cardinality c) then None
+    else begin
+      let v = min_mandatory_cost p c in
+      if v <= 0 then None
+      else begin
+        let in_k = Constr.fold_lits (fun l acc -> Lit.var l :: acc) c [] in
+        let outside (ct : Problem.cost_term) = not (List.mem (Lit.var ct.lit) in_k) in
+        let raw =
+          Array.to_list (cost_terms p)
+          |> List.filter outside
+          |> List.map (fun (ct : Problem.cost_term) -> ct.cost, ct.lit)
+        in
+        match Constr.of_relation raw Constr.Le (upper - 1 - v) with
+        | [ n ] -> Some n
+        | [] | _ :: _ :: _ -> assert false
+      end
+    end
+  in
+  Array.to_list (Problem.constraints p) |> List.filter_map infer

@@ -1,0 +1,16 @@
+open Pbo
+
+(** Cuts derived from the objective when a new incumbent is found
+    (Section 5 of the paper). *)
+
+val upper_cut : Problem.t -> upper:int -> Constr.norm
+(** The knapsack constraint (10): [sum c_j l_j <= upper - 1] over the
+    objective's cost literals, where [upper] is the incumbent cost
+    {e without} the objective offset. *)
+
+val cardinality_inferences : Problem.t -> upper:int -> Constr.norm list
+(** The inferences (11)-(13): for every cardinality constraint
+    [sum_{j in K} l_j >= U] of the problem, any solution pays at least
+    [V] = sum of the [U] smallest literal costs within [K], so
+    [sum_{j not in K} c_j l_j <= upper - 1 - V].  Only constraints with
+    [V > 0] produce a cut. *)

@@ -1,0 +1,190 @@
+open Pbo
+module Core = Engine.Solver_core
+
+let pbs_like = { Options.default with lb_method = Options.Plain; restarts = true }
+
+type verdict =
+  | Exhausted
+  | Out_of_budget
+
+type state = {
+  engine : Core.t;
+  options : Options.t;
+  pb_learning : bool;
+  cutting_planes : bool;
+  offset : int;
+  satisfaction : bool;
+  mutable upper : int;
+  mutable best : (Model.t * int) option;
+  mutable max_learned : int;
+  mutable restart_budget : int;
+  mutable conflicts_since_restart : int;
+  luby : Engine.Luby.t;
+  reduced : (Core.cid, unit) Hashtbl.t;
+  start : float;
+  deadline : float option;
+}
+
+let out_of_budget st =
+  let stats = Core.stats st.engine in
+  (match st.options.conflict_limit with Some l -> stats.conflicts >= l | None -> false)
+  || (match st.deadline with Some d -> Unix.gettimeofday () > d | None -> false)
+
+(* Galena-flavoured learning.  The primary mechanism is cutting-planes
+   conflict resolution: derive a PB resolvent of the conflict and store it
+   (stronger propagation than the 1UIP clause alone).  The cardinality
+   reduction of genuine PB conflict constraints is kept as a cheap
+   complement, memoized per constraint. *)
+let learn_cardinality_reduction st ci =
+  if st.pb_learning && not (Hashtbl.mem st.reduced ci) then begin
+    Hashtbl.replace st.reduced ci ();
+    let c = Core.constr_of st.engine ci in
+    if not (Constr.is_cardinality c) then begin
+      let lits = Constr.fold_lits List.cons c [] in
+      match Constr.cardinality lits (Constr.min_true_count c) with
+      | Constr.Constr card -> ignore (Core.add_constraint_dynamic st.engine card)
+      | Constr.Trivial_true | Constr.Trivial_false -> ()
+    end
+  end
+
+(* Returns the conflict to analyze: the PB resolvent when one was learned
+   (it is violated by construction, hence at least as strong a starting
+   point as the original conflict). *)
+let learn_pb_resolvent st ci =
+  if not st.cutting_planes then ci
+  else begin
+    match Core.derive_pb_resolvent st.engine ci with
+    | None -> ci
+    | Some resolvent ->
+      (match Core.add_constraint_dynamic st.engine resolvent with
+      | Some ci' -> ci'
+      | None ->
+        (* cannot happen: the resolvent is violated under the current
+           assignment *)
+        ci)
+  end
+
+let maybe_reduce_db st =
+  if st.options.reduce_db && Core.num_learned st.engine > st.max_learned then begin
+    Core.reduce_db st.engine;
+    Hashtbl.reset st.reduced;
+    st.max_learned <- st.max_learned + (st.max_learned / 2)
+  end
+
+let maybe_restart st =
+  st.conflicts_since_restart <- st.conflicts_since_restart + 1;
+  if st.options.restarts && st.conflicts_since_restart >= st.restart_budget then begin
+    st.conflicts_since_restart <- 0;
+    st.restart_budget <- Engine.Luby.next st.luby;
+    Core.restart st.engine
+  end
+
+let record_model st =
+  let cost = Core.path_cost st.engine in
+  if st.best = None || cost < st.upper then begin
+    st.upper <- cost;
+    st.best <- Some (Core.model st.engine, cost + st.offset)
+  end
+
+(* Require the next solution to improve on the incumbent: the constraint
+   of eq. (10), which is also PBS's blocking mechanism. *)
+let block_incumbent st =
+  if st.satisfaction then `Stop
+  else begin
+    match Knapsack.upper_cut (Core.problem st.engine) ~upper:st.upper with
+    | Constr.Trivial_false -> `Stop
+    | Constr.Trivial_true ->
+      (* empty objective: any model is optimal *)
+      `Stop
+    | Constr.Constr c ->
+      (match Core.add_constraint_dynamic st.engine c with
+      | None -> `Continue
+      | Some ci ->
+        (match Core.resolve_conflict st.engine ci with
+        | Core.Root_conflict -> `Stop
+        | Core.Backjump _ -> `Continue))
+  end
+
+let rec search st =
+  if out_of_budget st then Out_of_budget
+  else begin
+    match Core.propagate st.engine with
+    | Some ci ->
+      if Core.root_unsat st.engine then Exhausted
+      else begin
+        learn_cardinality_reduction st ci;
+        let ci = learn_pb_resolvent st ci in
+        match Core.resolve_conflict st.engine ci with
+        | Core.Root_conflict -> Exhausted
+        | Core.Backjump _ ->
+          maybe_reduce_db st;
+          maybe_restart st;
+          search st
+      end
+    | None ->
+      if Core.root_unsat st.engine then Exhausted
+      else if Core.all_assigned st.engine then begin
+        record_model st;
+        match block_incumbent st with
+        | `Stop -> Exhausted
+        | `Continue -> search st
+      end
+      else begin
+        match Core.next_branch_var st.engine with
+        | None -> assert false
+        | Some v ->
+          Core.decide st.engine (Lit.make v (Core.phase_hint st.engine v));
+          search st
+      end
+  end
+
+let solve ?(options = pbs_like) ?(pb_learning = false) ?(cutting_planes = false) problem =
+  let start = Unix.gettimeofday () in
+  let engine = Core.create problem in
+  let offset = match Problem.objective problem with None -> 0 | Some o -> o.offset in
+  let st =
+    {
+      engine;
+      options;
+      pb_learning;
+      cutting_planes;
+      offset;
+      satisfaction = Problem.is_satisfaction problem;
+      upper = Problem.max_cost_sum problem + 1;
+      best = None;
+      max_learned = 4000;
+      restart_budget = 100;
+      conflicts_since_restart = 0;
+      luby = Engine.Luby.create ~base:100;
+      reduced = Hashtbl.create 64;
+      start;
+      deadline = Option.map (fun l -> start +. l) options.time_limit;
+    }
+  in
+  let verdict =
+    if Core.root_unsat engine then Exhausted
+    else begin
+      if options.preprocess then ignore (Preprocess.probe engine);
+      if Core.root_unsat engine then Exhausted else search st
+    end
+  in
+  let stats = Core.stats engine in
+  let counters =
+    {
+      Outcome.decisions = stats.decisions;
+      propagations = stats.propagations;
+      conflicts = stats.conflicts;
+      bound_conflicts = stats.bound_conflicts;
+      learned = stats.learned_total;
+      restarts = stats.restarts;
+      lb_calls = 0;
+      nodes = stats.decisions;
+    }
+  in
+  let status =
+    match verdict, st.best with
+    | Exhausted, Some _ -> if st.satisfaction then Outcome.Satisfiable else Outcome.Optimal
+    | Exhausted, None -> Outcome.Unsatisfiable
+    | Out_of_budget, _ -> Outcome.Unknown
+  in
+  { Outcome.status; best = st.best; counters; elapsed = Unix.gettimeofday () -. start }

@@ -1,0 +1,32 @@
+open Pbo
+
+(** SAT-based linear search on the cost function — the strategy of
+    Barth's original algorithm and of the PBS and Galena baselines
+    (Section 3): repeatedly find any solution, then require the next one
+    to cost strictly less, until unsatisfiability proves optimality.
+
+    No lower bounding is performed; pruning comes only from constraint
+    propagation over the accumulated cost cuts.
+
+    [pb_learning] enables the Galena-flavoured strengthening of 2003:
+    when a conflict involves a genuine (non-cardinality) PB constraint,
+    its cardinality reduction [sum l_i >= r] with [r] the minimum number
+    of true literals in any satisfying assignment is learned once per
+    constraint, alongside the regular 1UIP clause.
+
+    [cutting_planes] additionally learns a full cutting-planes PB
+    resolvent at every conflict ({!Engine.Solver_core.derive_pb_resolvent},
+    RoundingSat-style).  This is deliberately *not* part of the Table 1
+    galena configuration: it post-dates the paper and is strong enough to
+    change who wins — see the [extension-cp] benchmark. *)
+
+val solve :
+  ?options:Options.t -> ?pb_learning:bool -> ?cutting_planes:bool -> Problem.t -> Outcome.t
+(** Relevant options: [restarts] (default configuration uses them),
+    [reduce_db], and the limits.  Both learning flags default to
+    [false] (PBS-like); [~pb_learning:true] is the Galena-like
+    configuration. *)
+
+val pbs_like : Options.t
+(** Restarts on, DB reduction on — the baseline configuration used by the
+    benchmark harness. *)

@@ -1,0 +1,48 @@
+type lb_method =
+  | Plain
+  | Mis
+  | Lgr
+  | Lpr
+
+type t = {
+  lb_method : lb_method;
+  bound_conflict_learning : bool;
+  knapsack_cuts : bool;
+  cardinality_inference : bool;
+  lp_guided_branching : bool;
+  preprocess : bool;
+  constraint_strengthening : bool;
+  restarts : bool;
+  lgr_iters : int;
+  lb_every : int;
+  reduce_db : bool;
+  conflict_limit : int option;
+  node_limit : int option;
+  time_limit : float option;
+}
+
+let default =
+  {
+    lb_method = Lpr;
+    bound_conflict_learning = true;
+    knapsack_cuts = true;
+    cardinality_inference = true;
+    lp_guided_branching = true;
+    preprocess = true;
+    constraint_strengthening = true;
+    restarts = false;
+    lgr_iters = 50;
+    lb_every = 1;
+    reduce_db = true;
+    conflict_limit = None;
+    node_limit = None;
+    time_limit = None;
+  }
+
+let with_lb m = { default with lb_method = m }
+
+let lb_method_name = function
+  | Plain -> "plain"
+  | Mis -> "MIS"
+  | Lgr -> "LGR"
+  | Lpr -> "LPR"

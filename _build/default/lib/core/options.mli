@@ -1,0 +1,43 @@
+(** Solver configuration.
+
+    The defaults reproduce the paper's best configuration: LPR lower
+    bounding, non-chronological bound conflicts, knapsack cuts,
+    cardinality inference, LP-guided branching and probing
+    preprocessing. *)
+
+type lb_method =
+  | Plain  (** no lower bound estimation *)
+  | Mis
+  | Lgr
+  | Lpr
+
+type t = {
+  lb_method : lb_method;
+  bound_conflict_learning : bool;
+      (** when false, bound conflicts use the all-decisions explanation,
+          which degenerates to chronological backtracking (ablation A) *)
+  knapsack_cuts : bool;  (** eq. (10) at every new incumbent *)
+  cardinality_inference : bool;  (** eqs. (11)-(13) at every new incumbent *)
+  lp_guided_branching : bool;  (** Section 5 branching rule *)
+  preprocess : bool;  (** failed-literal probing for necessary assignments *)
+  constraint_strengthening : bool;
+      (** probing-based constraint strengthening (Section 6 / {!Strengthen}) *)
+  restarts : bool;  (** Luby restarts (used by the linear-search drivers) *)
+  lgr_iters : int;  (** subgradient iterations per LGR evaluation *)
+  lb_every : int;
+      (** evaluate the lower bound only at every n-th eligible node
+          (default 1 = the paper's every-node policy); sparser evaluation
+          trades pruning for time per decision *)
+  reduce_db : bool;  (** periodic learned-clause deletion *)
+  conflict_limit : int option;
+  node_limit : int option;
+  time_limit : float option;  (** wall-clock seconds *)
+}
+
+val default : t
+(** bsolo with LPR and all techniques on; no limits. *)
+
+val with_lb : lb_method -> t
+(** {!default} with the given lower-bound method. *)
+
+val lb_method_name : lb_method -> string

@@ -1,0 +1,46 @@
+open Pbo
+
+type status =
+  | Optimal
+  | Satisfiable
+  | Unsatisfiable
+  | Unknown
+
+type counters = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  bound_conflicts : int;
+  learned : int;
+  restarts : int;
+  lb_calls : int;
+  nodes : int;
+}
+
+type t = {
+  status : status;
+  best : (Model.t * int) option;
+  counters : counters;
+  elapsed : float;
+}
+
+let status_name = function
+  | Optimal -> "OPTIMAL"
+  | Satisfiable -> "SATISFIABLE"
+  | Unsatisfiable -> "UNSATISFIABLE"
+  | Unknown -> "UNKNOWN"
+
+let best_cost t =
+  match t.best with
+  | None -> None
+  | Some (_, c) -> Some c
+
+let pp ppf t =
+  Format.fprintf ppf "%s" (status_name t.status);
+  (match t.best with
+  | None -> ()
+  | Some (_, c) -> Format.fprintf ppf " cost=%d" c);
+  Format.fprintf ppf
+    " (%.3fs, %d decisions, %d conflicts, %d bound conflicts, %d lb calls)"
+    t.elapsed t.counters.decisions t.counters.conflicts t.counters.bound_conflicts
+    t.counters.lb_calls

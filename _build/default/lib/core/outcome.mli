@@ -1,0 +1,33 @@
+open Pbo
+
+(** Result of a solver run. *)
+
+type status =
+  | Optimal  (** best model proved optimal *)
+  | Satisfiable  (** satisfaction instance solved *)
+  | Unsatisfiable
+  | Unknown  (** a limit was reached *)
+
+type counters = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  bound_conflicts : int;
+  learned : int;
+  restarts : int;
+  lb_calls : int;
+  nodes : int;
+}
+
+type t = {
+  status : status;
+  best : (Model.t * int) option;
+      (** best model found and its total cost (objective offset included);
+          for satisfaction instances the cost is 0 *)
+  counters : counters;
+  elapsed : float;  (** wall-clock seconds *)
+}
+
+val status_name : status -> string
+val best_cost : t -> int option
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+open Pbo
+module Core = Engine.Solver_core
+
+let fix_negation engine l =
+  Core.backjump_to engine 0;
+  match Constr.clause [ Lit.negate l ] with
+  | Constr.Constr c ->
+    (match Core.add_constraint_dynamic engine c with
+    | None ->
+      (match Core.propagate engine with
+      | None -> ()
+      | Some ci ->
+        (* level-0 conflict: the instance is unsatisfiable *)
+        ignore (Core.resolve_conflict engine ci))
+    | Some ci -> ignore (Core.resolve_conflict engine ci))
+  | Constr.Trivial_true | Constr.Trivial_false -> assert false
+
+let probe engine =
+  let found = ref 0 in
+  (match Core.propagate engine with
+  | Some _ -> ()
+  | None ->
+    let nvars = Core.nvars engine in
+    let v = ref 0 in
+    while !v < nvars && not (Core.root_unsat engine) do
+      let try_polarity positive =
+        if Value.equal (Core.value_var engine !v) Value.Unknown && not (Core.root_unsat engine)
+        then begin
+          let l = Lit.make !v positive in
+          Core.decide engine l;
+          match Core.propagate engine with
+          | Some _ ->
+            incr found;
+            fix_negation engine l
+          | None -> Core.backjump_to engine 0
+        end
+      in
+      try_polarity true;
+      try_polarity false;
+      incr v
+    done);
+  !found

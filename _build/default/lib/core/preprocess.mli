@@ -1,0 +1,10 @@
+(** Probing-based preprocessing (Savelsbergh-style, Section 6 of the
+    paper): each literal is tentatively decided and propagated; a conflict
+    proves its negation is a necessary assignment, which is then fixed at
+    decision level 0. *)
+
+val probe : Engine.Solver_core.t -> int
+(** Runs one pass of failed-literal probing over all unassigned variables.
+    Returns the number of necessary assignments found.  The engine is left
+    at decision level 0, propagated to fixpoint; check
+    [Solver_core.root_unsat] afterwards. *)

@@ -1,0 +1,288 @@
+open Pbo
+module Core = Engine.Solver_core
+
+let log_src = Logs.Src.create "bsolo" ~doc:"bsolo search progress"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type search_state = {
+  engine : Core.t;
+  options : Options.t;
+  offset : int;
+  satisfaction : bool;
+  mutable upper : int;  (* incumbent cost, offset excluded *)
+  mutable best : (Model.t * int) option;
+  mutable nodes : int;
+  mutable lb_calls : int;
+  mutable max_learned : int;
+  mutable restart_budget : int;
+  mutable conflicts_since_restart : int;
+  luby : Engine.Luby.t;
+  start : float;
+  deadline : float option;
+  on_incumbent : Model.t -> int -> unit;
+}
+
+(* Search outcome before packaging. *)
+type verdict =
+  | Exhausted  (* search space closed: optimum or unsatisfiability proved *)
+  | Out_of_budget
+
+let lb_compute st =
+  let cap = st.upper - Core.path_cost st.engine in
+  match st.options.lb_method with
+  | Options.Plain -> Lowerbound.Bound.none
+  | Options.Mis -> Lowerbound.Mis.compute st.engine
+  | Options.Lgr -> Lowerbound.Lgr.compute ~iters:st.options.lgr_iters st.engine ~cap
+  | Options.Lpr -> Lowerbound.Lpr.compute st.engine ~cap
+
+let out_of_budget st =
+  let stats = Core.stats st.engine in
+  (match st.options.conflict_limit with Some l -> stats.conflicts >= l | None -> false)
+  || (match st.options.node_limit with Some l -> st.nodes >= l | None -> false)
+  || (match st.deadline with Some d -> Unix.gettimeofday () > d | None -> false)
+
+let maybe_reduce_db st =
+  if st.options.reduce_db && Core.num_learned st.engine > st.max_learned then begin
+    Core.reduce_db st.engine;
+    st.max_learned <- st.max_learned + (st.max_learned / 2)
+  end
+
+let maybe_restart st =
+  st.conflicts_since_restart <- st.conflicts_since_restart + 1;
+  if st.options.restarts && st.conflicts_since_restart >= st.restart_budget then begin
+    st.conflicts_since_restart <- 0;
+    st.restart_budget <- Engine.Luby.next st.luby;
+    Core.restart st.engine
+  end
+
+let record_incumbent st =
+  let cost = Core.path_cost st.engine in
+  if cost < st.upper then begin
+    st.upper <- cost;
+    let m = Core.model st.engine in
+    st.best <- Some (m, cost + st.offset);
+    Log.info (fun k ->
+        k "incumbent %d after %d conflicts (%.2fs)" (cost + st.offset)
+          (Core.stats st.engine).conflicts
+          (Unix.gettimeofday () -. st.start));
+    st.on_incumbent m (cost + st.offset)
+  end
+
+(* Push the knapsack cut (10) and the cardinality-inference cuts (13) for
+   the new upper bound; returns a conflicting cut if any (expected: the
+   knapsack cut is violated by the incumbent assignment itself). *)
+let add_incumbent_cuts st =
+  let problem = Core.problem st.engine in
+  let cuts =
+    (if st.options.knapsack_cuts then [ Knapsack.upper_cut problem ~upper:st.upper ] else [])
+    @
+    if st.options.cardinality_inference then
+      Knapsack.cardinality_inferences problem ~upper:st.upper
+    else []
+  in
+  let add conflict norm =
+    match norm with
+    | Constr.Trivial_true -> conflict
+    | Constr.Trivial_false ->
+      (* no strictly better solution can exist; close the search by
+         learning the empty bound *)
+      Some `Root
+    | Constr.Constr c ->
+      (match conflict, Core.add_constraint_dynamic st.engine ~in_lb:false c with
+      | (Some _ as found), _ -> found
+      | None, Some ci -> Some (`Cid ci)
+      | None, None -> None)
+  in
+  List.fold_left add None cuts
+
+(* A bound conflict (eq. 7) fired: build omega_bc and run conflict
+   analysis on it.  With [bound_conflict_learning] off, the explanation
+   degenerates to the negated decisions, i.e. chronological
+   backtracking. *)
+let handle_bound_conflict st (lower : Lowerbound.Bound.t) =
+  let stats = Core.stats st.engine in
+  stats.bound_conflicts <- stats.bound_conflicts + 1;
+  let omega =
+    if st.options.bound_conflict_learning then begin
+      let omega_pp = List.map Lit.negate (Core.true_cost_lits st.engine) in
+      let omega_pl = Lazy.force lower.omega_pl in
+      List.sort_uniq Lit.compare (List.rev_append omega_pp omega_pl)
+    end
+    else List.map Lit.negate (Core.decisions st.engine)
+  in
+  Core.learn_false_clause st.engine omega
+
+let pick_decision st (lower : Lowerbound.Bound.t) =
+  let hinted =
+    if st.options.lp_guided_branching then
+      match lower.branch_hint with
+      | Some v when Value.equal (Core.value_var st.engine v) Value.Unknown -> Some v
+      | Some _ | None -> None
+    else None
+  in
+  let var = match hinted with Some v -> Some v | None -> Core.next_branch_var st.engine in
+  match var with
+  | None -> None
+  | Some v -> Some (Lit.make v (Core.phase_hint st.engine v))
+
+let rec search st =
+  if out_of_budget st then Out_of_budget
+  else begin
+    match Core.propagate st.engine with
+    | Some ci ->
+      if Core.root_unsat st.engine then Exhausted
+      else begin
+        match Core.resolve_conflict st.engine ci with
+        | Core.Root_conflict -> Exhausted
+        | Core.Backjump _ ->
+          maybe_reduce_db st;
+          maybe_restart st;
+          search st
+        end
+    | None ->
+      if Core.root_unsat st.engine then Exhausted
+      else if Core.all_assigned st.engine then handle_full_assignment st
+      else begin
+        st.nodes <- st.nodes + 1;
+        (* Before any incumbent exists, [upper] is above the worst cost
+           and no bound can prune, so the search dives for a first
+           solution without paying for lower bounds.  [lb_every] thins
+           the evaluations further when configured. *)
+        let lower =
+          if
+            st.satisfaction || st.best = None
+            || (st.options.lb_every > 1 && st.nodes mod st.options.lb_every <> 0)
+          then Lowerbound.Bound.none
+          else begin
+            match st.options.lb_method with
+            | Options.Plain -> Lowerbound.Bound.none
+            | Options.Mis | Options.Lgr | Options.Lpr ->
+              st.lb_calls <- st.lb_calls + 1;
+              lb_compute st
+          end
+        in
+        if (not st.satisfaction) && Core.path_cost st.engine + lower.value >= st.upper then begin
+          match handle_bound_conflict st lower with
+          | Core.Root_conflict -> Exhausted
+          | Core.Backjump _ -> search st
+        end
+        else begin
+          match pick_decision st lower with
+          | None ->
+            (* no unassigned variable: cannot happen, all_assigned is false *)
+            assert false
+          | Some l ->
+            Core.decide st.engine l;
+            search st
+        end
+      end
+  end
+
+and handle_full_assignment st =
+  if st.satisfaction then begin
+    st.best <- Some (Core.model st.engine, 0);
+    Exhausted
+  end
+  else begin
+    record_incumbent st;
+    match add_incumbent_cuts st with
+    | Some `Root -> Exhausted
+    | Some (`Cid ci) ->
+      (match Core.resolve_conflict st.engine ci with
+      | Core.Root_conflict -> Exhausted
+      | Core.Backjump _ -> search st)
+    | None ->
+      (* cuts disabled (or not conflicting): retreat via a bound conflict
+         justified by the path alone *)
+      let omega = List.map Lit.negate (Core.true_cost_lits st.engine) in
+      (match Core.learn_false_clause st.engine omega with
+      | Core.Root_conflict -> Exhausted
+      | Core.Backjump _ -> search st)
+  end
+
+let package st verdict =
+  let stats = Core.stats st.engine in
+  let counters =
+    {
+      Outcome.decisions = stats.decisions;
+      propagations = stats.propagations;
+      conflicts = stats.conflicts;
+      bound_conflicts = stats.bound_conflicts;
+      learned = stats.learned_total;
+      restarts = stats.restarts;
+      lb_calls = st.lb_calls;
+      nodes = st.nodes;
+    }
+  in
+  let status =
+    match verdict, st.best with
+    | Exhausted, Some _ -> if st.satisfaction then Outcome.Satisfiable else Outcome.Optimal
+    | Exhausted, None -> Outcome.Unsatisfiable
+    | Out_of_budget, _ -> Outcome.Unknown
+  in
+  Log.info (fun k ->
+      k "%s: %d decisions, %d conflicts (%d bound), %d lb calls" (Outcome.status_name status)
+        counters.decisions counters.conflicts counters.bound_conflicts counters.lb_calls);
+  {
+    Outcome.status;
+    best = st.best;
+    counters;
+    elapsed = Unix.gettimeofday () -. st.start;
+  }
+
+let solve_with_incumbent_hook ?(options = Options.default) ~on_incumbent problem =
+  let start = Unix.gettimeofday () in
+  let problem =
+    if options.constraint_strengthening then fst (Strengthen.apply problem) else problem
+  in
+  let engine = Core.create problem in
+  let offset = match Problem.objective problem with None -> 0 | Some o -> o.offset in
+  let st =
+    {
+      engine;
+      options;
+      offset;
+      satisfaction = Problem.is_satisfaction problem;
+      upper = Problem.max_cost_sum problem + 1;
+      best = None;
+      nodes = 0;
+      lb_calls = 0;
+      max_learned = 4000;
+      restart_budget = 100;
+      conflicts_since_restart = 0;
+      luby = Engine.Luby.create ~base:100;
+      start;
+      deadline = Option.map (fun l -> start +. l) options.time_limit;
+      on_incumbent;
+    }
+  in
+  if Core.root_unsat engine then package st Exhausted
+  else begin
+    if options.preprocess then ignore (Preprocess.probe engine);
+    if Core.root_unsat engine then package st Exhausted
+    else begin
+      let verdict = search st in
+      package st verdict
+    end
+  end
+
+let solve ?options problem =
+  let on_incumbent _ _ = () in
+  match options with
+  | None -> solve_with_incumbent_hook ~on_incumbent problem
+  | Some options -> solve_with_incumbent_hook ~options ~on_incumbent problem
+
+let solve_under_assumptions ?options ~assumptions problem =
+  let units =
+    List.filter_map
+      (fun l ->
+        match Constr.clause [ l ] with
+        | Constr.Constr c -> Some c
+        | Constr.Trivial_true | Constr.Trivial_false -> None)
+      assumptions
+  in
+  let problem = Problem.with_constraints problem units in
+  match options with
+  | None -> solve problem
+  | Some options -> solve ~options problem

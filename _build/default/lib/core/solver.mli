@@ -1,0 +1,26 @@
+open Pbo
+
+(** bsolo: the paper's hybrid branch-and-bound / SAT-based PBO solver.
+
+    The search is CDCL over PB constraints; at every node whose
+    propagation ends without a conflict, the configured lower-bound
+    procedure estimates [P.lower].  When
+    [P.path + P.lower >= P.upper] (eq. 7), a bound-conflict clause
+    [omega_bc = omega_pp ∪ omega_pl] (eqs. 8, 9) is built and fed to the
+    regular conflict-analysis machinery, yielding non-chronological
+    backtracking.  New incumbents generate the knapsack cut (10) and the
+    cardinality inferences (13). *)
+
+val solve : ?options:Options.t -> Problem.t -> Outcome.t
+
+val solve_with_incumbent_hook :
+  ?options:Options.t -> on_incumbent:(Model.t -> int -> unit) -> Problem.t -> Outcome.t
+(** Like {!solve} but reports every improving solution (model, total cost)
+    as it is found — the anytime behaviour the paper's "ub" columns rely
+    on. *)
+
+val solve_under_assumptions :
+  ?options:Options.t -> assumptions:Lit.t list -> Problem.t -> Outcome.t
+(** Optimum under the extra unit constraints [assumptions] (each assumed
+    literal must be true).  Implemented by constraint addition — no
+    incremental state is kept between calls. *)

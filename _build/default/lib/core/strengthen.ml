@@ -1,0 +1,102 @@
+open Pbo
+module Core = Engine.Solver_core
+
+type report = {
+  strengthened : int;
+  fixed_literals : int;
+}
+
+(* For each problem constraint (store ids 0..m-1 coincide with the
+   problem's constraint order), the best probe found: literal and
+   surplus. *)
+let probe_all problem =
+  let engine = Core.create problem in
+  let m = Array.length (Problem.constraints problem) in
+  let best = Array.make m None in
+  let fixed = ref [] in
+  let vars_of = Array.map (fun c -> Constr.fold_lits (fun l acc -> Lit.var l :: acc) c []) (Problem.constraints problem) in
+  (match Core.propagate engine with
+  | Some _ -> ()
+  | None ->
+    let record_surpluses probe =
+      for ci = 0 to m - 1 do
+        if not (List.mem (Lit.var probe) vars_of.(ci)) then begin
+          let c = Core.constr_of engine ci in
+          let true_weight =
+            Array.fold_left
+              (fun acc { Constr.coeff; lit } ->
+                match Core.value_lit engine lit with
+                | Value.True -> acc + coeff
+                | Value.False | Value.Unknown -> acc)
+              0 (Constr.terms c)
+          in
+          let surplus = true_weight - Constr.degree c in
+          if surplus >= 1 then begin
+            match best.(ci) with
+            | Some (_, s) when s >= surplus -> ()
+            | Some _ | None -> best.(ci) <- Some (probe, surplus)
+          end
+        end
+      done
+    in
+    let nvars = Core.nvars engine in
+    let v = ref 0 in
+    while !v < nvars && not (Core.root_unsat engine) do
+      let try_probe positive =
+        if Value.equal (Core.value_var engine !v) Value.Unknown && not (Core.root_unsat engine)
+        then begin
+          let probe = Lit.make !v positive in
+          Core.decide engine probe;
+          (match Core.propagate engine with
+          | Some _ ->
+            (* failed literal: fix the negation at the root *)
+            Core.backjump_to engine 0;
+            fixed := Lit.negate probe :: !fixed;
+            (match Constr.clause [ Lit.negate probe ] with
+            | Constr.Constr c ->
+              (match Core.add_constraint_dynamic engine c with
+              | None ->
+                (match Core.propagate engine with
+                | None -> ()
+                | Some ci -> ignore (Core.resolve_conflict engine ci))
+              | Some ci -> ignore (Core.resolve_conflict engine ci))
+            | Constr.Trivial_true | Constr.Trivial_false -> ())
+          | None ->
+            record_surpluses probe;
+            Core.backjump_to engine 0)
+        end
+      in
+      try_probe true;
+      try_probe false;
+      incr v
+    done);
+  best, !fixed
+
+let apply problem =
+  if Problem.trivially_unsat problem || Problem.nvars problem = 0 then
+    problem, { strengthened = 0; fixed_literals = 0 }
+  else begin
+    let best, fixed = probe_all problem in
+    let strengthened = ref 0 in
+    let b = Problem.Builder.create ~nvars:(Problem.nvars problem) () in
+    Array.iteri
+      (fun ci c ->
+        let raw =
+          Array.to_list (Array.map (fun t -> t.Constr.coeff, t.Constr.lit) (Constr.terms c))
+        in
+        match best.(ci) with
+        | None -> Problem.Builder.add_norm b (Constr.Constr c)
+        | Some (probe, surplus) ->
+          incr strengthened;
+          Problem.Builder.add_ge b
+            ((surplus, Lit.negate probe) :: raw)
+            (Constr.degree c + surplus))
+      (Problem.constraints problem);
+    List.iter (fun l -> Problem.Builder.add_clause b [ l ]) fixed;
+    (match Problem.objective problem with
+    | None -> ()
+    | Some o ->
+      Problem.Builder.set_objective b ~offset:o.offset
+        (Array.to_list (Array.map (fun (ct : Problem.cost_term) -> ct.cost, ct.lit) o.cost_terms)));
+    Problem.Builder.build b, { strengthened = !strengthened; fixed_literals = List.length fixed }
+  end

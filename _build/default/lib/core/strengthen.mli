@@ -1,0 +1,29 @@
+open Pbo
+
+(** Probing-based constraint strengthening (Savelsbergh; Dixon–Ginsberg),
+    the preprocessing the paper's bsolo is configured with (Section 6).
+
+    For a constraint [sum a_i l_i >= b] and a probe literal [l'] over a
+    variable foreign to it: if propagating [l' = 1] forces true literals
+    of the constraint with total weight [b + s] (surplus [s >= 1]), then
+    every model with [l'] true over-satisfies the constraint, and it can
+    be replaced by the logically equivalent but stronger
+
+      [sum a_i l_i + s ~l' >= b + s]
+
+    (with [l'] true the inflated degree is covered by the forced weight;
+    with [l'] false the new term contributes exactly the inflation).
+    Strengthened constraints propagate earlier and tighten the LP/LGR
+    relaxations.
+
+    Failed probe literals are fixed as unit constraints on the way, like
+    {!Preprocess.probe}. *)
+
+type report = {
+  strengthened : int;  (** constraints replaced by a stronger form *)
+  fixed_literals : int;  (** necessary assignments discovered *)
+}
+
+val apply : Problem.t -> Problem.t * report
+(** Returns an equi-satisfiable (in fact model-equivalent) problem.  The
+    objective is untouched, so optima and their models are preserved. *)

@@ -1,0 +1,1 @@
+lib/engine/solver_core.ml: Array Constr Hashtbl Idheap List Lit Model Option Pbo Printf Problem Value Vec

@@ -1,0 +1,1 @@
+lib/engine/solver_core.mli: Constr Lit Model Pbo Problem Value

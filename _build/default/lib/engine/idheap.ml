@@ -1,0 +1,70 @@
+type t = {
+  heap : int array;  (* heap.(i) = key at heap position i *)
+  pos : int array;  (* pos.(k) = heap position of key k, or -1 *)
+  prio : float array;
+  mutable size : int;
+}
+
+let create n = { heap = Array.make (max n 1) 0; pos = Array.make (max n 1) (-1); prio = Array.make (max n 1) 0.; size = 0 }
+
+let size h = h.size
+let is_empty h = h.size = 0
+let mem h k = h.pos.(k) >= 0
+let priority h k = h.prio.(k)
+
+let swap h i j =
+  let ki = h.heap.(i) and kj = h.heap.(j) in
+  h.heap.(i) <- kj;
+  h.heap.(j) <- ki;
+  h.pos.(kj) <- i;
+  h.pos.(ki) <- j
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.prio.(h.heap.(i)) > h.prio.(h.heap.(parent)) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < h.size && h.prio.(h.heap.(l)) > h.prio.(h.heap.(!best)) then best := l;
+  if r < h.size && h.prio.(h.heap.(r)) > h.prio.(h.heap.(!best)) then best := r;
+  if !best <> i then begin
+    swap h i !best;
+    sift_down h !best
+  end
+
+let insert h k =
+  if not (mem h k) then begin
+    h.heap.(h.size) <- k;
+    h.pos.(k) <- h.size;
+    h.size <- h.size + 1;
+    sift_up h (h.size - 1)
+  end
+
+let pop_max h =
+  if h.size = 0 then raise Not_found;
+  let top = h.heap.(0) in
+  h.size <- h.size - 1;
+  h.pos.(top) <- -1;
+  if h.size > 0 then begin
+    let moved = h.heap.(h.size) in
+    h.heap.(0) <- moved;
+    h.pos.(moved) <- 0;
+    sift_down h 0
+  end;
+  top
+
+let update h k p =
+  let old = h.prio.(k) in
+  h.prio.(k) <- p;
+  if mem h k then if p > old then sift_up h h.pos.(k) else sift_down h h.pos.(k)
+
+let rescale h factor =
+  for k = 0 to Array.length h.prio - 1 do
+    h.prio.(k) <- h.prio.(k) *. factor
+  done

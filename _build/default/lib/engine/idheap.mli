@@ -1,0 +1,26 @@
+(** Binary max-heap over integer keys [0 .. n-1] with external priorities,
+    used for VSIDS variable selection.  Supports priority increase
+    notification and membership testing in O(1). *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty heap over keys [0 .. n-1], all priorities 0. *)
+
+val size : t -> int
+val is_empty : t -> bool
+val mem : t -> int -> bool
+val priority : t -> int -> float
+
+val insert : t -> int -> unit
+(** No-op when already present. *)
+
+val pop_max : t -> int
+(** Raises [Not_found] when empty. *)
+
+val update : t -> int -> float -> unit
+(** [update h k p] sets the priority of [k] to [p], restoring heap order
+    whether or not [k] is currently in the heap. *)
+
+val rescale : t -> float -> unit
+(** Multiplies every priority; preserves order, so O(n). *)

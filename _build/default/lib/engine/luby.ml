@@ -1,0 +1,19 @@
+(* Knuth's formulation: find k with i = 2^k - 1, else recurse on
+   i - 2^(k-1) + 1 where 2^(k-1) <= i < 2^k - 1. *)
+let rec term i =
+  if i < 1 then invalid_arg "Luby.term";
+  let rec pow2 k = if k = 0 then 1 else 2 * pow2 (k - 1) in
+  let rec find k = if pow2 k - 1 >= i then k else find (k + 1) in
+  let k = find 1 in
+  if pow2 k - 1 = i then pow2 (k - 1) else term (i - pow2 (k - 1) + 1)
+
+type t = {
+  base : int;
+  mutable index : int;
+}
+
+let create ~base = { base; index = 0 }
+
+let next t =
+  t.index <- t.index + 1;
+  t.base * term t.index

@@ -1,0 +1,11 @@
+(** The Luby restart sequence 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+
+val term : int -> int
+(** [term i] is the [i]-th element of the sequence, [i >= 1]. *)
+
+type t
+
+val create : base:int -> t
+(** A stateful generator; each {!next} returns [base * term i]. *)
+
+val next : t -> int

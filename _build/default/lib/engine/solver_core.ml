@@ -1,0 +1,923 @@
+open Pbo
+
+type cid = int
+
+type analysis =
+  | Root_conflict
+  | Backjump of {
+      level : int;
+      asserting : Lit.t option;
+    }
+
+type reason =
+  | Decision
+  | Implied of cid
+
+type cstate = {
+  constr : Constr.t;
+  mutable slack : int;  (* sum of coeffs over non-false literals - degree;
+                           not maintained for watched clauses *)
+  learned : bool;
+  in_lb : bool;
+  mutable cactivity : float;
+  watched : bool;  (* clause propagated by two watched literals *)
+  mutable w1 : int;  (* indices into the constraint's term array *)
+  mutable w2 : int;
+}
+
+type stats = {
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable conflicts : int;
+  mutable bound_conflicts : int;
+  mutable learned_total : int;
+  mutable restarts : int;
+  mutable max_trail : int;
+}
+
+type t = {
+  problem : Problem.t;
+  nvars : int;
+  value : Value.t array;  (* per variable *)
+  var_level : int array;
+  var_reason : reason array;
+  var_pos : int array;  (* trail position of the assignment *)
+  trail : Lit.t Vec.t;
+  trail_lim : int Vec.t;  (* trail size at each decision level start *)
+  mutable qhead : int;
+  constrs : cstate Vec.t;
+  occs : (int * int) Vec.t array;  (* per literal index: (cid, coeff) *)
+  watches : int Vec.t array;  (* per literal index: watched-clause cids *)
+  lit_cost : int array;  (* per literal index *)
+  mutable path : int;
+  heap : Idheap.t;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  phase : bool array;
+  seen : bool array;  (* analysis scratch, always cleared afterwards *)
+  mutable unsat : bool;
+  stats : stats;
+}
+
+let dummy_lit = Lit.pos 0
+
+let dummy_cstate =
+  {
+    constr =
+      (match Constr.clause [ dummy_lit ] with
+      | Constr.Constr c -> c
+      | Constr.Trivial_true | Constr.Trivial_false -> assert false);
+    slack = 0;
+    learned = false;
+    in_lb = false;
+    cactivity = 0.;
+    watched = false;
+    w1 = 0;
+    w2 = 0;
+  }
+
+let problem t = t.problem
+let root_unsat t = t.unsat
+let nvars t = t.nvars
+let value_var t v = t.value.(v)
+
+let value_lit t l =
+  let v = t.value.(Lit.var l) in
+  if Lit.is_pos l then v else Value.negate v
+
+let level_of_var t v = t.var_level.(v)
+let decision_level t = Vec.size t.trail_lim
+let num_assigned t = Vec.size t.trail
+let all_assigned t = Vec.size t.trail = t.nvars
+let path_cost t = t.path
+let cost_of_lit t l = t.lit_cost.(Lit.to_index l)
+let stats t = t.stats
+
+let model t =
+  let a = Array.make t.nvars false in
+  for v = 0 to t.nvars - 1 do
+    a.(v) <- (match t.value.(v) with Value.True -> true | Value.False | Value.Unknown -> false)
+  done;
+  Model.of_array a
+
+(* --- assignment & trail -------------------------------------------------- *)
+
+(* Assigning [l] true falsifies [negate l]; every constraint holding the
+   falsified literal loses that coefficient from its slack.  [unassign]
+   mirrors this exactly, so slacks stay consistent across backjumps. *)
+let assign t l reason =
+  let v = Lit.var l in
+  assert (Value.equal t.value.(v) Value.Unknown);
+  t.value.(v) <- Value.of_bool (Lit.is_pos l);
+  t.var_level.(v) <- decision_level t;
+  t.var_reason.(v) <- reason;
+  t.var_pos.(v) <- Vec.size t.trail;
+  t.phase.(v) <- Lit.is_pos l;
+  Vec.push t.trail l;
+  if Vec.size t.trail > t.stats.max_trail then t.stats.max_trail <- Vec.size t.trail;
+  t.path <- t.path + t.lit_cost.(Lit.to_index l);
+  let falsified = Lit.negate l in
+  let weaken (ci, a) =
+    let cs = Vec.get t.constrs ci in
+    cs.slack <- cs.slack - a
+  in
+  Vec.iter weaken t.occs.(Lit.to_index falsified)
+
+let unassign t l =
+  let v = Lit.var l in
+  t.value.(v) <- Value.Unknown;
+  t.path <- t.path - t.lit_cost.(Lit.to_index l);
+  Idheap.insert t.heap v;
+  let falsified = Lit.negate l in
+  let strengthen (ci, a) =
+    let cs = Vec.get t.constrs ci in
+    cs.slack <- cs.slack + a
+  in
+  Vec.iter strengthen t.occs.(Lit.to_index falsified)
+
+let backjump_to t lvl =
+  if lvl < decision_level t then begin
+    let keep = Vec.get t.trail_lim lvl in
+    let rec pop () =
+      if Vec.size t.trail > keep then begin
+        unassign t (Vec.pop t.trail);
+        pop ()
+      end
+    in
+    pop ();
+    Vec.shrink t.trail_lim lvl;
+    t.qhead <- Vec.size t.trail
+  end
+
+let restart t =
+  t.stats.restarts <- t.stats.restarts + 1;
+  backjump_to t 0
+
+let decide t l =
+  t.stats.decisions <- t.stats.decisions + 1;
+  Vec.push t.trail_lim (Vec.size t.trail);
+  assign t l Decision
+
+(* --- propagation --------------------------------------------------------- *)
+
+(* Scan a constraint for implied literals: terms are sorted by decreasing
+   coefficient, so we can stop at the first coefficient <= slack. *)
+let scan_implications t ci =
+  let cs = Vec.get t.constrs ci in
+  let terms = Constr.terms cs.constr in
+  let n = Array.length terms in
+  let rec go i =
+    if i < n then begin
+      let { Constr.coeff; lit } = terms.(i) in
+      if coeff > cs.slack then begin
+        if Value.equal (value_lit t lit) Value.Unknown then begin
+          t.stats.propagations <- t.stats.propagations + 1;
+          assign t lit (Implied ci)
+        end;
+        go (i + 1)
+      end
+    end
+  in
+  go 0
+
+(* Visit the watched clauses of a just-falsified literal [p].  Entries
+   whose watch moves away are compacted out of the list; on conflict the
+   remaining entries are preserved verbatim. *)
+let propagate_watches t p =
+  let plist = t.watches.(Lit.to_index p) in
+  let n = Vec.size plist in
+  let keep = ref 0 in
+  let conflict = ref None in
+  let retain ci =
+    Vec.set plist !keep ci;
+    incr keep
+  in
+  let i = ref 0 in
+  while !i < n do
+    let ci = Vec.get plist !i in
+    incr i;
+    if !conflict <> None then retain ci
+    else begin
+      let cs = Vec.get t.constrs ci in
+      let terms = Constr.terms cs.constr in
+      (* normalize so that w1 is the falsified watch *)
+      if not (Lit.equal terms.(cs.w1).Constr.lit p) then begin
+        let tmp = cs.w1 in
+        cs.w1 <- cs.w2;
+        cs.w2 <- tmp
+      end;
+      let other = terms.(cs.w2).Constr.lit in
+      if Value.equal (value_lit t other) Value.True then retain ci
+      else begin
+        (* look for a non-false replacement watch *)
+        let len = Array.length terms in
+        let found = ref (-1) in
+        let j = ref 0 in
+        while !found < 0 && !j < len do
+          if !j <> cs.w1 && !j <> cs.w2
+             && not (Value.equal (value_lit t terms.(!j).Constr.lit) Value.False)
+          then found := !j;
+          incr j
+        done;
+        match !found with
+        | -1 ->
+          if Value.equal (value_lit t other) Value.False then begin
+            conflict := Some ci;
+            retain ci
+          end
+          else begin
+            t.stats.propagations <- t.stats.propagations + 1;
+            assign t other (Implied ci);
+            retain ci
+          end
+        | r ->
+          cs.w1 <- r;
+          Vec.push t.watches.(Lit.to_index terms.(r).Constr.lit) ci
+      end
+    end
+  done;
+  Vec.shrink plist !keep;
+  !conflict
+
+let propagate t =
+  if t.unsat then Some (-1)
+  else begin
+    let conflict = ref None in
+    while !conflict = None && t.qhead < Vec.size t.trail do
+      let l = Vec.get t.trail t.qhead in
+      t.qhead <- t.qhead + 1;
+      let falsified = Lit.negate l in
+      conflict := propagate_watches t falsified;
+      if !conflict = None then begin
+        let watching = t.occs.(Lit.to_index falsified) in
+        let n = Vec.size watching in
+        let i = ref 0 in
+        while !conflict = None && !i < n do
+          let ci, _ = Vec.get watching !i in
+          incr i;
+          let cs = Vec.get t.constrs ci in
+          if cs.slack < 0 then conflict := Some ci
+          else if cs.slack < Constr.max_coeff cs.constr then scan_implications t ci
+        done
+      end
+    done;
+    !conflict
+  end
+
+(* --- storing constraints -------------------------------------------------- *)
+
+let slack_now t c = Constr.slack_under (value_lit t) c
+
+let attach t ?(learned = false) ?(in_lb = true) c =
+  let ci = Vec.size t.constrs in
+  let cs =
+    {
+      constr = c;
+      slack = slack_now t c;
+      learned;
+      in_lb;
+      cactivity = 0.;
+      watched = false;
+      w1 = 0;
+      w2 = 0;
+    }
+  in
+  Vec.push t.constrs cs;
+  let register { Constr.coeff; lit } = Vec.push t.occs.(Lit.to_index lit) (ci, coeff) in
+  Array.iter register (Constr.terms c);
+  ci
+
+(* Clauses propagated with two watched literals instead of counters: no
+   per-assignment slack updates.  The caller must supply watch positions
+   respecting the invariant: either both watches are non-false, or the
+   false watch was falsified at the level where the other was asserted
+   (so any backjump unassigning one unassigns both). *)
+let attach_watched_clause t ?(learned = false) ?(in_lb = true) c ~w1 ~w2 =
+  assert (Constr.is_clause c && Array.length (Constr.terms c) >= 2 && w1 <> w2);
+  let ci = Vec.size t.constrs in
+  let cs = { constr = c; slack = 0; learned; in_lb; cactivity = 0.; watched = true; w1; w2 } in
+  Vec.push t.constrs cs;
+  let terms = Constr.terms c in
+  Vec.push t.watches.(Lit.to_index terms.(w1).Constr.lit) ci;
+  Vec.push t.watches.(Lit.to_index terms.(w2).Constr.lit) ci;
+  ci
+
+let add_constraint_dynamic t ?(in_lb = false) c =
+  let ci = attach t ~learned:true ~in_lb c in
+  let cs = Vec.get t.constrs ci in
+  if cs.slack < 0 then begin
+    if decision_level t = 0 then t.unsat <- true;
+    Some ci
+  end
+  else begin
+    if cs.slack < Constr.max_coeff c then scan_implications t ci;
+    None
+  end
+
+(* --- activities ----------------------------------------------------------- *)
+
+let var_decay = 1. /. 0.95
+let cla_decay = 1. /. 0.999
+
+let bump_var_activity t v =
+  let a = Idheap.priority t.heap v +. t.var_inc in
+  Idheap.update t.heap v a;
+  if a > 1e100 then begin
+    Idheap.rescale t.heap 1e-100;
+    t.var_inc <- t.var_inc *. 1e-100
+  end
+
+let decay_var_activity t = t.var_inc <- t.var_inc *. var_decay
+
+let bump_cla_activity t ci =
+  let cs = Vec.get t.constrs ci in
+  cs.cactivity <- cs.cactivity +. t.cla_inc;
+  if cs.cactivity > 1e20 then begin
+    Vec.iter (fun c -> c.cactivity <- c.cactivity *. 1e-20) t.constrs;
+    t.cla_inc <- t.cla_inc *. 1e-20
+  end
+
+let decay_cla_activity t = t.cla_inc <- t.cla_inc *. cla_decay
+
+(* --- conflict analysis ----------------------------------------------------- *)
+
+(* A violation certificate for a conflicting constraint: false literals,
+   taken by decreasing coefficient, whose combined weight exceeds
+   [coeff_sum - degree].  With all of them false the constraint cannot be
+   satisfied, so the constraint entails the clause "one of them is true". *)
+let violation_certificate t ci =
+  let cs = Vec.get t.constrs ci in
+  let excess = Constr.coeff_sum cs.constr - Constr.degree cs.constr in
+  let rec pick acc weight terms =
+    match terms with
+    | [] -> acc
+    | { Constr.coeff; lit } :: rest ->
+      if weight > excess then acc
+      else if Value.equal (value_lit t lit) Value.False then pick (lit :: acc) (weight + coeff) rest
+      else pick acc weight rest
+  in
+  pick [] 0 (Array.to_list (Constr.terms cs.constr))
+
+(* Certificate that constraint [ci] implies literal [p]: false literals
+   assigned before [p] on the trail (other than [p]'s own term) whose
+   weight exceeds [coeff_sum - degree - coeff(p)].  Any model of the
+   constraint where all of them are false must set [p] true.  The
+   position restriction keeps first-UIP resolution well-founded: at [p]'s
+   propagation the slack condition held with exactly the literals
+   falsified so far, so enough weight is always available. *)
+let implication_certificate t ci p =
+  let cs = Vec.get t.constrs ci in
+  let p_pos = t.var_pos.(Lit.var p) in
+  let coeff_of_p = ref 0 in
+  let find { Constr.coeff; lit } = if Lit.equal lit p then coeff_of_p := coeff in
+  Array.iter find (Constr.terms cs.constr);
+  let excess = Constr.coeff_sum cs.constr - Constr.degree cs.constr - !coeff_of_p in
+  let usable lit =
+    (not (Lit.equal lit p))
+    && Value.equal (value_lit t lit) Value.False
+    && t.var_pos.(Lit.var lit) < p_pos
+  in
+  let rec pick acc weight terms =
+    match terms with
+    | [] -> acc
+    | { Constr.coeff; lit } :: rest ->
+      if weight > excess then acc
+      else if usable lit then pick (lit :: acc) (weight + coeff) rest
+      else pick acc weight rest
+  in
+  pick [] 0 (Array.to_list (Constr.terms cs.constr))
+
+(* First-UIP analysis over an initial conflict clause whose literals are
+   all false under the current assignment.  Learns the asserting clause,
+   backjumps and asserts the UIP.  The initial clause may lack literals at
+   the current decision level (bound conflicts): we first backjump to the
+   deepest level it mentions. *)
+let analyze_false_clause t lits =
+  t.stats.conflicts <- t.stats.conflicts + 1;
+  decay_var_activity t;
+  decay_cla_activity t;
+  let lits = List.filter (fun l -> t.var_level.(Lit.var l) > 0) lits in
+  let max_level = List.fold_left (fun acc l -> max acc (t.var_level.(Lit.var l))) 0 lits in
+  if max_level = 0 then begin
+    t.unsat <- true;
+    Root_conflict
+  end
+  else begin
+    if max_level < decision_level t then backjump_to t max_level;
+    let dl = decision_level t in
+    let to_clear = ref [] in
+    let learnt = ref [] in
+    let counter = ref 0 in
+    let mark l =
+      let v = Lit.var l in
+      if (not t.seen.(v)) && t.var_level.(v) > 0 then begin
+        t.seen.(v) <- true;
+        to_clear := v :: !to_clear;
+        bump_var_activity t v;
+        if t.var_level.(v) = dl then incr counter else learnt := l :: !learnt
+      end
+    in
+    List.iter mark lits;
+    (* Walk the trail backwards resolving out current-level literals until
+       a single one (the first UIP) remains. *)
+    let trail_idx = ref (Vec.size t.trail - 1) in
+    let uip = ref dummy_lit in
+    let continue = ref true in
+    while !continue do
+      while not t.seen.(Lit.var (Vec.get t.trail !trail_idx)) do
+        decr trail_idx
+      done;
+      let p = Vec.get t.trail !trail_idx in
+      decr trail_idx;
+      t.seen.(Lit.var p) <- false;
+      decr counter;
+      if !counter = 0 then begin
+        uip := p;
+        continue := false
+      end
+      else begin
+        match t.var_reason.(Lit.var p) with
+        | Decision ->
+          (* The decision of the current level is always a UIP, so the
+             counter must reach zero before we ever expand a decision. *)
+          assert false
+        | Implied ci ->
+          bump_cla_activity t ci;
+          List.iter mark (implication_certificate t ci p)
+      end
+    done;
+    (* Local clause minimization: a lower-level literal [l] is redundant
+       when the implication of its (true) negation rests entirely on
+       literals still marked seen (i.e. already in the clause) or fixed at
+       level 0.  Certificates only use literals assigned before [~l], so
+       they can never mention current-level variables whose marks were
+       cleared during the walk. *)
+    let redundant l =
+      match t.var_reason.(Lit.var l) with
+      | Decision -> false
+      | Implied ci ->
+        let covered lit = t.seen.(Lit.var lit) || t.var_level.(Lit.var lit) = 0 in
+        List.for_all covered (implication_certificate t ci (Lit.negate l))
+    in
+    let minimized = List.filter (fun l -> not (redundant l)) !learnt in
+    List.iter (fun v -> t.seen.(v) <- false) !to_clear;
+    let asserting = Lit.negate !uip in
+    let back_level =
+      List.fold_left (fun acc l -> max acc (t.var_level.(Lit.var l))) 0 minimized
+    in
+    let clause = asserting :: minimized in
+    backjump_to t back_level;
+    (match Constr.clause clause with
+    | Constr.Constr c ->
+      t.stats.learned_total <- t.stats.learned_total + 1;
+      let terms = Constr.terms c in
+      let ci =
+        if Array.length terms < 2 then attach t ~learned:true ~in_lb:false c
+        else begin
+          (* watch the asserting literal and a literal of the backjump
+             level: both become unassigned together on any later
+             backjump, preserving the watch invariant *)
+          let find pred =
+            let rec go i = if pred terms.(i).Constr.lit then i else go (i + 1) in
+            go 0
+          in
+          let wa = find (fun l -> Lit.equal l asserting) in
+          let wb =
+            find (fun l ->
+                (not (Lit.equal l asserting)) && t.var_level.(Lit.var l) = back_level)
+          in
+          attach_watched_clause t ~learned:true ~in_lb:false c ~w1:wa ~w2:wb
+        end
+      in
+      bump_cla_activity t ci;
+      assign t asserting (Implied ci)
+    | Constr.Trivial_true | Constr.Trivial_false ->
+      (* A learned clause with distinct variables and degree 1 is always a
+         proper clause. *)
+      assert false);
+    Backjump { level = back_level; asserting = Some asserting }
+  end
+
+let analyze t ci =
+  bump_cla_activity t ci;
+  analyze_false_clause t (violation_certificate t ci)
+
+let learn_false_clause t lits =
+  assert (List.for_all (fun l -> Value.equal (value_lit t l) Value.False) lits);
+  analyze_false_clause t lits
+
+(* --- branching ------------------------------------------------------------ *)
+
+let next_branch_var t =
+  let rec go () =
+    if Idheap.is_empty t.heap then None
+    else begin
+      let v = Idheap.pop_max t.heap in
+      if Value.equal t.value.(v) Value.Unknown then Some v else go ()
+    end
+  in
+  go ()
+
+let phase_hint t v = t.phase.(v)
+let set_default_phase t v b = t.phase.(v) <- b
+
+(* --- lower-bounding view ---------------------------------------------------- *)
+
+type active = {
+  acid : cid;
+  aterms : (int * Lit.t) list;
+  aresidual : int;
+}
+
+let active_of_cstate t ci cs =
+  if not cs.in_lb then None
+  else begin
+    let true_weight = ref 0 in
+    let unassigned = ref [] in
+    let examine { Constr.coeff; lit } =
+      match value_lit t lit with
+      | Value.True -> true_weight := !true_weight + coeff
+      | Value.False -> ()
+      | Value.Unknown -> unassigned := (coeff, lit) :: !unassigned
+    in
+    Array.iter examine (Constr.terms cs.constr);
+    let residual = Constr.degree cs.constr - !true_weight in
+    if residual <= 0 then None else Some { acid = ci; aterms = !unassigned; aresidual = residual }
+  end
+
+let active_constraints t =
+  let collect i acc =
+    match active_of_cstate t i (Vec.get t.constrs i) with
+    | None -> acc
+    | Some a -> a :: acc
+  in
+  let rec go i acc = if i < 0 then acc else go (i - 1) (collect i acc) in
+  go (Vec.size t.constrs - 1) []
+
+let false_lits_of t ci =
+  let cs = Vec.get t.constrs ci in
+  let collect l acc = if Value.equal (value_lit t l) Value.False then l :: acc else acc in
+  Constr.fold_lits collect cs.constr []
+
+let unassigned_cost_terms t =
+  match Problem.objective t.problem with
+  | None -> []
+  | Some o ->
+    let collect acc (ct : Problem.cost_term) =
+      if Value.equal (value_lit t ct.lit) Value.Unknown then (ct.cost, ct.lit) :: acc else acc
+    in
+    Array.fold_left collect [] o.cost_terms
+
+let true_cost_lits t =
+  match Problem.objective t.problem with
+  | None -> []
+  | Some o ->
+    let collect acc (ct : Problem.cost_term) =
+      if Value.equal (value_lit t ct.lit) Value.True then ct.lit :: acc else acc
+    in
+    Array.fold_left collect [] o.cost_terms
+
+(* --- learned-database reduction --------------------------------------------- *)
+
+let num_learned t =
+  Vec.fold (fun acc cs -> if cs.learned then acc + 1 else acc) 0 t.constrs
+
+(* Rebuild the store without the dropped constraints.  Constraint ids
+   change, so reasons on the trail are remapped; locked constraints
+   (reasons of current assignments) are always kept. *)
+let reduce_db t =
+  let n = Vec.size t.constrs in
+  let locked = Array.make n false in
+  let note_reason l =
+    match t.var_reason.(Lit.var l) with
+    | Decision -> ()
+    | Implied ci -> locked.(ci) <- true
+  in
+  Vec.iter note_reason t.trail;
+  let learned_idx = ref [] in
+  let note i cs = if cs.learned && not locked.(i) then learned_idx := i :: !learned_idx in
+  Vec.iteri note t.constrs;
+  let by_activity i j =
+    compare (Vec.get t.constrs i).cactivity (Vec.get t.constrs j).cactivity
+  in
+  let victims = List.sort by_activity !learned_idx in
+  let ndrop = List.length victims / 2 in
+  let dropped = Array.make n false in
+  List.iteri (fun k i -> if k < ndrop then dropped.(i) <- true) victims;
+  let remap = Array.make n (-1) in
+  let kept = Vec.create ~dummy:dummy_cstate () in
+  let keep i cs =
+    if not dropped.(i) then begin
+      remap.(i) <- Vec.size kept;
+      Vec.push kept cs
+    end
+  in
+  Vec.iteri keep t.constrs;
+  Vec.clear t.constrs;
+  Vec.iter (Vec.push t.constrs) kept;
+  Array.iter Vec.clear t.occs;
+  Array.iter Vec.clear t.watches;
+  let register i cs =
+    if cs.watched then begin
+      let terms = Constr.terms cs.constr in
+      Vec.push t.watches.(Lit.to_index terms.(cs.w1).Constr.lit) i;
+      Vec.push t.watches.(Lit.to_index terms.(cs.w2).Constr.lit) i
+    end
+    else begin
+      let add { Constr.coeff; lit } = Vec.push t.occs.(Lit.to_index lit) (i, coeff) in
+      Array.iter add (Constr.terms cs.constr)
+    end
+  in
+  Vec.iteri register t.constrs;
+  for v = 0 to t.nvars - 1 do
+    match t.var_reason.(v) with
+    | Decision -> ()
+    | Implied ci ->
+      if Value.equal t.value.(v) Value.Unknown then t.var_reason.(v) <- Decision
+      else begin
+        assert (remap.(ci) >= 0);
+        t.var_reason.(v) <- Implied remap.(ci)
+      end
+  done
+
+(* --- creation ----------------------------------------------------------------- *)
+
+let create p =
+  let nvars = max (Problem.nvars p) 1 in
+  let t =
+    {
+      problem = p;
+      nvars = Problem.nvars p;
+      value = Array.make nvars Value.Unknown;
+      var_level = Array.make nvars 0;
+      var_reason = Array.make nvars Decision;
+      var_pos = Array.make nvars 0;
+      trail = Vec.create ~dummy:dummy_lit ();
+      trail_lim = Vec.create ~dummy:0 ();
+      qhead = 0;
+      constrs = Vec.create ~dummy:dummy_cstate ();
+      occs = Array.init (2 * nvars) (fun _ -> Vec.create ~dummy:(0, 0) ());
+      watches = Array.init (2 * nvars) (fun _ -> Vec.create ~dummy:0 ());
+      lit_cost = Array.make (2 * nvars) 0;
+      path = 0;
+      heap = Idheap.create nvars;
+      var_inc = 1.;
+      cla_inc = 1.;
+      phase = Array.make nvars false;
+      seen = Array.make nvars false;
+      unsat = Problem.trivially_unsat p;
+      stats =
+        {
+          decisions = 0;
+          propagations = 0;
+          conflicts = 0;
+          bound_conflicts = 0;
+          learned_total = 0;
+          restarts = 0;
+          max_trail = 0;
+        };
+    }
+  in
+  (match Problem.objective p with
+  | None -> ()
+  | Some o ->
+    let install (ct : Problem.cost_term) =
+      t.lit_cost.(Lit.to_index ct.lit) <- ct.cost;
+      (* Prefer the polarity that pays nothing. *)
+      t.phase.(Lit.var ct.lit) <- not (Lit.is_pos ct.lit)
+    in
+    Array.iter install o.cost_terms);
+  for v = 0 to t.nvars - 1 do
+    Idheap.insert t.heap v
+  done;
+  let load c =
+    if Constr.is_clause c && Constr.size c >= 2 then
+      (* nothing is assigned at load time, so any two positions satisfy
+         the watch invariant *)
+      ignore (attach_watched_clause t c ~w1:0 ~w2:1)
+    else begin
+      let ci = attach t c in
+      let cs = Vec.get t.constrs ci in
+      if cs.slack < 0 then t.unsat <- true
+      else if cs.slack < Constr.max_coeff c then scan_implications t ci
+    end
+  in
+  Array.iter load (Problem.constraints p);
+  t
+
+let constr_of t ci = (Vec.get t.constrs ci).constr
+
+let decisions t =
+  List.init (decision_level t) (fun lvl -> Vec.get t.trail (Vec.get t.trail_lim lvl))
+
+let slack_of t ci =
+  let cs = Vec.get t.constrs ci in
+  if cs.watched then Constr.slack_under (value_lit t) cs.constr else cs.slack
+
+let rec resolve_conflict t ci =
+  match analyze t ci with
+  | Root_conflict -> Root_conflict
+  | Backjump _ as b -> if slack_of t ci < 0 then resolve_conflict t ci else b
+
+let iter_constraints t f = Vec.iter (fun cs -> f ~learned:cs.learned cs.constr) t.constrs
+
+(* --- cutting-planes resolution (Galena-style learning) --------------------- *)
+
+(* Working representation of a PB constraint under construction: at most
+   one polarity per variable, positive coefficients, explicit degree. *)
+module Cp = struct
+  type cp = {
+    coeffs : (Lit.t, int) Hashtbl.t;
+    mutable degree : int;
+  }
+
+  let of_constr c =
+    let coeffs = Hashtbl.create 32 in
+    Array.iter (fun { Constr.coeff; lit } -> Hashtbl.replace coeffs lit coeff) (Constr.terms c);
+    { coeffs; degree = Constr.degree c }
+
+  let copy g = { coeffs = Hashtbl.copy g.coeffs; degree = g.degree }
+
+  (* Add [c * l], merging an opposite-polarity occurrence:
+     [c1 l + c2 ~l = min c1 c2 + (c1 - c2) l]. *)
+  let rec add_term g l c =
+    let neg = Lit.negate l in
+    match Hashtbl.find_opt g.coeffs neg with
+    | None ->
+      let cur = Option.value ~default:0 (Hashtbl.find_opt g.coeffs l) in
+      if cur + c = 0 then Hashtbl.remove g.coeffs l else Hashtbl.replace g.coeffs l (cur + c)
+    | Some c2 ->
+      if c2 > c then begin
+        Hashtbl.replace g.coeffs neg (c2 - c);
+        g.degree <- g.degree - c
+      end
+      else begin
+        Hashtbl.remove g.coeffs neg;
+        g.degree <- g.degree - c2;
+        if c2 < c then add_term g l (c - c2)
+      end
+
+  let add_scaled g k c =
+    Array.iter (fun { Constr.coeff; lit } -> add_term g lit (k * coeff)) (Constr.terms c);
+    g.degree <- g.degree + (k * Constr.degree c)
+
+  let add_scaled_clause g k lits =
+    List.iter (fun l -> add_term g l k) lits;
+    g.degree <- g.degree + k
+
+  let saturate g =
+    if g.degree > 0 then
+      Hashtbl.iter
+        (fun l c -> if c > g.degree then Hashtbl.replace g.coeffs l g.degree)
+        (Hashtbl.copy g.coeffs)
+
+  let slack t g =
+    let s = ref (-g.degree) in
+    Hashtbl.iter
+      (fun l c ->
+        match value_lit t l with
+        | Value.False -> ()
+        | Value.True | Value.Unknown -> s := !s + c)
+      g.coeffs;
+    !s
+
+  let size g = Hashtbl.length g.coeffs
+  let coeff_of g l = Option.value ~default:0 (Hashtbl.find_opt g.coeffs l)
+
+  let to_norm g =
+    let raw = Hashtbl.fold (fun l c acc -> (c, l) :: acc) g.coeffs [] in
+    Constr.make_ge raw g.degree
+end
+
+let rec gcd_int a b = if b = 0 then a else gcd_int b (a mod b)
+
+let derive_pb_resolvent t ci =
+  let size_limit = 150 in
+  let degree_limit = 1 lsl 30 in
+  let g = Cp.of_constr (Vec.get t.constrs ci).constr in
+  let give_up = ref false in
+  let dl = decision_level t in
+  let false_at_dl () =
+    Hashtbl.fold
+      (fun l _ acc ->
+        if Value.equal (value_lit t l) Value.False && t.var_level.(Lit.var l) = dl then acc + 1
+        else acc)
+      g.Cp.coeffs 0
+  in
+  let i = ref (Vec.size t.trail - 1) in
+  let continue = ref true in
+  while !continue && not !give_up do
+    if false_at_dl () <= 1 then continue := false
+    else begin
+      (* topmost trail literal whose negation occurs in the resolvent *)
+      while !i >= 0 && Cp.coeff_of g (Lit.negate (Vec.get t.trail !i)) = 0 do
+        decr i
+      done;
+      if !i < 0 then continue := false
+      else begin
+        let p = Vec.get t.trail !i in
+        decr i;
+        match t.var_reason.(Lit.var p) with
+        | Decision -> continue := false
+        | Implied rci ->
+          let r = (Vec.get t.constrs rci).constr in
+          let a = Cp.coeff_of g (Lit.negate p) in
+          let b =
+            Array.fold_left
+              (fun acc { Constr.coeff; lit } -> if Lit.equal lit p then coeff else acc)
+              0 (Constr.terms r)
+          in
+          assert (a > 0 && b > 0);
+          let lam = a / gcd_int a b * b in
+          let candidate = Cp.copy g in
+          let ka = lam / a and kb = lam / b in
+          (* scale the resolvent itself *)
+          if ka > 1 then begin
+            Hashtbl.iter
+              (fun l c -> Hashtbl.replace candidate.Cp.coeffs l (c * ka))
+              (Hashtbl.copy candidate.Cp.coeffs);
+            candidate.Cp.degree <- candidate.Cp.degree * ka
+          end;
+          Cp.add_scaled candidate kb r;
+          Cp.saturate candidate;
+          if Cp.slack t candidate < 0 then begin
+            Hashtbl.reset g.Cp.coeffs;
+            Hashtbl.iter (Hashtbl.replace g.Cp.coeffs) candidate.Cp.coeffs;
+            g.Cp.degree <- candidate.Cp.degree
+          end
+          else begin
+            (* weaken the reason to its certificate clause: adding
+               [a * (p ∨ certificate)] cancels ~p exactly and the clause
+               has slack 0, so the conflict is preserved *)
+            let cert = implication_certificate t rci p in
+            Cp.add_scaled_clause g a (p :: cert);
+            Cp.saturate g
+          end;
+          if Cp.size g > size_limit || g.Cp.degree > degree_limit || g.Cp.degree < 0 then
+            give_up := true
+      end
+    end
+  done;
+  if !give_up then None
+  else begin
+    match Cp.to_norm g with
+    | Constr.Constr c when Constr.slack_under (value_lit t) c < 0 -> Some c
+    | Constr.Constr _ | Constr.Trivial_true -> None
+    | Constr.Trivial_false ->
+      (* the store derives falsum: the instance (under the current learned
+         context) admits no solution; signalling via None keeps the caller
+         on the regular analysis path, which will reach the same verdict *)
+      None
+  end
+
+let check_invariants t =
+  let error = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !error = None then error := Some s) fmt in
+  (* slacks of counter-based constraints *)
+  Vec.iteri
+    (fun ci cs ->
+      if (not cs.watched) && cs.slack <> Constr.slack_under (value_lit t) cs.constr then
+        fail "constraint %d: slack %d, recomputed %d" ci cs.slack
+          (Constr.slack_under (value_lit t) cs.constr))
+    t.constrs;
+  (* watched clauses: if both watches are false the clause must be
+     falsified-or-unit-detectable, i.e. some non-watched literal is
+     non-false, or the clause is genuinely conflicting right now *)
+  Vec.iteri
+    (fun ci cs ->
+      if cs.watched then begin
+        let terms = Constr.terms cs.constr in
+        let v i = value_lit t terms.(i).Constr.lit in
+        let w1 = v cs.w1 and w2 = v cs.w2 in
+        let true_watch = Value.equal w1 Value.True || Value.equal w2 Value.True in
+        let both_nonfalse =
+          (not (Value.equal w1 Value.False)) && not (Value.equal w2 Value.False)
+        in
+        if not (true_watch || both_nonfalse) then begin
+          (* one watch false: the other must be the unit/asserted literal
+             or the clause is currently conflicting (pending analysis) *)
+          let nonfalse =
+            Array.exists
+              (fun tm -> not (Value.equal (value_lit t tm.Constr.lit) Value.False))
+              terms
+          in
+          let conflicting = Constr.slack_under (value_lit t) cs.constr < 0 in
+          if not (nonfalse || conflicting) then fail "watched clause %d: invariant broken" ci
+        end
+      end)
+    t.constrs;
+  (* trail levels are monotone and values consistent *)
+  let last_level = ref 0 in
+  Vec.iter
+    (fun l ->
+      let lvl = t.var_level.(Lit.var l) in
+      if lvl < !last_level then fail "trail levels not monotone";
+      last_level := lvl;
+      if not (Value.equal (value_lit t l) Value.True) then fail "trail literal not true")
+    t.trail;
+  (* path cost *)
+  let expected =
+    Vec.fold (fun acc l -> acc + t.lit_cost.(Lit.to_index l)) 0 t.trail
+  in
+  if expected <> t.path then fail "path cost %d, expected %d" t.path expected;
+  match !error with None -> Ok () | Some e -> Error e

@@ -1,0 +1,191 @@
+open Pbo
+
+(** CDCL-style search engine over pseudo-Boolean constraints.
+
+    The engine owns the assignment trail, slack-based Boolean constraint
+    propagation over PB constraints, first-UIP conflict analysis with
+    clause learning, non-chronological backtracking, VSIDS activities and
+    the learned-constraint database.  Optimization drivers (bsolo, the
+    linear-search baselines, the preprocessor) sit on top of it.
+
+    Propagation rule for a normalized constraint [sum a_i l_i >= d] with
+    slack [s = sum of a_i over non-false l_i - d]: [s < 0] is a conflict,
+    and any unassigned [l_i] with [a_i > s] is implied true. *)
+
+type t
+
+(** Identifier of a stored constraint. *)
+type cid = int
+
+(** Outcome of conflict analysis. *)
+type analysis =
+  | Root_conflict  (** conflict at (or implied at) decision level 0 *)
+  | Backjump of {
+      level : int;  (** level jumped back to *)
+      asserting : Lit.t option;
+          (** literal asserted by the learned clause, when one exists *)
+    }
+
+val create : Problem.t -> t
+(** Loads every problem constraint.  Check {!root_unsat} before searching:
+    it is set when the problem is trivially unsatisfiable. *)
+
+val problem : t -> Problem.t
+val root_unsat : t -> bool
+val nvars : t -> int
+
+(** {1 Assignment state} *)
+
+val value_var : t -> Lit.var -> Value.t
+val value_lit : t -> Lit.t -> Value.t
+val level_of_var : t -> Lit.var -> int
+val decision_level : t -> int
+val num_assigned : t -> int
+val all_assigned : t -> bool
+val model : t -> Model.t
+(** Current assignment as a model; unassigned variables default to false.
+    Meaningful when {!all_assigned} holds. *)
+
+val path_cost : t -> int
+(** Sum of objective costs of literals currently assigned true (the
+    paper's [P.path]); excludes the objective offset. *)
+
+val cost_of_lit : t -> Lit.t -> int
+(** Objective cost attached to a literal ([0] if none). *)
+
+(** {1 Search primitives} *)
+
+val decide : t -> Lit.t -> unit
+(** Opens a new decision level and assigns the literal, which must be
+    unassigned. *)
+
+val propagate : t -> cid option
+(** Runs unit/PB propagation to fixpoint; returns a violated constraint on
+    conflict. *)
+
+val analyze : t -> cid -> analysis
+(** First-UIP analysis of a conflicting constraint: learns a clause,
+    backjumps and asserts its UIP literal. *)
+
+val learn_false_clause : t -> Lit.t list -> analysis
+(** [learn_false_clause s lits] handles an externally discovered conflict
+    clause — every literal in [lits] must currently be false.  Used for
+    the paper's bound conflicts (Section 4) and for incumbent cuts.  The
+    clause is analyzed exactly like a propagation conflict, enabling
+    non-chronological backtracking. *)
+
+val add_constraint_dynamic : t -> ?in_lb:bool -> Constr.t -> cid option
+(** Adds a constraint during search (e.g. the knapsack cut (10) when a new
+    incumbent is found).  Returns [Some cid] when the constraint is
+    conflicting under the current assignment; implied literals are
+    propagated on the next {!propagate}.  [in_lb] (default [false])
+    includes it in the lower-bounding view. *)
+
+val backjump_to : t -> int -> unit
+(** Undo decisions above the given level (for restarts; analysis
+    backjumps internally). *)
+
+val restart : t -> unit
+(** Backjump to level 0. *)
+
+(** {1 Branching support} *)
+
+val next_branch_var : t -> Lit.var option
+(** Unassigned variable of maximal VSIDS activity, or [None] when all are
+    assigned. *)
+
+val phase_hint : t -> Lit.var -> bool
+(** Saved polarity from the last assignment of the variable (initially
+    [false], matching the minimize-costs default). *)
+
+val set_default_phase : t -> Lit.var -> bool -> unit
+val bump_var_activity : t -> Lit.var -> unit
+
+(** {1 Lower-bounding view}
+
+    Residual image of the original problem constraints under the current
+    partial assignment, as consumed by the MIS / LPR / LGR procedures. *)
+
+type active = {
+  acid : cid;
+  aterms : (int * Lit.t) list;  (** unassigned literals with coefficients *)
+  aresidual : int;  (** degree minus weight of already-true literals, > 0 *)
+}
+
+val active_constraints : t -> active list
+(** Lower-bound-eligible constraints not yet satisfied, in residual form.
+    Constraints whose residual is [<= 0] (already satisfied) are
+    omitted. *)
+
+val false_lits_of : t -> cid -> Lit.t list
+(** Literals of the stored constraint currently assigned false — the raw
+    material of the paper's [omega_pl] explanations (eq. 9). *)
+
+val unassigned_cost_terms : t -> (int * Lit.t) list
+(** Objective cost terms whose variable is still unassigned. *)
+
+val true_cost_lits : t -> Lit.t list
+(** Cost-bearing literals currently assigned true: the support of
+    [P.path], i.e. the paper's [omega_pp] before negation (eq. 8). *)
+
+(** {1 Learned-database management} *)
+
+val num_learned : t -> int
+val reduce_db : t -> unit
+(** Removes roughly half of the learned clauses, preferring low activity;
+    locked (reason) and asserting constraints are kept. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable conflicts : int;
+  mutable bound_conflicts : int;
+  mutable learned_total : int;
+  mutable restarts : int;
+  mutable max_trail : int;
+}
+
+val stats : t -> stats
+
+val constr_of : t -> cid -> Constr.t
+(** The stored constraint under an identifier (for explanation builders). *)
+
+val decisions : t -> Lit.t list
+(** Current decision literals, outermost first (for the chronological
+    bound-conflict ablation). *)
+
+val slack_of : t -> cid -> int
+(** Current slack of a stored constraint (negative = violated). *)
+
+val resolve_conflict : t -> cid -> analysis
+(** Like {!analyze}, but re-analyzes while the constraint remains violated
+    after the backjump.  Conflicts detected by {!propagate} on constraints
+    that were present at the previous fixpoint cannot stay violated after
+    one analysis, but dynamically added constraints (knapsack cuts) can:
+    their violation may rest on literals from many decision levels.
+    Drivers should always use this entry point. *)
+
+val iter_constraints : t -> (learned:bool -> Constr.t -> unit) -> unit
+(** Iterates over all stored constraints (problem and learned), e.g. for
+    checking entailment invariants in tests. *)
+
+val derive_pb_resolvent : t -> cid -> Constr.t option
+(** Cutting-planes conflict analysis (Chai–Kuehlmann / Galena style): from
+    a violated constraint, resolve backwards along the trail, cancelling
+    each implied literal against its reason by a scaled cutting-plane
+    addition.  Whenever a PB-with-PB resolvent would lose the conflict
+    (positive slack after normalization), the reason is weakened to its
+    implication-certificate clause, which always preserves violation.
+    Returns a constraint that is entailed by the constraint store and
+    violated under the current assignment — usually strictly stronger
+    than the 1UIP clause — or [None] when the derivation is abandoned
+    (size or coefficient blow-up).  The engine state is not modified. *)
+
+val check_invariants : t -> (unit, string) result
+(** Expensive self-check for tests and debugging: incremental slacks
+    match recomputation, watched clauses have a sound watch pair (a true
+    watch, two non-false watches, or a detectable unit/conflict state),
+    trail levels are monotone, and the path cost matches the assigned
+    cost literals. *)

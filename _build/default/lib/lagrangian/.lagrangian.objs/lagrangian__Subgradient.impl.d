@@ -1,0 +1,1 @@
+lib/lagrangian/subgradient.ml: Array

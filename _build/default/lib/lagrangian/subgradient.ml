@@ -1,0 +1,92 @@
+type row = {
+  coeffs : (int * float) array;
+  rhs : float;
+}
+
+type problem = {
+  nvars : int;
+  costs : float array;
+  rows : row array;
+}
+
+type result = {
+  bound : float;
+  multipliers : float array;
+  alphas : float array;
+  iterations : int;
+}
+
+let alphas_for p mu =
+  let alpha = Array.copy p.costs in
+  Array.iteri
+    (fun i row ->
+      if mu.(i) <> 0. then
+        Array.iter (fun (j, d) -> alpha.(j) <- alpha.(j) -. (mu.(i) *. d)) row.coeffs)
+    p.rows;
+  alpha
+
+(* L(mu) and the inner minimizer x*. *)
+let inner p mu =
+  let alpha = alphas_for p mu in
+  let x = Array.make p.nvars 0. in
+  let value = ref 0. in
+  Array.iteri
+    (fun j a ->
+      if a < 0. then begin
+        x.(j) <- 1.;
+        value := !value +. a
+      end)
+    alpha;
+  Array.iteri (fun i row -> value := !value +. (mu.(i) *. row.rhs)) p.rows;
+  alpha, x, !value
+
+let evaluate p mu =
+  let _, _, v = inner p mu in
+  v
+
+let subgradient p x =
+  Array.map
+    (fun row ->
+      let activity = Array.fold_left (fun acc (j, d) -> acc +. (d *. x.(j))) 0. row.coeffs in
+      row.rhs -. activity)
+    p.rows
+
+let maximize ?(iters = 50) ?(lambda0 = 2.0) ~target p =
+  let m = Array.length p.rows in
+  let mu = Array.make m 0. in
+  let alpha0, _, l0 = inner p mu in
+  let best = ref l0 in
+  let best_mu = ref (Array.copy mu) in
+  let best_alpha = ref alpha0 in
+  let lambda = ref lambda0 in
+  let stall = ref 0 in
+  let k = ref 0 in
+  let continue = ref (m > 0) in
+  while !continue && !k < iters do
+    incr k;
+    let alpha, x, l = inner p mu in
+    if l > !best +. 1e-9 then begin
+      best := l;
+      best_mu := Array.copy mu;
+      best_alpha := alpha;
+      stall := 0
+    end
+    else begin
+      incr stall;
+      if !stall >= 4 then begin
+        lambda := !lambda /. 2.;
+        stall := 0
+      end
+    end;
+    let g = subgradient p x in
+    let gnorm2 = Array.fold_left (fun acc gi -> acc +. (gi *. gi)) 0. g in
+    if gnorm2 <= 1e-12 || !lambda < 1e-6 then continue := false
+    else begin
+      let gap = max (target -. l) 1. in
+      let theta = !lambda *. gap /. gnorm2 in
+      for i = 0 to m - 1 do
+        mu.(i) <- max 0. (mu.(i) +. (theta *. g.(i)))
+      done
+    end
+  done;
+  { bound = !best; multipliers = !best_mu; alphas = !best_alpha; iterations = !k }

@@ -1,0 +1,43 @@
+(** Subgradient ascent on the Lagrangian dual of a 0-1 covering problem
+    (the paper's Section 3.2, following Ahuja–Magnanti–Orlin).
+
+    For the relaxation of
+
+      min c x   s.t.  row_i : d_i x >= e_i,   x in [0,1]^n
+
+    we use L(mu) = min_x { c x + sum_i mu_i (e_i - d_i x) }, mu >= 0, whose
+    inner minimum is separable: with alpha_j = c_j - sum_i mu_i d_ij, set
+    x_j = 1 iff alpha_j < 0.  (The paper's eq. (4)/(6) prints the penalty
+    with the opposite sign, which is not a lower bound for >= rows; see
+    DESIGN.md.)  Every L(mu) with mu >= 0 is a valid lower bound on the
+    integer optimum, so the best value seen during ascent can be used
+    even when convergence is slow — the behaviour the paper reports. *)
+
+type row = {
+  coeffs : (int * float) array;  (** variable index, signed coefficient *)
+  rhs : float;
+}
+
+type problem = {
+  nvars : int;
+  costs : float array;  (** length [nvars], arbitrary sign *)
+  rows : row array;
+}
+
+type result = {
+  bound : float;  (** best L(mu) encountered *)
+  multipliers : float array;  (** mu achieving [bound] *)
+  alphas : float array;  (** reduced costs alpha_j at [bound] *)
+  iterations : int;
+}
+
+val evaluate : problem -> float array -> float
+(** [evaluate p mu] is L(mu). *)
+
+val maximize : ?iters:int -> ?lambda0:float -> target:float -> problem -> result
+(** Polyak-style ascent: step length [lambda * (target - L) / ||g||^2]
+    where [g_i = e_i - d_i x*] is the subgradient; [lambda] halves after
+    a few non-improving iterations.  [target] is the value the caller
+    hopes to prove (e.g. the current upper bound); it only scales steps,
+    never the validity of the result.  Defaults: [iters = 50],
+    [lambda0 = 2.0]. *)

@@ -1,0 +1,1 @@
+lib/lowerbound/bound.ml: Lazy Lit Pbo

@@ -1,0 +1,1 @@
+lib/lowerbound/bound.mli: Lazy Lit Pbo

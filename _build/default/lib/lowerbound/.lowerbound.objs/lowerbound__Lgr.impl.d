@@ -1,0 +1,1 @@
+lib/lowerbound/lgr.ml: Array Bound Constr Engine Hashtbl Lagrangian List Lit Pbo Residual Value

@@ -1,0 +1,1 @@
+lib/lowerbound/lgr.mli: Bound Engine

@@ -1,0 +1,1 @@
+lib/lowerbound/lpr.ml: Array Bound Engine List Lit Pbo Residual Simplex

@@ -1,0 +1,1 @@
+lib/lowerbound/lpr.mli: Bound Engine

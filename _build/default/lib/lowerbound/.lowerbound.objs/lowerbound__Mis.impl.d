@@ -1,0 +1,1 @@
+lib/lowerbound/mis.ml: Bound Engine Hashtbl List Lit Pbo

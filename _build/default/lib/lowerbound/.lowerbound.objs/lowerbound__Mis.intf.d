@@ -1,0 +1,1 @@
+lib/lowerbound/mis.mli: Bound Engine

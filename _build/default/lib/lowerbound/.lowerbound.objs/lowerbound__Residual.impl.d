@@ -1,0 +1,1 @@
+lib/lowerbound/residual.ml: Array Engine Hashtbl List Lit Pbo

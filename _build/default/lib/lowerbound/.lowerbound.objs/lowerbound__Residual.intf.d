@@ -1,0 +1,1 @@
+lib/lowerbound/residual.mli: Engine Lit Pbo

@@ -1,0 +1,13 @@
+open Pbo
+
+type t = {
+  value : int;
+  omega_pl : Lit.t list Lazy.t;
+  branch_hint : Lit.var option;
+}
+
+let none = { value = 0; omega_pl = lazy []; branch_hint = None }
+
+let trusted_value v =
+  let c = int_of_float (ceil (v -. 1e-6)) in
+  max c 0

@@ -1,0 +1,25 @@
+open Pbo
+
+(** Result of a lower-bound evaluation at a search node. *)
+
+type t = {
+  value : int;
+      (** lower bound on the cost of satisfying the not-yet-satisfied
+          constraints (the paper's [P.lower]); always [>= 0].  The node
+          prunes when [path + value >= upper]. *)
+  omega_pl : Lit.t list Lazy.t;
+      (** explanation of [value]: currently-false literals such that any
+          assignment beating the bound must flip one of them (eq. 9 and
+          Section 4.3).  Forced only when a bound conflict actually
+          fires. *)
+  branch_hint : Lit.var option;
+      (** LP-guided branching suggestion: unassigned variable whose LP
+          relaxation value is fractional and closest to 0.5 (Section 5). *)
+}
+
+val none : t
+(** The trivial bound: 0, empty explanation, no hint. *)
+
+val trusted_value : float -> int
+(** Round a float relaxation optimum to a usable integer lower bound:
+    [ceil (v - 1e-6)], clamped to be non-negative. *)

@@ -1,0 +1,17 @@
+(** Lower bounding by Lagrangian relaxation (Section 3.2) with the
+    bound-conflict explanation of Section 4.3.
+
+    The residual constraints are dualized with multipliers optimized by
+    the {!Lagrangian.Subgradient} substrate.  Every evaluation of L(mu)
+    with mu >= 0 is a valid bound, so slow convergence degrades tightness
+    but never soundness.
+
+    The explanation takes the false literals of constraints with non-zero
+    multiplier, filtered by the reduced costs alpha_j: a variable assigned
+    0 with alpha_j > 0 (or assigned 1 with alpha_j < 0) would only
+    increase the bound if flipped, so its assignment is not responsible
+    for the conflict and is dropped from [omega_pl]. *)
+
+val compute : ?iters:int -> Engine.Solver_core.t -> cap:int -> Bound.t
+(** [iters] bounds the subgradient iterations (default 50); [cap] scales
+    the Polyak step targets (the bound the search is trying to prove). *)

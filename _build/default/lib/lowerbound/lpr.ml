@@ -1,0 +1,63 @@
+open Pbo
+module Core = Engine.Solver_core
+
+let omega_of_cids engine cids =
+  List.sort_uniq Lit.compare (List.concat_map (Core.false_lits_of engine) cids)
+
+let fractional_hint (res : Residual.t) x =
+  let best = ref None in
+  let consider col v =
+    let frac = abs_float (v -. 0.5) in
+    if v > 1e-6 && v < 1. -. 1e-6 then begin
+      match !best with
+      | Some (f, _) when f <= frac -> ()
+      | Some _ | None -> best := Some (frac, res.cols.(col))
+    end
+  in
+  Array.iteri consider x;
+  match !best with
+  | None -> None
+  | Some (_, v) -> Some v
+
+let compute engine ~cap =
+  let res = Residual.extract engine in
+  if Array.length res.rows = 0 then Bound.none
+  else begin
+    let rows =
+      Array.map
+        (fun (r : Residual.row) ->
+          { Simplex.coeffs = Array.to_list r.coeffs; rel = Simplex.Ge; rhs = r.rhs })
+        res.rows
+    in
+    let lp =
+      {
+        Simplex.ncols = res.ncols;
+        lower = Array.make res.ncols 0.;
+        upper = Array.make res.ncols 1.;
+        objective = res.obj;
+        rows;
+      }
+    in
+    match Simplex.solve lp with
+    | Simplex.Optimal sol ->
+      let value = Bound.trusted_value (sol.value +. res.obj_offset) in
+      let tight =
+        List.filteri
+          (fun i _ -> sol.row_activity.(i) <= res.rows.(i).rhs +. 1e-6)
+          (Array.to_list res.rows)
+      in
+      let cids = List.map (fun (r : Residual.row) -> r.cid) tight in
+      {
+        Bound.value;
+        omega_pl = lazy (omega_of_cids engine cids);
+        branch_hint = fractional_hint res sol.x;
+      }
+    | Simplex.Infeasible witness ->
+      let cids =
+        match witness with
+        | [] -> Array.to_list (Array.map (fun (r : Residual.row) -> r.cid) res.rows)
+        | idx -> List.map (fun i -> res.rows.(i).cid) idx
+      in
+      { Bound.value = cap; omega_pl = lazy (omega_of_cids engine cids); branch_hint = None }
+    | Simplex.Unbounded | Simplex.Iteration_limit -> Bound.none
+  end

@@ -1,0 +1,14 @@
+(** Lower bounding by linear-programming relaxation (Section 3.1) with
+    the bound-conflict explanation of Section 4.2 and the LP-guided
+    branching hint of Section 5.
+
+    The residual problem is relaxed to [0 <= x <= 1] and solved with the
+    {!Simplex} substrate.  [ceil] of the LP optimum (plus the residual
+    objective offset) lower-bounds the cost of any completion.  The
+    explanation is built from the rows that are tight at the LP optimum
+    (rows with zero surplus); when the LP is infeasible, from the rows of
+    the phase-1 infeasibility witness, and the bound is [cap]. *)
+
+val compute : Engine.Solver_core.t -> cap:int -> Bound.t
+(** [cap] is the value reported when the relaxation is infeasible; pass
+    at least [upper - path] so the node prunes. *)

@@ -1,0 +1,15 @@
+(** Lower bounding by a greedy maximum independent set of constraints
+    (Section 3 of the paper; the classic procedure of Coudert and of
+    Manquinho–Silva for binate covering).
+
+    Constraints sharing no unassigned variable have additive minimum
+    satisfaction costs.  Each selected constraint contributes the optimum
+    of its own single-constraint LP relaxation — the fractional
+    knapsack-cover bound: take unassigned literals by increasing
+    cost/weight ratio until the residual degree is reached, the last one
+    fractionally.
+
+    The explanation [omega_pl] is the set of currently-false literals of
+    the selected constraints. *)
+
+val compute : Engine.Solver_core.t -> Bound.t

@@ -1,0 +1,73 @@
+open Pbo
+module Core = Engine.Solver_core
+
+type row = {
+  cid : Core.cid;
+  coeffs : (int * float) array;
+  rhs : float;
+}
+
+type t = {
+  cols : Lit.var array;
+  ncols : int;
+  obj : float array;
+  obj_offset : float;
+  rows : row array;
+}
+
+let extract engine =
+  let actives = Core.active_constraints engine in
+  let col_tbl = Hashtbl.create 64 in
+  let cols = ref [] in
+  let ncols = ref 0 in
+  let col_of v =
+    match Hashtbl.find_opt col_tbl v with
+    | Some c -> c
+    | None ->
+      let c = !ncols in
+      Hashtbl.add col_tbl v c;
+      cols := v :: !cols;
+      incr ncols;
+      c
+  in
+  (* [a * x = a * x] and [a * ~x = a - a * x]. *)
+  let signed_term (a, l) =
+    let c = col_of (Lit.var l) in
+    if Lit.is_pos l then (c, float_of_int a), 0. else (c, -.float_of_int a), float_of_int a
+  in
+  let row_of (a : Core.active) =
+    let rhs = ref (float_of_int a.aresidual) in
+    let coeffs =
+      List.map
+        (fun term ->
+          let signed, shift = signed_term term in
+          rhs := !rhs -. shift;
+          signed)
+        a.aterms
+    in
+    { cid = a.acid; coeffs = Array.of_list coeffs; rhs = !rhs }
+  in
+  let rows = Array.of_list (List.map row_of actives) in
+  let obj = Array.make (max !ncols 1) 0. in
+  let obj_offset = ref 0. in
+  let add_cost (c, l) =
+    match Hashtbl.find_opt col_tbl (Lit.var l) with
+    | None ->
+      (* variable free of active constraints: its minimum contribution is
+         0, achieved by the costless polarity *)
+      ()
+    | Some col ->
+      if Lit.is_pos l then obj.(col) <- obj.(col) +. float_of_int c
+      else begin
+        (* c * ~x = c - c * x *)
+        obj.(col) <- obj.(col) -. float_of_int c;
+        obj_offset := !obj_offset +. float_of_int c
+      end
+  in
+  List.iter add_cost (Core.unassigned_cost_terms engine);
+  let cols = Array.of_list (List.rev !cols) in
+  { cols; ncols = !ncols; obj; obj_offset = !obj_offset; rows }
+
+let col_of_var t v =
+  let rec find i = if i >= Array.length t.cols then None else if t.cols.(i) = v then Some i else find (i + 1) in
+  find 0

@@ -1,0 +1,27 @@
+open Pbo
+
+(** The residual problem at a search node: the still-unsatisfied
+    lower-bound-eligible constraints restricted to unassigned variables,
+    in signed variable form ([~x] rewritten as [1 - x]), together with the
+    residual objective.  Shared by the LPR and LGR procedures. *)
+
+type row = {
+  cid : Engine.Solver_core.cid;  (** constraint this row came from *)
+  coeffs : (int * float) array;  (** dense column, signed coefficient *)
+  rhs : float;
+}
+
+type t = {
+  cols : Lit.var array;  (** dense column -> problem variable *)
+  ncols : int;
+  obj : float array;  (** signed objective coefficient per column *)
+  obj_offset : float;
+      (** constant such that residual cost = obj . x + obj_offset for
+          columns' variables, all other unassigned cost variables taking
+          their free polarity *)
+  rows : row array;
+}
+
+val extract : Engine.Solver_core.t -> t
+
+val col_of_var : t -> Lit.var -> int option

@@ -1,0 +1,1 @@
+lib/maxsat/wbo.ml: Array Bsolo Constr List Lit Model Opb Pbo Printf Problem String

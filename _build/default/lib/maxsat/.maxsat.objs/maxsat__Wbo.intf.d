@@ -1,0 +1,1 @@
+lib/maxsat/wbo.mli: Bsolo Constr Lit Model Pbo Problem

@@ -1,0 +1,1 @@
+lib/maxsat/wpm.ml: Array Bsolo List Lit Model Pbo Printf Problem String

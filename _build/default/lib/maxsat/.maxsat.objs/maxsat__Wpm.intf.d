@@ -1,0 +1,1 @@
+lib/maxsat/wpm.mli: Bsolo Lit Model Pbo Problem

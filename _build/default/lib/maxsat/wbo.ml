@@ -1,0 +1,184 @@
+open Pbo
+
+type raw_constraint = (int * Lit.t) list * Constr.relation * int
+
+type t = {
+  nvars : int;
+  hard : raw_constraint list;
+  (* a soft entry is a *group* of >=-forms that must all hold to avoid
+     paying the weight (an Eq constraint normalizes to two) *)
+  soft : (int * raw_constraint list) list;
+  top : int option;
+}
+
+let max_var_of (terms, _, _) =
+  List.fold_left (fun acc (_, l) -> max acc (Lit.var l)) (-1) terms
+
+let make_grouped ~nvars ~hard ~soft ?top () =
+  List.iter (fun (w, _) -> if w <= 0 then invalid_arg "Wbo.make: non-positive weight") soft;
+  (match top with
+  | Some k when k <= 0 -> invalid_arg "Wbo.make: non-positive top"
+  | Some _ | None -> ());
+  let m =
+    List.fold_left
+      (fun acc c -> max acc (max_var_of c))
+      (List.fold_left
+         (fun acc (_, group) -> List.fold_left (fun acc c -> max acc (max_var_of c)) acc group)
+         (-1) soft)
+      hard
+  in
+  { nvars = max nvars (m + 1); hard; soft; top }
+
+let make ~nvars ~hard ~soft ?top () =
+  make_grouped ~nvars ~hard ~soft:(List.map (fun (w, c) -> w, [ c ]) soft) ?top ()
+
+let nvars t = t.nvars
+
+exception Parse_error of string
+
+(* The format is OPB plus "soft: K ;" and "[W] <constraint>" lines; we
+   reuse the OPB tokenizer indirectly by string surgery per line, which
+   keeps this reader simple and the OPB module untouched. *)
+let parse_lines lines =
+  let hard = ref [] in
+  let soft = ref [] in
+  let top = ref None in
+  let parse_constraint lineno text =
+    (* parse a single OPB constraint via the OPB reader *)
+    match Opb.parse_string (text ^ "\n") with
+    | p ->
+      (match Array.to_list (Problem.constraints p) with
+      | [] -> raise (Parse_error (Printf.sprintf "line %d: empty constraint" lineno))
+      | cs ->
+        (* re-express the normalized constraints in raw form *)
+        List.map
+          (fun c ->
+            ( Array.to_list
+                (Array.map (fun tm -> tm.Constr.coeff, tm.Constr.lit) (Constr.terms c)),
+              Constr.Ge,
+              Constr.degree c ))
+          cs)
+    | exception Opb.Parse_error msg -> raise (Parse_error msg)
+  in
+  let feed lineno line =
+    let trimmed = String.trim line in
+    if trimmed = "" || trimmed.[0] = '*' then ()
+    else if String.length trimmed >= 5 && String.sub trimmed 0 5 = "soft:" then begin
+      let rest = String.trim (String.sub trimmed 5 (String.length trimmed - 5)) in
+      let rest =
+        if String.length rest > 0 && rest.[String.length rest - 1] = ';' then
+          String.trim (String.sub rest 0 (String.length rest - 1))
+        else rest
+      in
+      match int_of_string_opt rest with
+      | Some k when k > 0 -> top := Some k
+      | Some _ | None ->
+        raise (Parse_error (Printf.sprintf "line %d: bad soft: cost" lineno))
+    end
+    else if trimmed.[0] = '[' then begin
+      match String.index_opt trimmed ']' with
+      | None -> raise (Parse_error (Printf.sprintf "line %d: unterminated weight" lineno))
+      | Some stop ->
+        let w = String.trim (String.sub trimmed 1 (stop - 1)) in
+        (match int_of_string_opt w with
+        | Some w when w > 0 ->
+          let body = String.sub trimmed (stop + 1) (String.length trimmed - stop - 1) in
+          soft := (w, parse_constraint lineno body) :: !soft
+        | Some _ | None ->
+          raise (Parse_error (Printf.sprintf "line %d: bad soft weight" lineno)))
+    end
+    else List.iter (fun c -> hard := c :: !hard) (parse_constraint lineno trimmed)
+  in
+  List.iteri (fun i line -> feed (i + 1) line) lines;
+  let top = !top in
+  make_grouped ~nvars:0 ~hard:(List.rev !hard) ~soft:(List.rev !soft) ?top ()
+
+let parse_string s = parse_lines (String.split_on_char '\n' s)
+
+let parse_file path =
+  let ic = open_in path in
+  let rec read acc =
+    match input_line ic with
+    | line -> read (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let lines = read [] in
+  close_in ic;
+  parse_lines lines
+
+(* Lift a soft constraint with relaxation literal [r]: for a >=-form
+   constraint of degree d, [+d r] makes it vacuous when r holds.  Le and
+   Eq are first normalized to >=-forms. *)
+let to_problem t =
+  let b = Problem.Builder.create ~nvars:t.nvars () in
+  List.iter (fun (terms, rel, rhs) ->
+      match rel with
+      | Constr.Ge -> Problem.Builder.add_ge b terms rhs
+      | Constr.Le -> Problem.Builder.add_le b terms rhs
+      | Constr.Eq -> Problem.Builder.add_eq b terms rhs)
+    t.hard;
+  let costs = ref [] in
+  let relax_terms = ref [] in
+  List.iter
+    (fun (w, group) ->
+      let r = Lit.pos (Problem.Builder.fresh_var b) in
+      costs := (w, r) :: !costs;
+      relax_terms := (w, r) :: !relax_terms;
+      let lift (terms, rel, rhs) =
+        List.iter
+          (fun norm ->
+            match norm with
+            | Constr.Trivial_true -> ()
+            | Constr.Trivial_false ->
+              (* unsatisfiable soft constraint: r must be paid *)
+              Problem.Builder.add_clause b [ r ]
+            | Constr.Constr c ->
+              let raw =
+                Array.to_list
+                  (Array.map (fun tm -> tm.Constr.coeff, tm.Constr.lit) (Constr.terms c))
+              in
+              Problem.Builder.add_ge b ((Constr.degree c, r) :: raw) (Constr.degree c))
+          (Constr.of_relation terms rel rhs)
+      in
+      List.iter lift group)
+    t.soft;
+  (match t.top with
+  | None -> ()
+  | Some k -> Problem.Builder.add_le b !relax_terms (k - 1));
+  Problem.Builder.set_objective b !costs;
+  Problem.Builder.build b
+
+let raw_satisfied m (terms, rel, rhs) =
+  let v = List.fold_left (fun acc (c, l) -> if Model.lit_true m l then acc + c else acc) 0 terms in
+  match rel with
+  | Constr.Ge -> v >= rhs
+  | Constr.Le -> v <= rhs
+  | Constr.Eq -> v = rhs
+
+let violation t m =
+  List.fold_left
+    (fun acc (w, group) -> if List.for_all (raw_satisfied m) group then acc else acc + w)
+    0 t.soft
+
+type result =
+  | Unsatisfiable
+  | Optimum of {
+      model : Model.t;
+      violation : int;
+    }
+  | Unknown_result
+
+let solve ?options t =
+  let problem = to_problem t in
+  let outcome =
+    match options with
+    | None -> Bsolo.Solver.solve problem
+    | Some options -> Bsolo.Solver.solve ~options problem
+  in
+  match outcome.status, outcome.best with
+  | Bsolo.Outcome.Unsatisfiable, _ -> Unsatisfiable
+  | (Bsolo.Outcome.Optimal | Bsolo.Outcome.Satisfiable), Some (m, _) ->
+    let original = Model.of_array (Array.sub (Model.to_array m) 0 t.nvars) in
+    Optimum { model = original; violation = violation t original }
+  | (Bsolo.Outcome.Optimal | Bsolo.Outcome.Satisfiable), None | Bsolo.Outcome.Unknown, _ ->
+    Unknown_result

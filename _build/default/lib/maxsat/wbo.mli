@@ -1,0 +1,49 @@
+open Pbo
+
+(** Weighted Boolean Optimization (the PB-competition WBO format): PB
+    constraints may be soft, each with a violation weight; an optional
+    top cost bounds the admissible total violation.
+
+    {v
+    * #variable= 3 #constraint= 2 #soft= 1 mincost= 2 maxcost= 2 sumcost= 2
+    soft: 5 ;
+    [2] +1 x1 +1 x2 >= 2 ;
+    +1 x3 >= 1 ;
+    v}
+
+    Each soft constraint gets a relaxation variable [r] lifted into the
+    constraint as [+d r] (making it vacuous when [r] holds) with
+    objective weight on [r]. *)
+
+type t
+
+val make :
+  nvars:int ->
+  hard:((int * Lit.t) list * Constr.relation * int) list ->
+  soft:(int * ((int * Lit.t) list * Constr.relation * int)) list ->
+  ?top:int ->
+  unit ->
+  t
+(** Weights must be positive; [top], when given, requires total violation
+    weight strictly below it. *)
+
+val nvars : t -> int
+
+exception Parse_error of string
+
+val parse_string : string -> t
+val parse_file : string -> t
+
+val to_problem : t -> Problem.t
+
+type result =
+  | Unsatisfiable
+  | Optimum of {
+      model : Model.t;  (** over the original variables *)
+      violation : int;  (** total weight of violated soft constraints *)
+    }
+  | Unknown_result
+
+val solve : ?options:Bsolo.Options.t -> t -> result
+
+val violation : t -> Model.t -> int

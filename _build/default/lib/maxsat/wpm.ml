@@ -1,0 +1,140 @@
+open Pbo
+
+type t = {
+  nvars : int;
+  hard : Lit.t list list;
+  soft : (int * Lit.t list) list;
+}
+
+let make ~nvars ~hard ~soft =
+  let check_clause c = if c = [] then invalid_arg "Wpm.make: empty clause" in
+  List.iter check_clause hard;
+  List.iter
+    (fun (w, c) ->
+      if w <= 0 then invalid_arg "Wpm.make: non-positive weight";
+      check_clause c)
+    soft;
+  let max_var =
+    let of_clause = List.fold_left (fun acc l -> max acc (Lit.var l)) in
+    let h = List.fold_left of_clause (-1) hard in
+    List.fold_left (fun acc (_, c) -> of_clause acc c) h soft
+  in
+  { nvars = max nvars (max_var + 1); hard; soft }
+
+let nvars t = t.nvars
+
+exception Parse_error of string
+
+let parse_wcnf_lines lines =
+  let top = ref max_int in
+  let declared_vars = ref 0 in
+  let hard = ref [] in
+  let soft = ref [] in
+  let feed lineno line =
+    let line = String.trim line in
+    if line = "" || line.[0] = 'c' then ()
+    else if line.[0] = 'p' then begin
+      match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+      | [ "p"; "wcnf"; nv; _nc; t ] ->
+        (match int_of_string_opt nv, int_of_string_opt t with
+        | Some n, Some tp when n >= 0 && tp > 0 ->
+          declared_vars := n;
+          top := tp
+        | _, _ -> raise (Parse_error (Printf.sprintf "line %d: bad header" lineno)))
+      | [ "p"; "wcnf"; nv; _nc ] ->
+        (* unweighted-top variant: all clauses soft with the given weight *)
+        (match int_of_string_opt nv with
+        | Some n when n >= 0 -> declared_vars := n
+        | Some _ | None -> raise (Parse_error (Printf.sprintf "line %d: bad header" lineno)))
+      | _ -> raise (Parse_error (Printf.sprintf "line %d: malformed problem line" lineno))
+    end
+    else begin
+      let tokens =
+        String.split_on_char ' ' line
+        |> List.filter (fun s -> s <> "")
+        |> List.map (fun s ->
+               match int_of_string_opt s with
+               | Some k -> k
+               | None -> raise (Parse_error (Printf.sprintf "line %d: bad token %S" lineno s)))
+      in
+      match tokens with
+      | [] -> ()
+      | w :: rest ->
+        if w <= 0 then raise (Parse_error (Printf.sprintf "line %d: bad weight" lineno));
+        let rec lits acc = function
+          | [ 0 ] -> List.rev acc
+          | 0 :: _ -> raise (Parse_error (Printf.sprintf "line %d: literals after 0" lineno))
+          | k :: rest -> lits (Lit.make (abs k - 1) (k > 0) :: acc) rest
+          | [] -> raise (Parse_error (Printf.sprintf "line %d: clause not terminated" lineno))
+        in
+        let clause = lits [] rest in
+        if clause = [] then raise (Parse_error (Printf.sprintf "line %d: empty clause" lineno));
+        if w >= !top then hard := clause :: !hard else soft := (w, clause) :: !soft
+    end
+  in
+  List.iteri (fun i line -> feed (i + 1) line) lines;
+  make ~nvars:!declared_vars ~hard:(List.rev !hard) ~soft:(List.rev !soft)
+
+let parse_wcnf_string s = parse_wcnf_lines (String.split_on_char '\n' s)
+
+let parse_wcnf_file path =
+  let ic = open_in path in
+  let rec read acc =
+    match input_line ic with
+    | line -> read (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let lines = read [] in
+  close_in ic;
+  parse_wcnf_lines lines
+
+let encode t =
+  let b = Problem.Builder.create ~nvars:t.nvars () in
+  List.iter (Problem.Builder.add_clause b) t.hard;
+  let costs = ref [] in
+  List.iter
+    (fun (w, clause) ->
+      match clause with
+      | [ l ] ->
+        (* unit soft clause: pay [w] when [l] is false *)
+        costs := (w, Lit.negate l) :: !costs
+      | _ :: _ :: _ ->
+        let r = Problem.Builder.fresh_var b in
+        Problem.Builder.add_clause b (Lit.pos r :: clause);
+        costs := (w, Lit.pos r) :: !costs
+      | [] -> assert false)
+    t.soft;
+  Problem.Builder.set_objective b !costs;
+  Problem.Builder.build b
+
+let to_problem = encode
+
+let falsified_weight t m =
+  let clause_true c = List.exists (Model.lit_true m) c in
+  List.fold_left (fun acc (w, c) -> if clause_true c then acc else acc + w) 0 t.soft
+
+type result =
+  | Unsatisfiable
+  | Optimum of {
+      model : Model.t;
+      falsified_weight : int;
+    }
+  | Unknown_result
+
+let solve ?options t =
+  let problem = encode t in
+  let outcome =
+    match options with
+    | None -> Bsolo.Solver.solve problem
+    | Some options -> Bsolo.Solver.solve ~options problem
+  in
+  match outcome.status, outcome.best with
+  | Bsolo.Outcome.Unsatisfiable, _ -> Unsatisfiable
+  | (Bsolo.Outcome.Optimal | Bsolo.Outcome.Satisfiable), Some (m, _) ->
+    let original = Model.of_array (Array.sub (Model.to_array m) 0 t.nvars) in
+    (* report the weight of the original softs; relaxation variables can
+       be set true spuriously without affecting it when the clause also
+       holds, so recompute instead of trusting the objective *)
+    Optimum { model = original; falsified_weight = falsified_weight t original }
+  | (Bsolo.Outcome.Optimal | Bsolo.Outcome.Satisfiable), None | Bsolo.Outcome.Unknown, _ ->
+    Unknown_result

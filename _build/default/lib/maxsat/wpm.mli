@@ -1,0 +1,41 @@
+open Pbo
+
+(** Weighted partial MaxSAT on top of the PBO solver.
+
+    Hard clauses must hold; each falsified soft clause costs its weight.
+    The reduction is the textbook one: a fresh relaxation variable [r] is
+    added to every non-unit soft clause (clause ∨ r) with objective cost
+    [w] on [r]; unit soft clauses need no relaxation variable — their
+    weight goes directly on the negation of the literal. *)
+
+type t
+
+val make : nvars:int -> hard:Lit.t list list -> soft:(int * Lit.t list) list -> t
+(** Weights must be positive; clauses must be non-empty.  Raises
+    [Invalid_argument] otherwise. *)
+
+val nvars : t -> int
+(** Original variables (relaxation variables are internal). *)
+
+exception Parse_error of string
+
+val parse_wcnf_string : string -> t
+val parse_wcnf_file : string -> t
+(** Classic WCNF: [p wcnf NVARS NCLAUSES TOP]; clauses are
+    [WEIGHT lit ... 0], weight [TOP] meaning hard. *)
+
+val to_problem : t -> Problem.t
+(** The PBO encoding (including relaxation variables). *)
+
+type result =
+  | Unsatisfiable  (** the hard clauses alone are inconsistent *)
+  | Optimum of {
+      model : Model.t;  (** over the original variables only *)
+      falsified_weight : int;
+    }
+  | Unknown_result
+
+val solve : ?options:Bsolo.Options.t -> t -> result
+
+val falsified_weight : t -> Model.t -> int
+(** Total weight of soft clauses an assignment falsifies. *)

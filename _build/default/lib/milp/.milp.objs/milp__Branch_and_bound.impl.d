@@ -1,0 +1,1 @@
+lib/milp/branch_and_bound.ml: Array Bsolo Constr Hashtbl List Lit Model Option Pbo Problem Simplex Unix

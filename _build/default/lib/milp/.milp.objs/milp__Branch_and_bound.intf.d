@@ -1,0 +1,1 @@
+lib/milp/branch_and_bound.mli: Bsolo Pbo Problem

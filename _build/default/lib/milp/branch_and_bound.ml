@@ -1,0 +1,224 @@
+open Pbo
+
+type node = {
+  bound : float;  (* parent LP bound: lower bound on any completion *)
+  depth : int;
+  fixings : (Lit.var * bool) list;
+}
+
+(* Minimal binary min-heap on node bounds (deeper first on ties, to dive
+   toward incumbents). *)
+module Heap = struct
+  type t = {
+    mutable data : node array;
+    mutable size : int;
+  }
+
+  let dummy = { bound = 0.; depth = 0; fixings = [] }
+  let create () = { data = Array.make 64 dummy; size = 0 }
+  let is_empty h = h.size = 0
+
+  let before a b = a.bound < b.bound || (a.bound = b.bound && a.depth > b.depth)
+
+  let push h n =
+    if h.size = Array.length h.data then begin
+      let data = Array.make (2 * h.size) dummy in
+      Array.blit h.data 0 data 0 h.size;
+      h.data <- data
+    end;
+    h.data.(h.size) <- n;
+    h.size <- h.size + 1;
+    let rec up i =
+      let p = (i - 1) / 2 in
+      if i > 0 && before h.data.(i) h.data.(p) then begin
+        let tmp = h.data.(i) in
+        h.data.(i) <- h.data.(p);
+        h.data.(p) <- tmp;
+        up p
+      end
+    in
+    up (h.size - 1)
+
+  let pop h =
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    h.data.(0) <- h.data.(h.size);
+    let rec down i =
+      let l = (2 * i) + 1 and r = (2 * i) + 2 in
+      let best = ref i in
+      if l < h.size && before h.data.(l) h.data.(!best) then best := l;
+      if r < h.size && before h.data.(r) h.data.(!best) then best := r;
+      if !best <> i then begin
+        let tmp = h.data.(i) in
+        h.data.(i) <- h.data.(!best);
+        h.data.(!best) <- tmp;
+        down !best
+      end
+    in
+    down 0;
+    top
+end
+
+(* The problem in signed x-variable form. *)
+type relaxation = {
+  nvars : int;
+  obj : float array;
+  obj_offset : float;
+  rows : Simplex.row array;
+}
+
+let relaxation_of problem =
+  let nvars = Problem.nvars problem in
+  let obj = Array.make (max nvars 1) 0. in
+  let obj_offset = ref 0. in
+  (match Problem.objective problem with
+  | None -> ()
+  | Some o ->
+    obj_offset := float_of_int o.offset;
+    let add (ct : Problem.cost_term) =
+      let v = Lit.var ct.lit in
+      if Lit.is_pos ct.lit then obj.(v) <- obj.(v) +. float_of_int ct.cost
+      else begin
+        obj.(v) <- obj.(v) -. float_of_int ct.cost;
+        obj_offset := !obj_offset +. float_of_int ct.cost
+      end
+    in
+    Array.iter add o.cost_terms);
+  let row_of c =
+    let rhs = ref (float_of_int (Constr.degree c)) in
+    let term { Constr.coeff; lit } =
+      let v = Lit.var lit in
+      if Lit.is_pos lit then v, float_of_int coeff
+      else begin
+        rhs := !rhs -. float_of_int coeff;
+        v, -.float_of_int coeff
+      end
+    in
+    let coeffs = Array.to_list (Array.map term (Constr.terms c)) in
+    { Simplex.coeffs; rel = Simplex.Ge; rhs = !rhs }
+  in
+  let rows = Array.map row_of (Problem.constraints problem) in
+  { nvars; obj; obj_offset = !obj_offset; rows }
+
+let lp_for relax fixings =
+  let lower = Array.make (max relax.nvars 1) 0. in
+  let upper = Array.make (max relax.nvars 1) 1. in
+  List.iter
+    (fun (v, b) ->
+      if b then lower.(v) <- 1. else upper.(v) <- 0.)
+    fixings;
+  { Simplex.ncols = relax.nvars; lower; upper; objective = relax.obj; rows = relax.rows }
+
+let most_fractional x fixings nvars =
+  let fixed = Hashtbl.create 16 in
+  List.iter (fun (v, _) -> Hashtbl.replace fixed v ()) fixings;
+  let best = ref None in
+  for v = 0 to nvars - 1 do
+    if not (Hashtbl.mem fixed v) then begin
+      let frac = abs_float (x.(v) -. 0.5) in
+      match !best with
+      | Some (f, _) when f <= frac -> ()
+      | Some _ | None -> if x.(v) > 1e-6 && x.(v) < 1. -. 1e-6 then best := Some (frac, v)
+    end
+  done;
+  !best
+
+let first_unfixed fixings nvars =
+  let fixed = Hashtbl.create 16 in
+  List.iter (fun (v, _) -> Hashtbl.replace fixed v ()) fixings;
+  let rec go v = if v >= nvars then None else if Hashtbl.mem fixed v then go (v + 1) else Some v in
+  go 0
+
+let model_of_rounding x fixings nvars =
+  let a = Array.init nvars (fun v -> x.(v) >= 0.5) in
+  List.iter (fun (v, b) -> a.(v) <- b) fixings;
+  Model.of_array a
+
+let solve ?(options = Bsolo.Options.default) problem =
+  let start = Unix.gettimeofday () in
+  let deadline = Option.map (fun l -> start +. l) options.time_limit in
+  let relax = relaxation_of problem in
+  let heap = Heap.create () in
+  let best = ref None in
+  let upper = ref max_int in
+  let nodes = ref 0 in
+  let lp_calls = ref 0 in
+  let try_incumbent m =
+    if Model.satisfies problem m then begin
+      let c = Model.cost problem m in
+      if c < !upper then begin
+        upper := c;
+        best := Some (m, c)
+      end
+    end
+  in
+  let out_of_budget () =
+    (match options.node_limit with Some l -> !nodes >= l | None -> false)
+    || (match deadline with Some d -> Unix.gettimeofday () > d | None -> false)
+  in
+  Heap.push heap { bound = neg_infinity; depth = 0; fixings = [] };
+  let verdict = ref None in
+  if Problem.trivially_unsat problem then verdict := Some `Exhausted;
+  while !verdict = None do
+    if Heap.is_empty heap then verdict := Some `Exhausted
+    else if out_of_budget () then verdict := Some `Budget
+    else begin
+      let node = Heap.pop heap in
+      incr nodes;
+      if !best <> None && int_of_float (ceil (node.bound -. 1e-6)) >= !upper then ()
+      else begin
+        incr lp_calls;
+        match Simplex.solve ~max_iters:2000 (lp_for relax node.fixings) with
+        | Simplex.Infeasible _ -> ()
+        | Simplex.Optimal sol ->
+          let bound_int = int_of_float (ceil (sol.value +. relax.obj_offset -. 1e-6)) in
+          if !best <> None && bound_int >= !upper then ()
+          else begin
+            try_incumbent (model_of_rounding sol.x node.fixings relax.nvars);
+            match most_fractional sol.x node.fixings relax.nvars with
+            | None ->
+              (* LP solution is integral; the rounding above recorded it *)
+              ()
+            | Some (_, v) ->
+              let child b =
+                {
+                  bound = sol.value +. relax.obj_offset;
+                  depth = node.depth + 1;
+                  fixings = (v, b) :: node.fixings;
+                }
+              in
+              Heap.push heap (child (sol.x.(v) >= 0.5));
+              Heap.push heap (child (sol.x.(v) < 0.5))
+          end
+        | Simplex.Unbounded | Simplex.Iteration_limit ->
+          (* cannot prune: branch blindly on the first unfixed variable *)
+          (match first_unfixed node.fixings relax.nvars with
+          | None -> ()
+          | Some v ->
+            let child b = { bound = node.bound; depth = node.depth + 1; fixings = (v, b) :: node.fixings } in
+            Heap.push heap (child true);
+            Heap.push heap (child false))
+      end
+    end
+  done;
+  let satisfaction = Problem.is_satisfaction problem in
+  let status =
+    match !verdict, !best with
+    | Some `Exhausted, Some _ ->
+      if satisfaction then Bsolo.Outcome.Satisfiable else Bsolo.Outcome.Optimal
+    | Some `Exhausted, None -> Bsolo.Outcome.Unsatisfiable
+    | Some `Budget, _ | None, _ -> Bsolo.Outcome.Unknown
+  in
+  let counters =
+    {
+      Bsolo.Outcome.decisions = !nodes;
+      propagations = 0;
+      conflicts = 0;
+      bound_conflicts = 0;
+      learned = 0;
+      restarts = 0;
+      lb_calls = !lp_calls;
+      nodes = !nodes;
+    }
+  in
+  { Bsolo.Outcome.status; best = !best; counters; elapsed = Unix.gettimeofday () -. start }

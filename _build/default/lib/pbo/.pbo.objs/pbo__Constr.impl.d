@@ -1,0 +1,1 @@
+lib/pbo/constr.ml: Array Format Hashtbl List Lit Stdlib Value

@@ -1,0 +1,1 @@
+lib/pbo/constr.mli: Format Lit Value

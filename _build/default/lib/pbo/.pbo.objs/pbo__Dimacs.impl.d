@@ -1,0 +1,1 @@
+lib/pbo/dimacs.ml: List Lit Printf Problem String

@@ -1,0 +1,1 @@
+lib/pbo/dimacs.mli: Problem

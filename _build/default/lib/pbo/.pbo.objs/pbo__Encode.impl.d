@@ -1,0 +1,1 @@
+lib/pbo/encode.ml: Array Constr List Lit Problem

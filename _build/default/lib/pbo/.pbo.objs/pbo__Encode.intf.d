@@ -1,0 +1,1 @@
+lib/pbo/encode.mli: Lit Problem

@@ -1,0 +1,1 @@
+lib/pbo/lit.mli: Format

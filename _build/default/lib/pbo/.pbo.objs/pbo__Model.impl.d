@@ -1,0 +1,1 @@
+lib/pbo/model.ml: Array Constr Format Fun Lit Problem Seq

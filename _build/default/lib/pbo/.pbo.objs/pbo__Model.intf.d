@@ -1,0 +1,1 @@
+lib/pbo/model.mli: Constr Format Lit Problem

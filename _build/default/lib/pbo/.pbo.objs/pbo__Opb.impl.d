@@ -1,0 +1,1 @@
+lib/pbo/opb.ml: Array Constr Encode Format Hashtbl List Lit Printf Problem String

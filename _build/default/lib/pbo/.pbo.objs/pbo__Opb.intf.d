@@ -1,0 +1,1 @@
+lib/pbo/opb.mli: Format Problem

@@ -1,0 +1,1 @@
+lib/pbo/problem.ml: Array Constr Format Hashtbl List Lit

@@ -1,0 +1,1 @@
+lib/pbo/problem.mli: Constr Format Lit

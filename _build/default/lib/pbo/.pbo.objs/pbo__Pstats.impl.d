@@ -1,0 +1,1 @@
+lib/pbo/pstats.ml: Array Constr Format Printf Problem

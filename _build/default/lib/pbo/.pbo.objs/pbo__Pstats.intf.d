@@ -1,0 +1,1 @@
+lib/pbo/pstats.mli: Format Problem

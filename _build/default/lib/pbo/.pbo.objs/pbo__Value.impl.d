@@ -1,0 +1,1 @@
+lib/pbo/value.ml: Format

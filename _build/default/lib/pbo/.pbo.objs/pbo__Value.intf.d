@@ -1,0 +1,1 @@
+lib/pbo/value.mli: Format

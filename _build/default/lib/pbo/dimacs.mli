@@ -1,0 +1,8 @@
+(** Reader for DIMACS CNF, imported as PB satisfaction instances (every
+    clause becomes a degree-1 constraint).  Lets the solver run on plain
+    SAT benchmarks. *)
+
+exception Parse_error of string
+
+val parse_string : string -> Problem.t
+val parse_file : string -> Problem.t

@@ -1,0 +1,78 @@
+let weighted lits = List.map (fun l -> 1, l) lits
+
+let at_least_one b lits = Problem.Builder.add_clause b lits
+let at_most_one b lits = Problem.Builder.add_le b (weighted lits) 1
+
+let exactly_one b lits =
+  at_least_one b lits;
+  at_most_one b lits
+
+let at_most_k b lits k = Problem.Builder.add_le b (weighted lits) k
+let at_least_k b lits k = Problem.Builder.add_ge b (weighted lits) k
+
+let exactly_k b lits k =
+  at_least_k b lits k;
+  at_most_k b lits k
+
+let implies b a c = Problem.Builder.add_clause b [ Lit.negate a; c ]
+let implies_all b a cs = List.iter (implies b a) cs
+
+let iff b a c =
+  implies b a c;
+  implies b c a
+
+let and_var b lits =
+  let r = Lit.pos (Problem.Builder.fresh_var b) in
+  (* r -> each lit *)
+  implies_all b r lits;
+  (* all lits -> r *)
+  Problem.Builder.add_clause b (r :: List.map Lit.negate lits);
+  r
+
+let or_var b lits =
+  let r = Lit.pos (Problem.Builder.fresh_var b) in
+  (* each lit -> r *)
+  List.iter (fun l -> implies b l r) lits;
+  (* r -> some lit *)
+  Problem.Builder.add_clause b (Lit.negate r :: lits);
+  r
+
+let at_most_one_pairwise b lits =
+  let rec pairs = function
+    | [] -> ()
+    | l :: rest ->
+      List.iter (fun l' -> Problem.Builder.add_clause b [ Lit.negate l; Lit.negate l' ]) rest;
+      pairs rest
+  in
+  pairs lits
+
+(* Sinz 2005: registers s_{i,j} = "at least j of the first i+1 literals
+   are true"; clauses propagate the counter and forbid exceeding k. *)
+let at_most_k_sequential b lits k =
+  let lits = Array.of_list lits in
+  let n = Array.length lits in
+  if k < 0 then Problem.Builder.add_norm b Constr.Trivial_false
+  else if k = 0 then Array.iter (fun l -> Problem.Builder.add_clause b [ Lit.negate l ]) lits
+  else if n > k then begin
+    let s = Array.init (n - 1) (fun _ -> Array.init k (fun _ -> Problem.Builder.fresh_var b)) in
+    (* x_0 -> s_{0,1} *)
+    Problem.Builder.add_clause b [ Lit.negate lits.(0); Lit.pos s.(0).(0) ];
+    for j = 1 to k - 1 do
+      (* counters start at zero: ~s_{0,j+1} *)
+      Problem.Builder.add_clause b [ Lit.neg s.(0).(j) ]
+    done;
+    for i = 1 to n - 2 do
+      (* x_i -> s_{i,1};  s_{i-1,1} -> s_{i,1} *)
+      Problem.Builder.add_clause b [ Lit.negate lits.(i); Lit.pos s.(i).(0) ];
+      Problem.Builder.add_clause b [ Lit.neg s.(i - 1).(0); Lit.pos s.(i).(0) ];
+      for j = 1 to k - 1 do
+        (* x_i & s_{i-1,j} -> s_{i,j+1};  s_{i-1,j+1} -> s_{i,j+1} *)
+        Problem.Builder.add_clause b
+          [ Lit.negate lits.(i); Lit.neg s.(i - 1).(j - 1); Lit.pos s.(i).(j) ];
+        Problem.Builder.add_clause b [ Lit.neg s.(i - 1).(j); Lit.pos s.(i).(j) ]
+      done;
+      (* x_i & s_{i-1,k} -> overflow *)
+      Problem.Builder.add_clause b [ Lit.negate lits.(i); Lit.neg s.(i - 1).(k - 1) ]
+    done;
+    Problem.Builder.add_clause b [ Lit.negate lits.(n - 1); Lit.neg s.(n - 2).(k - 1) ]
+  end

@@ -1,0 +1,36 @@
+(** Standard constraint encodings on top of {!Problem.Builder} — the
+    helpers users of a PB solver reach for when modelling EDA problems.
+
+    Cardinality constraints are native to the solver, so the direct
+    encodings ([at_most_k] etc.) simply add one PB constraint; the
+    [sequential] variants produce the clause-only encodings (sequential
+    counters with auxiliary variables) that are useful when exporting to
+    CNF-level tools or benchmarking clause learning. *)
+
+val exactly_one : Problem.Builder.t -> Lit.t list -> unit
+val at_most_one : Problem.Builder.t -> Lit.t list -> unit
+val at_least_one : Problem.Builder.t -> Lit.t list -> unit
+val at_most_k : Problem.Builder.t -> Lit.t list -> int -> unit
+val at_least_k : Problem.Builder.t -> Lit.t list -> int -> unit
+val exactly_k : Problem.Builder.t -> Lit.t list -> int -> unit
+
+val implies : Problem.Builder.t -> Lit.t -> Lit.t -> unit
+(** [implies b a c]: whenever [a] is true, [c] must be. *)
+
+val implies_all : Problem.Builder.t -> Lit.t -> Lit.t list -> unit
+val iff : Problem.Builder.t -> Lit.t -> Lit.t -> unit
+
+val and_var : Problem.Builder.t -> Lit.t list -> Lit.t
+(** A fresh literal equivalent to the conjunction of the given literals
+    (Tseitin encoding). *)
+
+val or_var : Problem.Builder.t -> Lit.t list -> Lit.t
+(** A fresh literal equivalent to the disjunction. *)
+
+val at_most_one_pairwise : Problem.Builder.t -> Lit.t list -> unit
+(** Clause-only at-most-one: one binary clause per pair. *)
+
+val at_most_k_sequential : Problem.Builder.t -> Lit.t list -> int -> unit
+(** Sinz's sequential-counter encoding with auxiliary variables; clause
+    only.  Equisatisfiable (the auxiliaries are defined one-way), with
+    the same projections onto the original literals. *)

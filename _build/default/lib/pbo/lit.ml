@@ -1,0 +1,30 @@
+type var = int
+type t = int
+
+let pos v =
+  assert (v >= 0);
+  2 * v
+
+let neg v =
+  assert (v >= 0);
+  (2 * v) + 1
+
+let make v positive = if positive then pos v else neg v
+let var l = l lsr 1
+let is_pos l = l land 1 = 0
+let negate l = l lxor 1
+let to_index l = l
+
+let of_index i =
+  if i < 0 then invalid_arg "Lit.of_index";
+  i
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let hash (l : t) = l
+
+let pp ppf l =
+  if is_pos l then Format.fprintf ppf "x%d" (var l + 1)
+  else Format.fprintf ppf "~x%d" (var l + 1)
+
+let to_string l = Format.asprintf "%a" pp l

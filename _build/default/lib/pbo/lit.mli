@@ -1,0 +1,47 @@
+(** Boolean variables and literals.
+
+    Variables are dense non-negative integers.  A literal is a variable
+    together with a polarity, packed into a single integer so that literals
+    can index arrays directly: the positive literal of variable [v] is
+    [2 * v] and the negative literal is [2 * v + 1]. *)
+
+type var = int
+(** A variable index, [0 <= v]. *)
+
+type t = private int
+(** A literal.  The representation is exposed as [private int] so literals
+    can be used as array indices via {!to_index} without boxing. *)
+
+val pos : var -> t
+(** [pos v] is the positive literal of [v] (true when [v] is true). *)
+
+val neg : var -> t
+(** [neg v] is the negative literal of [v] (true when [v] is false). *)
+
+val make : var -> bool -> t
+(** [make v positive] is [pos v] when [positive] and [neg v] otherwise. *)
+
+val var : t -> var
+(** Variable underlying a literal. *)
+
+val is_pos : t -> bool
+(** [is_pos l] holds when [l] is a positive literal. *)
+
+val negate : t -> t
+(** Opposite polarity of the same variable. *)
+
+val to_index : t -> int
+(** Dense index in [0 .. 2 * nvars - 1], suitable for array indexing. *)
+
+val of_index : int -> t
+(** Inverse of {!to_index}.  Raises [Invalid_argument] on negatives. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints [xN] or [~xN] with [N] the 1-based variable number, matching the
+    OPB convention. *)
+
+val to_string : t -> string

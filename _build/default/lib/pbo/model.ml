@@ -1,0 +1,28 @@
+type t = bool array
+
+let of_array a = Array.copy a
+let to_array m = Array.copy m
+let nvars m = Array.length m
+let value m v = m.(v)
+let lit_true m l = if Lit.is_pos l then m.(Lit.var l) else not m.(Lit.var l)
+
+let violated_constraint p m =
+  let ok c = Constr.satisfied_by (lit_true m) c in
+  Array.find_opt (fun c -> not (ok c)) (Problem.constraints p)
+
+let satisfies p m = (not (Problem.trivially_unsat p)) && violated_constraint p m = None
+
+let cost p m =
+  match Problem.objective p with
+  | None -> 0
+  | Some o ->
+    let pay acc (t : Problem.cost_term) = if lit_true m t.lit then acc + t.cost else acc in
+    Array.fold_left pay o.offset o.cost_terms
+
+let equal = ( = )
+
+let pp ppf m =
+  let pp_var ppf v = Format.fprintf ppf "x%d=%d" (v + 1) (if m.(v) then 1 else 0) in
+  Format.fprintf ppf "@[%a@]"
+    (Format.pp_print_seq ~pp_sep:Format.pp_print_space pp_var)
+    (Seq.init (Array.length m) Fun.id)

@@ -1,0 +1,26 @@
+(** Total assignments and solution checking. *)
+
+type t
+(** A total assignment of every problem variable. *)
+
+val of_array : bool array -> t
+(** [of_array a] assigns variable [v] the value [a.(v)]. *)
+
+val to_array : t -> bool array
+val nvars : t -> int
+
+val value : t -> Lit.var -> bool
+val lit_true : t -> Lit.t -> bool
+
+val satisfies : Problem.t -> t -> bool
+(** All constraints hold (ignores the objective). *)
+
+val violated_constraint : Problem.t -> t -> Constr.t option
+(** First violated constraint if any, for diagnostics. *)
+
+val cost : Problem.t -> t -> int
+(** Objective value including the offset; [0] for satisfaction
+    instances. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,72 @@
+(** Pseudo-Boolean optimization problem instances.
+
+    An instance is a set of normalized {!Constr.t} constraints over
+    variables [0 .. nvars - 1], optionally together with a linear
+    objective to minimize.  The objective is normalized to positive costs
+    attached to literals plus a constant offset: the solver pays
+    [cost] whenever the associated literal is assigned true.  A problem
+    without an objective is a PB *satisfaction* instance (the paper's
+    acc-tight family). *)
+
+type cost_term = {
+  cost : int;  (** always [> 0] *)
+  lit : Lit.t;
+}
+
+type objective = {
+  cost_terms : cost_term array;  (** pairwise distinct variables *)
+  offset : int;  (** constant added to any assignment's cost *)
+}
+
+type t = private {
+  nvars : int;
+  constraints : Constr.t array;
+  objective : objective option;
+  trivially_unsat : bool;
+      (** set when a constraint normalized to [Trivial_false] *)
+}
+
+val nvars : t -> int
+val constraints : t -> Constr.t array
+val objective : t -> objective option
+val is_satisfaction : t -> bool
+val trivially_unsat : t -> bool
+
+val max_cost_sum : t -> int
+(** Sum of all objective costs: cost of the worst assignment, not counting
+    the offset.  [0] for satisfaction instances. *)
+
+val cost_of_var : t -> Lit.var -> (int * Lit.t) option
+(** Cost term attached to a variable, if any. *)
+
+val with_constraints : t -> Constr.t list -> t
+(** A copy of the problem with extra (already normalized) constraints. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Mutable builder used by parsers and generators. *)
+module Builder : sig
+  type problem := t
+  type t
+
+  val create : ?nvars:int -> unit -> t
+  (** [create ~nvars ()] pre-declares [nvars] variables; more can be added
+      with {!fresh_var}. *)
+
+  val fresh_var : t -> Lit.var
+  val nvars : t -> int
+
+  val add_ge : t -> (int * Lit.t) list -> int -> unit
+  val add_le : t -> (int * Lit.t) list -> int -> unit
+  val add_eq : t -> (int * Lit.t) list -> int -> unit
+  val add_clause : t -> Lit.t list -> unit
+  val add_cardinality : t -> Lit.t list -> int -> unit
+  val add_norm : t -> Constr.norm -> unit
+
+  val set_objective : t -> ?offset:int -> (int * Lit.t) list -> unit
+  (** Declare the minimization objective.  Raw costs may be negative or
+      mention both polarities; they are normalized to positive literal
+      costs and an offset.  Raises [Invalid_argument] if called twice. *)
+
+  val build : t -> problem
+end

@@ -1,0 +1,54 @@
+type t = {
+  nvars : int;
+  nconstraints : int;
+  nclauses : int;
+  ncardinality : int;
+  ngeneral : int;
+  nterms : int;
+  max_degree : int;
+  max_coeff : int;
+  cost_terms : int;
+  cost_sum : int;
+  satisfaction : bool;
+}
+
+let of_problem p =
+  let constraints = Problem.constraints p in
+  let nclauses = ref 0 and ncard = ref 0 and ngen = ref 0 in
+  let nterms = ref 0 and max_degree = ref 0 and max_coeff = ref 0 in
+  Array.iter
+    (fun c ->
+      nterms := !nterms + Constr.size c;
+      max_degree := max !max_degree (Constr.degree c);
+      max_coeff := max !max_coeff (Constr.max_coeff c);
+      if Constr.is_clause c then incr nclauses
+      else if Constr.is_cardinality c then incr ncard
+      else incr ngen)
+    constraints;
+  let cost_terms, cost_sum =
+    match Problem.objective p with
+    | None -> 0, 0
+    | Some o ->
+      Array.length o.cost_terms, Array.fold_left (fun acc ct -> acc + ct.Problem.cost) 0 o.cost_terms
+  in
+  {
+    nvars = Problem.nvars p;
+    nconstraints = Array.length constraints;
+    nclauses = !nclauses;
+    ncardinality = !ncard;
+    ngeneral = !ngen;
+    nterms = !nterms;
+    max_degree = !max_degree;
+    max_coeff = !max_coeff;
+    cost_terms;
+    cost_sum;
+    satisfaction = Problem.is_satisfaction p;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[%d vars, %d constraints (%d clauses, %d cardinality, %d general),@ %d terms, max degree \
+     %d, max coeff %d,@ objective: %s@]"
+    s.nvars s.nconstraints s.nclauses s.ncardinality s.ngeneral s.nterms s.max_degree s.max_coeff
+    (if s.satisfaction then "none"
+     else Printf.sprintf "%d cost terms, total %d" s.cost_terms s.cost_sum)

@@ -1,0 +1,19 @@
+(** Structural statistics of a problem instance, for benchmark reporting
+    and sanity checks. *)
+
+type t = {
+  nvars : int;
+  nconstraints : int;
+  nclauses : int;
+  ncardinality : int;  (** non-clause cardinality constraints *)
+  ngeneral : int;  (** genuine PB constraints *)
+  nterms : int;  (** total literal occurrences *)
+  max_degree : int;
+  max_coeff : int;
+  cost_terms : int;
+  cost_sum : int;
+  satisfaction : bool;
+}
+
+val of_problem : Problem.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+type t =
+  | True
+  | False
+  | Unknown
+
+let negate = function
+  | True -> False
+  | False -> True
+  | Unknown -> Unknown
+
+let of_bool b = if b then True else False
+
+let equal a b =
+  match a, b with
+  | True, True | False, False | Unknown, Unknown -> true
+  | (True | False | Unknown), (True | False | Unknown) -> false
+
+let pp ppf v =
+  match v with
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Unknown -> Format.pp_print_string ppf "unknown"

@@ -1,0 +1,14 @@
+(** Three-valued logic for partial assignments. *)
+
+type t =
+  | True
+  | False
+  | Unknown
+
+val negate : t -> t
+(** Swaps [True] and [False]; [Unknown] is a fixpoint. *)
+
+val of_bool : bool -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

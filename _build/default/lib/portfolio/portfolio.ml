@@ -1,0 +1,96 @@
+open Pbo
+
+type entry = {
+  pname : string;
+  psolve : time_limit:float -> Problem.t -> Bsolo.Outcome.t;
+}
+
+let bsolo_entry name lb =
+  {
+    pname = name;
+    psolve =
+      (fun ~time_limit problem ->
+        Bsolo.Solver.solve
+          ~options:{ (Bsolo.Options.with_lb lb) with time_limit = Some time_limit }
+          problem);
+  }
+
+let default_entries =
+  [
+    bsolo_entry "bsolo-lpr" Bsolo.Options.Lpr;
+    bsolo_entry "bsolo-mis" Bsolo.Options.Mis;
+    {
+      pname = "pbs-like";
+      psolve =
+        (fun ~time_limit problem ->
+          Bsolo.Linear_search.solve
+            ~options:{ Bsolo.Linear_search.pbs_like with time_limit = Some time_limit }
+            problem);
+    };
+    {
+      pname = "milp";
+      psolve =
+        (fun ~time_limit problem ->
+          Milp.Branch_and_bound.solve
+            ~options:{ Bsolo.Options.default with time_limit = Some time_limit }
+            problem);
+    };
+  ]
+
+type report = {
+  winner : string;
+  outcome : Bsolo.Outcome.t;
+  runs : (string * Bsolo.Outcome.t) list;
+  disagreement : string option;
+}
+
+let proved (o : Bsolo.Outcome.t) =
+  match o.status with
+  | Bsolo.Outcome.Optimal | Bsolo.Outcome.Satisfiable | Bsolo.Outcome.Unsatisfiable -> true
+  | Bsolo.Outcome.Unknown -> false
+
+(* Ranking: proved beats unproved; then lower cost; then earlier entry. *)
+let better (a : Bsolo.Outcome.t) (b : Bsolo.Outcome.t) =
+  match proved a, proved b with
+  | true, false -> true
+  | false, true -> false
+  | true, true | false, false ->
+    (match Bsolo.Outcome.best_cost a, Bsolo.Outcome.best_cost b with
+    | Some ca, Some cb -> ca < cb
+    | Some _, None -> true
+    | None, (Some _ | None) -> false)
+
+let solve ?(entries = default_entries) ~budget problem =
+  let n = max 1 (List.length entries) in
+  let slice = budget /. float_of_int n in
+  let runs = ref [] in
+  let finished = ref false in
+  List.iter
+    (fun e ->
+      if not !finished then begin
+        let o = e.psolve ~time_limit:slice problem in
+        runs := (e.pname, o) :: !runs;
+        if proved o then finished := true
+      end)
+    entries;
+  let runs = List.rev !runs in
+  let winner, outcome =
+    match runs with
+    | [] -> invalid_arg "Portfolio.solve: no entries"
+    | (name0, o0) :: rest ->
+      List.fold_left
+        (fun (wn, wo) (name, o) -> if better o wo then name, o else wn, wo)
+        (name0, o0) rest
+  in
+  let disagreement =
+    let check acc (name, o) =
+      match acc with
+      | Some _ -> acc
+      | None ->
+        (match Bsolo.Certify.check_optimal_against problem o ~reference:outcome with
+        | Ok () -> None
+        | Error e -> Some (Printf.sprintf "%s vs %s: %s" name winner e))
+    in
+    List.fold_left check None runs
+  in
+  { winner; outcome; runs; disagreement }

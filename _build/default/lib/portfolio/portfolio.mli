@@ -1,0 +1,31 @@
+open Pbo
+
+(** Sequential solver portfolio: run several configurations under a
+    shared time budget, keep the best result, and cross-check agreement
+    with {!Bsolo.Certify}.  Table 1 of the paper is in essence the
+    argument that no single configuration dominates every family — a
+    portfolio is the practical consequence. *)
+
+type entry = {
+  pname : string;
+  psolve : time_limit:float -> Problem.t -> Bsolo.Outcome.t;
+}
+
+val default_entries : entry list
+(** bsolo-LPR, bsolo-MIS, the PBS-like linear search and the MILP
+    branch-and-bound, in that order. *)
+
+type report = {
+  winner : string;  (** entry that produced the returned outcome *)
+  outcome : Bsolo.Outcome.t;
+  runs : (string * Bsolo.Outcome.t) list;  (** everything that was run *)
+  disagreement : string option;
+      (** human-readable description if two entries contradicted each
+          other — would indicate a solver bug *)
+}
+
+val solve : ?entries:entry list -> budget:float -> Problem.t -> report
+(** Splits [budget] evenly across the entries and stops early once an
+    entry returns a proved result (optimum or unsatisfiability).  The
+    returned outcome is the best found: proved results beat bounds,
+    lower costs beat higher ones. *)

@@ -1,0 +1,331 @@
+type rel =
+  | Ge
+  | Le
+  | Eq
+
+type row = {
+  coeffs : (int * float) list;
+  rel : rel;
+  rhs : float;
+}
+
+type problem = {
+  ncols : int;
+  lower : float array;
+  upper : float array;
+  objective : float array;
+  rows : row array;
+}
+
+type solution = {
+  value : float;
+  x : float array;
+  row_activity : float array;
+  duals : float array;
+}
+
+type outcome =
+  | Optimal of solution
+  | Infeasible of int list
+  | Unbounded
+  | Iteration_limit
+
+(* Internal state: every row is an equality over [ntotal] columns
+   (structural, then one slack per row, then one artificial per row).
+   [tab] is the current tableau B^-1 A; [xval] holds the value of every
+   column, nonbasic ones resting at a bound. *)
+type state = {
+  m : int;
+  n : int;  (* structural columns *)
+  ntotal : int;
+  tab : float array array;
+  lb : float array;
+  ub : float array;
+  xval : float array;
+  basis : int array;  (* column basic in each row *)
+  in_basis : bool array;
+  sigma : float array;  (* artificial sign per row *)
+  rc : float array;  (* reduced costs, kept in sync by pivots *)
+  mutable pivots_since_refresh : int;
+  eps : float;
+}
+
+type step =
+  | Moved  (* a pivot or bound flip happened *)
+  | Opt
+  | Unbd
+
+let art_col st i = st.n + st.m + i
+
+(* Recompute the reduced-cost row from scratch: rc_j = c_j - cB B^-1 A_j.
+   Done once per phase and periodically to flush numerical drift; pivots
+   keep it in sync incrementally. *)
+let refresh_reduced_costs st cost =
+  for j = 0 to st.ntotal - 1 do
+    st.rc.(j) <- cost.(j)
+  done;
+  for i = 0 to st.m - 1 do
+    let cb = cost.(st.basis.(i)) in
+    if cb <> 0. then begin
+      let row = st.tab.(i) in
+      for j = 0 to st.ntotal - 1 do
+        st.rc.(j) <- st.rc.(j) -. (cb *. row.(j))
+      done
+    end
+  done;
+  st.pivots_since_refresh <- 0
+
+(* Entering column: nonbasic at lower bound with negative reduced cost, or
+   at upper bound with positive reduced cost.  Dantzig rule by default,
+   Bland's rule (first eligible index) when [bland]. *)
+let choose_entering st ~bland =
+  let best = ref (-1) in
+  let best_score = ref st.eps in
+  let consider j =
+    if (not st.in_basis.(j)) && st.lb.(j) < st.ub.(j) then begin
+      let r = st.rc.(j) in
+      let at_lower = st.xval.(j) <= st.lb.(j) +. st.eps in
+      let score =
+        if at_lower && r < -.st.eps then -.r
+        else if (not at_lower) && r > st.eps then r
+        else 0.
+      in
+      if score > !best_score then begin
+        best := j;
+        best_score := score;
+        if bland then raise Exit
+      end
+    end
+  in
+  (try
+     for j = 0 to st.ntotal - 1 do
+       consider j
+     done
+   with Exit -> ());
+  !best
+
+(* One simplex step for the given cost vector. *)
+let step st cost ~bland =
+  if st.pivots_since_refresh > 100 then refresh_reduced_costs st cost;
+  let j = choose_entering st ~bland in
+  if j < 0 then Opt
+  else begin
+    let at_lower = st.xval.(j) <= st.lb.(j) +. st.eps in
+    let dir = if at_lower then 1. else -1. in
+    (* entering moves by [dir * delta], basic i by [-dir * tab[i][j] * delta] *)
+    let delta = ref (st.ub.(j) -. st.lb.(j)) in
+    let blocking = ref (-1) in
+    let blocking_to_upper = ref false in
+    for i = 0 to st.m - 1 do
+      let rate = -.dir *. st.tab.(i).(j) in
+      let k = st.basis.(i) in
+      if rate > st.eps && st.ub.(k) < infinity then begin
+        let room = (st.ub.(k) -. st.xval.(k)) /. rate in
+        if room < !delta -. st.eps || (room < !delta +. st.eps && !blocking < 0) then begin
+          delta := max room 0.;
+          blocking := i;
+          blocking_to_upper := true
+        end
+      end
+      else if rate < -.st.eps && st.lb.(k) > neg_infinity then begin
+        let room = (st.xval.(k) -. st.lb.(k)) /. -.rate in
+        if room < !delta -. st.eps || (room < !delta +. st.eps && !blocking < 0) then begin
+          delta := max room 0.;
+          blocking := i;
+          blocking_to_upper := false
+        end
+      end
+    done;
+    if !delta = infinity then Unbd
+    else begin
+      let d = !delta in
+      (* apply the move *)
+      for i = 0 to st.m - 1 do
+        let k = st.basis.(i) in
+        st.xval.(k) <- st.xval.(k) -. (dir *. st.tab.(i).(j) *. d)
+      done;
+      st.xval.(j) <- st.xval.(j) +. (dir *. d);
+      (match !blocking with
+      | -1 ->
+        (* bound flip: entering traverses to its opposite bound *)
+        st.xval.(j) <- (if at_lower then st.ub.(j) else st.lb.(j))
+      | r ->
+        let leaving = st.basis.(r) in
+        st.xval.(leaving) <- (if !blocking_to_upper then st.ub.(leaving) else st.lb.(leaving));
+        let piv = st.tab.(r).(j) in
+        let row_r = st.tab.(r) in
+        for c = 0 to st.ntotal - 1 do
+          row_r.(c) <- row_r.(c) /. piv
+        done;
+        for i = 0 to st.m - 1 do
+          if i <> r then begin
+            let f = st.tab.(i).(j) in
+            if f <> 0. then begin
+              let row_i = st.tab.(i) in
+              for c = 0 to st.ntotal - 1 do
+                row_i.(c) <- row_i.(c) -. (f *. row_r.(c))
+              done
+            end
+          end
+        done;
+        let rcj = st.rc.(j) in
+        if rcj <> 0. then
+          for c = 0 to st.ntotal - 1 do
+            st.rc.(c) <- st.rc.(c) -. (rcj *. row_r.(c))
+          done;
+        st.basis.(r) <- j;
+        st.in_basis.(j) <- true;
+        st.in_basis.(leaving) <- false;
+        st.pivots_since_refresh <- st.pivots_since_refresh + 1);
+      Moved
+    end
+  end
+
+let optimize st cost ~max_iters ~iters =
+  refresh_reduced_costs st cost;
+  let bland_after = max 100 (max_iters / 2) in
+  let rec go () =
+    if !iters >= max_iters then Iteration_limit
+    else begin
+      incr iters;
+      match step st cost ~bland:(!iters > bland_after) with
+      | Moved -> go ()
+      | Opt -> Optimal { value = 0.; x = [||]; row_activity = [||]; duals = [||] }
+      | Unbd -> Unbounded
+    end
+  in
+  go ()
+
+let objective_value st cost =
+  let z = ref 0. in
+  for j = 0 to st.ntotal - 1 do
+    if cost.(j) <> 0. then z := !z +. (cost.(j) *. st.xval.(j))
+  done;
+  !z
+
+(* Row dual values for a cost vector: pi_i = (sum_k cB_k tab[k][art_i]) / sigma_i,
+   since the artificial column of row i is sigma_i * e_i in the original
+   matrix and the tableau holds B^-1 applied to it. *)
+let duals_for st cost =
+  Array.init st.m (fun i ->
+      let s = ref 0. in
+      for k = 0 to st.m - 1 do
+        let cb = cost.(st.basis.(k)) in
+        if cb <> 0. then s := !s +. (cb *. st.tab.(k).(art_col st i))
+      done;
+      !s /. st.sigma.(i))
+
+let solve ?(eps = 1e-7) ?max_iters (p : problem) =
+  let m = Array.length p.rows in
+  let n = p.ncols in
+  let max_iters = match max_iters with Some k -> k | None -> 200 + (20 * (m + n)) in
+  let ntotal = n + (2 * m) in
+  let lb = Array.make ntotal 0. in
+  let ub = Array.make ntotal infinity in
+  Array.blit p.lower 0 lb 0 n;
+  Array.blit p.upper 0 ub 0 n;
+  for j = 0 to n - 1 do
+    if lb.(j) = neg_infinity && ub.(j) = infinity then
+      invalid_arg "Simplex.solve: free structural variables are not supported"
+  done;
+  let tab = Array.make_matrix m ntotal 0. in
+  let xval = Array.make ntotal 0. in
+  (* nonbasic structural variables start at a finite bound *)
+  for j = 0 to n - 1 do
+    xval.(j) <- (if lb.(j) > neg_infinity then lb.(j) else ub.(j))
+  done;
+  let sigma = Array.make m 1. in
+  let basis = Array.init m (fun i -> n + m + i) in
+  let in_basis = Array.make ntotal false in
+  Array.iteri
+    (fun i r ->
+      List.iter (fun (j, a) -> tab.(i).(j) <- tab.(i).(j) +. a) r.coeffs;
+      match r.rel with
+      | Ge -> tab.(i).(n + i) <- -1.
+      | Le -> tab.(i).(n + i) <- 1.
+      | Eq -> ub.(n + i) <- 0.)
+    p.rows;
+  let st =
+    {
+      m;
+      n;
+      ntotal;
+      tab;
+      lb;
+      ub;
+      xval;
+      basis;
+      in_basis;
+      sigma;
+      rc = Array.make ntotal 0.;
+      pivots_since_refresh = 0;
+      eps;
+    }
+  in
+  (* artificial columns and initial basic values *)
+  for i = 0 to m - 1 do
+    let residual = ref p.rows.(i).rhs in
+    List.iter (fun (j, a) -> residual := !residual -. (a *. xval.(j))) p.rows.(i).coeffs;
+    (* slack starts at 0, so it does not contribute *)
+    sigma.(i) <- (if !residual >= 0. then 1. else -1.);
+    tab.(i).(art_col st i) <- sigma.(i);
+    basis.(i) <- art_col st i;
+    in_basis.(art_col st i) <- true;
+    xval.(art_col st i) <- abs_float !residual;
+    (* normalize the row so the basic artificial column is +1 *)
+    if sigma.(i) < 0. then begin
+      let row = tab.(i) in
+      for c = 0 to ntotal - 1 do
+        row.(c) <- -.row.(c)
+      done
+    end
+  done;
+  let iters = ref 0 in
+  let phase1_cost = Array.make ntotal 0. in
+  for i = 0 to m - 1 do
+    phase1_cost.(art_col st i) <- 1.
+  done;
+  match optimize st phase1_cost ~max_iters ~iters with
+  | Iteration_limit -> Iteration_limit
+  | Unbounded ->
+    (* phase 1 is bounded below by 0 *)
+    Iteration_limit
+  | Optimal _ ->
+    let z1 = objective_value st phase1_cost in
+    if z1 > 1e-6 *. float_of_int (max 1 m) then begin
+      let pi = duals_for st phase1_cost in
+      let certificate = ref [] in
+      for i = m - 1 downto 0 do
+        if abs_float pi.(i) > eps then certificate := i :: !certificate
+      done;
+      Infeasible !certificate
+    end
+    else begin
+      (* fix artificials at 0 and optimize the real objective *)
+      for i = 0 to m - 1 do
+        ub.(art_col st i) <- 0.;
+        xval.(art_col st i) <- min xval.(art_col st i) 0.
+      done;
+      let phase2_cost = Array.make ntotal 0. in
+      Array.blit p.objective 0 phase2_cost 0 n;
+      (match optimize st phase2_cost ~max_iters ~iters with
+      | Iteration_limit -> Iteration_limit
+      | Unbounded -> Unbounded
+      | Infeasible _ ->
+        (* [optimize] never reports infeasibility *)
+        assert false
+      | Optimal _ ->
+        let x = Array.sub xval 0 n in
+        for j = 0 to n - 1 do
+          if x.(j) < p.lower.(j) then x.(j) <- p.lower.(j);
+          if x.(j) > p.upper.(j) then x.(j) <- p.upper.(j)
+        done;
+        let activity =
+          Array.map
+            (fun r -> List.fold_left (fun acc (j, a) -> acc +. (a *. x.(j))) 0. r.coeffs)
+            p.rows
+        in
+        let value = Array.fold_left ( +. ) 0. (Array.mapi (fun j c -> c *. x.(j)) p.objective) in
+        Optimal { value; x; row_activity = activity; duals = duals_for st phase2_cost })
+    end
+  | Infeasible _ -> assert false

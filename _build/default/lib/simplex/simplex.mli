@@ -1,0 +1,57 @@
+(** Dense two-phase primal simplex with variable bounds.
+
+    Solves
+
+      minimize    c x
+      subject to  row_i :  a_i x (>= | <= | =) b_i,   i = 1..m
+                  lower_j <= x_j <= upper_j
+
+    Bounds may be infinite ([neg_infinity] / [infinity]).  This is the LP
+    substrate of the paper's LPR lower bound (Section 3.1) and of the MILP
+    baseline standing in for CPLEX.
+
+    The implementation is the textbook bounded-variable simplex on a dense
+    tableau: each row gets a slack/surplus column, phase 1 minimizes the
+    sum of artificial columns, nonbasic variables rest at one of their
+    bounds, and the ratio test allows bound flips. *)
+
+type rel =
+  | Ge
+  | Le
+  | Eq
+
+type row = {
+  coeffs : (int * float) list;  (** column index, coefficient *)
+  rel : rel;
+  rhs : float;
+}
+
+type problem = {
+  ncols : int;
+  lower : float array;  (** length [ncols] *)
+  upper : float array;  (** length [ncols] *)
+  objective : float array;  (** length [ncols] *)
+  rows : row array;
+}
+
+type solution = {
+  value : float;  (** objective at the optimum *)
+  x : float array;  (** primal values, length [ncols] *)
+  row_activity : float array;  (** [a_i x] per row, length [m] *)
+  duals : float array;
+      (** simplex multipliers per row at the optimum; for a tight [Ge] row
+          of a minimization problem the dual is [<= 0] under our internal
+          sign convention — callers should only rely on zero/non-zero. *)
+}
+
+type outcome =
+  | Optimal of solution
+  | Infeasible of int list
+      (** indices of rows with non-zero phase-1 dual: an infeasible
+          subsystem witness *)
+  | Unbounded
+  | Iteration_limit  (** gave up; treat as "no information" *)
+
+val solve : ?eps:float -> ?max_iters:int -> problem -> outcome
+(** [eps] defaults to [1e-7]; [max_iters] defaults to
+    [200 + 20 * (m + ncols)]. *)

@@ -1,0 +1,1 @@
+test/test_bcp.ml: Alcotest Array Bcp Bsolo List Random

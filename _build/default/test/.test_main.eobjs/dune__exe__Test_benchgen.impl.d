@@ -1,0 +1,1 @@
+test/test_benchgen.ml: Alcotest Array Benchgen Bsolo Constr List Opb Pbo Problem

@@ -1,0 +1,1 @@
+test/test_benchmark_files.ml: Alcotest Array Benchgen Bsolo Filename List Pbo Printf Sys

@@ -1,0 +1,1 @@
+test/test_certify.ml: Alcotest Bsolo Gen Lit Milp Model Pbo Problem

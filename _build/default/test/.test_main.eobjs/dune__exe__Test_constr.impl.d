@@ -1,0 +1,1 @@
+test/test_constr.ml: Alcotest Array Constr List Lit Pbo QCheck2 QCheck_alcotest Value

@@ -1,0 +1,1 @@
+test/test_containers.ml: Alcotest Array Engine List Random

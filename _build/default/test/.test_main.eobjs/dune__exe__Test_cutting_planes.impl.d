@@ -1,0 +1,1 @@
+test/test_cutting_planes.ml: Alcotest Array Bsolo Constr Engine Gen List Lit Model Pbo Problem Random

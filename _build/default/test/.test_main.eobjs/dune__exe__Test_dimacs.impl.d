@@ -1,0 +1,1 @@
+test/test_dimacs.ml: Alcotest Array Bsolo Dimacs Model Pbo Problem

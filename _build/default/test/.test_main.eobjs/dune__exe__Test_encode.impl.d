@@ -1,0 +1,1 @@
+test/test_encode.ml: Alcotest Array Bsolo Encode Fun Hashtbl List Lit Model Pbo Printf Problem Random

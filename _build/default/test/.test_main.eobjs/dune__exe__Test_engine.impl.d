@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Bsolo Constr Engine Format Gen List Lit Model Pbo Problem Random Value

@@ -1,0 +1,1 @@
+test/test_enumerate.ml: Alcotest Array Bsolo Gen List Lit Model Pbo Printf Problem

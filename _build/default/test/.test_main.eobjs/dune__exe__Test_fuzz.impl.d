@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array Gen List Maxsat Pbo Random String

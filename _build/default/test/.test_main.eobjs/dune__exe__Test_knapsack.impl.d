@@ -1,0 +1,1 @@
+test/test_knapsack.ml: Alcotest Array Bsolo Constr Gen List Lit Model Pbo Problem

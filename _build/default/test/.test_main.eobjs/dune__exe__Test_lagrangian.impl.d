@@ -1,0 +1,1 @@
+test/test_lagrangian.ml: Alcotest Array Lagrangian List QCheck2 QCheck_alcotest

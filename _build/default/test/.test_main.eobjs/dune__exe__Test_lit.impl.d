@@ -1,0 +1,1 @@
+test/test_lit.ml: Alcotest Hashtbl Lit Pbo

@@ -1,0 +1,1 @@
+test/test_lowerbound.ml: Alcotest Array Bsolo Engine Gen Lazy List Lit Lowerbound Model Pbo Problem Random Value

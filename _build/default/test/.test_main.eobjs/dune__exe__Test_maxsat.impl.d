@@ -1,0 +1,1 @@
+test/test_maxsat.ml: Alcotest Array List Lit Maxsat Model Pbo Problem Random

@@ -1,0 +1,1 @@
+test/test_milp.ml: Alcotest Benchgen Bsolo Gen Lit Milp Model Pbo Problem

@@ -1,0 +1,1 @@
+test/test_opb.ml: Alcotest Array Benchgen Bsolo Constr Filename Gen List Lit Model Opb Pbo Problem Sys

@@ -1,0 +1,1 @@
+test/test_portfolio.ml: Alcotest Benchgen Bsolo Gen List Portfolio

@@ -1,0 +1,1 @@
+test/test_preprocess.ml: Alcotest Bsolo Engine Gen Lit Pbo Problem Value

@@ -1,0 +1,1 @@
+test/test_problem.ml: Alcotest Array Constr Format List Lit Model Pbo Problem Pstats QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_solver_edge.ml: Alcotest Benchgen Bsolo Gen List Lit Milp Pbo Problem Unix

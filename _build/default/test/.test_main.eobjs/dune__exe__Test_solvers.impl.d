@@ -1,0 +1,1 @@
+test/test_solvers.ml: Alcotest Bsolo Gen List Milp Model Pbo

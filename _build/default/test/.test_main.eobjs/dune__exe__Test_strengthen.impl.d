@@ -1,0 +1,1 @@
+test/test_strengthen.ml: Alcotest Array Bsolo Gen Lit Model Pbo Problem

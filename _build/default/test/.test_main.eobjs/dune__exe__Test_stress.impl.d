@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Array Bsolo Buffer Constr Engine Gen List Lit Opb Pbo Printf Random Simplex String

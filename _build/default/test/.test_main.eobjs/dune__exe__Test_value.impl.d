@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Bsolo Format Gen List Pbo String Value

@@ -1,0 +1,1 @@
+test/test_wbo.ml: Alcotest Array Constr List Lit Maxsat Model Pbo Random

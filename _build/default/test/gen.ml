@@ -1,0 +1,54 @@
+(* Random small instances for cross-checking solvers against the
+   brute-force reference. *)
+open Pbo
+
+type config = {
+  nvars : int;
+  nconstrs : int;
+  max_arity : int;
+  max_coeff : int;
+  max_cost : int;
+  with_objective : bool;
+}
+
+let default = { nvars = 8; nconstrs = 10; max_arity = 4; max_coeff = 4; max_cost = 6; with_objective = true }
+
+let lit_of rng nvars =
+  let v = Random.State.int rng nvars in
+  Lit.make v (Random.State.bool rng)
+
+let problem ?(config = default) seed =
+  let rng = Random.State.make [| seed; 0x9e3779b9 |] in
+  let b = Problem.Builder.create ~nvars:config.nvars () in
+  for _ = 1 to config.nconstrs do
+    let arity = 1 + Random.State.int rng config.max_arity in
+    let terms =
+      List.init arity (fun _ ->
+          1 + Random.State.int rng config.max_coeff, lit_of rng config.nvars)
+    in
+    let total = List.fold_left (fun acc (c, _) -> acc + c) 0 terms in
+    let rhs = 1 + Random.State.int rng (max total 1) in
+    Problem.Builder.add_ge b terms rhs
+  done;
+  if config.with_objective then begin
+    let costs =
+      List.init config.nvars (fun v -> Random.State.int rng (config.max_cost + 1), Lit.pos v)
+      |> List.filter (fun (c, _) -> c > 0)
+    in
+    Problem.Builder.set_objective b costs
+  end;
+  Problem.Builder.build b
+
+(* A generator biased toward satisfiable optimization instances: clauses
+   plus cardinality constraints, unit costs. *)
+let covering ?(nvars = 10) ?(nclauses = 14) seed =
+  let rng = Random.State.make [| seed; 0x51ed2701 |] in
+  let b = Problem.Builder.create ~nvars () in
+  for _ = 1 to nclauses do
+    let arity = 2 + Random.State.int rng 3 in
+    let lits = List.init arity (fun _ -> Lit.pos (Random.State.int rng nvars)) in
+    Problem.Builder.add_clause b lits
+  done;
+  let costs = List.init nvars (fun v -> 1 + Random.State.int rng 4, Lit.pos v) in
+  Problem.Builder.set_objective b costs;
+  Problem.Builder.build b

@@ -1,0 +1,174 @@
+module C = Bcp.Covering
+
+(* Brute-force reference over column selections. *)
+let brute t_ncols cost rows =
+  let best = ref None in
+  for mask = 0 to (1 lsl t_ncols) - 1 do
+    let sel c = (mask lsr c) land 1 = 1 in
+    let row_ok row =
+      List.exists (fun (c, e) -> match e with C.Pos -> sel c | C.Neg -> not (sel c)) row
+    in
+    if List.for_all row_ok rows then begin
+      let k = ref 0 in
+      for c = 0 to t_ncols - 1 do
+        if sel c then k := !k + cost c
+      done;
+      match !best with
+      | Some b when b <= !k -> ()
+      | Some _ | None -> best := Some !k
+    end
+  done;
+  !best
+
+let random_bcp seed ~ncols ~nrows ~binate =
+  let rng = Random.State.make [| seed; 0xbc9 |] in
+  let rows =
+    List.init nrows (fun _ ->
+        let len = 1 + Random.State.int rng 3 in
+        let cols = ref [] in
+        let row = ref [] in
+        let rec add n =
+          if n > 0 then begin
+            let c = Random.State.int rng ncols in
+            if not (List.mem c !cols) then begin
+              cols := c :: !cols;
+              let e = if binate && Random.State.int rng 4 = 0 then C.Neg else C.Pos in
+              row := (c, e) :: !row
+            end;
+            add (n - 1)
+          end
+        in
+        add len;
+        if !row = [] then [ 0, C.Pos ] else !row)
+  in
+  let cost c = 1 + ((c * 7) mod 5) in
+  C.create ~ncols ~cost ~rows, cost, rows
+
+let essential_detection () =
+  let t =
+    C.create ~ncols:3 ~cost:(fun _ -> 1)
+      ~rows:[ [ 0, C.Pos ]; [ 0, C.Neg; 1, C.Pos ]; [ 1, C.Pos; 2, C.Pos ] ]
+  in
+  let r = C.reduce t in
+  Alcotest.(check bool) "col 0 essential" true (List.mem 0 r.selected);
+  (* fixing 0 reduces row 2 to unit on column 1 *)
+  Alcotest.(check bool) "col 1 forced" true (List.mem 1 r.selected);
+  Alcotest.(check int) "no rows left" 0 r.kept_rows
+
+let infeasible_detection () =
+  let t = C.create ~ncols:1 ~cost:(fun _ -> 1) ~rows:[ [ 0, C.Pos ]; [ 0, C.Neg ] ] in
+  let r = C.reduce t in
+  Alcotest.(check bool) "infeasible" true r.infeasible;
+  Alcotest.(check bool) "solve none" true (C.solve t = None)
+
+let row_dominance () =
+  let t =
+    C.create ~ncols:3 ~cost:(fun _ -> 1)
+      ~rows:[ [ 0, C.Pos; 1, C.Pos ]; [ 0, C.Pos; 1, C.Pos; 2, C.Pos ] ]
+  in
+  let r = C.reduce t in
+  Alcotest.(check bool) "one row dominated" true (r.dominated_rows >= 1)
+
+let column_dominance () =
+  (* column 0 covers both rows at cost 1; column 2 covers one row at cost 2 *)
+  let t =
+    C.create ~ncols:3
+      ~cost:(fun c -> if c = 0 then 1 else 2)
+      ~rows:[ [ 0, C.Pos; 2, C.Pos ]; [ 0, C.Pos; 1, C.Pos ] ]
+  in
+  let r = C.reduce t in
+  Alcotest.(check bool) "dominated columns" true (r.dominated_cols >= 1)
+
+let unate_flag () =
+  let u = C.create ~ncols:2 ~cost:(fun _ -> 1) ~rows:[ [ 0, C.Pos; 1, C.Pos ] ] in
+  Alcotest.(check bool) "unate" true (C.is_unate u);
+  let bnt = C.create ~ncols:2 ~cost:(fun _ -> 1) ~rows:[ [ 0, C.Pos; 1, C.Neg ] ] in
+  Alcotest.(check bool) "binate" false (C.is_unate bnt)
+
+let create_validation () =
+  Alcotest.check_raises "negative cost" (Invalid_argument "Covering.create: cost of column 0")
+    (fun () -> ignore (C.create ~ncols:1 ~cost:(fun _ -> -1) ~rows:[]));
+  Alcotest.check_raises "column range" (Invalid_argument "Covering.create: column out of range")
+    (fun () -> ignore (C.create ~ncols:1 ~cost:(fun _ -> 1) ~rows:[ [ 3, C.Pos ] ]));
+  Alcotest.check_raises "duplicate column"
+    (Invalid_argument "Covering.create: duplicate column in row") (fun () ->
+      ignore (C.create ~ncols:2 ~cost:(fun _ -> 1) ~rows:[ [ 0, C.Pos; 0, C.Neg ] ]))
+
+let solve_matches_brute_unate () =
+  for seed = 0 to 40 do
+    let t, cost, rows = random_bcp seed ~ncols:8 ~nrows:10 ~binate:false in
+    let expected = brute 8 cost rows in
+    match C.solve t, expected with
+    | None, None -> ()
+    | Some s, Some opt ->
+      if s.cost <> opt then Alcotest.failf "seed %d: cost %d, optimum %d" seed s.cost opt
+    | Some _, None | None, Some _ -> Alcotest.failf "seed %d: feasibility mismatch" seed
+  done
+
+let solve_matches_brute_binate () =
+  for seed = 0 to 40 do
+    let t, cost, rows = random_bcp seed ~ncols:8 ~nrows:10 ~binate:true in
+    let expected = brute 8 cost rows in
+    match C.solve t, expected with
+    | None, None -> ()
+    | Some s, Some opt ->
+      if s.cost <> opt then Alcotest.failf "seed %d: cost %d, optimum %d" seed s.cost opt
+    | Some _, None | None, Some _ -> Alcotest.failf "seed %d: feasibility mismatch" seed
+  done
+
+let solution_is_valid_cover () =
+  for seed = 50 to 80 do
+    let t, _, rows = random_bcp seed ~ncols:10 ~nrows:14 ~binate:true in
+    match C.solve t with
+    | None -> ()
+    | Some s ->
+      let sel c = s.selection.(c) in
+      let ok =
+        List.for_all
+          (fun row ->
+            List.exists (fun (c, e) -> match e with C.Pos -> sel c | C.Neg -> not (sel c)) row)
+          rows
+      in
+      if not ok then Alcotest.failf "seed %d: selection does not cover" seed
+  done
+
+let to_problem_roundtrip () =
+  let t, cost, rows = random_bcp 3 ~ncols:6 ~nrows:8 ~binate:true in
+  let p = C.to_problem t in
+  let expected = brute 6 cost rows in
+  let o = Bsolo.Solver.solve p in
+  match expected, Bsolo.Outcome.best_cost o with
+  | None, None -> ()
+  | Some opt, Some c -> Alcotest.(check int) "pbo encoding optimum" opt c
+  | None, Some _ | Some _, None -> Alcotest.fail "feasibility mismatch"
+
+let suite =
+  [
+    Alcotest.test_case "essential detection" `Quick essential_detection;
+    Alcotest.test_case "infeasible detection" `Quick infeasible_detection;
+    Alcotest.test_case "row dominance" `Quick row_dominance;
+    Alcotest.test_case "column dominance" `Quick column_dominance;
+    Alcotest.test_case "unate flag" `Quick unate_flag;
+    Alcotest.test_case "input validation" `Quick create_validation;
+    Alcotest.test_case "solve matches brute (unate)" `Slow solve_matches_brute_unate;
+    Alcotest.test_case "solve matches brute (binate)" `Slow solve_matches_brute_binate;
+    Alcotest.test_case "solution covers" `Quick solution_is_valid_cover;
+    Alcotest.test_case "to_problem optimum" `Quick to_problem_roundtrip;
+  ]
+
+(* At sizes beyond brute force, reductions + core solving must agree with
+   solving the direct PBO encoding. *)
+let reductions_preserve_optimum_larger () =
+  for seed = 100 to 115 do
+    let t, _, _ = random_bcp seed ~ncols:16 ~nrows:24 ~binate:true in
+    let direct = Bsolo.Outcome.best_cost (Bsolo.Solver.solve (C.to_problem t)) in
+    match C.solve t, direct with
+    | None, None -> ()
+    | Some s, Some opt ->
+      if s.cost <> opt then Alcotest.failf "seed %d: reduced %d, direct %d" seed s.cost opt
+    | Some _, None | None, Some _ -> Alcotest.failf "seed %d: feasibility mismatch" seed
+  done
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "reductions preserve optimum (larger)" `Slow reductions_preserve_optimum_larger ]

@@ -1,0 +1,92 @@
+open Pbo
+
+let small_routing = { Benchgen.Routing.default with width = 4; height = 4; nets = 5 }
+let small_synth = { Benchgen.Synthesis.default with nodes = 5; support_cells = 4; exclusions = 4 }
+let small_mcnc = { Benchgen.Two_level.default with minterms = 10; implicants = 8; groups = 1 }
+let small_acc = { Benchgen.Acc.default with tasks = 6; slots = 3; conflicts = 5 }
+
+let deterministic () =
+  let eq p1 p2 = Opb.to_string p1 = Opb.to_string p2 in
+  Alcotest.(check bool) "routing" true
+    (eq (Benchgen.Routing.generate ~params:small_routing 3) (Benchgen.Routing.generate ~params:small_routing 3));
+  Alcotest.(check bool) "synthesis" true
+    (eq (Benchgen.Synthesis.generate ~params:small_synth 3) (Benchgen.Synthesis.generate ~params:small_synth 3));
+  Alcotest.(check bool) "two_level" true
+    (eq (Benchgen.Two_level.generate ~params:small_mcnc 3) (Benchgen.Two_level.generate ~params:small_mcnc 3));
+  Alcotest.(check bool) "acc" true
+    (eq (Benchgen.Acc.generate ~params:small_acc 3) (Benchgen.Acc.generate ~params:small_acc 3))
+
+let seeds_differ () =
+  let differ p1 p2 = Opb.to_string p1 <> Opb.to_string p2 in
+  Alcotest.(check bool) "routing" true
+    (differ (Benchgen.Routing.generate ~params:small_routing 1) (Benchgen.Routing.generate ~params:small_routing 2))
+
+(* the planted construction makes routing and acc instances satisfiable *)
+let planted_satisfiable () =
+  for seed = 1 to 8 do
+    let routing = Benchgen.Routing.generate ~params:small_routing seed in
+    let o = Bsolo.Solver.solve ~options:{ Bsolo.Options.default with time_limit = Some 10. } routing in
+    (match o.status with
+    | Bsolo.Outcome.Optimal -> ()
+    | s -> Alcotest.failf "routing seed %d: %s" seed (Bsolo.Outcome.status_name s));
+    let acc = Benchgen.Acc.generate ~params:small_acc seed in
+    let o = Bsolo.Solver.solve ~options:{ Bsolo.Options.default with time_limit = Some 10. } acc in
+    match o.status with
+    | Bsolo.Outcome.Satisfiable -> ()
+    | s -> Alcotest.failf "acc seed %d: %s" seed (Bsolo.Outcome.status_name s)
+  done
+
+let families_have_expected_shape () =
+  let routing = Benchgen.Routing.generate ~params:small_routing 1 in
+  Alcotest.(check bool) "routing optimization" false (Problem.is_satisfaction routing);
+  let acc = Benchgen.Acc.generate ~params:small_acc 1 in
+  Alcotest.(check bool) "acc is satisfaction" true (Problem.is_satisfaction acc);
+  let synth = Benchgen.Synthesis.generate ~params:small_synth 1 in
+  (match Problem.objective synth with
+  | None -> Alcotest.fail "synth has an objective"
+  | Some o ->
+    let big = Array.exists (fun (ct : Problem.cost_term) -> ct.cost >= 20) o.cost_terms in
+    Alcotest.(check bool) "synthesis has large weights" true big);
+  let mcnc = Benchgen.Two_level.generate ~params:small_mcnc 1 in
+  match Problem.objective mcnc with
+  | None -> Alcotest.fail "mcnc has an objective"
+  | Some o ->
+    let small = Array.for_all (fun (ct : Problem.cost_term) -> ct.cost <= 3) o.cost_terms in
+    Alcotest.(check bool) "mcnc has small costs" true small
+
+let suite_covers_families () =
+  let instances = Benchgen.Suite.instances ~scale:0.3 ~per_family:2 () in
+  Alcotest.(check int) "count" 8 (List.length instances);
+  let count f =
+    List.length (List.filter (fun (i : Benchgen.Suite.instance) -> i.family = f) instances)
+  in
+  List.iter
+    (fun f -> Alcotest.(check int) (Benchgen.Suite.family_name f) 2 (count f))
+    [ Benchgen.Suite.Grout; Benchgen.Suite.Synth; Benchgen.Suite.Mcnc; Benchgen.Suite.Acc ]
+
+let scale_grows_instances () =
+  let size scale =
+    let p = Benchgen.Routing.generate ~params:{ small_routing with nets = int_of_float (10. *. scale) } 1 in
+    Problem.nvars p
+  in
+  Alcotest.(check bool) "bigger scale, more vars" true (size 2.0 > size 0.5)
+
+let cardinality_present_in_mcnc () =
+  let p = Benchgen.Two_level.generate ~params:small_mcnc 2 in
+  let has_card =
+    Array.exists
+      (fun c -> Constr.is_cardinality c && not (Constr.is_clause c))
+      (Problem.constraints p)
+  in
+  Alcotest.(check bool) "group constraint present" true has_card
+
+let suite =
+  [
+    Alcotest.test_case "deterministic" `Quick deterministic;
+    Alcotest.test_case "seeds differ" `Quick seeds_differ;
+    Alcotest.test_case "planted instances satisfiable" `Slow planted_satisfiable;
+    Alcotest.test_case "family shapes" `Quick families_have_expected_shape;
+    Alcotest.test_case "suite covers families" `Quick suite_covers_families;
+    Alcotest.test_case "scale grows instances" `Quick scale_grows_instances;
+    Alcotest.test_case "mcnc has cardinality constraints" `Quick cardinality_present_in_mcnc;
+  ]

@@ -1,0 +1,83 @@
+(* The vendored OPB instances in benchmarks/ parse and solve. *)
+
+let benchmarks_dir () =
+  (* the test binary runs inside _build; walk up to the source root *)
+  let rec find dir =
+    let candidate = Filename.concat dir "benchmarks" in
+    if Sys.file_exists candidate && Sys.is_directory candidate then Some candidate
+    else begin
+      let parent = Filename.dirname dir in
+      if parent = dir then None else find parent
+    end
+  in
+  find (Sys.getcwd ())
+
+let all_files () =
+  match benchmarks_dir () with
+  | None -> []
+  | Some dir ->
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".opb")
+    |> List.sort compare
+    |> List.map (Filename.concat dir)
+
+let files_present () =
+  match benchmarks_dir () with
+  | None -> ()  (* tolerated when running from an install tree *)
+  | Some _ ->
+    Alcotest.(check bool) "at least 12 instances" true (List.length (all_files ()) >= 12)
+
+let parse_and_solve () =
+  let options = { Bsolo.Options.default with time_limit = Some 10.0 } in
+  List.iter
+    (fun path ->
+      match Pbo.Opb.parse_file path with
+      | exception Pbo.Opb.Parse_error msg -> Alcotest.failf "%s: %s" path msg
+      | problem ->
+        let o = Bsolo.Solver.solve ~options problem in
+        (match Bsolo.Certify.check problem o with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "%s: %s" path e);
+        (match o.status with
+        | Bsolo.Outcome.Optimal | Bsolo.Outcome.Satisfiable -> ()
+        | Bsolo.Outcome.Unknown -> ()  (* time limit; model already verified *)
+        | Bsolo.Outcome.Unsatisfiable -> Alcotest.failf "%s: unexpectedly UNSAT" path))
+    (all_files ())
+
+let suite =
+  [
+    Alcotest.test_case "files present" `Quick files_present;
+    Alcotest.test_case "parse and solve" `Slow parse_and_solve;
+  ]
+
+(* The vendored files must be exactly what the generators produce: data
+   and code cannot drift apart silently. *)
+let files_match_generators () =
+  match benchmarks_dir () with
+  | None -> ()
+  | Some dir ->
+    let check family generate =
+      for seed = 1 to 3 do
+        let path = Filename.concat dir (Printf.sprintf "%s-s%d.opb" family seed) in
+        if Sys.file_exists path then begin
+          let from_file = Pbo.Opb.parse_file path in
+          let generated = generate seed in
+          if Pbo.Opb.to_string generated <> Pbo.Opb.to_string from_file then
+            Alcotest.failf "%s drifted from its generator" path
+        end
+      done
+    in
+    let s n = max 1 (int_of_float ((float_of_int n *. 0.5) +. 0.5)) in
+    check "grout" (fun seed ->
+        Benchgen.Routing.generate
+          ~params:{ Benchgen.Routing.default with width = s 8; height = s 8; nets = s 26 }
+          seed);
+    check "mcnc" (fun seed ->
+        Benchgen.Two_level.generate
+          ~params:{ Benchgen.Two_level.default with minterms = s 70; implicants = s 40 }
+          seed);
+    check "acc" (fun seed ->
+        Benchgen.Acc.generate ~params:{ Benchgen.Acc.default with tasks = s 30 } seed)
+
+let suite =
+  suite @ [ Alcotest.test_case "files match generators" `Quick files_match_generators ]

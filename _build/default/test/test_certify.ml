@@ -1,0 +1,66 @@
+open Pbo
+
+let ok_on_real_outcomes () =
+  for seed = 0 to 30 do
+    let problem = Gen.problem seed in
+    let o = Bsolo.Solver.solve problem in
+    match Bsolo.Certify.check problem o with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "seed %d: %s" seed e
+  done
+
+let rejects_bad_model () =
+  let b = Problem.Builder.create ~nvars:1 () in
+  Problem.Builder.add_clause b [ Lit.pos 0 ];
+  let p = Problem.Builder.build b in
+  let bogus =
+    {
+      (Bsolo.Solver.solve p) with
+      Bsolo.Outcome.best = Some (Model.of_array [| false |], 0);
+    }
+  in
+  match Bsolo.Certify.check p bogus with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "violating model accepted"
+
+let rejects_wrong_cost () =
+  let b = Problem.Builder.create ~nvars:1 () in
+  Problem.Builder.add_clause b [ Lit.pos 0 ];
+  Problem.Builder.set_objective b [ 5, Lit.pos 0 ];
+  let p = Problem.Builder.build b in
+  let o = Bsolo.Solver.solve p in
+  let bogus = { o with Bsolo.Outcome.best = Some (Model.of_array [| true |], 3) } in
+  match Bsolo.Certify.check p bogus with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "wrong cost accepted"
+
+let cross_check_solvers () =
+  for seed = 0 to 30 do
+    let problem = Gen.covering seed in
+    let a = Bsolo.Solver.solve problem in
+    let b = Milp.Branch_and_bound.solve problem in
+    match Bsolo.Certify.check_optimal_against problem a ~reference:b with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "seed %d: %s" seed e
+  done
+
+let cross_check_detects_disagreement () =
+  let b = Problem.Builder.create ~nvars:1 () in
+  Problem.Builder.add_clause b [ Lit.pos 0 ];
+  Problem.Builder.set_objective b [ 5, Lit.pos 0 ];
+  let p = Problem.Builder.build b in
+  let o = Bsolo.Solver.solve p in
+  let forged = { o with Bsolo.Outcome.best = Some (Model.of_array [| true |], 5) } in
+  let lied = { forged with Bsolo.Outcome.best = Some (Model.of_array [| true |], 7) } in
+  match Bsolo.Certify.check_optimal_against p lied ~reference:o with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "disagreement not detected"
+
+let suite =
+  [
+    Alcotest.test_case "accepts real outcomes" `Quick ok_on_real_outcomes;
+    Alcotest.test_case "rejects bad model" `Quick rejects_bad_model;
+    Alcotest.test_case "rejects wrong cost" `Quick rejects_wrong_cost;
+    Alcotest.test_case "cross-check solvers" `Quick cross_check_solvers;
+    Alcotest.test_case "cross-check detects lies" `Quick cross_check_detects_disagreement;
+  ]

@@ -1,0 +1,133 @@
+open Pbo
+
+(* Count models of a builder-constructed problem, projected onto the
+   first [nvars] variables (auxiliaries existentially quantified). *)
+let projected_models problem nvars =
+  let total = Problem.nvars problem in
+  let seen = Hashtbl.create 64 in
+  for mask = 0 to (1 lsl total) - 1 do
+    let m = Model.of_array (Array.init total (fun v -> (mask lsr v) land 1 = 1)) in
+    if Model.satisfies problem m then begin
+      let proj = Array.init nvars (fun v -> Model.value m v) in
+      Hashtbl.replace seen proj ()
+    end
+  done;
+  Hashtbl.length seen
+
+let expect_count name build nvars expected =
+  let b = Problem.Builder.create ~nvars () in
+  build b (List.init nvars Lit.pos);
+  let p = Problem.Builder.build b in
+  Alcotest.(check int) name expected (projected_models p nvars)
+
+let choose n k =
+  let rec c n k = if k = 0 then 1 else c (n - 1) (k - 1) * n / k in
+  if k < 0 || k > n then 0 else c n k
+
+let sum_choose n ks = List.fold_left (fun acc k -> acc + choose n k) 0 ks
+
+let direct_cardinalities () =
+  expect_count "exactly_one" (fun b lits -> Encode.exactly_one b lits) 4 4;
+  expect_count "at_most_one" (fun b lits -> Encode.at_most_one b lits) 4 5;
+  expect_count "at_least_one" (fun b lits -> Encode.at_least_one b lits) 4 15;
+  expect_count "at_most_k 2" (fun b lits -> Encode.at_most_k b lits 2) 5
+    (sum_choose 5 [ 0; 1; 2 ]);
+  expect_count "at_least_k 3" (fun b lits -> Encode.at_least_k b lits 3) 5
+    (sum_choose 5 [ 3; 4; 5 ]);
+  expect_count "exactly_k 2" (fun b lits -> Encode.exactly_k b lits 2) 5 (choose 5 2)
+
+let pairwise_matches_direct () =
+  for n = 1 to 5 do
+    expect_count
+      (Printf.sprintf "pairwise amo %d" n)
+      (fun b lits -> Encode.at_most_one_pairwise b lits)
+      n (n + 1)
+  done
+
+let sequential_matches_direct () =
+  for n = 2 to 5 do
+    for k = 1 to n - 1 do
+      expect_count
+        (Printf.sprintf "sequential amk n=%d k=%d" n k)
+        (fun b lits -> Encode.at_most_k_sequential b lits k)
+        n
+        (sum_choose n (List.init (k + 1) Fun.id))
+    done
+  done
+
+let sequential_k_zero () =
+  expect_count "sequential k=0" (fun b lits -> Encode.at_most_k_sequential b lits 0) 3 1
+
+let implications () =
+  let b = Problem.Builder.create ~nvars:2 () in
+  Encode.implies b (Lit.pos 0) (Lit.pos 1);
+  let p = Problem.Builder.build b in
+  Alcotest.(check int) "implies" 3 (projected_models p 2);
+  let b2 = Problem.Builder.create ~nvars:2 () in
+  Encode.iff b2 (Lit.pos 0) (Lit.neg 1);
+  let p2 = Problem.Builder.build b2 in
+  Alcotest.(check int) "iff" 2 (projected_models p2 2)
+
+let tseitin_gates () =
+  (* r = and(x0, x1): models where r matches the conjunction: 4 *)
+  let b = Problem.Builder.create ~nvars:2 () in
+  let r = Encode.and_var b [ Lit.pos 0; Lit.pos 1 ] in
+  Problem.Builder.add_clause b [ r ];
+  let p = Problem.Builder.build b in
+  Alcotest.(check int) "and_var forced" 1 (projected_models p 2);
+  let b2 = Problem.Builder.create ~nvars:2 () in
+  let r2 = Encode.or_var b2 [ Lit.pos 0; Lit.pos 1 ] in
+  Problem.Builder.add_clause b2 [ Lit.negate r2 ];
+  let p2 = Problem.Builder.build b2 in
+  Alcotest.(check int) "or_var negated" 1 (projected_models p2 2)
+
+(* With an objective over the original literals, the sequential encoding
+   must give the same optimum as the native cardinality constraint. *)
+let sequential_same_optimum () =
+  for seed = 0 to 20 do
+    let rng = Random.State.make [| seed; 77 |] in
+    let n = 5 in
+    let k = 1 + Random.State.int rng 3 in
+    let costs = List.init n (fun v -> 1 + Random.State.int rng 5, Lit.neg v) in
+    let direct =
+      let b = Problem.Builder.create ~nvars:n () in
+      Encode.at_most_k b (List.init n Lit.pos) k;
+      Problem.Builder.add_clause b (List.init n Lit.pos);
+      Problem.Builder.set_objective b costs;
+      Problem.Builder.build b
+    in
+    let sequential =
+      let b = Problem.Builder.create ~nvars:n () in
+      Encode.at_most_k_sequential b (List.init n Lit.pos) k;
+      Problem.Builder.add_clause b (List.init n Lit.pos);
+      Problem.Builder.set_objective b costs;
+      Problem.Builder.build b
+    in
+    let c1 = Bsolo.Outcome.best_cost (Bsolo.Solver.solve direct) in
+    let c2 = Bsolo.Outcome.best_cost (Bsolo.Solver.solve sequential) in
+    if c1 <> c2 then
+      Alcotest.failf "seed %d: direct %s, sequential %s" seed
+        (match c1 with Some c -> string_of_int c | None -> "-")
+        (match c2 with Some c -> string_of_int c | None -> "-")
+  done
+
+let suite =
+  [
+    Alcotest.test_case "direct cardinalities" `Quick direct_cardinalities;
+    Alcotest.test_case "pairwise at-most-one" `Quick pairwise_matches_direct;
+    Alcotest.test_case "sequential at-most-k" `Quick sequential_matches_direct;
+    Alcotest.test_case "sequential k=0" `Quick sequential_k_zero;
+    Alcotest.test_case "implications" `Quick implications;
+    Alcotest.test_case "tseitin gates" `Quick tseitin_gates;
+    Alcotest.test_case "sequential optimum agrees" `Quick sequential_same_optimum;
+  ]
+
+let k_at_least_n_is_vacuous () =
+  (* at_most_k with k >= n adds no constraint *)
+  let b = Problem.Builder.create ~nvars:3 () in
+  Encode.at_most_k_sequential b (List.init 3 Lit.pos) 3;
+  let p = Problem.Builder.build b in
+  Alcotest.(check int) "no constraints" 0 (Array.length (Problem.constraints p));
+  Alcotest.(check int) "all models" 8 (projected_models p 3)
+
+let suite = suite @ [ Alcotest.test_case "sequential k >= n vacuous" `Quick k_at_least_n_is_vacuous ]

@@ -1,0 +1,97 @@
+open Pbo
+
+(* Reference: all optimal models by brute force. *)
+let brute_optima problem =
+  let n = Problem.nvars problem in
+  let models = ref [] in
+  let best = ref None in
+  for mask = 0 to (1 lsl n) - 1 do
+    let m = Model.of_array (Array.init n (fun v -> (mask lsr v) land 1 = 1)) in
+    if Model.satisfies problem m then begin
+      let c = Model.cost problem m in
+      match !best with
+      | Some b when c > b -> ()
+      | Some b when c = b -> models := m :: !models
+      | Some _ | None ->
+        best := Some c;
+        models := [ m ]
+    end
+  done;
+  List.rev !models, !best
+
+let matches_brute_force () =
+  for seed = 0 to 40 do
+    let problem = Gen.covering ~nvars:7 ~nclauses:8 seed in
+    let expected, expected_cost = brute_optima problem in
+    let got, got_cost = Bsolo.Enumerate.optimal_models problem in
+    Alcotest.(check (option int)) "optimum" expected_cost got_cost;
+    Alcotest.(check int)
+      (Printf.sprintf "model count (seed %d)" seed)
+      (List.length expected) (List.length got);
+    (* every enumerated model is optimal and they are pairwise distinct *)
+    List.iter
+      (fun m ->
+        Alcotest.(check bool) "satisfies" true (Model.satisfies problem m);
+        Alcotest.(check (option int)) "cost" got_cost (Some (Model.cost problem m)))
+      got;
+    let distinct =
+      List.length (List.sort_uniq compare (List.map Model.to_array got)) = List.length got
+    in
+    Alcotest.(check bool) "distinct" true distinct
+  done
+
+let unsat_enumerates_nothing () =
+  let b = Problem.Builder.create ~nvars:1 () in
+  Problem.Builder.add_clause b [ Lit.pos 0 ];
+  Problem.Builder.add_clause b [ Lit.neg 0 ];
+  let p = Problem.Builder.build b in
+  let models, cost = Bsolo.Enumerate.optimal_models p in
+  Alcotest.(check int) "no models" 0 (List.length models);
+  Alcotest.(check (option int)) "no cost" None cost
+
+let limit_respected () =
+  (* satisfaction instance with one ternary clause has 7 models *)
+  let b = Problem.Builder.create ~nvars:3 () in
+  Problem.Builder.add_clause b [ Lit.pos 0; Lit.pos 1; Lit.pos 2 ];
+  let p = Problem.Builder.build b in
+  Alcotest.(check int) "capped" 4 (Bsolo.Enumerate.count_optimal_models ~limit:4 p);
+  Alcotest.(check int) "all" 7 (Bsolo.Enumerate.count_optimal_models p)
+
+let assumptions_restrict () =
+  for seed = 0 to 30 do
+    let problem = Gen.covering ~nvars:8 ~nclauses:8 seed in
+    let free = Bsolo.Solver.solve problem in
+    let assumed = Bsolo.Solver.solve_under_assumptions ~assumptions:[ Lit.pos 0 ] problem in
+    match Bsolo.Outcome.best_cost free, Bsolo.Outcome.best_cost assumed with
+    | Some c1, Some c2 ->
+      if c2 < c1 then Alcotest.failf "seed %d: assumption improved the optimum" seed;
+      (match assumed.best with
+      | Some (m, _) ->
+        Alcotest.(check bool) "assumption honoured" true (Model.value m 0)
+      | None -> ())
+    | Some _, None -> ()  (* assumption made it unsatisfiable *)
+    | None, _ -> Alcotest.failf "seed %d: base instance unsat" seed
+  done
+
+let suite =
+  [
+    Alcotest.test_case "matches brute force" `Slow matches_brute_force;
+    Alcotest.test_case "unsat" `Quick unsat_enumerates_nothing;
+    Alcotest.test_case "limit" `Quick limit_respected;
+    Alcotest.test_case "assumptions" `Quick assumptions_restrict;
+  ]
+
+(* Cross-validation of engine + enumeration: the number of models of a
+   satisfaction instance equals the brute-force count. *)
+let counts_all_models () =
+  for seed = 0 to 25 do
+    let problem =
+      Gen.problem ~config:{ Gen.default with with_objective = false; nvars = 6; nconstrs = 6 }
+        seed
+    in
+    let expected = Bsolo.Exhaustive.count_models problem in
+    let got = Bsolo.Enumerate.count_optimal_models ~limit:200 problem in
+    if expected <> got then Alcotest.failf "seed %d: %d models, enumerated %d" seed expected got
+  done
+
+let suite = suite @ [ Alcotest.test_case "counts all models" `Slow counts_all_models ]

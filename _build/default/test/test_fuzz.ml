@@ -1,0 +1,61 @@
+(* Fuzzing the parsers: arbitrary input must either parse or raise the
+   module's [Parse_error], never crash or loop. *)
+
+let random_text rng len alphabet =
+  String.init len (fun _ -> alphabet.[Random.State.int rng (String.length alphabet)])
+
+let opb_fuzz () =
+  let rng = Random.State.make [| 0xf22 |] in
+  let alphabet = "0123456789 x~+-<>=;*\nmin:" in
+  for _ = 1 to 3000 do
+    let text = random_text rng (Random.State.int rng 60) alphabet in
+    match Pbo.Opb.parse_string text with
+    | (_ : Pbo.Problem.t) -> ()
+    | exception Pbo.Opb.Parse_error _ -> ()
+  done
+
+let dimacs_fuzz () =
+  let rng = Random.State.make [| 0xd1 |] in
+  let alphabet = "0123456789 -pc wcnf\n" in
+  for _ = 1 to 3000 do
+    let text = random_text rng (Random.State.int rng 60) alphabet in
+    match Pbo.Dimacs.parse_string text with
+    | (_ : Pbo.Problem.t) -> ()
+    | exception Pbo.Dimacs.Parse_error _ -> ()
+  done
+
+let wcnf_fuzz () =
+  let rng = Random.State.make [| 0x3c |] in
+  let alphabet = "0123456789 -pc wcnf\n" in
+  for _ = 1 to 3000 do
+    let text = random_text rng (Random.State.int rng 60) alphabet in
+    match Maxsat.Wpm.parse_wcnf_string text with
+    | (_ : Maxsat.Wpm.t) -> ()
+    | exception Maxsat.Wpm.Parse_error _ -> ()
+  done
+
+(* Structured fuzz: parse output of the printer with random mutations that
+   keep the token structure valid. *)
+let opb_structured_fuzz () =
+  for seed = 0 to 30 do
+    let p = Gen.problem seed in
+    let text = Pbo.Opb.to_string p in
+    (* inject whitespace and blank lines: must still parse identically *)
+    let padded =
+      String.concat "\n"
+        (List.concat_map (fun line -> [ ""; " " ^ line ]) (String.split_on_char '\n' text))
+    in
+    match Pbo.Opb.parse_string padded with
+    | p' ->
+      if Array.length (Pbo.Problem.constraints p') <> Array.length (Pbo.Problem.constraints p)
+      then Alcotest.failf "seed %d: whitespace changed the parse" seed
+    | exception Pbo.Opb.Parse_error e -> Alcotest.failf "seed %d: %s" seed e
+  done
+
+let suite =
+  [
+    Alcotest.test_case "opb fuzz" `Quick opb_fuzz;
+    Alcotest.test_case "dimacs fuzz" `Quick dimacs_fuzz;
+    Alcotest.test_case "wcnf fuzz" `Quick wcnf_fuzz;
+    Alcotest.test_case "opb whitespace robustness" `Quick opb_structured_fuzz;
+  ]

@@ -1,0 +1,140 @@
+module Sub = Lagrangian.Subgradient
+
+let hand_instance =
+  (* min 2x + 3y  s.t.  x + y >= 1  (integer optimum 2) *)
+  {
+    Sub.nvars = 2;
+    costs = [| 2.; 3. |];
+    rows = [| { Sub.coeffs = [| 0, 1.; 1, 1. |]; rhs = 1. } |];
+  }
+
+let evaluate_at_zero () =
+  (* L(0) = min 2x + 3y = 0 *)
+  Alcotest.(check (float 1e-9)) "L(0)" 0. (Sub.evaluate hand_instance [| 0. |])
+
+let evaluate_with_multiplier () =
+  (* mu = 2.5: alpha = (2 - 2.5, 3 - 2.5) = (-0.5, 0.5): x=1, y=0;
+     L = -0.5 + 2.5 = 2.0 = the IP optimum (duality gap closed) *)
+  Alcotest.(check (float 1e-9)) "L(2.5)" 2.0 (Sub.evaluate hand_instance [| 2.5 |])
+
+let maximize_improves () =
+  let r = Sub.maximize ~iters:100 ~target:2. hand_instance in
+  Alcotest.(check bool) "bound positive" true (r.bound > 1.5);
+  Alcotest.(check bool) "bound valid" true (r.bound <= 2. +. 1e-6);
+  Alcotest.(check int) "alphas sized" 2 (Array.length r.alphas)
+
+let no_rows () =
+  let p = { Sub.nvars = 2; costs = [| 1.; 1. |]; rows = [||] } in
+  let r = Sub.maximize ~target:5. p in
+  Alcotest.(check (float 1e-9)) "bound 0" 0. r.bound
+
+let negative_costs () =
+  (* a cost made negative by objective rewriting: min -x s.t. x >= 0 row
+     L(0) = -1 (x = 1) *)
+  let p = { Sub.nvars = 1; costs = [| -1. |]; rows = [| { Sub.coeffs = [| 0, 1. |]; rhs = 0. } |] } in
+  Alcotest.(check (float 1e-9)) "L(0)" (-1.) (Sub.evaluate p [| 0. |])
+
+(* qcheck: L(mu) <= IP optimum for random mu >= 0 on random covering
+   problems (the Lagrangian bounding principle). *)
+let qcheck_bounding_principle =
+  let gen =
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 1 5)
+           (pair (list_size (int_range 1 4) (pair (int_range 0 3) (int_range 1 4))) (int_range 1 6)))
+        (array_size (int_range 4 4) (int_range 0 6))
+        (array_size (int_range 5 5) (float_bound_inclusive 3.)))
+  in
+  QCheck2.Test.make ~name:"Lagrangian bounding principle" ~count:400 gen
+    (fun (raw_rows, costs, mus) ->
+      let nvars = 4 in
+      let rows =
+        List.map
+          (fun (terms, rhs) ->
+            let coeffs = Array.of_list (List.map (fun (v, a) -> v, float_of_int a) terms) in
+            { Sub.coeffs; rhs = float_of_int rhs })
+          raw_rows
+      in
+      let p =
+        { Sub.nvars; costs = Array.map float_of_int costs; rows = Array.of_list rows }
+      in
+      let mu = Array.sub mus 0 (Array.length p.rows) in
+      let l = Sub.evaluate p mu in
+      (* integer optimum by enumeration; if infeasible any L is fine *)
+      let best = ref None in
+      for mask = 0 to (1 lsl nvars) - 1 do
+        let x v = (mask lsr v) land 1 in
+        let feasible =
+          List.for_all
+            (fun (terms, rhs) ->
+              List.fold_left (fun acc (v, a) -> acc + (a * x v)) 0 terms >= rhs)
+            raw_rows
+        in
+        if feasible then begin
+          let cost = ref 0 in
+          Array.iteri (fun v c -> cost := !cost + (c * x v)) costs;
+          match !best with
+          | Some b when b <= !cost -> ()
+          | Some _ | None -> best := Some !cost
+        end
+      done;
+      match !best with
+      | None -> true
+      | Some ip -> l <= float_of_int ip +. 1e-6)
+
+(* qcheck: maximize returns a bound no worse than L(0) and still valid. *)
+let qcheck_maximize_valid =
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 5)
+           (pair (list_size (int_range 1 4) (pair (int_range 0 3) (int_range 1 4))) (int_range 1 6)))
+        (array_size (int_range 4 4) (int_range 0 6)))
+  in
+  QCheck2.Test.make ~name:"subgradient ascent stays a valid bound" ~count:200 gen
+    (fun (raw_rows, costs) ->
+      let nvars = 4 in
+      let rows =
+        List.map
+          (fun (terms, rhs) ->
+            let coeffs = Array.of_list (List.map (fun (v, a) -> v, float_of_int a) terms) in
+            { Sub.coeffs; rhs = float_of_int rhs })
+          raw_rows
+      in
+      let p = { Sub.nvars; costs = Array.map float_of_int costs; rows = Array.of_list rows } in
+      let r = Sub.maximize ~iters:40 ~target:20. p in
+      let l0 = Sub.evaluate p (Array.make (Array.length p.rows) 0.) in
+      if r.bound < l0 -. 1e-9 then false
+      else begin
+        let best = ref None in
+        for mask = 0 to (1 lsl nvars) - 1 do
+          let x v = (mask lsr v) land 1 in
+          let feasible =
+            List.for_all
+              (fun (terms, rhs) ->
+                List.fold_left (fun acc (v, a) -> acc + (a * x v)) 0 terms >= rhs)
+              raw_rows
+          in
+          if feasible then begin
+            let cost = ref 0 in
+            Array.iteri (fun v c -> cost := !cost + (c * x v)) costs;
+            match !best with
+            | Some b when b <= !cost -> ()
+            | Some _ | None -> best := Some !cost
+          end
+        done;
+        match !best with
+        | None -> true
+        | Some ip -> r.bound <= float_of_int ip +. 1e-6
+      end)
+
+let suite =
+  [
+    Alcotest.test_case "L(0)" `Quick evaluate_at_zero;
+    Alcotest.test_case "L(mu) closes the gap" `Quick evaluate_with_multiplier;
+    Alcotest.test_case "maximize improves" `Quick maximize_improves;
+    Alcotest.test_case "no rows" `Quick no_rows;
+    Alcotest.test_case "negative costs" `Quick negative_costs;
+    QCheck_alcotest.to_alcotest qcheck_bounding_principle;
+    QCheck_alcotest.to_alcotest qcheck_maximize_valid;
+  ]

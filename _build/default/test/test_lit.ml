@@ -1,0 +1,60 @@
+open Pbo
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let encoding () =
+  for v = 0 to 20 do
+    check_int "pos var" v (Lit.var (Lit.pos v));
+    check_int "neg var" v (Lit.var (Lit.neg v));
+    check "pos polarity" true (Lit.is_pos (Lit.pos v));
+    check "neg polarity" false (Lit.is_pos (Lit.neg v));
+    check "indices distinct" false (Lit.to_index (Lit.pos v) = Lit.to_index (Lit.neg v))
+  done
+
+let negate_involution () =
+  for v = 0 to 20 do
+    check "negate pos" true (Lit.equal (Lit.negate (Lit.negate (Lit.pos v))) (Lit.pos v));
+    check "negate flips" true (Lit.equal (Lit.negate (Lit.pos v)) (Lit.neg v))
+  done
+
+let make_matches () =
+  check "make true" true (Lit.equal (Lit.make 3 true) (Lit.pos 3));
+  check "make false" true (Lit.equal (Lit.make 3 false) (Lit.neg 3))
+
+let index_roundtrip () =
+  for v = 0 to 20 do
+    let l = if v mod 2 = 0 then Lit.pos v else Lit.neg v in
+    check "roundtrip" true (Lit.equal (Lit.of_index (Lit.to_index l)) l)
+  done;
+  Alcotest.check_raises "negative index" (Invalid_argument "Lit.of_index") (fun () ->
+      ignore (Lit.of_index (-1)))
+
+let printing () =
+  Alcotest.(check string) "pos" "x4" (Lit.to_string (Lit.pos 3));
+  Alcotest.(check string) "neg" "~x4" (Lit.to_string (Lit.neg 3))
+
+let dense_indices () =
+  (* indices must be dense in [0, 2n) so arrays can be literal-indexed *)
+  let seen = Hashtbl.create 32 in
+  for v = 0 to 9 do
+    Hashtbl.replace seen (Lit.to_index (Lit.pos v)) ();
+    Hashtbl.replace seen (Lit.to_index (Lit.neg v)) ()
+  done;
+  check_int "dense" 20 (Hashtbl.length seen);
+  Hashtbl.iter (fun i () -> check "in range" true (i >= 0 && i < 20)) seen
+
+let ordering () =
+  check "compare equal" true (Lit.compare (Lit.pos 2) (Lit.pos 2) = 0);
+  check "hash equal" true (Lit.hash (Lit.neg 5) = Lit.hash (Lit.neg 5))
+
+let suite =
+  [
+    Alcotest.test_case "encoding" `Quick encoding;
+    Alcotest.test_case "negate involution" `Quick negate_involution;
+    Alcotest.test_case "make" `Quick make_matches;
+    Alcotest.test_case "index roundtrip" `Quick index_roundtrip;
+    Alcotest.test_case "printing" `Quick printing;
+    Alcotest.test_case "dense indices" `Quick dense_indices;
+    Alcotest.test_case "ordering" `Quick ordering;
+  ]

@@ -1,0 +1,101 @@
+open Pbo
+
+(* Brute-force weighted partial MaxSAT over the original variables. *)
+let brute nvars hard soft =
+  let best = ref None in
+  for mask = 0 to (1 lsl nvars) - 1 do
+    let m = Model.of_array (Array.init nvars (fun v -> (mask lsr v) land 1 = 1)) in
+    let clause_true c = List.exists (Model.lit_true m) c in
+    if List.for_all clause_true hard then begin
+      let w = List.fold_left (fun acc (w, c) -> if clause_true c then acc else acc + w) 0 soft in
+      match !best with
+      | Some b when b <= w -> ()
+      | Some _ | None -> best := Some w
+    end
+  done;
+  !best
+
+let random_instance seed =
+  let rng = Random.State.make [| seed; 0x3a7 |] in
+  let nvars = 7 in
+  let clause () =
+    let len = 1 + Random.State.int rng 3 in
+    List.init len (fun _ -> Lit.make (Random.State.int rng nvars) (Random.State.bool rng))
+    |> List.sort_uniq Lit.compare
+  in
+  let hard = List.init (Random.State.int rng 5) (fun _ -> clause ()) in
+  let soft = List.init (1 + Random.State.int rng 8) (fun _ -> 1 + Random.State.int rng 5, clause ()) in
+  nvars, hard, soft
+
+let matches_brute_force () =
+  for seed = 0 to 60 do
+    let nvars, hard, soft = random_instance seed in
+    let t = Maxsat.Wpm.make ~nvars ~hard ~soft in
+    match Maxsat.Wpm.solve t, brute nvars hard soft with
+    | Maxsat.Wpm.Unsatisfiable, None -> ()
+    | Maxsat.Wpm.Optimum { model; falsified_weight }, Some opt ->
+      if falsified_weight <> opt then
+        Alcotest.failf "seed %d: weight %d, optimum %d" seed falsified_weight opt;
+      if Maxsat.Wpm.falsified_weight t model <> opt then
+        Alcotest.failf "seed %d: model weight mismatch" seed
+    | Maxsat.Wpm.Unsatisfiable, Some _ -> Alcotest.failf "seed %d: wrong UNSAT" seed
+    | Maxsat.Wpm.Optimum _, None -> Alcotest.failf "seed %d: wrong SAT" seed
+    | Maxsat.Wpm.Unknown_result, _ -> Alcotest.failf "seed %d: unknown" seed
+  done
+
+let wcnf_parsing () =
+  let text = "c test\np wcnf 3 4 10\n10 1 2 0\n10 -1 3 0\n3 -2 0\n5 2 3 0\n" in
+  let t = Maxsat.Wpm.parse_wcnf_string text in
+  Alcotest.(check int) "vars" 3 (Maxsat.Wpm.nvars t);
+  match Maxsat.Wpm.solve t with
+  | Maxsat.Wpm.Optimum { falsified_weight; _ } ->
+    (* hard: (x1|x2), (~x1|x3); soft: (~x2) w3, (x2|x3) w5 *)
+    Alcotest.(check int) "optimum" 0 falsified_weight
+  | Maxsat.Wpm.Unsatisfiable | Maxsat.Wpm.Unknown_result -> Alcotest.fail "expected optimum"
+
+let hard_unsat () =
+  let t = Maxsat.Wpm.make ~nvars:1 ~hard:[ [ Lit.pos 0 ]; [ Lit.neg 0 ] ] ~soft:[ 1, [ Lit.pos 0 ] ] in
+  match Maxsat.Wpm.solve t with
+  | Maxsat.Wpm.Unsatisfiable -> ()
+  | Maxsat.Wpm.Optimum _ | Maxsat.Wpm.Unknown_result -> Alcotest.fail "expected UNSAT"
+
+let unit_softs_without_relaxation () =
+  (* pure unit softs: pick the heavier polarity per variable *)
+  let t =
+    Maxsat.Wpm.make ~nvars:1 ~hard:[]
+      ~soft:[ 3, [ Lit.pos 0 ]; 5, [ Lit.neg 0 ] ]
+  in
+  let p = Maxsat.Wpm.to_problem t in
+  Alcotest.(check int) "no relaxation variables" 1 (Problem.nvars p);
+  match Maxsat.Wpm.solve t with
+  | Maxsat.Wpm.Optimum { model; falsified_weight } ->
+    Alcotest.(check int) "weight" 3 falsified_weight;
+    Alcotest.(check bool) "x0 false" false (Model.value model 0)
+  | Maxsat.Wpm.Unsatisfiable | Maxsat.Wpm.Unknown_result -> Alcotest.fail "expected optimum"
+
+let parse_errors () =
+  let expect text =
+    match Maxsat.Wpm.parse_wcnf_string text with
+    | exception Maxsat.Wpm.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error on %S" text
+  in
+  expect "p wcnf a 1 10\n10 1 0\n";
+  expect "p wcnf 1 1 10\n0 1 0\n";  (* zero weight *)
+  expect "p wcnf 1 1 10\n5 1\n";  (* unterminated *)
+  expect "p wcnf 1 1 10\n5 0\n"  (* empty clause *)
+
+let validation () =
+  Alcotest.check_raises "weight" (Invalid_argument "Wpm.make: non-positive weight") (fun () ->
+      ignore (Maxsat.Wpm.make ~nvars:1 ~hard:[] ~soft:[ 0, [ Lit.pos 0 ] ]));
+  Alcotest.check_raises "empty" (Invalid_argument "Wpm.make: empty clause") (fun () ->
+      ignore (Maxsat.Wpm.make ~nvars:1 ~hard:[ [] ] ~soft:[]))
+
+let suite =
+  [
+    Alcotest.test_case "matches brute force" `Slow matches_brute_force;
+    Alcotest.test_case "wcnf parsing" `Quick wcnf_parsing;
+    Alcotest.test_case "hard unsat" `Quick hard_unsat;
+    Alcotest.test_case "unit softs" `Quick unit_softs_without_relaxation;
+    Alcotest.test_case "parse errors" `Quick parse_errors;
+    Alcotest.test_case "validation" `Quick validation;
+  ]

@@ -1,0 +1,61 @@
+let solves_each_family () =
+  let instances =
+    [
+      Benchgen.Routing.generate ~params:{ Benchgen.Routing.default with nets = 10 } 1;
+      Benchgen.Two_level.generate
+        ~params:{ Benchgen.Two_level.default with minterms = 20; implicants = 12 }
+        1;
+      Benchgen.Acc.generate ~params:{ Benchgen.Acc.default with tasks = 8; slots = 3 } 1;
+    ]
+  in
+  List.iter
+    (fun problem ->
+      let r = Portfolio.solve ~budget:8.0 problem in
+      (match r.outcome.status with
+      | Bsolo.Outcome.Optimal | Bsolo.Outcome.Satisfiable -> ()
+      | s -> Alcotest.failf "portfolio failed: %s" (Bsolo.Outcome.status_name s));
+      Alcotest.(check (option string)) "no disagreement" None r.disagreement)
+    instances
+
+let agrees_with_reference () =
+  for seed = 0 to 20 do
+    let problem = Gen.covering seed in
+    let reference = Bsolo.Exhaustive.optimum problem in
+    let r = Portfolio.solve ~budget:8.0 problem in
+    match reference, Bsolo.Outcome.best_cost r.outcome with
+    | None, None -> ()
+    | Some (_, opt), Some c ->
+      if c <> opt then Alcotest.failf "seed %d: %d <> %d" seed c opt
+    | None, Some _ | Some _, None -> Alcotest.failf "seed %d: status" seed
+  done
+
+let early_stop_on_proof () =
+  let problem = Gen.covering 3 in
+  let r = Portfolio.solve ~budget:40.0 problem in
+  (* the first entry proves optimality on this easy instance, so only one
+     run should have happened *)
+  Alcotest.(check int) "single run" 1 (List.length r.runs);
+  Alcotest.(check string) "winner" "bsolo-lpr" r.winner
+
+let custom_entries () =
+  let entry =
+    {
+      Portfolio.pname = "only-mis";
+      psolve =
+        (fun ~time_limit problem ->
+          Bsolo.Solver.solve
+            ~options:
+              { (Bsolo.Options.with_lb Bsolo.Options.Mis) with time_limit = Some time_limit }
+            problem);
+    }
+  in
+  let r = Portfolio.solve ~entries:[ entry ] ~budget:5.0 (Gen.covering 2) in
+  Alcotest.(check string) "winner" "only-mis" r.winner
+
+let suite =
+  [
+    Alcotest.test_case "solves each family" `Slow solves_each_family;
+    Alcotest.test_case "agrees with reference" `Slow agrees_with_reference;
+    Alcotest.test_case "early stop" `Quick early_stop_on_proof;
+    Alcotest.test_case "custom entries" `Quick custom_entries;
+  ]

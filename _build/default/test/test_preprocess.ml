@@ -1,0 +1,60 @@
+open Pbo
+module Core = Engine.Solver_core
+
+let finds_failed_literal () =
+  (* x0=1 forces a conflict: (x0 -> x1) and (x0 -> ~x1) *)
+  let b = Problem.Builder.create ~nvars:2 () in
+  Problem.Builder.add_clause b [ Lit.neg 0; Lit.pos 1 ];
+  Problem.Builder.add_clause b [ Lit.neg 0; Lit.neg 1 ];
+  let p = Problem.Builder.build b in
+  let engine = Core.create p in
+  let n = Bsolo.Preprocess.probe engine in
+  Alcotest.(check bool) "found at least one" true (n >= 1);
+  Alcotest.(check bool) "x0 fixed false" true
+    (Value.equal (Core.value_var engine 0) Value.False)
+
+let detects_unsat_by_probing () =
+  (* both polarities of x0 fail *)
+  let b = Problem.Builder.create ~nvars:2 () in
+  Problem.Builder.add_clause b [ Lit.neg 0; Lit.pos 1 ];
+  Problem.Builder.add_clause b [ Lit.neg 0; Lit.neg 1 ];
+  Problem.Builder.add_clause b [ Lit.pos 0; Lit.pos 1 ];
+  Problem.Builder.add_clause b [ Lit.pos 0; Lit.neg 1 ];
+  let p = Problem.Builder.build b in
+  let engine = Core.create p in
+  ignore (Bsolo.Preprocess.probe engine);
+  Alcotest.(check bool) "unsat detected" true (Core.root_unsat engine)
+
+let preserves_optimum () =
+  for seed = 0 to 50 do
+    let problem = Gen.problem seed in
+    let reference = Bsolo.Exhaustive.optimum problem in
+    let with_pre =
+      Bsolo.Solver.solve ~options:{ Bsolo.Options.default with preprocess = true } problem
+    in
+    let without =
+      Bsolo.Solver.solve ~options:{ Bsolo.Options.default with preprocess = false } problem
+    in
+    let cost (o : Bsolo.Outcome.t) = Bsolo.Outcome.best_cost o in
+    (match reference, cost with_pre, cost without with
+    | None, None, None -> ()
+    | Some (_, opt), Some c1, Some c2 ->
+      if c1 <> opt || c2 <> opt then Alcotest.failf "seed %d: optimum changed" seed
+    | _, _, _ -> Alcotest.failf "seed %d: status mismatch" seed)
+  done
+
+let idempotent_on_clean_instance () =
+  let p = Gen.covering 5 in
+  let engine = Core.create p in
+  ignore (Bsolo.Preprocess.probe engine);
+  let n2 = Bsolo.Preprocess.probe engine in
+  Alcotest.(check int) "second pass finds nothing new" 0 n2;
+  Alcotest.(check bool) "still at level 0" true (Core.decision_level engine = 0)
+
+let suite =
+  [
+    Alcotest.test_case "finds failed literal" `Quick finds_failed_literal;
+    Alcotest.test_case "detects unsat" `Quick detects_unsat_by_probing;
+    Alcotest.test_case "preserves optimum" `Slow preserves_optimum;
+    Alcotest.test_case "leaves engine at level 0" `Quick idempotent_on_clean_instance;
+  ]

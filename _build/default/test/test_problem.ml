@@ -1,0 +1,124 @@
+open Pbo
+
+let build_simple () =
+  let b = Problem.Builder.create () in
+  let x = Problem.Builder.fresh_var b in
+  let y = Problem.Builder.fresh_var b in
+  Problem.Builder.add_clause b [ Lit.pos x; Lit.pos y ];
+  Problem.Builder.set_objective b [ 2, Lit.pos x; 3, Lit.pos y ];
+  let p = Problem.Builder.build b in
+  Alcotest.(check int) "nvars" 2 (Problem.nvars p);
+  Alcotest.(check int) "constraints" 1 (Array.length (Problem.constraints p));
+  Alcotest.(check bool) "not satisfaction" false (Problem.is_satisfaction p);
+  Alcotest.(check int) "max cost" 5 (Problem.max_cost_sum p)
+
+let implicit_vars () =
+  let b = Problem.Builder.create () in
+  Problem.Builder.add_clause b [ Lit.pos 6 ];
+  let p = Problem.Builder.build b in
+  Alcotest.(check int) "vars grow to mention" 7 (Problem.nvars p)
+
+let objective_normalization () =
+  (* min 3 x - 2 y + 1 ~x  ==  min 2 x + 2 ~y + 1 - 2  (on x: 3x + 1(1-x)) *)
+  let b = Problem.Builder.create ~nvars:2 () in
+  Problem.Builder.add_clause b [ Lit.pos 0; Lit.pos 1 ];
+  Problem.Builder.set_objective b [ 3, Lit.pos 0; -2, Lit.pos 1; 1, Lit.neg 0 ];
+  let p = Problem.Builder.build b in
+  match Problem.objective p with
+  | None -> Alcotest.fail "objective expected"
+  | Some o ->
+    (* value on x=1,y=1 must match the raw expression: 3 - 2 + 0 = 1 *)
+    let m = Model.of_array [| true; true |] in
+    Alcotest.(check int) "cost(1,1)" 1 (Model.cost p m);
+    let m0 = Model.of_array [| false; false |] in
+    (* raw: 0 - 0 + 1 = 1 *)
+    Alcotest.(check int) "cost(0,0)" 1 (Model.cost p m0);
+    Array.iter
+      (fun (ct : Problem.cost_term) -> Alcotest.(check bool) "positive" true (ct.cost > 0))
+      o.cost_terms
+
+let double_objective_rejected () =
+  let b = Problem.Builder.create ~nvars:1 () in
+  Problem.Builder.set_objective b [ 1, Lit.pos 0 ];
+  Alcotest.check_raises "second objective"
+    (Invalid_argument "Problem.Builder.set_objective: already set") (fun () ->
+      Problem.Builder.set_objective b [ 1, Lit.pos 0 ])
+
+let trivially_unsat_flag () =
+  let b = Problem.Builder.create ~nvars:1 () in
+  Problem.Builder.add_ge b [ 1, Lit.pos 0 ] 2;
+  let p = Problem.Builder.build b in
+  Alcotest.(check bool) "flagged" true (Problem.trivially_unsat p)
+
+let cost_of_var_lookup () =
+  let b = Problem.Builder.create ~nvars:3 () in
+  Problem.Builder.set_objective b [ 5, Lit.neg 1 ];
+  let p = Problem.Builder.build b in
+  (match Problem.cost_of_var p 1 with
+  | Some (5, l) -> Alcotest.(check bool) "neg lit" false (Lit.is_pos l)
+  | Some _ | None -> Alcotest.fail "cost on var 1");
+  Alcotest.(check bool) "no cost on var 0" true (Problem.cost_of_var p 0 = None)
+
+let with_constraints_appends () =
+  let b = Problem.Builder.create ~nvars:2 () in
+  Problem.Builder.add_clause b [ Lit.pos 0 ];
+  let p = Problem.Builder.build b in
+  match Constr.clause [ Lit.pos 1 ] with
+  | Constr.Constr c ->
+    let p' = Problem.with_constraints p [ c ] in
+    Alcotest.(check int) "appended" 2 (Array.length (Problem.constraints p'));
+    Alcotest.(check int) "original untouched" 1 (Array.length (Problem.constraints p))
+  | Constr.Trivial_true | Constr.Trivial_false -> Alcotest.fail "clause"
+
+(* qcheck: normalized objective evaluates like the raw expression plus a
+   constant, for every assignment. *)
+let qcheck_objective =
+  let gen =
+    QCheck2.Gen.(
+      let term = pair (int_range (-6) 6) (map2 Lit.make (int_range 0 4) bool) in
+      list_size (int_range 0 8) term)
+  in
+  QCheck2.Test.make ~name:"objective normalization preserves value" ~count:400 gen (fun raw ->
+      let b = Problem.Builder.create ~nvars:5 () in
+      Problem.Builder.set_objective b raw;
+      let p = Problem.Builder.build b in
+      let raw_value assign =
+        let lit_true l = if Lit.is_pos l then assign (Lit.var l) else not (assign (Lit.var l)) in
+        List.fold_left (fun acc (c, l) -> if lit_true l then acc + c else acc) 0 raw
+      in
+      let ok = ref true in
+      for mask = 0 to 31 do
+        let assign v = (mask lsr v) land 1 = 1 in
+        let m = Model.of_array (Array.init 5 assign) in
+        if Model.cost p m <> raw_value assign then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "builder basics" `Quick build_simple;
+    Alcotest.test_case "implicit variables" `Quick implicit_vars;
+    Alcotest.test_case "objective normalization" `Quick objective_normalization;
+    Alcotest.test_case "double objective rejected" `Quick double_objective_rejected;
+    Alcotest.test_case "trivially unsat flag" `Quick trivially_unsat_flag;
+    Alcotest.test_case "cost_of_var" `Quick cost_of_var_lookup;
+    Alcotest.test_case "with_constraints" `Quick with_constraints_appends;
+    QCheck_alcotest.to_alcotest qcheck_objective;
+  ]
+
+let statistics () =
+  let b = Problem.Builder.create ~nvars:4 () in
+  Problem.Builder.add_clause b [ Lit.pos 0; Lit.pos 1 ];
+  Problem.Builder.add_cardinality b [ Lit.pos 0; Lit.pos 1; Lit.pos 2 ] 2;
+  Problem.Builder.add_ge b [ 3, Lit.pos 0; 2, Lit.pos 1; 1, Lit.pos 3 ] 4;
+  Problem.Builder.set_objective b [ 2, Lit.pos 0; 5, Lit.pos 3 ];
+  let s = Pstats.of_problem (Problem.Builder.build b) in
+  Alcotest.(check int) "clauses" 1 s.Pstats.nclauses;
+  Alcotest.(check int) "cardinality" 1 s.Pstats.ncardinality;
+  Alcotest.(check int) "general" 1 s.Pstats.ngeneral;
+  Alcotest.(check int) "cost sum" 7 s.Pstats.cost_sum;
+  Alcotest.(check bool) "optimization" false s.Pstats.satisfaction;
+  (* the printer must not raise *)
+  ignore (Format.asprintf "%a" Pstats.pp s)
+
+let suite = suite @ [ Alcotest.test_case "statistics" `Quick statistics ]

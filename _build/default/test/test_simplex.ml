@@ -1,0 +1,223 @@
+let feps = 1e-5
+
+let check_float msg expected got =
+  if abs_float (expected -. got) > feps then
+    Alcotest.failf "%s: expected %f, got %f" msg expected got
+
+let expect_optimal = function
+  | Simplex.Optimal s -> s
+  | Simplex.Infeasible _ -> Alcotest.fail "unexpected infeasible"
+  | Simplex.Unbounded -> Alcotest.fail "unexpected unbounded"
+  | Simplex.Iteration_limit -> Alcotest.fail "unexpected iteration limit"
+
+let lp ?(lower = fun _ -> 0.) ?(upper = fun _ -> 1.) ncols objective rows =
+  {
+    Simplex.ncols;
+    lower = Array.init ncols lower;
+    upper = Array.init ncols upper;
+    objective = Array.of_list objective;
+    rows =
+      List.map (fun (coeffs, rel, rhs) -> { Simplex.coeffs; rel; rhs }) rows
+      |> Array.of_list;
+  }
+
+let simple_cover () =
+  (* min x + y  s.t.  x + y >= 1  ->  1 at any vertex of the face *)
+  let sol = expect_optimal (Simplex.solve (lp 2 [ 1.; 1. ] [ [ 0, 1.; 1, 1. ], Simplex.Ge, 1. ])) in
+  check_float "objective" 1. sol.value
+
+let fractional_optimum () =
+  (* min x + y  s.t.  2x + y >= 2, x + 2y >= 2  ->  x=y=2/3, z=4/3 *)
+  let sol =
+    expect_optimal
+      (Simplex.solve
+         (lp 2 [ 1.; 1. ]
+            [
+              [ 0, 2.; 1, 1. ], Simplex.Ge, 2.;
+              [ 0, 1.; 1, 2. ], Simplex.Ge, 2.;
+            ]))
+  in
+  check_float "objective" (4. /. 3.) sol.value;
+  check_float "x" (2. /. 3.) sol.x.(0);
+  check_float "y" (2. /. 3.) sol.x.(1)
+
+let upper_bounds_bind () =
+  (* min -x (i.e. max x) with x <= 1 bound: x = 1 *)
+  let sol = expect_optimal (Simplex.solve (lp 1 [ -1. ] [])) in
+  check_float "x at upper bound" 1. sol.x.(0);
+  check_float "objective" (-1.) sol.value
+
+let le_rows () =
+  (* min -x - y s.t. x + y <= 1.5: optimum 1.5 split anywhere *)
+  let sol =
+    expect_optimal
+      (Simplex.solve (lp 2 [ -1.; -1. ] [ [ 0, 1.; 1, 1. ], Simplex.Le, 1.5 ]))
+  in
+  check_float "objective" (-1.5) sol.value
+
+let eq_rows () =
+  (* min x s.t. x + y = 1, y <= 0.25  ->  x = 0.75 *)
+  let sol =
+    expect_optimal
+      (Simplex.solve
+         (lp 2
+            ~upper:(fun j -> if j = 1 then 0.25 else 1.)
+            [ 1.; 0. ]
+            [ [ 0, 1.; 1, 1. ], Simplex.Eq, 1. ]))
+  in
+  check_float "x" 0.75 sol.x.(0)
+
+let infeasible_detected () =
+  (* x >= 1 and x <= 0.25 (as a row) *)
+  match
+    Simplex.solve
+      (lp 1 [ 0. ]
+         [ [ (0, 1.) ], Simplex.Ge, 1.; [ (0, 1.) ], Simplex.Le, 0.25 ])
+  with
+  | Simplex.Infeasible witness -> Alcotest.(check bool) "witness nonempty" true (witness <> [])
+  | Simplex.Optimal _ | Simplex.Unbounded | Simplex.Iteration_limit ->
+    Alcotest.fail "expected infeasible"
+
+let row_activity_reported () =
+  let sol = expect_optimal (Simplex.solve (lp 2 [ 1.; 2. ] [ [ 0, 1.; 1, 1. ], Simplex.Ge, 1. ])) in
+  check_float "activity = 1 (tight)" 1. sol.row_activity.(0);
+  check_float "cheapest var used" 1. sol.x.(0)
+
+let degenerate_ok () =
+  (* redundant rows on the same face *)
+  let rows =
+    [
+      [ 0, 1.; 1, 1. ], Simplex.Ge, 1.;
+      [ 0, 2.; 1, 2. ], Simplex.Ge, 2.;
+      [ 0, 1. ], Simplex.Ge, 0.;
+    ]
+  in
+  let sol = expect_optimal (Simplex.solve (lp 2 [ 1.; 1. ] rows)) in
+  check_float "objective" 1. sol.value
+
+let empty_problem () =
+  let sol = expect_optimal (Simplex.solve (lp 2 [ 1.; 1. ] [])) in
+  check_float "objective" 0. sol.value
+
+(* qcheck: on random 0-1 covering LPs, the LP optimum never exceeds the
+   integer optimum, and LP infeasibility implies IP infeasibility. *)
+let qcheck_lp_bounds_ip =
+  let gen =
+    QCheck2.Gen.(
+      let row = list_size (int_range 1 4) (pair (int_range 0 4) (int_range 1 4)) in
+      pair (list_size (int_range 1 6) (pair row (int_range 1 6))) (list_size (int_range 5 5) (int_range 0 5)))
+  in
+  QCheck2.Test.make ~name:"LP relaxation bounds the 0-1 optimum" ~count:300 gen
+    (fun (raw_rows, costs) ->
+      let nvars = 5 in
+      let rows =
+        List.map
+          (fun (terms, rhs) ->
+            let coeffs = List.map (fun (v, a) -> v, float_of_int a) terms in
+            { Simplex.coeffs; rel = Simplex.Ge; rhs = float_of_int rhs })
+          raw_rows
+      in
+      let objective = Array.of_list (List.map float_of_int costs) in
+      let problem =
+        {
+          Simplex.ncols = nvars;
+          lower = Array.make nvars 0.;
+          upper = Array.make nvars 1.;
+          objective;
+          rows = Array.of_list rows;
+        }
+      in
+      (* integer optimum by enumeration *)
+      let ip_best = ref None in
+      for mask = 0 to (1 lsl nvars) - 1 do
+        let x v = (mask lsr v) land 1 in
+        let feasible =
+          List.for_all
+            (fun (terms, rhs) ->
+              List.fold_left (fun acc (v, a) -> acc + (a * x v)) 0 terms >= rhs)
+            raw_rows
+        in
+        if feasible then begin
+          let cost = List.fold_left ( + ) 0 (List.mapi (fun v c -> c * x v) costs) in
+          match !ip_best with
+          | Some b when b <= cost -> ()
+          | Some _ | None -> ip_best := Some cost
+        end
+      done;
+      match Simplex.solve problem, !ip_best with
+      | Simplex.Optimal sol, Some ip -> sol.value <= float_of_int ip +. feps
+      | Simplex.Optimal _, None -> true  (* LP feasible, IP not: fine *)
+      | Simplex.Infeasible _, None -> true
+      | Simplex.Infeasible _, Some _ -> false  (* LP infeasible but IP feasible: bug *)
+      | (Simplex.Unbounded | Simplex.Iteration_limit), _ -> false)
+
+(* qcheck: the reported primal solution is feasible and matches the
+   reported objective value. *)
+let qcheck_solution_consistent =
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 1 6)
+        (pair (list_size (int_range 1 4) (pair (int_range 0 4) (int_range 1 4))) (int_range 1 6)))
+  in
+  QCheck2.Test.make ~name:"simplex solution is primal feasible" ~count:300 gen (fun raw_rows ->
+      let nvars = 5 in
+      let rows =
+        List.map
+          (fun (terms, rhs) ->
+            let coeffs = List.map (fun (v, a) -> v, float_of_int a) terms in
+            { Simplex.coeffs; rel = Simplex.Ge; rhs = float_of_int rhs })
+          raw_rows
+      in
+      let objective = Array.init nvars (fun v -> float_of_int (v + 1)) in
+      let problem =
+        {
+          Simplex.ncols = nvars;
+          lower = Array.make nvars 0.;
+          upper = Array.make nvars 1.;
+          objective;
+          rows = Array.of_list rows;
+        }
+      in
+      let feasible_at_ones =
+        List.for_all
+          (fun (terms, rhs) -> List.fold_left (fun acc (_, a) -> acc + a) 0 terms >= rhs)
+          raw_rows
+      in
+      match Simplex.solve problem with
+      | Simplex.Optimal sol ->
+        let bounds_ok = Array.for_all (fun v -> v >= -.feps && v <= 1. +. feps) sol.x in
+        let rows_ok =
+          List.for_all2
+            (fun { Simplex.coeffs; rhs; _ } activity ->
+              let recomputed =
+                List.fold_left (fun acc (v, a) -> acc +. (a *. sol.x.(v))) 0. coeffs
+              in
+              abs_float (recomputed -. activity) < feps && activity >= rhs -. feps)
+            rows
+            (Array.to_list sol.row_activity)
+        in
+        let value_ok =
+          let z = ref 0. in
+          Array.iteri (fun v c -> z := !z +. (c *. sol.x.(v))) objective;
+          abs_float (!z -. sol.value) < feps
+        in
+        bounds_ok && rows_ok && value_ok
+      | Simplex.Infeasible _ ->
+        (* positive Ge rows are feasible iff satisfiable at x = 1 *)
+        not feasible_at_ones
+      | Simplex.Unbounded | Simplex.Iteration_limit -> false)
+
+let suite =
+  [
+    Alcotest.test_case "simple cover" `Quick simple_cover;
+    Alcotest.test_case "fractional optimum" `Quick fractional_optimum;
+    Alcotest.test_case "upper bounds bind" `Quick upper_bounds_bind;
+    Alcotest.test_case "Le rows" `Quick le_rows;
+    Alcotest.test_case "Eq rows" `Quick eq_rows;
+    Alcotest.test_case "infeasible detected" `Quick infeasible_detected;
+    Alcotest.test_case "row activity" `Quick row_activity_reported;
+    Alcotest.test_case "degenerate rows" `Quick degenerate_ok;
+    Alcotest.test_case "empty problem" `Quick empty_problem;
+    QCheck_alcotest.to_alcotest qcheck_lp_bounds_ip;
+    QCheck_alcotest.to_alcotest qcheck_solution_consistent;
+  ]

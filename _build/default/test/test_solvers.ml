@@ -1,0 +1,84 @@
+(* End-to-end oracle: every solver agrees with the brute-force optimum on
+   small random instances. *)
+open Pbo
+
+let check_solver name solve seed problem =
+  let reference = Bsolo.Exhaustive.optimum problem in
+  let outcome = solve problem in
+  match reference, outcome.Bsolo.Outcome.status, outcome.Bsolo.Outcome.best with
+  | None, Bsolo.Outcome.Unsatisfiable, _ -> ()
+  | None, s, _ ->
+    Alcotest.failf "%s seed=%d: expected UNSAT, got %s" name seed (Bsolo.Outcome.status_name s)
+  | Some (_, opt), (Bsolo.Outcome.Optimal | Bsolo.Outcome.Satisfiable), Some (m, c) ->
+    if not (Model.satisfies problem m) then
+      Alcotest.failf "%s seed=%d: reported model violates a constraint" name seed;
+    if Model.cost problem m <> c then
+      Alcotest.failf "%s seed=%d: reported cost %d but model costs %d" name seed c
+        (Model.cost problem m);
+    if c <> opt then Alcotest.failf "%s seed=%d: cost %d, optimum %d" name seed c opt
+  | Some _, s, _ ->
+    Alcotest.failf "%s seed=%d: expected optimum, got %s" name seed (Bsolo.Outcome.status_name s)
+
+let solvers =
+  [
+    "bsolo-plain", (fun p -> Bsolo.Solver.solve ~options:(Bsolo.Options.with_lb Bsolo.Options.Plain) p);
+    "bsolo-mis", (fun p -> Bsolo.Solver.solve ~options:(Bsolo.Options.with_lb Bsolo.Options.Mis) p);
+    "bsolo-lgr", (fun p -> Bsolo.Solver.solve ~options:(Bsolo.Options.with_lb Bsolo.Options.Lgr) p);
+    "bsolo-lpr", (fun p -> Bsolo.Solver.solve ~options:(Bsolo.Options.with_lb Bsolo.Options.Lpr) p);
+    "pbs-like", (fun p -> Bsolo.Linear_search.solve p);
+    "galena-like", (fun p -> Bsolo.Linear_search.solve ~pb_learning:true p);
+    "milp", (fun p -> Milp.Branch_and_bound.solve p);
+  ]
+
+let agreement_cases =
+  let case (name, solve) =
+    let run () =
+      for seed = 0 to 80 do
+        check_solver name solve seed (Gen.problem seed)
+      done;
+      for seed = 0 to 40 do
+        check_solver name solve seed (Gen.covering seed)
+      done
+    in
+    Alcotest.test_case (name ^ " matches brute force") `Slow run
+  in
+  List.map case solvers
+
+let satisfaction_case =
+  let run () =
+    for seed = 0 to 40 do
+      let problem = Gen.problem ~config:{ Gen.default with with_objective = false } seed in
+      let reference = Bsolo.Exhaustive.optimum problem in
+      let outcome = Bsolo.Solver.solve problem in
+      match reference, outcome.Bsolo.Outcome.status with
+      | None, Bsolo.Outcome.Unsatisfiable -> ()
+      | Some _, Bsolo.Outcome.Satisfiable ->
+        (match outcome.best with
+        | Some (m, _) ->
+          if not (Model.satisfies problem m) then Alcotest.failf "seed=%d: bad model" seed
+        | None -> Alcotest.failf "seed=%d: no model" seed)
+      | _, s ->
+        Alcotest.failf "seed=%d: mismatch (%s)" seed (Bsolo.Outcome.status_name s)
+    done
+  in
+  [ Alcotest.test_case "satisfaction instances" `Slow run ]
+
+let suite = agreement_cases @ satisfaction_case
+
+(* Larger instances stress bound conflicts and the LP path more. *)
+let larger_cases =
+  let config = { Gen.default with nvars = 12; nconstrs = 16; max_cost = 20; max_coeff = 6 } in
+  let case (name, solve) =
+    let run () =
+      for seed = 100 to 140 do
+        check_solver name solve seed (Gen.problem ~config seed)
+      done;
+      for seed = 100 to 120 do
+        check_solver name solve seed (Gen.covering ~nvars:12 ~nclauses:18 seed)
+      done
+    in
+    Alcotest.test_case (name ^ " matches brute force (larger)") `Slow run
+  in
+  List.map case solvers
+
+let suite = suite @ larger_cases

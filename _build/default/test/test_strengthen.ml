@@ -1,0 +1,71 @@
+open Pbo
+
+(* Strengthening must preserve the model set exactly. *)
+let model_equivalence () =
+  for seed = 0 to 80 do
+    let problem = Gen.problem seed in
+    if Problem.nvars problem <= 10 then begin
+      let problem', _ = Bsolo.Strengthen.apply problem in
+      let nvars = Problem.nvars problem in
+      Alcotest.(check int) "nvars preserved" nvars (Problem.nvars problem');
+      for mask = 0 to (1 lsl nvars) - 1 do
+        let m = Model.of_array (Array.init nvars (fun v -> (mask lsr v) land 1 = 1)) in
+        if Model.satisfies problem m <> Model.satisfies problem' m then
+          Alcotest.failf "seed %d: model set changed at mask %d" seed mask;
+        if Model.satisfies problem m && Model.cost problem m <> Model.cost problem' m then
+          Alcotest.failf "seed %d: cost changed" seed
+      done
+    end
+  done
+
+let strengthens_implications () =
+  (* x0 -> x1 and x0 -> x2, and C: x1 + x2 >= 1.  Probing x0 forces both
+     literals, over-satisfying C by 1: C becomes x1 + x2 + ~x0 >= 2. *)
+  let b = Problem.Builder.create ~nvars:3 () in
+  Problem.Builder.add_clause b [ Lit.neg 0; Lit.pos 1 ];
+  Problem.Builder.add_clause b [ Lit.neg 0; Lit.pos 2 ];
+  Problem.Builder.add_ge b [ 1, Lit.pos 1; 1, Lit.pos 2 ] 1;
+  let p = Problem.Builder.build b in
+  let p', report = Bsolo.Strengthen.apply p in
+  Alcotest.(check bool) "strengthened something" true (report.strengthened >= 1);
+  (* equivalence spot check *)
+  for mask = 0 to 7 do
+    let m = Model.of_array (Array.init 3 (fun v -> (mask lsr v) land 1 = 1)) in
+    Alcotest.(check bool) "same models" (Model.satisfies p m) (Model.satisfies p' m)
+  done
+
+let reports_fixed_literals () =
+  let b = Problem.Builder.create ~nvars:2 () in
+  Problem.Builder.add_clause b [ Lit.neg 0; Lit.pos 1 ];
+  Problem.Builder.add_clause b [ Lit.neg 0; Lit.neg 1 ];
+  let p = Problem.Builder.build b in
+  let _, report = Bsolo.Strengthen.apply p in
+  Alcotest.(check bool) "found the failed literal" true (report.fixed_literals >= 1)
+
+let optimum_preserved_under_solving () =
+  for seed = 0 to 40 do
+    let problem = Gen.covering seed in
+    let reference = Bsolo.Exhaustive.optimum problem in
+    let on = Bsolo.Solver.solve ~options:{ Bsolo.Options.default with constraint_strengthening = true } problem in
+    let off = Bsolo.Solver.solve ~options:{ Bsolo.Options.default with constraint_strengthening = false } problem in
+    match reference, Bsolo.Outcome.best_cost on, Bsolo.Outcome.best_cost off with
+    | None, None, None -> ()
+    | Some (_, opt), Some c1, Some c2 ->
+      if c1 <> opt || c2 <> opt then Alcotest.failf "seed %d: optimum changed" seed
+    | _, _, _ -> Alcotest.failf "seed %d: status mismatch" seed
+  done
+
+let empty_problem () =
+  let p = Problem.Builder.build (Problem.Builder.create ()) in
+  let p', report = Bsolo.Strengthen.apply p in
+  Alcotest.(check int) "nothing to do" 0 report.strengthened;
+  Alcotest.(check int) "no vars" 0 (Problem.nvars p')
+
+let suite =
+  [
+    Alcotest.test_case "model equivalence" `Slow model_equivalence;
+    Alcotest.test_case "strengthens implications" `Quick strengthens_implications;
+    Alcotest.test_case "reports fixed literals" `Quick reports_fixed_literals;
+    Alcotest.test_case "optimum preserved" `Slow optimum_preserved_under_solving;
+    Alcotest.test_case "empty problem" `Quick empty_problem;
+  ]

@@ -1,0 +1,40 @@
+open Pbo
+
+let negate_involution () =
+  List.iter
+    (fun v -> Alcotest.(check bool) "double negate" true (Value.equal v (Value.negate (Value.negate v))))
+    [ Value.True; Value.False; Value.Unknown ];
+  Alcotest.(check bool) "negate true" true (Value.equal Value.False (Value.negate Value.True));
+  Alcotest.(check bool) "negate unknown" true (Value.equal Value.Unknown (Value.negate Value.Unknown))
+
+let of_bool () =
+  Alcotest.(check bool) "true" true (Value.equal Value.True (Value.of_bool true));
+  Alcotest.(check bool) "false" true (Value.equal Value.False (Value.of_bool false))
+
+let equality () =
+  Alcotest.(check bool) "eq" true (Value.equal Value.True Value.True);
+  Alcotest.(check bool) "neq" false (Value.equal Value.True Value.Unknown)
+
+let printing () =
+  let s v = Format.asprintf "%a" Value.pp v in
+  Alcotest.(check string) "true" "true" (s Value.True);
+  Alcotest.(check string) "false" "false" (s Value.False);
+  Alcotest.(check string) "unknown" "unknown" (s Value.Unknown)
+
+let outcome_printing () =
+  let p = Gen.covering 1 in
+  let o = Bsolo.Solver.solve p in
+  let s = Format.asprintf "%a" Bsolo.Outcome.pp o in
+  Alcotest.(check bool) "mentions status" true
+    (String.length s > 0 && String.sub s 0 7 = "OPTIMAL");
+  Alcotest.(check string) "names" "LPR" (Bsolo.Options.lb_method_name Bsolo.Options.Lpr);
+  Alcotest.(check string) "plain" "plain" (Bsolo.Options.lb_method_name Bsolo.Options.Plain)
+
+let suite =
+  [
+    Alcotest.test_case "negate involution" `Quick negate_involution;
+    Alcotest.test_case "of_bool" `Quick of_bool;
+    Alcotest.test_case "equality" `Quick equality;
+    Alcotest.test_case "printing" `Quick printing;
+    Alcotest.test_case "outcome printing" `Quick outcome_printing;
+  ]

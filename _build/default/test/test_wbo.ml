@@ -1,0 +1,126 @@
+open Pbo
+module W = Maxsat.Wbo
+
+(* Brute-force WBO over original variables. *)
+let raw_holds m (terms, rel, rhs) =
+  let v = List.fold_left (fun acc (c, l) -> if Model.lit_true m l then acc + c else acc) 0 terms in
+  match rel with
+  | Constr.Ge -> v >= rhs
+  | Constr.Le -> v <= rhs
+  | Constr.Eq -> v = rhs
+
+let brute nvars hard soft top =
+  let best = ref None in
+  for mask = 0 to (1 lsl nvars) - 1 do
+    let m = Model.of_array (Array.init nvars (fun v -> (mask lsr v) land 1 = 1)) in
+    if List.for_all (raw_holds m) hard then begin
+      let w = List.fold_left (fun acc (w, c) -> if raw_holds m c then acc else acc + w) 0 soft in
+      let admissible = match top with None -> true | Some k -> w < k in
+      if admissible then begin
+        match !best with
+        | Some b when b <= w -> ()
+        | Some _ | None -> best := Some w
+      end
+    end
+  done;
+  !best
+
+let random_raw rng nvars =
+  let len = 1 + Random.State.int rng 3 in
+  let terms =
+    List.init len (fun _ ->
+        1 + Random.State.int rng 3, Lit.make (Random.State.int rng nvars) (Random.State.bool rng))
+  in
+  let total = List.fold_left (fun acc (c, _) -> acc + c) 0 terms in
+  let rel = match Random.State.int rng 3 with 0 -> Constr.Ge | 1 -> Constr.Le | _ -> Constr.Eq in
+  terms, rel, Random.State.int rng (total + 1)
+
+let matches_brute_force () =
+  for seed = 0 to 50 do
+    let rng = Random.State.make [| seed; 0xb0 |] in
+    let nvars = 6 in
+    let hard = List.init (Random.State.int rng 3) (fun _ -> random_raw rng nvars) in
+    let soft = List.init (1 + Random.State.int rng 5) (fun _ -> 1 + Random.State.int rng 4, random_raw rng nvars) in
+    let t = W.make ~nvars ~hard ~soft () in
+    match W.solve t, brute nvars hard soft None with
+    | W.Unsatisfiable, None -> ()
+    | W.Optimum { violation; _ }, Some opt ->
+      if violation <> opt then Alcotest.failf "seed %d: %d <> %d" seed violation opt
+    | W.Unsatisfiable, Some _ -> Alcotest.failf "seed %d: wrong UNSAT" seed
+    | W.Optimum _, None -> Alcotest.failf "seed %d: wrong SAT" seed
+    | W.Unknown_result, _ -> Alcotest.failf "seed %d: unknown" seed
+  done
+
+let top_cost_enforced () =
+  for seed = 0 to 30 do
+    let rng = Random.State.make [| seed; 0xb1 |] in
+    let nvars = 5 in
+    let soft = List.init (2 + Random.State.int rng 4) (fun _ -> 1 + Random.State.int rng 4, random_raw rng nvars) in
+    let top = 1 + Random.State.int rng 6 in
+    let t = W.make ~nvars ~hard:[] ~soft ~top () in
+    match W.solve t, brute nvars [] soft (Some top) with
+    | W.Unsatisfiable, None -> ()
+    | W.Optimum { violation; _ }, Some opt ->
+      if violation <> opt then Alcotest.failf "seed %d: %d <> %d (top %d)" seed violation opt top
+    | W.Unsatisfiable, Some _ | W.Optimum _, None -> Alcotest.failf "seed %d: status (top)" seed
+    | W.Unknown_result, _ -> Alcotest.failf "seed %d: unknown" seed
+  done
+
+let parses_format () =
+  let text =
+    "* example\nsoft: 4 ;\n[2] +1 x1 +1 x2 >= 2 ;\n[3] +1 x3 = 0 ;\n+1 x1 +1 x3 >= 1 ;\n"
+  in
+  let t = W.parse_string text in
+  Alcotest.(check int) "vars" 3 (W.nvars t);
+  match W.solve t with
+  | W.Optimum { violation; model } ->
+    (* hard: x1 | x3.  Cheapest: x1=x2=1 violating nothing, x3=0 *)
+    Alcotest.(check int) "violation" 0 violation;
+    Alcotest.(check bool) "hard holds" true (Model.value model 0 || Model.value model 2)
+  | W.Unsatisfiable | W.Unknown_result -> Alcotest.fail "expected optimum"
+
+let equality_soft_counts_once () =
+  (* a soft equality is one group: violating it costs its weight once *)
+  let t = W.parse_string "[5] +1 x1 +1 x2 = 1 ;\n+1 x1 >= 1 ;\n+1 x2 >= 1 ;\n" in
+  match W.solve t with
+  | W.Optimum { violation; _ } -> Alcotest.(check int) "once" 5 violation
+  | W.Unsatisfiable | W.Unknown_result -> Alcotest.fail "expected optimum"
+
+let parse_errors () =
+  let expect text =
+    match W.parse_string text with
+    | exception W.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected error on %S" text
+  in
+  expect "[0] +1 x1 >= 1 ;\n";
+  expect "[2 +1 x1 >= 1 ;\n";
+  expect "soft: nope ;\n"
+
+let suite =
+  [
+    Alcotest.test_case "matches brute force" `Slow matches_brute_force;
+    Alcotest.test_case "top cost enforced" `Slow top_cost_enforced;
+    Alcotest.test_case "parses format" `Quick parses_format;
+    Alcotest.test_case "equality counts once" `Quick equality_soft_counts_once;
+    Alcotest.test_case "parse errors" `Quick parse_errors;
+  ]
+
+let programmatic_api () =
+  (* hard: x1 + x2 >= 1; soft w4: x1 + x2 <= 1 (prefer not both) *)
+  let t =
+    W.make ~nvars:2
+      ~hard:[ [ 1, Lit.pos 0; 1, Lit.pos 1 ], Constr.Ge, 1 ]
+      ~soft:[ 4, ([ 1, Lit.pos 0; 1, Lit.pos 1 ], Constr.Le, 1) ]
+      ()
+  in
+  (match W.solve t with
+  | W.Optimum { violation; model } ->
+    Alcotest.(check int) "violation" 0 violation;
+    Alcotest.(check bool) "hard" true (Model.value model 0 || Model.value model 1)
+  | W.Unsatisfiable | W.Unknown_result -> Alcotest.fail "optimum expected");
+  Alcotest.check_raises "bad weight" (Invalid_argument "Wbo.make: non-positive weight")
+    (fun () -> ignore (W.make ~nvars:1 ~hard:[] ~soft:[ 0, ([ 1, Lit.pos 0 ], Constr.Ge, 1) ] ()));
+  Alcotest.check_raises "bad top" (Invalid_argument "Wbo.make: non-positive top") (fun () ->
+      ignore (W.make ~nvars:1 ~hard:[] ~soft:[] ~top:0 ()))
+
+let suite = suite @ [ Alcotest.test_case "programmatic api" `Quick programmatic_api ]
