@@ -12,12 +12,13 @@
 let usage () =
   print_endline
     "usage: main.exe [table1|ablation-bc|ablation-branch|ablation-knapsack|ablation-lgr|ablation-strengthen|scaling|extension-cp|micro|all]\n\
-    \       [--limit SECS] [--scale S] [--per-family N]"
+    \       [--limit SECS] [--scale S] [--per-family N] [--json FILE]"
 
 let () =
   let limit = ref 3.0 in
   let scale = ref 1.0 in
   let per_family = ref 10 in
+  let json = ref None in
   let command = ref "all" in
   let rec parse = function
     | [] -> ()
@@ -30,6 +31,9 @@ let () =
     | "--per-family" :: v :: rest ->
       per_family := int_of_string v;
       parse rest
+    | "--json" :: v :: rest ->
+      json := Some v;
+      parse rest
     | ("--help" | "-h") :: _ ->
       usage ();
       exit 0
@@ -39,7 +43,7 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   let limit = !limit and scale = !scale and per_family = !per_family in
-  let table1 () = Table1.run ~limit ~scale ~per_family () in
+  let table1 () = Table1.run ?json:!json ~limit ~scale ~per_family () in
   let ablation which title =
     Printf.printf "\n=== %s ===\n" title;
     Ablation.run ~limit ~scale ~per_family which ()

@@ -2,23 +2,29 @@
 
 type solver = {
   name : string;
-  run : time_limit:float -> Pbo.Problem.t -> Bsolo.Outcome.t;
+  run : time_limit:float -> ?telemetry:Telemetry.Ctx.t -> Pbo.Problem.t -> Bsolo.Outcome.t;
 }
 
-let bsolo_with lb ~time_limit problem =
-  let options = { (Bsolo.Options.with_lb lb) with time_limit = Some time_limit } in
+let bsolo_with lb ~time_limit ?telemetry problem =
+  let options =
+    { (Bsolo.Options.with_lb lb) with time_limit = Some time_limit; telemetry }
+  in
   Bsolo.Solver.solve ~options problem
 
-let pbs ~time_limit problem =
-  let options = { Bsolo.Linear_search.pbs_like with time_limit = Some time_limit } in
+let pbs ~time_limit ?telemetry problem =
+  let options =
+    { Bsolo.Linear_search.pbs_like with time_limit = Some time_limit; telemetry }
+  in
   Bsolo.Linear_search.solve ~options problem
 
-let galena ~time_limit problem =
-  let options = { Bsolo.Linear_search.pbs_like with time_limit = Some time_limit } in
+let galena ~time_limit ?telemetry problem =
+  let options =
+    { Bsolo.Linear_search.pbs_like with time_limit = Some time_limit; telemetry }
+  in
   Bsolo.Linear_search.solve ~options ~pb_learning:true problem
 
-let cplex_like ~time_limit problem =
-  let options = { Bsolo.Options.default with time_limit = Some time_limit } in
+let cplex_like ~time_limit ?telemetry problem =
+  let options = { Bsolo.Options.default with time_limit = Some time_limit; telemetry } in
   Milp.Branch_and_bound.solve ~options problem
 
 let baselines = [ { name = "pbs"; run = pbs }; { name = "galena"; run = galena }; { name = "cplex*"; run = cplex_like } ]
@@ -32,6 +38,17 @@ let bsolo_variants =
   ]
 
 let all = baselines @ bsolo_variants
+
+(* Run one cell under a fresh telemetry context and embed the full run
+   report, so a benchmark sweep leaves per-(solver, instance) evidence
+   behind instead of just the formatted table. *)
+let run_with_report (s : solver) ~time_limit ~instance problem =
+  let tel = Telemetry.Ctx.create ~timing:true () in
+  let outcome = s.run ~time_limit ~telemetry:tel problem in
+  let report =
+    Bsolo.Report.make ~instance ~engine:s.name ~problem ~telemetry:tel outcome
+  in
+  outcome, report
 
 let solved (o : Bsolo.Outcome.t) =
   match o.status with

@@ -1,0 +1,57 @@
+#!/bin/sh
+# Tier-1 smoke check: build, tests, formatting (when ocamlformat is
+# available), and one tiny instrumented solve whose JSONL trace and JSON
+# report are validated.  Exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== dune build @fmt =="
+if command -v ocamlformat >/dev/null 2>&1; then
+  dune build @fmt
+else
+  echo "ocamlformat not installed; skipping formatting check"
+fi
+
+echo "== instrumented solve =="
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+./_build/default/bin/bsolo_main.exe benchmarks/synth-s1.opb \
+  --timeout 10 --stats \
+  --trace "$tmpdir/trace.jsonl" --json "$tmpdir/report.json" \
+  >"$tmpdir/stdout.txt" 2>"$tmpdir/stderr.txt"
+
+grep -q '^s OPTIMUM FOUND$' "$tmpdir/stdout.txt" || {
+  echo "FAIL: expected 's OPTIMUM FOUND' on stdout"; cat "$tmpdir/stdout.txt"; exit 1;
+}
+grep -q '^c phase times' "$tmpdir/stderr.txt" || {
+  echo "FAIL: --stats produced no phase table on stderr"; cat "$tmpdir/stderr.txt"; exit 1;
+}
+
+echo "== validate JSONL trace =="
+[ -s "$tmpdir/trace.jsonl" ] || { echo "FAIL: empty trace"; exit 1; }
+awk '
+  !/^\{"t":/ { print "FAIL: bad trace line " NR ": " $0; bad = 1; exit 1 }
+  !/\}$/     { print "FAIL: bad trace line " NR ": " $0; bad = 1; exit 1 }
+  /"ev":"incumbent"/ {
+    if (match($0, /"cost":-?[0-9]+/)) {
+      cost = substr($0, RSTART + 7, RLENGTH - 7) + 0
+      if (seen && cost >= prev) { print "FAIL: incumbent trajectory not decreasing at line " NR; exit 1 }
+      prev = cost; seen = 1
+    }
+  }
+  END { if (!bad) print "trace: " NR " events, incumbents strictly decreasing" }
+' "$tmpdir/trace.jsonl"
+
+echo "== validate JSON report =="
+grep -q '"schema":"bsolo-run-report/1"' "$tmpdir/report.json" || {
+  echo "FAIL: report schema marker missing"; exit 1;
+}
+
+echo "smoke: OK"

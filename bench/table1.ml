@@ -4,10 +4,11 @@
 
 let headers = [ "Ref."; "Benchmark"; "Sol."; "pbs"; "galena"; "cplex*"; "plain"; "MIS"; "LGR"; "LPR" ]
 
-let run ~limit ~scale ~per_family () =
+let run ?json ~limit ~scale ~per_family () =
   let instances = Benchgen.Suite.instances ~scale ~per_family () in
   let solver_count = List.length Run.all in
   let solved_counts = Array.make solver_count 0 in
+  let cell_reports = ref [] in
   Printf.printf
     "Table 1 reproduction: time limit %.1fs per (instance, solver); scale %.2f\n\
      Entries: seconds when solved; 'ub N' when only a bound was found; 'time' otherwise.\n\
@@ -18,7 +19,19 @@ let run ~limit ~scale ~per_family () =
   let rows =
     List.map
       (fun (inst : Benchgen.Suite.instance) ->
-        let outcomes = List.map (fun (s : Run.solver) -> s.run ~time_limit:limit inst.problem) Run.all in
+        let outcomes =
+          List.map
+            (fun (s : Run.solver) ->
+              match json with
+              | None -> s.run ~time_limit:limit inst.problem
+              | Some _ ->
+                let o, report =
+                  Run.run_with_report s ~time_limit:limit ~instance:inst.name inst.problem
+                in
+                cell_reports := report :: !cell_reports;
+                o)
+            Run.all
+        in
         List.iteri (fun i o -> if Run.solved o then solved_counts.(i) <- solved_counts.(i) + 1) outcomes;
         let sol =
           if Pbo.Problem.is_satisfaction inst.problem then "SAT"
@@ -66,4 +79,22 @@ let run ~limit ~scale ~per_family () =
     (if lpr > pbs then "yes" else "NO") pbs;
   Printf.printf "  cplex* strong overall but weak on acc-tight ............ %s (cplex=%d)\n"
     (if cplex > pbs then "yes" else "NO") cplex;
+  (match json with
+  | None -> ()
+  | Some path ->
+    let module Json = Telemetry.Json in
+    let doc =
+      Json.Obj
+        [
+          "schema", Json.String "bsolo-bench-report/1";
+          "limit", Json.Float limit;
+          "scale", Json.Float scale;
+          "per_family", Json.Int per_family;
+          "solved", Json.Obj (List.map2 (fun (s : Run.solver) n -> s.name, Json.Int n)
+                                Run.all (Array.to_list solved_counts));
+          "cells", Json.List (List.rev !cell_reports);
+        ]
+    in
+    Bsolo.Report.write_file path doc;
+    Printf.printf "\nPer-cell run reports written to %s\n" path);
   ignore rows

@@ -9,28 +9,96 @@ type engine_choice =
   | Galena_engine
   | Milp_engine
 
+let engine_name = function
+  | Bsolo_engine -> "bsolo"
+  | Pbs_engine -> "pbs"
+  | Galena_engine -> "galena"
+  | Milp_engine -> "milp"
+
 let parse path =
   if Filename.check_suffix path ".cnf" || Filename.check_suffix path ".dimacs" then
     Pbo.Dimacs.parse_file path
   else Pbo.Opb.parse_file path
 
+(* Phase table and counter dump, PB-competition comment style, on stderr
+   so the `s`/`o`/`v` protocol lines on stdout stay machine-parsable. *)
+let print_stats tel elapsed =
+  let phases = Telemetry.Timer.snapshot tel.Telemetry.Ctx.timer in
+  let covered = List.fold_left (fun acc (_, s) -> acc +. s) 0. phases in
+  Printf.eprintf "c phase times (self seconds):\n";
+  List.iter
+    (fun (p, s) ->
+      Printf.eprintf "c   %-12s %8.3f  %5.1f%%\n" (Telemetry.Phase.name p) s
+        (if elapsed > 0. then 100. *. s /. elapsed else 0.))
+    phases;
+  Printf.eprintf "c   %-12s %8.3f  (elapsed %.3f, covered %.1f%%)\n" "total" covered elapsed
+    (if elapsed > 0. then 100. *. covered /. elapsed else 0.);
+  let counters = Telemetry.Registry.counters tel.registry in
+  if counters <> [] then begin
+    Printf.eprintf "c counters:\n";
+    List.iter (fun (name, v) -> Printf.eprintf "c   %-28s %d\n" name v) counters
+  end;
+  let gauges = Telemetry.Registry.gauges tel.registry in
+  if gauges <> [] then begin
+    Printf.eprintf "c gauges:\n";
+    List.iter (fun (name, v) -> Printf.eprintf "c   %-28s %g\n" name v) gauges
+  end
+
+let unsupported msg =
+  Printf.eprintf "c parse error: %s\n" msg;
+  print_string "s UNSUPPORTED\n";
+  2
+
+let fatal msg =
+  Printf.eprintf "c error: %s\n%!" msg;
+  exit 2
+
 let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching no_preprocess
-    verify verbose =
-  if verbose then begin
+    verify verbosity stats trace_file json_file progress_every =
+  (match verbosity with
+  | [] -> ()
+  | [ _ ] ->
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Info)
-  end;
+  | _ ->
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some Logs.Debug));
   match parse path with
-  | exception Pbo.Opb.Parse_error msg ->
-    Printf.eprintf "parse error: %s\n" msg;
-    2
-  | exception Pbo.Dimacs.Parse_error msg ->
-    Printf.eprintf "parse error: %s\n" msg;
-    2
+  | exception Pbo.Opb.Parse_error msg -> unsupported msg
+  | exception Pbo.Dimacs.Parse_error msg -> unsupported msg
   | exception Sys_error msg ->
-    Printf.eprintf "%s\n" msg;
+    Printf.eprintf "c %s\n" msg;
+    print_string "s UNSUPPORTED\n";
     2
   | problem ->
+    Logs.debug (fun m ->
+        m "parsed %s: %d vars, %d constraints%s" path (Pbo.Problem.nvars problem)
+          (Array.length (Pbo.Problem.constraints problem))
+          (if Pbo.Problem.is_satisfaction problem then " (satisfaction)" else ""));
+    let want_report = stats || json_file <> None in
+    let want_telemetry =
+      want_report || trace_file <> None || progress_every > 0
+    in
+    let tel =
+      if not want_telemetry then None
+      else begin
+        let trace =
+          match trace_file with
+          | None -> None
+          | Some f -> (
+            try Some (Telemetry.Trace.open_file f)
+            with Sys_error msg -> fatal ("cannot open trace file: " ^ msg))
+        in
+        let progress =
+          if progress_every > 0 then
+            Some
+              (Telemetry.Progress.make ~every:progress_every ~out:(fun line ->
+                   Printf.eprintf "c %s\n%!" line))
+          else None
+        in
+        Some (Telemetry.Ctx.create ~timing:want_report ?trace ?progress ())
+      end
+    in
     let options =
       {
         (Bsolo.Options.with_lb lb) with
@@ -40,11 +108,25 @@ let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching 
         cardinality_inference = not no_cuts;
         lp_guided_branching = not no_lp_branching;
         preprocess = not no_preprocess;
+        telemetry = tel;
       }
+    in
+    Logs.debug (fun m ->
+        m "engine=%s time_limit=%s cuts=%b lp_branching=%b preprocess=%b telemetry=%b"
+          (engine_name engine)
+          (match time_limit with None -> "none" | Some s -> Printf.sprintf "%.0fs" s)
+          (not no_cuts) (not no_lp_branching) (not no_preprocess) (tel <> None));
+    let start = Unix.gettimeofday () in
+    let incumbents = ref [] in
+    let note_incumbent cost =
+      incumbents := { Bsolo.Report.at = Unix.gettimeofday () -. start; cost } :: !incumbents
     in
     let outcome =
       match engine with
-      | Bsolo_engine -> Bsolo.Solver.solve ~options problem
+      | Bsolo_engine ->
+        Bsolo.Solver.solve_with_incumbent_hook ~options
+          ~on_incumbent:(fun _ cost -> note_incumbent cost)
+          problem
       | Pbs_engine ->
         Bsolo.Linear_search.solve ~options:{ options with restarts = true } problem
       | Galena_engine ->
@@ -52,6 +134,11 @@ let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching 
           problem
       | Milp_engine -> Milp.Branch_and_bound.solve ~options problem
     in
+    (* Engines without the hook still contribute their final incumbent, so
+       every report carries a (possibly one-point) trajectory. *)
+    (match engine, outcome.best with
+    | Bsolo_engine, _ | _, None -> ()
+    | _, Some (_, c) -> note_incumbent c);
     (* Output in the PB-competition style. *)
     (match outcome.status with
     | Bsolo.Outcome.Optimal ->
@@ -74,8 +161,21 @@ let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching 
       done;
       Printf.printf "v %s\n" (Buffer.contents buf)
     | None -> ());
-    Printf.printf "c %s\n"
-      (Format.asprintf "%a" Bsolo.Outcome.pp outcome);
+    Printf.printf "c %s\n" (Format.asprintf "%a" Bsolo.Outcome.pp outcome);
+    (match tel with
+    | None -> ()
+    | Some tel ->
+      if stats then print_stats tel outcome.elapsed;
+      (match json_file with
+      | None -> ()
+      | Some out ->
+        let report =
+          Bsolo.Report.make ~instance:path ~engine:(engine_name engine) ~problem ~options
+            ~incumbents:(List.rev !incumbents) ~telemetry:tel outcome
+        in
+        (try Bsolo.Report.write_file out report
+         with Sys_error msg -> fatal ("cannot write report: " ^ msg)));
+      Telemetry.Ctx.close tel);
     (if verify then
        match Bsolo.Certify.check problem outcome with
        | Ok () -> Printf.printf "c verification: OK\n"
@@ -139,8 +239,27 @@ let verify_arg =
   Arg.(value & flag & info [ "verify" ] ~doc)
 
 let verbose_arg =
-  let doc = "Verbose logging." in
-  Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+  let doc = "Verbose logging; repeat ($(b,-vv)) for debug output." in
+  Arg.(value & flag_all & info [ "verbose"; "v" ] ~doc)
+
+let stats_arg =
+  let doc = "Print a per-phase time table and the counter registry to stderr." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let trace_arg =
+  let doc =
+    "Stream search events (decisions, backjumps, bound conflicts, incumbents, restarts, cuts) \
+     as JSON lines to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let json_arg =
+  let doc = "Write a machine-readable run report (see docs/OBSERVABILITY.md) to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let progress_arg =
+  let doc = "Print a progress line to stderr every $(docv) conflicts (0 disables)." in
+  Arg.(value & opt int 0 & info [ "progress" ] ~docv:"N" ~doc)
 
 let cmd =
   let doc = "pseudo-Boolean optimizer with lower bounding (bsolo reproduction)" in
@@ -148,7 +267,8 @@ let cmd =
   let term =
     Term.(
       const solve_file $ file_arg $ engine_arg $ lb_arg $ time_arg $ conflict_arg $ no_cuts_arg
-      $ no_lp_branching_arg $ no_preprocess_arg $ verify_arg $ verbose_arg)
+      $ no_lp_branching_arg $ no_preprocess_arg $ verify_arg $ verbose_arg $ stats_arg
+      $ trace_arg $ json_arg $ progress_arg)
   in
   Cmd.v info term
 

@@ -9,6 +9,7 @@ type verdict =
 
 type state = {
   engine : Core.t;
+  tel : Telemetry.Ctx.t;
   options : Options.t;
   pb_learning : bool;
   cutting_planes : bool;
@@ -27,7 +28,9 @@ type state = {
 
 let out_of_budget st =
   let stats = Core.stats st.engine in
-  (match st.options.conflict_limit with Some l -> stats.conflicts >= l | None -> false)
+  (match st.options.conflict_limit with
+  | Some l -> Telemetry.Counter.get stats.conflicts >= l
+  | None -> false)
   || (match st.deadline with Some d -> Unix.gettimeofday () > d | None -> false)
 
 (* Galena-flavoured learning.  The primary mechanism is cutting-planes
@@ -66,7 +69,8 @@ let learn_pb_resolvent st ci =
 
 let maybe_reduce_db st =
   if st.options.reduce_db && Core.num_learned st.engine > st.max_learned then begin
-    Core.reduce_db st.engine;
+    Telemetry.Timer.with_phase st.tel.timer Telemetry.Phase.Reduce_db (fun () ->
+        Core.reduce_db st.engine);
     Hashtbl.reset st.reduced;
     st.max_learned <- st.max_learned + (st.max_learned / 2)
   end
@@ -83,7 +87,9 @@ let record_model st =
   let cost = Core.path_cost st.engine in
   if st.best = None || cost < st.upper then begin
     st.upper <- cost;
-    st.best <- Some (Core.model st.engine, cost + st.offset)
+    st.best <- Some (Core.model st.engine, cost + st.offset);
+    Telemetry.Trace.incumbent st.tel.trace ~cost:(cost + st.offset)
+      ~conflicts:(Telemetry.Counter.get (Core.stats st.engine).Core.conflicts)
   end
 
 (* Require the next solution to improve on the incumbent: the constraint
@@ -108,17 +114,32 @@ let block_incumbent st =
 let rec search st =
   if out_of_budget st then Out_of_budget
   else begin
-    match Core.propagate st.engine with
+    match
+      Telemetry.Timer.with_phase st.tel.timer Telemetry.Phase.Propagate (fun () ->
+          Core.propagate st.engine)
+    with
     | Some ci ->
       if Core.root_unsat st.engine then Exhausted
       else begin
-        learn_cardinality_reduction st ci;
-        let ci = learn_pb_resolvent st ci in
-        match Core.resolve_conflict st.engine ci with
+        match
+          Telemetry.Timer.with_phase st.tel.timer Telemetry.Phase.Analyze (fun () ->
+              learn_cardinality_reduction st ci;
+              let ci = learn_pb_resolvent st ci in
+              Core.resolve_conflict st.engine ci)
+        with
         | Core.Root_conflict -> Exhausted
         | Core.Backjump _ ->
           maybe_reduce_db st;
           maybe_restart st;
+          Telemetry.Progress.tick st.tel.progress
+            ~count:(Telemetry.Counter.get (Core.stats st.engine).Core.conflicts)
+            ~render:(fun () ->
+              let stats = Core.stats st.engine in
+              Printf.sprintf "conflicts=%d decisions=%d learned=%d ub=%s"
+                (Telemetry.Counter.get stats.conflicts)
+                (Telemetry.Counter.get stats.decisions)
+                (Core.num_learned st.engine)
+                (match st.best with None -> "-" | Some (_, c) -> string_of_int c));
           search st
       end
     | None ->
@@ -140,11 +161,13 @@ let rec search st =
 
 let solve ?(options = pbs_like) ?(pb_learning = false) ?(cutting_planes = false) problem =
   let start = Unix.gettimeofday () in
-  let engine = Core.create problem in
+  let tel = match options.telemetry with Some t -> t | None -> Telemetry.Ctx.silent () in
+  let engine = Core.create ~telemetry:tel problem in
   let offset = match Problem.objective problem with None -> 0 | Some o -> o.offset in
   let st =
     {
       engine;
+      tel;
       options;
       pb_learning;
       cutting_planes;
@@ -164,23 +187,19 @@ let solve ?(options = pbs_like) ?(pb_learning = false) ?(cutting_planes = false)
   let verdict =
     if Core.root_unsat engine then Exhausted
     else begin
-      if options.preprocess then ignore (Preprocess.probe engine);
+      if options.preprocess then
+        Telemetry.Timer.with_phase tel.timer Telemetry.Phase.Preprocess (fun () ->
+            ignore (Preprocess.probe engine));
       if Core.root_unsat engine then Exhausted else search st
     end
   in
+  (* Linear search has no explicit node count or LB procedure: a node is a
+     decision.  Publish the aliases so the registry snapshot is uniform. *)
   let stats = Core.stats engine in
-  let counters =
-    {
-      Outcome.decisions = stats.decisions;
-      propagations = stats.propagations;
-      conflicts = stats.conflicts;
-      bound_conflicts = stats.bound_conflicts;
-      learned = stats.learned_total;
-      restarts = stats.restarts;
-      lb_calls = 0;
-      nodes = stats.decisions;
-    }
-  in
+  Telemetry.Counter.set
+    (Telemetry.Registry.counter tel.registry "search.nodes")
+    (Telemetry.Counter.get stats.decisions);
+  let counters = Outcome.counters_of_registry tel.registry in
   let status =
     match verdict, st.best with
     | Exhausted, Some _ -> if st.satisfaction then Outcome.Satisfiable else Outcome.Optimal

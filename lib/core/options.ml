@@ -19,6 +19,7 @@ type t = {
   conflict_limit : int option;
   node_limit : int option;
   time_limit : float option;
+  telemetry : Telemetry.Ctx.t option;
 }
 
 let default =
@@ -37,6 +38,7 @@ let default =
     conflict_limit = None;
     node_limit = None;
     time_limit = None;
+    telemetry = None;
   }
 
 let with_lb m = { default with lb_method = m }

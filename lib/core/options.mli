@@ -32,6 +32,11 @@ type t = {
   conflict_limit : int option;
   node_limit : int option;
   time_limit : float option;  (** wall-clock seconds *)
+  telemetry : Telemetry.Ctx.t option;
+      (** instrumentation context shared by the driver, engine and
+          lower-bound procedures; [None] (the default) runs with a fresh
+          silent context: counters still back the outcome snapshot but no
+          timing, trace or progress output is produced *)
 }
 
 val default : t

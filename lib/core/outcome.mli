@@ -28,6 +28,15 @@ type t = {
   elapsed : float;  (** wall-clock seconds *)
 }
 
+val counters_of_registry : Telemetry.Registry.t -> counters
+(** Snapshot of the run counters published in a telemetry registry under
+    the shared names ([engine.decisions], [search.nodes], ...).  Missing
+    entries read as 0, so partial instrumenters (e.g. the MILP driver,
+    which has no propagation) snapshot through the same path. *)
+
+val counters_to_alist : counters -> (string * int) list
+(** Field names and values, for uniform export (reports, tests). *)
+
 val status_name : status -> string
 val best_cost : t -> int option
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+open Pbo
+
+(** Machine-readable run reports.
+
+    A report is a single JSON object combining everything needed to
+    interpret one (solver, instance) run after the fact: the outcome,
+    instance shape ({!Pstats}), solver configuration, the telemetry
+    registry snapshot (counters, gauges, histograms), per-phase wall-clock
+    times and the anytime incumbent trajectory.  The format is documented
+    in [docs/OBSERVABILITY.md]. *)
+
+type incumbent = {
+  at : float;  (** seconds since the solve started *)
+  cost : int;  (** total cost, objective offset included *)
+}
+
+val schema : string
+(** Value of the report's ["schema"] field. *)
+
+val make :
+  ?instance:string ->
+  ?engine:string ->
+  ?problem:Problem.t ->
+  ?options:Options.t ->
+  ?incumbents:incumbent list ->
+  telemetry:Telemetry.Ctx.t ->
+  Outcome.t ->
+  Telemetry.Json.t
+
+val to_string : Telemetry.Json.t -> string
+val write_file : string -> Telemetry.Json.t -> unit
+
+val counters_of_json : Telemetry.Json.t -> Outcome.counters option
+(** Re-reads the counter snapshot of a parsed report, for cross-checking
+    against {!Outcome.counters}. *)
+
+val phases_of_json : Telemetry.Json.t -> (string * float) list
+(** Per-phase self times of a parsed report, seconds. *)

@@ -7,13 +7,15 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type search_state = {
   engine : Core.t;
+  tel : Telemetry.Ctx.t;
   options : Options.t;
   offset : int;
   satisfaction : bool;
   mutable upper : int;  (* incumbent cost, offset excluded *)
   mutable best : (Model.t * int) option;
-  mutable nodes : int;
-  mutable lb_calls : int;
+  nodes : Telemetry.Counter.t;
+  lb_calls : Telemetry.Counter.t;
+  mutable last_lb : int;  (* most recent lower-bound estimate, for progress *)
   mutable max_learned : int;
   mutable restart_budget : int;
   mutable conflicts_since_restart : int;
@@ -30,23 +32,46 @@ type verdict =
 
 let lb_compute st =
   let cap = st.upper - Core.path_cost st.engine in
-  match st.options.lb_method with
-  | Options.Plain -> Lowerbound.Bound.none
-  | Options.Mis -> Lowerbound.Mis.compute st.engine
-  | Options.Lgr -> Lowerbound.Lgr.compute ~iters:st.options.lgr_iters st.engine ~cap
-  | Options.Lpr -> Lowerbound.Lpr.compute st.engine ~cap
+  Telemetry.Timer.with_phase st.tel.timer Telemetry.Phase.Lower_bound (fun () ->
+      match st.options.lb_method with
+      | Options.Plain -> Lowerbound.Bound.none
+      | Options.Mis -> Lowerbound.Mis.compute st.engine
+      | Options.Lgr -> Lowerbound.Lgr.compute ~iters:st.options.lgr_iters st.engine ~cap
+      | Options.Lpr -> Lowerbound.Lpr.compute st.engine ~cap)
 
 let out_of_budget st =
   let stats = Core.stats st.engine in
-  (match st.options.conflict_limit with Some l -> stats.conflicts >= l | None -> false)
-  || (match st.options.node_limit with Some l -> st.nodes >= l | None -> false)
+  (match st.options.conflict_limit with
+  | Some l -> Telemetry.Counter.get stats.conflicts >= l
+  | None -> false)
+  || (match st.options.node_limit with Some l -> Telemetry.Counter.get st.nodes >= l | None -> false)
   || (match st.deadline with Some d -> Unix.gettimeofday () > d | None -> false)
 
 let maybe_reduce_db st =
   if st.options.reduce_db && Core.num_learned st.engine > st.max_learned then begin
-    Core.reduce_db st.engine;
+    Telemetry.Timer.with_phase st.tel.timer Telemetry.Phase.Reduce_db (fun () ->
+        Core.reduce_db st.engine);
     st.max_learned <- st.max_learned + (st.max_learned / 2)
   end
+
+let progress_line st () =
+  let stats = Core.stats st.engine in
+  let conflicts = Telemetry.Counter.get stats.conflicts in
+  let elapsed = Unix.gettimeofday () -. st.start in
+  let ub = match st.best with None -> "-" | Some (_, c) -> string_of_int c in
+  Printf.sprintf
+    "conflicts=%d (%d bound) decisions=%d depth=%d lb=%d ub=%s learned=%d lb_calls=%d %.0f conflicts/s"
+    conflicts
+    (Telemetry.Counter.get stats.bound_conflicts)
+    (Telemetry.Counter.get stats.decisions)
+    (Core.decision_level st.engine) st.last_lb ub (Core.num_learned st.engine)
+    (Telemetry.Counter.get st.lb_calls)
+    (if elapsed > 0. then float_of_int conflicts /. elapsed else 0.)
+
+let maybe_progress st =
+  Telemetry.Progress.tick st.tel.progress
+    ~count:(Telemetry.Counter.get (Core.stats st.engine).Core.conflicts)
+    ~render:(progress_line st)
 
 let maybe_restart st =
   st.conflicts_since_restart <- st.conflicts_since_restart + 1;
@@ -62,9 +87,10 @@ let record_incumbent st =
     st.upper <- cost;
     let m = Core.model st.engine in
     st.best <- Some (m, cost + st.offset);
+    let conflicts = Telemetry.Counter.get (Core.stats st.engine).Core.conflicts in
+    Telemetry.Trace.incumbent st.tel.trace ~cost:(cost + st.offset) ~conflicts;
     Log.info (fun k ->
-        k "incumbent %d after %d conflicts (%.2fs)" (cost + st.offset)
-          (Core.stats st.engine).conflicts
+        k "incumbent %d after %d conflicts (%.2fs)" (cost + st.offset) conflicts
           (Unix.gettimeofday () -. st.start));
     st.on_incumbent m (cost + st.offset)
   end
@@ -73,28 +99,35 @@ let record_incumbent st =
    the new upper bound; returns a conflicting cut if any (expected: the
    knapsack cut is violated by the incumbent assignment itself). *)
 let add_incumbent_cuts st =
-  let problem = Core.problem st.engine in
-  let cuts =
-    (if st.options.knapsack_cuts then [ Knapsack.upper_cut problem ~upper:st.upper ] else [])
-    @
-    if st.options.cardinality_inference then
-      Knapsack.cardinality_inferences problem ~upper:st.upper
-    else []
-  in
-  let add conflict norm =
-    match norm with
-    | Constr.Trivial_true -> conflict
-    | Constr.Trivial_false ->
-      (* no strictly better solution can exist; close the search by
-         learning the empty bound *)
-      Some `Root
-    | Constr.Constr c ->
-      (match conflict, Core.add_constraint_dynamic st.engine ~in_lb:false c with
-      | (Some _ as found), _ -> found
-      | None, Some ci -> Some (`Cid ci)
-      | None, None -> None)
-  in
-  List.fold_left add None cuts
+  Telemetry.Timer.with_phase st.tel.timer Telemetry.Phase.Cut_generation (fun () ->
+      let problem = Core.problem st.engine in
+      let cuts =
+        (if st.options.knapsack_cuts then
+           [ "knapsack", Knapsack.upper_cut problem ~upper:st.upper ]
+         else [])
+        @
+        if st.options.cardinality_inference then
+          List.map
+            (fun c -> "cardinality", c)
+            (Knapsack.cardinality_inferences problem ~upper:st.upper)
+        else []
+      in
+      let add conflict (kind, norm) =
+        match norm with
+        | Constr.Trivial_true -> conflict
+        | Constr.Trivial_false ->
+          (* no strictly better solution can exist; close the search by
+             learning the empty bound *)
+          Some `Root
+        | Constr.Constr c ->
+          Telemetry.Counter.incr (Telemetry.Registry.counter st.tel.registry ("cuts." ^ kind));
+          Telemetry.Trace.cut st.tel.trace ~kind ~size:(Constr.size c) ~degree:(Constr.degree c);
+          (match conflict, Core.add_constraint_dynamic st.engine ~in_lb:false c with
+          | (Some _ as found), _ -> found
+          | None, Some ci -> Some (`Cid ci)
+          | None, None -> None)
+      in
+      List.fold_left add None cuts)
 
 (* A bound conflict (eq. 7) fired: build omega_bc and run conflict
    analysis on it.  With [bound_conflict_learning] off, the explanation
@@ -102,7 +135,9 @@ let add_incumbent_cuts st =
    backtracking. *)
 let handle_bound_conflict st (lower : Lowerbound.Bound.t) =
   let stats = Core.stats st.engine in
-  stats.bound_conflicts <- stats.bound_conflicts + 1;
+  Telemetry.Counter.incr stats.bound_conflicts;
+  Telemetry.Trace.bound_conflict st.tel.trace ~lb:lower.value ~path:(Core.path_cost st.engine)
+    ~upper:st.upper ~level:(Core.decision_level st.engine);
   let omega =
     if st.options.bound_conflict_learning then begin
       let omega_pp = List.map Lit.negate (Core.true_cost_lits st.engine) in
@@ -111,7 +146,8 @@ let handle_bound_conflict st (lower : Lowerbound.Bound.t) =
     end
     else List.map Lit.negate (Core.decisions st.engine)
   in
-  Core.learn_false_clause st.engine omega
+  Telemetry.Timer.with_phase st.tel.timer Telemetry.Phase.Analyze (fun () ->
+      Core.learn_false_clause st.engine omega)
 
 let pick_decision st (lower : Lowerbound.Bound.t) =
   let hinted =
@@ -129,22 +165,29 @@ let pick_decision st (lower : Lowerbound.Bound.t) =
 let rec search st =
   if out_of_budget st then Out_of_budget
   else begin
-    match Core.propagate st.engine with
+    match
+      Telemetry.Timer.with_phase st.tel.timer Telemetry.Phase.Propagate (fun () ->
+          Core.propagate st.engine)
+    with
     | Some ci ->
       if Core.root_unsat st.engine then Exhausted
       else begin
-        match Core.resolve_conflict st.engine ci with
+        match
+          Telemetry.Timer.with_phase st.tel.timer Telemetry.Phase.Analyze (fun () ->
+              Core.resolve_conflict st.engine ci)
+        with
         | Core.Root_conflict -> Exhausted
         | Core.Backjump _ ->
           maybe_reduce_db st;
           maybe_restart st;
+          maybe_progress st;
           search st
         end
     | None ->
       if Core.root_unsat st.engine then Exhausted
       else if Core.all_assigned st.engine then handle_full_assignment st
       else begin
-        st.nodes <- st.nodes + 1;
+        Telemetry.Counter.incr st.nodes;
         (* Before any incumbent exists, [upper] is above the worst cost
            and no bound can prune, so the search dives for a first
            solution without paying for lower bounds.  [lb_every] thins
@@ -152,20 +195,25 @@ let rec search st =
         let lower =
           if
             st.satisfaction || st.best = None
-            || (st.options.lb_every > 1 && st.nodes mod st.options.lb_every <> 0)
+            || (st.options.lb_every > 1
+               && Telemetry.Counter.get st.nodes mod st.options.lb_every <> 0)
           then Lowerbound.Bound.none
           else begin
             match st.options.lb_method with
             | Options.Plain -> Lowerbound.Bound.none
             | Options.Mis | Options.Lgr | Options.Lpr ->
-              st.lb_calls <- st.lb_calls + 1;
-              lb_compute st
+              Telemetry.Counter.incr st.lb_calls;
+              let lower = lb_compute st in
+              st.last_lb <- Core.path_cost st.engine + lower.value;
+              lower
           end
         in
         if (not st.satisfaction) && Core.path_cost st.engine + lower.value >= st.upper then begin
           match handle_bound_conflict st lower with
           | Core.Root_conflict -> Exhausted
-          | Core.Backjump _ -> search st
+          | Core.Backjump _ ->
+            maybe_progress st;
+            search st
         end
         else begin
           match pick_decision st lower with
@@ -189,32 +237,26 @@ and handle_full_assignment st =
     match add_incumbent_cuts st with
     | Some `Root -> Exhausted
     | Some (`Cid ci) ->
-      (match Core.resolve_conflict st.engine ci with
+      (match
+         Telemetry.Timer.with_phase st.tel.timer Telemetry.Phase.Analyze (fun () ->
+             Core.resolve_conflict st.engine ci)
+       with
       | Core.Root_conflict -> Exhausted
       | Core.Backjump _ -> search st)
     | None ->
       (* cuts disabled (or not conflicting): retreat via a bound conflict
          justified by the path alone *)
       let omega = List.map Lit.negate (Core.true_cost_lits st.engine) in
-      (match Core.learn_false_clause st.engine omega with
+      (match
+         Telemetry.Timer.with_phase st.tel.timer Telemetry.Phase.Analyze (fun () ->
+             Core.learn_false_clause st.engine omega)
+       with
       | Core.Root_conflict -> Exhausted
       | Core.Backjump _ -> search st)
   end
 
 let package st verdict =
-  let stats = Core.stats st.engine in
-  let counters =
-    {
-      Outcome.decisions = stats.decisions;
-      propagations = stats.propagations;
-      conflicts = stats.conflicts;
-      bound_conflicts = stats.bound_conflicts;
-      learned = stats.learned_total;
-      restarts = stats.restarts;
-      lb_calls = st.lb_calls;
-      nodes = st.nodes;
-    }
-  in
+  let counters = Outcome.counters_of_registry st.tel.registry in
   let status =
     match verdict, st.best with
     | Exhausted, Some _ -> if st.satisfaction then Outcome.Satisfiable else Outcome.Optimal
@@ -233,21 +275,25 @@ let package st verdict =
 
 let solve_with_incumbent_hook ?(options = Options.default) ~on_incumbent problem =
   let start = Unix.gettimeofday () in
+  let tel = match options.telemetry with Some t -> t | None -> Telemetry.Ctx.silent () in
   let problem =
-    if options.constraint_strengthening then fst (Strengthen.apply problem) else problem
+    Telemetry.Timer.with_phase tel.timer Telemetry.Phase.Preprocess (fun () ->
+        if options.constraint_strengthening then fst (Strengthen.apply problem) else problem)
   in
-  let engine = Core.create problem in
+  let engine = Core.create ~telemetry:tel problem in
   let offset = match Problem.objective problem with None -> 0 | Some o -> o.offset in
   let st =
     {
       engine;
+      tel;
       options;
       offset;
       satisfaction = Problem.is_satisfaction problem;
       upper = Problem.max_cost_sum problem + 1;
       best = None;
-      nodes = 0;
-      lb_calls = 0;
+      nodes = Telemetry.Registry.counter tel.registry "search.nodes";
+      lb_calls = Telemetry.Registry.counter tel.registry "search.lb_calls";
+      last_lb = 0;
       max_learned = 4000;
       restart_budget = 100;
       conflicts_since_restart = 0;
@@ -259,7 +305,9 @@ let solve_with_incumbent_hook ?(options = Options.default) ~on_incumbent problem
   in
   if Core.root_unsat engine then package st Exhausted
   else begin
-    if options.preprocess then ignore (Preprocess.probe engine);
+    if options.preprocess then
+      Telemetry.Timer.with_phase tel.timer Telemetry.Phase.Preprocess (fun () ->
+          ignore (Preprocess.probe engine));
     if Core.root_unsat engine then package st Exhausted
     else begin
       let verdict = search st in

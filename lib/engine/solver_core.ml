@@ -25,15 +25,35 @@ type cstate = {
   mutable w2 : int;
 }
 
+(* Search counters, declared once against the run's telemetry registry so
+   every driver exports them uniformly (names are "engine.*").  Each field
+   is a handle whose increment is a single store, exactly as cheap as the
+   former ad-hoc mutable record. *)
 type stats = {
-  mutable decisions : int;
-  mutable propagations : int;
-  mutable conflicts : int;
-  mutable bound_conflicts : int;
-  mutable learned_total : int;
-  mutable restarts : int;
-  mutable max_trail : int;
+  decisions : Telemetry.Counter.t;
+  propagations : Telemetry.Counter.t;
+  conflicts : Telemetry.Counter.t;
+  bound_conflicts : Telemetry.Counter.t;
+  learned_total : Telemetry.Counter.t;
+  restarts : Telemetry.Counter.t;
+  max_trail : Telemetry.Counter.t;
+  backjump_len : Telemetry.Histogram.t;  (* levels undone per conflict *)
+  learned_size : Telemetry.Histogram.t;  (* literals per learned clause *)
 }
+
+let stats_of_registry reg =
+  let c = Telemetry.Registry.counter reg in
+  {
+    decisions = c "engine.decisions";
+    propagations = c "engine.propagations";
+    conflicts = c "engine.conflicts";
+    bound_conflicts = c "engine.bound_conflicts";
+    learned_total = c "engine.learned";
+    restarts = c "engine.restarts";
+    max_trail = c "engine.max_trail";
+    backjump_len = Telemetry.Registry.histogram reg "engine.backjump_len";
+    learned_size = Telemetry.Registry.histogram reg "engine.learned_size";
+  }
 
 type t = {
   problem : Problem.t;
@@ -57,6 +77,7 @@ type t = {
   seen : bool array;  (* analysis scratch, always cleared afterwards *)
   mutable unsat : bool;
   stats : stats;
+  tel : Telemetry.Ctx.t;
 }
 
 let dummy_lit = Lit.pos 0
@@ -92,6 +113,7 @@ let all_assigned t = Vec.size t.trail = t.nvars
 let path_cost t = t.path
 let cost_of_lit t l = t.lit_cost.(Lit.to_index l)
 let stats t = t.stats
+let telemetry t = t.tel
 
 let model t =
   let a = Array.make t.nvars false in
@@ -114,7 +136,7 @@ let assign t l reason =
   t.var_pos.(v) <- Vec.size t.trail;
   t.phase.(v) <- Lit.is_pos l;
   Vec.push t.trail l;
-  if Vec.size t.trail > t.stats.max_trail then t.stats.max_trail <- Vec.size t.trail;
+  Telemetry.Counter.set_max t.stats.max_trail (Vec.size t.trail);
   t.path <- t.path + t.lit_cost.(Lit.to_index l);
   let falsified = Lit.negate l in
   let weaken (ci, a) =
@@ -150,12 +172,15 @@ let backjump_to t lvl =
   end
 
 let restart t =
-  t.stats.restarts <- t.stats.restarts + 1;
+  Telemetry.Counter.incr t.stats.restarts;
+  Telemetry.Trace.restart t.tel.trace ~conflicts:(Telemetry.Counter.get t.stats.conflicts);
   backjump_to t 0
 
 let decide t l =
-  t.stats.decisions <- t.stats.decisions + 1;
+  Telemetry.Counter.incr t.stats.decisions;
   Vec.push t.trail_lim (Vec.size t.trail);
+  Telemetry.Trace.decision t.tel.trace ~level:(decision_level t) ~var:(Lit.var l)
+    ~value:(Lit.is_pos l);
   assign t l Decision
 
 (* --- propagation --------------------------------------------------------- *)
@@ -171,7 +196,7 @@ let scan_implications t ci =
       let { Constr.coeff; lit } = terms.(i) in
       if coeff > cs.slack then begin
         if Value.equal (value_lit t lit) Value.Unknown then begin
-          t.stats.propagations <- t.stats.propagations + 1;
+          Telemetry.Counter.incr t.stats.propagations;
           assign t lit (Implied ci)
         end;
         go (i + 1)
@@ -226,7 +251,7 @@ let propagate_watches t p =
             retain ci
           end
           else begin
-            t.stats.propagations <- t.stats.propagations + 1;
+            Telemetry.Counter.incr t.stats.propagations;
             assign t other (Implied ci);
             retain ci
           end
@@ -393,7 +418,7 @@ let implication_certificate t ci p =
    the current decision level (bound conflicts): we first backjump to the
    deepest level it mentions. *)
 let analyze_false_clause t lits =
-  t.stats.conflicts <- t.stats.conflicts + 1;
+  Telemetry.Counter.incr t.stats.conflicts;
   decay_var_activity t;
   decay_cla_activity t;
   let lits = List.filter (fun l -> t.var_level.(Lit.var l) > 0) lits in
@@ -466,10 +491,15 @@ let analyze_false_clause t lits =
       List.fold_left (fun acc l -> max acc (t.var_level.(Lit.var l))) 0 minimized
     in
     let clause = asserting :: minimized in
+    Telemetry.Histogram.observe t.stats.backjump_len (dl - back_level);
+    Telemetry.Trace.backjump t.tel.trace ~from_level:dl ~to_level:back_level
+      ~conflicts:(Telemetry.Counter.get t.stats.conflicts);
     backjump_to t back_level;
     (match Constr.clause clause with
     | Constr.Constr c ->
-      t.stats.learned_total <- t.stats.learned_total + 1;
+      Telemetry.Counter.incr t.stats.learned_total;
+      Telemetry.Histogram.observe t.stats.learned_size (List.length clause);
+      Telemetry.Trace.learned t.tel.trace ~size:(List.length clause) ~level:back_level;
       let terms = Constr.terms c in
       let ci =
         if Array.length terms < 2 then attach t ~learned:true ~in_lb:false c
@@ -642,7 +672,8 @@ let reduce_db t =
 
 (* --- creation ----------------------------------------------------------------- *)
 
-let create p =
+let create ?telemetry p =
+  let tel = match telemetry with Some tel -> tel | None -> Telemetry.Ctx.silent () in
   let nvars = max (Problem.nvars p) 1 in
   let t =
     {
@@ -666,16 +697,8 @@ let create p =
       phase = Array.make nvars false;
       seen = Array.make nvars false;
       unsat = Problem.trivially_unsat p;
-      stats =
-        {
-          decisions = 0;
-          propagations = 0;
-          conflicts = 0;
-          bound_conflicts = 0;
-          learned_total = 0;
-          restarts = 0;
-          max_trail = 0;
-        };
+      stats = stats_of_registry tel.Telemetry.Ctx.registry;
+      tel;
     }
   in
   (match Problem.objective p with

@@ -26,9 +26,12 @@ type analysis =
           (** literal asserted by the learned clause, when one exists *)
     }
 
-val create : Problem.t -> t
+val create : ?telemetry:Telemetry.Ctx.t -> Problem.t -> t
 (** Loads every problem constraint.  Check {!root_unsat} before searching:
-    it is set when the problem is trivially unsatisfiable. *)
+    it is set when the problem is trivially unsatisfiable.  Search
+    counters are registered against the telemetry context's registry
+    (default: a fresh silent context), and decisions / backjumps /
+    restarts are streamed to its trace sink when one is attached. *)
 
 val problem : t -> Problem.t
 val root_unsat : t -> bool
@@ -135,19 +138,29 @@ val reduce_db : t -> unit
 (** Removes roughly half of the learned clauses, preferring low activity;
     locked (reason) and asserting constraints are kept. *)
 
-(** {1 Statistics} *)
+(** {1 Statistics}
+
+    Counters are handles into the run's telemetry registry (names
+    ["engine.*"]); incrementing one is a single store.  Snapshots for
+    outcome packaging should go through
+    [Outcome.counters_of_registry]. *)
 
 type stats = {
-  mutable decisions : int;
-  mutable propagations : int;
-  mutable conflicts : int;
-  mutable bound_conflicts : int;
-  mutable learned_total : int;
-  mutable restarts : int;
-  mutable max_trail : int;
+  decisions : Telemetry.Counter.t;
+  propagations : Telemetry.Counter.t;
+  conflicts : Telemetry.Counter.t;
+  bound_conflicts : Telemetry.Counter.t;
+  learned_total : Telemetry.Counter.t;
+  restarts : Telemetry.Counter.t;
+  max_trail : Telemetry.Counter.t;
+  backjump_len : Telemetry.Histogram.t;
+  learned_size : Telemetry.Histogram.t;
 }
 
 val stats : t -> stats
+
+val telemetry : t -> Telemetry.Ctx.t
+(** The telemetry context the engine was created with. *)
 
 val constr_of : t -> cid -> Constr.t
 (** The stored constraint under an identifier (for explanation builders). *)

@@ -16,6 +16,15 @@ type result = {
   iterations : int;
 }
 
+type stats = {
+  mutable calls : int;
+  mutable iterations : int;
+  mutable improvements : int;
+  mutable halvings : int;
+}
+
+let stats () = { calls = 0; iterations = 0; improvements = 0; halvings = 0 }
+
 let alphas_for p mu =
   let alpha = Array.copy p.costs in
   Array.iteri
@@ -51,8 +60,10 @@ let subgradient p x =
       row.rhs -. activity)
     p.rows
 
-let maximize ?(iters = 50) ?(lambda0 = 2.0) ~target p =
+let maximize ?(iters = 50) ?(lambda0 = 2.0) ?stats:s ~target p =
   let m = Array.length p.rows in
+  let nimprove = ref 0 in
+  let nhalve = ref 0 in
   let mu = Array.make m 0. in
   let alpha0, _, l0 = inner p mu in
   let best = ref l0 in
@@ -69,12 +80,14 @@ let maximize ?(iters = 50) ?(lambda0 = 2.0) ~target p =
       best := l;
       best_mu := Array.copy mu;
       best_alpha := alpha;
+      incr nimprove;
       stall := 0
     end
     else begin
       incr stall;
       if !stall >= 4 then begin
         lambda := !lambda /. 2.;
+        incr nhalve;
         stall := 0
       end
     end;
@@ -89,4 +102,11 @@ let maximize ?(iters = 50) ?(lambda0 = 2.0) ~target p =
       done
     end
   done;
+  (match s with
+  | None -> ()
+  | Some s ->
+    s.calls <- s.calls + 1;
+    s.iterations <- s.iterations + !k;
+    s.improvements <- s.improvements + !nimprove;
+    s.halvings <- s.halvings + !nhalve);
   { bound = !best; multipliers = !best_mu; alphas = !best_alpha; iterations = !k }

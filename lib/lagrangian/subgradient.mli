@@ -31,10 +31,21 @@ type result = {
   iterations : int;
 }
 
+type stats = {
+  mutable calls : int;  (** [maximize] invocations flushed into this record *)
+  mutable iterations : int;
+  mutable improvements : int;  (** iterations that raised the best bound *)
+  mutable halvings : int;  (** step-length halvings after stalls *)
+}
+
+val stats : unit -> stats
+(** Fresh all-zero record; pass it to successive [maximize] calls to
+    accumulate across them. *)
+
 val evaluate : problem -> float array -> float
 (** [evaluate p mu] is L(mu). *)
 
-val maximize : ?iters:int -> ?lambda0:float -> target:float -> problem -> result
+val maximize : ?iters:int -> ?lambda0:float -> ?stats:stats -> target:float -> problem -> result
 (** Polyak-style ascent: step length [lambda * (target - L) / ||g||^2]
     where [g_i = e_i - d_i x*] is the subgradient; [lambda] halves after
     a few non-improving iterations.  [target] is the value the caller

@@ -1,0 +1,9 @@
+(** Bridges from the leaf libraries' per-call stat records into the
+    shared telemetry counter namespace ([simplex.*], [subgradient.*]).
+    Used by {!Lpr} and {!Lgr} after each bound evaluation. *)
+
+val add : Telemetry.Registry.t -> string -> int -> unit
+(** [add reg name n] adds [n] to counter [name]; no-op when [n = 0]. *)
+
+val flush_simplex : Telemetry.Registry.t -> Simplex.stats -> unit
+val flush_subgradient : Telemetry.Registry.t -> Lagrangian.Subgradient.stats -> unit

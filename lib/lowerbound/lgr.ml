@@ -37,6 +37,8 @@ let alpha_filter engine selected =
   keep
 
 let compute ?(iters = 50) engine ~cap =
+  let tel = Core.telemetry engine in
+  Instr.add tel.Telemetry.Ctx.registry "lgr.calls" 1;
   let res = Residual.extract engine in
   if Array.length res.rows = 0 then Bound.none
   else begin
@@ -45,7 +47,18 @@ let compute ?(iters = 50) engine ~cap =
     in
     let problem = { Lagrangian.Subgradient.nvars = res.ncols; costs = res.obj; rows } in
     let target = float_of_int cap -. res.obj_offset in
-    let result = Lagrangian.Subgradient.maximize ~iters ~target problem in
+    let sstats = Lagrangian.Subgradient.stats () in
+    let result =
+      Telemetry.Timer.with_phase tel.timer Telemetry.Phase.Subgradient (fun () ->
+          Lagrangian.Subgradient.maximize ~iters ~stats:sstats ~target problem)
+    in
+    Instr.flush_subgradient tel.registry sstats;
+    Telemetry.Gauge.set_max
+      (Telemetry.Registry.gauge tel.registry "lgr.best_bound")
+      (result.bound +. res.obj_offset);
+    Telemetry.Gauge.set_max
+      (Telemetry.Registry.gauge tel.registry "lgr.best_multiplier")
+      (Array.fold_left max 0. result.multipliers);
     let value = Bound.trusted_value (result.bound +. res.obj_offset) in
     let selected =
       let out = ref [] in

@@ -20,6 +20,8 @@ let fractional_hint (res : Residual.t) x =
   | Some (_, v) -> Some v
 
 let compute engine ~cap =
+  let tel = Core.telemetry engine in
+  Instr.add tel.Telemetry.Ctx.registry "lpr.calls" 1;
   let res = Residual.extract engine in
   if Array.length res.rows = 0 then Bound.none
   else begin
@@ -38,7 +40,13 @@ let compute engine ~cap =
         rows;
       }
     in
-    match Simplex.solve lp with
+    let sstats = Simplex.stats () in
+    let outcome =
+      Telemetry.Timer.with_phase tel.timer Telemetry.Phase.Simplex (fun () ->
+          Simplex.solve ~stats:sstats lp)
+    in
+    Instr.flush_simplex tel.registry sstats;
+    match outcome with
     | Simplex.Optimal sol ->
       let value = Bound.trusted_value (sol.value +. res.obj_offset) in
       let tight =

@@ -20,6 +20,8 @@ let contribution engine (a : Core.active) =
   take (float_of_int a.aresidual) 0. sorted
 
 let compute engine =
+  let tel = Core.telemetry engine in
+  Instr.add tel.Telemetry.Ctx.registry "mis.calls" 1;
   let actives = Core.active_constraints engine in
   let scored = List.map (fun a -> contribution engine a, a) actives in
   let positive = List.filter (fun (c, _) -> c > 1e-9) scored in

@@ -134,21 +134,38 @@ let model_of_rounding x fixings nvars =
   List.iter (fun (v, b) -> a.(v) <- b) fixings;
   Model.of_array a
 
+let flush_simplex reg (s : Simplex.stats) =
+  let add name n =
+    if n <> 0 then Telemetry.Counter.add (Telemetry.Registry.counter reg name) n
+  in
+  add "simplex.calls" s.calls;
+  add "simplex.iterations" s.iterations;
+  add "simplex.phase1_iters" s.phase1_iters;
+  add "simplex.phase2_iters" s.phase2_iters;
+  add "simplex.pivots" s.pivots;
+  add "simplex.refreshes" s.refreshes
+
 let solve ?(options = Bsolo.Options.default) problem =
   let start = Unix.gettimeofday () in
   let deadline = Option.map (fun l -> start +. l) options.time_limit in
+  let tel =
+    match options.telemetry with Some t -> t | None -> Telemetry.Ctx.silent ()
+  in
+  let nodes_c = Telemetry.Registry.counter tel.registry "search.nodes" in
+  let lp_calls_c = Telemetry.Registry.counter tel.registry "search.lb_calls" in
+  let decisions_c = Telemetry.Registry.counter tel.registry "engine.decisions" in
   let relax = relaxation_of problem in
   let heap = Heap.create () in
   let best = ref None in
   let upper = ref max_int in
   let nodes = ref 0 in
-  let lp_calls = ref 0 in
   let try_incumbent m =
     if Model.satisfies problem m then begin
       let c = Model.cost problem m in
       if c < !upper then begin
         upper := c;
-        best := Some (m, c)
+        best := Some (m, c);
+        Telemetry.Trace.incumbent tel.trace ~cost:c ~conflicts:!nodes
       end
     end
   in
@@ -165,10 +182,21 @@ let solve ?(options = Bsolo.Options.default) problem =
     else begin
       let node = Heap.pop heap in
       incr nodes;
+      Telemetry.Counter.incr nodes_c;
+      Telemetry.Counter.incr decisions_c;
+      Telemetry.Progress.tick tel.progress ~count:!nodes ~render:(fun () ->
+          Printf.sprintf "nodes=%d open=%d ub=%s" !nodes heap.Heap.size
+            (match !best with None -> "-" | Some (_, c) -> string_of_int c));
       if !best <> None && int_of_float (ceil (node.bound -. 1e-6)) >= !upper then ()
       else begin
-        incr lp_calls;
-        match Simplex.solve ~max_iters:2000 (lp_for relax node.fixings) with
+        Telemetry.Counter.incr lp_calls_c;
+        let sstats = Simplex.stats () in
+        let lp_outcome =
+          Telemetry.Timer.with_phase tel.timer Telemetry.Phase.Simplex (fun () ->
+              Simplex.solve ~max_iters:2000 ~stats:sstats (lp_for relax node.fixings))
+        in
+        flush_simplex tel.registry sstats;
+        match lp_outcome with
         | Simplex.Infeasible _ -> ()
         | Simplex.Optimal sol ->
           let bound_int = int_of_float (ceil (sol.value +. relax.obj_offset -. 1e-6)) in
@@ -209,16 +237,5 @@ let solve ?(options = Bsolo.Options.default) problem =
     | Some `Exhausted, None -> Bsolo.Outcome.Unsatisfiable
     | Some `Budget, _ | None, _ -> Bsolo.Outcome.Unknown
   in
-  let counters =
-    {
-      Bsolo.Outcome.decisions = !nodes;
-      propagations = 0;
-      conflicts = 0;
-      bound_conflicts = 0;
-      learned = 0;
-      restarts = 0;
-      lb_calls = !lp_calls;
-      nodes = !nodes;
-    }
-  in
+  let counters = Bsolo.Outcome.counters_of_registry tel.registry in
   { Bsolo.Outcome.status; best = !best; counters; elapsed = Unix.gettimeofday () -. start }

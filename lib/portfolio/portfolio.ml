@@ -60,7 +60,32 @@ let better (a : Bsolo.Outcome.t) (b : Bsolo.Outcome.t) =
     | Some _, None -> true
     | None, (Some _ | None) -> false)
 
-let solve ?(entries = default_entries) ~budget problem =
+(* Per-member attribution: after each member run, its outcome counters
+   and elapsed time land in the shared registry under
+   [portfolio.<name>.*], so one report shows where the budget went. *)
+let attribute tel name (o : Bsolo.Outcome.t) =
+  let prefix = "portfolio." ^ name ^ "." in
+  List.iter
+    (fun (k, v) ->
+      if v <> 0 then
+        Telemetry.Counter.add
+          (Telemetry.Registry.counter tel.Telemetry.Ctx.registry (prefix ^ k))
+          v)
+    (Bsolo.Outcome.counters_to_alist o.counters);
+  Telemetry.Gauge.set (Telemetry.Registry.gauge tel.registry (prefix ^ "seconds")) o.elapsed;
+  Telemetry.Trace.event tel.trace "portfolio_result"
+    [
+      "name", Telemetry.Json.String name;
+      "status", Telemetry.Json.String (Bsolo.Outcome.status_name o.status);
+      ( "cost",
+        match Bsolo.Outcome.best_cost o with
+        | None -> Telemetry.Json.Null
+        | Some c -> Telemetry.Json.Int c );
+      "seconds", Telemetry.Json.Float o.elapsed;
+    ]
+
+let solve ?telemetry ?(entries = default_entries) ~budget problem =
+  let tel = match telemetry with Some t -> t | None -> Telemetry.Ctx.silent () in
   let n = max 1 (List.length entries) in
   let slice = budget /. float_of_int n in
   let runs = ref [] in
@@ -68,7 +93,10 @@ let solve ?(entries = default_entries) ~budget problem =
   List.iter
     (fun e ->
       if not !finished then begin
+        Telemetry.Trace.event tel.trace "portfolio_member"
+          [ "name", Telemetry.Json.String e.pname; "slice", Telemetry.Json.Float slice ];
         let o = e.psolve ~time_limit:slice problem in
+        attribute tel e.pname o;
         runs := (e.pname, o) :: !runs;
         if proved o then finished := true
       end)

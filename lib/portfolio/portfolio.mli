@@ -24,8 +24,14 @@ type report = {
           other — would indicate a solver bug *)
 }
 
-val solve : ?entries:entry list -> budget:float -> Problem.t -> report
+val solve :
+  ?telemetry:Telemetry.Ctx.t -> ?entries:entry list -> budget:float -> Problem.t -> report
 (** Splits [budget] evenly across the entries and stops early once an
     entry returns a proved result (optimum or unsatisfiability).  The
     returned outcome is the best found: proved results beat bounds,
-    lower costs beat higher ones. *)
+    lower costs beat higher ones.
+
+    When [telemetry] is given, each member run is attributed in the
+    shared registry — counters [portfolio.<name>.<counter>] and gauge
+    [portfolio.<name>.seconds] — and [portfolio_member] /
+    [portfolio_result] events are traced. *)

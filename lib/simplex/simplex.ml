@@ -30,6 +30,18 @@ type outcome =
   | Unbounded
   | Iteration_limit
 
+type stats = {
+  mutable calls : int;
+  mutable iterations : int;
+  mutable phase1_iters : int;
+  mutable phase2_iters : int;
+  mutable pivots : int;
+  mutable refreshes : int;
+}
+
+let stats () =
+  { calls = 0; iterations = 0; phase1_iters = 0; phase2_iters = 0; pivots = 0; refreshes = 0 }
+
 (* Internal state: every row is an equality over [ntotal] columns
    (structural, then one slack per row, then one artificial per row).
    [tab] is the current tableau B^-1 A; [xval] holds the value of every
@@ -47,6 +59,8 @@ type state = {
   sigma : float array;  (* artificial sign per row *)
   rc : float array;  (* reduced costs, kept in sync by pivots *)
   mutable pivots_since_refresh : int;
+  mutable npivots : int;
+  mutable nrefresh : int;
   eps : float;
 }
 
@@ -73,7 +87,8 @@ let refresh_reduced_costs st cost =
       done
     end
   done;
-  st.pivots_since_refresh <- 0
+  st.pivots_since_refresh <- 0;
+  st.nrefresh <- st.nrefresh + 1
 
 (* Entering column: nonbasic at lower bound with negative reduced cost, or
    at upper bound with positive reduced cost.  Dantzig rule by default,
@@ -176,7 +191,8 @@ let step st cost ~bland =
         st.basis.(r) <- j;
         st.in_basis.(j) <- true;
         st.in_basis.(leaving) <- false;
-        st.pivots_since_refresh <- st.pivots_since_refresh + 1);
+        st.pivots_since_refresh <- st.pivots_since_refresh + 1;
+        st.npivots <- st.npivots + 1);
       Moved
     end
   end
@@ -215,7 +231,7 @@ let duals_for st cost =
       done;
       !s /. st.sigma.(i))
 
-let solve ?(eps = 1e-7) ?max_iters (p : problem) =
+let solve ?(eps = 1e-7) ?max_iters ?stats (p : problem) =
   let m = Array.length p.rows in
   let n = p.ncols in
   let max_iters = match max_iters with Some k -> k | None -> 200 + (20 * (m + n)) in
@@ -259,6 +275,8 @@ let solve ?(eps = 1e-7) ?max_iters (p : problem) =
       sigma;
       rc = Array.make ntotal 0.;
       pivots_since_refresh = 0;
+      npivots = 0;
+      nrefresh = 0;
       eps;
     }
   in
@@ -281,51 +299,68 @@ let solve ?(eps = 1e-7) ?max_iters (p : problem) =
     end
   done;
   let iters = ref 0 in
+  let phase1_iters = ref 0 in
   let phase1_cost = Array.make ntotal 0. in
   for i = 0 to m - 1 do
     phase1_cost.(art_col st i) <- 1.
   done;
-  match optimize st phase1_cost ~max_iters ~iters with
-  | Iteration_limit -> Iteration_limit
-  | Unbounded ->
-    (* phase 1 is bounded below by 0 *)
-    Iteration_limit
-  | Optimal _ ->
-    let z1 = objective_value st phase1_cost in
-    if z1 > 1e-6 *. float_of_int (max 1 m) then begin
-      let pi = duals_for st phase1_cost in
-      let certificate = ref [] in
-      for i = m - 1 downto 0 do
-        if abs_float pi.(i) > eps then certificate := i :: !certificate
-      done;
-      Infeasible !certificate
-    end
-    else begin
-      (* fix artificials at 0 and optimize the real objective *)
-      for i = 0 to m - 1 do
-        ub.(art_col st i) <- 0.;
-        xval.(art_col st i) <- min xval.(art_col st i) 0.
-      done;
-      let phase2_cost = Array.make ntotal 0. in
-      Array.blit p.objective 0 phase2_cost 0 n;
-      (match optimize st phase2_cost ~max_iters ~iters with
-      | Iteration_limit -> Iteration_limit
-      | Unbounded -> Unbounded
-      | Infeasible _ ->
-        (* [optimize] never reports infeasibility *)
-        assert false
-      | Optimal _ ->
-        let x = Array.sub xval 0 n in
-        for j = 0 to n - 1 do
-          if x.(j) < p.lower.(j) then x.(j) <- p.lower.(j);
-          if x.(j) > p.upper.(j) then x.(j) <- p.upper.(j)
+  let result =
+    let r1 = optimize st phase1_cost ~max_iters ~iters in
+    phase1_iters := !iters;
+    match r1 with
+    | Iteration_limit -> Iteration_limit
+    | Unbounded ->
+      (* phase 1 is bounded below by 0 *)
+      Iteration_limit
+    | Optimal _ ->
+      let z1 = objective_value st phase1_cost in
+      if z1 > 1e-6 *. float_of_int (max 1 m) then begin
+        let pi = duals_for st phase1_cost in
+        let certificate = ref [] in
+        for i = m - 1 downto 0 do
+          if abs_float pi.(i) > eps then certificate := i :: !certificate
         done;
-        let activity =
-          Array.map
-            (fun r -> List.fold_left (fun acc (j, a) -> acc +. (a *. x.(j))) 0. r.coeffs)
-            p.rows
-        in
-        let value = Array.fold_left ( +. ) 0. (Array.mapi (fun j c -> c *. x.(j)) p.objective) in
-        Optimal { value; x; row_activity = activity; duals = duals_for st phase2_cost })
-    end
-  | Infeasible _ -> assert false
+        Infeasible !certificate
+      end
+      else begin
+        (* fix artificials at 0 and optimize the real objective *)
+        for i = 0 to m - 1 do
+          ub.(art_col st i) <- 0.;
+          xval.(art_col st i) <- min xval.(art_col st i) 0.
+        done;
+        let phase2_cost = Array.make ntotal 0. in
+        Array.blit p.objective 0 phase2_cost 0 n;
+        (match optimize st phase2_cost ~max_iters ~iters with
+        | Iteration_limit -> Iteration_limit
+        | Unbounded -> Unbounded
+        | Infeasible _ ->
+          (* [optimize] never reports infeasibility *)
+          assert false
+        | Optimal _ ->
+          let x = Array.sub xval 0 n in
+          for j = 0 to n - 1 do
+            if x.(j) < p.lower.(j) then x.(j) <- p.lower.(j);
+            if x.(j) > p.upper.(j) then x.(j) <- p.upper.(j)
+          done;
+          let activity =
+            Array.map
+              (fun r -> List.fold_left (fun acc (j, a) -> acc +. (a *. x.(j))) 0. r.coeffs)
+              p.rows
+          in
+          let value =
+            Array.fold_left ( +. ) 0. (Array.mapi (fun j c -> c *. x.(j)) p.objective)
+          in
+          Optimal { value; x; row_activity = activity; duals = duals_for st phase2_cost })
+      end
+    | Infeasible _ -> assert false
+  in
+  (match stats with
+  | None -> ()
+  | Some s ->
+    s.calls <- s.calls + 1;
+    s.iterations <- s.iterations + !iters;
+    s.phase1_iters <- s.phase1_iters + !phase1_iters;
+    s.phase2_iters <- s.phase2_iters + (!iters - !phase1_iters);
+    s.pivots <- s.pivots + st.npivots;
+    s.refreshes <- s.refreshes + st.nrefresh);
+  result

@@ -52,6 +52,21 @@ type outcome =
   | Unbounded
   | Iteration_limit  (** gave up; treat as "no information" *)
 
-val solve : ?eps:float -> ?max_iters:int -> problem -> outcome
+type stats = {
+  mutable calls : int;  (** [solve] invocations flushed into this record *)
+  mutable iterations : int;  (** simplex steps, bound flips included *)
+  mutable phase1_iters : int;
+  mutable phase2_iters : int;
+  mutable pivots : int;  (** basis changes only *)
+  mutable refreshes : int;  (** full reduced-cost recomputations *)
+}
+
+val stats : unit -> stats
+(** Fresh all-zero record.  Pass the same record to successive [solve]
+    calls to accumulate across them; the library itself stays free of
+    global state. *)
+
+val solve : ?eps:float -> ?max_iters:int -> ?stats:stats -> problem -> outcome
 (** [eps] defaults to [1e-7]; [max_iters] defaults to
-    [200 + 20 * (m + ncols)]. *)
+    [200 + 20 * (m + ncols)].  When [stats] is given, the call's work
+    figures are added to it on every exit path. *)

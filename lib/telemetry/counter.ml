@@ -1,0 +1,16 @@
+(* A named monotone (or settable) integer counter.  Callers bind the
+   counter once and increment a mutable field afterwards, so the hot-path
+   cost is a single store. *)
+
+type t = {
+  name : string;
+  mutable value : int;
+}
+
+let make ?(value = 0) name = { name; value }
+let name c = c.name
+let get c = c.value
+let incr c = c.value <- c.value + 1
+let add c n = c.value <- c.value + n
+let set c v = c.value <- v
+let set_max c v = if v > c.value then c.value <- v

@@ -1,0 +1,30 @@
+(* One telemetry context per solver run: phase timer, counter registry,
+   trace sink and progress reporter travel together.  [silent] is the
+   default used when the caller asked for nothing: counters still
+   accumulate (they back the outcome snapshot) but the timer is off, no
+   trace is written and no progress is printed. *)
+
+type t = {
+  timer : Timer.t;
+  registry : Registry.t;
+  trace : Trace.t;
+  progress : Progress.t;
+}
+
+let silent () =
+  {
+    timer = Timer.create ();
+    registry = Registry.create ();
+    trace = Trace.disabled ();
+    progress = Progress.disabled ();
+  }
+
+let create ?(timing = true) ?trace ?progress () =
+  {
+    timer = Timer.create ~enabled:timing ();
+    registry = Registry.create ();
+    trace = (match trace with Some t -> t | None -> Trace.disabled ());
+    progress = (match progress with Some p -> p | None -> Progress.disabled ());
+  }
+
+let close t = Trace.close t.trace

@@ -1,0 +1,14 @@
+(* A named float gauge: last-written value wins, with max/min helpers for
+   high-water marks. *)
+
+type t = {
+  name : string;
+  mutable value : float;
+}
+
+let make ?(value = 0.) name = { name; value }
+let name g = g.name
+let get g = g.value
+let set g v = g.value <- v
+let set_max g v = if v > g.value then g.value <- v
+let add g v = g.value <- g.value +. v

@@ -1,0 +1,47 @@
+(* Power-of-two bucketed histogram over non-negative integers.  Bucket 0
+   counts values <= 0; bucket i (i >= 1) counts values v with
+   2^(i-1) <= v < 2^i.  Observation is branch-free apart from the bucket
+   search, and the memory footprint is one small int array. *)
+
+let nbuckets = 32
+
+type t = {
+  name : string;
+  buckets : int array;
+  mutable total : int;
+  mutable sum : int;
+  mutable max_value : int;
+}
+
+let make name = { name; buckets = Array.make nbuckets 0; total = 0; sum = 0; max_value = 0 }
+let name h = h.name
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let rec go i b = if b > v then i else go (i + 1) (b * 2) in
+    min (nbuckets - 1) (go 1 2)
+  end
+
+let observe h v =
+  let b = bucket_of v in
+  h.buckets.(b) <- h.buckets.(b) + 1;
+  h.total <- h.total + 1;
+  h.sum <- h.sum + max v 0;
+  if v > h.max_value then h.max_value <- v
+
+let total h = h.total
+let max_value h = h.max_value
+let mean h = if h.total = 0 then 0. else float_of_int h.sum /. float_of_int h.total
+
+(* Non-empty buckets as (lo, hi, count), hi inclusive. *)
+let snapshot h =
+  let out = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if h.buckets.(i) > 0 then begin
+      let lo = if i = 0 then 0 else 1 lsl (i - 1) in
+      let hi = if i = 0 then 0 else (1 lsl i) - 1 in
+      out := (lo, hi, h.buckets.(i)) :: !out
+    end
+  done;
+  !out

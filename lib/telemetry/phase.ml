@@ -1,0 +1,67 @@
+(* Named phases of a solver run.  A closed enumeration rather than free
+   strings so the timer can accumulate into a flat array without hashing
+   on the hot path. *)
+
+type t =
+  | Parse
+  | Preprocess
+  | Propagate
+  | Decide
+  | Analyze
+  | Reduce_db
+  | Lower_bound
+  | Simplex
+  | Subgradient
+  | Cut_generation
+  | Certify
+  | Report
+  | Other
+
+let count = 13
+
+let index = function
+  | Parse -> 0
+  | Preprocess -> 1
+  | Propagate -> 2
+  | Decide -> 3
+  | Analyze -> 4
+  | Reduce_db -> 5
+  | Lower_bound -> 6
+  | Simplex -> 7
+  | Subgradient -> 8
+  | Cut_generation -> 9
+  | Certify -> 10
+  | Report -> 11
+  | Other -> 12
+
+let name = function
+  | Parse -> "parse"
+  | Preprocess -> "preprocess"
+  | Propagate -> "propagate"
+  | Decide -> "decide"
+  | Analyze -> "analyze"
+  | Reduce_db -> "reduce_db"
+  | Lower_bound -> "lower_bound"
+  | Simplex -> "simplex"
+  | Subgradient -> "subgradient"
+  | Cut_generation -> "cut_generation"
+  | Certify -> "certify"
+  | Report -> "report"
+  | Other -> "other"
+
+let all =
+  [
+    Parse;
+    Preprocess;
+    Propagate;
+    Decide;
+    Analyze;
+    Reduce_db;
+    Lower_bound;
+    Simplex;
+    Subgradient;
+    Cut_generation;
+    Certify;
+    Report;
+    Other;
+  ]

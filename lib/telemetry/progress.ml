@@ -1,0 +1,23 @@
+(* Periodic progress reporter: fires the render callback every [every]
+   units of the driving counter (typically conflicts).  The rendered line
+   is built lazily, so a disabled reporter costs one branch per tick. *)
+
+type t = {
+  every : int;
+  mutable next : int;
+  out : string -> unit;
+  enabled : bool;
+}
+
+let disabled () = { every = 0; next = max_int; out = ignore; enabled = false }
+
+let make ~every ~out =
+  if every <= 0 then disabled () else { every; next = every; out; enabled = true }
+
+let enabled t = t.enabled
+
+let tick t ~count ~render =
+  if t.enabled && count >= t.next then begin
+    t.next <- count + t.every;
+    t.out (render ())
+  end

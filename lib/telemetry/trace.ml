@@ -1,0 +1,113 @@
+(* JSONL search-event sink.  Every emitter takes immediate (unboxed)
+   arguments and starts with a match on the sink, so a disabled trace
+   costs one branch and allocates nothing.  One event per line:
+
+     {"t":0.004512,"ev":"decision","level":3,"var":17,"value":true}
+
+   [t] is seconds since the sink was opened. *)
+
+type sink = {
+  oc : out_channel;
+  start : float;
+  owned : bool;  (* close_out on [close] *)
+  buf : Buffer.t;
+  mutable nevents : int;
+}
+
+type t = { mutable sink : sink option }
+
+let disabled () = { sink = None }
+
+let of_channel ?(owned = false) oc =
+  { sink = Some { oc; start = Unix.gettimeofday (); owned; buf = Buffer.create 256; nevents = 0 } }
+
+let open_file path = of_channel ~owned:true (open_out path)
+let enabled t = t.sink <> None
+let events t = match t.sink with None -> 0 | Some s -> s.nevents
+
+let close t =
+  match t.sink with
+  | None -> ()
+  | Some s ->
+    flush s.oc;
+    if s.owned then close_out s.oc;
+    t.sink <- None
+
+let write s fields =
+  Buffer.clear s.buf;
+  let t = Unix.gettimeofday () -. s.start in
+  Buffer.add_string s.buf (Printf.sprintf "{\"t\":%.6f" t);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char s.buf ',';
+      Json.escape_to s.buf k;
+      Buffer.add_char s.buf ':';
+      Json.to_buffer s.buf v)
+    fields;
+  Buffer.add_string s.buf "}\n";
+  Buffer.output_buffer s.oc s.buf;
+  s.nevents <- s.nevents + 1
+
+let event t name fields =
+  match t.sink with
+  | None -> ()
+  | Some s -> write s (("ev", Json.String name) :: fields)
+
+(* --- typed emitters ------------------------------------------------------- *)
+
+let decision t ~level ~var ~value =
+  match t.sink with
+  | None -> ()
+  | Some s ->
+    write s
+      [ "ev", Json.String "decision"; "level", Json.Int level; "var", Json.Int var; "value", Json.Bool value ]
+
+let backjump t ~from_level ~to_level ~conflicts =
+  match t.sink with
+  | None -> ()
+  | Some s ->
+    write s
+      [
+        "ev", Json.String "backjump";
+        "from", Json.Int from_level;
+        "to", Json.Int to_level;
+        "conflicts", Json.Int conflicts;
+      ]
+
+let bound_conflict t ~lb ~path ~upper ~level =
+  match t.sink with
+  | None -> ()
+  | Some s ->
+    write s
+      [
+        "ev", Json.String "bound_conflict";
+        "lb", Json.Int lb;
+        "path", Json.Int path;
+        "upper", Json.Int upper;
+        "level", Json.Int level;
+      ]
+
+let incumbent t ~cost ~conflicts =
+  match t.sink with
+  | None -> ()
+  | Some s ->
+    write s
+      [ "ev", Json.String "incumbent"; "cost", Json.Int cost; "conflicts", Json.Int conflicts ]
+
+let restart t ~conflicts =
+  match t.sink with
+  | None -> ()
+  | Some s -> write s [ "ev", Json.String "restart"; "conflicts", Json.Int conflicts ]
+
+let cut t ~kind ~size ~degree =
+  match t.sink with
+  | None -> ()
+  | Some s ->
+    write s
+      [ "ev", Json.String "cut"; "kind", Json.String kind; "size", Json.Int size; "degree", Json.Int degree ]
+
+let learned t ~size ~level =
+  match t.sink with
+  | None -> ()
+  | Some s ->
+    write s [ "ev", Json.String "learned"; "size", Json.Int size; "level", Json.Int level ]

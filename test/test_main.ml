@@ -27,6 +27,7 @@ let () =
       ("portfolio", Test_portfolio.suite);
       ("milp", Test_milp.suite);
       ("cutting-planes", Test_cutting_planes.suite);
+      ("telemetry", Test_telemetry.suite);
       ("fuzz", Test_fuzz.suite);
       ("stress", Test_stress.suite);
       ("solvers", Test_solvers.suite);

@@ -81,4 +81,70 @@ let larger_cases =
   in
   List.map case solvers
 
-let suite = suite @ larger_cases
+(* Telemetry end-to-end: the machine-readable report must agree with the
+   returned outcome, and the traced incumbent trajectory must be strictly
+   decreasing. *)
+let telemetry_cases =
+  let run () =
+    let config = { Gen.default with nvars = 12; nconstrs = 16; max_cost = 20; max_coeff = 6 } in
+    (* pick an instance that has a model, so incumbents are traced *)
+    let rec sat_instance seed =
+      if seed > 140 then Alcotest.fail "no satisfiable instance in seed range"
+      else begin
+        let problem = Gen.problem ~config seed in
+        match Bsolo.Exhaustive.optimum problem with
+        | Some _ -> problem
+        | None -> sat_instance (seed + 1)
+      end
+    in
+    let problem = sat_instance 100 in
+    let path = Filename.temp_file "bsolo_e2e" ".jsonl" in
+    let tel =
+      Telemetry.Ctx.create ~timing:true ~trace:(Telemetry.Trace.open_file path) ()
+    in
+    let options = { Bsolo.Options.default with telemetry = Some tel } in
+    let outcome = Bsolo.Solver.solve ~options problem in
+    let report = Bsolo.Report.make ~problem ~options ~telemetry:tel outcome in
+    (match Telemetry.Json.of_string (Bsolo.Report.to_string report) with
+    | Error e -> Alcotest.failf "report does not parse: %s" e
+    | Ok json ->
+      (match Bsolo.Report.counters_of_json json with
+      | None -> Alcotest.fail "report has no counters"
+      | Some c ->
+        if c <> outcome.Bsolo.Outcome.counters then
+          Alcotest.fail "report counters differ from Outcome.counters"));
+    Telemetry.Ctx.close tel;
+    let ic = open_in path in
+    let incumbents = ref [] in
+    (try
+       while true do
+         let line = input_line ic in
+         match Telemetry.Json.of_string line with
+         | Error e -> Alcotest.failf "invalid trace line %S: %s" line e
+         | Ok json ->
+           if Option.bind (Telemetry.Json.member "ev" json) Telemetry.Json.to_string_opt
+              = Some "incumbent"
+           then
+             match Option.bind (Telemetry.Json.member "cost" json) Telemetry.Json.to_int with
+             | Some cost -> incumbents := cost :: !incumbents
+             | None -> Alcotest.failf "incumbent event lacks a cost: %S" line
+       done
+     with End_of_file -> close_in ic);
+    Sys.remove path;
+    let trajectory = List.rev !incumbents in
+    if trajectory = [] then Alcotest.fail "no incumbent events traced";
+    let rec decreasing = function
+      | a :: (b :: _ as rest) -> a > b && decreasing rest
+      | [ _ ] | [] -> true
+    in
+    if not (decreasing trajectory) then
+      Alcotest.fail "traced incumbent trajectory is not strictly decreasing";
+    (match outcome.Bsolo.Outcome.best with
+    | Some (_, c) ->
+      Alcotest.(check int) "last traced incumbent is the final cost" c
+        (List.nth trajectory (List.length trajectory - 1))
+    | None -> Alcotest.fail "expected a model on this instance")
+  in
+  [ Alcotest.test_case "telemetry report and trace agree with outcome" `Quick run ]
+
+let suite = suite @ larger_cases @ telemetry_cases
