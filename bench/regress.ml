@@ -1,0 +1,150 @@
+(* Bench regression pipeline: run the benchmark suite under the default
+   bsolo-LPR configuration, emit a schema-versioned BENCH_<rev>.json
+   (per-instance wall time, nodes, LB stats), compare against a committed
+   baseline and exit non-zero on regression.
+
+     regress.exe [--out FILE] [--baseline FILE] [--limit SECS]
+                 [--scale S] [--per-family N] [--threshold FRACTION]
+                 [--report-only] [--rev NAME]
+
+   The baseline must have been produced with the same limit/scale/
+   per-family settings, otherwise instance names do not line up; a
+   mismatch is reported and the comparison skipped. *)
+
+let usage () =
+  print_endline
+    "usage: regress.exe [--out FILE] [--baseline FILE] [--limit SECS] [--scale S]\n\
+    \       [--per-family N] [--threshold FRACTION] [--report-only] [--rev NAME]"
+
+let git_rev () =
+  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+  | exception Unix.Unix_error _ -> "dev"
+  | ic ->
+    let line = try input_line ic with End_of_file -> "" in
+    (match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "dev")
+
+let () =
+  let out = ref None in
+  let baseline = ref None in
+  let limit = ref 1.0 in
+  let scale = ref 0.25 in
+  let per_family = ref 2 in
+  let threshold = ref 0.5 in
+  let report_only = ref false in
+  let rev = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--out" :: v :: rest ->
+      out := Some v;
+      parse rest
+    | "--baseline" :: v :: rest ->
+      baseline := Some v;
+      parse rest
+    | "--limit" :: v :: rest ->
+      limit := float_of_string v;
+      parse rest
+    | "--scale" :: v :: rest ->
+      scale := float_of_string v;
+      parse rest
+    | "--per-family" :: v :: rest ->
+      per_family := int_of_string v;
+      parse rest
+    | "--threshold" :: v :: rest ->
+      threshold := float_of_string v;
+      parse rest
+    | "--report-only" :: rest ->
+      report_only := true;
+      parse rest
+    | "--rev" :: v :: rest ->
+      rev := Some v;
+      parse rest
+    | ("--help" | "-h") :: _ ->
+      usage ();
+      exit 0
+    | other :: _ ->
+      Printf.eprintf "unknown argument %S\n" other;
+      usage ();
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let limit = !limit and scale = !scale and per_family = !per_family in
+  let rev = match !rev with Some r -> r | None -> git_rev () in
+  let out = match !out with Some o -> o | None -> Printf.sprintf "BENCH_%s.json" rev in
+  let instances = Benchgen.Suite.instances ~scale ~per_family () in
+  Printf.printf "bench regress: %d instances, limit %.1fs, scale %.2f, rev %s\n%!"
+    (List.length instances) limit scale rev;
+  let rows =
+    List.map
+      (fun (inst : Benchgen.Suite.instance) ->
+        let tel = Telemetry.Ctx.create ~timing:true () in
+        let options =
+          { (Bsolo.Options.with_lb Bsolo.Options.Lpr) with
+            time_limit = Some limit;
+            telemetry = Some tel;
+          }
+        in
+        let o = Bsolo.Solver.solve ~options inst.problem in
+        let c = o.counters in
+        let row =
+          {
+            Inspect.Bench.name = inst.name;
+            solver = Bsolo.Options.lb_method_name options.lb_method;
+            status = Bsolo.Outcome.status_name o.status;
+            cost = Bsolo.Outcome.best_cost o;
+            elapsed = o.elapsed;
+            nodes = c.nodes;
+            conflicts = c.conflicts;
+            bound_conflicts = c.bound_conflicts;
+            lb_calls = c.lb_calls;
+          }
+        in
+        Printf.printf "  %-28s %-14s %8.3fs %8d nodes\n%!" row.name row.status row.elapsed
+          row.nodes;
+        row)
+      instances
+  in
+  let report = Inspect.Bench.make ~rev ~limit ~scale ~per_family rows in
+  let oc = open_out out in
+  output_string oc (Inspect.Json.to_string report);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out;
+  match !baseline with
+  | None -> ()
+  | Some path ->
+    (match Inspect.load_file path with
+    | Error msg ->
+      Printf.eprintf "cannot load baseline: %s\n" msg;
+      exit 2
+    | Ok base ->
+      let member name json =
+        Option.bind (Inspect.Json.member name json) Inspect.Json.to_float
+      in
+      let mismatched =
+        member "limit" base <> Some limit
+        || member "scale" base <> Some scale
+        || Option.bind (Inspect.Json.member "per_family" base) Inspect.Json.to_int
+           <> Some per_family
+      in
+      if mismatched then begin
+        Printf.eprintf
+          "baseline %s was produced with different limit/scale/per-family settings; \
+           skipping comparison\n"
+          path;
+        if not !report_only then exit 2
+      end
+      else begin
+        let entries = Inspect.Bench.diff ~threshold:!threshold base report in
+        Printf.printf "\n== regression check vs %s (threshold %.0f%%) ==\n" path
+          (100. *. !threshold);
+        List.iter print_endline (Inspect.render_diff entries);
+        if Inspect.has_regression entries then
+          if !report_only then
+            Printf.printf "regressions detected (report-only mode, not failing)\n"
+          else begin
+            Printf.printf "regressions detected\n";
+            exit 1
+          end
+      end)

@@ -1,5 +1,7 @@
 (* Command-line PBO solver over OPB files: the reproduction of the bsolo
-   prototype, with the baselines selectable for comparison. *)
+   prototype, with the baselines selectable for comparison.  The default
+   command solves an instance; `bsolo inspect` analyses the run reports
+   and traces a solve leaves behind. *)
 
 open Cmdliner
 
@@ -99,6 +101,23 @@ let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching 
         Some (Telemetry.Ctx.create ~timing:want_report ?trace ?progress ())
       end
     in
+    (* Keep a trace parseable on abnormal exit: close (flush) the sink
+       from signal handlers and at_exit.  Ctx.close is idempotent, so the
+       normal shutdown path is unaffected. *)
+    (match tel with
+    | Some tel when trace_file <> None ->
+      at_exit (fun () -> Telemetry.Ctx.close tel);
+      let close_and_exit n =
+        Sys.Signal_handle
+          (fun _ ->
+            Telemetry.Ctx.close tel;
+            exit (128 + n))
+      in
+      List.iter
+        (fun (signal, n) ->
+          try Sys.set_signal signal (close_and_exit n) with Invalid_argument _ | Sys_error _ -> ())
+        [ Sys.sigint, 2; Sys.sigterm, 15; Sys.sighup, 1 ]
+    | Some _ | None -> ());
     let options =
       {
         (Bsolo.Options.with_lb lb) with
@@ -261,15 +280,133 @@ let progress_arg =
   let doc = "Print a progress line to stderr every $(docv) conflicts (0 disables)." in
   Arg.(value & opt int 0 & info [ "progress" ] ~docv:"N" ~doc)
 
+(* --- inspect subcommand ---------------------------------------------------- *)
+
+let print_lines = List.iter print_endline
+
+let inspect_report path json =
+  let label field = Option.bind (Inspect.Json.member field json) Inspect.Json.to_string_opt in
+  Printf.printf "== %s ==\n" path;
+  (match label "engine", label "instance", label "status" with
+  | engine, instance, status ->
+    Printf.printf "engine=%s instance=%s status=%s elapsed=%.3fs\n"
+      (Option.value ~default:"?" engine)
+      (Option.value ~default:"?" instance)
+      (Option.value ~default:"?" status)
+      (Inspect.elapsed json));
+  print_newline ();
+  print_endline "per-procedure effectiveness:";
+  print_lines (Inspect.render_effectiveness (Inspect.effectiveness json));
+  print_newline ();
+  print_endline "gap-closure timeline:";
+  print_lines (Inspect.render_gap_timeline (Inspect.gap_timeline json));
+  print_newline ();
+  print_endline "search-tree shape:";
+  print_lines (Inspect.render_tree_shape json);
+  print_newline ()
+
+let inspect_bench path json =
+  Printf.printf "== %s (bench regression report) ==\n" path;
+  let rev = Option.bind (Inspect.Json.member "rev" json) Inspect.Json.to_string_opt in
+  Printf.printf "rev=%s\n\n" (Option.value ~default:"?" rev);
+  Printf.printf "%-28s %-8s %-14s %10s %10s %10s %10s\n" "instance" "solver" "status" "cost"
+    "elapsed" "nodes" "conflicts";
+  List.iter
+    (fun (r : Inspect.Bench.row) ->
+      Printf.printf "%-28s %-8s %-14s %10s %10.3f %10d %10d\n" r.name r.solver r.status
+        (match r.cost with None -> "-" | Some c -> string_of_int c)
+        r.elapsed r.nodes r.conflicts)
+    (Inspect.Bench.rows_of_json json);
+  print_newline ()
+
+let inspect_run files diff_mode trace_file threshold show_all =
+  let error msg =
+    Printf.eprintf "bsolo inspect: %s\n" msg;
+    2
+  in
+  let load path k = match Inspect.load_file path with Ok j -> k j | Error msg -> error msg in
+  match trace_file, diff_mode, files with
+  | Some path, _, _ ->
+    (match Inspect.load_trace path with
+    | Error msg -> error msg
+    | Ok (events, skipped) ->
+      Printf.printf "== %s (trace) ==\n" path;
+      print_lines (Inspect.trace_summary events ~skipped);
+      0)
+  | None, true, [ a; b ] ->
+    load a (fun ja ->
+        load b (fun jb ->
+            let entries = Inspect.diff ~threshold ja jb in
+            Printf.printf "== diff %s -> %s (threshold %.0f%%) ==\n" a b (100. *. threshold);
+            print_lines (Inspect.render_diff ~all:show_all entries);
+            if Inspect.has_regression entries then 1 else 0))
+  | None, true, _ -> error "--diff needs exactly two report files"
+  | None, false, [] -> error "no report file given (or use --trace FILE)"
+  | None, false, files ->
+    let rec go = function
+      | [] -> 0
+      | path :: rest ->
+        load path (fun json ->
+            (match Inspect.schema_of json with
+            | Some s when s = Inspect.Bench.schema -> inspect_bench path json
+            | Some _ | None -> inspect_report path json);
+            go rest)
+    in
+    go files
+
+let inspect_files_arg =
+  let doc = "Run report(s) (--json output) or bench regression reports to analyse." in
+  Arg.(value & pos_all string [] & info [] ~docv:"REPORT" ~doc)
+
+let diff_flag =
+  let doc = "Compare two reports and flag counter/time regressions beyond --threshold." in
+  Arg.(value & flag & info [ "diff" ] ~doc)
+
+let inspect_trace_arg =
+  let doc = "Summarize a JSONL trace instead of a report (tolerates truncated traces)." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let threshold_arg =
+  let doc = "Relative regression threshold for --diff (0.25 = +25%)." in
+  Arg.(value & opt float 0.25 & info [ "threshold" ] ~docv:"FRACTION" ~doc)
+
+let diff_all_arg =
+  let doc = "In --diff mode, print all compared metrics, not only regressions." in
+  Arg.(value & flag & info [ "all" ] ~doc)
+
+let inspect_cmd =
+  let doc = "analyse run reports and traces (effectiveness, gap closure, diffs)" in
+  let info = Cmd.info "inspect" ~doc in
+  Cmd.v info
+    Term.(
+      const inspect_run $ inspect_files_arg $ diff_flag $ inspect_trace_arg $ threshold_arg
+      $ diff_all_arg)
+
+(* --- entry point ----------------------------------------------------------- *)
+
+let solve_term =
+  Term.(
+    const solve_file $ file_arg $ engine_arg $ lb_arg $ time_arg $ conflict_arg $ no_cuts_arg
+    $ no_lp_branching_arg $ no_preprocess_arg $ verify_arg $ verbose_arg $ stats_arg
+    $ trace_arg $ json_arg $ progress_arg)
+
 let cmd =
   let doc = "pseudo-Boolean optimizer with lower bounding (bsolo reproduction)" in
   let info = Cmd.info "bsolo" ~version:"1.0.0" ~doc in
-  let term =
-    Term.(
-      const solve_file $ file_arg $ engine_arg $ lb_arg $ time_arg $ conflict_arg $ no_cuts_arg
-      $ no_lp_branching_arg $ no_preprocess_arg $ verify_arg $ verbose_arg $ stats_arg
-      $ trace_arg $ json_arg $ progress_arg)
-  in
-  Cmd.v info term
+  let solve_cmd = Cmd.v (Cmd.info "solve" ~doc:"solve an OPB/CNF instance (default)") solve_term in
+  Cmd.group ~default:solve_term info [ solve_cmd; inspect_cmd ]
 
-let () = exit (Cmd.eval' cmd)
+(* Backward compatibility: `bsolo FILE [flags]` predates the subcommand
+   group, so a first argument that is not a command name is routed to the
+   implicit `solve`. *)
+let argv =
+  let argv = Sys.argv in
+  if Array.length argv > 1 then begin
+    match argv.(1) with
+    | "inspect" | "solve" -> argv
+    | s when String.length s > 0 && s.[0] = '-' -> argv
+    | _ -> Array.concat [ [| argv.(0); "solve" |]; Array.sub argv 1 (Array.length argv - 1) ]
+  end
+  else argv
+
+let () = exit (Cmd.eval' ~argv cmd)

@@ -36,3 +36,8 @@ val counters_of_json : Telemetry.Json.t -> Outcome.counters option
 
 val phases_of_json : Telemetry.Json.t -> (string * float) list
 (** Per-phase self times of a parsed report, seconds. *)
+
+val series_of_json : Telemetry.Json.t -> string -> (float * float array) list
+(** [series_of_json report name] re-reads a sampled series (e.g.
+    ["search.gap"]) as [(seconds, values)] pairs, oldest first; empty
+    when absent. *)

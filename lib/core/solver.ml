@@ -15,6 +15,7 @@ type search_state = {
   mutable best : (Model.t * int) option;
   nodes : Telemetry.Counter.t;
   lb_calls : Telemetry.Counter.t;
+  track : Lowerbound.Track.t;  (* bound-quality instruments for lb_method *)
   mutable last_lb : int;  (* most recent lower-bound estimate, for progress *)
   mutable max_learned : int;
   mutable restart_budget : int;
@@ -89,6 +90,9 @@ let record_incumbent st =
     st.best <- Some (m, cost + st.offset);
     let conflicts = Telemetry.Counter.get (Core.stats st.engine).Core.conflicts in
     Telemetry.Trace.incumbent st.tel.trace ~cost:(cost + st.offset) ~conflicts;
+    Lowerbound.Track.gap_sample_now st.track
+      ~at:(Unix.gettimeofday () -. st.start)
+      ~lb:(st.last_lb + st.offset) ~ub:(cost + st.offset);
     Log.info (fun k ->
         k "incumbent %d after %d conflicts (%.2fs)" (cost + st.offset) conflicts
           (Unix.gettimeofday () -. st.start));
@@ -136,8 +140,9 @@ let add_incumbent_cuts st =
 let handle_bound_conflict st (lower : Lowerbound.Bound.t) =
   let stats = Core.stats st.engine in
   Telemetry.Counter.incr stats.bound_conflicts;
+  let from_level = Core.decision_level st.engine in
   Telemetry.Trace.bound_conflict st.tel.trace ~lb:lower.value ~path:(Core.path_cost st.engine)
-    ~upper:st.upper ~level:(Core.decision_level st.engine);
+    ~upper:st.upper ~level:from_level;
   let omega =
     if st.options.bound_conflict_learning then begin
       let omega_pp = List.map Lit.negate (Core.true_cost_lits st.engine) in
@@ -146,8 +151,16 @@ let handle_bound_conflict st (lower : Lowerbound.Bound.t) =
     end
     else List.map Lit.negate (Core.decisions st.engine)
   in
-  Telemetry.Timer.with_phase st.tel.timer Telemetry.Phase.Analyze (fun () ->
-      Core.learn_false_clause st.engine omega)
+  let analysis =
+    Telemetry.Timer.with_phase st.tel.timer Telemetry.Phase.Analyze (fun () ->
+        Core.learn_false_clause st.engine omega)
+  in
+  let to_level =
+    match analysis with Core.Root_conflict -> 0 | Core.Backjump { level; _ } -> level
+  in
+  Lowerbound.Track.note_bound_conflict st.track ~lb_driven:(lower.value > 0) ~from_level
+    ~to_level;
+  analysis
 
 let pick_decision st (lower : Lowerbound.Bound.t) =
   let hinted =
@@ -204,7 +217,12 @@ let rec search st =
             | Options.Mis | Options.Lgr | Options.Lpr ->
               Telemetry.Counter.incr st.lb_calls;
               let lower = lb_compute st in
-              st.last_lb <- Core.path_cost st.engine + lower.value;
+              let path = Core.path_cost st.engine in
+              st.last_lb <- path + lower.value;
+              Lowerbound.Track.note_call st.track ~value:lower.value ~path ~upper:st.upper;
+              Lowerbound.Track.gap_sample st.track
+                ~at:(Unix.gettimeofday () -. st.start)
+                ~lb:(st.last_lb + st.offset) ~ub:(st.upper + st.offset);
               lower
           end
         in
@@ -293,6 +311,9 @@ let solve_with_incumbent_hook ?(options = Options.default) ~on_incumbent problem
       best = None;
       nodes = Telemetry.Registry.counter tel.registry "search.nodes";
       lb_calls = Telemetry.Registry.counter tel.registry "search.lb_calls";
+      track =
+        Lowerbound.Track.create tel
+          ~proc:(String.lowercase_ascii (Options.lb_method_name options.lb_method));
       last_lb = 0;
       max_learned = 4000;
       restart_budget = 100;

@@ -39,6 +39,7 @@ type stats = {
   max_trail : Telemetry.Counter.t;
   backjump_len : Telemetry.Histogram.t;  (* levels undone per conflict *)
   learned_size : Telemetry.Histogram.t;  (* literals per learned clause *)
+  depth : Telemetry.Histogram.t;  (* decision level at each decision *)
 }
 
 let stats_of_registry reg =
@@ -53,6 +54,7 @@ let stats_of_registry reg =
     max_trail = c "engine.max_trail";
     backjump_len = Telemetry.Registry.histogram reg "engine.backjump_len";
     learned_size = Telemetry.Registry.histogram reg "engine.learned_size";
+    depth = Telemetry.Registry.histogram reg "engine.depth";
   }
 
 type t = {
@@ -179,6 +181,7 @@ let restart t =
 let decide t l =
   Telemetry.Counter.incr t.stats.decisions;
   Vec.push t.trail_lim (Vec.size t.trail);
+  Telemetry.Histogram.observe t.stats.depth (decision_level t);
   Telemetry.Trace.decision t.tel.trace ~level:(decision_level t) ~var:(Lit.var l)
     ~value:(Lit.is_pos l);
   assign t l Decision

@@ -155,6 +155,7 @@ type stats = {
   max_trail : Telemetry.Counter.t;
   backjump_len : Telemetry.Histogram.t;
   learned_size : Telemetry.Histogram.t;
+  depth : Telemetry.Histogram.t;  (** decision level at each decision *)
 }
 
 val stats : t -> stats

@@ -1,0 +1,476 @@
+(* Derived analyses over the observability artifacts: `--json` run
+   reports, `--trace` JSONL event streams and the bench regression
+   reports.  Everything here is a pure function from parsed JSON to
+   strings or typed rows, so the CLI subcommand stays a thin shell and
+   the analyses are unit-testable. *)
+
+module Json = Telemetry.Json
+
+(* --- loading --------------------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_file path =
+  match read_file path with
+  | exception Sys_error msg -> Error msg
+  | text ->
+    (match Json.of_string (String.trim text) with
+    | Ok v -> Ok v
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+
+(* Trace recovery: a crashed or killed run leaves at most one partial
+   trailing line (the sink flushes every 64 events); more generally any
+   unparseable line is skipped and counted rather than failing the whole
+   inspection. *)
+let load_trace path =
+  match read_file path with
+  | exception Sys_error msg -> Error msg
+  | text ->
+    let lines = String.split_on_char '\n' text in
+    let events = ref [] in
+    let skipped = ref 0 in
+    List.iter
+      (fun line ->
+        let line = String.trim line in
+        if line <> "" then begin
+          match Json.of_string line with
+          | Ok v -> events := v :: !events
+          | Error _ -> incr skipped
+        end)
+      lines;
+    Ok (List.rev !events, !skipped)
+
+(* --- report accessors ------------------------------------------------------ *)
+
+let schema_of json = Option.bind (Json.member "schema" json) Json.to_string_opt
+
+let counter json name =
+  Option.value ~default:0
+    (Option.bind (Option.bind (Json.member "counters" json) (Json.member name)) Json.to_int)
+
+let counters_alist json =
+  match Json.member "counters" json with
+  | Some (Json.Obj fields) ->
+    List.filter_map (fun (k, v) -> Option.map (fun i -> k, i) (Json.to_int v)) fields
+  | Some _ | None -> []
+
+let phase json name =
+  Option.value ~default:0.
+    (Option.bind (Option.bind (Json.member "phases" json) (Json.member name)) Json.to_float)
+
+let phases_alist json =
+  match Json.member "phases" json with
+  | Some (Json.Obj fields) ->
+    List.filter_map (fun (k, v) -> Option.map (fun f -> k, f) (Json.to_float v)) fields
+  | Some _ | None -> []
+
+let elapsed json =
+  Option.value ~default:0. (Option.bind (Json.member "elapsed" json) Json.to_float)
+
+type hist_stats = {
+  h_total : int;
+  h_mean : float;
+  h_max : int;
+}
+
+let histogram_stats json name =
+  match Option.bind (Json.member "histograms" json) (Json.member name) with
+  | None -> None
+  | Some h ->
+    let i field = Option.value ~default:0 (Option.bind (Json.member field h) Json.to_int) in
+    let f field = Option.value ~default:0. (Option.bind (Json.member field h) Json.to_float) in
+    Some { h_total = i "total"; h_mean = f "mean"; h_max = i "max" }
+
+let gap_samples json =
+  match Option.bind (Json.member "series" json) (Json.member "search.gap") with
+  | None -> []
+  | Some s ->
+    let samples = Option.value ~default:[] (Option.bind (Json.member "samples" s) Json.to_list) in
+    List.filter_map
+      (fun sample ->
+        match Json.to_list sample with
+        | Some [ t; lb; ub ] ->
+          (match Json.to_float t, Json.to_float lb, Json.to_float ub with
+          | Some t, Some lb, Some ub -> Some (t, lb, ub)
+          | _ -> None)
+        | Some _ | None -> None)
+      samples
+
+let incumbent_points json =
+  match Option.bind (Json.member "incumbents" json) Json.to_list with
+  | None -> []
+  | Some points ->
+    List.filter_map
+      (fun p ->
+        match Option.bind (Json.member "t" p) Json.to_float,
+              Option.bind (Json.member "cost" p) Json.to_int with
+        | Some t, Some c -> Some (t, c)
+        | _ -> None)
+      points
+
+(* --- per-procedure effectiveness ------------------------------------------- *)
+
+type proc_row = {
+  proc : string;
+  calls : int;
+  time_s : float;  (* seconds attributed to this procedure *)
+  time_share : float;  (* fraction of elapsed *)
+  mean_tightness_pm : float;  (* mean gap closure, per mille *)
+  bound_conflicts : int;  (* bound conflicts this procedure triggered *)
+  mean_backjump : float;  (* mean levels undone per bound conflict *)
+  pruning_credit : int;  (* total levels undone by its bound conflicts *)
+}
+
+let strip_affixes name ~prefix ~suffix =
+  let pl = String.length prefix and sl = String.length suffix and nl = String.length name in
+  if nl > pl + sl
+     && String.sub name 0 pl = prefix
+     && String.sub name (nl - sl) sl = suffix
+  then Some (String.sub name pl (nl - pl - sl))
+  else None
+
+(* Procedure seconds: the shared lower_bound driver phase plus the
+   procedure's own substrate (simplex for LPR, subgradient for LGR).
+   With one procedure per run this attribution is exact. *)
+let proc_seconds json = function
+  | "lpr" -> phase json "lower_bound" +. phase json "simplex"
+  | "lgr" -> phase json "lower_bound" +. phase json "subgradient"
+  | "mis" | "plain" -> phase json "lower_bound"
+  | _ -> 0.
+
+let effectiveness json =
+  let procs =
+    let from_hist =
+      match Json.member "histograms" json with
+      | Some (Json.Obj fields) ->
+        List.filter_map
+          (fun (k, _) -> strip_affixes k ~prefix:"lb." ~suffix:".tightness_pm")
+          fields
+      | Some _ | None -> []
+    in
+    let path = if counter json "lb.path.bound_conflicts" > 0 then [ "path" ] else [] in
+    List.sort_uniq compare (from_hist @ path)
+  in
+  let el = elapsed json in
+  let row proc =
+    let tightness = histogram_stats json (Printf.sprintf "lb.%s.tightness_pm" proc) in
+    let backjump =
+      histogram_stats json
+        (if proc = "path" then "lb.path.bc_backjump"
+         else Printf.sprintf "lb.%s.bc_backjump" proc)
+    in
+    let calls =
+      match counter json (proc ^ ".calls") with
+      | 0 -> (match tightness with Some h -> h.h_total | None -> 0)
+      | n -> n
+    in
+    let time_s = proc_seconds json proc in
+    let bc = counter json (Printf.sprintf "lb.%s.bound_conflicts" proc) in
+    let mean_backjump = match backjump with Some h -> h.h_mean | None -> 0. in
+    {
+      proc;
+      calls;
+      time_s;
+      time_share = (if el > 0. then time_s /. el else 0.);
+      mean_tightness_pm = (match tightness with Some h -> h.h_mean | None -> 0.);
+      bound_conflicts = bc;
+      mean_backjump;
+      pruning_credit =
+        (match backjump with
+        | Some h -> int_of_float (h.h_mean *. float_of_int h.h_total +. 0.5)
+        | None -> 0);
+    }
+  in
+  List.map row procs
+
+let render_effectiveness rows =
+  let header =
+    Printf.sprintf "%-8s %10s %9s %7s %12s %10s %9s %8s" "proc" "calls" "time(s)" "time%"
+      "tightness" "conflicts" "backjump" "pruned"
+  in
+  let line (r : proc_row) =
+    Printf.sprintf "%-8s %10d %9.3f %6.1f%% %9.0f pm %10d %9.1f %8d" r.proc r.calls r.time_s
+      (100. *. r.time_share) r.mean_tightness_pm r.bound_conflicts r.mean_backjump
+      r.pruning_credit
+  in
+  header :: List.map line rows
+
+(* --- gap-closure timeline -------------------------------------------------- *)
+
+(* The sampled LB/UB trajectory when present (bsolo engine with an LB
+   procedure), otherwise the incumbent trajectory alone. *)
+let gap_timeline json =
+  match gap_samples json with
+  | [] -> List.map (fun (t, c) -> t, None, float_of_int c) (incumbent_points json)
+  | samples -> List.map (fun (t, lb, ub) -> t, Some lb, ub) samples
+
+let render_gap_timeline ?(max_lines = 32) timeline =
+  match timeline with
+  | [] -> [ "no gap samples or incumbents recorded" ]
+  | _ ->
+    let n = List.length timeline in
+    let stride = if n <= max_lines then 1 else (n + max_lines - 1) / max_lines in
+    let header = Printf.sprintf "%10s %12s %12s %8s" "t(s)" "lb" "ub" "gap%" in
+    let lines =
+      List.filteri (fun i _ -> i mod stride = 0 || i = n - 1) timeline
+      |> List.map (fun (t, lb, ub) ->
+             match lb with
+             | Some lb ->
+               let gap = if ub <> 0. then 100. *. (ub -. lb) /. Float.abs ub else 0. in
+               Printf.sprintf "%10.3f %12.0f %12.0f %7.1f%%" t lb ub gap
+             | None -> Printf.sprintf "%10.3f %12s %12.0f %8s" t "-" ub "-")
+    in
+    header :: lines
+
+(* --- search-tree shape ----------------------------------------------------- *)
+
+let render_tree_shape json =
+  let c = counter json in
+  let decisions = c "engine.decisions" in
+  let conflicts = c "engine.conflicts" in
+  let hist name = histogram_stats json name in
+  let hist_line label name =
+    match hist name with
+    | None | Some { h_total = 0; _ } -> Printf.sprintf "%-22s -" label
+    | Some h -> Printf.sprintf "%-22s mean %.1f  max %d  (n=%d)" label h.h_mean h.h_max h.h_total
+  in
+  [
+    Printf.sprintf "%-22s %d" "nodes" (c "search.nodes");
+    Printf.sprintf "%-22s %d" "decisions" decisions;
+    Printf.sprintf "%-22s %d (%d bound)" "conflicts" conflicts (c "engine.bound_conflicts");
+    Printf.sprintf "%-22s %d" "propagations" (c "engine.propagations");
+    Printf.sprintf "%-22s %d" "learned" (c "engine.learned");
+    Printf.sprintf "%-22s %d" "restarts" (c "engine.restarts");
+    Printf.sprintf "%-22s %d" "max trail" (c "engine.max_trail");
+    hist_line "decision depth" "engine.depth";
+    hist_line "backjump length" "engine.backjump_len";
+    hist_line "learned size" "engine.learned_size";
+    Printf.sprintf "%-22s %.2f" "conflicts/decision"
+      (if decisions > 0 then float_of_int conflicts /. float_of_int decisions else 0.);
+  ]
+
+(* --- report diff ----------------------------------------------------------- *)
+
+type diff_entry = {
+  key : string;
+  base : float;
+  cand : float;
+  ratio : float;  (* cand / base; infinity when base = 0 *)
+  regression : bool;
+}
+
+(* Noise floors below which a change is never flagged: small counter
+   drifts and sub-50ms timing jitter are expected between runs. *)
+let counter_floor = 64.
+let seconds_floor = 0.05
+
+let entry ~threshold ~floor key base cand =
+  let ratio = if base = 0. then (if cand = 0. then 1. else infinity) else cand /. base in
+  let regression = cand -. base > floor && ratio > 1. +. threshold in
+  { key; base; cand; ratio; regression }
+
+let diff_run_reports ~threshold a b =
+  let keys =
+    List.sort_uniq compare (List.map fst (counters_alist a) @ List.map fst (counters_alist b))
+  in
+  let counter_entries =
+    List.map
+      (fun k ->
+        entry ~threshold ~floor:counter_floor ("counters." ^ k)
+          (float_of_int (counter a k))
+          (float_of_int (counter b k)))
+      keys
+  in
+  let phase_keys =
+    List.sort_uniq compare (List.map fst (phases_alist a) @ List.map fst (phases_alist b))
+  in
+  let phase_entries =
+    List.map
+      (fun k -> entry ~threshold ~floor:seconds_floor ("phases." ^ k) (phase a k) (phase b k))
+      phase_keys
+  in
+  entry ~threshold ~floor:seconds_floor "elapsed" (elapsed a) (elapsed b)
+  :: (counter_entries @ phase_entries)
+
+let render_diff ?(all = false) entries =
+  let shown = if all then entries else List.filter (fun e -> e.regression) entries in
+  match shown with
+  | [] -> [ "no regressions beyond threshold" ]
+  | _ ->
+    let header = Printf.sprintf "%-34s %14s %14s %8s" "metric" "base" "candidate" "ratio" in
+    let num v = if Float.is_nan v then "--" else Printf.sprintf "%.3f" v in
+    let ratio e =
+      if Float.is_nan e.ratio || e.ratio = infinity then "--"
+      else Printf.sprintf "%.2fx" e.ratio
+    in
+    let line e =
+      Printf.sprintf "%-34s %14s %14s %8s%s" e.key (num e.base) (num e.cand) (ratio e)
+        (if e.regression then "  REGRESSION" else "")
+    in
+    header :: List.map line shown
+
+let has_regression entries = List.exists (fun e -> e.regression) entries
+
+(* --- bench regression reports ---------------------------------------------- *)
+
+module Bench = struct
+  let schema = "bsolo-bench-regress/1"
+
+  type row = {
+    name : string;
+    solver : string;
+    status : string;
+    cost : int option;
+    elapsed : float;
+    nodes : int;
+    conflicts : int;
+    bound_conflicts : int;
+    lb_calls : int;
+  }
+
+  let row_json (r : row) =
+    Json.Obj
+      [
+        "name", Json.String r.name;
+        "solver", Json.String r.solver;
+        "status", Json.String r.status;
+        "cost", (match r.cost with None -> Json.Null | Some c -> Json.Int c);
+        "elapsed", Json.Float r.elapsed;
+        "nodes", Json.Int r.nodes;
+        "conflicts", Json.Int r.conflicts;
+        "bound_conflicts", Json.Int r.bound_conflicts;
+        "lb_calls", Json.Int r.lb_calls;
+      ]
+
+  let make ~rev ~limit ~scale ~per_family rows =
+    Json.Obj
+      [
+        "schema", Json.String schema;
+        "rev", Json.String rev;
+        "limit", Json.Float limit;
+        "scale", Json.Float scale;
+        "per_family", Json.Int per_family;
+        "instances", Json.List (List.map row_json rows);
+      ]
+
+  let row_of_json j =
+    let s name = Option.bind (Json.member name j) Json.to_string_opt in
+    let i name = Option.value ~default:0 (Option.bind (Json.member name j) Json.to_int) in
+    let f name = Option.value ~default:0. (Option.bind (Json.member name j) Json.to_float) in
+    match s "name" with
+    | None -> None
+    | Some name ->
+      Some
+        {
+          name;
+          solver = Option.value ~default:"?" (s "solver");
+          status = Option.value ~default:"UNKNOWN" (s "status");
+          cost = Option.bind (Json.member "cost" j) Json.to_int;
+          elapsed = f "elapsed";
+          nodes = i "nodes";
+          conflicts = i "conflicts";
+          bound_conflicts = i "bound_conflicts";
+          lb_calls = i "lb_calls";
+        }
+
+  let rows_of_json json =
+    match Option.bind (Json.member "instances" json) Json.to_list with
+    | None -> []
+    | Some rows -> List.filter_map row_of_json rows
+
+  let solved status =
+    match status with "OPTIMAL" | "SATISFIABLE" | "UNSATISFIABLE" -> true | _ -> false
+
+  (* Per-instance comparison: losing a solved status or finding a worse
+     cost is always a regression; wall time and node counts regress past
+     the relative threshold (with the same noise floors as report
+     diffs). *)
+  let diff ~threshold base cand =
+    let base_rows = rows_of_json base and cand_rows = rows_of_json cand in
+    let find name rows = List.find_opt (fun (r : row) -> r.name = name) rows in
+    List.concat_map
+      (fun (b : row) ->
+        match find b.name cand_rows with
+        | None ->
+          [ { key = b.name ^ ".missing"; base = 1.; cand = 0.; ratio = 0.; regression = true } ]
+        | Some c ->
+          let status_reg = solved b.status && not (solved c.status) in
+          let cost_reg =
+            match b.cost, c.cost with Some bc, Some cc -> cc > bc | Some _, None -> true | _ -> false
+          in
+          [
+            {
+              key = b.name ^ ".status";
+              base = (if solved b.status then 1. else 0.);
+              cand = (if solved c.status then 1. else 0.);
+              ratio = 1.;
+              regression = status_reg;
+            };
+            {
+              key = b.name ^ ".cost";
+              base = (match b.cost with Some v -> float_of_int v | None -> Float.nan);
+              cand = (match c.cost with Some v -> float_of_int v | None -> Float.nan);
+              ratio = 1.;
+              regression = cost_reg;
+            };
+            entry ~threshold ~floor:seconds_floor (b.name ^ ".elapsed") b.elapsed c.elapsed;
+            entry ~threshold ~floor:counter_floor (b.name ^ ".nodes")
+              (float_of_int b.nodes) (float_of_int c.nodes);
+          ])
+      base_rows
+end
+
+(* Dispatch on schema: two bench reports diff instance-wise, anything
+   else is treated as a run report. *)
+let diff ~threshold a b =
+  match schema_of a, schema_of b with
+  | Some sa, Some sb when sa = Bench.schema && sb = Bench.schema ->
+    Bench.diff ~threshold a b
+  | _ -> diff_run_reports ~threshold a b
+
+(* --- trace summary --------------------------------------------------------- *)
+
+let trace_summary events ~skipped =
+  let tally = Hashtbl.create 16 in
+  let last_t = ref 0. in
+  List.iter
+    (fun e ->
+      (match Option.bind (Json.member "t" e) Json.to_float with
+      | Some t when t > !last_t -> last_t := t
+      | _ -> ());
+      match Option.bind (Json.member "ev" e) Json.to_string_opt with
+      | Some ev -> Hashtbl.replace tally ev (1 + Option.value ~default:0 (Hashtbl.find_opt tally ev))
+      | None -> ())
+    events;
+  let counts =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally [] |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let incumbents =
+    List.filter_map
+      (fun e ->
+        match Option.bind (Json.member "ev" e) Json.to_string_opt with
+        | Some "incumbent" ->
+          (match Option.bind (Json.member "t" e) Json.to_float,
+                 Option.bind (Json.member "cost" e) Json.to_int with
+          | Some t, Some c -> Some (t, c)
+          | _ -> None)
+        | _ -> None)
+      events
+  in
+  let header =
+    Printf.sprintf "%d events over %.3fs%s" (List.length events) !last_t
+      (if skipped > 0 then Printf.sprintf " (%d unparseable line(s) skipped)" skipped else "")
+  in
+  let count_lines = List.map (fun (k, v) -> Printf.sprintf "  %-16s %d" k v) counts in
+  let inc_lines =
+    match incumbents with
+    | [] -> []
+    | _ ->
+      "incumbent trajectory:"
+      :: List.map (fun (t, c) -> Printf.sprintf "  %10.3fs  cost %d" t c) incumbents
+  in
+  (header :: count_lines) @ inc_lines

@@ -1,0 +1,119 @@
+(** Derived analyses over the observability artifacts.
+
+    Consumes the [--json] run reports and [--trace] JSONL streams written
+    by the solvers (see [docs/OBSERVABILITY.md]) and the bench regression
+    reports ([BENCH_*.json]), and produces the derived views behind
+    [bsolo inspect]: per-procedure effectiveness, gap-closure timeline,
+    search-tree shape, report diffs and trace summaries.  Pure functions
+    from parsed JSON so everything is unit-testable. *)
+
+module Json = Telemetry.Json
+
+(** {1 Loading} *)
+
+val load_file : string -> (Json.t, string) result
+
+val load_trace : string -> (Json.t list * int, string) result
+(** Events plus the number of unparseable lines skipped — a trace cut
+    short by a signal or timeout loses at most its partial tail, not the
+    whole file. *)
+
+(** {1 Report accessors} *)
+
+val schema_of : Json.t -> string option
+val counter : Json.t -> string -> int
+(** Missing counters read as 0. *)
+
+val phase : Json.t -> string -> float
+val elapsed : Json.t -> float
+
+type hist_stats = {
+  h_total : int;
+  h_mean : float;
+  h_max : int;
+}
+
+val histogram_stats : Json.t -> string -> hist_stats option
+
+val gap_samples : Json.t -> (float * float * float) list
+(** The [search.gap] series as [(t, lb, ub)] triples. *)
+
+val incumbent_points : Json.t -> (float * int) list
+
+(** {1 Per-procedure effectiveness (paper Table 1's question)} *)
+
+type proc_row = {
+  proc : string;
+  calls : int;
+  time_s : float;
+  time_share : float;
+  mean_tightness_pm : float;
+  bound_conflicts : int;
+  mean_backjump : float;
+  pruning_credit : int;  (** total levels undone by its bound conflicts *)
+}
+
+val effectiveness : Json.t -> proc_row list
+(** One row per LB procedure that left instruments in the report, plus a
+    ["path"] pseudo-row when path-cost-only bound conflicts fired. *)
+
+val render_effectiveness : proc_row list -> string list
+
+(** {1 Gap-closure timeline} *)
+
+val gap_timeline : Json.t -> (float * float option * float) list
+(** [(t, lb, ub)]; [lb = None] when only the incumbent trajectory is
+    available. *)
+
+val render_gap_timeline : ?max_lines:int -> (float * float option * float) list -> string list
+
+(** {1 Search-tree shape} *)
+
+val render_tree_shape : Json.t -> string list
+
+(** {1 Report diff} *)
+
+type diff_entry = {
+  key : string;
+  base : float;
+  cand : float;
+  ratio : float;
+  regression : bool;
+}
+
+val diff : threshold:float -> Json.t -> Json.t -> diff_entry list
+(** Compare two reports; flags counter/time increases beyond
+    [1 + threshold] (above small noise floors).  Two bench reports are
+    compared instance-wise, anything else as run reports. *)
+
+val render_diff : ?all:bool -> diff_entry list -> string list
+val has_regression : diff_entry list -> bool
+
+(** {1 Bench regression reports} *)
+
+module Bench : sig
+  val schema : string
+  (** ["bsolo-bench-regress/1"]. *)
+
+  type row = {
+    name : string;
+    solver : string;
+    status : string;
+    cost : int option;
+    elapsed : float;
+    nodes : int;
+    conflicts : int;
+    bound_conflicts : int;
+    lb_calls : int;
+  }
+
+  val row_json : row -> Json.t
+  val make : rev:string -> limit:float -> scale:float -> per_family:int -> row list -> Json.t
+  val rows_of_json : Json.t -> row list
+  val solved : string -> bool
+  val diff : threshold:float -> Json.t -> Json.t -> diff_entry list
+end
+
+(** {1 Trace summary} *)
+
+val trace_summary : Json.t list -> skipped:int -> string list

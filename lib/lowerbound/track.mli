@@ -1,0 +1,39 @@
+(** Bound-quality tracking.
+
+    Records, per lower-bound procedure, how tight each evaluation was
+    relative to the gap it had to close, which procedure earned each
+    bound-conflict backjump, and the sampled LB/UB gap trajectory.  The
+    instruments live in the run's shared registry under [lb.<proc>.*] and
+    the [search.gap] series, and surface in run reports and
+    [bsolo inspect]. *)
+
+type t
+
+val gap_series_name : string
+(** ["search.gap"], fields [["lb"; "ub"]]. *)
+
+val gap_fields : string list
+
+val create : Telemetry.Ctx.t -> proc:string -> t
+(** [proc] is the lower-case procedure name ("mis", "lgr", "lpr",
+    "plain"); instruments are bound once here. *)
+
+val tightness_pm : value:int -> need:int -> int
+(** Gap closure per mille: [1000 * value / need] clamped to [0, 1000];
+    [need <= 0] counts as fully closed. *)
+
+val note_call : t -> value:int -> path:int -> upper:int -> unit
+(** Record one LB evaluation: tightness and raw-value histograms, plus an
+    ["lb"] trace event when tracing. *)
+
+val note_bound_conflict : t -> lb_driven:bool -> from_level:int -> to_level:int -> unit
+(** Attribute one bound conflict and its backjump length.  [lb_driven]
+    is false when the path cost alone reached the incumbent (attributed
+    to the pseudo-procedure ["path"]). *)
+
+val gap_sample : t -> at:float -> lb:int -> ub:int -> unit
+(** Offer a gap-trajectory point ([at] seconds into the run); subject to
+    the series' decimating stride. *)
+
+val gap_sample_now : t -> at:float -> lb:int -> ub:int -> unit
+(** Always-kept gap point, for incumbent updates. *)

@@ -1,0 +1,19 @@
+(** A named integer counter.
+
+    Callers bind the counter once (via {!Registry.counter}) and mutate it
+    afterwards, so the hot-path cost of an increment is a single store. *)
+
+type t
+
+val make : ?value:int -> string -> t
+val name : t -> string
+val get : t -> int
+
+val incr : t -> unit
+val add : t -> int -> unit
+
+val set : t -> int -> unit
+(** Overwrite the value (used for aliases such as [search.nodes]). *)
+
+val set_max : t -> int -> unit
+(** High-water mark: keep the maximum of the current and offered value. *)

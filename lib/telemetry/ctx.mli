@@ -1,0 +1,23 @@
+(** One telemetry context per solver run.
+
+    Phase timer, instrument registry, trace sink and progress reporter
+    travel together.  {!silent} is the default used when the caller asked
+    for nothing: counters still accumulate (they back the outcome
+    snapshot) but the timer is off, no trace is written and no progress
+    is printed. *)
+
+type t = {
+  timer : Timer.t;
+  registry : Registry.t;
+  trace : Trace.t;
+  progress : Progress.t;
+}
+
+val silent : unit -> t
+
+val create : ?timing:bool -> ?trace:Trace.t -> ?progress:Progress.t -> unit -> t
+(** [timing] defaults to [true]; omitted [trace]/[progress] are
+    disabled. *)
+
+val close : t -> unit
+(** Flush and close the trace sink (idempotent). *)

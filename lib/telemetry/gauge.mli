@@ -1,0 +1,11 @@
+(** A named float gauge: last written value wins. *)
+
+type t
+
+val make : ?value:float -> string -> t
+val name : t -> string
+val get : t -> float
+
+val set : t -> float -> unit
+val set_max : t -> float -> unit
+val add : t -> float -> unit

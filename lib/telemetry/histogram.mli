@@ -1,0 +1,17 @@
+(** Power-of-two bucketed histogram over non-negative integers.
+
+    Bucket 0 counts values [<= 0]; bucket [i >= 1] counts values [v] with
+    [2^(i-1) <= v < 2^i].  One small int array per histogram. *)
+
+type t
+
+val make : string -> t
+val name : t -> string
+
+val observe : t -> int -> unit
+val total : t -> int
+val max_value : t -> int
+val mean : t -> float
+
+val snapshot : t -> (int * int * int) list
+(** Non-empty buckets as [(lo, hi, count)], [hi] inclusive, ascending. *)

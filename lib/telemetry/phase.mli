@@ -1,0 +1,28 @@
+(** Named phases of a solver run.
+
+    A closed enumeration rather than free strings, so {!Timer} can
+    accumulate into a flat array without hashing on the hot path. *)
+
+type t =
+  | Parse
+  | Preprocess
+  | Propagate
+  | Decide
+  | Analyze
+  | Reduce_db
+  | Lower_bound
+  | Simplex
+  | Subgradient
+  | Cut_generation
+  | Certify
+  | Report
+  | Other
+
+val count : int
+(** Number of phases; [index] is a bijection onto [0 .. count - 1]. *)
+
+val index : t -> int
+val name : t -> string
+
+val all : t list
+(** Every phase, in [index] order. *)

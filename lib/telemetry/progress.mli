@@ -1,0 +1,15 @@
+(** Periodic progress reporter.
+
+    Fires the render callback every [every] units of the driving counter
+    (typically conflicts).  The line is built lazily, so a disabled
+    reporter costs one branch per tick. *)
+
+type t
+
+val disabled : unit -> t
+val make : every:int -> out:(string -> unit) -> t
+(** [make ~every ~out] fires [out (render ())] once per [every] counted
+    units; [every <= 0] yields a disabled reporter. *)
+
+val enabled : t -> bool
+val tick : t -> count:int -> render:(unit -> string) -> unit

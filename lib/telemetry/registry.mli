@@ -1,0 +1,28 @@
+(** Declare-once registry of counters, gauges, histograms and series.
+
+    Lookups by name happen at instrument-binding time (once per solve or
+    per call into a subsystem), never per event: callers hold on to the
+    returned handle and mutate it directly.  Requesting the same name
+    twice returns the same instrument. *)
+
+type t
+
+val create : unit -> t
+
+val counter : t -> string -> Counter.t
+val gauge : t -> string -> Gauge.t
+val histogram : t -> string -> Histogram.t
+
+val series : t -> fields:string list -> string -> Series.t
+(** [series t ~fields name] declares (or retrieves) a bounded time
+    series; [fields] is only consulted on first declaration. *)
+
+val find_counter : t -> string -> int option
+val find_gauge : t -> string -> float option
+
+val counters : t -> (string * int) list
+(** Snapshot of all counters, sorted by name. *)
+
+val gauges : t -> (string * float) list
+val histograms : t -> Histogram.t list
+val all_series : t -> Series.t list

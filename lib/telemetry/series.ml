@@ -1,0 +1,75 @@
+(* Bounded, self-decimating time series: a fixed-arity float vector
+   sampled against a wall-clock offset.  When the buffer reaches
+   [capacity] every other point is dropped and the sampling stride
+   doubles, so a run of any length keeps at most [capacity] points while
+   preserving the overall shape of the trajectory (the first and the most
+   recent point always survive a decimation). *)
+
+type t = {
+  name : string;
+  fields : string array;  (* labels of the value vector, e.g. [|"lb"; "ub"|] *)
+  capacity : int;
+  mutable times : float array;
+  mutable values : float array array;  (* one row per sample *)
+  mutable len : int;
+  mutable stride : int;  (* keep one sample out of [stride] offered *)
+  mutable pending : int;  (* offers since the last kept sample *)
+}
+
+let default_capacity = 256
+
+let make ?(capacity = default_capacity) ~fields name =
+  let capacity = max 4 capacity in
+  {
+    name;
+    fields = Array.of_list fields;
+    capacity;
+    times = Array.make capacity 0.;
+    values = Array.make capacity [||];
+    len = 0;
+    stride = 1;
+    pending = 0;
+  }
+
+let name s = s.name
+let fields s = Array.to_list s.fields
+let length s = s.len
+
+let decimate s =
+  (* keep even positions: index 0 survives, the last kept point is
+     re-appended by the caller's in-flight sample *)
+  let kept = ref 0 in
+  let i = ref 0 in
+  while !i < s.len do
+    s.times.(!kept) <- s.times.(!i);
+    s.values.(!kept) <- s.values.(!i);
+    incr kept;
+    i := !i + 2
+  done;
+  s.len <- !kept;
+  s.stride <- s.stride * 2
+
+let observe s ~t vals =
+  if Array.length vals <> Array.length s.fields then
+    invalid_arg "Series.observe: arity mismatch";
+  s.pending <- s.pending + 1;
+  if s.pending >= s.stride then begin
+    s.pending <- 0;
+    if s.len >= s.capacity then decimate s;
+    s.times.(s.len) <- t;
+    s.values.(s.len) <- Array.copy vals;
+    s.len <- s.len + 1
+  end
+
+(* Always record the sample, bypassing the stride (still decimates when
+   full).  Used for rare, load-bearing points such as incumbent updates. *)
+let observe_now s ~t vals =
+  if Array.length vals <> Array.length s.fields then
+    invalid_arg "Series.observe_now: arity mismatch";
+  if s.len >= s.capacity then decimate s;
+  s.times.(s.len) <- t;
+  s.values.(s.len) <- Array.copy vals;
+  s.len <- s.len + 1
+
+let samples s =
+  List.init s.len (fun i -> s.times.(i), Array.copy s.values.(i))

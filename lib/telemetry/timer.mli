@@ -1,0 +1,26 @@
+(** Wall-clock phase timers with nesting.
+
+    Time is attributed to the innermost active phase only (self time), so
+    the per-phase totals partition the instrumented span and sum without
+    double counting: entering a nested phase pauses the enclosing one.
+    When disabled, {!with_phase} costs one load, one branch and the call
+    to [f]. *)
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+(** [enabled] defaults to [false]. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val with_phase : t -> Phase.t -> (unit -> 'a) -> 'a
+(** Run [f] attributed to the phase; exception-safe. *)
+
+val self_seconds : t -> Phase.t -> float
+val total_seconds : t -> float
+
+val snapshot : t -> (Phase.t * float) list
+(** Phases with non-zero accumulated time, largest first. *)
+
+val reset : t -> unit

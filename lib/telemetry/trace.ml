@@ -25,11 +25,16 @@ let open_file path = of_channel ~owned:true (open_out path)
 let enabled t = t.sink <> None
 let events t = match t.sink with None -> 0 | Some s -> s.nevents
 
+let flush t =
+  match t.sink with
+  | None -> ()
+  | Some s -> Stdlib.flush s.oc
+
 let close t =
   match t.sink with
   | None -> ()
   | Some s ->
-    flush s.oc;
+    Stdlib.flush s.oc;
     if s.owned then close_out s.oc;
     t.sink <- None
 
@@ -46,7 +51,11 @@ let write s fields =
     fields;
   Buffer.add_string s.buf "}\n";
   Buffer.output_buffer s.oc s.buf;
-  s.nevents <- s.nevents + 1
+  s.nevents <- s.nevents + 1;
+  (* Periodic flush keeps a trace readable after an abnormal exit
+     (signal, kill, crash) at the cost of one syscall per 64 events; the
+     last partial line, if any, is skipped by the inspect reader. *)
+  if s.nevents land 63 = 0 then Stdlib.flush s.oc
 
 let event t name fields =
   match t.sink with
@@ -85,6 +94,19 @@ let bound_conflict t ~lb ~path ~upper ~level =
         "path", Json.Int path;
         "upper", Json.Int upper;
         "level", Json.Int level;
+      ]
+
+let lb t ~proc ~value ~path ~upper =
+  match t.sink with
+  | None -> ()
+  | Some s ->
+    write s
+      [
+        "ev", Json.String "lb";
+        "proc", Json.String proc;
+        "lb", Json.Int value;
+        "path", Json.Int path;
+        "upper", Json.Int upper;
       ]
 
 let incumbent t ~cost ~conflicts =

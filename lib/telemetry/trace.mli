@@ -1,0 +1,44 @@
+(** JSONL search-event sink.
+
+    One event per line, e.g.
+    [{"t":0.004512,"ev":"decision","level":3,"var":17,"value":true}];
+    ["t"] is seconds since the sink was opened.  Every emitter takes
+    immediate (unboxed) arguments and starts with a match on the sink, so
+    a disabled trace costs one branch and allocates nothing.  The sink
+    flushes every 64 events, keeping traces parseable (minus at most one
+    partial trailing line) after an abnormal exit. *)
+
+type t
+
+val disabled : unit -> t
+
+val of_channel : ?owned:bool -> out_channel -> t
+(** [owned] (default [false]) closes the channel on {!close}. *)
+
+val open_file : string -> t
+val enabled : t -> bool
+
+val events : t -> int
+(** Events written so far. *)
+
+val flush : t -> unit
+val close : t -> unit
+(** Flush, close the channel when owned, and disable the sink. *)
+
+val event : t -> string -> (string * Json.t) list -> unit
+(** Free-form event: [event t name fields] writes [{"t":..,"ev":name,..}]. *)
+
+(** {1 Typed emitters} *)
+
+val decision : t -> level:int -> var:int -> value:bool -> unit
+val backjump : t -> from_level:int -> to_level:int -> conflicts:int -> unit
+val bound_conflict : t -> lb:int -> path:int -> upper:int -> level:int -> unit
+
+val lb : t -> proc:string -> value:int -> path:int -> upper:int -> unit
+(** One lower-bound evaluation: procedure name, bound value, current path
+    cost and incumbent. *)
+
+val incumbent : t -> cost:int -> conflicts:int -> unit
+val restart : t -> conflicts:int -> unit
+val cut : t -> kind:string -> size:int -> degree:int -> unit
+val learned : t -> size:int -> level:int -> unit

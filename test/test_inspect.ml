@@ -1,0 +1,296 @@
+(* Search-analytics layer: series decimation, bound-quality tracking
+   attribution, per-procedure effectiveness, report diffs and the bench
+   regression schema. *)
+
+module Json = Telemetry.Json
+
+let check_float = Alcotest.check (Alcotest.float 1e-9)
+
+(* --- Telemetry.Series ------------------------------------------------------ *)
+
+let test_series_bounded () =
+  let s = Telemetry.Series.make ~capacity:8 ~fields:[ "v" ] "t" in
+  for i = 0 to 999 do
+    Telemetry.Series.observe s ~t:(float_of_int i) [| float_of_int (i * 2) |]
+  done;
+  let n = Telemetry.Series.length s in
+  Alcotest.(check bool) "bounded" true (n <= 8 && n >= 4);
+  let samples = Telemetry.Series.samples s in
+  Alcotest.(check int) "samples match length" n (List.length samples);
+  (* Oldest first, strictly increasing times, values consistent. *)
+  let rec monotone = function
+    | (t1, _) :: ((t2, _) :: _ as rest) -> t1 < t2 && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone" true (monotone samples);
+  List.iter (fun (t, vs) -> check_float "value tracks time" (2. *. t) vs.(0)) samples
+
+let test_series_observe_now () =
+  let s = Telemetry.Series.make ~capacity:8 ~fields:[ "v" ] "t" in
+  for i = 0 to 99 do
+    Telemetry.Series.observe s ~t:(float_of_int i) [| 0. |]
+  done;
+  (* After decimation the stride drops most offers, but observe_now points
+     must always land. *)
+  Telemetry.Series.observe_now s ~t:1000. [| 42. |];
+  let samples = Telemetry.Series.samples s in
+  let t_last, v_last = List.nth samples (List.length samples - 1) in
+  check_float "kept time" 1000. t_last;
+  check_float "kept value" 42. v_last.(0)
+
+let test_series_arity () =
+  let s = Telemetry.Series.make ~fields:[ "lb"; "ub" ] "g" in
+  Alcotest.check_raises "arity enforced" (Invalid_argument "Series.observe: arity mismatch")
+    (fun () -> Telemetry.Series.observe s ~t:0. [| 1. |])
+
+(* --- Lowerbound.Track ------------------------------------------------------ *)
+
+let test_tightness_pm () =
+  Alcotest.(check int) "half" 500 (Lowerbound.Track.tightness_pm ~value:5 ~need:10);
+  Alcotest.(check int) "full" 1000 (Lowerbound.Track.tightness_pm ~value:10 ~need:10);
+  Alcotest.(check int) "clamped high" 1000 (Lowerbound.Track.tightness_pm ~value:25 ~need:10);
+  Alcotest.(check int) "clamped low" 0 (Lowerbound.Track.tightness_pm ~value:(-3) ~need:10);
+  Alcotest.(check int) "closed gap" 1000 (Lowerbound.Track.tightness_pm ~value:0 ~need:0)
+
+let test_track_attribution () =
+  let tel = Telemetry.Ctx.create () in
+  let reg = tel.Telemetry.Ctx.registry in
+  let tr = Lowerbound.Track.create tel ~proc:"lpr" in
+  Lowerbound.Track.note_call tr ~value:6 ~path:2 ~upper:10;
+  Lowerbound.Track.note_call tr ~value:8 ~path:2 ~upper:10;
+  (* Two LB-driven bound conflicts and one path-cost-only one. *)
+  Lowerbound.Track.note_bound_conflict tr ~lb_driven:true ~from_level:10 ~to_level:4;
+  Lowerbound.Track.note_bound_conflict tr ~lb_driven:true ~from_level:7 ~to_level:5;
+  Lowerbound.Track.note_bound_conflict tr ~lb_driven:false ~from_level:3 ~to_level:2;
+  let counter name = Option.value ~default:0 (Telemetry.Registry.find_counter reg name) in
+  Alcotest.(check int) "lpr conflicts" 2 (counter "lb.lpr.bound_conflicts");
+  Alcotest.(check int) "path conflicts" 1 (counter "lb.path.bound_conflicts");
+  let tightness = Telemetry.Registry.histogram reg "lb.lpr.tightness_pm" in
+  Alcotest.(check int) "calls recorded" 2 (Telemetry.Histogram.total tightness);
+  (* value=6 over need=8 is 750 pm; value=8 closes the gap. *)
+  check_float "mean tightness" 875. (Telemetry.Histogram.mean tightness);
+  let backjump = Telemetry.Registry.histogram reg "lb.lpr.bc_backjump" in
+  Alcotest.(check int) "lpr backjumps" 2 (Telemetry.Histogram.total backjump);
+  check_float "mean backjump" 4. (Telemetry.Histogram.mean backjump)
+
+let test_gap_series_roundtrip () =
+  let tel = Telemetry.Ctx.create () in
+  let tr = Lowerbound.Track.create tel ~proc:"mis" in
+  Lowerbound.Track.gap_sample tr ~at:0.5 ~lb:3 ~ub:20;
+  Lowerbound.Track.gap_sample_now tr ~at:1.5 ~lb:7 ~ub:12;
+  (* Rebuild the report's "series" section the way Report.make does and
+     re-read it through the public reader. *)
+  let series = Telemetry.Registry.all_series tel.Telemetry.Ctx.registry in
+  Alcotest.(check int) "one series" 1 (List.length series);
+  let s = List.hd series in
+  Alcotest.(check string) "name" Lowerbound.Track.gap_series_name (Telemetry.Series.name s);
+  let json =
+    Json.Obj
+      [
+        ( "series",
+          Json.Obj
+            [
+              ( Telemetry.Series.name s,
+                Json.Obj
+                  [
+                    ( "samples",
+                      Json.List
+                        (List.map
+                           (fun (t, vs) ->
+                             Json.List
+                               (Json.Float t
+                               :: List.map (fun v -> Json.Float v) (Array.to_list vs)))
+                           (Telemetry.Series.samples s)) );
+                  ] );
+            ] );
+      ]
+  in
+  match Bsolo.Report.series_of_json json Lowerbound.Track.gap_series_name with
+  | [ (t1, v1); (t2, v2) ] ->
+    check_float "t1" 0.5 t1;
+    check_float "lb1" 3. v1.(0);
+    check_float "ub1" 20. v1.(1);
+    check_float "t2" 1.5 t2;
+    check_float "lb2" 7. v2.(0);
+    check_float "ub2" 12. v2.(1)
+  | other -> Alcotest.failf "expected 2 samples, got %d" (List.length other)
+
+(* --- effectiveness --------------------------------------------------------- *)
+
+let synthetic_report =
+  Json.Obj
+    [
+      "schema", Json.String "bsolo-run-report/1";
+      "elapsed", Json.Float 2.0;
+      ( "phases",
+        Json.Obj [ "lower_bound", Json.Float 0.3; "simplex", Json.Float 0.5 ] );
+      ( "counters",
+        Json.Obj
+          [
+            "lb.lpr.bound_conflicts", Json.Int 10;
+            "lb.path.bound_conflicts", Json.Int 2;
+            "engine.conflicts", Json.Int 40;
+          ] );
+      ( "histograms",
+        Json.Obj
+          [
+            ( "lb.lpr.tightness_pm",
+              Json.Obj [ "total", Json.Int 20; "mean", Json.Float 800.; "max", Json.Int 1000 ]
+            );
+            ( "lb.lpr.bc_backjump",
+              Json.Obj [ "total", Json.Int 10; "mean", Json.Float 3.; "max", Json.Int 7 ] );
+            ( "lb.path.bc_backjump",
+              Json.Obj [ "total", Json.Int 2; "mean", Json.Float 1.; "max", Json.Int 1 ] );
+          ] );
+    ]
+
+let test_effectiveness () =
+  let rows = Inspect.effectiveness synthetic_report in
+  Alcotest.(check int) "two procs" 2 (List.length rows);
+  let lpr = List.find (fun (r : Inspect.proc_row) -> r.proc = "lpr") rows in
+  let path = List.find (fun (r : Inspect.proc_row) -> r.proc = "path") rows in
+  Alcotest.(check int) "lpr calls from tightness total" 20 lpr.calls;
+  check_float "lpr seconds = lower_bound + simplex" 0.8 lpr.time_s;
+  check_float "lpr time share" 0.4 lpr.time_share;
+  check_float "lpr tightness" 800. lpr.mean_tightness_pm;
+  Alcotest.(check int) "lpr conflicts" 10 lpr.bound_conflicts;
+  check_float "lpr mean backjump" 3. lpr.mean_backjump;
+  Alcotest.(check int) "lpr pruning credit" 30 lpr.pruning_credit;
+  Alcotest.(check int) "path conflicts" 2 path.bound_conflicts;
+  Alcotest.(check int) "path pruning credit" 2 path.pruning_credit
+
+(* --- report diff ----------------------------------------------------------- *)
+
+let report ~elapsed ~conflicts ~lb_time =
+  Json.Obj
+    [
+      "schema", Json.String "bsolo-run-report/1";
+      "elapsed", Json.Float elapsed;
+      "phases", Json.Obj [ "lower_bound", Json.Float lb_time ];
+      "counters", Json.Obj [ "engine.conflicts", Json.Int conflicts ];
+    ]
+
+let test_diff_flags_slowdown () =
+  let base = report ~elapsed:1.0 ~conflicts:1000 ~lb_time:0.4 in
+  let cand = report ~elapsed:2.0 ~conflicts:3000 ~lb_time:1.1 in
+  let entries = Inspect.diff ~threshold:0.25 base cand in
+  Alcotest.(check bool) "has regression" true (Inspect.has_regression entries);
+  let by_key k = List.find (fun (e : Inspect.diff_entry) -> e.key = k) entries in
+  Alcotest.(check bool) "elapsed 2x flagged" true (by_key "elapsed").regression;
+  Alcotest.(check bool) "conflicts 3x flagged" true
+    (by_key "counters.engine.conflicts").regression;
+  Alcotest.(check bool) "phase flagged" true (by_key "phases.lower_bound").regression
+
+let test_diff_below_threshold () =
+  let base = report ~elapsed:1.0 ~conflicts:1000 ~lb_time:0.4 in
+  let cand = report ~elapsed:1.1 ~conflicts:1040 ~lb_time:0.45 in
+  let entries = Inspect.diff ~threshold:0.25 base cand in
+  Alcotest.(check bool) "no regression" false (Inspect.has_regression entries)
+
+let test_diff_noise_floor () =
+  (* Huge ratios on tiny absolute values stay below the noise floors. *)
+  let base = report ~elapsed:0.002 ~conflicts:3 ~lb_time:0.001 in
+  let cand = report ~elapsed:0.01 ~conflicts:30 ~lb_time:0.004 in
+  let entries = Inspect.diff ~threshold:0.25 base cand in
+  Alcotest.(check bool) "noise not flagged" false (Inspect.has_regression entries)
+
+(* --- bench regression schema ----------------------------------------------- *)
+
+let bench_row name elapsed nodes : Inspect.Bench.row =
+  {
+    name;
+    solver = "LPR";
+    status = "OPTIMAL";
+    cost = Some 9;
+    elapsed;
+    nodes;
+    conflicts = nodes / 2;
+    bound_conflicts = nodes / 3;
+    lb_calls = nodes / 3;
+  }
+
+let test_bench_golden () =
+  let report =
+    Inspect.Bench.make ~rev:"abc1234" ~limit:1.0 ~scale:0.25 ~per_family:2
+      [ bench_row "grout-2-2:1" 0.5 120 ]
+  in
+  let expected =
+    "{\"schema\":\"bsolo-bench-regress/1\",\"rev\":\"abc1234\",\"limit\":1.0,\
+     \"scale\":0.25,\"per_family\":2,\"instances\":[{\"name\":\"grout-2-2:1\",\
+     \"solver\":\"LPR\",\"status\":\"OPTIMAL\",\"cost\":9,\"elapsed\":0.5,\
+     \"nodes\":120,\"conflicts\":60,\"bound_conflicts\":40,\"lb_calls\":40}]}"
+  in
+  Alcotest.(check string) "golden serialization" expected (Json.to_string report)
+
+let test_bench_roundtrip () =
+  let rows = [ bench_row "a:1" 0.25 200; { (bench_row "a:2" 1.5 64) with cost = None; status = "UNKNOWN" } ] in
+  let json = Inspect.Bench.make ~rev:"dev" ~limit:1.0 ~scale:0.5 ~per_family:1 rows in
+  let reparsed =
+    match Json.of_string (Json.to_string json) with
+    | Ok v -> v
+    | Error msg -> Alcotest.failf "reparse: %s" msg
+  in
+  Alcotest.(check (option string)) "schema" (Some Inspect.Bench.schema)
+    (Inspect.schema_of reparsed);
+  let rows' = Inspect.Bench.rows_of_json reparsed in
+  Alcotest.(check int) "row count" 2 (List.length rows');
+  List.iter2
+    (fun (a : Inspect.Bench.row) (b : Inspect.Bench.row) ->
+      Alcotest.(check string) "name" a.name b.name;
+      Alcotest.(check (option int)) "cost" a.cost b.cost;
+      check_float "elapsed" a.elapsed b.elapsed;
+      Alcotest.(check int) "nodes" a.nodes b.nodes;
+      Alcotest.(check int) "lb_calls" a.lb_calls b.lb_calls)
+    rows rows';
+  (* A report diffed against itself is clean... *)
+  let entries = Inspect.diff ~threshold:0.25 reparsed reparsed in
+  Alcotest.(check bool) "self-diff clean" false (Inspect.has_regression entries);
+  (* ...and a doctored slowdown/status-loss is caught instance-wise. *)
+  let doctored =
+    Inspect.Bench.make ~rev:"dev" ~limit:1.0 ~scale:0.5 ~per_family:1
+      [
+        { (bench_row "a:1" 0.9 500) with status = "UNKNOWN"; cost = None };
+        List.nth rows 1;
+      ]
+  in
+  let entries = Inspect.diff ~threshold:0.25 reparsed doctored in
+  Alcotest.(check bool) "doctored flagged" true (Inspect.has_regression entries);
+  let regressed =
+    List.filter_map
+      (fun (e : Inspect.diff_entry) -> if e.regression then Some e.key else None)
+      entries
+  in
+  Alcotest.(check (list string)) "regressed keys"
+    [ "a:1.status"; "a:1.cost"; "a:1.elapsed"; "a:1.nodes" ]
+    regressed
+
+let test_bench_missing_instance () =
+  let base =
+    Inspect.Bench.make ~rev:"a" ~limit:1.0 ~scale:0.5 ~per_family:1
+      [ bench_row "x:1" 0.1 10; bench_row "x:2" 0.1 10 ]
+  in
+  let cand =
+    Inspect.Bench.make ~rev:"b" ~limit:1.0 ~scale:0.5 ~per_family:1 [ bench_row "x:1" 0.1 10 ]
+  in
+  let entries = Inspect.Bench.diff ~threshold:0.25 base cand in
+  Alcotest.(check bool) "missing instance is a regression" true
+    (List.exists
+       (fun (e : Inspect.diff_entry) -> e.key = "x:2.missing" && e.regression)
+       entries)
+
+let suite =
+  [
+    Alcotest.test_case "series bounded decimation" `Quick test_series_bounded;
+    Alcotest.test_case "series observe_now kept" `Quick test_series_observe_now;
+    Alcotest.test_case "series arity check" `Quick test_series_arity;
+    Alcotest.test_case "tightness per-mille" `Quick test_tightness_pm;
+    Alcotest.test_case "track attribution" `Quick test_track_attribution;
+    Alcotest.test_case "gap series round-trip" `Quick test_gap_series_roundtrip;
+    Alcotest.test_case "effectiveness table" `Quick test_effectiveness;
+    Alcotest.test_case "diff flags 2x slowdown" `Quick test_diff_flags_slowdown;
+    Alcotest.test_case "diff below threshold" `Quick test_diff_below_threshold;
+    Alcotest.test_case "diff noise floor" `Quick test_diff_noise_floor;
+    Alcotest.test_case "bench golden file" `Quick test_bench_golden;
+    Alcotest.test_case "bench schema round-trip" `Quick test_bench_roundtrip;
+    Alcotest.test_case "bench missing instance" `Quick test_bench_missing_instance;
+  ]

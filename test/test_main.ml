@@ -28,6 +28,7 @@ let () =
       ("milp", Test_milp.suite);
       ("cutting-planes", Test_cutting_planes.suite);
       ("telemetry", Test_telemetry.suite);
+      ("inspect", Test_inspect.suite);
       ("fuzz", Test_fuzz.suite);
       ("stress", Test_stress.suite);
       ("solvers", Test_solvers.suite);
