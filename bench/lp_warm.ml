@@ -1,0 +1,98 @@
+(* Warm-vs-cold LP lower-bounding micro-benchmark.
+
+   Runs every suite instance twice under bsolo-LPR — once with the
+   incremental warm-started simplex (the default) and once with per-node
+   cold re-solves (--cold-lpr) — and reports per-instance and total
+   simplex iterations, wall time and warm/cache hit rates, plus the
+   overall iteration reduction.
+
+     lp_warm.exe [--limit SECS] [--scale S] [--per-family N]
+
+   Report-only for performance numbers; exits non-zero only if the two
+   modes disagree on an instance's final cost, which would violate the
+   equal-bounds contract of the incremental path. *)
+
+let usage () = print_endline "usage: lp_warm.exe [--limit SECS] [--scale S] [--per-family N]"
+
+let () =
+  let limit = ref 1.0 in
+  let scale = ref 0.25 in
+  let per_family = ref 2 in
+  let rec parse = function
+    | [] -> ()
+    | "--limit" :: v :: rest ->
+      limit := float_of_string v;
+      parse rest
+    | "--scale" :: v :: rest ->
+      scale := float_of_string v;
+      parse rest
+    | "--per-family" :: v :: rest ->
+      per_family := int_of_string v;
+      parse rest
+    | ("--help" | "-h") :: _ ->
+      usage ();
+      exit 0
+    | other :: _ ->
+      Printf.eprintf "unknown argument %S\n" other;
+      usage ();
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let instances = Benchgen.Suite.instances ~scale:!scale ~per_family:!per_family () in
+  Printf.printf "lp warm-start bench: %d instances, limit %.1fs, scale %.2f\n%!"
+    (List.length instances) !limit !scale;
+  let run ~warm (inst : Benchgen.Suite.instance) =
+    let tel = Telemetry.Ctx.create ~timing:true () in
+    let options =
+      { (Bsolo.Options.with_lb Bsolo.Options.Lpr) with
+        time_limit = Some !limit;
+        lpr_warm = warm;
+        telemetry = Some tel;
+      }
+    in
+    let o = Bsolo.Solver.solve ~options inst.problem in
+    let c name =
+      Option.value ~default:0 (Telemetry.Registry.find_counter tel.Telemetry.Ctx.registry name)
+    in
+    o, c
+  in
+  Printf.printf "%-28s %10s %10s | %9s %9s | %9s %9s %6s\n%!" "instance" "cost" "nodes"
+    "cold(it)" "warm(it)" "warm_hit" "cache" "save";
+  let tot_cold = ref 0 and tot_warm = ref 0 in
+  let mismatches = ref 0 in
+  List.iter
+    (fun (inst : Benchgen.Suite.instance) ->
+      let oc, cc = run ~warm:false inst in
+      let ow, cw = run ~warm:true inst in
+      let cold_it = cc "simplex.iterations" in
+      let warm_it = cw "simplex.iterations" in
+      tot_cold := !tot_cold + cold_it;
+      tot_warm := !tot_warm + warm_it;
+      let cost_c = Bsolo.Outcome.best_cost oc and cost_w = Bsolo.Outcome.best_cost ow in
+      let agree =
+        match Bsolo.Outcome.status_name oc.status = Bsolo.Outcome.status_name ow.status with
+        | true -> cost_c = cost_w
+        | false -> false
+      in
+      if not agree then incr mismatches;
+      let save =
+        if cold_it > 0 then 100. *. float_of_int (cold_it - warm_it) /. float_of_int cold_it
+        else 0.
+      in
+      Printf.printf "%-28s %10s %10d | %9d %9d | %9d %9d %5.1f%%%s\n%!" inst.name
+        (match cost_w with None -> "-" | Some c -> string_of_int c)
+        ow.counters.nodes cold_it warm_it (cw "lpr.warm_hits") (cw "lpr.cache_hits") save
+        (if agree then "" else "  COST MISMATCH");
+      ())
+    instances;
+  let reduction =
+    if !tot_cold > 0 then
+      100. *. float_of_int (!tot_cold - !tot_warm) /. float_of_int !tot_cold
+    else 0.
+  in
+  Printf.printf "\ntotal simplex iterations: cold %d, warm %d (%.1f%% reduction)\n" !tot_cold
+    !tot_warm reduction;
+  if !mismatches > 0 then begin
+    Printf.printf "%d instance(s) with warm/cold cost disagreement\n" !mismatches;
+    exit 1
+  end

@@ -87,6 +87,10 @@ let () =
         in
         let o = Bsolo.Solver.solve ~options inst.problem in
         let c = o.counters in
+        let reg_counter name =
+          Option.value ~default:0
+            (Telemetry.Registry.find_counter tel.Telemetry.Ctx.registry name)
+        in
         let row =
           {
             Inspect.Bench.name = inst.name;
@@ -98,6 +102,8 @@ let () =
             conflicts = c.conflicts;
             bound_conflicts = c.bound_conflicts;
             lb_calls = c.lb_calls;
+            simplex_iters = reg_counter "simplex.iterations";
+            warm_hits = reg_counter "lpr.warm_hits";
           }
         in
         Printf.printf "  %-28s %-14s %8.3fs %8d nodes\n%!" row.name row.status row.elapsed

@@ -56,7 +56,7 @@ let fatal msg =
   exit 2
 
 let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching no_preprocess
-    verify verbosity stats trace_file json_file progress_every =
+    cold_lpr no_adaptive_lb verify verbosity stats trace_file json_file progress_every =
   (match verbosity with
   | [] -> ()
   | [ _ ] ->
@@ -127,6 +127,8 @@ let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching 
         cardinality_inference = not no_cuts;
         lp_guided_branching = not no_lp_branching;
         preprocess = not no_preprocess;
+        lpr_warm = not cold_lpr;
+        lb_adaptive = not no_adaptive_lb;
         telemetry = tel;
       }
     in
@@ -252,6 +254,20 @@ let no_lp_branching_arg =
 let no_preprocess_arg =
   let doc = "Disable probing preprocessing." in
   Arg.(value & flag & info [ "no-preprocess" ] ~doc)
+
+let cold_lpr_arg =
+  let doc =
+    "Rebuild and re-solve the LPR lower-bound LP from scratch at every node instead of \
+     keeping one LP alive and warm-starting the dual simplex from the previous basis."
+  in
+  Arg.(value & flag & info [ "cold-lpr" ] ~doc)
+
+let no_adaptive_lb_arg =
+  let doc =
+    "Disable the adaptive lower-bound schedule (which stretches the effective --lb-every \
+     while evaluations keep failing to prune)."
+  in
+  Arg.(value & flag & info [ "no-adaptive-lb" ] ~doc)
 
 let verify_arg =
   let doc = "Independently re-check the reported model and cost." in
@@ -387,8 +403,8 @@ let inspect_cmd =
 let solve_term =
   Term.(
     const solve_file $ file_arg $ engine_arg $ lb_arg $ time_arg $ conflict_arg $ no_cuts_arg
-    $ no_lp_branching_arg $ no_preprocess_arg $ verify_arg $ verbose_arg $ stats_arg
-    $ trace_arg $ json_arg $ progress_arg)
+    $ no_lp_branching_arg $ no_preprocess_arg $ cold_lpr_arg $ no_adaptive_lb_arg $ verify_arg
+    $ verbose_arg $ stats_arg $ trace_arg $ json_arg $ progress_arg)
 
 let cmd =
   let doc = "pseudo-Boolean optimizer with lower bounding (bsolo reproduction)" in

@@ -15,6 +15,8 @@ type t = {
   restarts : bool;
   lgr_iters : int;
   lb_every : int;
+  lpr_warm : bool;
+  lb_adaptive : bool;
   reduce_db : bool;
   conflict_limit : int option;
   node_limit : int option;
@@ -34,6 +36,8 @@ let default =
     restarts = false;
     lgr_iters = 50;
     lb_every = 1;
+    lpr_warm = true;
+    lb_adaptive = true;
     reduce_db = true;
     conflict_limit = None;
     node_limit = None;

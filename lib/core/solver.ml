@@ -15,7 +15,11 @@ type search_state = {
   mutable best : (Model.t * int) option;
   nodes : Telemetry.Counter.t;
   lb_calls : Telemetry.Counter.t;
+  lb_skips : Telemetry.Counter.t;  (* evaluations suppressed by the adaptive policy *)
   track : Lowerbound.Track.t;  (* bound-quality instruments for lb_method *)
+  mutable lpr_inc : Lowerbound.Lpr.inc option;  (* warm LP state, created lazily *)
+  mutable lb_skip : int;  (* adaptive multiplier on lb_every, 1..8 *)
+  mutable lb_noprune : int;  (* consecutive evaluations that failed to prune *)
   mutable last_lb : int;  (* most recent lower-bound estimate, for progress *)
   mutable max_learned : int;
   mutable restart_budget : int;
@@ -38,7 +42,21 @@ let lb_compute st =
       | Options.Plain -> Lowerbound.Bound.none
       | Options.Mis -> Lowerbound.Mis.compute st.engine
       | Options.Lgr -> Lowerbound.Lgr.compute ~iters:st.options.lgr_iters st.engine ~cap
-      | Options.Lpr -> Lowerbound.Lpr.compute st.engine ~cap)
+      | Options.Lpr ->
+        if st.options.lpr_warm then begin
+          let inc =
+            match st.lpr_inc with
+            | Some inc -> inc
+            | None ->
+              (* created at the first evaluation, i.e. after preprocessing
+                 settled the constraint set *)
+              let inc = Lowerbound.Lpr.make st.engine in
+              st.lpr_inc <- Some inc;
+              inc
+          in
+          Lowerbound.Lpr.compute_inc inc ~cap
+        end
+        else Lowerbound.Lpr.compute st.engine ~cap)
 
 let out_of_budget st =
   let stats = Core.stats st.engine in
@@ -204,16 +222,26 @@ let rec search st =
         (* Before any incumbent exists, [upper] is above the worst cost
            and no bound can prune, so the search dives for a first
            solution without paying for lower bounds.  [lb_every] thins
-           the evaluations further when configured. *)
-        let lower =
+           the evaluations further when configured, and the adaptive
+           policy widens the effective interval (up to 8x) while
+           evaluations keep failing to prune. *)
+        let eligible = (not st.satisfaction) && st.best <> None in
+        let every = st.options.lb_every * st.lb_skip in
+        let lower, evaluated =
           if
-            st.satisfaction || st.best = None
-            || (st.options.lb_every > 1
-               && Telemetry.Counter.get st.nodes mod st.options.lb_every <> 0)
-          then Lowerbound.Bound.none
+            (not eligible)
+            || (every > 1 && Telemetry.Counter.get st.nodes mod every <> 0)
+          then begin
+            if
+              eligible && st.lb_skip > 1
+              && (st.options.lb_every <= 1
+                 || Telemetry.Counter.get st.nodes mod st.options.lb_every = 0)
+            then Telemetry.Counter.incr st.lb_skips;
+            Lowerbound.Bound.none, false
+          end
           else begin
             match st.options.lb_method with
-            | Options.Plain -> Lowerbound.Bound.none
+            | Options.Plain -> Lowerbound.Bound.none, false
             | Options.Mis | Options.Lgr | Options.Lpr ->
               Telemetry.Counter.incr st.lb_calls;
               let lower = lb_compute st in
@@ -223,10 +251,26 @@ let rec search st =
               Lowerbound.Track.gap_sample st.track
                 ~at:(Unix.gettimeofday () -. st.start)
                 ~lb:(st.last_lb + st.offset) ~ub:(st.upper + st.offset);
-              lower
+              lower, true
           end
         in
-        if (not st.satisfaction) && Core.path_cost st.engine + lower.value >= st.upper then begin
+        let prunes =
+          (not st.satisfaction) && Core.path_cost st.engine + lower.value >= st.upper
+        in
+        if evaluated && st.options.lb_adaptive then begin
+          if prunes then begin
+            st.lb_noprune <- 0;
+            st.lb_skip <- 1
+          end
+          else begin
+            st.lb_noprune <- st.lb_noprune + 1;
+            if st.lb_noprune >= 64 then begin
+              st.lb_noprune <- 0;
+              st.lb_skip <- min (st.lb_skip * 2) 8
+            end
+          end
+        end;
+        if prunes then begin
           match handle_bound_conflict st lower with
           | Core.Root_conflict -> Exhausted
           | Core.Backjump _ ->
@@ -311,6 +355,10 @@ let solve_with_incumbent_hook ?(options = Options.default) ~on_incumbent problem
       best = None;
       nodes = Telemetry.Registry.counter tel.registry "search.nodes";
       lb_calls = Telemetry.Registry.counter tel.registry "search.lb_calls";
+      lb_skips = Telemetry.Registry.counter tel.registry "search.lb_skips";
+      lpr_inc = None;
+      lb_skip = 1;
+      lb_noprune = 0;
       track =
         Lowerbound.Track.create tel
           ~proc:(String.lowercase_ascii (Options.lb_method_name options.lb_method));

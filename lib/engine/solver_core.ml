@@ -78,6 +78,9 @@ type t = {
   phase : bool array;
   seen : bool array;  (* analysis scratch, always cleared afterwards *)
   mutable unsat : bool;
+  mutable epoch : int;  (* bumped on every assign/unassign *)
+  changed : Lit.var Vec.t;  (* vars (un)assigned since the last drain, deduped *)
+  changed_mark : bool array;
   stats : stats;
   tel : Telemetry.Ctx.t;
 }
@@ -116,6 +119,15 @@ let path_cost t = t.path
 let cost_of_lit t l = t.lit_cost.(Lit.to_index l)
 let stats t = t.stats
 let telemetry t = t.tel
+let trail_epoch t = t.epoch
+
+let drain_changed_vars t f =
+  Vec.iter
+    (fun v ->
+      t.changed_mark.(v) <- false;
+      f v)
+    t.changed;
+  Vec.clear t.changed
 
 let model t =
   let a = Array.make t.nvars false in
@@ -139,6 +151,11 @@ let assign t l reason =
   t.phase.(v) <- Lit.is_pos l;
   Vec.push t.trail l;
   Telemetry.Counter.set_max t.stats.max_trail (Vec.size t.trail);
+  t.epoch <- t.epoch + 1;
+  if not t.changed_mark.(v) then begin
+    t.changed_mark.(v) <- true;
+    Vec.push t.changed v
+  end;
   t.path <- t.path + t.lit_cost.(Lit.to_index l);
   let falsified = Lit.negate l in
   let weaken (ci, a) =
@@ -150,6 +167,11 @@ let assign t l reason =
 let unassign t l =
   let v = Lit.var l in
   t.value.(v) <- Value.Unknown;
+  t.epoch <- t.epoch + 1;
+  if not t.changed_mark.(v) then begin
+    t.changed_mark.(v) <- true;
+    Vec.push t.changed v
+  end;
   t.path <- t.path - t.lit_cost.(Lit.to_index l);
   Idheap.insert t.heap v;
   let falsified = Lit.negate l in
@@ -587,6 +609,18 @@ let active_constraints t =
   let rec go i acc = if i < 0 then acc else go (i - 1) (collect i acc) in
   go (Vec.size t.constrs - 1) []
 
+(* Non-learned lower-bound-eligible constraints with their cids.  Only
+   learned constraints are ever dropped by [reduce_db], and problem
+   constraints are loaded before any learned one, so these cids are
+   stable for the lifetime of the solver — the contract the incremental
+   LP relies on. *)
+let lb_constraints t =
+  let acc = ref [] in
+  Vec.iteri
+    (fun ci cs -> if cs.in_lb && not cs.learned then acc := (ci, cs.constr) :: !acc)
+    t.constrs;
+  List.rev !acc
+
 let false_lits_of t ci =
   let cs = Vec.get t.constrs ci in
   let collect l acc = if Value.equal (value_lit t l) Value.False then l :: acc else acc in
@@ -700,6 +734,9 @@ let create ?telemetry p =
       phase = Array.make nvars false;
       seen = Array.make nvars false;
       unsat = Problem.trivially_unsat p;
+      epoch = 0;
+      changed = Vec.create ~dummy:0 ();
+      changed_mark = Array.make nvars false;
       stats = stats_of_registry tel.Telemetry.Ctx.registry;
       tel;
     }

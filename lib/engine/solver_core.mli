@@ -56,6 +56,17 @@ val path_cost : t -> int
 val cost_of_lit : t -> Lit.t -> int
 (** Objective cost attached to a literal ([0] if none). *)
 
+val trail_epoch : t -> int
+(** Monotone counter bumped on every assignment and unassignment.  Equal
+    epochs across two observations guarantee the assignment state did not
+    change in between — the cheap staleness test for cached bounds. *)
+
+val drain_changed_vars : t -> (Lit.var -> unit) -> unit
+(** Invokes the callback once per variable whose assignment status
+    changed (assigned or unassigned, in any order, deduplicated) since
+    the previous drain — the delta feed for incremental lower-bounding.
+    Clears the change set. *)
+
 (** {1 Search primitives} *)
 
 val decide : t -> Lit.t -> unit
@@ -119,6 +130,12 @@ val active_constraints : t -> active list
 (** Lower-bound-eligible constraints not yet satisfied, in residual form.
     Constraints whose residual is [<= 0] (already satisfied) are
     omitted. *)
+
+val lb_constraints : t -> (cid * Constr.t) list
+(** All non-learned lower-bound-eligible constraints, satisfied or not,
+    with their cids — the fixed row set of the incremental LP relaxation.
+    These cids are stable across {!reduce_db} (only learned constraints
+    are dropped) for the lifetime of the solver. *)
 
 val false_lits_of : t -> cid -> Lit.t list
 (** Literals of the stored constraint currently assigned false — the raw

@@ -330,6 +330,8 @@ module Bench = struct
     conflicts : int;
     bound_conflicts : int;
     lb_calls : int;
+    simplex_iters : int;
+    warm_hits : int;
   }
 
   let row_json (r : row) =
@@ -344,6 +346,8 @@ module Bench = struct
         "conflicts", Json.Int r.conflicts;
         "bound_conflicts", Json.Int r.bound_conflicts;
         "lb_calls", Json.Int r.lb_calls;
+        "simplex_iters", Json.Int r.simplex_iters;
+        "warm_hits", Json.Int r.warm_hits;
       ]
 
   let make ~rev ~limit ~scale ~per_family rows =
@@ -375,6 +379,8 @@ module Bench = struct
           conflicts = i "conflicts";
           bound_conflicts = i "bound_conflicts";
           lb_calls = i "lb_calls";
+          simplex_iters = i "simplex_iters";
+          warm_hits = i "warm_hits";
         }
 
   let rows_of_json json =
@@ -420,7 +426,17 @@ module Bench = struct
             entry ~threshold ~floor:seconds_floor (b.name ^ ".elapsed") b.elapsed c.elapsed;
             entry ~threshold ~floor:counter_floor (b.name ^ ".nodes")
               (float_of_int b.nodes) (float_of_int c.nodes);
-          ])
+          ]
+          (* Baselines written before simplex iterations were recorded
+             carry 0 here; only compare when the base actually measured
+             them, so old baselines never fake a regression. *)
+          @ (if b.simplex_iters > 0 then
+               [
+                 entry ~threshold ~floor:counter_floor (b.name ^ ".simplex_iters")
+                   (float_of_int b.simplex_iters)
+                   (float_of_int c.simplex_iters);
+               ]
+             else []))
       base_rows
 end
 
@@ -461,11 +477,40 @@ let trace_summary events ~skipped =
         | _ -> None)
       events
   in
+  (* LP re-solve behaviour: warm/cold/cache split and iteration totals
+     from the `simplex` events, when the trace has any. *)
+  let lp_modes = Hashtbl.create 4 in
+  List.iter
+    (fun e ->
+      match Option.bind (Json.member "ev" e) Json.to_string_opt with
+      | Some "simplex" ->
+        let mode =
+          Option.value ~default:"?" (Option.bind (Json.member "mode" e) Json.to_string_opt)
+        in
+        let iters = Option.value ~default:0 (Option.bind (Json.member "iters" e) Json.to_int) in
+        let calls, total = Option.value ~default:(0, 0) (Hashtbl.find_opt lp_modes mode) in
+        Hashtbl.replace lp_modes mode (calls + 1, total + iters)
+      | _ -> ())
+    events;
   let header =
     Printf.sprintf "%d events over %.3fs%s" (List.length events) !last_t
       (if skipped > 0 then Printf.sprintf " (%d unparseable line(s) skipped)" skipped else "")
   in
   let count_lines = List.map (fun (k, v) -> Printf.sprintf "  %-16s %d" k v) counts in
+  let lp_lines =
+    if Hashtbl.length lp_modes = 0 then []
+    else begin
+      let modes =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) lp_modes []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      "lp re-solves:"
+      :: List.map
+           (fun (mode, (calls, iters)) ->
+             Printf.sprintf "  %-8s %6d calls  %8d iters" mode calls iters)
+           modes
+    end
+  in
   let inc_lines =
     match incumbents with
     | [] -> []
@@ -473,4 +518,4 @@ let trace_summary events ~skipped =
       "incumbent trajectory:"
       :: List.map (fun (t, c) -> Printf.sprintf "  %10.3fs  cost %d" t c) incumbents
   in
-  (header :: count_lines) @ inc_lines
+  (header :: count_lines) @ lp_lines @ inc_lines

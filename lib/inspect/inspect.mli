@@ -105,6 +105,8 @@ module Bench : sig
     conflicts : int;
     bound_conflicts : int;
     lb_calls : int;
+    simplex_iters : int;  (** total simplex pivots, warm + cold ([simplex.iterations]) *)
+    warm_hits : int;  (** warm-started LP re-solves ([lpr.warm_hits]) *)
   }
 
   val row_json : row -> Json.t

@@ -27,8 +27,7 @@ let compute engine ~cap =
   else begin
     let rows =
       Array.map
-        (fun (r : Residual.row) ->
-          { Simplex.coeffs = Array.to_list r.coeffs; rel = Simplex.Ge; rhs = r.rhs })
+        (fun (r : Residual.row) -> { Simplex.coeffs = r.coeffs; rel = Simplex.Ge; rhs = r.rhs })
         res.rows
     in
     let lp =
@@ -46,6 +45,7 @@ let compute engine ~cap =
           Simplex.solve ~stats:sstats lp)
     in
     Instr.flush_simplex tel.registry sstats;
+    let all_cids () = Array.to_list (Array.map (fun (r : Residual.row) -> r.cid) res.rows) in
     match outcome with
     | Simplex.Optimal sol ->
       let value = Bound.trusted_value (sol.value +. res.obj_offset) in
@@ -62,10 +62,181 @@ let compute engine ~cap =
       }
     | Simplex.Infeasible witness ->
       let cids =
-        match witness with
-        | [] -> Array.to_list (Array.map (fun (r : Residual.row) -> r.cid) res.rows)
-        | idx -> List.map (fun i -> res.rows.(i).cid) idx
+        match witness with [] -> all_cids () | idx -> List.map (fun i -> res.rows.(i).cid) idx
       in
       { Bound.value = cap; omega_pl = lazy (omega_of_cids engine cids); branch_hint = None }
-    | Simplex.Unbounded | Simplex.Iteration_limit -> Bound.none
+    | Simplex.Iteration_limit (Some z) when Bound.trusted_value (z +. res.obj_offset) > 0 ->
+      (* truncated but dual feasible: the dual objective is still a valid
+         bound; the explanation must pin the false literals of every row,
+         since any of them could have relaxed the dual value *)
+      {
+        Bound.value = Bound.trusted_value (z +. res.obj_offset);
+        omega_pl = lazy (omega_of_cids engine (all_cids ()));
+        branch_hint = None;
+      }
+    | Simplex.Unbounded | Simplex.Iteration_limit _ -> Bound.none
   end
+
+(* --- incremental path ----------------------------------------------------- *)
+
+type last =
+  | Last_none
+  | Last_opt of {
+      z : float;  (* LP objective, excluding obj_offset *)
+      x : float array;
+      tight : Core.cid list;
+    }
+  | Last_inf of Core.cid list
+
+type inc = {
+  engine : Core.t;
+  full : Residual.Full.t option;
+  sx : Simplex.Incremental.t option;
+  c_warm_hits : Telemetry.Counter.t;
+  c_warm_iters : Telemetry.Counter.t;
+  c_cold_falls : Telemetry.Counter.t;
+  c_cache_hits : Telemetry.Counter.t;
+  mutable last : last;
+}
+
+let make engine =
+  let tel = Core.telemetry engine in
+  let reg = tel.Telemetry.Ctx.registry in
+  let full = Residual.Full.build engine in
+  let sx =
+    match full with
+    | None -> None
+    | Some f ->
+      let sx = Simplex.Incremental.create f.lp in
+      Array.iteri
+        (fun v value ->
+          match value with
+          | Value.True -> Simplex.Incremental.fix sx v 1.
+          | Value.False -> Simplex.Incremental.fix sx v 0.
+          | Value.Unknown -> ())
+        f.mirror;
+      Some sx
+  in
+  {
+    engine;
+    full;
+    sx;
+    c_warm_hits = Telemetry.Registry.counter reg "lpr.warm_hits";
+    c_warm_iters = Telemetry.Registry.counter reg "lpr.warm_iters";
+    c_cold_falls = Telemetry.Registry.counter reg "lpr.cold_falls";
+    c_cache_hits = Telemetry.Registry.counter reg "lpr.cache_hits";
+    last = Last_none;
+  }
+
+(* Branch hint over the full LP: column index = variable. *)
+let full_hint (full : Residual.Full.t) x =
+  let best = ref None in
+  Array.iteri
+    (fun v xv ->
+      if Value.equal full.mirror.(v) Value.Unknown && xv > 1e-6 && xv < 1. -. 1e-6 then begin
+        let frac = abs_float (xv -. 0.5) in
+        match !best with
+        | Some (f, _) when f <= frac -> ()
+        | Some _ | None -> best := Some (frac, v)
+      end)
+    x;
+  match !best with
+  | None -> None
+  | Some (_, v) -> Some v
+
+let tight_cids (full : Residual.Full.t) (sol : Simplex.solution) =
+  let acc = ref [] in
+  for i = Array.length full.cids - 1 downto 0 do
+    if sol.row_activity.(i) <= full.lp.rows.(i).rhs +. 1e-6 then acc := full.cids.(i) :: !acc
+  done;
+  !acc
+
+let bound_of_opt inc (full : Residual.Full.t) ~path ~z ~x ~tight =
+  {
+    Bound.value = Bound.trusted_value (z +. full.obj_offset -. path);
+    omega_pl = lazy (omega_of_cids inc.engine tight);
+    branch_hint = full_hint full x;
+  }
+
+(* The cached outcome of the previous solve is still the LP truth when no
+   effective bound edit happened, and also when every edit fixes a column
+   at exactly its previous LP value (the optimum stays feasible, hence
+   optimal, and the dual certificate behind the tight set is untouched) —
+   or when edits only tighten an already infeasible system. *)
+let cache_valid inc (edits : Residual.Full.edits) =
+  if edits.total = 0 then inc.last <> Last_none
+  else if edits.unfixes > 0 then false
+  else
+    match inc.last with
+    | Last_none -> false
+    | Last_inf _ -> true
+    | Last_opt o ->
+      List.for_all (fun (c, v) -> abs_float (o.x.(c) -. v) <= 1e-6) edits.fixes
+
+let compute_inc inc ~cap =
+  let tel = Core.telemetry inc.engine in
+  Instr.add tel.Telemetry.Ctx.registry "lpr.calls" 1;
+  match inc.full, inc.sx with
+  | None, _ | _, None -> Bound.none
+  | Some full, Some sx ->
+    let edits = Residual.Full.sync full inc.engine sx in
+    let path = float_of_int (Core.path_cost inc.engine) in
+    if cache_valid inc edits then begin
+      Telemetry.Counter.incr inc.c_cache_hits;
+      match inc.last with
+      | Last_opt o ->
+        Telemetry.Trace.simplex tel.trace ~mode:"cache" ~iters:0 ~outcome:"optimal";
+        bound_of_opt inc full ~path ~z:o.z ~x:o.x ~tight:o.tight
+      | Last_inf cids ->
+        Telemetry.Trace.simplex tel.trace ~mode:"cache" ~iters:0 ~outcome:"infeasible";
+        { Bound.value = cap; omega_pl = lazy (omega_of_cids inc.engine cids); branch_hint = None }
+      | Last_none -> assert false
+    end
+    else begin
+      let sstats = Simplex.stats () in
+      let outcome =
+        Telemetry.Timer.with_phase tel.timer Telemetry.Phase.Simplex (fun () ->
+            Simplex.Incremental.reoptimize ~stats:sstats sx)
+      in
+      Instr.flush_simplex tel.registry sstats;
+      let info = Simplex.Incremental.last_info sx in
+      if info.warm then begin
+        Telemetry.Counter.incr inc.c_warm_hits;
+        Telemetry.Counter.add inc.c_warm_iters info.iters
+      end
+      else Telemetry.Counter.incr inc.c_cold_falls;
+      let mode = if info.warm then "warm" else "cold" in
+      let trace outcome = Telemetry.Trace.simplex tel.trace ~mode ~iters:info.iters ~outcome in
+      match outcome with
+      | Simplex.Optimal sol ->
+        trace "optimal";
+        let tight = tight_cids full sol in
+        inc.last <- Last_opt { z = sol.value; x = sol.x; tight };
+        bound_of_opt inc full ~path ~z:sol.value ~x:sol.x ~tight
+      | Simplex.Infeasible witness ->
+        trace "infeasible";
+        let cids =
+          match witness with
+          | [] -> Array.to_list full.cids
+          | idx -> List.map (fun i -> full.cids.(i)) idx
+        in
+        inc.last <- Last_inf cids;
+        { Bound.value = cap; omega_pl = lazy (omega_of_cids inc.engine cids); branch_hint = None }
+      | Simplex.Iteration_limit zo ->
+        trace "limit";
+        inc.last <- Last_none;
+        let value =
+          match zo with Some z -> Bound.trusted_value (z +. full.obj_offset -. path) | None -> 0
+        in
+        if value > 0 then
+          {
+            Bound.value = value;
+            omega_pl = lazy (omega_of_cids inc.engine (Array.to_list full.cids));
+            branch_hint = None;
+          }
+        else Bound.none
+      | Simplex.Unbounded ->
+        trace "unbounded";
+        inc.last <- Last_none;
+        Bound.none
+    end

@@ -11,4 +11,31 @@
 
 val compute : Engine.Solver_core.t -> cap:int -> Bound.t
 (** [cap] is the value reported when the relaxation is infeasible; pass
-    at least [upper - path] so the node prunes. *)
+    at least [upper - path] so the node prunes.  Cold path: re-extracts
+    the residual problem and solves from scratch on every call. *)
+
+(** {1 Incremental path}
+
+    Persistent state for warm-started re-solves across search nodes: one
+    fixed-structure LP ({!Residual.Full}) whose column bounds track the
+    trail via {!Engine.Solver_core.drain_changed_vars}, re-optimized by
+    {!Simplex.Incremental}'s dual simplex from the previous basis.  A
+    solve is skipped entirely when the cached outcome is provably still
+    valid (no effective edits; fixes landing exactly on the previous LP
+    optimum; pure tightenings of an infeasible system).
+
+    Telemetry: [lpr.warm_hits] / [lpr.warm_iters] / [lpr.cold_falls] /
+    [lpr.cache_hits] counters and one [simplex] trace event per call. *)
+
+type inc
+
+val make : Engine.Solver_core.t -> inc
+(** Snapshot the engine's lower-bounding constraint set and current
+    assignment.  Create once per search (after preprocessing); the
+    constraint rows are fixed from then on — later learned constraints
+    never join the LP, matching the cold path's [in_lb] view. *)
+
+val compute_inc : inc -> cap:int -> Bound.t
+(** Same contract as {!compute}, warm.  Equal bound values to {!compute}
+    on every node (the full LP optimum minus the path contribution equals
+    the residual optimum). *)

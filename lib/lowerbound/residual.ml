@@ -71,3 +71,109 @@ let extract engine =
 let col_of_var t v =
   let rec find i = if i >= Array.length t.cols then None else if t.cols.(i) = v then Some i else find (i + 1) in
   find 0
+
+(* --- fixed-structure relaxation for incremental re-solving --------------- *)
+
+module Full = struct
+  type t = {
+    cids : Core.cid array;
+    lp : Simplex.problem;
+    obj_offset : float;
+    mirror : Value.t array;
+  }
+
+  type edits = {
+    fixes : (int * float) list;
+    unfixes : int;
+    total : int;
+  }
+
+  (* One LP over ALL problem variables (column j = variable j) and every
+     non-learned lower-bound-eligible constraint, satisfied or not.  At a
+     search node the assigned variables are fixed to their values; rows
+     already satisfied by the assignment are then redundant in the LP, so
+     the optimum equals path contribution + residual optimum — only the
+     column bounds ever change between nodes, which is exactly the edit
+     language of {!Simplex.Incremental}. *)
+  let build engine =
+    let nvars = max (Core.nvars engine) 1 in
+    let constrs = Core.lb_constraints engine in
+    if constrs = [] then None
+    else begin
+      let row_of (_, c) =
+        let rhs = ref (float_of_int (Constr.degree c)) in
+        let coeffs =
+          Array.map
+            (fun { Constr.coeff; lit } ->
+              let a = float_of_int coeff in
+              if Lit.is_pos lit then (Lit.var lit, a)
+              else begin
+                (* a * ~x = a - a * x *)
+                rhs := !rhs -. a;
+                (Lit.var lit, -.a)
+              end)
+            (Constr.terms c)
+        in
+        { Simplex.coeffs; rel = Simplex.Ge; rhs = !rhs }
+      in
+      let rows = Array.of_list (List.map row_of constrs) in
+      let cids = Array.of_list (List.map fst constrs) in
+      let obj = Array.make nvars 0. in
+      let obj_offset = ref 0. in
+      (match Problem.objective (Core.problem engine) with
+      | None -> ()
+      | Some o ->
+        Array.iter
+          (fun (ct : Problem.cost_term) ->
+            let v = Lit.var ct.lit in
+            let c = float_of_int ct.cost in
+            if Lit.is_pos ct.lit then obj.(v) <- obj.(v) +. c
+            else begin
+              (* c * ~x = c - c * x *)
+              obj.(v) <- obj.(v) -. c;
+              obj_offset := !obj_offset +. c
+            end)
+          o.cost_terms);
+      let lp =
+        {
+          Simplex.ncols = nvars;
+          lower = Array.make nvars 0.;
+          upper = Array.make nvars 1.;
+          objective = obj;
+          rows;
+        }
+      in
+      let mirror = Array.make nvars Value.Unknown in
+      for v = 0 to Core.nvars engine - 1 do
+        mirror.(v) <- Core.value_var engine v
+      done;
+      (* absorb change notifications predating the snapshot *)
+      Core.drain_changed_vars engine (fun _ -> ());
+      Some { cids; lp; obj_offset = !obj_offset; mirror }
+    end
+
+  (* Push the assignment delta since the last drain into the incremental
+     LP as bound edits; the mirror deduplicates assign/unassign churn
+     that cancelled out (e.g. backjump + same redecision). *)
+  let sync full engine sx =
+    let fixes = ref [] in
+    let unfixes = ref 0 in
+    let total = ref 0 in
+    Core.drain_changed_vars engine (fun v ->
+        let cur = Core.value_var engine v in
+        if not (Value.equal cur full.mirror.(v)) then begin
+          full.mirror.(v) <- cur;
+          incr total;
+          match cur with
+          | Value.Unknown ->
+            incr unfixes;
+            Simplex.Incremental.unfix sx v
+          | Value.True ->
+            fixes := (v, 1.) :: !fixes;
+            Simplex.Incremental.fix sx v 1.
+          | Value.False ->
+            fixes := (v, 0.) :: !fixes;
+            Simplex.Incremental.fix sx v 0.
+        end);
+    { fixes = !fixes; unfixes = !unfixes; total = !total }
+end

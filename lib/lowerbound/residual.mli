@@ -25,3 +25,38 @@ type t = {
 val extract : Engine.Solver_core.t -> t
 
 val col_of_var : t -> Lit.var -> int option
+
+(** Fixed-structure LP relaxation for incremental re-solving: one LP over
+    {e all} problem variables (column [j] = variable [j]) and every
+    non-learned lower-bound-eligible constraint.  Between search nodes
+    only column bounds change (assigned variables are fixed to their
+    values), which is exactly the edit language of
+    {!Simplex.Incremental}; rows satisfied by the assignment are LP
+    redundant, so the optimum equals the path's objective contribution
+    plus the residual optimum of {!extract}. *)
+module Full : sig
+  type t = {
+    cids : Engine.Solver_core.cid array;  (** constraint per LP row *)
+    lp : Simplex.problem;
+    obj_offset : float;
+        (** constant such that total assignment cost (excluding the
+            problem offset) = LP objective + offset *)
+    mirror : Value.t array;  (** last value pushed into the LP, per var *)
+  }
+
+  (** Summary of one bound-delta push. *)
+  type edits = {
+    fixes : (int * float) list;  (** columns newly fixed, with values *)
+    unfixes : int;  (** columns released back to [0, 1] *)
+    total : int;  (** effective edits (cancelled churn excluded) *)
+  }
+
+  val build : Engine.Solver_core.t -> t option
+  (** Snapshot the current problem; [None] when no constraint is eligible
+      for lower bounding.  Drains the engine's pending change set so the
+      first {!sync} starts from this snapshot. *)
+
+  val sync : t -> Engine.Solver_core.t -> Simplex.Incremental.t -> edits
+  (** Drain assignment changes since the previous call and apply them to
+      the incremental LP as [fix]/[unfix] edits. *)
+end

@@ -94,7 +94,7 @@ let relaxation_of problem =
         v, -.float_of_int coeff
       end
     in
-    let coeffs = Array.to_list (Array.map term (Constr.terms c)) in
+    let coeffs = Array.map term (Constr.terms c) in
     { Simplex.coeffs; rel = Simplex.Ge; rhs = !rhs }
   in
   let rows = Array.map row_of (Problem.constraints problem) in
@@ -218,7 +218,7 @@ let solve ?(options = Bsolo.Options.default) problem =
               Heap.push heap (child (sol.x.(v) >= 0.5));
               Heap.push heap (child (sol.x.(v) < 0.5))
           end
-        | Simplex.Unbounded | Simplex.Iteration_limit ->
+        | Simplex.Unbounded | Simplex.Iteration_limit _ ->
           (* cannot prune: branch blindly on the first unfixed variable *)
           (match first_unfixed node.fixings relax.nvars with
           | None -> ()

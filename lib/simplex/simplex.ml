@@ -4,7 +4,7 @@ type rel =
   | Eq
 
 type row = {
-  coeffs : (int * float) list;
+  coeffs : (int * float) array;
   rel : rel;
   rhs : float;
 }
@@ -28,7 +28,7 @@ type outcome =
   | Optimal of solution
   | Infeasible of int list
   | Unbounded
-  | Iteration_limit
+  | Iteration_limit of float option
 
 type stats = {
   mutable calls : int;
@@ -45,7 +45,9 @@ let stats () =
 (* Internal state: every row is an equality over [ntotal] columns
    (structural, then one slack per row, then one artificial per row).
    [tab] is the current tableau B^-1 A; [xval] holds the value of every
-   column, nonbasic ones resting at a bound. *)
+   column, nonbasic ones resting at a bound.  [rhs] keeps the original
+   right-hand sides so dual objective values and warm restarts can be
+   computed without the problem record. *)
 type state = {
   m : int;
   n : int;  (* structural columns *)
@@ -58,6 +60,7 @@ type state = {
   in_basis : bool array;
   sigma : float array;  (* artificial sign per row *)
   rc : float array;  (* reduced costs, kept in sync by pivots *)
+  rhs : float array;
   mutable pivots_since_refresh : int;
   mutable npivots : int;
   mutable nrefresh : int;
@@ -119,7 +122,38 @@ let choose_entering st ~bland =
    with Exit -> ());
   !best
 
-(* One simplex step for the given cost vector. *)
+(* Pivot column [j] into the basis on row [r]: eliminate it from every
+   other row and from the reduced-cost row, swap basis bookkeeping. *)
+let pivot_tableau st r j =
+  let piv = st.tab.(r).(j) in
+  let row_r = st.tab.(r) in
+  for c = 0 to st.ntotal - 1 do
+    row_r.(c) <- row_r.(c) /. piv
+  done;
+  for i = 0 to st.m - 1 do
+    if i <> r then begin
+      let f = st.tab.(i).(j) in
+      if f <> 0. then begin
+        let row_i = st.tab.(i) in
+        for c = 0 to st.ntotal - 1 do
+          row_i.(c) <- row_i.(c) -. (f *. row_r.(c))
+        done
+      end
+    end
+  done;
+  let rcj = st.rc.(j) in
+  if rcj <> 0. then
+    for c = 0 to st.ntotal - 1 do
+      st.rc.(c) <- st.rc.(c) -. (rcj *. row_r.(c))
+    done;
+  let leaving = st.basis.(r) in
+  st.basis.(r) <- j;
+  st.in_basis.(j) <- true;
+  st.in_basis.(leaving) <- false;
+  st.pivots_since_refresh <- st.pivots_since_refresh + 1;
+  st.npivots <- st.npivots + 1
+
+(* One primal simplex step for the given cost vector. *)
 let step st cost ~bland =
   if st.pivots_since_refresh > 100 then refresh_reduced_costs st cost;
   let j = choose_entering st ~bland in
@@ -167,32 +201,7 @@ let step st cost ~bland =
       | r ->
         let leaving = st.basis.(r) in
         st.xval.(leaving) <- (if !blocking_to_upper then st.ub.(leaving) else st.lb.(leaving));
-        let piv = st.tab.(r).(j) in
-        let row_r = st.tab.(r) in
-        for c = 0 to st.ntotal - 1 do
-          row_r.(c) <- row_r.(c) /. piv
-        done;
-        for i = 0 to st.m - 1 do
-          if i <> r then begin
-            let f = st.tab.(i).(j) in
-            if f <> 0. then begin
-              let row_i = st.tab.(i) in
-              for c = 0 to st.ntotal - 1 do
-                row_i.(c) <- row_i.(c) -. (f *. row_r.(c))
-              done
-            end
-          end
-        done;
-        let rcj = st.rc.(j) in
-        if rcj <> 0. then
-          for c = 0 to st.ntotal - 1 do
-            st.rc.(c) <- st.rc.(c) -. (rcj *. row_r.(c))
-          done;
-        st.basis.(r) <- j;
-        st.in_basis.(j) <- true;
-        st.in_basis.(leaving) <- false;
-        st.pivots_since_refresh <- st.pivots_since_refresh + 1;
-        st.npivots <- st.npivots + 1);
+        pivot_tableau st r j);
       Moved
     end
   end
@@ -201,7 +210,7 @@ let optimize st cost ~max_iters ~iters =
   refresh_reduced_costs st cost;
   let bland_after = max 100 (max_iters / 2) in
   let rec go () =
-    if !iters >= max_iters then Iteration_limit
+    if !iters >= max_iters then Iteration_limit None
     else begin
       incr iters;
       match step st cost ~bland:(!iters > bland_after) with
@@ -231,10 +240,47 @@ let duals_for st cost =
       done;
       !s /. st.sigma.(i))
 
-let solve ?(eps = 1e-7) ?max_iters ?stats (p : problem) =
+(* Lagrangian bound from the current simplex multipliers.  In equality
+   form, z(y) = y.b + sum_j min over [lb_j, ub_j] of rc_j x_j is a valid
+   lower bound on the optimum for ANY y; with y = cB B^-1 the reduced
+   costs rc = c - y A drop out of the basis.  The bound degenerates to
+   -infinity (None) when a column with an infinite bound carries the
+   wrong reduced-cost sign, i.e. the iterate is not dual feasible (up to
+   [eps] tolerance, consistent with the rest of the solver). *)
+let safe_dual_bound st cost =
+  refresh_reduced_costs st cost;
+  let y = duals_for st cost in
+  let z = ref 0. in
+  for i = 0 to st.m - 1 do
+    z := !z +. (y.(i) *. st.rhs.(i))
+  done;
+  let ok = ref true in
+  (try
+     for j = 0 to st.ntotal - 1 do
+       let r = st.rc.(j) in
+       if r > st.eps then begin
+         if st.lb.(j) = neg_infinity then begin
+           ok := false;
+           raise Exit
+         end;
+         z := !z +. (r *. st.lb.(j))
+       end
+       else if r < -.st.eps then begin
+         if st.ub.(j) = infinity then begin
+           ok := false;
+           raise Exit
+         end;
+         z := !z +. (r *. st.ub.(j))
+       end
+     done
+   with Exit -> ());
+  if !ok && Float.is_finite !z then Some !z else None
+
+(* Build a fresh state for [p]: artificial basis, rows normalized so the
+   basic artificial column is +1. *)
+let init_state ~eps (p : problem) =
   let m = Array.length p.rows in
   let n = p.ncols in
-  let max_iters = match max_iters with Some k -> k | None -> 200 + (20 * (m + n)) in
   let ntotal = n + (2 * m) in
   let lb = Array.make ntotal 0. in
   let ub = Array.make ntotal infinity in
@@ -242,7 +288,7 @@ let solve ?(eps = 1e-7) ?max_iters ?stats (p : problem) =
   Array.blit p.upper 0 ub 0 n;
   for j = 0 to n - 1 do
     if lb.(j) = neg_infinity && ub.(j) = infinity then
-      invalid_arg "Simplex.solve: free structural variables are not supported"
+      invalid_arg "Simplex: free structural variables are not supported"
   done;
   let tab = Array.make_matrix m ntotal 0. in
   let xval = Array.make ntotal 0. in
@@ -253,9 +299,10 @@ let solve ?(eps = 1e-7) ?max_iters ?stats (p : problem) =
   let sigma = Array.make m 1. in
   let basis = Array.init m (fun i -> n + m + i) in
   let in_basis = Array.make ntotal false in
+  let rhs = Array.map (fun (r : row) -> r.rhs) p.rows in
   Array.iteri
     (fun i r ->
-      List.iter (fun (j, a) -> tab.(i).(j) <- tab.(i).(j) +. a) r.coeffs;
+      Array.iter (fun (j, a) -> tab.(i).(j) <- tab.(i).(j) +. a) r.coeffs;
       match r.rel with
       | Ge -> tab.(i).(n + i) <- -1.
       | Le -> tab.(i).(n + i) <- 1.
@@ -274,6 +321,7 @@ let solve ?(eps = 1e-7) ?max_iters ?stats (p : problem) =
       in_basis;
       sigma;
       rc = Array.make ntotal 0.;
+      rhs;
       pivots_since_refresh = 0;
       npivots = 0;
       nrefresh = 0;
@@ -283,7 +331,7 @@ let solve ?(eps = 1e-7) ?max_iters ?stats (p : problem) =
   (* artificial columns and initial basic values *)
   for i = 0 to m - 1 do
     let residual = ref p.rows.(i).rhs in
-    List.iter (fun (j, a) -> residual := !residual -. (a *. xval.(j))) p.rows.(i).coeffs;
+    Array.iter (fun (j, a) -> residual := !residual -. (a *. xval.(j))) p.rows.(i).coeffs;
     (* slack starts at 0, so it does not contribute *)
     sigma.(i) <- (if !residual >= 0. then 1. else -1.);
     tab.(i).(art_col st i) <- sigma.(i);
@@ -298,69 +346,355 @@ let solve ?(eps = 1e-7) ?max_iters ?stats (p : problem) =
       done
     end
   done;
-  let iters = ref 0 in
-  let phase1_iters = ref 0 in
-  let phase1_cost = Array.make ntotal 0. in
-  for i = 0 to m - 1 do
+  st
+
+let phase2_cost_of st (p : problem) =
+  let cost = Array.make st.ntotal 0. in
+  Array.blit p.objective 0 cost 0 st.n;
+  cost
+
+(* Package the current basic solution.  Structural values are clipped to
+   the CURRENT column bounds in [st] (which may be tighter than the base
+   problem's when called from the incremental solver). *)
+let extract_solution st (p : problem) cost =
+  let x = Array.sub st.xval 0 st.n in
+  for j = 0 to st.n - 1 do
+    if x.(j) < st.lb.(j) then x.(j) <- st.lb.(j);
+    if x.(j) > st.ub.(j) then x.(j) <- st.ub.(j)
+  done;
+  let activity =
+    Array.map
+      (fun r -> Array.fold_left (fun acc (j, a) -> acc +. (a *. x.(j))) 0. r.coeffs)
+      p.rows
+  in
+  let value = ref 0. in
+  Array.iteri (fun j c -> if c <> 0. then value := !value +. (c *. x.(j))) p.objective;
+  Optimal { value = !value; x; row_activity = activity; duals = duals_for st cost }
+
+(* Two-phase primal from a fresh state.  On every phase-1 completion the
+   artificial columns are pinned to 0 so that a later warm restart never
+   re-opens them. *)
+let two_phase st (p : problem) ~max_iters ~iters ~phase1_iters =
+  let phase1_cost = Array.make st.ntotal 0. in
+  for i = 0 to st.m - 1 do
     phase1_cost.(art_col st i) <- 1.
   done;
-  let result =
-    let r1 = optimize st phase1_cost ~max_iters ~iters in
-    phase1_iters := !iters;
-    match r1 with
-    | Iteration_limit -> Iteration_limit
-    | Unbounded ->
-      (* phase 1 is bounded below by 0 *)
-      Iteration_limit
-    | Optimal _ ->
-      let z1 = objective_value st phase1_cost in
-      if z1 > 1e-6 *. float_of_int (max 1 m) then begin
-        let pi = duals_for st phase1_cost in
-        let certificate = ref [] in
-        for i = m - 1 downto 0 do
-          if abs_float pi.(i) > eps then certificate := i :: !certificate
-        done;
-        Infeasible !certificate
-      end
-      else begin
-        (* fix artificials at 0 and optimize the real objective *)
-        for i = 0 to m - 1 do
-          ub.(art_col st i) <- 0.;
-          xval.(art_col st i) <- min xval.(art_col st i) 0.
-        done;
-        let phase2_cost = Array.make ntotal 0. in
-        Array.blit p.objective 0 phase2_cost 0 n;
-        (match optimize st phase2_cost ~max_iters ~iters with
-        | Iteration_limit -> Iteration_limit
-        | Unbounded -> Unbounded
-        | Infeasible _ ->
-          (* [optimize] never reports infeasibility *)
-          assert false
-        | Optimal _ ->
-          let x = Array.sub xval 0 n in
-          for j = 0 to n - 1 do
-            if x.(j) < p.lower.(j) then x.(j) <- p.lower.(j);
-            if x.(j) > p.upper.(j) then x.(j) <- p.upper.(j)
-          done;
-          let activity =
-            Array.map
-              (fun r -> List.fold_left (fun acc (j, a) -> acc +. (a *. x.(j))) 0. r.coeffs)
-              p.rows
-          in
-          let value =
-            Array.fold_left ( +. ) 0. (Array.mapi (fun j c -> c *. x.(j)) p.objective)
-          in
-          Optimal { value; x; row_activity = activity; duals = duals_for st phase2_cost })
-      end
-    | Infeasible _ -> assert false
-  in
-  (match stats with
+  let r1 = optimize st phase1_cost ~max_iters ~iters in
+  phase1_iters := !iters;
+  match r1 with
+  | Iteration_limit _ -> Iteration_limit None
+  | Unbounded ->
+    (* phase 1 is bounded below by 0 *)
+    Iteration_limit None
+  | Infeasible _ -> assert false
+  | Optimal _ ->
+    let z1 = objective_value st phase1_cost in
+    if z1 > 1e-6 *. float_of_int (max 1 st.m) then begin
+      let pi = duals_for st phase1_cost in
+      let certificate = ref [] in
+      for i = st.m - 1 downto 0 do
+        if abs_float pi.(i) > st.eps then certificate := i :: !certificate
+      done;
+      for i = 0 to st.m - 1 do
+        st.ub.(art_col st i) <- 0.
+      done;
+      Infeasible !certificate
+    end
+    else begin
+      (* fix artificials at 0 and optimize the real objective *)
+      for i = 0 to st.m - 1 do
+        st.ub.(art_col st i) <- 0.;
+        st.xval.(art_col st i) <- min st.xval.(art_col st i) 0.
+      done;
+      let cost = phase2_cost_of st p in
+      match optimize st cost ~max_iters ~iters with
+      | Iteration_limit _ -> Iteration_limit (safe_dual_bound st cost)
+      | Unbounded -> Unbounded
+      | Infeasible _ ->
+        (* [optimize] never reports infeasibility *)
+        assert false
+      | Optimal _ -> extract_solution st p cost
+    end
+
+let default_max_iters ~m ~n = 200 + (20 * (m + n))
+
+let flush_stats stats st ~iters ~phase1_iters ~pivots0 ~refresh0 =
+  match stats with
   | None -> ()
   | Some s ->
     s.calls <- s.calls + 1;
-    s.iterations <- s.iterations + !iters;
-    s.phase1_iters <- s.phase1_iters + !phase1_iters;
-    s.phase2_iters <- s.phase2_iters + (!iters - !phase1_iters);
-    s.pivots <- s.pivots + st.npivots;
-    s.refreshes <- s.refreshes + st.nrefresh);
+    s.iterations <- s.iterations + iters;
+    s.phase1_iters <- s.phase1_iters + phase1_iters;
+    s.phase2_iters <- s.phase2_iters + (iters - phase1_iters);
+    s.pivots <- s.pivots + (st.npivots - pivots0);
+    s.refreshes <- s.refreshes + (st.nrefresh - refresh0)
+
+let solve ?(eps = 1e-7) ?max_iters ?stats (p : problem) =
+  let st = init_state ~eps p in
+  let max_iters =
+    match max_iters with Some k -> k | None -> default_max_iters ~m:st.m ~n:st.n
+  in
+  let iters = ref 0 in
+  let phase1_iters = ref 0 in
+  let result = two_phase st p ~max_iters ~iters ~phase1_iters in
+  flush_stats stats st ~iters:!iters ~phase1_iters:!phase1_iters ~pivots0:0 ~refresh0:0;
   result
+
+(* ------------------------------------------------------------------ *)
+(* Incremental re-solving: bounded-variable dual simplex warm-started  *)
+(* from the previous basis after column-bound edits.                   *)
+(* ------------------------------------------------------------------ *)
+
+type dual_step =
+  | DMoved
+  | DOpt
+  | DInfeasible of int  (* violated basic row with no eligible entering *)
+
+(* One dual simplex step.  Leaving variable: the basic with the largest
+   bound violation.  Entering: among nonbasic columns whose move can
+   repair the violation (sign-eligible), the one minimizing the dual
+   ratio |rc_j / alpha_rj| — the first reduced cost driven to zero —
+   with larger-pivot tie-breaking for stability.  Dual feasibility of
+   the reduced costs is an invariant of this update. *)
+let dual_step st =
+  let r = ref (-1) in
+  let viol = ref st.eps in
+  let below = ref false in
+  for i = 0 to st.m - 1 do
+    let k = st.basis.(i) in
+    let v = st.xval.(k) in
+    if v < st.lb.(k) -. !viol then begin
+      r := i;
+      viol := st.lb.(k) -. v;
+      below := true
+    end
+    else if v > st.ub.(k) +. !viol then begin
+      r := i;
+      viol := v -. st.ub.(k);
+      below := false
+    end
+  done;
+  if !r < 0 then DOpt
+  else begin
+    let r = !r in
+    let below = !below in
+    let k = st.basis.(r) in
+    let row = st.tab.(r) in
+    let best = ref (-1) in
+    let best_ratio = ref infinity in
+    let best_alpha = ref 0. in
+    for j = 0 to st.ntotal - 1 do
+      if (not st.in_basis.(j)) && st.lb.(j) < st.ub.(j) then begin
+        let a = row.(j) in
+        if abs_float a > st.eps then begin
+          let at_lower = st.xval.(j) <= st.lb.(j) +. st.eps in
+          let eligible =
+            if below then if at_lower then a < 0. else a > 0.
+            else if at_lower then a > 0.
+            else a < 0.
+          in
+          if eligible then begin
+            let ratio = abs_float (st.rc.(j) /. a) in
+            if
+              ratio < !best_ratio -. st.eps
+              || (ratio < !best_ratio +. st.eps && abs_float a > abs_float !best_alpha)
+            then begin
+              best := j;
+              best_ratio := ratio;
+              best_alpha := a
+            end
+          end
+        end
+      end
+    done;
+    if !best < 0 then DInfeasible r
+    else begin
+      let j = !best in
+      let a = row.(j) in
+      let target = if below then st.lb.(k) else st.ub.(k) in
+      let t = (st.xval.(k) -. target) /. a in
+      for i = 0 to st.m - 1 do
+        let b = st.basis.(i) in
+        st.xval.(b) <- st.xval.(b) -. (st.tab.(i).(j) *. t)
+      done;
+      st.xval.(j) <- st.xval.(j) +. t;
+      st.xval.(k) <- target;
+      pivot_tableau st r j;
+      DMoved
+    end
+  end
+
+let dual_optimize st cost ~max_iters ~iters =
+  let rec go () =
+    if !iters >= max_iters then `Limit
+    else begin
+      if st.pivots_since_refresh > 100 then refresh_reduced_costs st cost;
+      incr iters;
+      match dual_step st with
+      | DMoved -> go ()
+      | DOpt -> `Opt
+      | DInfeasible r -> `Infeasible r
+    end
+  in
+  go ()
+
+module Incremental = struct
+  type info = {
+    warm : bool;
+    iters : int;
+    rebuilt : bool;
+  }
+
+  type t = {
+    base : problem;
+    cur_lower : float array;
+    cur_upper : float array;
+    eps : float;
+    mutable st : state;
+    cost : float array;  (* structural objective over ntotal columns *)
+    mutable have_basis : bool;
+    mutable info : info;
+    mutable pivots_at_rebuild : int;
+  }
+
+  (* Periodically refactor from scratch to flush accumulated numerical
+     drift in the dense tableau. *)
+  let rebuild_period = 2000
+
+  let create ?(eps = 1e-7) (p : problem) =
+    let base = { p with lower = Array.copy p.lower; upper = Array.copy p.upper } in
+    let st = init_state ~eps base in
+    {
+      base;
+      cur_lower = Array.copy base.lower;
+      cur_upper = Array.copy base.upper;
+      eps;
+      st;
+      cost = phase2_cost_of st base;
+      have_basis = false;
+      info = { warm = false; iters = 0; rebuilt = false };
+      pivots_at_rebuild = 0;
+    }
+
+  let ncols t = t.base.ncols
+  let last_info t = t.info
+  let invalidate t = t.have_basis <- false
+
+  let fix t j v =
+    t.cur_lower.(j) <- v;
+    t.cur_upper.(j) <- v
+
+  let unfix t j =
+    t.cur_lower.(j) <- t.base.lower.(j);
+    t.cur_upper.(j) <- t.base.upper.(j)
+
+  (* Restore a dual-feasible resting point after bound edits: refresh the
+     reduced costs, put every nonbasic column on the bound its reduced
+     cost prefers, and recompute the basic values from the tableau
+     (B^-1 e_k is the k-th artificial column over sigma_k).  Returns
+     false — caller rebuilds cold — when a wrong-sign column has no
+     finite bound to rest on or numerics have degraded. *)
+  let warm_start t =
+    let st = t.st in
+    Array.blit t.cur_lower 0 st.lb 0 st.n;
+    Array.blit t.cur_upper 0 st.ub 0 st.n;
+    refresh_reduced_costs st t.cost;
+    let ok = ref true in
+    (try
+       for j = 0 to st.ntotal - 1 do
+         if not st.in_basis.(j) then begin
+           let lo = st.lb.(j) and up = st.ub.(j) in
+           if lo = up then st.xval.(j) <- lo
+           else begin
+             let r = st.rc.(j) in
+             if r > st.eps then
+               if lo = neg_infinity then begin
+                 ok := false;
+                 raise Exit
+               end
+               else st.xval.(j) <- lo
+             else if r < -.st.eps then
+               if up = infinity then begin
+                 ok := false;
+                 raise Exit
+               end
+               else st.xval.(j) <- up
+             else begin
+               (* indifferent: keep the current resting bound if any *)
+               let x = st.xval.(j) in
+               if up < infinity && abs_float (x -. up) <= st.eps then st.xval.(j) <- up
+               else if lo > neg_infinity then st.xval.(j) <- lo
+               else st.xval.(j) <- up
+             end
+           end
+         end
+       done
+     with Exit -> ());
+    if !ok then begin
+      for i = 0 to st.m - 1 do
+        let row = st.tab.(i) in
+        let s = ref 0. in
+        for k = 0 to st.m - 1 do
+          let a = row.(art_col st k) in
+          if a <> 0. then s := !s +. (a /. st.sigma.(k) *. st.rhs.(k))
+        done;
+        for j = 0 to st.ntotal - 1 do
+          if (not st.in_basis.(j)) && st.xval.(j) <> 0. then
+            s := !s -. (row.(j) *. st.xval.(j))
+        done;
+        if not (Float.is_finite !s) then ok := false;
+        st.xval.(st.basis.(i)) <- !s
+      done
+    end;
+    !ok
+
+  let reoptimize ?max_iters ?stats t =
+    let max_iters =
+      match max_iters with
+      | Some k -> k
+      | None -> default_max_iters ~m:t.st.m ~n:t.st.n
+    in
+    let iters = ref 0 in
+    let phase1_iters = ref 0 in
+    let warm_usable =
+      t.have_basis && t.st.npivots - t.pivots_at_rebuild < rebuild_period
+    in
+    let outcome, warm, pivots0, refresh0 =
+      if warm_usable && warm_start t then begin
+        let st = t.st in
+        let pivots0 = st.npivots and refresh0 = st.nrefresh in
+        let r =
+          match dual_optimize st t.cost ~max_iters ~iters with
+          | `Opt -> extract_solution st t.base t.cost
+          | `Infeasible vr ->
+            (* Farkas witness: original rows entering row vr of B^-1 *)
+            let witness = ref [] in
+            for i = st.m - 1 downto 0 do
+              if abs_float st.tab.(vr).(art_col st i) > st.eps then witness := i :: !witness
+            done;
+            Infeasible !witness
+          | `Limit -> Iteration_limit (safe_dual_bound st t.cost)
+        in
+        (* dual pivots preserve dual feasibility, so the basis stays
+           warm-startable even after infeasible or truncated calls *)
+        r, true, pivots0, refresh0
+      end
+      else begin
+        let p =
+          { t.base with lower = Array.copy t.cur_lower; upper = Array.copy t.cur_upper }
+        in
+        let st = init_state ~eps:t.eps p in
+        t.st <- st;
+        t.pivots_at_rebuild <- 0;
+        let r = two_phase st p ~max_iters ~iters ~phase1_iters in
+        (match r with
+        | Optimal _ | Infeasible _ -> t.have_basis <- true
+        | Unbounded | Iteration_limit _ -> t.have_basis <- false);
+        r, false, 0, 0
+      end
+    in
+    if not warm then t.pivots_at_rebuild <- t.st.npivots;
+    t.info <- { warm; iters = !iters; rebuilt = not warm };
+    flush_stats stats t.st ~iters:!iters ~phase1_iters:!phase1_iters ~pivots0 ~refresh0;
+    outcome
+end

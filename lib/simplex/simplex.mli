@@ -1,4 +1,5 @@
-(** Dense two-phase primal simplex with variable bounds.
+(** Dense two-phase primal simplex with variable bounds, plus an
+    incremental bounded-variable dual simplex for warm re-solves.
 
     Solves
 
@@ -13,7 +14,9 @@
     The implementation is the textbook bounded-variable simplex on a dense
     tableau: each row gets a slack/surplus column, phase 1 minimizes the
     sum of artificial columns, nonbasic variables rest at one of their
-    bounds, and the ratio test allows bound flips. *)
+    bounds, and the ratio test allows bound flips.  {!Incremental} keeps
+    the tableau and basis alive between calls and re-optimizes after
+    column-bound edits with a dual simplex from the previous basis. *)
 
 type rel =
   | Ge
@@ -21,7 +24,7 @@ type rel =
   | Eq
 
 type row = {
-  coeffs : (int * float) list;  (** column index, coefficient *)
+  coeffs : (int * float) array;  (** column index, coefficient *)
   rel : rel;
   rhs : float;
 }
@@ -47,16 +50,20 @@ type solution = {
 type outcome =
   | Optimal of solution
   | Infeasible of int list
-      (** indices of rows with non-zero phase-1 dual: an infeasible
+      (** indices of rows with non-zero phase-1 dual (cold solve) or
+          non-zero Farkas-ray entry (dual simplex): an infeasible
           subsystem witness *)
   | Unbounded
-  | Iteration_limit  (** gave up; treat as "no information" *)
+  | Iteration_limit of float option
+      (** gave up; [Some z] is a safe dual (Lagrangian) lower bound on the
+          optimum valid at the point the solver stopped, [None] when no
+          dual-feasible iterate was available *)
 
 type stats = {
-  mutable calls : int;  (** [solve] invocations flushed into this record *)
+  mutable calls : int;  (** [solve]/[Incremental.reoptimize] invocations *)
   mutable iterations : int;  (** simplex steps, bound flips included *)
   mutable phase1_iters : int;
-  mutable phase2_iters : int;
+  mutable phase2_iters : int;  (** phase-2 primal and dual-simplex steps *)
   mutable pivots : int;  (** basis changes only *)
   mutable refreshes : int;  (** full reduced-cost recomputations *)
 }
@@ -70,3 +77,45 @@ val solve : ?eps:float -> ?max_iters:int -> ?stats:stats -> problem -> outcome
 (** [eps] defaults to [1e-7]; [max_iters] defaults to
     [200 + 20 * (m + ncols)].  When [stats] is given, the call's work
     figures are added to it on every exit path. *)
+
+(** Persistent LP state for sequences of re-solves that differ only in
+    column bounds — the B&B lower-bounding workload.  After [fix]/[unfix]
+    edits, {!reoptimize} restores dual feasibility on the previous basis
+    (reduced-cost refresh + nonbasic repositioning) and runs a
+    bounded-variable dual simplex; it falls back to a cold two-phase
+    primal rebuild when no usable basis exists, when the warm restart
+    cannot reach a dual-feasible resting point, or periodically to flush
+    numerical drift from the dense tableau. *)
+module Incremental : sig
+  type t
+
+  type info = {
+    warm : bool;  (** last call reused the previous basis *)
+    iters : int;  (** simplex iterations spent by the last call *)
+    rebuilt : bool;  (** last call rebuilt the tableau from scratch *)
+  }
+
+  val create : ?eps:float -> problem -> t
+  (** Snapshot [problem] (bounds are copied).  The first [reoptimize] is
+      necessarily cold. *)
+
+  val ncols : t -> int
+
+  val fix : t -> int -> float -> unit
+  (** [fix t j v] pins column [j] to value [v] (both bounds). *)
+
+  val unfix : t -> int -> unit
+  (** Restore column [j]'s bounds from the base problem. *)
+
+  val reoptimize : ?max_iters:int -> ?stats:stats -> t -> outcome
+  (** Re-solve under the current bounds.  [Infeasible] witnesses index
+      rows of the base problem.  Warm calls that hit the iteration limit
+      report [Iteration_limit (Some z)] with the dual objective reached,
+      which is a valid lower bound under the current bounds. *)
+
+  val last_info : t -> info
+  (** Telemetry for the most recent [reoptimize] call. *)
+
+  val invalidate : t -> unit
+  (** Drop the stored basis; the next [reoptimize] solves cold. *)
+end

@@ -109,6 +109,18 @@ let lb t ~proc ~value ~path ~upper =
         "upper", Json.Int upper;
       ]
 
+let simplex t ~mode ~iters ~outcome =
+  match t.sink with
+  | None -> ()
+  | Some s ->
+    write s
+      [
+        "ev", Json.String "simplex";
+        "mode", Json.String mode;
+        "iters", Json.Int iters;
+        "outcome", Json.String outcome;
+      ]
+
 let incumbent t ~cost ~conflicts =
   match t.sink with
   | None -> ()

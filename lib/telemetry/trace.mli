@@ -38,6 +38,11 @@ val lb : t -> proc:string -> value:int -> path:int -> upper:int -> unit
 (** One lower-bound evaluation: procedure name, bound value, current path
     cost and incumbent. *)
 
+val simplex : t -> mode:string -> iters:int -> outcome:string -> unit
+(** One LP (re-)solve on the lower-bounding path: [mode] is ["warm"],
+    ["cold"] or ["cache"], [iters] the simplex iterations spent, [outcome]
+    the LP outcome constructor in lowercase. *)
+
 val incumbent : t -> cost:int -> conflicts:int -> unit
 val restart : t -> conflicts:int -> unit
 val cut : t -> kind:string -> size:int -> degree:int -> unit

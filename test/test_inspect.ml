@@ -207,6 +207,8 @@ let bench_row name elapsed nodes : Inspect.Bench.row =
     conflicts = nodes / 2;
     bound_conflicts = nodes / 3;
     lb_calls = nodes / 3;
+    simplex_iters = nodes * 2;
+    warm_hits = nodes / 4;
   }
 
 let test_bench_golden () =
@@ -218,7 +220,8 @@ let test_bench_golden () =
     "{\"schema\":\"bsolo-bench-regress/1\",\"rev\":\"abc1234\",\"limit\":1.0,\
      \"scale\":0.25,\"per_family\":2,\"instances\":[{\"name\":\"grout-2-2:1\",\
      \"solver\":\"LPR\",\"status\":\"OPTIMAL\",\"cost\":9,\"elapsed\":0.5,\
-     \"nodes\":120,\"conflicts\":60,\"bound_conflicts\":40,\"lb_calls\":40}]}"
+     \"nodes\":120,\"conflicts\":60,\"bound_conflicts\":40,\"lb_calls\":40,\
+     \"simplex_iters\":240,\"warm_hits\":30}]}"
   in
   Alcotest.(check string) "golden serialization" expected (Json.to_string report)
 
@@ -261,7 +264,7 @@ let test_bench_roundtrip () =
       entries
   in
   Alcotest.(check (list string)) "regressed keys"
-    [ "a:1.status"; "a:1.cost"; "a:1.elapsed"; "a:1.nodes" ]
+    [ "a:1.status"; "a:1.cost"; "a:1.elapsed"; "a:1.nodes"; "a:1.simplex_iters" ]
     regressed
 
 let test_bench_missing_instance () =

@@ -56,6 +56,9 @@ let methods =
     "mis", (fun engine ~cap -> ignore cap; Lowerbound.Mis.compute engine);
     "lgr", (fun engine ~cap -> Lowerbound.Lgr.compute engine ~cap);
     "lpr", (fun engine ~cap -> Lowerbound.Lpr.compute engine ~cap);
+    (* a fresh incremental context per call: exercises the full-LP
+       formulation behind the warm path under every generic property *)
+    "lpr-inc", (fun engine ~cap -> Lowerbound.Lpr.compute_inc (Lowerbound.Lpr.make engine) ~cap);
   ]
 
 (* Soundness: path + bound <= cost of the best completion. *)
@@ -235,4 +238,90 @@ let suite =
   @ [
       Alcotest.test_case "lpr infeasible relaxation" `Quick lpr_infeasible_relaxation;
       Alcotest.test_case "lgr/mis/lpr with empty objective" `Quick lgr_no_cost_instance;
+    ]
+
+(* One persistent incremental context across a whole randomized search
+   walk (decisions, conflicts, backjumps) must report the same bound as
+   the from-scratch residual LP at every comparison point, and must
+   actually warm-start at least once across the walks. *)
+let lpr_incremental_matches_legacy () =
+  let warm_total = ref 0 in
+  for seed = 0 to 40 do
+    let problem =
+      if seed mod 2 = 0 then Gen.problem seed else Gen.covering ~nvars:10 ~nclauses:14 seed
+    in
+    let engine = Core.create problem in
+    if not (Core.root_unsat engine) then begin
+      let cap = Problem.max_cost_sum problem + 1 in
+      let inc = Lowerbound.Lpr.make engine in
+      let rng = Random.State.make [| seed; 0x11c |] in
+      let compare_here where =
+        let legacy = (Lowerbound.Lpr.compute engine ~cap).Lowerbound.Bound.value in
+        let warm = (Lowerbound.Lpr.compute_inc inc ~cap).Lowerbound.Bound.value in
+        if legacy <> warm then
+          Alcotest.failf "seed %d (%s): legacy %d <> incremental %d" seed where legacy warm
+      in
+      compare_here "root";
+      let rec walk fuel =
+        if fuel > 0 then begin
+          match Core.propagate engine with
+          | Some ci ->
+            (match Core.resolve_conflict engine ci with
+            | Core.Root_conflict -> ()
+            | Core.Backjump _ ->
+              compare_here "after backjump";
+              walk (fuel - 1))
+          | None ->
+            compare_here "at fixpoint";
+            (match Core.next_branch_var engine with
+            | None -> ()
+            | Some v ->
+              Core.decide engine (Lit.make v (Random.State.bool rng));
+              walk (fuel - 1))
+        end
+      in
+      walk 30;
+      let reg = (Core.telemetry engine).Telemetry.Ctx.registry in
+      warm_total :=
+        !warm_total
+        + Option.value ~default:0 (Telemetry.Registry.find_counter reg "lpr.warm_hits")
+    end
+  done;
+  if !warm_total = 0 then Alcotest.fail "no warm-started re-solve across all walks"
+
+(* End-to-end: a full bsolo solve on the default (warm) configuration
+   must warm-start the LP and land on the same optimum as a cold-LPR
+   solve of the same instance. *)
+let lpr_warm_end_to_end () =
+  let solved = ref 0 and warm_hits = ref 0 in
+  for seed = 0 to 8 do
+    let problem = Gen.covering ~nvars:12 ~nclauses:16 seed in
+    let tel = Telemetry.Ctx.create () in
+    let warm_opts =
+      { (Bsolo.Options.with_lb Bsolo.Options.Lpr) with telemetry = Some tel }
+    in
+    let cold_opts = { (Bsolo.Options.with_lb Bsolo.Options.Lpr) with lpr_warm = false } in
+    let ow = Bsolo.Solver.solve ~options:warm_opts problem in
+    let oc = Bsolo.Solver.solve ~options:cold_opts problem in
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d status" seed)
+      (Bsolo.Outcome.status_name oc.status)
+      (Bsolo.Outcome.status_name ow.status);
+    Alcotest.(check (option int))
+      (Printf.sprintf "seed %d cost" seed)
+      (Bsolo.Outcome.best_cost oc) (Bsolo.Outcome.best_cost ow);
+    incr solved;
+    warm_hits :=
+      !warm_hits
+      + Option.value ~default:0
+          (Telemetry.Registry.find_counter tel.Telemetry.Ctx.registry "lpr.warm_hits")
+  done;
+  if !solved > 0 && !warm_hits = 0 then
+    Alcotest.fail "warm path never warm-started during full solves"
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "lpr incremental = legacy on walks" `Slow lpr_incremental_matches_legacy;
+      Alcotest.test_case "lpr warm end-to-end" `Quick lpr_warm_end_to_end;
     ]

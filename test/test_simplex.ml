@@ -8,7 +8,7 @@ let expect_optimal = function
   | Simplex.Optimal s -> s
   | Simplex.Infeasible _ -> Alcotest.fail "unexpected infeasible"
   | Simplex.Unbounded -> Alcotest.fail "unexpected unbounded"
-  | Simplex.Iteration_limit -> Alcotest.fail "unexpected iteration limit"
+  | Simplex.Iteration_limit _ -> Alcotest.fail "unexpected iteration limit"
 
 let lp ?(lower = fun _ -> 0.) ?(upper = fun _ -> 1.) ncols objective rows =
   {
@@ -17,7 +17,9 @@ let lp ?(lower = fun _ -> 0.) ?(upper = fun _ -> 1.) ncols objective rows =
     upper = Array.init ncols upper;
     objective = Array.of_list objective;
     rows =
-      List.map (fun (coeffs, rel, rhs) -> { Simplex.coeffs; rel; rhs }) rows
+      List.map
+        (fun (coeffs, rel, rhs) -> { Simplex.coeffs = Array.of_list coeffs; rel; rhs })
+        rows
       |> Array.of_list;
   }
 
@@ -75,7 +77,7 @@ let infeasible_detected () =
          [ [ (0, 1.) ], Simplex.Ge, 1.; [ (0, 1.) ], Simplex.Le, 0.25 ])
   with
   | Simplex.Infeasible witness -> Alcotest.(check bool) "witness nonempty" true (witness <> [])
-  | Simplex.Optimal _ | Simplex.Unbounded | Simplex.Iteration_limit ->
+  | Simplex.Optimal _ | Simplex.Unbounded | Simplex.Iteration_limit _ ->
     Alcotest.fail "expected infeasible"
 
 let row_activity_reported () =
@@ -113,7 +115,7 @@ let qcheck_lp_bounds_ip =
       let rows =
         List.map
           (fun (terms, rhs) ->
-            let coeffs = List.map (fun (v, a) -> v, float_of_int a) terms in
+            let coeffs = Array.of_list (List.map (fun (v, a) -> v, float_of_int a) terms) in
             { Simplex.coeffs; rel = Simplex.Ge; rhs = float_of_int rhs })
           raw_rows
       in
@@ -149,7 +151,7 @@ let qcheck_lp_bounds_ip =
       | Simplex.Optimal _, None -> true  (* LP feasible, IP not: fine *)
       | Simplex.Infeasible _, None -> true
       | Simplex.Infeasible _, Some _ -> false  (* LP infeasible but IP feasible: bug *)
-      | (Simplex.Unbounded | Simplex.Iteration_limit), _ -> false)
+      | (Simplex.Unbounded | Simplex.Iteration_limit _), _ -> false)
 
 (* qcheck: the reported primal solution is feasible and matches the
    reported objective value. *)
@@ -164,7 +166,7 @@ let qcheck_solution_consistent =
       let rows =
         List.map
           (fun (terms, rhs) ->
-            let coeffs = List.map (fun (v, a) -> v, float_of_int a) terms in
+            let coeffs = Array.of_list (List.map (fun (v, a) -> v, float_of_int a) terms) in
             { Simplex.coeffs; rel = Simplex.Ge; rhs = float_of_int rhs })
           raw_rows
       in
@@ -190,7 +192,7 @@ let qcheck_solution_consistent =
           List.for_all2
             (fun { Simplex.coeffs; rhs; _ } activity ->
               let recomputed =
-                List.fold_left (fun acc (v, a) -> acc +. (a *. sol.x.(v))) 0. coeffs
+                Array.fold_left (fun acc (v, a) -> acc +. (a *. sol.x.(v))) 0. coeffs
               in
               abs_float (recomputed -. activity) < feps && activity >= rhs -. feps)
             rows
@@ -205,7 +207,98 @@ let qcheck_solution_consistent =
       | Simplex.Infeasible _ ->
         (* positive Ge rows are feasible iff satisfiable at x = 1 *)
         not feasible_at_ones
-      | Simplex.Unbounded | Simplex.Iteration_limit -> false)
+      | Simplex.Unbounded | Simplex.Iteration_limit _ -> false)
+
+(* --- incremental warm re-solving ------------------------------------------ *)
+
+let incremental_basics () =
+  (* min x + y s.t. x + y >= 1 *)
+  let p = lp 2 [ 1.; 1. ] [ [ 0, 1.; 1, 1. ], Simplex.Ge, 1. ] in
+  let sx = Simplex.Incremental.create p in
+  (match Simplex.Incremental.reoptimize sx with
+  | Simplex.Optimal s -> check_float "cold optimum" 1. s.value
+  | _ -> Alcotest.fail "expected optimal");
+  Alcotest.(check bool) "first call is cold" false (Simplex.Incremental.last_info sx).warm;
+  Simplex.Incremental.fix sx 0 0.;
+  (match Simplex.Incremental.reoptimize sx with
+  | Simplex.Optimal s -> check_float "after fix x0=0" 1. s.value
+  | _ -> Alcotest.fail "expected optimal");
+  Alcotest.(check bool) "second call is warm" true (Simplex.Incremental.last_info sx).warm;
+  Simplex.Incremental.fix sx 1 0.;
+  (match Simplex.Incremental.reoptimize sx with
+  | Simplex.Infeasible w -> Alcotest.(check bool) "witness nonempty" true (w <> [])
+  | _ -> Alcotest.fail "expected infeasible");
+  Alcotest.(check bool) "infeasible detected warm" true (Simplex.Incremental.last_info sx).warm;
+  Simplex.Incremental.unfix sx 0;
+  (match Simplex.Incremental.reoptimize sx with
+  | Simplex.Optimal s -> check_float "recovered after unfix" 1. s.value
+  | _ -> Alcotest.fail "expected optimal");
+  Alcotest.(check bool) "still warm after infeasible" true (Simplex.Incremental.last_info sx).warm
+
+(* qcheck: random 0/1 LPs with random fix/unfix scripts must give the same
+   outcome from the incremental solver and from cold solves under the same
+   bounds, including agreeing on infeasibility (with a nonempty witness). *)
+let qcheck_warm_equals_cold =
+  let gen =
+    QCheck2.Gen.(
+      let row = list_size (int_range 1 4) (pair (int_range 0 4) (int_range 1 4)) in
+      triple
+        (list_size (int_range 1 6) (pair row (int_range 1 6)))
+        (list_size (int_range 5 5) (int_range 0 5))
+        (list_size (int_range 1 12) (pair (int_range 0 4) (int_range 0 2))))
+  in
+  QCheck2.Test.make ~name:"incremental warm re-solves match cold solves" ~count:200 gen
+    (fun (raw_rows, costs, script) ->
+      let nvars = 5 in
+      let rows =
+        List.map
+          (fun (terms, rhs) ->
+            let coeffs = Array.of_list (List.map (fun (v, a) -> v, float_of_int a) terms) in
+            { Simplex.coeffs; rel = Simplex.Ge; rhs = float_of_int rhs })
+          raw_rows
+      in
+      let problem =
+        {
+          Simplex.ncols = nvars;
+          lower = Array.make nvars 0.;
+          upper = Array.make nvars 1.;
+          objective = Array.of_list (List.map float_of_int costs);
+          rows = Array.of_list rows;
+        }
+      in
+      let sx = Simplex.Incremental.create problem in
+      let lower = Array.make nvars 0. in
+      let upper = Array.make nvars 1. in
+      let agree () =
+        let cold =
+          Simplex.solve { problem with lower = Array.copy lower; upper = Array.copy upper }
+        in
+        match Simplex.Incremental.reoptimize sx, cold with
+        | Simplex.Optimal a, Simplex.Optimal b -> abs_float (a.value -. b.value) <= feps
+        | Simplex.Infeasible w, Simplex.Infeasible _ -> w <> []
+        | _, _ -> false
+      in
+      let ok = ref (agree ()) in
+      List.iter
+        (fun (v, action) ->
+          if !ok then begin
+            (match action with
+            | 0 ->
+              Simplex.Incremental.fix sx v 0.;
+              lower.(v) <- 0.;
+              upper.(v) <- 0.
+            | 1 ->
+              Simplex.Incremental.fix sx v 1.;
+              lower.(v) <- 1.;
+              upper.(v) <- 1.
+            | _ ->
+              Simplex.Incremental.unfix sx v;
+              lower.(v) <- 0.;
+              upper.(v) <- 1.);
+            ok := agree ()
+          end)
+        script;
+      !ok)
 
 let suite =
   [
@@ -218,6 +311,8 @@ let suite =
     Alcotest.test_case "row activity" `Quick row_activity_reported;
     Alcotest.test_case "degenerate rows" `Quick degenerate_ok;
     Alcotest.test_case "empty problem" `Quick empty_problem;
+    Alcotest.test_case "incremental basics" `Quick incremental_basics;
     QCheck_alcotest.to_alcotest qcheck_lp_bounds_ip;
     QCheck_alcotest.to_alcotest qcheck_solution_consistent;
+    QCheck_alcotest.to_alcotest qcheck_warm_equals_cold;
   ]

@@ -155,7 +155,7 @@ let simplex_mixed_relations () =
             | 1 -> Simplex.Le
             | _ -> Simplex.Eq
           in
-          { Simplex.coeffs; rel; rhs = float_of_int (Random.State.int rng 6) })
+          { Simplex.coeffs = Array.of_list coeffs; rel; rhs = float_of_int (Random.State.int rng 6) })
     in
     let problem =
       {
@@ -170,7 +170,7 @@ let simplex_mixed_relations () =
     for mask = 0 to 15 do
       let x v = float_of_int ((mask lsr v) land 1) in
       let ok (r : Simplex.row) =
-        let a = List.fold_left (fun acc (v, c) -> acc +. (c *. x v)) 0. r.coeffs in
+        let a = Array.fold_left (fun acc (v, c) -> acc +. (c *. x v)) 0. r.coeffs in
         match r.rel with
         | Simplex.Ge -> a >= r.rhs -. 1e-9
         | Simplex.Le -> a <= r.rhs +. 1e-9
@@ -183,7 +183,7 @@ let simplex_mixed_relations () =
     | Simplex.Infeasible _ ->
       if !int_feasible then Alcotest.failf "seed %d: LP infeasible but IP feasible" seed
     | Simplex.Unbounded -> Alcotest.failf "seed %d: bounded LP reported unbounded" seed
-    | Simplex.Iteration_limit -> ()
+    | Simplex.Iteration_limit _ -> ()
   done
 
 let suite =
