@@ -162,10 +162,14 @@ let bound_of_opt inc (full : Residual.Full.t) ~path ~z ~x ~tight =
    effective bound edit happened, and also when every edit fixes a column
    at exactly its previous LP value (the optimum stays feasible, hence
    optimal, and the dual certificate behind the tight set is untouched) —
-   or when edits only tighten an already infeasible system. *)
+   or when edits only tighten an already infeasible system.  A flip
+   (column re-fixed to the opposite value with no release observed in
+   between, e.g. True -> backjump -> False across two drains) is NOT a
+   tightening: the new bound box is disjoint from the old one, so the
+   cached infeasibility certificate does not transfer. *)
 let cache_valid inc (edits : Residual.Full.edits) =
   if edits.total = 0 then inc.last <> Last_none
-  else if edits.unfixes > 0 then false
+  else if edits.unfixes > 0 || edits.flips > 0 then false
   else
     match inc.last with
     | Last_none -> false

@@ -85,6 +85,7 @@ module Full = struct
   type edits = {
     fixes : (int * float) list;
     unfixes : int;
+    flips : int;
     total : int;
   }
 
@@ -158,10 +159,12 @@ module Full = struct
   let sync full engine sx =
     let fixes = ref [] in
     let unfixes = ref 0 in
+    let flips = ref 0 in
     let total = ref 0 in
     Core.drain_changed_vars engine (fun v ->
         let cur = Core.value_var engine v in
-        if not (Value.equal cur full.mirror.(v)) then begin
+        let prev = full.mirror.(v) in
+        if not (Value.equal cur prev) then begin
           full.mirror.(v) <- cur;
           incr total;
           match cur with
@@ -169,11 +172,13 @@ module Full = struct
             incr unfixes;
             Simplex.Incremental.unfix sx v
           | Value.True ->
+            if not (Value.equal prev Value.Unknown) then incr flips;
             fixes := (v, 1.) :: !fixes;
             Simplex.Incremental.fix sx v 1.
           | Value.False ->
+            if not (Value.equal prev Value.Unknown) then incr flips;
             fixes := (v, 0.) :: !fixes;
             Simplex.Incremental.fix sx v 0.
         end);
-    { fixes = !fixes; unfixes = !unfixes; total = !total }
+    { fixes = !fixes; unfixes = !unfixes; flips = !flips; total = !total }
 end

@@ -48,6 +48,10 @@ module Full : sig
   type edits = {
     fixes : (int * float) list;  (** columns newly fixed, with values *)
     unfixes : int;  (** columns released back to [0, 1] *)
+    flips : int;
+        (** columns re-fixed to the opposite value without an observed
+            intermediate release (True -> backjump -> False between two
+            drains); counted in [fixes] too, but never a tightening *)
     total : int;  (** effective edits (cancelled churn excluded) *)
   }
 

@@ -243,10 +243,13 @@ let duals_for st cost =
 (* Lagrangian bound from the current simplex multipliers.  In equality
    form, z(y) = y.b + sum_j min over [lb_j, ub_j] of rc_j x_j is a valid
    lower bound on the optimum for ANY y; with y = cB B^-1 the reduced
-   costs rc = c - y A drop out of the basis.  The bound degenerates to
-   -infinity (None) when a column with an infinite bound carries the
-   wrong reduced-cost sign, i.e. the iterate is not dual feasible (up to
-   [eps] tolerance, consistent with the rest of the solver). *)
+   costs rc = c - y A drop out of the basis (exactly 0. after a refresh,
+   since basic tableau columns are exact unit vectors).  The min term is
+   evaluated with NO tolerance: dropping a wrong-sign term could only
+   overstate the bound.  A nonzero rc against an infinite bound — however
+   tiny — makes the term -infinity, so the bound degenerates to None;
+   tiny rc against a finite bound contributes its exact (downward-safe)
+   correction instead of being skipped. *)
 let safe_dual_bound st cost =
   refresh_reduced_costs st cost;
   let y = duals_for st cost in
@@ -258,14 +261,14 @@ let safe_dual_bound st cost =
   (try
      for j = 0 to st.ntotal - 1 do
        let r = st.rc.(j) in
-       if r > st.eps then begin
+       if r > 0. then begin
          if st.lb.(j) = neg_infinity then begin
            ok := false;
            raise Exit
          end;
          z := !z +. (r *. st.lb.(j))
        end
-       else if r < -.st.eps then begin
+       else if r < 0. then begin
          if st.ub.(j) = infinity then begin
            ok := false;
            raise Exit

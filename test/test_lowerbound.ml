@@ -289,6 +289,35 @@ let lpr_incremental_matches_legacy () =
   done;
   if !warm_total = 0 then Alcotest.fail "no warm-started re-solve across all walks"
 
+(* Regression: a variable flipping value between two LB evaluations
+   (True -> backjump -> False with no drain in between) reaches sync as a
+   plain re-fix with unfixes = 0; the cached infeasibility certificate
+   must NOT survive it, or a feasible node gets pruned with the cap. *)
+let lpr_inc_flip_invalidates_infeasibility_cache () =
+  let b = Problem.Builder.create ~nvars:3 () in
+  Problem.Builder.add_clause b [ Lit.pos 1; Lit.pos 2 ];
+  Problem.Builder.add_clause b [ Lit.neg 1; Lit.neg 2 ];
+  Problem.Builder.add_clause b [ Lit.pos 0; Lit.neg 1 ];
+  Problem.Builder.add_clause b [ Lit.pos 0; Lit.neg 2 ];
+  Problem.Builder.set_objective b [ 1, Lit.pos 1 ];
+  let problem = Problem.Builder.build b in
+  let engine = Core.create problem in
+  let inc = Lowerbound.Lpr.make engine in
+  let cap = 42 in
+  (* under ~x0 the relaxation is infeasible: x1 <= 0, x2 <= 0, x1 + x2 >= 1 *)
+  Core.decide engine (Lit.neg 0);
+  let binf = Lowerbound.Lpr.compute_inc inc ~cap in
+  Alcotest.(check int) "infeasible under ~x0" cap binf.Lowerbound.Bound.value;
+  (* flip: x0 goes False -> Unknown -> True with no LB call in between *)
+  Core.backjump_to engine 0;
+  Core.decide engine (Lit.pos 0);
+  let bflip = Lowerbound.Lpr.compute_inc inc ~cap in
+  let legacy = Lowerbound.Lpr.compute engine ~cap in
+  Alcotest.(check int)
+    "feasible after flip matches cold LPR"
+    legacy.Lowerbound.Bound.value bflip.Lowerbound.Bound.value;
+  Alcotest.(check bool) "stale cap not returned" true (bflip.Lowerbound.Bound.value < cap)
+
 (* End-to-end: a full bsolo solve on the default (warm) configuration
    must warm-start the LP and land on the same optimum as a cold-LPR
    solve of the same instance. *)
@@ -323,5 +352,7 @@ let suite =
   suite
   @ [
       Alcotest.test_case "lpr incremental = legacy on walks" `Slow lpr_incremental_matches_legacy;
+      Alcotest.test_case "lpr flip invalidates infeasibility cache" `Quick
+        lpr_inc_flip_invalidates_infeasibility_cache;
       Alcotest.test_case "lpr warm end-to-end" `Quick lpr_warm_end_to_end;
     ]
