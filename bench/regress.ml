@@ -5,7 +5,13 @@
 
      regress.exe [--out FILE] [--baseline FILE] [--limit SECS]
                  [--scale S] [--per-family N] [--threshold FRACTION]
-                 [--report-only] [--rev NAME]
+                 [--portfolio-jobs N] [--report-only] [--rev NAME]
+
+   Besides the default bsolo-LPR row, each instance gets a
+   "<name>:portfolio" row running the parallel portfolio
+   (--portfolio-jobs domains; 0 disables) whose elapsed column is the
+   portfolio wall clock and whose imports column counts shared-incumbent
+   imports across the workers.
 
    The baseline must have been produced with the same limit/scale/
    per-family settings, otherwise instance names do not line up; a
@@ -14,7 +20,8 @@
 let usage () =
   print_endline
     "usage: regress.exe [--out FILE] [--baseline FILE] [--limit SECS] [--scale S]\n\
-    \       [--per-family N] [--threshold FRACTION] [--report-only] [--rev NAME]"
+    \       [--per-family N] [--threshold FRACTION] [--portfolio-jobs N]\n\
+    \       [--report-only] [--rev NAME]"
 
 let git_rev () =
   match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
@@ -32,6 +39,7 @@ let () =
   let scale = ref 0.25 in
   let per_family = ref 2 in
   let threshold = ref 0.5 in
+  let portfolio_jobs = ref 2 in
   let report_only = ref false in
   let rev = ref None in
   let rec parse = function
@@ -54,6 +62,9 @@ let () =
     | "--threshold" :: v :: rest ->
       threshold := float_of_string v;
       parse rest
+    | "--portfolio-jobs" :: v :: rest ->
+      portfolio_jobs := int_of_string v;
+      parse rest
     | "--report-only" :: rest ->
       report_only := true;
       parse rest
@@ -70,13 +81,14 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   let limit = !limit and scale = !scale and per_family = !per_family in
+  let portfolio_jobs = !portfolio_jobs in
   let rev = match !rev with Some r -> r | None -> git_rev () in
   let out = match !out with Some o -> o | None -> Printf.sprintf "BENCH_%s.json" rev in
   let instances = Benchgen.Suite.instances ~scale ~per_family () in
   Printf.printf "bench regress: %d instances, limit %.1fs, scale %.2f, rev %s\n%!"
     (List.length instances) limit scale rev;
   let rows =
-    List.map
+    List.concat_map
       (fun (inst : Benchgen.Suite.instance) ->
         let tel = Telemetry.Ctx.create ~timing:true () in
         let options =
@@ -104,11 +116,47 @@ let () =
             lb_calls = c.lb_calls;
             simplex_iters = reg_counter "simplex.iterations";
             warm_hits = reg_counter "lpr.warm_hits";
+            imports = 0;
           }
         in
         Printf.printf "  %-28s %-14s %8.3fs %8d nodes\n%!" row.name row.status row.elapsed
           row.nodes;
-        row)
+        if portfolio_jobs <= 0 then [ row ]
+        else begin
+          (* Portfolio row: elapsed is the portfolio wall clock (not the
+             winner's own solve time), imports counts shared-incumbent
+             imports summed across workers. *)
+          let ptel = Telemetry.Ctx.create ~timing:false () in
+          let t0 = Unix.gettimeofday () in
+          let r =
+            Portfolio.solve ~telemetry:ptel ~jobs:portfolio_jobs ~budget:limit inst.problem
+          in
+          let wall = Unix.gettimeofday () -. t0 in
+          let pc = r.outcome.counters in
+          let preg name =
+            Option.value ~default:0
+              (Telemetry.Registry.find_counter ptel.Telemetry.Ctx.registry name)
+          in
+          let prow =
+            {
+              Inspect.Bench.name = inst.name ^ ":portfolio";
+              solver = Printf.sprintf "portfolio-j%d" portfolio_jobs;
+              status = Bsolo.Outcome.status_name r.outcome.status;
+              cost = Bsolo.Outcome.best_cost r.outcome;
+              elapsed = wall;
+              nodes = pc.nodes;
+              conflicts = pc.conflicts;
+              bound_conflicts = pc.bound_conflicts;
+              lb_calls = pc.lb_calls;
+              simplex_iters = 0;
+              warm_hits = 0;
+              imports = preg "portfolio.incumbent_imports";
+            }
+          in
+          Printf.printf "  %-28s %-14s %8.3fs %8d imports (winner %s)\n%!" prow.name
+            prow.status prow.elapsed prow.imports r.winner;
+          [ row; prow ]
+        end)
       instances
   in
   let report = Inspect.Bench.make ~rev ~limit ~scale ~per_family rows in

@@ -54,4 +54,23 @@ grep -q '"schema":"bsolo-run-report/1"' "$tmpdir/report.json" || {
   echo "FAIL: report schema marker missing"; exit 1;
 }
 
+echo "== parallel portfolio solve (--jobs 2) =="
+# Hard timeout so a hung worker domain fails the check instead of
+# wedging it; the instance solves in well under the budget.
+timeout 120 ./_build/default/bin/bsolo_main.exe benchmarks/synth-s1.opb \
+  --portfolio --jobs 2 --timeout 60 --stats \
+  >"$tmpdir/pstdout.txt" 2>"$tmpdir/pstderr.txt" || {
+  echo "FAIL: portfolio solve failed or hit the hard timeout";
+  cat "$tmpdir/pstdout.txt" "$tmpdir/pstderr.txt"; exit 1;
+}
+grep -q '^s OPTIMUM FOUND$' "$tmpdir/pstdout.txt" || {
+  echo "FAIL: portfolio did not prove the optimum"; cat "$tmpdir/pstdout.txt"; exit 1;
+}
+grep -q '^c portfolio: jobs=2' "$tmpdir/pstdout.txt" || {
+  echo "FAIL: portfolio summary line missing"; cat "$tmpdir/pstdout.txt"; exit 1;
+}
+grep -q 'portfolio\.incumbent_broadcasts' "$tmpdir/pstderr.txt" || {
+  echo "FAIL: portfolio.* counters missing from --stats"; cat "$tmpdir/pstderr.txt"; exit 1;
+}
+
 echo "smoke: OK"

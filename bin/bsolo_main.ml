@@ -56,7 +56,8 @@ let fatal msg =
   exit 2
 
 let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching no_preprocess
-    cold_lpr no_adaptive_lb verify verbosity stats trace_file json_file progress_every =
+    cold_lpr no_adaptive_lb portfolio jobs verify verbosity stats trace_file json_file
+    progress_every =
   (match verbosity with
   | [] -> ()
   | [ _ ] ->
@@ -142,23 +143,37 @@ let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching 
     let note_incumbent cost =
       incumbents := { Bsolo.Report.at = Unix.gettimeofday () -. start; cost } :: !incumbents
     in
+    let portfolio_run = ref None in
     let outcome =
-      match engine with
-      | Bsolo_engine ->
-        Bsolo.Solver.solve_with_incumbent_hook ~options
-          ~on_incumbent:(fun _ cost -> note_incumbent cost)
-          problem
-      | Pbs_engine ->
-        Bsolo.Linear_search.solve ~options:{ options with restarts = true } problem
-      | Galena_engine ->
-        Bsolo.Linear_search.solve ~options:{ options with restarts = true } ~pb_learning:true
-          problem
-      | Milp_engine -> Milp.Branch_and_bound.solve ~options problem
+      if portfolio then begin
+        let jobs =
+          match jobs with
+          | Some j -> max 1 j
+          | None -> Domain.recommended_domain_count ()
+        in
+        let budget = match time_limit with Some t -> t | None -> infinity in
+        Logs.debug (fun m -> m "portfolio: jobs=%d budget=%g" jobs budget);
+        let r = Portfolio.solve ?telemetry:tel ~jobs ~budget problem in
+        portfolio_run := Some (r, jobs);
+        r.outcome
+      end
+      else
+        match engine with
+        | Bsolo_engine ->
+          Bsolo.Solver.solve_with_incumbent_hook ~options
+            ~on_incumbent:(fun _ cost -> note_incumbent cost)
+            problem
+        | Pbs_engine ->
+          Bsolo.Linear_search.solve ~options:{ options with restarts = true } problem
+        | Galena_engine ->
+          Bsolo.Linear_search.solve ~options:{ options with restarts = true } ~pb_learning:true
+            problem
+        | Milp_engine -> Milp.Branch_and_bound.solve ~options problem
     in
     (* Engines without the hook still contribute their final incumbent, so
        every report carries a (possibly one-point) trajectory. *)
-    (match engine, outcome.best with
-    | Bsolo_engine, _ | _, None -> ()
+    (match (if portfolio then None else Some engine), outcome.best with
+    | Some Bsolo_engine, _ | _, None -> ()
     | _, Some (_, c) -> note_incumbent c);
     (* Output in the PB-competition style. *)
     (match outcome.status with
@@ -183,6 +198,20 @@ let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching 
       Printf.printf "v %s\n" (Buffer.contents buf)
     | None -> ());
     Printf.printf "c %s\n" (Format.asprintf "%a" Bsolo.Outcome.pp outcome);
+    (match !portfolio_run with
+    | None -> ()
+    | Some (r, jobs) ->
+      Printf.printf "c portfolio: jobs=%d winner=%s\n" jobs r.Portfolio.winner;
+      List.iter
+        (fun (name, o) ->
+          Printf.printf "c   %-10s %s\n" name (Format.asprintf "%a" Bsolo.Outcome.pp o))
+        r.runs;
+      List.iter
+        (fun (name, msg) -> Printf.printf "c   %-10s CRASHED: %s\n" name msg)
+        r.failures;
+      (match r.disagreement with
+      | None -> ()
+      | Some d -> Printf.printf "c portfolio DISAGREEMENT: %s\n" d));
     (match tel with
     | None -> ()
     | Some tel ->
@@ -191,7 +220,9 @@ let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching 
       | None -> ()
       | Some out ->
         let report =
-          Bsolo.Report.make ~instance:path ~engine:(engine_name engine) ~problem ~options
+          Bsolo.Report.make ~instance:path
+            ~engine:(if portfolio then "portfolio" else engine_name engine)
+            ~problem ~options
             ~incumbents:(List.rev !incumbents) ~telemetry:tel outcome
         in
         (try Bsolo.Report.write_file out report
@@ -203,9 +234,12 @@ let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching 
        | Error e ->
          Printf.printf "c verification: FAILED (%s)\n" e;
          exit 3);
-    (match outcome.status with
-    | Bsolo.Outcome.Optimal | Bsolo.Outcome.Satisfiable | Bsolo.Outcome.Unsatisfiable -> 0
-    | Bsolo.Outcome.Unknown -> 1)
+    (match !portfolio_run with
+    | Some ({ Portfolio.disagreement = Some _; _ }, _) -> 3
+    | Some _ | None -> (
+      match outcome.status with
+      | Bsolo.Outcome.Optimal | Bsolo.Outcome.Satisfiable | Bsolo.Outcome.Unsatisfiable -> 0
+      | Bsolo.Outcome.Unknown -> 1))
 
 let file_arg =
   let doc = "OPB instance file." in
@@ -269,6 +303,21 @@ let no_adaptive_lb_arg =
   in
   Arg.(value & flag & info [ "no-adaptive-lb" ] ~doc)
 
+let portfolio_arg =
+  let doc =
+    "Run the solver portfolio (bsolo-lpr, bsolo-mis, pbs-like, milp) instead of a single \
+     engine; see $(b,--jobs) for parallelism.  $(b,--engine) and $(b,--lb) are ignored."
+  in
+  Arg.(value & flag & info [ "portfolio" ] ~doc)
+
+let jobs_arg =
+  let doc =
+    "With $(b,--portfolio): number of worker domains.  Defaults to the number of cores \
+     (Domain.recommended_domain_count); $(b,--jobs 1) runs the members sequentially under \
+     split time slices."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let verify_arg =
   let doc = "Independently re-check the reported model and cost." in
   Arg.(value & flag & info [ "verify" ] ~doc)
@@ -325,13 +374,13 @@ let inspect_bench path json =
   Printf.printf "== %s (bench regression report) ==\n" path;
   let rev = Option.bind (Inspect.Json.member "rev" json) Inspect.Json.to_string_opt in
   Printf.printf "rev=%s\n\n" (Option.value ~default:"?" rev);
-  Printf.printf "%-28s %-8s %-14s %10s %10s %10s %10s\n" "instance" "solver" "status" "cost"
-    "elapsed" "nodes" "conflicts";
+  Printf.printf "%-28s %-12s %-14s %10s %10s %10s %10s %8s\n" "instance" "solver" "status"
+    "cost" "elapsed" "nodes" "conflicts" "imports";
   List.iter
     (fun (r : Inspect.Bench.row) ->
-      Printf.printf "%-28s %-8s %-14s %10s %10.3f %10d %10d\n" r.name r.solver r.status
+      Printf.printf "%-28s %-12s %-14s %10s %10.3f %10d %10d %8d\n" r.name r.solver r.status
         (match r.cost with None -> "-" | Some c -> string_of_int c)
-        r.elapsed r.nodes r.conflicts)
+        r.elapsed r.nodes r.conflicts r.imports)
     (Inspect.Bench.rows_of_json json);
   print_newline ()
 
@@ -403,8 +452,9 @@ let inspect_cmd =
 let solve_term =
   Term.(
     const solve_file $ file_arg $ engine_arg $ lb_arg $ time_arg $ conflict_arg $ no_cuts_arg
-    $ no_lp_branching_arg $ no_preprocess_arg $ cold_lpr_arg $ no_adaptive_lb_arg $ verify_arg
-    $ verbose_arg $ stats_arg $ trace_arg $ json_arg $ progress_arg)
+    $ no_lp_branching_arg $ no_preprocess_arg $ cold_lpr_arg $ no_adaptive_lb_arg
+    $ portfolio_arg $ jobs_arg $ verify_arg $ verbose_arg $ stats_arg $ trace_arg $ json_arg
+    $ progress_arg)
 
 let cmd =
   let doc = "pseudo-Boolean optimizer with lower bounding (bsolo reproduction)" in

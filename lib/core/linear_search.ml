@@ -17,6 +17,8 @@ type state = {
   satisfaction : bool;
   mutable upper : int;
   mutable best : (Model.t * int) option;
+  imports : Telemetry.Counter.t;  (* external incumbents that tightened [upper] *)
+  mutable imported : bool;
   mutable max_learned : int;
   mutable restart_budget : int;
   mutable conflicts_since_restart : int;
@@ -28,9 +30,10 @@ type state = {
 
 let out_of_budget st =
   let stats = Core.stats st.engine in
-  (match st.options.conflict_limit with
-  | Some l -> Telemetry.Counter.get stats.conflicts >= l
-  | None -> false)
+  Core.interrupted st.engine
+  || (match st.options.conflict_limit with
+     | Some l -> Telemetry.Counter.get stats.conflicts >= l
+     | None -> false)
   || (match st.deadline with Some d -> Unix.gettimeofday () > d | None -> false)
 
 (* Galena-flavoured learning.  The primary mechanism is cutting-planes
@@ -85,12 +88,46 @@ let maybe_restart st =
 
 let record_model st =
   let cost = Core.path_cost st.engine in
-  if st.best = None || cost < st.upper then begin
-    st.upper <- cost;
-    st.best <- Some (Core.model st.engine, cost + st.offset);
+  let improves =
+    match st.best with None -> true | Some (_, c) -> cost + st.offset < c
+  in
+  if improves then begin
+    (* An imported external bound may already sit below this model's cost;
+       never loosen [upper], it backs the blocking cuts. *)
+    if cost < st.upper then st.upper <- cost;
+    let m = Core.model st.engine in
+    st.best <- Some (m, cost + st.offset);
     Telemetry.Trace.incumbent st.tel.trace ~cost:(cost + st.offset)
-      ~conflicts:(Telemetry.Counter.get (Core.stats st.engine).Core.conflicts)
+      ~conflicts:(Telemetry.Counter.get (Core.stats st.engine).Core.conflicts);
+    match st.options.on_incumbent with
+    | Some broadcast -> broadcast m (cost + st.offset)
+    | None -> ()
   end
+
+(* Shared-incumbent import (parallel portfolio): adopt an externally found
+   upper bound and immediately block it with the eq. (10) cut, exactly as
+   if the model had been found locally — linear search prunes through the
+   constraint store, not through bound conflicts. *)
+let poll_external st =
+  match st.options.external_incumbent with
+  | None -> `Continue
+  | Some hook ->
+    (match hook () with
+    | Some ext when ext - st.offset < st.upper ->
+      st.upper <- ext - st.offset;
+      st.imported <- true;
+      Telemetry.Counter.incr st.imports;
+      (match Knapsack.upper_cut (Core.problem st.engine) ~upper:st.upper with
+      | Constr.Trivial_false -> `Stop
+      | Constr.Trivial_true -> `Continue
+      | Constr.Constr c ->
+        (match Core.add_constraint_dynamic st.engine c with
+        | None -> `Continue
+        | Some ci ->
+          (match Core.resolve_conflict st.engine ci with
+          | Core.Root_conflict -> `Stop
+          | Core.Backjump _ -> `Continue)))
+    | Some _ | None -> `Continue)
 
 (* Require the next solution to improve on the incumbent: the constraint
    of eq. (10), which is also PBS's blocking mechanism. *)
@@ -113,6 +150,7 @@ let block_incumbent st =
 
 let rec search st =
   if out_of_budget st then Out_of_budget
+  else if poll_external st = `Stop then Exhausted
   else begin
     match
       Telemetry.Timer.with_phase st.tel.timer Telemetry.Phase.Propagate (fun () ->
@@ -163,6 +201,7 @@ let solve ?(options = pbs_like) ?(pb_learning = false) ?(cutting_planes = false)
   let start = Unix.gettimeofday () in
   let tel = match options.telemetry with Some t -> t | None -> Telemetry.Ctx.silent () in
   let engine = Core.create ~telemetry:tel problem in
+  Option.iter (Core.set_interrupt engine) options.should_stop;
   let offset = match Problem.objective problem with None -> 0 | Some o -> o.offset in
   let st =
     {
@@ -175,6 +214,8 @@ let solve ?(options = pbs_like) ?(pb_learning = false) ?(cutting_planes = false)
       satisfaction = Problem.is_satisfaction problem;
       upper = Problem.max_cost_sum problem + 1;
       best = None;
+      imports = Telemetry.Registry.counter tel.registry "search.incumbent_imports";
+      imported = false;
       max_learned = 4000;
       restart_budget = 100;
       conflicts_since_restart = 0;
@@ -200,10 +241,16 @@ let solve ?(options = pbs_like) ?(pb_learning = false) ?(cutting_planes = false)
     (Telemetry.Registry.counter tel.registry "search.nodes")
     (Telemetry.Counter.get stats.decisions);
   let counters = Outcome.counters_of_registry tel.registry in
-  let status =
+  let status, proved_lb =
     match verdict, st.best with
-    | Exhausted, Some _ -> if st.satisfaction then Outcome.Satisfiable else Outcome.Optimal
-    | Exhausted, None -> Outcome.Unsatisfiable
-    | Out_of_budget, _ -> Outcome.Unknown
+    | Exhausted, Some _ when st.satisfaction -> Outcome.Satisfiable, None
+    | Exhausted, None when st.satisfaction -> Outcome.Unsatisfiable, None
+    | Exhausted, Some (_, c) ->
+      if c - st.offset <= st.upper then Outcome.Optimal, Some c
+      else Outcome.Unknown, Some (st.upper + st.offset)
+    | Exhausted, None ->
+      if st.imported then Outcome.Unknown, Some (st.upper + st.offset)
+      else Outcome.Unsatisfiable, None
+    | Out_of_budget, _ -> Outcome.Unknown, None
   in
-  { Outcome.status; best = st.best; counters; elapsed = Unix.gettimeofday () -. start }
+  { Outcome.status; best = st.best; proved_lb; counters; elapsed = Unix.gettimeofday () -. start }

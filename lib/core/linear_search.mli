@@ -25,7 +25,13 @@ val solve :
 (** Relevant options: [restarts] (default configuration uses them),
     [reduce_db], and the limits.  Both learning flags default to
     [false] (PBS-like); [~pb_learning:true] is the Galena-like
-    configuration. *)
+    configuration.
+
+    Cooperative hooks ({!Options.t.external_incumbent},
+    {!Options.t.should_stop}, {!Options.t.on_incumbent}) are honoured:
+    an imported external bound is blocked with the eq. (10) cut exactly
+    like a locally found incumbent, improving models are broadcast, and
+    the stop flag aborts the run with [Unknown]. *)
 
 val pbs_like : Options.t
 (** Restarts on, DB reduction on — the baseline configuration used by the

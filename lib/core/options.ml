@@ -22,6 +22,9 @@ type t = {
   node_limit : int option;
   time_limit : float option;
   telemetry : Telemetry.Ctx.t option;
+  external_incumbent : (unit -> int option) option;
+  should_stop : (unit -> bool) option;
+  on_incumbent : (Pbo.Model.t -> int -> unit) option;
 }
 
 let default =
@@ -43,6 +46,9 @@ let default =
     node_limit = None;
     time_limit = None;
     telemetry = None;
+    external_incumbent = None;
+    should_stop = None;
+    on_incumbent = None;
   }
 
 let with_lb m = { default with lb_method = m }

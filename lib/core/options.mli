@@ -45,6 +45,24 @@ type t = {
           lower-bound procedures; [None] (the default) runs with a fresh
           silent context: counters still back the outcome snapshot but no
           timing, trace or progress output is produced *)
+  external_incumbent : (unit -> int option) option;
+      (** cooperative upper-bound import hook (parallel portfolio): polled
+          at a bounded cadence (every search-loop iteration, i.e. every
+          propagation batch); when it returns a cost (offset included)
+          below the driver's current upper bound, the bound is tightened
+          in place so bound conflicts fire earlier.  The hook must be
+          cheap and safe to call from the solving domain (typically an
+          [Atomic.get]).  Counted as [search.incumbent_imports]. *)
+  should_stop : (unit -> bool) option;
+      (** cooperative cancellation hook: polled from the engine's
+          propagation loop at a bounded cadence; once it returns [true]
+          the driver gives up with an [Unknown] outcome (keeping any
+          incumbent found so far).  Must be cheap and domain-safe. *)
+  on_incumbent : (Pbo.Model.t -> int -> unit) option;
+      (** called on every strict improvement of the driver's own
+          incumbent with the model and its cost (offset included) — the
+          broadcast side of the portfolio's shared-incumbent cell.  Runs
+          on the solving domain; must be cheap and domain-safe. *)
 }
 
 val default : t

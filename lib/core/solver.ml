@@ -16,6 +16,8 @@ type search_state = {
   nodes : Telemetry.Counter.t;
   lb_calls : Telemetry.Counter.t;
   lb_skips : Telemetry.Counter.t;  (* evaluations suppressed by the adaptive policy *)
+  imports : Telemetry.Counter.t;  (* external incumbents that tightened [upper] *)
+  mutable imported : bool;  (* an import is (or was) the active upper bound *)
   track : Lowerbound.Track.t;  (* bound-quality instruments for lb_method *)
   mutable lpr_inc : Lowerbound.Lpr.inc option;  (* warm LP state, created lazily *)
   mutable lb_skip : int;  (* adaptive multiplier on lb_every, 1..8 *)
@@ -60,11 +62,27 @@ let lb_compute st =
 
 let out_of_budget st =
   let stats = Core.stats st.engine in
-  (match st.options.conflict_limit with
-  | Some l -> Telemetry.Counter.get stats.conflicts >= l
-  | None -> false)
+  Core.interrupted st.engine
+  || (match st.options.conflict_limit with
+     | Some l -> Telemetry.Counter.get stats.conflicts >= l
+     | None -> false)
   || (match st.options.node_limit with Some l -> Telemetry.Counter.get st.nodes >= l | None -> false)
   || (match st.deadline with Some d -> Unix.gettimeofday () > d | None -> false)
+
+(* Shared-incumbent import (parallel portfolio): adopt an externally found
+   upper bound so the [path + lower >= upper] check prunes against the
+   best cost any worker knows.  The witness model stays with the worker
+   that found it; {!package} accounts for the asymmetry. *)
+let poll_external st =
+  match st.options.external_incumbent with
+  | None -> ()
+  | Some hook ->
+    (match hook () with
+    | Some ext when ext - st.offset < st.upper ->
+      st.upper <- ext - st.offset;
+      st.imported <- true;
+      Telemetry.Counter.incr st.imports
+    | Some _ | None -> ())
 
 let maybe_reduce_db st =
   if st.options.reduce_db && Core.num_learned st.engine > st.max_learned then begin
@@ -196,6 +214,7 @@ let pick_decision st (lower : Lowerbound.Bound.t) =
 let rec search st =
   if out_of_budget st then Out_of_budget
   else begin
+    poll_external st;
     match
       Telemetry.Timer.with_phase st.tel.timer Telemetry.Phase.Propagate (fun () ->
           Core.propagate st.engine)
@@ -225,7 +244,7 @@ let rec search st =
            the evaluations further when configured, and the adaptive
            policy widens the effective interval (up to 8x) while
            evaluations keep failing to prune. *)
-        let eligible = (not st.satisfaction) && st.best <> None in
+        let eligible = (not st.satisfaction) && (st.best <> None || st.imported) in
         let every = st.options.lb_every * st.lb_skip in
         let lower, evaluated =
           if
@@ -319,11 +338,22 @@ and handle_full_assignment st =
 
 let package st verdict =
   let counters = Outcome.counters_of_registry st.tel.registry in
-  let status =
+  let status, proved_lb =
     match verdict, st.best with
-    | Exhausted, Some _ -> if st.satisfaction then Outcome.Satisfiable else Outcome.Optimal
-    | Exhausted, None -> Outcome.Unsatisfiable
-    | Out_of_budget, _ -> Outcome.Unknown
+    | Exhausted, Some _ when st.satisfaction -> Outcome.Satisfiable, None
+    | Exhausted, None when st.satisfaction -> Outcome.Unsatisfiable, None
+    | Exhausted, Some (_, c) ->
+      if c - st.offset <= st.upper then Outcome.Optimal, Some c
+      else
+        (* An imported external bound undercut the local best: the search
+           proved that no solution costs less than [upper], but the model
+           attaining it lives in another worker.  Report the proof, not a
+           false optimum. *)
+        Outcome.Unknown, Some (st.upper + st.offset)
+    | Exhausted, None ->
+      if st.imported then Outcome.Unknown, Some (st.upper + st.offset)
+      else Outcome.Unsatisfiable, None
+    | Out_of_budget, _ -> Outcome.Unknown, None
   in
   Log.info (fun k ->
       k "%s: %d decisions, %d conflicts (%d bound), %d lb calls" (Outcome.status_name status)
@@ -331,6 +361,7 @@ let package st verdict =
   {
     Outcome.status;
     best = st.best;
+    proved_lb;
     counters;
     elapsed = Unix.gettimeofday () -. st.start;
   }
@@ -343,7 +374,16 @@ let solve_with_incumbent_hook ?(options = Options.default) ~on_incumbent problem
         if options.constraint_strengthening then fst (Strengthen.apply problem) else problem)
   in
   let engine = Core.create ~telemetry:tel problem in
+  Option.iter (Core.set_interrupt engine) options.should_stop;
   let offset = match Problem.objective problem with None -> 0 | Some o -> o.offset in
+  let on_incumbent =
+    match options.on_incumbent with
+    | None -> on_incumbent
+    | Some broadcast ->
+      fun m c ->
+        broadcast m c;
+        on_incumbent m c
+  in
   let st =
     {
       engine;
@@ -356,6 +396,8 @@ let solve_with_incumbent_hook ?(options = Options.default) ~on_incumbent problem
       nodes = Telemetry.Registry.counter tel.registry "search.nodes";
       lb_calls = Telemetry.Registry.counter tel.registry "search.lb_calls";
       lb_skips = Telemetry.Registry.counter tel.registry "search.lb_skips";
+      imports = Telemetry.Registry.counter tel.registry "search.incumbent_imports";
+      imported = false;
       lpr_inc = None;
       lb_skip = 1;
       lb_noprune = 0;

@@ -83,6 +83,14 @@ type t = {
   changed_mark : bool array;
   stats : stats;
   tel : Telemetry.Ctx.t;
+  (* Cooperative cancellation: an externally installed check, polled at a
+     bounded cadence inside [propagate] (the engine's innermost batch
+     loop).  Once it returns true the flag latches; drivers read
+     [interrupted] in their budget checks.  Propagation always completes
+     its fixpoint so the engine is never left mid-batch. *)
+  mutable interrupt_check : (unit -> bool) option;
+  mutable interrupted : bool;
+  mutable interrupt_fuel : int;  (* trail pops until the next poll *)
 }
 
 let dummy_lit = Lit.pos 0
@@ -120,6 +128,37 @@ let cost_of_lit t l = t.lit_cost.(Lit.to_index l)
 let stats t = t.stats
 let telemetry t = t.tel
 let trail_epoch t = t.epoch
+
+(* Poll cadence for the cooperative interrupt check: one callback call per
+   this many trail entries processed by [propagate] (and at least one per
+   [propagate] call), so polling cost stays negligible while the latency
+   of observing a stop request stays bounded by one propagation batch. *)
+let interrupt_poll_period = 256
+
+let set_interrupt t check = t.interrupt_check <- Some check
+let interrupted t = t.interrupted
+
+(* Direct (fuel-free) consultation, for wrapping long-running kernels that
+   poll on their own cadence — e.g. the simplex iteration loop during an
+   LPR lower-bound call. *)
+let interrupt_requested t =
+  t.interrupted
+  ||
+  match t.interrupt_check with
+  | Some check when check () ->
+    t.interrupted <- true;
+    true
+  | Some _ | None -> false
+
+let poll_interrupt t =
+  match t.interrupt_check with
+  | None -> ()
+  | Some check ->
+    t.interrupt_fuel <- t.interrupt_fuel - 1;
+    if t.interrupt_fuel <= 0 then begin
+      t.interrupt_fuel <- interrupt_poll_period;
+      if (not t.interrupted) && check () then t.interrupted <- true
+    end
 
 let drain_changed_vars t f =
   Vec.iter
@@ -294,6 +333,7 @@ let propagate t =
   else begin
     let conflict = ref None in
     while !conflict = None && t.qhead < Vec.size t.trail do
+      poll_interrupt t;
       let l = Vec.get t.trail t.qhead in
       t.qhead <- t.qhead + 1;
       let falsified = Lit.negate l in
@@ -739,6 +779,9 @@ let create ?telemetry p =
       changed_mark = Array.make nvars false;
       stats = stats_of_registry tel.Telemetry.Ctx.registry;
       tel;
+      interrupt_check = None;
+      interrupted = false;
+      interrupt_fuel = interrupt_poll_period;
     }
   in
   (match Problem.objective p with

@@ -77,6 +77,28 @@ val propagate : t -> cid option
 (** Runs unit/PB propagation to fixpoint; returns a violated constraint on
     conflict. *)
 
+(** {1 Cooperative cancellation}
+
+    Portfolio workers (and any other embedder) can install an interrupt
+    check that the engine polls from inside {!propagate} at a bounded
+    cadence (every few hundred trail entries, at negligible cost).  Once
+    the check returns [true] the engine latches {!interrupted};
+    propagation still completes its fixpoint, so the trail is never left
+    mid-batch.  Drivers fold {!interrupted} into their budget checks and
+    exit with an [Unknown] outcome. *)
+
+val set_interrupt : t -> (unit -> bool) -> unit
+(** Install (or replace) the cooperative interrupt check. *)
+
+val interrupted : t -> bool
+(** True once an installed interrupt check has returned [true]. *)
+
+val interrupt_requested : t -> bool
+(** Consult the installed check directly (no poll-cadence fuel), latching
+    {!interrupted} when it fires.  For long-running kernels outside the
+    propagation loop that poll on their own cadence — notably the simplex
+    iteration loop behind the LPR lower bound. *)
+
 val analyze : t -> cid -> analysis
 (** First-UIP analysis of a conflicting constraint: learns a clause,
     backjumps and asserts its UIP literal. *)

@@ -332,6 +332,7 @@ module Bench = struct
     lb_calls : int;
     simplex_iters : int;
     warm_hits : int;
+    imports : int;  (** shared-incumbent imports (portfolio rows; 0 otherwise) *)
   }
 
   let row_json (r : row) =
@@ -348,6 +349,7 @@ module Bench = struct
         "lb_calls", Json.Int r.lb_calls;
         "simplex_iters", Json.Int r.simplex_iters;
         "warm_hits", Json.Int r.warm_hits;
+        "imports", Json.Int r.imports;
       ]
 
   let make ~rev ~limit ~scale ~per_family rows =
@@ -381,6 +383,7 @@ module Bench = struct
           lb_calls = i "lb_calls";
           simplex_iters = i "simplex_iters";
           warm_hits = i "warm_hits";
+          imports = i "imports";
         }
 
   let rows_of_json json =

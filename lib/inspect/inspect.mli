@@ -107,6 +107,10 @@ module Bench : sig
     lb_calls : int;
     simplex_iters : int;  (** total simplex pivots, warm + cold ([simplex.iterations]) *)
     warm_hits : int;  (** warm-started LP re-solves ([lpr.warm_hits]) *)
+    imports : int;
+        (** shared-incumbent imports ([portfolio.incumbent_imports]) on
+            portfolio rows; 0 on single-engine rows and in reports written
+            before the field existed *)
   }
 
   val row_json : row -> Json.t

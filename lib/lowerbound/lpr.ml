@@ -42,7 +42,8 @@ let compute engine ~cap =
     let sstats = Simplex.stats () in
     let outcome =
       Telemetry.Timer.with_phase tel.timer Telemetry.Phase.Simplex (fun () ->
-          Simplex.solve ~stats:sstats lp)
+          Simplex.solve ~should_stop:(fun () -> Core.interrupt_requested engine) ~stats:sstats
+            lp)
     in
     Instr.flush_simplex tel.registry sstats;
     let all_cids () = Array.to_list (Array.map (fun (r : Residual.row) -> r.cid) res.rows) in
@@ -200,7 +201,9 @@ let compute_inc inc ~cap =
       let sstats = Simplex.stats () in
       let outcome =
         Telemetry.Timer.with_phase tel.timer Telemetry.Phase.Simplex (fun () ->
-            Simplex.Incremental.reoptimize ~stats:sstats sx)
+            Simplex.Incremental.reoptimize
+              ~should_stop:(fun () -> Core.interrupt_requested inc.engine)
+              ~stats:sstats sx)
       in
       Instr.flush_simplex tel.registry sstats;
       let info = Simplex.Incremental.last_info sx in

@@ -158,19 +158,44 @@ let solve ?(options = Bsolo.Options.default) problem =
   let heap = Heap.create () in
   let best = ref None in
   let upper = ref max_int in
+  let imported = ref false in
   let nodes = ref 0 in
+  let imports_c = Telemetry.Registry.counter tel.registry "search.incumbent_imports" in
   let try_incumbent m =
     if Model.satisfies problem m then begin
       let c = Model.cost problem m in
       if c < !upper then begin
         upper := c;
         best := Some (m, c);
-        Telemetry.Trace.incumbent tel.trace ~cost:c ~conflicts:!nodes
+        Telemetry.Trace.incumbent tel.trace ~cost:c ~conflicts:!nodes;
+        match options.on_incumbent with Some broadcast -> broadcast m c | None -> ()
       end
     end
   in
+  (* Shared-incumbent import (parallel portfolio): milp costs already
+     include the objective offset, so an external cost compares directly
+     against [upper] and tightens the best-bound pruning test. *)
+  let poll_external () =
+    match options.external_incumbent with
+    | None -> ()
+    | Some hook ->
+      (match hook () with
+      | Some ext when ext < !upper ->
+        upper := ext;
+        imported := true;
+        Telemetry.Counter.incr imports_c
+      | Some _ | None -> ())
+  in
   let out_of_budget () =
-    (match options.node_limit with Some l -> !nodes >= l | None -> false)
+    (match options.should_stop with Some stop -> stop () | None -> false)
+    || (match options.node_limit with Some l -> !nodes >= l | None -> false)
+    || (match deadline with Some d -> Unix.gettimeofday () > d | None -> false)
+  in
+  (* Poll point inside the per-node LP: a stop request or an expired
+     deadline truncates the solve (sound — the node is just re-expanded
+     as pruned/budget), so one long LP cannot overrun the budget. *)
+  let lp_should_stop () =
+    (match options.should_stop with Some stop -> stop () | None -> false)
     || (match deadline with Some d -> Unix.gettimeofday () > d | None -> false)
   in
   Heap.push heap { bound = neg_infinity; depth = 0; fixings = [] };
@@ -182,25 +207,27 @@ let solve ?(options = Bsolo.Options.default) problem =
     else begin
       let node = Heap.pop heap in
       incr nodes;
+      poll_external ();
       Telemetry.Counter.incr nodes_c;
       Telemetry.Counter.incr decisions_c;
       Telemetry.Progress.tick tel.progress ~count:!nodes ~render:(fun () ->
           Printf.sprintf "nodes=%d open=%d ub=%s" !nodes heap.Heap.size
             (match !best with None -> "-" | Some (_, c) -> string_of_int c));
-      if !best <> None && int_of_float (ceil (node.bound -. 1e-6)) >= !upper then ()
+      if !upper < max_int && int_of_float (ceil (node.bound -. 1e-6)) >= !upper then ()
       else begin
         Telemetry.Counter.incr lp_calls_c;
         let sstats = Simplex.stats () in
         let lp_outcome =
           Telemetry.Timer.with_phase tel.timer Telemetry.Phase.Simplex (fun () ->
-              Simplex.solve ~max_iters:2000 ~stats:sstats (lp_for relax node.fixings))
+              Simplex.solve ~max_iters:2000 ~should_stop:lp_should_stop ~stats:sstats
+                (lp_for relax node.fixings))
         in
         flush_simplex tel.registry sstats;
         match lp_outcome with
         | Simplex.Infeasible _ -> ()
         | Simplex.Optimal sol ->
           let bound_int = int_of_float (ceil (sol.value +. relax.obj_offset -. 1e-6)) in
-          if !best <> None && bound_int >= !upper then ()
+          if !upper < max_int && bound_int >= !upper then ()
           else begin
             try_incumbent (model_of_rounding sol.x node.fixings relax.nvars);
             match most_fractional sol.x node.fixings relax.nvars with
@@ -230,12 +257,23 @@ let solve ?(options = Bsolo.Options.default) problem =
     end
   done;
   let satisfaction = Problem.is_satisfaction problem in
-  let status =
+  let status, proved_lb =
     match !verdict, !best with
-    | Some `Exhausted, Some _ ->
-      if satisfaction then Bsolo.Outcome.Satisfiable else Bsolo.Outcome.Optimal
-    | Some `Exhausted, None -> Bsolo.Outcome.Unsatisfiable
-    | Some `Budget, _ | None, _ -> Bsolo.Outcome.Unknown
+    | Some `Exhausted, Some _ when satisfaction -> Bsolo.Outcome.Satisfiable, None
+    | Some `Exhausted, None when satisfaction -> Bsolo.Outcome.Unsatisfiable, None
+    | Some `Exhausted, Some (_, c) ->
+      if c <= !upper then Bsolo.Outcome.Optimal, Some c
+      else Bsolo.Outcome.Unknown, Some !upper
+    | Some `Exhausted, None ->
+      if !imported then Bsolo.Outcome.Unknown, Some !upper
+      else Bsolo.Outcome.Unsatisfiable, None
+    | Some `Budget, _ | None, _ -> Bsolo.Outcome.Unknown, None
   in
   let counters = Bsolo.Outcome.counters_of_registry tel.registry in
-  { Bsolo.Outcome.status; best = !best; counters; elapsed = Unix.gettimeofday () -. start }
+  {
+    Bsolo.Outcome.status;
+    best = !best;
+    proved_lb;
+    counters;
+    elapsed = Unix.gettimeofday () -. start;
+  }

@@ -11,4 +11,9 @@ open Pbo
     relaxation carries no information. *)
 
 val solve : ?options:Bsolo.Options.t -> Problem.t -> Bsolo.Outcome.t
-(** Honours [time_limit] and [node_limit]; other options are ignored. *)
+(** Honours [time_limit] and [node_limit], plus the cooperative portfolio
+    hooks: [external_incumbent] is polled once per node and tightens the
+    best-bound pruning test (costs compare offset-included, directly),
+    [should_stop] is checked in the budget test, and [on_incumbent] is
+    called on every improving rounded model.  Other options are
+    ignored. *)

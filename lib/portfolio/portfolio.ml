@@ -2,17 +2,15 @@ open Pbo
 
 type entry = {
   pname : string;
-  psolve : time_limit:float -> Problem.t -> Bsolo.Outcome.t;
+  psolve : options:Bsolo.Options.t -> Problem.t -> Bsolo.Outcome.t;
 }
 
 let bsolo_entry name lb =
   {
     pname = name;
     psolve =
-      (fun ~time_limit problem ->
-        Bsolo.Solver.solve
-          ~options:{ (Bsolo.Options.with_lb lb) with time_limit = Some time_limit }
-          problem);
+      (fun ~options problem ->
+        Bsolo.Solver.solve ~options:{ options with lb_method = lb } problem);
   }
 
 let default_entries =
@@ -22,18 +20,14 @@ let default_entries =
     {
       pname = "pbs-like";
       psolve =
-        (fun ~time_limit problem ->
+        (fun ~options problem ->
           Bsolo.Linear_search.solve
-            ~options:{ Bsolo.Linear_search.pbs_like with time_limit = Some time_limit }
+            ~options:{ options with lb_method = Bsolo.Options.Plain; restarts = true }
             problem);
     };
     {
       pname = "milp";
-      psolve =
-        (fun ~time_limit problem ->
-          Milp.Branch_and_bound.solve
-            ~options:{ Bsolo.Options.default with time_limit = Some time_limit }
-            problem);
+      psolve = (fun ~options problem -> Milp.Branch_and_bound.solve ~options problem);
     };
   ]
 
@@ -41,6 +35,7 @@ type report = {
   winner : string;
   outcome : Bsolo.Outcome.t;
   runs : (string * Bsolo.Outcome.t) list;
+  failures : (string * string) list;
   disagreement : string option;
 }
 
@@ -49,16 +44,27 @@ let proved (o : Bsolo.Outcome.t) =
   | Bsolo.Outcome.Optimal | Bsolo.Outcome.Satisfiable | Bsolo.Outcome.Unsatisfiable -> true
   | Bsolo.Outcome.Unknown -> false
 
-(* Ranking: proved beats unproved; then lower cost; then earlier entry. *)
+(* Completed proofs first (an optimum or unsatisfiability closes the
+   search space), then a proved-feasible result, then anytime bounds.  A
+   worker that merely found a model must never outrank one that finished
+   a proof. *)
+let rank (o : Bsolo.Outcome.t) =
+  match o.status with
+  | Bsolo.Outcome.Optimal | Bsolo.Outcome.Unsatisfiable -> 0
+  | Bsolo.Outcome.Satisfiable -> 1
+  | Bsolo.Outcome.Unknown -> 2
+
+(* Ranking: lower rank beats higher; within a rank, lower cost; ties keep
+   the earlier entry (callers fold in entry order), so the reported
+   winner is deterministic regardless of parallel finish order. *)
 let better (a : Bsolo.Outcome.t) (b : Bsolo.Outcome.t) =
-  match proved a, proved b with
-  | true, false -> true
-  | false, true -> false
-  | true, true | false, false ->
-    (match Bsolo.Outcome.best_cost a, Bsolo.Outcome.best_cost b with
-    | Some ca, Some cb -> ca < cb
-    | Some _, None -> true
-    | None, (Some _ | None) -> false)
+  rank a < rank b
+  || (rank a = rank b
+     &&
+     match Bsolo.Outcome.best_cost a, Bsolo.Outcome.best_cost b with
+     | Some ca, Some cb -> ca < cb
+     | Some _, None -> true
+     | None, (Some _ | None) -> false)
 
 (* Per-member attribution: after each member run, its outcome counters
    and elapsed time land in the shared registry under
@@ -84,41 +90,261 @@ let attribute tel name (o : Bsolo.Outcome.t) =
       "seconds", Telemetry.Json.Float o.elapsed;
     ]
 
-let solve ?telemetry ?(entries = default_entries) ~budget problem =
-  let tel = match telemetry with Some t -> t | None -> Telemetry.Ctx.silent () in
-  let n = max 1 (List.length entries) in
-  let slice = budget /. float_of_int n in
+(* Fold worker-registry snapshots into the parent registry under
+   [portfolio.<name>.<instrument>] — registries are single-domain, so the
+   merge happens strictly after the worker's domain is joined. *)
+let merge_worker_registry tel name (wreg : Telemetry.Registry.t) =
+  let prefix = "portfolio." ^ name ^ "." in
+  List.iter
+    (fun (k, v) ->
+      if v <> 0 then
+        Telemetry.Counter.add
+          (Telemetry.Registry.counter tel.Telemetry.Ctx.registry (prefix ^ k))
+          v)
+    (Telemetry.Registry.counters wreg);
+  List.iter
+    (fun (k, v) -> Telemetry.Gauge.set (Telemetry.Registry.gauge tel.registry (prefix ^ k)) v)
+    (Telemetry.Registry.gauges wreg)
+
+let pick_winner runs =
+  match runs with
+  | [] -> invalid_arg "Portfolio.solve: no entries"
+  | (name0, o0) :: rest ->
+    List.fold_left
+      (fun (wn, wo) (name, o) -> if better o wo then name, o else wn, wo)
+      (name0, o0) rest
+
+let check_disagreement problem runs winner (outcome : Bsolo.Outcome.t) =
+  let check acc (name, o) =
+    match acc with
+    | Some _ -> acc
+    | None ->
+      (match Bsolo.Certify.check_optimal_against problem o ~reference:outcome with
+      | Ok () -> None
+      | Error e -> Some (Printf.sprintf "%s vs %s: %s" name winner e))
+  in
+  List.fold_left check None runs
+
+(* --- sequential portfolio -------------------------------------------------- *)
+
+(* One entry after the other.  An entry's slice is its fair share of the
+   budget *still unspent*, so an early unproved finisher (conflict/node
+   limit, trivial instance) donates its remainder to later entries
+   instead of letting it evaporate. *)
+let solve_sequential tel entries ~budget problem =
   let runs = ref [] in
   let finished = ref false in
+  let spent = ref 0. in
+  let remaining = ref (List.length entries) in
   List.iter
     (fun e ->
       if not !finished then begin
-        Telemetry.Trace.event tel.trace "portfolio_member"
+        let slice = Float.max 0.05 ((budget -. !spent) /. float_of_int (max 1 !remaining)) in
+        Telemetry.Trace.event tel.Telemetry.Ctx.trace "portfolio_member"
           [ "name", Telemetry.Json.String e.pname; "slice", Telemetry.Json.Float slice ];
-        let o = e.psolve ~time_limit:slice problem in
+        let options = { Bsolo.Options.default with time_limit = Some slice } in
+        let o = e.psolve ~options problem in
+        spent := !spent +. o.elapsed;
         attribute tel e.pname o;
         runs := (e.pname, o) :: !runs;
         if proved o then finished := true
-      end)
+      end;
+      decr remaining)
     entries;
-  let runs = List.rev !runs in
-  let winner, outcome =
-    match runs with
-    | [] -> invalid_arg "Portfolio.solve: no entries"
-    | (name0, o0) :: rest ->
-      List.fold_left
-        (fun (wn, wo) (name, o) -> if better o wo then name, o else wn, wo)
-        (name0, o0) rest
-  in
-  let disagreement =
-    let check acc (name, o) =
-      match acc with
-      | Some _ -> acc
-      | None ->
-        (match Bsolo.Certify.check_optimal_against problem o ~reference:outcome with
-        | Ok () -> None
-        | Error e -> Some (Printf.sprintf "%s vs %s: %s" name winner e))
+  List.rev !runs
+
+(* --- parallel portfolio ---------------------------------------------------- *)
+
+(* The shared-incumbent cell: best (cost, model) any worker has found,
+   offset included.  CAS-published so a stale broadcast never overwrites
+   a better one; polled by workers through Options.external_incumbent as
+   a plain Atomic.get. *)
+let rec publish cell cost model =
+  let cur = Atomic.get cell in
+  match cur with
+  | Some (c, _) when c <= cost -> false
+  | Some _ | None ->
+    if Atomic.compare_and_set cell cur (Some (cost, model)) then true
+    else publish cell cost model
+
+type worker_result = {
+  windex : int;  (* entry index, the determinism anchor *)
+  wname : string;
+  wrun : (Bsolo.Outcome.t, string) result;  (* Error = exception barrier *)
+  wregistry : Telemetry.Registry.t;
+  wcancelled : bool;  (* finished unproved after the stop flag was up *)
+}
+
+let solve_parallel tel entries ~jobs ~budget problem =
+  let entries = Array.of_list entries in
+  let n = Array.length entries in
+  let jobs = max 1 (min jobs n) in
+  let start = Unix.gettimeofday () in
+  let deadline = start +. budget in
+  let cell : (int * Model.t) option Atomic.t = Atomic.make None in
+  let stop = Atomic.make false in
+  let broadcasts = Atomic.make 0 in
+  let run_one index =
+    let e = entries.(index) in
+    let wtel =
+      {
+        Telemetry.Ctx.timer = Telemetry.Timer.create ~enabled:false ();
+        registry = Telemetry.Registry.create ();
+        trace = tel.Telemetry.Ctx.trace;
+        progress = Telemetry.Progress.disabled ();
+      }
     in
-    List.fold_left check None runs
+    let options =
+      {
+        Bsolo.Options.default with
+        time_limit = Some (Float.max 0.01 (deadline -. Unix.gettimeofday ()));
+        telemetry = Some wtel;
+        external_incumbent = Some (fun () -> Option.map fst (Atomic.get cell));
+        should_stop = Some (fun () -> Atomic.get stop);
+        on_incumbent =
+          Some
+            (fun m c ->
+              if publish cell c m then Atomic.incr broadcasts);
+      }
+    in
+    let wrun =
+      match e.psolve ~options problem with
+      | o -> Ok o
+      | exception exn -> Error (Printexc.to_string exn)
+    in
+    let stopped_by_peer = Atomic.get stop in
+    (* Raise the stop flag on a completed proof — either a proved status,
+       or an exhausted search under an imported bound that pins the
+       incumbent cell's cost as optimal (the combined proof). *)
+    let self_proof =
+      match wrun with
+      | Error _ -> false
+      | Ok o ->
+        proved o
+        || (match o.proved_lb, Atomic.get cell with
+           | Some f, Some (c, _) -> c <= f
+           | _ -> false)
+    in
+    if self_proof then Atomic.set stop true;
+    {
+      windex = index;
+      wname = e.pname;
+      wrun;
+      wregistry = wtel.registry;
+      wcancelled = stopped_by_peer && not self_proof;
+    }
   in
-  { winner; outcome; runs; disagreement }
+  (* Round-robin entry assignment: worker [w] runs entries w, w+jobs, ...
+     sequentially, each against the shared wall-clock deadline.  With
+     jobs >= n every entry gets its own domain. *)
+  let worker w =
+    List.filter_map
+      (fun i -> if i mod jobs = w then Some (run_one i) else None)
+      (List.init n Fun.id)
+  in
+  let domains = List.init jobs (fun w -> Domain.spawn (fun () -> worker w)) in
+  let results =
+    List.concat_map Domain.join domains
+    |> List.sort (fun a b -> compare a.windex b.windex)
+  in
+  let reg = tel.Telemetry.Ctx.registry in
+  let imports = ref 0 and cancelled = ref 0 in
+  let runs = ref [] and failures = ref [] in
+  List.iter
+    (fun r ->
+      imports :=
+        !imports
+        + Option.value ~default:0
+            (Telemetry.Registry.find_counter r.wregistry "search.incumbent_imports");
+      if r.wcancelled then incr cancelled;
+      match r.wrun with
+      | Ok o ->
+        attribute tel r.wname o;
+        merge_worker_registry tel r.wname r.wregistry;
+        runs := (r.wname, o) :: !runs
+      | Error msg ->
+        Telemetry.Trace.event tel.trace "portfolio_crash"
+          [
+            "name", Telemetry.Json.String r.wname;
+            "error", Telemetry.Json.String msg;
+          ];
+        failures := (r.wname, msg) :: !failures)
+    results;
+  let runs = List.rev !runs and failures = List.rev !failures in
+  Telemetry.Counter.add
+    (Telemetry.Registry.counter reg "portfolio.incumbent_broadcasts")
+    (Atomic.get broadcasts);
+  Telemetry.Counter.add (Telemetry.Registry.counter reg "portfolio.incumbent_imports") !imports;
+  Telemetry.Counter.add (Telemetry.Registry.counter reg "portfolio.cancelled") !cancelled;
+  (* Combined optimality proof: one run exhausted its search under an
+     imported bound f ("no solution costs < f") while the incumbent cell
+     holds a model of cost c <= f found by another run — together that is
+     optimality of c, even though no single worker proved it alone. *)
+  let combined =
+    let floor =
+      List.fold_left
+        (fun acc (_, (o : Bsolo.Outcome.t)) ->
+          match o.proved_lb, acc with
+          | Some f, Some g -> Some (min f g)
+          | Some f, None -> Some f
+          | None, a -> a)
+        None runs
+    in
+    match Atomic.get cell, floor with
+    | Some (c, m), Some f when c <= f -> Some (c, m)
+    | _ -> None
+  in
+  let runs =
+    match combined with
+    | None -> runs
+    | Some (c, m) ->
+      Telemetry.Trace.event tel.trace "portfolio_combined_proof"
+        [ "cost", Telemetry.Json.Int c ];
+      (* Upgrade the run holding the optimal incumbent (or, if its worker
+         crashed after broadcasting, the run that completed the proof)
+         to the Optimal status the runs jointly established. *)
+      let holds_best (_, (o : Bsolo.Outcome.t)) =
+        (not (proved o)) && Bsolo.Outcome.best_cost o = Some c
+      in
+      let proves (_, (o : Bsolo.Outcome.t)) =
+        (not (proved o)) && o.proved_lb <> None
+      in
+      let upgrade (name, (o : Bsolo.Outcome.t)) =
+        ( name,
+          {
+            o with
+            Bsolo.Outcome.status = Bsolo.Outcome.Optimal;
+            best = Some (m, c);
+            proved_lb = Some c;
+          } )
+      in
+      let target =
+        match List.find_opt holds_best runs with
+        | Some r -> Some r
+        | None -> List.find_opt proves runs
+      in
+      (match target with
+      | None -> runs
+      | Some ((tname, _) as t) ->
+        List.map (fun ((name, _) as r) -> if name == tname || name = tname then upgrade t else r) runs)
+  in
+  runs, failures
+
+(* --- entry point ------------------------------------------------------------ *)
+
+let solve ?telemetry ?(entries = default_entries) ?(jobs = 1) ~budget problem =
+  let tel = match telemetry with Some t -> t | None -> Telemetry.Ctx.silent () in
+  if entries = [] then invalid_arg "Portfolio.solve: no entries";
+  let runs, failures =
+    if jobs <= 1 then solve_sequential tel entries ~budget problem, []
+    else solve_parallel tel entries ~jobs ~budget problem
+  in
+  if runs = [] then begin
+    let detail =
+      String.concat "; " (List.map (fun (n, e) -> n ^ ": " ^ e) failures)
+    in
+    invalid_arg ("Portfolio.solve: every entry crashed (" ^ detail ^ ")")
+  end;
+  let winner, outcome = pick_winner runs in
+  let disagreement = check_disagreement problem runs winner outcome in
+  { winner; outcome; runs; failures; disagreement }

@@ -1,14 +1,22 @@
 open Pbo
 
-(** Sequential solver portfolio: run several configurations under a
-    shared time budget, keep the best result, and cross-check agreement
-    with {!Bsolo.Certify}.  Table 1 of the paper is in essence the
-    argument that no single configuration dominates every family — a
-    portfolio is the practical consequence. *)
+(** Solver portfolio: run several configurations under a shared time
+    budget, keep the best result, and cross-check agreement with
+    {!Bsolo.Certify}.  Table 1 of the paper is in essence the argument
+    that no single configuration dominates every family — a portfolio is
+    the practical consequence.
+
+    With [jobs > 1] the entries run on OCaml 5 domains with a shared
+    incumbent cell and cooperative cancellation (see docs/PARALLEL.md);
+    with [jobs = 1] (the default) they run one after another exactly as
+    before. *)
 
 type entry = {
   pname : string;
-  psolve : time_limit:float -> Problem.t -> Bsolo.Outcome.t;
+  psolve : options:Bsolo.Options.t -> Problem.t -> Bsolo.Outcome.t;
+      (** The portfolio supplies [options] carrying the time budget,
+          telemetry context and (in parallel mode) the shared-incumbent
+          hooks; the entry overrides only strategy fields on top. *)
 }
 
 val default_entries : entry list
@@ -19,19 +27,52 @@ type report = {
   winner : string;  (** entry that produced the returned outcome *)
   outcome : Bsolo.Outcome.t;
   runs : (string * Bsolo.Outcome.t) list;  (** everything that was run *)
+  failures : (string * string) list;
+      (** entries whose worker raised, with the exception text — a crash
+          is isolated to its entry, never the whole portfolio *)
   disagreement : string option;
       (** human-readable description if two entries contradicted each
           other — would indicate a solver bug *)
 }
 
+val better : Bsolo.Outcome.t -> Bsolo.Outcome.t -> bool
+(** Result ranking: completed proofs ([Optimal]/[Unsatisfiable]) beat
+    [Satisfiable], which beats [Unknown]; within a rank lower best cost
+    wins.  Not a total order — callers keep the earlier entry on ties,
+    making the winner deterministic regardless of finish order. *)
+
 val solve :
-  ?telemetry:Telemetry.Ctx.t -> ?entries:entry list -> budget:float -> Problem.t -> report
-(** Splits [budget] evenly across the entries and stops early once an
-    entry returns a proved result (optimum or unsatisfiability).  The
-    returned outcome is the best found: proved results beat bounds,
-    lower costs beat higher ones.
+  ?telemetry:Telemetry.Ctx.t ->
+  ?entries:entry list ->
+  ?jobs:int ->
+  budget:float ->
+  Problem.t ->
+  report
+(** Runs the entries under a shared wall-clock [budget] and returns the
+    best outcome: proved results beat bounds, lower costs beat higher
+    ones, ties go to the earlier entry.
+
+    [jobs <= 1] (default): sequential.  Each entry's slice is its fair
+    share of the still-unspent budget, so early finishers donate their
+    remainder to later entries; stops early once an entry returns a
+    proved result.
+
+    [jobs > 1]: each entry runs on its own domain (at most [jobs]
+    domains; extra entries are assigned round-robin), all against the
+    full [budget].  Workers share one incumbent cell — every improving
+    model is CAS-published and imported by the others as an upper bound —
+    and a stop flag raised on the first completed proof.  A run that
+    exhausted its search under an imported bound contributes a proved
+    lower bound ({!Bsolo.Outcome.proved_lb}); combined with the incumbent
+    cell this can establish optimality jointly even when no single worker
+    proved it alone.  An exception in one worker is reported in
+    [failures] and does not abort the others.
 
     When [telemetry] is given, each member run is attributed in the
     shared registry — counters [portfolio.<name>.<counter>] and gauge
     [portfolio.<name>.seconds] — and [portfolio_member] /
-    [portfolio_result] events are traced. *)
+    [portfolio_result] events are traced.  Parallel runs additionally
+    merge each worker's private registry as
+    [portfolio.<name>.<instrument>] and set the portfolio-level counters
+    [portfolio.incumbent_broadcasts], [portfolio.incumbent_imports] and
+    [portfolio.cancelled]. *)

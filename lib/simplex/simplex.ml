@@ -206,11 +206,17 @@ let step st cost ~bland =
     end
   end
 
-let optimize st cost ~max_iters ~iters =
+(* Cooperative stop: [should_stop] is consulted every 64 iterations and
+   exits through the [Iteration_limit] path, so callers inherit the same
+   truncated-bound soundness treatment as a genuine iteration cap. *)
+let stop_poll_mask = 63
+
+let optimize st cost ~max_iters ~iters ~should_stop =
   refresh_reduced_costs st cost;
   let bland_after = max 100 (max_iters / 2) in
   let rec go () =
-    if !iters >= max_iters then Iteration_limit None
+    if !iters >= max_iters || (!iters land stop_poll_mask = stop_poll_mask && should_stop ())
+    then Iteration_limit None
     else begin
       incr iters;
       match step st cost ~bland:(!iters > bland_after) with
@@ -377,12 +383,12 @@ let extract_solution st (p : problem) cost =
 (* Two-phase primal from a fresh state.  On every phase-1 completion the
    artificial columns are pinned to 0 so that a later warm restart never
    re-opens them. *)
-let two_phase st (p : problem) ~max_iters ~iters ~phase1_iters =
+let two_phase st (p : problem) ~max_iters ~iters ~phase1_iters ~should_stop =
   let phase1_cost = Array.make st.ntotal 0. in
   for i = 0 to st.m - 1 do
     phase1_cost.(art_col st i) <- 1.
   done;
-  let r1 = optimize st phase1_cost ~max_iters ~iters in
+  let r1 = optimize st phase1_cost ~max_iters ~iters ~should_stop in
   phase1_iters := !iters;
   match r1 with
   | Iteration_limit _ -> Iteration_limit None
@@ -410,7 +416,7 @@ let two_phase st (p : problem) ~max_iters ~iters ~phase1_iters =
         st.xval.(art_col st i) <- min st.xval.(art_col st i) 0.
       done;
       let cost = phase2_cost_of st p in
-      match optimize st cost ~max_iters ~iters with
+      match optimize st cost ~max_iters ~iters ~should_stop with
       | Iteration_limit _ -> Iteration_limit (safe_dual_bound st cost)
       | Unbounded -> Unbounded
       | Infeasible _ ->
@@ -432,14 +438,16 @@ let flush_stats stats st ~iters ~phase1_iters ~pivots0 ~refresh0 =
     s.pivots <- s.pivots + (st.npivots - pivots0);
     s.refreshes <- s.refreshes + (st.nrefresh - refresh0)
 
-let solve ?(eps = 1e-7) ?max_iters ?stats (p : problem) =
+let never_stop () = false
+
+let solve ?(eps = 1e-7) ?max_iters ?(should_stop = never_stop) ?stats (p : problem) =
   let st = init_state ~eps p in
   let max_iters =
     match max_iters with Some k -> k | None -> default_max_iters ~m:st.m ~n:st.n
   in
   let iters = ref 0 in
   let phase1_iters = ref 0 in
-  let result = two_phase st p ~max_iters ~iters ~phase1_iters in
+  let result = two_phase st p ~max_iters ~iters ~phase1_iters ~should_stop in
   flush_stats stats st ~iters:!iters ~phase1_iters:!phase1_iters ~pivots0:0 ~refresh0:0;
   result
 
@@ -527,9 +535,10 @@ let dual_step st =
     end
   end
 
-let dual_optimize st cost ~max_iters ~iters =
+let dual_optimize st cost ~max_iters ~iters ~should_stop =
   let rec go () =
-    if !iters >= max_iters then `Limit
+    if !iters >= max_iters || (!iters land stop_poll_mask = stop_poll_mask && should_stop ())
+    then `Limit
     else begin
       if st.pivots_since_refresh > 100 then refresh_reduced_costs st cost;
       incr iters;
@@ -651,7 +660,7 @@ module Incremental = struct
     end;
     !ok
 
-  let reoptimize ?max_iters ?stats t =
+  let reoptimize ?max_iters ?(should_stop = never_stop) ?stats t =
     let max_iters =
       match max_iters with
       | Some k -> k
@@ -667,7 +676,7 @@ module Incremental = struct
         let st = t.st in
         let pivots0 = st.npivots and refresh0 = st.nrefresh in
         let r =
-          match dual_optimize st t.cost ~max_iters ~iters with
+          match dual_optimize st t.cost ~max_iters ~iters ~should_stop with
           | `Opt -> extract_solution st t.base t.cost
           | `Infeasible vr ->
             (* Farkas witness: original rows entering row vr of B^-1 *)
@@ -689,7 +698,7 @@ module Incremental = struct
         let st = init_state ~eps:t.eps p in
         t.st <- st;
         t.pivots_at_rebuild <- 0;
-        let r = two_phase st p ~max_iters ~iters ~phase1_iters in
+        let r = two_phase st p ~max_iters ~iters ~phase1_iters ~should_stop in
         (match r with
         | Optimal _ | Infeasible _ -> t.have_basis <- true
         | Unbounded | Iteration_limit _ -> t.have_basis <- false);

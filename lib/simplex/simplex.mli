@@ -73,10 +73,17 @@ val stats : unit -> stats
     calls to accumulate across them; the library itself stays free of
     global state. *)
 
-val solve : ?eps:float -> ?max_iters:int -> ?stats:stats -> problem -> outcome
+val solve :
+  ?eps:float -> ?max_iters:int -> ?should_stop:(unit -> bool) -> ?stats:stats -> problem -> outcome
 (** [eps] defaults to [1e-7]; [max_iters] defaults to
     [200 + 20 * (m + ncols)].  When [stats] is given, the call's work
-    figures are added to it on every exit path. *)
+    figures are added to it on every exit path.
+
+    [should_stop] is polled every 64 iterations; when it fires, the call
+    exits through the {!Iteration_limit} path, so a cancelled solve still
+    reports the safe truncated dual bound when one is available.  This is
+    the cooperative-cancellation poll point for long LP solves (parallel
+    portfolio stop flag, wall-clock deadlines). *)
 
 (** Persistent LP state for sequences of re-solves that differ only in
     column bounds — the B&B lower-bounding workload.  After [fix]/[unfix]
@@ -107,11 +114,13 @@ module Incremental : sig
   val unfix : t -> int -> unit
   (** Restore column [j]'s bounds from the base problem. *)
 
-  val reoptimize : ?max_iters:int -> ?stats:stats -> t -> outcome
+  val reoptimize :
+    ?max_iters:int -> ?should_stop:(unit -> bool) -> ?stats:stats -> t -> outcome
   (** Re-solve under the current bounds.  [Infeasible] witnesses index
       rows of the base problem.  Warm calls that hit the iteration limit
       report [Iteration_limit (Some z)] with the dual objective reached,
-      which is a valid lower bound under the current bounds. *)
+      which is a valid lower bound under the current bounds.
+      [should_stop] is polled as in {!Simplex.solve}. *)
 
   val last_info : t -> info
   (** Telemetry for the most recent [reoptimize] call. *)

@@ -1,7 +1,11 @@
 (** A named integer counter.
 
     Callers bind the counter once (via {!Registry.counter}) and mutate it
-    afterwards, so the hot-path cost of an increment is a single store. *)
+    afterwards, so the hot-path cost of an increment is a single store.
+
+    Domain-safety: single-domain only — increments are unsynchronized
+    read-modify-write; concurrent use loses updates.  Use one counter per
+    worker domain and sum after joining. *)
 
 type t
 

@@ -4,7 +4,13 @@
     travel together.  {!silent} is the default used when the caller asked
     for nothing: counters still accumulate (they back the outcome
     snapshot) but the timer is off, no trace is written and no progress
-    is printed. *)
+    is printed.
+
+    Domain-safety: a context is single-domain except for its trace sink
+    (see {!Trace}).  Parallel portfolio workers each get a private
+    context — own registry, own timer, disabled progress — that may share
+    the parent's mutex-guarded trace; per-worker registries are merged
+    after the domains are joined. *)
 
 type t = {
   timer : Timer.t;

@@ -1,4 +1,7 @@
-(** A named float gauge: last written value wins. *)
+(** A named float gauge: last written value wins.
+
+    Domain-safety: single-domain only (plain unsynchronized mutable
+    state); give each worker domain its own gauge. *)
 
 type t
 

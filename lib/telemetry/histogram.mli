@@ -1,7 +1,10 @@
 (** Power-of-two bucketed histogram over non-negative integers.
 
     Bucket 0 counts values [<= 0]; bucket [i >= 1] counts values [v] with
-    [2^(i-1) <= v < 2^i].  One small int array per histogram. *)
+    [2^(i-1) <= v < 2^i].  One small int array per histogram.
+
+    Domain-safety: single-domain only — observations are unsynchronized
+    array stores; concurrent use loses counts. *)
 
 type t
 

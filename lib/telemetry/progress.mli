@@ -2,7 +2,11 @@
 
     Fires the render callback every [every] units of the driving counter
     (typically conflicts).  The line is built lazily, so a disabled
-    reporter costs one branch per tick. *)
+    reporter costs one branch per tick.
+
+    Domain-safety: single-domain only; in parallel portfolio runs the
+    workers get a disabled reporter (interleaved progress lines from
+    several domains would be useless anyway). *)
 
 type t
 

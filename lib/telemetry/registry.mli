@@ -3,7 +3,13 @@
     Lookups by name happen at instrument-binding time (once per solve or
     per call into a subsystem), never per event: callers hold on to the
     returned handle and mutate it directly.  Requesting the same name
-    twice returns the same instrument. *)
+    twice returns the same instrument.
+
+    Domain-safety: a registry and every instrument bound from it are
+    single-domain — plain mutable state with no synchronization.  Never
+    share one across domains; give each portfolio worker its own registry
+    and merge snapshots after the workers are joined
+    ({!Portfolio.solve} does exactly this). *)
 
 type t
 

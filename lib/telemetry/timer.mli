@@ -4,7 +4,12 @@
     the per-phase totals partition the instrumented span and sum without
     double counting: entering a nested phase pauses the enclosing one.
     When disabled, {!with_phase} costs one load, one branch and the call
-    to [f]. *)
+    to [f].
+
+    Domain-safety: single-domain only — the phase stack is plain mutable
+    state; interleaved enters/exits from two domains corrupt the
+    nesting.  Portfolio workers run with their own (or a disabled)
+    timer. *)
 
 type t
 

@@ -4,13 +4,19 @@
 
      {"t":0.004512,"ev":"decision","level":3,"var":17,"value":true}
 
-   [t] is seconds since the sink was opened. *)
+   [t] is seconds since the sink was opened.
+
+   Unlike the rest of the telemetry layer, the sink is domain-safe: a
+   mutex serializes every line, so portfolio workers on several domains
+   can share one trace file without interleaving corrupt lines.  The lock
+   is uncontended (a single store) in the common single-domain case. *)
 
 type sink = {
   oc : out_channel;
   start : float;
   owned : bool;  (* close_out on [close] *)
   buf : Buffer.t;
+  lock : Mutex.t;
   mutable nevents : int;
 }
 
@@ -19,7 +25,18 @@ type t = { mutable sink : sink option }
 let disabled () = { sink = None }
 
 let of_channel ?(owned = false) oc =
-  { sink = Some { oc; start = Unix.gettimeofday (); owned; buf = Buffer.create 256; nevents = 0 } }
+  {
+    sink =
+      Some
+        {
+          oc;
+          start = Unix.gettimeofday ();
+          owned;
+          buf = Buffer.create 256;
+          lock = Mutex.create ();
+          nevents = 0;
+        };
+  }
 
 let open_file path = of_channel ~owned:true (open_out path)
 let enabled t = t.sink <> None
@@ -28,17 +45,23 @@ let events t = match t.sink with None -> 0 | Some s -> s.nevents
 let flush t =
   match t.sink with
   | None -> ()
-  | Some s -> Stdlib.flush s.oc
+  | Some s ->
+    Mutex.lock s.lock;
+    Stdlib.flush s.oc;
+    Mutex.unlock s.lock
 
 let close t =
   match t.sink with
   | None -> ()
   | Some s ->
+    Mutex.lock s.lock;
     Stdlib.flush s.oc;
     if s.owned then close_out s.oc;
+    Mutex.unlock s.lock;
     t.sink <- None
 
 let write s fields =
+  Mutex.lock s.lock;
   Buffer.clear s.buf;
   let t = Unix.gettimeofday () -. s.start in
   Buffer.add_string s.buf (Printf.sprintf "{\"t\":%.6f" t);
@@ -55,7 +78,8 @@ let write s fields =
   (* Periodic flush keeps a trace readable after an abnormal exit
      (signal, kill, crash) at the cost of one syscall per 64 events; the
      last partial line, if any, is skipped by the inspect reader. *)
-  if s.nevents land 63 = 0 then Stdlib.flush s.oc
+  if s.nevents land 63 = 0 then Stdlib.flush s.oc;
+  Mutex.unlock s.lock
 
 let event t name fields =
   match t.sink with

@@ -6,7 +6,13 @@
     immediate (unboxed) arguments and starts with a match on the sink, so
     a disabled trace costs one branch and allocates nothing.  The sink
     flushes every 64 events, keeping traces parseable (minus at most one
-    partial trailing line) after an abnormal exit. *)
+    partial trailing line) after an abnormal exit.
+
+    Domain-safety: unlike the rest of the telemetry layer, a trace sink
+    MAY be shared across domains — a mutex serializes each emitted line,
+    so parallel portfolio workers writing to one file never interleave
+    corrupt lines.  (Event order across domains is wall-clock arrival
+    order, not per-worker program order.) *)
 
 type t
 

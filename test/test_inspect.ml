@@ -209,6 +209,7 @@ let bench_row name elapsed nodes : Inspect.Bench.row =
     lb_calls = nodes / 3;
     simplex_iters = nodes * 2;
     warm_hits = nodes / 4;
+    imports = 0;
   }
 
 let test_bench_golden () =
@@ -221,7 +222,7 @@ let test_bench_golden () =
      \"scale\":0.25,\"per_family\":2,\"instances\":[{\"name\":\"grout-2-2:1\",\
      \"solver\":\"LPR\",\"status\":\"OPTIMAL\",\"cost\":9,\"elapsed\":0.5,\
      \"nodes\":120,\"conflicts\":60,\"bound_conflicts\":40,\"lb_calls\":40,\
-     \"simplex_iters\":240,\"warm_hits\":30}]}"
+     \"simplex_iters\":240,\"warm_hits\":30,\"imports\":0}]}"
   in
   Alcotest.(check string) "golden serialization" expected (Json.to_string report)
 

@@ -42,15 +42,182 @@ let custom_entries () =
     {
       Portfolio.pname = "only-mis";
       psolve =
-        (fun ~time_limit problem ->
+        (fun ~options problem ->
           Bsolo.Solver.solve
-            ~options:
-              { (Bsolo.Options.with_lb Bsolo.Options.Mis) with time_limit = Some time_limit }
+            ~options:{ options with Bsolo.Options.lb_method = Bsolo.Options.Mis }
             problem);
     }
   in
   let r = Portfolio.solve ~entries:[ entry ] ~budget:5.0 (Gen.covering 2) in
   Alcotest.(check string) "winner" "only-mis" r.winner
+
+(* --- result ranking -------------------------------------------------------- *)
+
+let zero_counters =
+  {
+    Bsolo.Outcome.decisions = 0;
+    propagations = 0;
+    conflicts = 0;
+    bound_conflicts = 0;
+    learned = 0;
+    restarts = 0;
+    lb_calls = 0;
+    nodes = 0;
+  }
+
+let outcome ?best ?proved_lb status =
+  { Bsolo.Outcome.status; best; proved_lb; counters = zero_counters; elapsed = 0.0 }
+
+let better_ranking () =
+  let model =
+    match Bsolo.Exhaustive.optimum (Gen.covering 0) with
+    | Some (m, _) -> m
+    | None -> Alcotest.fail "covering 0 should be satisfiable"
+  in
+  let check msg expected a b =
+    Alcotest.(check bool) msg expected (Portfolio.better a b)
+  in
+  let opt = outcome ~best:(model, 5) Bsolo.Outcome.Optimal in
+  let unsat = outcome Bsolo.Outcome.Unsatisfiable in
+  let sat c = outcome ~best:(model, c) Bsolo.Outcome.Satisfiable in
+  let unk = outcome Bsolo.Outcome.Unknown in
+  (* completed proofs outrank a mere model, whatever its cost *)
+  check "unsat beats sat" true unsat (sat 0);
+  check "optimal beats sat" true opt (sat 0);
+  check "sat does not beat unsat" false (sat 0) unsat;
+  check "sat beats unknown" true (sat 100) unk;
+  check "unknown beats nothing" false unk (sat 100);
+  (* within a rank, lower cost wins; ties keep the earlier entry *)
+  check "cheaper sat wins" true (sat 3) (sat 7);
+  check "costlier sat loses" false (sat 7) (sat 3);
+  check "equal cost is a tie" false (sat 3) (sat 3);
+  check "model beats no model" true (sat 3) (outcome Bsolo.Outcome.Satisfiable)
+
+(* --- sequential time accounting -------------------------------------------- *)
+
+(* An instant unproved finisher must donate its unused slice: with two
+   entries and an 8 s budget the naive split gives each 4 s, but after the
+   first returns in ~0 s the survivor should inherit (almost) the full
+   budget. *)
+let sequential_redistribution () =
+  let seen = ref None in
+  let instant =
+    {
+      Portfolio.pname = "instant";
+      psolve = (fun ~options:_ _ -> outcome Bsolo.Outcome.Unknown);
+    }
+  in
+  let recorder =
+    {
+      Portfolio.pname = "recorder";
+      psolve =
+        (fun ~options _ ->
+          seen := options.Bsolo.Options.time_limit;
+          outcome Bsolo.Outcome.Unknown);
+    }
+  in
+  let r = Portfolio.solve ~entries:[ instant; recorder ] ~budget:8.0 (Gen.covering 1) in
+  Alcotest.(check int) "both ran" 2 (List.length r.runs);
+  match !seen with
+  | None -> Alcotest.fail "recorder saw no time limit"
+  | Some slice ->
+    if slice < 6.0 then
+      Alcotest.failf "unused remainder not redistributed: slice %.2f < 6.0" slice
+
+(* --- parallel portfolio ---------------------------------------------------- *)
+
+(* Same optimum from the parallel portfolio at any width as from the
+   sequential one and from a plain solver call. *)
+let jobs_equivalence =
+  QCheck.Test.make ~count:8 ~name:"jobs {1,2,4} agree with plain solve"
+    QCheck.(int_range 0 40)
+    (fun seed ->
+      let problem = Gen.covering ~nvars:12 ~nclauses:18 seed in
+      let plain = Bsolo.Solver.solve ~options:Bsolo.Options.default problem in
+      let reference = Bsolo.Outcome.best_cost plain in
+      List.for_all
+        (fun jobs ->
+          let r = Portfolio.solve ~jobs ~budget:20.0 problem in
+          if r.failures <> [] then
+            QCheck.Test.fail_reportf "jobs %d: worker crashed: %s" jobs
+              (snd (List.hd r.failures));
+          let cost = Bsolo.Outcome.best_cost r.outcome in
+          if cost <> reference then
+            QCheck.Test.fail_reportf "jobs %d: cost %s <> plain %s" jobs
+              (match cost with Some c -> string_of_int c | None -> "-")
+              (match reference with Some c -> string_of_int c | None -> "-");
+          true)
+        [ 1; 2; 4 ])
+
+(* A broadcast incumbent must actually prune: an oracle entry publishes
+   the known optimum through the shared cell, and the bsolo worker that
+   imports it should search strictly less than it does alone. *)
+let oracle_broadcast_prunes () =
+  let problem = Gen.covering ~nvars:18 ~nclauses:30 5 in
+  let model, opt =
+    match Bsolo.Exhaustive.optimum problem with
+    | Some (m, c) -> m, c
+    | None -> Alcotest.fail "instance should be satisfiable"
+  in
+  let oracle =
+    {
+      Portfolio.pname = "oracle";
+      psolve =
+        (fun ~options _ ->
+          (match options.Bsolo.Options.on_incumbent with
+          | Some publish -> publish model opt
+          | None -> Alcotest.fail "parallel portfolio should install on_incumbent");
+          (* Unknown, not Satisfiable: a proved status would raise the
+             stop flag and cancel the worker under test.  The optimum is
+             then established jointly — the oracle holds the model, the
+             bsolo worker exhausts under the imported bound. *)
+          outcome ~best:(model, opt) Bsolo.Outcome.Unknown);
+    }
+  in
+  let bsolo =
+    {
+      Portfolio.pname = "bsolo";
+      psolve = (fun ~options problem -> Bsolo.Solver.solve ~options problem);
+    }
+  in
+  let tel = Telemetry.Ctx.create ~timing:false () in
+  let r =
+    Portfolio.solve ~telemetry:tel ~entries:[ oracle; bsolo ] ~jobs:2 ~budget:20.0 problem
+  in
+  Alcotest.(check (option string)) "no disagreement" None r.disagreement;
+  Alcotest.(check (option int)) "optimal cost" (Some opt) (Bsolo.Outcome.best_cost r.outcome);
+  let imports =
+    Option.value ~default:0
+      (Telemetry.Registry.find_counter tel.registry "portfolio.incumbent_imports")
+  in
+  if imports < 1 then Alcotest.failf "expected >= 1 incumbent import, got %d" imports;
+  let alone = Bsolo.Solver.solve ~options:Bsolo.Options.default problem in
+  let with_oracle =
+    match List.assoc_opt "bsolo" r.runs with
+    | Some o -> o.Bsolo.Outcome.counters.decisions
+    | None -> Alcotest.fail "bsolo run missing from report"
+  in
+  if with_oracle >= alone.counters.decisions then
+    Alcotest.failf "broadcast did not prune: %d decisions with oracle, %d alone" with_oracle
+      alone.counters.decisions
+
+(* A crashing entry is isolated: reported under [failures], everyone else
+   still runs and the portfolio still proves the optimum. *)
+let crash_isolation () =
+  let boom =
+    { Portfolio.pname = "boom"; psolve = (fun ~options:_ _ -> failwith "kaboom") }
+  in
+  let problem = Gen.covering 2 in
+  let r =
+    Portfolio.solve ~entries:(boom :: Portfolio.default_entries) ~jobs:2 ~budget:20.0 problem
+  in
+  (match List.assoc_opt "boom" r.failures with
+  | Some msg when String.length msg > 0 -> ()
+  | _ -> Alcotest.fail "crash not reported in failures");
+  (match r.outcome.status with
+  | Bsolo.Outcome.Optimal | Bsolo.Outcome.Unsatisfiable -> ()
+  | s -> Alcotest.failf "portfolio did not recover from crash: %s" (Bsolo.Outcome.status_name s));
+  Alcotest.(check (option string)) "no disagreement" None r.disagreement
 
 let suite =
   [
@@ -58,4 +225,9 @@ let suite =
     Alcotest.test_case "agrees with reference" `Slow agrees_with_reference;
     Alcotest.test_case "early stop" `Quick early_stop_on_proof;
     Alcotest.test_case "custom entries" `Quick custom_entries;
+    Alcotest.test_case "better ranking" `Quick better_ranking;
+    Alcotest.test_case "sequential redistribution" `Quick sequential_redistribution;
+    QCheck_alcotest.to_alcotest ~long:true jobs_equivalence;
+    Alcotest.test_case "oracle broadcast prunes" `Slow oracle_broadcast_prunes;
+    Alcotest.test_case "crash isolation" `Slow crash_isolation;
   ]
