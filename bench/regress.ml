@@ -5,7 +5,14 @@
 
      regress.exe [--out FILE] [--baseline FILE] [--limit SECS]
                  [--scale S] [--per-family N] [--threshold FRACTION]
-                 [--portfolio-jobs N] [--report-only] [--rev NAME]
+                 [--portfolio-jobs N] [--proof] [--report-only] [--rev NAME]
+
+   With --proof, every row additionally solves under proof logging, replays
+   the log with the exact checker and records proof_steps / check_ms; a
+   failed check aborts the run (a certified-wrong derivation is a solver
+   bug, not a perf regression).  Baselines written without --proof carry
+   proof_steps = 0 and the comparison skips those columns, exactly like
+   simplex_iters.
 
    Besides the default bsolo-LPR row, each instance gets a
    "<name>:portfolio" row running the parallel portfolio
@@ -21,7 +28,7 @@ let usage () =
   print_endline
     "usage: regress.exe [--out FILE] [--baseline FILE] [--limit SECS] [--scale S]\n\
     \       [--per-family N] [--threshold FRACTION] [--portfolio-jobs N]\n\
-    \       [--report-only] [--rev NAME]"
+    \       [--proof] [--report-only] [--rev NAME]"
 
 let git_rev () =
   match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
@@ -40,6 +47,7 @@ let () =
   let per_family = ref 2 in
   let threshold = ref 0.5 in
   let portfolio_jobs = ref 2 in
+  let with_proof = ref false in
   let report_only = ref false in
   let rev = ref None in
   let rec parse = function
@@ -65,6 +73,9 @@ let () =
     | "--portfolio-jobs" :: v :: rest ->
       portfolio_jobs := int_of_string v;
       parse rest
+    | "--proof" :: rest ->
+      with_proof := true;
+      parse rest
     | "--report-only" :: rest ->
       report_only := true;
       parse rest
@@ -81,7 +92,20 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   let limit = !limit and scale = !scale and per_family = !per_family in
-  let portfolio_jobs = !portfolio_jobs in
+  let portfolio_jobs = !portfolio_jobs and with_proof = !with_proof in
+  (* Replay a just-written proof log with the exact checker; returns the
+     (steps, milliseconds) pair for the row.  An unjustified step means
+     the solver derived something it could not justify — abort loudly. *)
+  let check_proof name problem path =
+    let t0 = Unix.gettimeofday () in
+    match Proof.Check.check_file problem path with
+    | Ok s ->
+      (try Sys.remove path with Sys_error _ -> ());
+      s.Proof.Check.steps, 1000. *. (Unix.gettimeofday () -. t0)
+    | Error msg ->
+      Printf.eprintf "proof check FAILED for %s: %s\n" name msg;
+      exit 2
+  in
   let rev = match !rev with Some r -> r | None -> git_rev () in
   let out = match !out with Some o -> o | None -> Printf.sprintf "BENCH_%s.json" rev in
   let instances = Benchgen.Suite.instances ~scale ~per_family () in
@@ -91,13 +115,24 @@ let () =
     List.concat_map
       (fun (inst : Benchgen.Suite.instance) ->
         let tel = Telemetry.Ctx.create ~timing:true () in
+        let proof_path =
+          if with_proof then Some (Filename.temp_file "bsolo_regress" ".pbp") else None
+        in
+        let psink = Option.map Proof.Sink.open_file proof_path in
         let options =
           { (Bsolo.Options.with_lb Bsolo.Options.Lpr) with
             time_limit = Some limit;
             telemetry = Some tel;
+            proof = Option.map (fun s -> Proof.create s inst.problem) psink;
           }
         in
         let o = Bsolo.Solver.solve ~options inst.problem in
+        Option.iter Proof.Sink.close psink;
+        let proof_steps, check_ms =
+          match proof_path with
+          | None -> 0, 0.
+          | Some path -> check_proof inst.name inst.problem path
+        in
         let c = o.counters in
         let reg_counter name =
           Option.value ~default:0
@@ -117,6 +152,8 @@ let () =
             simplex_iters = reg_counter "simplex.iterations";
             warm_hits = reg_counter "lpr.warm_hits";
             imports = 0;
+            proof_steps;
+            check_ms;
           }
         in
         Printf.printf "  %-28s %-14s %8.3fs %8d nodes\n%!" row.name row.status row.elapsed
@@ -127,11 +164,20 @@ let () =
              winner's own solve time), imports counts shared-incumbent
              imports summed across workers. *)
           let ptel = Telemetry.Ctx.create ~timing:false () in
+          let pproof_path =
+            if with_proof then Some (Filename.temp_file "bsolo_regress" ".pbp") else None
+          in
           let t0 = Unix.gettimeofday () in
           let r =
-            Portfolio.solve ~telemetry:ptel ~jobs:portfolio_jobs ~budget:limit inst.problem
+            Portfolio.solve ~telemetry:ptel ?proof_file:pproof_path ~jobs:portfolio_jobs
+              ~budget:limit inst.problem
           in
           let wall = Unix.gettimeofday () -. t0 in
+          let pproof_steps, pcheck_ms =
+            match pproof_path with
+            | None -> 0, 0.
+            | Some path -> check_proof (inst.name ^ ":portfolio") inst.problem path
+          in
           let pc = r.outcome.counters in
           let preg name =
             Option.value ~default:0
@@ -151,6 +197,8 @@ let () =
               simplex_iters = 0;
               warm_hits = 0;
               imports = preg "portfolio.incumbent_imports";
+              proof_steps = pproof_steps;
+              check_ms = pcheck_ms;
             }
           in
           Printf.printf "  %-28s %-14s %8.3fs %8d imports (winner %s)\n%!" prow.name

@@ -2,9 +2,22 @@
 # Tier-1 smoke check: build, tests, formatting (when ocamlformat is
 # available), and one tiny instrumented solve whose JSONL trace and JSON
 # report are validated.  Exits non-zero on the first failure.
+#
+# With --proof, each smoke instance is additionally solved under
+# certified proof logging and the log replayed through `bsolo
+# checkproof` (including one --portfolio --jobs 2 stitched proof); at
+# least one run must carry certified LPR bound-conflict steps.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+with_proof=0
+for arg in "$@"; do
+  case "$arg" in
+    --proof) with_proof=1 ;;
+    *) echo "usage: smoke.sh [--proof]"; exit 2 ;;
+  esac
+done
 
 echo "== dune build =="
 dune build
@@ -72,5 +85,47 @@ grep -q '^c portfolio: jobs=2' "$tmpdir/pstdout.txt" || {
 grep -q 'portfolio\.incumbent_broadcasts' "$tmpdir/pstderr.txt" || {
   echo "FAIL: portfolio.* counters missing from --stats"; cat "$tmpdir/pstderr.txt"; exit 1;
 }
+
+if [ "$with_proof" = 1 ]; then
+  echo "== proof-checked solves (--proof) =="
+  bsolo=./_build/default/bin/bsolo_main.exe
+  for inst in synth-s1 grout-s1 mcnc-s1 acc-s1; do
+    f=benchmarks/$inst.opb
+    timeout 120 "$bsolo" "$f" --timeout 60 --proof "$tmpdir/$inst.pbp" \
+      >"$tmpdir/$inst.out" 2>&1 || {
+      echo "FAIL: proof-logged solve failed on $inst"; cat "$tmpdir/$inst.out"; exit 1;
+    }
+    "$bsolo" checkproof "$f" "$tmpdir/$inst.pbp" >"$tmpdir/$inst.check" 2>&1 || {
+      echo "FAIL: checkproof rejected $inst"; cat "$tmpdir/$inst.check"; exit 1;
+    }
+    grep -q '^s VERIFIED' "$tmpdir/$inst.check" || {
+      echo "FAIL: no VERIFIED verdict for $inst"; cat "$tmpdir/$inst.check"; exit 1;
+    }
+    echo "$inst: $(grep '^s VERIFIED' "$tmpdir/$inst.check")"
+  done
+  # The default engine lower-bounds with warm-started LPR; at least one
+  # instance must have pruned through certified (b-step) bound conflicts
+  # or the cutting-planes half of the format went untested.
+  grep -hE 'proof: .* [1-9][0-9]* bound,' "$tmpdir"/*.check >/dev/null || {
+    echo "FAIL: no run exercised certified LPR bound-conflict steps";
+    grep -h '^c proof:' "$tmpdir"/*.check; exit 1;
+  }
+
+  echo "== proof-checked parallel portfolio (--jobs 2) =="
+  timeout 120 "$bsolo" benchmarks/synth-s1.opb \
+    --portfolio --jobs 2 --timeout 60 --proof "$tmpdir/portfolio.pbp" \
+    >"$tmpdir/pproof.out" 2>&1 || {
+    echo "FAIL: proof-logged portfolio solve failed"; cat "$tmpdir/pproof.out"; exit 1;
+  }
+  "$bsolo" checkproof benchmarks/synth-s1.opb "$tmpdir/portfolio.pbp" \
+    >"$tmpdir/pproof.check" 2>&1 || {
+    echo "FAIL: checkproof rejected the stitched portfolio proof";
+    cat "$tmpdir/pproof.check"; exit 1;
+  }
+  grep -q '^s VERIFIED' "$tmpdir/pproof.check" || {
+    echo "FAIL: no VERIFIED verdict for the portfolio proof"; cat "$tmpdir/pproof.check"; exit 1;
+  }
+  echo "portfolio: $(grep '^s VERIFIED' "$tmpdir/pproof.check")"
+fi
 
 echo "smoke: OK"

@@ -57,7 +57,7 @@ let fatal msg =
 
 let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching no_preprocess
     cold_lpr no_adaptive_lb portfolio jobs verify verbosity stats trace_file json_file
-    progress_every =
+    proof_file progress_every =
   (match verbosity with
   | [] -> ()
   | [ _ ] ->
@@ -66,13 +66,51 @@ let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching 
   | _ ->
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Debug));
+  (* Only the bsolo branch-and-bound engine (and the portfolio, whose
+     bsolo members log and whose stitcher drops the others) produces
+     derivation steps; a silently step-free "proof" from pbs/galena/milp
+     would be worse than an error. *)
+  (match proof_file with
+  | Some _ when (not portfolio) && engine <> Bsolo_engine ->
+    fatal
+      (Printf.sprintf "--proof is only supported by the bsolo engine and --portfolio (got --engine %s)"
+         (engine_name engine))
+  | Some _ | None -> ());
+  (* Open the sink before parsing so a bad --proof path fails fast.  The
+     portfolio manages its own per-member part sinks and stitches the
+     final file itself, so no sink is opened here in that mode. *)
+  let proof_sink =
+    match proof_file with
+    | Some f when not portfolio -> (
+      try Some (Proof.Sink.open_file f)
+      with Sys_error msg -> fatal ("cannot open proof file: " ^ msg))
+    | Some _ | None -> None
+  in
+  (* A parse abort must not leave a truncated proof log behind: terminate
+     whatever was requested with a well-formed empty derivation and the
+     NONE conclusion, then close (flush) the sink. *)
+  let unsupported msg =
+    (match proof_sink with
+    | Some sink ->
+      Proof.Sink.write sink ("p " ^ Proof.version);
+      Proof.Sink.write sink "f 0";
+      Proof.Sink.write sink "c NONE";
+      Proof.Sink.close sink
+    | None -> (
+      match proof_file with
+      | Some f -> (
+        try
+          let oc = open_out f in
+          Printf.fprintf oc "p %s\nf 0\nc NONE\n" Proof.version;
+          close_out oc
+        with Sys_error _ -> ())
+      | None -> ()));
+    unsupported msg
+  in
   match parse path with
   | exception Pbo.Opb.Parse_error msg -> unsupported msg
   | exception Pbo.Dimacs.Parse_error msg -> unsupported msg
-  | exception Sys_error msg ->
-    Printf.eprintf "c %s\n" msg;
-    print_string "s UNSUPPORTED\n";
-    2
+  | exception Sys_error msg -> unsupported msg
   | problem ->
     Logs.debug (fun m ->
         m "parsed %s: %d vars, %d constraints%s" path (Pbo.Problem.nvars problem)
@@ -102,23 +140,28 @@ let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching 
         Some (Telemetry.Ctx.create ~timing:want_report ?trace ?progress ())
       end
     in
-    (* Keep a trace parseable on abnormal exit: close (flush) the sink
-       from signal handlers and at_exit.  Ctx.close is idempotent, so the
-       normal shutdown path is unaffected. *)
-    (match tel with
-    | Some tel when trace_file <> None ->
-      at_exit (fun () -> Telemetry.Ctx.close tel);
+    (* Keep a trace (and a proof log) parseable on abnormal exit: close
+       (flush) the sinks from signal handlers and at_exit.  Both closes
+       are idempotent, so the normal shutdown path is unaffected. *)
+    let close_sinks () =
+      (match tel with
+      | Some tel when trace_file <> None -> Telemetry.Ctx.close tel
+      | Some _ | None -> ());
+      match proof_sink with Some s -> Proof.Sink.close s | None -> ()
+    in
+    if (Option.is_some tel && trace_file <> None) || Option.is_some proof_sink then begin
+      at_exit close_sinks;
       let close_and_exit n =
         Sys.Signal_handle
           (fun _ ->
-            Telemetry.Ctx.close tel;
+            close_sinks ();
             exit (128 + n))
       in
       List.iter
         (fun (signal, n) ->
           try Sys.set_signal signal (close_and_exit n) with Invalid_argument _ | Sys_error _ -> ())
         [ Sys.sigint, 2; Sys.sigterm, 15; Sys.sighup, 1 ]
-    | Some _ | None -> ());
+    end;
     let options =
       {
         (Bsolo.Options.with_lb lb) with
@@ -131,6 +174,7 @@ let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching 
         lpr_warm = not cold_lpr;
         lb_adaptive = not no_adaptive_lb;
         telemetry = tel;
+        proof = Option.map (fun s -> Proof.create s problem) proof_sink;
       }
     in
     Logs.debug (fun m ->
@@ -153,7 +197,7 @@ let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching 
         in
         let budget = match time_limit with Some t -> t | None -> infinity in
         Logs.debug (fun m -> m "portfolio: jobs=%d budget=%g" jobs budget);
-        let r = Portfolio.solve ?telemetry:tel ~jobs ~budget problem in
+        let r = Portfolio.solve ?telemetry:tel ?proof_file ~jobs ~budget problem in
         portfolio_run := Some (r, jobs);
         r.outcome
       end
@@ -198,6 +242,13 @@ let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching 
       Printf.printf "v %s\n" (Buffer.contents buf)
     | None -> ());
     Printf.printf "c %s\n" (Format.asprintf "%a" Bsolo.Outcome.pp outcome);
+    (match options.proof, proof_file with
+    | Some logger, Some f ->
+      Proof.Sink.close (Option.get proof_sink);
+      Printf.printf "c proof: %s (%d steps, %d uncertified prunes avoided)\n" f
+        (Proof.steps logger) (Proof.uncertified logger)
+    | _, Some f when portfolio -> Printf.printf "c proof: %s (stitched portfolio log)\n" f
+    | _, _ -> ());
     (match !portfolio_run with
     | None -> ()
     | Some (r, jobs) ->
@@ -341,6 +392,15 @@ let json_arg =
   let doc = "Write a machine-readable run report (see docs/OBSERVABILITY.md) to $(docv)." in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
+let proof_file_arg =
+  let doc =
+    "Stream a certified derivation log (format $(b,bsolo-pbp 1), see docs/PROOFS.md) to \
+     $(docv): RUP steps for learned clauses, explicit multiplier certificates for \
+     bound-based prunes, verified incumbents, and a terminating conclusion.  Re-check with \
+     $(b,bsolo checkproof).  Supported by the bsolo engine and $(b,--portfolio)."
+  in
+  Arg.(value & opt (some string) None & info [ "proof" ] ~docv:"FILE" ~doc)
+
 let progress_arg =
   let doc = "Print a progress line to stderr every $(docv) conflicts (0 disables)." in
   Arg.(value & opt int 0 & info [ "progress" ] ~docv:"N" ~doc)
@@ -354,11 +414,16 @@ let inspect_report path json =
   Printf.printf "== %s ==\n" path;
   (match label "engine", label "instance", label "status" with
   | engine, instance, status ->
-    Printf.printf "engine=%s instance=%s status=%s elapsed=%.3fs\n"
+    let num field =
+      match Option.bind (Inspect.Json.member field json) Inspect.Json.to_int with
+      | Some v -> string_of_int v
+      | None -> "-"
+    in
+    Printf.printf "engine=%s instance=%s status=%s cost=%s proved_lb=%s elapsed=%.3fs\n"
       (Option.value ~default:"?" engine)
       (Option.value ~default:"?" instance)
       (Option.value ~default:"?" status)
-      (Inspect.elapsed json));
+      (num "cost") (num "proved_lb") (Inspect.elapsed json));
   print_newline ();
   print_endline "per-procedure effectiveness:";
   print_lines (Inspect.render_effectiveness (Inspect.effectiveness json));
@@ -447,6 +512,47 @@ let inspect_cmd =
       const inspect_run $ inspect_files_arg $ diff_flag $ inspect_trace_arg $ threshold_arg
       $ diff_all_arg)
 
+(* --- checkproof subcommand -------------------------------------------------- *)
+
+let checkproof_run problem_path proof_path =
+  let error msg =
+    Printf.eprintf "bsolo checkproof: %s\n" msg;
+    print_string "s NOT VERIFIED\n";
+    2
+  in
+  match parse problem_path with
+  | exception Pbo.Opb.Parse_error msg -> error ("parse error: " ^ msg)
+  | exception Pbo.Dimacs.Parse_error msg -> error ("parse error: " ^ msg)
+  | exception Sys_error msg -> error msg
+  | problem -> (
+    match Proof.Check.check_file problem proof_path with
+    | exception Sys_error msg -> error msg
+    | Error msg ->
+      Printf.printf "c %s\n" msg;
+      print_string "s NOT VERIFIED\n";
+      1
+    | Ok s ->
+      Printf.printf
+        "c proof: %d steps (%d rup, %d bound, %d farkas, %d solutions, %d imports, %d cuts)\n"
+        s.Proof.Check.steps s.rup s.bound s.farkas s.solutions s.imports s.cuts;
+      (match s.sections with
+      | [] | [ "" ] -> ()
+      | names -> Printf.printf "c sections: %s\n" (String.concat " " names));
+      Printf.printf "s VERIFIED %s\n" s.verdict;
+      0)
+
+let checkproof_cmd =
+  let doc = "replay a --proof log against its instance with exact arithmetic" in
+  let problem_arg =
+    let doc = "OPB/CNF instance the proof was produced from." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"PROBLEM" ~doc)
+  in
+  let proof_arg =
+    let doc = "Proof log written by $(b,--proof)." in
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"PROOF" ~doc)
+  in
+  Cmd.v (Cmd.info "checkproof" ~doc) Term.(const checkproof_run $ problem_arg $ proof_arg)
+
 (* --- entry point ----------------------------------------------------------- *)
 
 let solve_term =
@@ -454,13 +560,13 @@ let solve_term =
     const solve_file $ file_arg $ engine_arg $ lb_arg $ time_arg $ conflict_arg $ no_cuts_arg
     $ no_lp_branching_arg $ no_preprocess_arg $ cold_lpr_arg $ no_adaptive_lb_arg
     $ portfolio_arg $ jobs_arg $ verify_arg $ verbose_arg $ stats_arg $ trace_arg $ json_arg
-    $ progress_arg)
+    $ proof_file_arg $ progress_arg)
 
 let cmd =
   let doc = "pseudo-Boolean optimizer with lower bounding (bsolo reproduction)" in
   let info = Cmd.info "bsolo" ~version:"1.0.0" ~doc in
   let solve_cmd = Cmd.v (Cmd.info "solve" ~doc:"solve an OPB/CNF instance (default)") solve_term in
-  Cmd.group ~default:solve_term info [ solve_cmd; inspect_cmd ]
+  Cmd.group ~default:solve_term info [ solve_cmd; inspect_cmd; checkproof_cmd ]
 
 (* Backward compatibility: `bsolo FILE [flags]` predates the subcommand
    group, so a first argument that is not a command name is routed to the
@@ -469,7 +575,7 @@ let argv =
   let argv = Sys.argv in
   if Array.length argv > 1 then begin
     match argv.(1) with
-    | "inspect" | "solve" -> argv
+    | "inspect" | "solve" | "checkproof" -> argv
     | s when String.length s > 0 && s.[0] = '-' -> argv
     | _ -> Array.concat [ [| argv.(0); "solve" |]; Array.sub argv 1 (Array.length argv - 1) ]
   end

@@ -29,8 +29,8 @@ let min_mandatory_cost p c =
   in
   take (Constr.degree c) 0 sorted
 
-let cardinality_inferences p ~upper =
-  let infer c =
+let cardinality_inferences_cids p ~upper =
+  let infer cid c =
     if not (Constr.is_cardinality c) then None
     else begin
       let v = min_mandatory_cost p c in
@@ -44,9 +44,11 @@ let cardinality_inferences p ~upper =
           |> List.map (fun (ct : Problem.cost_term) -> ct.cost, ct.lit)
         in
         match Constr.of_relation raw Constr.Le (upper - 1 - v) with
-        | [ n ] -> Some n
+        | [ n ] -> Some (cid, n)
         | [] | _ :: _ :: _ -> assert false
       end
     end
   in
-  Array.to_list (Problem.constraints p) |> List.filter_map infer
+  Array.to_list (Problem.constraints p) |> List.mapi infer |> List.filter_map Fun.id
+
+let cardinality_inferences p ~upper = List.map snd (cardinality_inferences_cids p ~upper)

@@ -14,3 +14,10 @@ val cardinality_inferences : Problem.t -> upper:int -> Constr.norm list
     [V] = sum of the [U] smallest literal costs within [K], so
     [sum_{j not in K} c_j l_j <= upper - 1 - V].  Only constraints with
     [V > 0] produce a cut. *)
+
+val cardinality_inferences_cids : Problem.t -> upper:int -> (int * Constr.norm) list
+(** As {!cardinality_inferences}, with each cut paired with the index of
+    the cardinality constraint it came from (into [Problem.constraints]) —
+    the reference a proof log's [d] step names so the checker can
+    recompute the same cut.  {!Proof.cardinality_cut} mirrors this
+    computation per constraint. *)

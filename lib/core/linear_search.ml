@@ -113,7 +113,7 @@ let poll_external st =
   | None -> `Continue
   | Some hook ->
     (match hook () with
-    | Some ext when ext - st.offset < st.upper ->
+    | Some (ext, _member) when ext - st.offset < st.upper ->
       st.upper <- ext - st.offset;
       st.imported <- true;
       Telemetry.Counter.incr st.imports;

@@ -22,9 +22,10 @@ type t = {
   node_limit : int option;
   time_limit : float option;
   telemetry : Telemetry.Ctx.t option;
-  external_incumbent : (unit -> int option) option;
+  external_incumbent : (unit -> (int * string) option) option;
   should_stop : (unit -> bool) option;
   on_incumbent : (Pbo.Model.t -> int -> unit) option;
+  proof : Proof.t option;
 }
 
 let default =
@@ -49,6 +50,7 @@ let default =
     external_incumbent = None;
     should_stop = None;
     on_incumbent = None;
+    proof = None;
   }
 
 let with_lb m = { default with lb_method = m }

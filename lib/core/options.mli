@@ -45,14 +45,16 @@ type t = {
           lower-bound procedures; [None] (the default) runs with a fresh
           silent context: counters still back the outcome snapshot but no
           timing, trace or progress output is produced *)
-  external_incumbent : (unit -> int option) option;
+  external_incumbent : (unit -> (int * string) option) option;
       (** cooperative upper-bound import hook (parallel portfolio): polled
           at a bounded cadence (every search-loop iteration, i.e. every
           propagation batch); when it returns a cost (offset included)
-          below the driver's current upper bound, the bound is tightened
-          in place so bound conflicts fire earlier.  The hook must be
-          cheap and safe to call from the solving domain (typically an
-          [Atomic.get]).  Counted as [search.incumbent_imports]. *)
+          below the driver's current upper bound paired with the name of
+          the originating portfolio member, the bound is tightened in
+          place so bound conflicts fire earlier (and the import is
+          attributed in proof logs).  The hook must be cheap and safe to
+          call from the solving domain (typically an [Atomic.get]).
+          Counted as [search.incumbent_imports]. *)
   should_stop : (unit -> bool) option;
       (** cooperative cancellation hook: polled from the engine's
           propagation loop at a bounded cadence; once it returns [true]
@@ -63,6 +65,15 @@ type t = {
           incumbent with the model and its cost (offset included) — the
           broadcast side of the portfolio's shared-incumbent cell.  Runs
           on the solving domain; must be cheap and domain-safe. *)
+  proof : Proof.t option;
+      (** when set, the driver streams a checkable derivation log through
+          this logger: verified solutions, RUP steps for learned clauses,
+          explicit Lagrangian/Farkas justifications for bound conflicts,
+          objective cuts and a terminating conclusion.  Implies
+          [constraint_strengthening = false] (strengthened constraints
+          have no cutting-planes derivation in the log).  In proof mode a
+          bound-based prune whose certificate fails exact validation is
+          skipped rather than logged unsoundly. *)
 }
 
 val default : t

@@ -1,8 +1,11 @@
 open Pbo
 module Core = Engine.Solver_core
 
-let fix_negation engine l =
+let fix_negation ?on_fixed engine l =
   Core.backjump_to engine 0;
+  (* tell the proof logger before the unit is added: clauses learned by
+     the conflict analysis below may resolve against it *)
+  (match on_fixed with Some f -> f (Lit.negate l) | None -> ());
   match Constr.clause [ Lit.negate l ] with
   | Constr.Constr c ->
     (match Core.add_constraint_dynamic engine c with
@@ -15,7 +18,7 @@ let fix_negation engine l =
     | Some ci -> ignore (Core.resolve_conflict engine ci))
   | Constr.Trivial_true | Constr.Trivial_false -> assert false
 
-let probe engine =
+let probe ?on_fixed engine =
   let found = ref 0 in
   (match Core.propagate engine with
   | Some _ -> ()
@@ -31,7 +34,7 @@ let probe engine =
           match Core.propagate engine with
           | Some _ ->
             incr found;
-            fix_negation engine l
+            fix_negation ?on_fixed engine l
           | None -> Core.backjump_to engine 0
         end
       in

@@ -3,8 +3,14 @@
     proves its negation is a necessary assignment, which is then fixed at
     decision level 0. *)
 
-val probe : Engine.Solver_core.t -> int
+val probe : ?on_fixed:(Pbo.Lit.t -> unit) -> Engine.Solver_core.t -> int
 (** Runs one pass of failed-literal probing over all unassigned variables.
     Returns the number of necessary assignments found.  The engine is left
     at decision level 0, propagated to fixpoint; check
-    [Solver_core.root_unsat] afterwards. *)
+    [Solver_core.root_unsat] afterwards.
+
+    [on_fixed] is the proof-logging hook: it is called with each necessary
+    literal just before the corresponding unit clause enters the engine.
+    The unit is derivable by reverse unit propagation (assuming its
+    negation propagates to a conflict — that is exactly how probing found
+    it), so loggers emit it as a RUP step. *)

@@ -15,6 +15,10 @@ let status_json (o : Outcome.t) =
       match Outcome.best_cost o with
       | None -> Json.Null
       | Some c -> Json.Int c );
+    ( "proved_lb",
+      match o.proved_lb with
+      | None -> Json.Null
+      | Some f -> Json.Int f );
     "elapsed", Json.Float o.elapsed;
   ]
 

@@ -78,10 +78,13 @@ let poll_external st =
   | None -> ()
   | Some hook ->
     (match hook () with
-    | Some ext when ext - st.offset < st.upper ->
+    | Some (ext, member) when ext - st.offset < st.upper ->
       st.upper <- ext - st.offset;
       st.imported <- true;
-      Telemetry.Counter.incr st.imports
+      Telemetry.Counter.incr st.imports;
+      (match st.options.proof with
+      | Some proof -> Proof.log_import proof ~cost:ext ~member
+      | None -> ())
     | Some _ | None -> ())
 
 let maybe_reduce_db st =
@@ -124,6 +127,9 @@ let record_incumbent st =
     st.upper <- cost;
     let m = Core.model st.engine in
     st.best <- Some (m, cost + st.offset);
+    (match st.options.proof with
+    | Some proof -> Proof.log_solution proof ~cost:(cost + st.offset) m
+    | None -> ());
     let conflicts = Telemetry.Counter.get (Core.stats st.engine).Core.conflicts in
     Telemetry.Trace.incumbent st.tel.trace ~cost:(cost + st.offset) ~conflicts;
     Lowerbound.Track.gap_sample_now st.track
@@ -142,17 +148,23 @@ let add_incumbent_cuts st =
   Telemetry.Timer.with_phase st.tel.timer Telemetry.Phase.Cut_generation (fun () ->
       let problem = Core.problem st.engine in
       let cuts =
+        (* the knapsack cut (10) needs no proof step: it is exactly the
+           objective cut the checker introduces on its own at every
+           verified solution or import *)
         (if st.options.knapsack_cuts then
-           [ "knapsack", Knapsack.upper_cut problem ~upper:st.upper ]
+           [ "knapsack", None, Knapsack.upper_cut problem ~upper:st.upper ]
          else [])
         @
         if st.options.cardinality_inference then
           List.map
-            (fun c -> "cardinality", c)
-            (Knapsack.cardinality_inferences problem ~upper:st.upper)
+            (fun (cid, c) -> "cardinality", Some cid, c)
+            (Knapsack.cardinality_inferences_cids problem ~upper:st.upper)
         else []
       in
-      let add conflict (kind, norm) =
+      let add conflict (kind, cid, norm) =
+        (match st.options.proof, cid with
+        | Some proof, Some cid -> Proof.log_cardinality_cut proof ~cid
+        | (Some _ | None), _ -> ());
         match norm with
         | Constr.Trivial_true -> conflict
         | Constr.Trivial_false ->
@@ -173,20 +185,20 @@ let add_incumbent_cuts st =
    analysis on it.  With [bound_conflict_learning] off, the explanation
    degenerates to the negated decisions, i.e. chronological
    backtracking. *)
-let handle_bound_conflict st (lower : Lowerbound.Bound.t) =
+let bound_conflict_omega st (lower : Lowerbound.Bound.t) =
+  if st.options.bound_conflict_learning then begin
+    let omega_pp = List.map Lit.negate (Core.true_cost_lits st.engine) in
+    let omega_pl = Lazy.force lower.omega_pl in
+    List.sort_uniq Lit.compare (List.rev_append omega_pp omega_pl)
+  end
+  else List.map Lit.negate (Core.decisions st.engine)
+
+let handle_bound_conflict st (lower : Lowerbound.Bound.t) omega =
   let stats = Core.stats st.engine in
   Telemetry.Counter.incr stats.bound_conflicts;
   let from_level = Core.decision_level st.engine in
   Telemetry.Trace.bound_conflict st.tel.trace ~lb:lower.value ~path:(Core.path_cost st.engine)
     ~upper:st.upper ~level:from_level;
-  let omega =
-    if st.options.bound_conflict_learning then begin
-      let omega_pp = List.map Lit.negate (Core.true_cost_lits st.engine) in
-      let omega_pl = Lazy.force lower.omega_pl in
-      List.sort_uniq Lit.compare (List.rev_append omega_pp omega_pl)
-    end
-    else List.map Lit.negate (Core.decisions st.engine)
-  in
   let analysis =
     Telemetry.Timer.with_phase st.tel.timer Telemetry.Phase.Analyze (fun () ->
         Core.learn_false_clause st.engine omega)
@@ -289,14 +301,35 @@ let rec search st =
             end
           end
         end;
-        if prunes then begin
-          match handle_bound_conflict st lower with
+        let pruning =
+          if not prunes then None
+          else begin
+            let omega = bound_conflict_omega st lower in
+            match st.options.proof with
+            | None -> Some omega
+            | Some proof ->
+              (* only prune on bounds the log can justify: the b step is
+                 validated with exact integer arithmetic before being
+                 written, and a failing certificate downgrades the node
+                 to a plain decision (sound, merely slower) *)
+              if Proof.log_bound_conflict proof ~upper:st.upper ~omega (Lazy.force lower.cert)
+              then Some omega
+              else begin
+                Telemetry.Counter.incr
+                  (Telemetry.Registry.counter st.tel.registry "proof.uncertified_prunes");
+                None
+              end
+          end
+        in
+        match pruning with
+        | Some omega -> begin
+          match handle_bound_conflict st lower omega with
           | Core.Root_conflict -> Exhausted
           | Core.Backjump _ ->
             maybe_progress st;
             search st
         end
-        else begin
+        | None -> begin
           match pick_decision st lower with
           | None ->
             (* no unassigned variable: cannot happen, all_assigned is false *)
@@ -310,7 +343,11 @@ let rec search st =
 
 and handle_full_assignment st =
   if st.satisfaction then begin
-    st.best <- Some (Core.model st.engine, 0);
+    let m = Core.model st.engine in
+    st.best <- Some (m, 0);
+    (match st.options.proof with
+    | Some proof -> Proof.log_solution proof ~cost:0 m
+    | None -> ());
     Exhausted
   end
   else begin
@@ -328,6 +365,12 @@ and handle_full_assignment st =
       (* cuts disabled (or not conflicting): retreat via a bound conflict
          justified by the path alone *)
       let omega = List.map Lit.negate (Core.true_cost_lits st.engine) in
+      (* the clause is RUP against the objective cut the checker holds at
+         the incumbent just logged: all its literals false means every
+         cost literal of the path is true, exceeding upper - 1 *)
+      (match st.options.proof with
+      | Some proof -> Proof.log_learned proof omega
+      | None -> ());
       (match
          Telemetry.Timer.with_phase st.tel.timer Telemetry.Phase.Analyze (fun () ->
              Core.learn_false_clause st.engine omega)
@@ -355,6 +398,29 @@ let package st verdict =
       else Outcome.Unsatisfiable, None
     | Out_of_budget, _ -> Outcome.Unknown, None
   in
+  (match st.options.proof with
+  | None -> ()
+  | Some proof ->
+    (* a closed search always ends on a root contradiction (or a
+       trivially false objective cut, which latches the checker closed
+       on its own); emit the empty-clause step, then the claim *)
+    (match verdict, st.best with
+    | Exhausted, Some _ when st.satisfaction -> ()
+    | Exhausted, _ -> Proof.log_contradiction proof
+    | Out_of_budget, _ -> ());
+    let conclusion =
+      match verdict, st.best with
+      | Exhausted, Some (_, c) when st.satisfaction -> Proof.Sat c
+      | Exhausted, None when st.satisfaction -> Proof.Unsat
+      | Exhausted, Some (_, c) ->
+        if c - st.offset <= st.upper then Proof.Optimal c
+        else Proof.Bounds (st.upper + st.offset, Some c)
+      | Exhausted, None ->
+        if st.imported then Proof.Bounds (st.upper + st.offset, None) else Proof.Unsat
+      | Out_of_budget, Some (_, c) -> Proof.Sat c
+      | Out_of_budget, None -> Proof.No_claim
+    in
+    Proof.log_conclusion proof conclusion);
   Log.info (fun k ->
       k "%s: %d decisions, %d conflicts (%d bound), %d lb calls" (Outcome.status_name status)
         counters.decisions counters.conflicts counters.bound_conflicts counters.lb_calls);
@@ -368,6 +434,14 @@ let package st verdict =
 
 let solve_with_incumbent_hook ?(options = Options.default) ~on_incumbent problem =
   let start = Unix.gettimeofday () in
+  (* strengthened constraints have no cutting-planes derivation in the
+     log, and the checker replays against the input problem's constraint
+     indices: proof mode forces strengthening off *)
+  let options =
+    if Option.is_some options.proof && options.constraint_strengthening then
+      { options with constraint_strengthening = false }
+    else options
+  in
   let tel = match options.telemetry with Some t -> t | None -> Telemetry.Ctx.silent () in
   let problem =
     Telemetry.Timer.with_phase tel.timer Telemetry.Phase.Preprocess (fun () ->
@@ -375,6 +449,9 @@ let solve_with_incumbent_hook ?(options = Options.default) ~on_incumbent problem
   in
   let engine = Core.create ~telemetry:tel problem in
   Option.iter (Core.set_interrupt engine) options.should_stop;
+  (match options.proof with
+  | Some proof -> Core.set_on_learned engine (fun clause -> Proof.log_learned proof clause)
+  | None -> ());
   let offset = match Problem.objective problem with None -> 0 | Some o -> o.offset in
   let on_incumbent =
     match options.on_incumbent with
@@ -416,9 +493,13 @@ let solve_with_incumbent_hook ?(options = Options.default) ~on_incumbent problem
   in
   if Core.root_unsat engine then package st Exhausted
   else begin
-    if options.preprocess then
+    if options.preprocess then begin
+      let on_fixed =
+        Option.map (fun proof l -> Proof.log_learned proof [ l ]) options.proof
+      in
       Telemetry.Timer.with_phase tel.timer Telemetry.Phase.Preprocess (fun () ->
-          ignore (Preprocess.probe engine));
+          ignore (Preprocess.probe ?on_fixed engine))
+    end;
     if Core.root_unsat engine then package st Exhausted
     else begin
       let verdict = search st in

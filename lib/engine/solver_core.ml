@@ -91,6 +91,11 @@ type t = {
   mutable interrupt_check : (unit -> bool) option;
   mutable interrupted : bool;
   mutable interrupt_fuel : int;  (* trail pops until the next poll *)
+  (* Proof logging: called with each learned clause right after it is
+     attached, before the asserting literal is assigned.  The clause is
+     reverse-unit-propagation derivable from the constraints known to
+     the engine at that point. *)
+  mutable on_learned : (Lit.t list -> unit) option;
 }
 
 let dummy_lit = Lit.pos 0
@@ -137,6 +142,7 @@ let interrupt_poll_period = 256
 
 let set_interrupt t check = t.interrupt_check <- Some check
 let interrupted t = t.interrupted
+let set_on_learned t f = t.on_learned <- Some f
 
 (* Direct (fuel-free) consultation, for wrapping long-running kernels that
    poll on their own cadence — e.g. the simplex iteration loop during an
@@ -585,6 +591,7 @@ let analyze_false_clause t lits =
         end
       in
       bump_cla_activity t ci;
+      (match t.on_learned with Some f -> f clause | None -> ());
       assign t asserting (Implied ci)
     | Constr.Trivial_true | Constr.Trivial_false ->
       (* A learned clause with distinct variables and degree 1 is always a
@@ -782,6 +789,7 @@ let create ?telemetry p =
       interrupt_check = None;
       interrupted = false;
       interrupt_fuel = interrupt_poll_period;
+      on_learned = None;
     }
   in
   (match Problem.objective p with

@@ -99,6 +99,13 @@ val interrupt_requested : t -> bool
     propagation loop that poll on their own cadence — notably the simplex
     iteration loop behind the LPR lower bound. *)
 
+val set_on_learned : t -> (Lit.t list -> unit) -> unit
+(** Install a proof-logging hook called with each learned clause right
+    after conflict analysis attaches it (and before the asserting
+    literal is assigned).  Every such clause is derivable by reverse
+    unit propagation from the constraints the engine holds at that
+    point, so a logger can emit it as a RUP step. *)
+
 val analyze : t -> cid -> analysis
 (** First-UIP analysis of a conflicting constraint: learns a clause,
     backjumps and asserts its UIP literal. *)

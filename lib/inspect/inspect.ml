@@ -333,6 +333,8 @@ module Bench = struct
     simplex_iters : int;
     warm_hits : int;
     imports : int;  (** shared-incumbent imports (portfolio rows; 0 otherwise) *)
+    proof_steps : int;  (** derivation steps in the checked proof (0 = no --proof) *)
+    check_ms : float;  (** checkproof replay time in milliseconds *)
   }
 
   let row_json (r : row) =
@@ -350,6 +352,8 @@ module Bench = struct
         "simplex_iters", Json.Int r.simplex_iters;
         "warm_hits", Json.Int r.warm_hits;
         "imports", Json.Int r.imports;
+        "proof_steps", Json.Int r.proof_steps;
+        "check_ms", Json.Float r.check_ms;
       ]
 
   let make ~rev ~limit ~scale ~per_family rows =
@@ -384,6 +388,8 @@ module Bench = struct
           simplex_iters = i "simplex_iters";
           warm_hits = i "warm_hits";
           imports = i "imports";
+          proof_steps = i "proof_steps";
+          check_ms = f "check_ms";
         }
 
   let rows_of_json json =
@@ -438,6 +444,17 @@ module Bench = struct
                  entry ~threshold ~floor:counter_floor (b.name ^ ".simplex_iters")
                    (float_of_int b.simplex_iters)
                    (float_of_int c.simplex_iters);
+               ]
+             else [])
+          (* Same gating for proof metrics: only baselines produced with
+             --proof (non-zero step counts) participate. *)
+          @ (if b.proof_steps > 0 then
+               [
+                 entry ~threshold ~floor:counter_floor (b.name ^ ".proof_steps")
+                   (float_of_int b.proof_steps)
+                   (float_of_int c.proof_steps);
+                 entry ~threshold ~floor:(1000. *. seconds_floor) (b.name ^ ".check_ms")
+                   b.check_ms c.check_ms;
                ]
              else []))
       base_rows

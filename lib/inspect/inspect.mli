@@ -111,6 +111,11 @@ module Bench : sig
         (** shared-incumbent imports ([portfolio.incumbent_imports]) on
             portfolio rows; 0 on single-engine rows and in reports written
             before the field existed *)
+    proof_steps : int;
+        (** derivation steps in the run's checked proof log; 0 when the
+            report was produced without [--proof], which gates the diff
+            exactly like [simplex_iters] *)
+    check_ms : float;  (** [checkproof] replay time in milliseconds *)
   }
 
   val row_json : row -> Json.t

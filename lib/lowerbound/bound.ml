@@ -4,9 +4,10 @@ type t = {
   value : int;
   omega_pl : Lit.t list Lazy.t;
   branch_hint : Lit.var option;
+  cert : Proof.cert Lazy.t;
 }
 
-let none = { value = 0; omega_pl = lazy []; branch_hint = None }
+let none = { value = 0; omega_pl = lazy []; branch_hint = None; cert = lazy Proof.Cert_path }
 
 let trusted_value v =
   let c = int_of_float (ceil (v -. 1e-6)) in

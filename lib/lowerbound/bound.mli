@@ -15,6 +15,15 @@ type t = {
   branch_hint : Lit.var option;
       (** LP-guided branching suggestion: unassigned variable whose LP
           relaxation value is fractional and closest to 0.5 (Section 5). *)
+  cert : Proof.cert Lazy.t;
+      (** multipliers justifying [value] for proof logging: LP duals of
+          the referenced rows (LPR), knapsack-cover critical ratios
+          (MIS), subgradient multipliers (LGR), or the Farkas witness
+          on infeasibility.  [Proof.Cert_path] when no multipliers are
+          available (plain bounds, truncated LP solves) — the logger
+          then falls back to the path-only certificate, and in proof
+          mode an uncertifiable prune is skipped.  Forced only when a
+          bound conflict fires under [--proof]. *)
 }
 
 val none : t

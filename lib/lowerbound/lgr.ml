@@ -76,5 +76,5 @@ let compute ?(iters = 50) engine ~cap =
          |> List.sort_uniq Lit.compare
          |> List.filter keep)
     in
-    { Bound.value; omega_pl; branch_hint = None }
+    { Bound.value; omega_pl; branch_hint = None; cert = lazy (Proof.Cert_bound selected) }
   end

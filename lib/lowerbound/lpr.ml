@@ -56,16 +56,30 @@ let compute engine ~cap =
           (Array.to_list res.rows)
       in
       let cids = List.map (fun (r : Residual.row) -> r.cid) tight in
+      let cert =
+        lazy
+          (let refs = ref [] in
+           Array.iteri
+             (fun i (r : Residual.row) ->
+               if abs_float sol.duals.(i) > 1e-9 then refs := (r.cid, sol.duals.(i)) :: !refs)
+             res.rows;
+           Proof.Cert_bound !refs)
+      in
       {
         Bound.value;
         omega_pl = lazy (omega_of_cids engine cids);
         branch_hint = fractional_hint res sol.x;
+        cert;
       }
     | Simplex.Infeasible witness ->
-      let cids =
-        match witness with [] -> all_cids () | idx -> List.map (fun i -> res.rows.(i).cid) idx
-      in
-      { Bound.value = cap; omega_pl = lazy (omega_of_cids engine cids); branch_hint = None }
+      let refs = List.map (fun (i, m) -> (res.rows.(i).cid, m)) witness in
+      let cids = match refs with [] -> all_cids () | _ -> List.map fst refs in
+      {
+        Bound.value = cap;
+        omega_pl = lazy (omega_of_cids engine cids);
+        branch_hint = None;
+        cert = lazy (Proof.Cert_farkas refs);
+      }
     | Simplex.Iteration_limit (Some z) when Bound.trusted_value (z +. res.obj_offset) > 0 ->
       (* truncated but dual feasible: the dual objective is still a valid
          bound; the explanation must pin the false literals of every row,
@@ -74,6 +88,7 @@ let compute engine ~cap =
         Bound.value = Bound.trusted_value (z +. res.obj_offset);
         omega_pl = lazy (omega_of_cids engine (all_cids ()));
         branch_hint = None;
+        cert = lazy Proof.Cert_path;
       }
     | Simplex.Unbounded | Simplex.Iteration_limit _ -> Bound.none
   end
@@ -86,8 +101,9 @@ type last =
       z : float;  (* LP objective, excluding obj_offset *)
       x : float array;
       tight : Core.cid list;
+      duals : (Core.cid * float) list;  (* non-zero row duals, for proof logging *)
     }
-  | Last_inf of Core.cid list
+  | Last_inf of (Core.cid * float) list  (* Farkas witness rows with multipliers *)
 
 type inc = {
   engine : Core.t;
@@ -152,11 +168,19 @@ let tight_cids (full : Residual.Full.t) (sol : Simplex.solution) =
   done;
   !acc
 
-let bound_of_opt inc (full : Residual.Full.t) ~path ~z ~x ~tight =
+let dual_refs (full : Residual.Full.t) (sol : Simplex.solution) =
+  let acc = ref [] in
+  for i = Array.length full.cids - 1 downto 0 do
+    if abs_float sol.duals.(i) > 1e-9 then acc := (full.cids.(i), sol.duals.(i)) :: !acc
+  done;
+  !acc
+
+let bound_of_opt inc (full : Residual.Full.t) ~path ~z ~x ~tight ~duals =
   {
     Bound.value = Bound.trusted_value (z +. full.obj_offset -. path);
     omega_pl = lazy (omega_of_cids inc.engine tight);
     branch_hint = full_hint full x;
+    cert = lazy (Proof.Cert_bound duals);
   }
 
 (* The cached outcome of the previous solve is still the LP truth when no
@@ -191,10 +215,18 @@ let compute_inc inc ~cap =
       match inc.last with
       | Last_opt o ->
         Telemetry.Trace.simplex tel.trace ~mode:"cache" ~iters:0 ~outcome:"optimal";
-        bound_of_opt inc full ~path ~z:o.z ~x:o.x ~tight:o.tight
-      | Last_inf cids ->
+        bound_of_opt inc full ~path ~z:o.z ~x:o.x ~tight:o.tight ~duals:o.duals
+      | Last_inf refs ->
         Telemetry.Trace.simplex tel.trace ~mode:"cache" ~iters:0 ~outcome:"infeasible";
-        { Bound.value = cap; omega_pl = lazy (omega_of_cids inc.engine cids); branch_hint = None }
+        let cids =
+          match refs with [] -> Array.to_list full.cids | _ -> List.map fst refs
+        in
+        {
+          Bound.value = cap;
+          omega_pl = lazy (omega_of_cids inc.engine cids);
+          branch_hint = None;
+          cert = lazy (Proof.Cert_farkas refs);
+        }
       | Last_none -> assert false
     end
     else begin
@@ -218,17 +250,22 @@ let compute_inc inc ~cap =
       | Simplex.Optimal sol ->
         trace "optimal";
         let tight = tight_cids full sol in
-        inc.last <- Last_opt { z = sol.value; x = sol.x; tight };
-        bound_of_opt inc full ~path ~z:sol.value ~x:sol.x ~tight
+        let duals = dual_refs full sol in
+        inc.last <- Last_opt { z = sol.value; x = sol.x; tight; duals };
+        bound_of_opt inc full ~path ~z:sol.value ~x:sol.x ~tight ~duals
       | Simplex.Infeasible witness ->
         trace "infeasible";
+        let refs = List.map (fun (i, m) -> (full.cids.(i), m)) witness in
         let cids =
-          match witness with
-          | [] -> Array.to_list full.cids
-          | idx -> List.map (fun i -> full.cids.(i)) idx
+          match refs with [] -> Array.to_list full.cids | _ -> List.map fst refs
         in
-        inc.last <- Last_inf cids;
-        { Bound.value = cap; omega_pl = lazy (omega_of_cids inc.engine cids); branch_hint = None }
+        inc.last <- Last_inf refs;
+        {
+          Bound.value = cap;
+          omega_pl = lazy (omega_of_cids inc.engine cids);
+          branch_hint = None;
+          cert = lazy (Proof.Cert_farkas refs);
+        }
       | Simplex.Iteration_limit zo ->
         trace "limit";
         inc.last <- Last_none;
@@ -240,6 +277,7 @@ let compute_inc inc ~cap =
             Bound.value = value;
             omega_pl = lazy (omega_of_cids inc.engine (Array.to_list full.cids));
             branch_hint = None;
+            cert = lazy Proof.Cert_path;
           }
         else Bound.none
       | Simplex.Unbounded ->

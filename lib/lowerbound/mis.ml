@@ -3,43 +3,58 @@ module Core = Engine.Solver_core
 
 (* Fractional knapsack-cover bound for one residual constraint: the LP
    optimum of [min sum cost_l y_l  s.t.  sum a_l y_l >= residual,
-   0 <= y <= 1]. *)
+   0 <= y <= 1].  Also returns the LP dual of the cover row — the
+   cost/weight ratio of the critical (partially taken) item — which is
+   the Lagrangian multiplier certifying the bound in proof logs.
+   Coefficients are strictly positive, so the ratio is well defined. *)
 let contribution engine (a : Core.active) =
   let weighted =
     List.map (fun (w, l) -> float_of_int (Core.cost_of_lit engine l), float_of_int w) a.aterms
   in
   let by_ratio (c1, w1) (c2, w2) = compare (c1 *. w2) (c2 *. w1) in
   let sorted = List.sort by_ratio weighted in
-  let rec take need acc = function
-    | [] -> acc  (* cannot be reached for propagation-consistent states *)
+  let rec take need acc last_mu = function
+    | [] -> acc, last_mu  (* cannot be reached for propagation-consistent states *)
     | (c, w) :: rest ->
-      if need <= 0. then acc
-      else if w >= need then acc +. (c *. need /. w)
-      else take (need -. w) (acc +. c) rest
+      if need <= 0. then acc, last_mu
+      else if w >= need then acc +. (c *. need /. w), c /. w
+      else take (need -. w) (acc +. c) (c /. w) rest
   in
-  take (float_of_int a.aresidual) 0. sorted
+  take (float_of_int a.aresidual) 0. 0. sorted
 
 let compute engine =
   let tel = Core.telemetry engine in
   Instr.add tel.Telemetry.Ctx.registry "mis.calls" 1;
   let actives = Core.active_constraints engine in
-  let scored = List.map (fun a -> contribution engine a, a) actives in
-  let positive = List.filter (fun (c, _) -> c > 1e-9) scored in
-  let by_score (c1, _) (c2, _) = compare c2 c1 in
+  let scored =
+    List.map
+      (fun a ->
+        let c, mu = contribution engine a in
+        c, mu, a)
+      actives
+  in
+  let positive = List.filter (fun (c, _, _) -> c > 1e-9) scored in
+  let by_score (c1, _, _) (c2, _, _) = compare c2 c1 in
   let ordered = List.sort by_score positive in
   let used = Hashtbl.create 64 in
   let independent (a : Core.active) =
     List.for_all (fun (_, l) -> not (Hashtbl.mem used (Lit.var l))) a.aterms
   in
-  let select (total, chosen) (c, a) =
+  let select (total, chosen) (c, mu, a) =
     if independent a then begin
       List.iter (fun (_, l) -> Hashtbl.replace used (Lit.var l) ()) a.aterms;
-      total +. c, a.Core.acid :: chosen
+      total +. c, (a.Core.acid, mu) :: chosen
     end
     else total, chosen
   in
   let total, chosen = List.fold_left select (0., []) ordered in
+  let cids = List.map fst chosen in
   let omega_pl =
-    lazy (List.sort_uniq Lit.compare (List.concat_map (Core.false_lits_of engine) chosen))
+    lazy (List.sort_uniq Lit.compare (List.concat_map (Core.false_lits_of engine) cids))
   in
-  { Bound.value = Bound.trusted_value total; omega_pl; branch_hint = None }
+  {
+    Bound.value = Bound.trusted_value total;
+    omega_pl;
+    branch_hint = None;
+    cert = lazy (Proof.Cert_bound chosen);
+  }

@@ -180,7 +180,7 @@ let solve ?(options = Bsolo.Options.default) problem =
     | None -> ()
     | Some hook ->
       (match hook () with
-      | Some ext when ext < !upper ->
+      | Some (ext, _member) when ext < !upper ->
         upper := ext;
         imported := true;
         Telemetry.Counter.incr imports_c

@@ -125,13 +125,111 @@ let check_disagreement problem runs winner (outcome : Bsolo.Outcome.t) =
   in
   List.fold_left check None runs
 
+(* --- proof stitching -------------------------------------------------------- *)
+
+let token s = String.map (fun c -> if c = ' ' || c = '\t' then '-' else c) s
+let part_path base name = base ^ "." ^ token name ^ ".part"
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+(* A member's part joins the stitched log only when it terminates with
+   its section conclusion: a crashed worker or a proof-unaware member
+   (linear search, MILP) leaves an empty or truncated part, which must
+   not invalidate the other members' sections. *)
+let concluded_part lines =
+  let last =
+    List.fold_left (fun acc l -> if String.trim l = "" then acc else Some l) None lines
+  in
+  match last with
+  | Some l -> String.length l >= 2 && String.sub l 0 2 = "c "
+  | None -> false
+
+(* The final claim mirrors exactly what the checker recomputes from the
+   stitched sections: the best witnessed cost, the best lower bound among
+   closed sections, and whether any section certified unsatisfiability.
+   Claiming more would make checkproof reject the log. *)
+let stitched_claim included =
+  let best_witness =
+    List.fold_left
+      (fun acc (_, o) ->
+        match Bsolo.Outcome.best_cost o, acc with
+        | Some c, Some b -> Some (min b c)
+        | Some c, None -> Some c
+        | None, a -> a)
+      None included
+  in
+  let best_lb =
+    List.fold_left
+      (fun acc (_, (o : Bsolo.Outcome.t)) ->
+        match o.proved_lb, acc with
+        | Some f, Some g -> Some (max f g)
+        | Some f, None -> Some f
+        | None, a -> a)
+      None included
+  in
+  let any_unsat =
+    List.exists
+      (fun (_, (o : Bsolo.Outcome.t)) -> o.status = Bsolo.Outcome.Unsatisfiable)
+      included
+  in
+  if any_unsat then Proof.Unsat
+  else
+    match best_witness, best_lb with
+    | Some c, Some f when f >= c -> Proof.Optimal c
+    | Some c, Some f -> Proof.Bounds (f, Some c)
+    | Some c, None -> Proof.Sat c
+    | None, Some f -> Proof.Bounds (f, None)
+    | None, None -> Proof.No_claim
+
+let stitch_proof ~base problem names runs =
+  let included = ref [] in
+  let sections = ref [] in
+  List.iter
+    (fun name ->
+      let path = part_path base name in
+      if Sys.file_exists path then begin
+        (match read_lines path, List.assoc_opt name runs with
+        | lines, Some o when concluded_part lines ->
+          sections := (name, lines) :: !sections;
+          included := (name, o) :: !included
+        | _, (Some _ | None) -> ());
+        try Sys.remove path with Sys_error _ -> ()
+      end)
+    names;
+  let sections = List.rev !sections and included = List.rev !included in
+  let oc = open_out base in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "p %s\n" Proof.version;
+      Printf.fprintf oc "f %d\n" (Array.length (Problem.constraints problem));
+      if sections = [] then output_string oc "c NONE\n"
+      else begin
+        List.iter
+          (fun (name, lines) ->
+            Printf.fprintf oc "m %s\n" (token name);
+            List.iter (fun l -> Printf.fprintf oc "%s\n" l) lines)
+          sections;
+        Printf.fprintf oc "F %s\n" (Proof.conclusion_to_string (stitched_claim included))
+      end)
+
 (* --- sequential portfolio -------------------------------------------------- *)
 
 (* One entry after the other.  An entry's slice is its fair share of the
    budget *still unspent*, so an early unproved finisher (conflict/node
    limit, trivial instance) donates its remainder to later entries
    instead of letting it evaporate. *)
-let solve_sequential tel entries ~budget problem =
+let solve_sequential tel entries ~budget ~proof_file problem =
   let runs = ref [] in
   let finished = ref false in
   let spent = ref 0. in
@@ -142,8 +240,18 @@ let solve_sequential tel entries ~budget problem =
         let slice = Float.max 0.05 ((budget -. !spent) /. float_of_int (max 1 !remaining)) in
         Telemetry.Trace.event tel.Telemetry.Ctx.trace "portfolio_member"
           [ "name", Telemetry.Json.String e.pname; "slice", Telemetry.Json.Float slice ];
-        let options = { Bsolo.Options.default with time_limit = Some slice } in
+        let psink =
+          Option.map (fun base -> Proof.Sink.open_file (part_path base e.pname)) proof_file
+        in
+        let options =
+          {
+            Bsolo.Options.default with
+            time_limit = Some slice;
+            proof = Option.map (fun s -> Proof.create ~header:false s problem) psink;
+          }
+        in
         let o = e.psolve ~options problem in
+        Option.iter Proof.Sink.close psink;
         spent := !spent +. o.elapsed;
         attribute tel e.pname o;
         runs := (e.pname, o) :: !runs;
@@ -151,21 +259,26 @@ let solve_sequential tel entries ~budget problem =
       end;
       decr remaining)
     entries;
-  List.rev !runs
+  let runs = List.rev !runs in
+  (match proof_file with
+  | Some base -> stitch_proof ~base problem (List.map (fun e -> e.pname) entries) runs
+  | None -> ());
+  runs
 
 (* --- parallel portfolio ---------------------------------------------------- *)
 
-(* The shared-incumbent cell: best (cost, model) any worker has found,
-   offset included.  CAS-published so a stale broadcast never overwrites
-   a better one; polled by workers through Options.external_incumbent as
-   a plain Atomic.get. *)
-let rec publish cell cost model =
+(* The shared-incumbent cell: best (cost, model, finder) any worker has
+   found, offset included.  CAS-published so a stale broadcast never
+   overwrites a better one; polled by workers through
+   Options.external_incumbent as a plain Atomic.get.  The finder name
+   tags proof-log import steps with the member the bound came from. *)
+let rec publish cell cost model name =
   let cur = Atomic.get cell in
   match cur with
-  | Some (c, _) when c <= cost -> false
+  | Some (c, _, _) when c <= cost -> false
   | Some _ | None ->
-    if Atomic.compare_and_set cell cur (Some (cost, model)) then true
-    else publish cell cost model
+    if Atomic.compare_and_set cell cur (Some (cost, model, name)) then true
+    else publish cell cost model name
 
 type worker_result = {
   windex : int;  (* entry index, the determinism anchor *)
@@ -175,13 +288,13 @@ type worker_result = {
   wcancelled : bool;  (* finished unproved after the stop flag was up *)
 }
 
-let solve_parallel tel entries ~jobs ~budget problem =
+let solve_parallel tel entries ~jobs ~budget ~proof_file problem =
   let entries = Array.of_list entries in
   let n = Array.length entries in
   let jobs = max 1 (min jobs n) in
   let start = Unix.gettimeofday () in
   let deadline = start +. budget in
-  let cell : (int * Model.t) option Atomic.t = Atomic.make None in
+  let cell : (int * Model.t * string) option Atomic.t = Atomic.make None in
   let stop = Atomic.make false in
   let broadcasts = Atomic.make 0 in
   let run_one index =
@@ -194,17 +307,24 @@ let solve_parallel tel entries ~jobs ~budget problem =
         progress = Telemetry.Progress.disabled ();
       }
     in
+    let psink =
+      Option.map (fun base -> Proof.Sink.open_file (part_path base e.pname)) proof_file
+    in
     let options =
       {
         Bsolo.Options.default with
         time_limit = Some (Float.max 0.01 (deadline -. Unix.gettimeofday ()));
         telemetry = Some wtel;
-        external_incumbent = Some (fun () -> Option.map fst (Atomic.get cell));
+        external_incumbent =
+          Some
+            (fun () ->
+              Option.map (fun (c, _, finder) -> c, finder) (Atomic.get cell));
         should_stop = Some (fun () -> Atomic.get stop);
         on_incumbent =
           Some
             (fun m c ->
-              if publish cell c m then Atomic.incr broadcasts);
+              if publish cell c m e.pname then Atomic.incr broadcasts);
+        proof = Option.map (fun s -> Proof.create ~header:false s problem) psink;
       }
     in
     let wrun =
@@ -212,6 +332,7 @@ let solve_parallel tel entries ~jobs ~budget problem =
       | o -> Ok o
       | exception exn -> Error (Printexc.to_string exn)
     in
+    Option.iter Proof.Sink.close psink;
     let stopped_by_peer = Atomic.get stop in
     (* Raise the stop flag on a completed proof — either a proved status,
        or an exhausted search under an imported bound that pins the
@@ -222,7 +343,7 @@ let solve_parallel tel entries ~jobs ~budget problem =
       | Ok o ->
         proved o
         || (match o.proved_lb, Atomic.get cell with
-           | Some f, Some (c, _) -> c <= f
+           | Some f, Some (c, _, _) -> c <= f
            | _ -> false)
     in
     if self_proof then Atomic.set stop true;
@@ -271,6 +392,16 @@ let solve_parallel tel entries ~jobs ~budget problem =
         failures := (r.wname, msg) :: !failures)
     results;
   let runs = List.rev !runs and failures = List.rev !failures in
+  (* Stitch before the combined-proof upgrade: the final [F] claim must be
+     derived from the raw member outcomes — the upgrade rewrites a run to
+     Optimal on the strength of *another* member's witness, a cost the
+     rewritten section never verified, and checkproof would reject it. *)
+  (match proof_file with
+  | Some base ->
+    stitch_proof ~base problem
+      (List.map (fun e -> e.pname) (Array.to_list entries))
+      runs
+  | None -> ());
   Telemetry.Counter.add
     (Telemetry.Registry.counter reg "portfolio.incumbent_broadcasts")
     (Atomic.get broadcasts);
@@ -291,7 +422,7 @@ let solve_parallel tel entries ~jobs ~budget problem =
         None runs
     in
     match Atomic.get cell, floor with
-    | Some (c, m), Some f when c <= f -> Some (c, m)
+    | Some (c, m, _), Some f when c <= f -> Some (c, m)
     | _ -> None
   in
   let runs =
@@ -332,12 +463,12 @@ let solve_parallel tel entries ~jobs ~budget problem =
 
 (* --- entry point ------------------------------------------------------------ *)
 
-let solve ?telemetry ?(entries = default_entries) ?(jobs = 1) ~budget problem =
+let solve ?telemetry ?proof_file ?(entries = default_entries) ?(jobs = 1) ~budget problem =
   let tel = match telemetry with Some t -> t | None -> Telemetry.Ctx.silent () in
   if entries = [] then invalid_arg "Portfolio.solve: no entries";
   let runs, failures =
-    if jobs <= 1 then solve_sequential tel entries ~budget problem, []
-    else solve_parallel tel entries ~jobs ~budget problem
+    if jobs <= 1 then solve_sequential tel entries ~budget ~proof_file problem, []
+    else solve_parallel tel entries ~jobs ~budget ~proof_file problem
   in
   if runs = [] then begin
     let detail =

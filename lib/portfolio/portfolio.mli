@@ -43,6 +43,7 @@ val better : Bsolo.Outcome.t -> Bsolo.Outcome.t -> bool
 
 val solve :
   ?telemetry:Telemetry.Ctx.t ->
+  ?proof_file:string ->
   ?entries:entry list ->
   ?jobs:int ->
   budget:float ->
@@ -75,4 +76,12 @@ val solve :
     merge each worker's private registry as
     [portfolio.<name>.<instrument>] and set the portfolio-level counters
     [portfolio.incumbent_broadcasts], [portfolio.incumbent_imports] and
-    [portfolio.cancelled]. *)
+    [portfolio.cancelled].
+
+    When [proof_file] is given, each proof-logging member streams its
+    derivation into a private [FILE.<member>.part] log; after the join
+    the parts are stitched into [FILE] as [m]-delimited sections with a
+    final [F] claim computed from the raw member outcomes, checkable
+    with [bsolo checkproof].  Members that do not log proofs (linear
+    search, MILP) or crash mid-run leave truncated parts, which are
+    dropped from the stitched log rather than invalidating it. *)

@@ -1,0 +1,851 @@
+open Pbo
+
+let version = "bsolo-pbp 1"
+let denom = 1 lsl 20
+let lit_to_int l = if Lit.is_pos l then Lit.var l + 1 else -(Lit.var l + 1)
+
+let lit_of_int n =
+  if n = 0 then invalid_arg "Proof.lit_of_int";
+  if n > 0 then Lit.pos (n - 1) else Lit.neg (-n - 1)
+
+(* --- exact arithmetic with overflow detection ------------------------------ *)
+
+exception Overflow
+
+let add_exn a b =
+  let s = a + b in
+  if a >= 0 = (b >= 0) && s >= 0 <> (a >= 0) then raise Overflow;
+  s
+
+let mul_exn a b =
+  if a = 0 || b = 0 then 0
+  else begin
+    let p = a * b in
+    if p / b <> a then raise Overflow;
+    p
+  end
+
+(* --- certificates ---------------------------------------------------------- *)
+
+type cert =
+  | Cert_path
+  | Cert_bound of (int * float) list
+  | Cert_farkas of (int * float) list
+
+(* Pin every literal of [omega] false: per variable 0 = free,
+   1 = pinned true, 2 = pinned false.  None when omega is a tautology
+   (both polarities present), which is trivially entailed. *)
+let pinning nvars omega =
+  let pins = Array.make nvars 0 in
+  let tauto = ref false in
+  List.iter
+    (fun l ->
+      let v = Lit.var l in
+      if v >= 0 && v < nvars then begin
+        let want = if Lit.is_pos l then 2 else 1 in
+        if pins.(v) <> 0 && pins.(v) <> want then tauto := true else pins.(v) <- want
+      end)
+    omega;
+  if !tauto then None else Some pins
+
+(* B = sum m_i d_i + sum_v min over rho-allowed values of
+   [denom * gamma(l_x) - sum_i m_i a_i(l_x)], where l_x is the literal
+   of v made true by value x.  This is denom times the Lagrangian
+   L(m/denom) minimized over the box that the pinning allows, hence a
+   valid lower bound on the cost (resp. on constraint surplus when the
+   objective is excluded) of any completion falsifying omega. *)
+let certify_scaled problem ~refs ~omega ~objective ~upper =
+  let nvars = Problem.nvars problem in
+  let constraints = Problem.constraints problem in
+  let n = Array.length constraints in
+  try
+    if List.exists (fun (cid, m) -> cid < 0 || cid >= n || m < 0) refs then raise Exit;
+    match pinning nvars omega with
+    | None -> true
+    | Some pins ->
+      let a = Array.make (2 * nvars) 0 in
+      let base = ref 0 in
+      List.iter
+        (fun (cid, m) ->
+          if m > 0 then begin
+            let c = constraints.(cid) in
+            base := add_exn !base (mul_exn m (Constr.degree c));
+            Array.iter
+              (fun (t : Constr.term) ->
+                let i = Lit.to_index t.lit in
+                a.(i) <- add_exn a.(i) (mul_exn m t.coeff))
+              (Constr.terms c)
+          end)
+        refs;
+      let gamma = Array.make (2 * nvars) 0 in
+      if objective then (
+        match Problem.objective problem with
+        | None -> ()
+        | Some o ->
+          Array.iter
+            (fun (ct : Problem.cost_term) -> gamma.(Lit.to_index ct.lit) <- ct.cost)
+            o.cost_terms);
+      let total = ref !base in
+      for v = 0 to nvars - 1 do
+        let term positive =
+          let i = Lit.to_index (Lit.make v positive) in
+          add_exn (mul_exn denom gamma.(i)) (-a.(i))
+        in
+        let t =
+          match pins.(v) with
+          | 1 -> term true
+          | 2 -> term false
+          | _ -> min (term true) (term false)
+        in
+        total := add_exn !total t
+      done;
+      if objective then !total > mul_exn (upper - 1) denom else !total > 0
+  with Overflow | Exit -> false
+
+(* --- objective cuts (checker-side recomputation) --------------------------- *)
+
+let single_norm = function [ n ] -> Some n | [] | _ :: _ :: _ -> None
+
+let objective_cut problem ~upper =
+  match Problem.objective problem with
+  | None -> None
+  | Some o ->
+    let raw =
+      Array.to_list (Array.map (fun (ct : Problem.cost_term) -> ct.cost, ct.lit) o.cost_terms)
+    in
+    single_norm (Constr.of_relation raw Constr.Le (upper - 1))
+
+let cardinality_cut problem ~cid ~upper =
+  let constraints = Problem.constraints problem in
+  if cid < 0 || cid >= Array.length constraints then None
+  else begin
+    let c = constraints.(cid) in
+    if not (Constr.is_cardinality c) then None
+    else begin
+      let lit_cost l =
+        match Problem.cost_of_var problem (Lit.var l) with
+        | Some (cost, cl) when Lit.equal cl l -> cost
+        | Some _ | None -> 0
+      in
+      let costs = Constr.fold_lits (fun l acc -> lit_cost l :: acc) c [] in
+      let sorted = List.sort compare costs in
+      let rec take k acc = function
+        | [] -> acc
+        | x :: rest -> if k = 0 then acc else take (k - 1) (acc + x) rest
+      in
+      let v = take (Constr.degree c) 0 sorted in
+      if v <= 0 then None
+      else begin
+        match Problem.objective problem with
+        | None -> None
+        | Some o ->
+          let in_k = Constr.fold_lits (fun l acc -> Lit.var l :: acc) c [] in
+          let raw =
+            Array.to_list o.cost_terms
+            |> List.filter (fun (ct : Problem.cost_term) -> not (List.mem (Lit.var ct.lit) in_k))
+            |> List.map (fun (ct : Problem.cost_term) -> ct.cost, ct.lit)
+          in
+          single_norm (Constr.of_relation raw Constr.Le (upper - 1 - v))
+      end
+    end
+  end
+
+(* --- sinks ----------------------------------------------------------------- *)
+
+module Sink = struct
+  type target =
+    | Chan of out_channel
+    | Buf of Buffer.t
+
+  type t = {
+    target : target;
+    owned : bool;
+    lock : Mutex.t;
+    mutable closed : bool;
+    mutable nlines : int;
+    sname : string;
+  }
+
+  let open_file path =
+    {
+      target = Chan (open_out path);
+      owned = true;
+      lock = Mutex.create ();
+      closed = false;
+      nlines = 0;
+      sname = path;
+    }
+
+  let of_buffer b =
+    {
+      target = Buf b;
+      owned = false;
+      lock = Mutex.create ();
+      closed = false;
+      nlines = 0;
+      sname = "<buffer>";
+    }
+
+  let name s = s.sname
+
+  let write s line =
+    Mutex.lock s.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock s.lock)
+      (fun () ->
+        if not s.closed then begin
+          s.nlines <- s.nlines + 1;
+          match s.target with
+          | Chan oc ->
+            output_string oc line;
+            output_char oc '\n';
+            if s.nlines land 63 = 0 then flush oc
+          | Buf b ->
+            Buffer.add_string b line;
+            Buffer.add_char b '\n'
+        end)
+
+  let close s =
+    Mutex.lock s.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock s.lock)
+      (fun () ->
+        if not s.closed then begin
+          s.closed <- true;
+          match s.target with
+          | Chan oc ->
+            (try flush oc with Sys_error _ -> ());
+            if s.owned then (try close_out oc with Sys_error _ -> ())
+          | Buf _ -> ()
+        end)
+end
+
+(* --- logger ---------------------------------------------------------------- *)
+
+type conclusion =
+  | Optimal of int
+  | Unsat
+  | Sat of int
+  | Bounds of int * int option
+  | No_claim
+
+let conclusion_to_string = function
+  | Optimal c -> Printf.sprintf "OPTIMAL %d" c
+  | Unsat -> "UNSAT"
+  | Sat c -> Printf.sprintf "SAT %d" c
+  | Bounds (l, Some u) -> Printf.sprintf "BOUNDS %d %d" l u
+  | Bounds (l, None) -> Printf.sprintf "BOUNDS %d inf" l
+  | No_claim -> "NONE"
+
+type t = {
+  sink : Sink.t;
+  problem : Problem.t;
+  mutable nsteps : int;
+  mutable nuncertified : int;
+}
+
+let create ?(header = true) sink problem =
+  if header then begin
+    Sink.write sink ("p " ^ version);
+    Sink.write sink (Printf.sprintf "f %d" (Array.length (Problem.constraints problem)))
+  end;
+  { sink; problem; nsteps = 0; nuncertified = 0 }
+
+let steps t = t.nsteps
+let uncertified t = t.nuncertified
+
+let step t line =
+  t.nsteps <- t.nsteps + 1;
+  Sink.write t.sink line
+
+(* Member names end up as single tokens in the log. *)
+let token s =
+  let b = Bytes.of_string s in
+  Bytes.iteri (fun i c -> if c = ' ' || c = '\t' then Bytes.set b i '-') b;
+  Bytes.to_string b
+
+let log_comment t msg = Sink.write t.sink ("# " ^ msg)
+
+let log_solution t ~cost model =
+  let n = Model.nvars model in
+  let bits = Bytes.create n in
+  let arr = Model.to_array model in
+  for v = 0 to n - 1 do
+    Bytes.set bits v (if arr.(v) then '1' else '0')
+  done;
+  step t (Printf.sprintf "s %d %s" cost (Bytes.to_string bits))
+
+let log_import t ~cost ~member = step t (Printf.sprintf "i %d %s" cost (token member))
+
+let lit_tokens lits = List.map (fun l -> string_of_int (lit_to_int l)) lits @ [ "0" ]
+let log_learned t lits = step t (String.concat " " ("u" :: lit_tokens lits))
+let log_contradiction t = step t "u 0"
+let log_cardinality_cut t ~cid = step t (Printf.sprintf "d %d" cid)
+
+let scale_refs refs =
+  List.filter_map
+    (fun (cid, m) ->
+      if Float.is_nan m || m <= 0. || m > 1e12 then None
+      else begin
+        let s = Float.round (m *. float_of_int denom) in
+        if s < 1. then None else Some (cid, int_of_float s)
+      end)
+    refs
+
+let log_bound_conflict t ~upper ~omega cert =
+  let emit kind refs =
+    let toks =
+      (kind :: List.map (fun (c, m) -> Printf.sprintf "%d:%d" c m) refs)
+      @ (";" :: lit_tokens omega)
+    in
+    step t (String.concat " " toks);
+    true
+  in
+  let reject () =
+    t.nuncertified <- t.nuncertified + 1;
+    false
+  in
+  (* Dual sign conventions differ per simplex exit; validation is exact,
+     so try the raw, negated and absolute variants and keep the first
+     that certifies.  The path-only certificate (no multipliers) is the
+     last resort for objective-bound conflicts. *)
+  let variants rf =
+    [ rf; List.map (fun (c, m) -> c, -.m) rf; List.map (fun (c, m) -> c, Float.abs m) rf ]
+  in
+  let first_valid ~objective cands =
+    List.find_map
+      (fun rf ->
+        let refs = scale_refs rf in
+        if certify_scaled t.problem ~refs ~omega ~objective ~upper then Some refs else None)
+      cands
+  in
+  match cert with
+  | Cert_path | Cert_bound [] ->
+    if certify_scaled t.problem ~refs:[] ~omega ~objective:true ~upper then emit "b" []
+    else reject ()
+  | Cert_bound rf -> (
+    match first_valid ~objective:true (variants rf @ [ [] ]) with
+    | Some refs -> emit "b" refs
+    | None -> reject ())
+  | Cert_farkas rf -> (
+    match first_valid ~objective:false (variants rf) with
+    | Some refs -> emit "y" refs
+    | None -> reject ())
+
+let log_member t name = Sink.write t.sink ("m " ^ token name)
+let log_conclusion t c = Sink.write t.sink ("c " ^ conclusion_to_string c)
+let log_final t c = Sink.write t.sink ("F " ^ conclusion_to_string c)
+
+(* --- checker --------------------------------------------------------------- *)
+
+module Check = struct
+  type summary = {
+    steps : int;
+    rup : int;
+    bound : int;
+    farkas : int;
+    solutions : int;
+    imports : int;
+    cuts : int;
+    sections : string list;
+    verdict : string;
+  }
+
+  exception Fail of string
+
+  let failf fmt = Printf.ksprintf (fun msg -> raise (Fail msg)) fmt
+
+  (* Minimal slack-based propagation engine over a growing constraint
+     database.  Derived constraints are only ever added at the root;
+     RUP checks assume literals on top of the root state and undo. *)
+  type eng = {
+    nvars : int;
+    mutable constrs : Constr.t array;
+    mutable nconstrs : int;
+    occs : (int * int) list array;  (* lit index -> (constraint, coeff) *)
+    mutable slack : int array;
+    value : Value.t array;  (* per variable *)
+    trail : Lit.t array;
+    mutable ntrail : int;
+    mutable qhead : int;
+    mutable closed : bool;  (* root state conflicting: everything follows *)
+  }
+
+  let lit_value eng l =
+    let v = eng.value.(Lit.var l) in
+    if Lit.is_pos l then v else Value.negate v
+
+  let assign eng l =
+    eng.value.(Lit.var l) <- (if Lit.is_pos l then Value.True else Value.False);
+    eng.trail.(eng.ntrail) <- l;
+    eng.ntrail <- eng.ntrail + 1
+
+  (* Slack updates always complete for a processed literal so that
+     [undo_to] can reverse exactly the processed prefix. *)
+  let propagate eng =
+    let conflict = ref false in
+    let scan ci =
+      let s = eng.slack.(ci) in
+      let terms = Constr.terms eng.constrs.(ci) in
+      try
+        Array.iter
+          (fun (t : Constr.term) ->
+            if t.coeff <= s then raise Exit
+            else if Value.equal (lit_value eng t.lit) Value.Unknown then assign eng t.lit)
+          terms
+      with Exit -> ()
+    in
+    while (not !conflict) && eng.qhead < eng.ntrail do
+      let l = eng.trail.(eng.qhead) in
+      eng.qhead <- eng.qhead + 1;
+      let falsified = Lit.to_index (Lit.negate l) in
+      List.iter
+        (fun (ci, a) ->
+          eng.slack.(ci) <- eng.slack.(ci) - a;
+          if eng.slack.(ci) < 0 then conflict := true)
+        eng.occs.(falsified);
+      if not !conflict then List.iter (fun (ci, _) -> scan ci) eng.occs.(falsified)
+    done;
+    !conflict
+
+  let undo_to eng mark =
+    while eng.ntrail > mark do
+      eng.ntrail <- eng.ntrail - 1;
+      let l = eng.trail.(eng.ntrail) in
+      eng.value.(Lit.var l) <- Value.Unknown;
+      if eng.ntrail < eng.qhead then
+        List.iter
+          (fun (ci, a) -> eng.slack.(ci) <- eng.slack.(ci) + a)
+          eng.occs.(Lit.to_index (Lit.negate l))
+    done;
+    eng.qhead <- min eng.qhead eng.ntrail
+
+  let grow eng =
+    if eng.nconstrs = Array.length eng.constrs then begin
+      let cap = max 16 (2 * eng.nconstrs) in
+      let constrs = Array.make cap eng.constrs.(0) in
+      Array.blit eng.constrs 0 constrs 0 eng.nconstrs;
+      let slack = Array.make cap 0 in
+      Array.blit eng.slack 0 slack 0 eng.nconstrs;
+      eng.constrs <- constrs;
+      eng.slack <- slack
+    end
+
+  (* Root-level addition: attach, then propagate to fixpoint; a conflict
+     latches [closed]. *)
+  let add_root eng c =
+    if not eng.closed then begin
+      if Array.length eng.constrs = 0 then begin
+        eng.constrs <- Array.make 16 c;
+        eng.slack <- Array.make 16 0
+      end
+      else grow eng;
+      let ci = eng.nconstrs in
+      eng.constrs.(ci) <- c;
+      eng.nconstrs <- ci + 1;
+      eng.slack.(ci) <- Constr.slack_under (lit_value eng) c;
+      Array.iter
+        (fun (t : Constr.term) ->
+          let i = Lit.to_index t.lit in
+          eng.occs.(i) <- (ci, t.coeff) :: eng.occs.(i))
+        (Constr.terms c);
+      if eng.slack.(ci) < 0 then eng.closed <- true
+      else begin
+        let s = eng.slack.(ci) in
+        let implied = ref [] in
+        (try
+           Array.iter
+             (fun (t : Constr.term) ->
+               if t.coeff <= s then raise Exit
+               else if Value.equal (lit_value eng t.lit) Value.Unknown then
+                 implied := t.lit :: !implied)
+             (Constr.terms c)
+         with Exit -> ());
+        List.iter
+          (fun l -> if Value.equal (lit_value eng l) Value.Unknown then assign eng l)
+          !implied;
+        if propagate eng then eng.closed <- true
+      end
+    end
+
+  let add_norm eng = function
+    | Constr.Trivial_true -> ()
+    | Constr.Trivial_false -> eng.closed <- true
+    | Constr.Constr c -> add_root eng c
+
+  let fresh_eng problem =
+    let nvars = Problem.nvars problem in
+    let eng =
+      {
+        nvars;
+        constrs = [||];
+        nconstrs = 0;
+        occs = Array.make (2 * nvars) [];
+        slack = [||];
+        value = Array.make nvars Value.Unknown;
+        trail = Array.make (max nvars 1) (Lit.pos 0);
+        ntrail = 0;
+        qhead = 0;
+        closed = Problem.trivially_unsat problem;
+      }
+    in
+    Array.iter (fun c -> add_root eng c) (Problem.constraints problem);
+    eng
+
+  (* RUP: assume every clause literal false on top of the root state and
+     propagate; the check passes iff a conflict is reached (or the
+     clause is already root-satisfied / the root is closed). *)
+  let rup_holds eng clause =
+    if eng.closed then true
+    else if List.exists (fun l -> Value.equal (lit_value eng l) Value.True) clause then true
+    else begin
+      let mark = eng.ntrail in
+      List.iter
+        (fun l ->
+          if Value.equal (lit_value eng l) Value.Unknown then assign eng (Lit.negate l))
+        clause;
+      let conflict = propagate eng in
+      undo_to eng mark;
+      conflict
+    end
+
+  (* --- replay state -------------------------------------------------- *)
+
+  type section = {
+    mutable member : string;
+    mutable u_active : int;  (* internal (offset-free) incumbent bound *)
+    mutable witness : int option;  (* best verified model cost, offset included *)
+    mutable simported : bool;
+    mutable nsteps : int;
+    mutable concluded : (conclusion * bool * int * int option) option;
+        (* conclusion, closed, u_active, witness at conclusion time *)
+  }
+
+  let split_ws s = String.split_on_char ' ' s |> List.filter (fun tok -> tok <> "")
+
+  let int_of tok =
+    match int_of_string_opt tok with Some n -> n | None -> failf "bad integer %S" tok
+
+  let parse_lits eng toks =
+    let rec go acc = function
+      | [] -> failf "missing 0 terminator"
+      | [ "0" ] -> List.rev acc
+      | tok :: rest ->
+        let n = int_of tok in
+        if n = 0 then failf "0 terminator before end of literal list";
+        let l = lit_of_int n in
+        if Lit.var l >= eng.nvars then failf "literal %d out of range" n;
+        go (l :: acc) rest
+    in
+    go [] toks
+
+  let parse_refs toks =
+    List.map
+      (fun tok ->
+        match String.index_opt tok ':' with
+        | None -> failf "bad multiplier token %S (want cid:m)" tok
+        | Some i ->
+          let cid = int_of (String.sub tok 0 i) in
+          let m = int_of (String.sub tok (i + 1) (String.length tok - i - 1)) in
+          if m < 0 then failf "negative multiplier in %S" tok;
+          cid, m)
+      toks
+
+  let rec split_at_semi acc = function
+    | [] -> failf "missing ';' separator"
+    | ";" :: rest -> List.rev acc, rest
+    | tok :: rest -> split_at_semi (tok :: acc) rest
+
+  let parse_conclusion toks =
+    match toks with
+    | [ "OPTIMAL"; c ] -> Optimal (int_of c)
+    | [ "UNSAT" ] -> Unsat
+    | [ "SAT"; c ] -> Sat (int_of c)
+    | [ "BOUNDS"; l; "inf" ] -> Bounds (int_of l, None)
+    | [ "BOUNDS"; l; u ] -> Bounds (int_of l, Some (int_of u))
+    | [ "NONE" ] -> No_claim
+    | _ -> failf "bad conclusion %S" (String.concat " " toks)
+
+  let check_lines problem next_line =
+    let offset = match Problem.objective problem with Some o -> o.offset | None -> 0 in
+    let init_upper = Problem.max_cost_sum problem + 1 in
+    let nconstraints = Array.length (Problem.constraints problem) in
+    let eng = ref (fresh_eng problem) in
+    let fresh_section name =
+      {
+        member = name;
+        u_active = init_upper;
+        witness = None;
+        simported = false;
+        nsteps = 0;
+        concluded = None;
+      }
+    in
+    let sec = ref (fresh_section "") in
+    let done_secs = ref [] in
+    let final = ref None in
+    let saw_header = ref false in
+    let saw_f = ref false in
+    let stats_rup = ref 0
+    and stats_bound = ref 0
+    and stats_farkas = ref 0
+    and stats_sols = ref 0
+    and stats_imports = ref 0
+    and stats_cuts = ref 0 in
+    let require_open () =
+      if not !saw_f then failf "step before 'f' constraint-count line";
+      if !final <> None then failf "step after final conclusion";
+      if (!sec).concluded <> None then failf "step after section conclusion"
+    in
+    let tighten cost =
+      let s = !sec in
+      let internal = cost - offset in
+      if internal < s.u_active then s.u_active <- internal;
+      (match objective_cut problem ~upper:s.u_active with
+      | None -> ()
+      | Some n -> add_norm !eng n);
+      s.nsteps <- s.nsteps + 1
+    in
+    let handle_line line =
+      let toks = split_ws line in
+      match toks with
+      | [] -> ()
+      | tok :: _ when String.length tok > 0 && tok.[0] = '#' -> ()
+      | "p" :: rest ->
+        if !saw_header then failf "duplicate header";
+        if String.concat " " rest <> version then
+          failf "unsupported format %S (want %S)" (String.concat " " rest) version;
+        saw_header := true
+      | [ "f"; n ] ->
+        if not !saw_header then failf "'f' before header";
+        if !saw_f then failf "duplicate 'f' line";
+        if int_of n <> nconstraints then
+          failf "constraint count mismatch: proof says %s, problem has %d" n nconstraints;
+        saw_f := true
+      | "s" :: cost :: [ bits ] ->
+        require_open ();
+        incr stats_sols;
+        let cost = int_of cost in
+        if String.length bits <> Problem.nvars problem then
+          failf "model length %d, problem has %d variables" (String.length bits)
+            (Problem.nvars problem);
+        let arr =
+          Array.init (Problem.nvars problem) (fun v ->
+              match bits.[v] with
+              | '0' -> false
+              | '1' -> true
+              | c -> failf "bad model bit %C" c)
+        in
+        let model = Model.of_array arr in
+        if not (Model.satisfies problem model) then failf "solution violates a constraint";
+        let actual = Model.cost problem model in
+        if actual <> cost then failf "solution costs %d, step claims %d" actual cost;
+        let s = !sec in
+        (match s.witness with
+        | Some w when w <= cost -> ()
+        | _ -> s.witness <- Some cost);
+        tighten cost
+      | "i" :: cost :: [ _member ] ->
+        require_open ();
+        incr stats_imports;
+        (!sec).simported <- true;
+        tighten (int_of cost)
+      | "u" :: rest ->
+        require_open ();
+        incr stats_rup;
+        let lits = parse_lits !eng rest in
+        if not (rup_holds !eng lits) then failf "RUP check failed";
+        add_norm !eng (Constr.clause lits);
+        (!sec).nsteps <- (!sec).nsteps + 1
+      | kind :: rest when kind = "b" || kind = "y" ->
+        require_open ();
+        if kind = "b" then incr stats_bound else incr stats_farkas;
+        let ref_toks, lit_toks = split_at_semi [] rest in
+        let refs = parse_refs ref_toks in
+        let omega = parse_lits !eng lit_toks in
+        let objective = kind = "b" in
+        if
+          not
+            (certify_scaled problem ~refs ~omega ~objective ~upper:(!sec).u_active
+            || (!eng).closed)
+        then failf "%s certificate does not justify the clause" kind;
+        add_norm !eng (Constr.clause omega);
+        (!sec).nsteps <- (!sec).nsteps + 1
+      | [ "d"; cid ] ->
+        require_open ();
+        incr stats_cuts;
+        let cid = int_of cid in
+        (match cardinality_cut problem ~cid ~upper:(!sec).u_active with
+        | None -> if not (!eng).closed then failf "no cardinality cut derivable from cid %d" cid
+        | Some n -> add_norm !eng n);
+        (!sec).nsteps <- (!sec).nsteps + 1
+      | "m" :: [ name ] ->
+        if not !saw_f then failf "'m' before 'f'";
+        if !final <> None then failf "'m' after final conclusion";
+        let s = !sec in
+        if s.concluded <> None then begin
+          done_secs := s :: !done_secs;
+          eng := fresh_eng problem;
+          sec := fresh_section name
+        end
+        else if s.nsteps = 0 then begin
+          (* pristine implicit section: replaced by the first member *)
+          eng := fresh_eng problem;
+          sec := fresh_section name
+        end
+        else failf "member section %S starts before previous section concluded" name
+      | "c" :: rest ->
+        require_open ();
+        let concl = parse_conclusion rest in
+        let s = !sec in
+        let closed = (!eng).closed in
+        let cert_lb = if closed then Some (s.u_active + offset) else None in
+        (match concl with
+        | No_claim -> ()
+        | Sat n ->
+          if s.witness <> Some n then failf "SAT %d not witnessed by a verified solution" n
+        | Optimal n ->
+          if s.witness <> Some n then failf "OPTIMAL %d not witnessed by a verified solution" n;
+          if not closed then failf "OPTIMAL claimed but no contradiction was derived";
+          if s.u_active + offset < n then
+            failf "OPTIMAL %d but search was only closed below %d" n (s.u_active + offset)
+        | Unsat ->
+          if not closed then failf "UNSAT claimed but no contradiction was derived";
+          if s.witness <> None then failf "UNSAT claimed but a solution was verified";
+          if s.simported then failf "UNSAT claimed but closure used imported bounds"
+        | Bounds (l, u) ->
+          (match u with
+          | None -> ()
+          | Some u -> (
+            match s.witness with
+            | Some w when w <= u -> ()
+            | _ -> failf "upper bound %d not witnessed" u));
+          let lb_limit = match cert_lb with Some cl -> cl | None -> offset in
+          if l > lb_limit then failf "lower bound %d exceeds certified %d" l lb_limit);
+        s.concluded <- Some (concl, closed, s.u_active, s.witness)
+      | "F" :: rest ->
+        if !final <> None then failf "duplicate final conclusion";
+        let s = !sec in
+        if s.concluded = None then begin
+          if s.nsteps > 0 then failf "final conclusion before last section concluded"
+        end
+        else done_secs := s :: !done_secs;
+        let secs = List.rev !done_secs in
+        if secs = [] then failf "final conclusion with no concluded sections";
+        let concl = parse_conclusion rest in
+        let best_witness =
+          List.fold_left
+            (fun acc (x : section) ->
+              match x.concluded with
+              | Some (_, _, _, Some w) -> (
+                match acc with Some b when b <= w -> acc | _ -> Some w)
+              | _ -> acc)
+            None secs
+        in
+        let best_lb =
+          List.fold_left
+            (fun acc (x : section) ->
+              match x.concluded with
+              | Some (_, true, u, _) -> max acc (u + offset)
+              | _ -> acc)
+            offset secs
+        in
+        let any_unsat =
+          List.exists
+            (fun (x : section) ->
+              match x.concluded with
+              | Some (_, true, _, None) -> not x.simported
+              | _ -> false)
+            secs
+        in
+        (match concl with
+        | No_claim -> ()
+        | Sat n ->
+          if best_witness <> Some n then failf "final SAT %d not witnessed" n
+        | Optimal n ->
+          if best_witness <> Some n then failf "final OPTIMAL %d not witnessed" n;
+          if best_lb < n then
+            failf "final OPTIMAL %d but combined sections only close below %d" n best_lb
+        | Unsat -> if not any_unsat then failf "final UNSAT not certified by any section"
+        | Bounds (l, u) ->
+          (match u with
+          | None -> ()
+          | Some u -> (
+            match best_witness with
+            | Some w when w <= u -> ()
+            | _ -> failf "final upper bound %d not witnessed" u));
+          if l > best_lb then failf "final lower bound %d exceeds certified %d" l best_lb);
+        done_secs := List.rev secs;
+        sec := fresh_section "";
+        (!sec).concluded <- Some (No_claim, false, init_upper, None);
+        (* sentinel: no further steps *)
+        (!sec).nsteps <- 0;
+        final := Some concl
+      | tok :: _ -> failf "unknown step %S" tok
+    in
+    let lineno = ref 0 in
+    let rec run () =
+      match next_line () with
+      | None -> ()
+      | Some line ->
+        incr lineno;
+        (try handle_line line with Fail msg -> failf "line %d: %s" !lineno msg);
+        run ()
+    in
+    try
+      run ();
+      if not !saw_f then failf "missing header or 'f' line";
+      let verdict =
+        match !final with
+        | Some c -> conclusion_to_string c
+        | None -> (
+          let s = !sec in
+          match s.concluded with
+          | None ->
+            if !done_secs <> [] then failf "multi-section proof missing final conclusion"
+            else failf "proof truncated: missing conclusion"
+          | Some (c, _, _, _) ->
+            if !done_secs <> [] then failf "multi-section proof missing final conclusion"
+            else conclusion_to_string c)
+      in
+      let sections =
+        match !done_secs with
+        | [] -> [ (!sec).member ]
+        | secs -> List.rev_map (fun (x : section) -> x.member) secs
+      in
+      Ok
+        {
+          steps =
+            !stats_rup + !stats_bound + !stats_farkas + !stats_sols + !stats_imports
+            + !stats_cuts;
+          rup = !stats_rup;
+          bound = !stats_bound;
+          farkas = !stats_farkas;
+          solutions = !stats_sols;
+          imports = !stats_imports;
+          cuts = !stats_cuts;
+          sections;
+          verdict;
+        }
+    with Fail msg -> Error msg
+
+  let check_string problem text =
+    let lines = String.split_on_char '\n' text in
+    let rest = ref lines in
+    let next () =
+      match !rest with
+      | [] -> None
+      | l :: tl ->
+        rest := tl;
+        Some l
+    in
+    check_lines problem next
+
+  let check_file problem path =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let next () = In_channel.input_line ic in
+        check_lines problem next)
+end

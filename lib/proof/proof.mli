@@ -1,0 +1,191 @@
+open Pbo
+
+(** Certified proof logging and checking (format [bsolo-pbp 1]).
+
+    With [--proof FILE] the solver streams an auditable derivation
+    trail: every learned clause becomes a RUP step, every bound-based
+    conflict (paper eqs. 8-9) an explicit cutting-planes step carrying
+    the Lagrangian or Farkas multipliers that justify it, every
+    incumbent (local or imported from a portfolio peer) an
+    objective-improvement step, and the run ends with a conclusion
+    line.  [bsolo checkproof PROBLEM PROOF] replays the log against
+    the parsed problem with exact integer arithmetic and exits
+    non-zero on the first unjustified step.  See [docs/PROOFS.md] for
+    the format grammar and trust model.
+
+    Domain-safety: a {!Sink.t} serializes writers with an internal
+    mutex; one logger per domain writing to its own sink is the
+    intended portfolio usage. *)
+
+val version : string
+(** Header tag, ["bsolo-pbp 1"]. *)
+
+val denom : int
+(** Fixed scaling denominator for fractional multipliers: an integer
+    multiplier [m] in a [b]/[y] step stands for the rational
+    [m / denom].  Soundness never depends on the rounding: the scaled
+    integers {e are} the multipliers being checked. *)
+
+val lit_to_int : Lit.t -> int
+(** Signed 1-based literal encoding: [x3 -> 3], [~x3 -> -3]. *)
+
+val lit_of_int : int -> Lit.t
+(** Inverse of {!lit_to_int}.  Raises [Invalid_argument] on [0]. *)
+
+(** {1 Certificates for bound-based conflicts} *)
+
+type cert =
+  | Cert_path
+      (** the path cost alone reaches the incumbent bound; no
+          constraint multipliers needed. *)
+  | Cert_bound of (int * float) list
+      (** Lagrangian certificate: per referenced original constraint
+          (index into [Problem.constraints]) a multiplier whose sign
+          convention is resolved at validation time (simplex exits
+          disagree on dual signs; any nonnegative choice is sound). *)
+  | Cert_farkas of (int * float) list
+      (** infeasibility certificate: a nonnegative combination of the
+          referenced constraints is violated under the conflict
+          clause's pinning, independent of the objective. *)
+
+val certify_scaled :
+  Problem.t -> refs:(int * int) list -> omega:Lit.t list -> objective:bool -> upper:int -> bool
+(** Exact validation shared by the logger and the checker.  [refs]
+    are [(cid, m)] with [m >= 0] scaled by {!denom}; [omega] the
+    clause being derived.  Let [rho] pin every literal of [omega]
+    false and [B = sum m_i d_i + sum_v min-term_v(rho)] the Lagrangian
+    bound (cost terms included iff [objective]).  Returns [true] when
+    [objective] and [B/denom > upper - 1] (every completion of [rho]
+    satisfying the referenced constraints costs at least [upper], so
+    the clause follows from the objective bound), or when
+    [not objective] and [B/denom > 0] (no completion satisfies the
+    referenced constraints at all).  Overflow, bad indices or
+    negative multipliers return [false]. *)
+
+(** {1 Objective cuts recomputed by the checker} *)
+
+val objective_cut : Problem.t -> upper:int -> Constr.norm option
+(** The incumbent knapsack constraint (paper eq. 10):
+    [sum c_j l_j <= upper - 1] over the objective cost literals,
+    [upper] offset-free.  [None] for satisfaction instances.  Must
+    stay semantically identical to [Bsolo.Knapsack.upper_cut] (a test
+    asserts this). *)
+
+val cardinality_cut : Problem.t -> cid:int -> upper:int -> Constr.norm option
+(** The cardinality inference (paper eqs. 11-13) for original
+    constraint [cid] at incumbent bound [upper]; [None] when [cid] is
+    out of range, not a cardinality constraint, or yields no cut
+    ([V <= 0]).  Must stay semantically identical to
+    [Bsolo.Knapsack.cardinality_inferences] (a test asserts this). *)
+
+(** {1 Sinks} *)
+
+module Sink : sig
+  type t
+  (** Buffered, mutex-guarded line sink (same discipline as
+      [Telemetry.Trace]: autoflush every 64 lines, idempotent
+      close). *)
+
+  val open_file : string -> t
+  (** Truncates/creates [path].  Raises [Sys_error] on failure. *)
+
+  val of_buffer : Buffer.t -> t
+  (** In-memory sink for tests. *)
+
+  val name : t -> string
+
+  val write : t -> string -> unit
+  (** Append one raw line (the newline is added).  Loggers use this
+      internally; the CLI uses it to terminate a log whose run aborted
+      before a logger existed (parse failure), leaving a well-formed
+      [NONE] conclusion instead of a truncated file. *)
+
+  val close : t -> unit
+  (** Flush and close (idempotent); file-backed sinks close their
+      channel. *)
+end
+
+(** {1 Logger} *)
+
+type conclusion =
+  | Optimal of int  (** proved optimum, offset-included cost *)
+  | Unsat
+  | Sat of int  (** verified model of that cost, no optimality claim *)
+  | Bounds of int * int option
+      (** certified lower bound, witnessed upper bound ([None] =
+          no witness) *)
+  | No_claim  (** aborted or budget-exhausted run; nothing claimed *)
+
+val conclusion_to_string : conclusion -> string
+
+type t
+(** A proof logger bound to one sink and one problem. *)
+
+val create : ?header:bool -> Sink.t -> Problem.t -> t
+(** [header:false] suppresses the [p]/[f] lines (portfolio member
+    part files that a stitcher later concatenates). *)
+
+val steps : t -> int
+(** Derivation steps written so far ([s]/[i]/[u]/[b]/[y]/[d]). *)
+
+val uncertified : t -> int
+(** Bound conflicts whose certificate failed exact validation; the
+    caller must not have pruned on them. *)
+
+val log_comment : t -> string -> unit
+val log_solution : t -> cost:int -> Model.t -> unit
+(** Verified incumbent: [cost] offset-included; the full model is
+    logged so the checker can replay the verification. *)
+
+val log_import : t -> cost:int -> member:string -> unit
+(** Imported incumbent (portfolio): tightens the bound under which
+    later steps are checked; tagged with the originating member. *)
+
+val log_learned : t -> Lit.t list -> unit
+(** RUP step for a clause learned by conflict analysis. *)
+
+val log_contradiction : t -> unit
+(** Empty-clause RUP step: the checker's root state must already be
+    conflicting. *)
+
+val log_cardinality_cut : t -> cid:int -> unit
+(** Cut from {!cardinality_cut} added at the current incumbent
+    bound. *)
+
+val log_bound_conflict : t -> upper:int -> omega:Lit.t list -> cert -> bool
+(** Validate the certificate exactly (trying both dual sign
+    conventions, falling back to the path-only certificate) and, on
+    success, write the [b]/[y] step deriving [omega] and return
+    [true].  On failure nothing is written, {!uncertified} is bumped
+    and the caller must not prune ([false]). *)
+
+val log_member : t -> string -> unit
+(** Section marker for stitched portfolio proofs: the checker resets
+    its derived-constraint database and incumbent bound. *)
+
+val log_conclusion : t -> conclusion -> unit
+val log_final : t -> conclusion -> unit
+(** Combined conclusion of a stitched multi-member proof. *)
+
+(** {1 Checking} *)
+
+module Check : sig
+  type summary = {
+    steps : int;
+    rup : int;
+    bound : int;
+    farkas : int;
+    solutions : int;
+    imports : int;
+    cuts : int;
+    sections : string list;  (** portfolio member names, [""] for a single-run log *)
+    verdict : string;  (** rendered final conclusion *)
+  }
+
+  val check_string : Problem.t -> string -> (summary, string) result
+  (** Replay a complete proof text against the problem.  [Error msg]
+      carries the 1-based line number of the first unjustified or
+      malformed step. *)
+
+  val check_file : Problem.t -> string -> (summary, string) result
+end

@@ -26,7 +26,7 @@ type solution = {
 
 type outcome =
   | Optimal of solution
-  | Infeasible of int list
+  | Infeasible of (int * float) list
   | Unbounded
   | Iteration_limit of float option
 
@@ -402,7 +402,7 @@ let two_phase st (p : problem) ~max_iters ~iters ~phase1_iters ~should_stop =
       let pi = duals_for st phase1_cost in
       let certificate = ref [] in
       for i = st.m - 1 downto 0 do
-        if abs_float pi.(i) > st.eps then certificate := i :: !certificate
+        if abs_float pi.(i) > st.eps then certificate := (i, pi.(i)) :: !certificate
       done;
       for i = 0 to st.m - 1 do
         st.ub.(art_col st i) <- 0.
@@ -679,10 +679,12 @@ module Incremental = struct
           match dual_optimize st t.cost ~max_iters ~iters ~should_stop with
           | `Opt -> extract_solution st t.base t.cost
           | `Infeasible vr ->
-            (* Farkas witness: original rows entering row vr of B^-1 *)
+            (* Farkas witness: original rows entering row vr of B^-1,
+               rescaled to original row units as in [duals_for] *)
             let witness = ref [] in
             for i = st.m - 1 downto 0 do
-              if abs_float st.tab.(vr).(art_col st i) > st.eps then witness := i :: !witness
+              let a = st.tab.(vr).(art_col st i) in
+              if abs_float a > st.eps then witness := (i, a /. st.sigma.(i)) :: !witness
             done;
             Infeasible !witness
           | `Limit -> Iteration_limit (safe_dual_bound st t.cost)

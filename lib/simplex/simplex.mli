@@ -49,10 +49,13 @@ type solution = {
 
 type outcome =
   | Optimal of solution
-  | Infeasible of int list
-      (** indices of rows with non-zero phase-1 dual (cold solve) or
-          non-zero Farkas-ray entry (dual simplex): an infeasible
-          subsystem witness *)
+  | Infeasible of (int * float) list
+      (** rows with non-zero phase-1 dual (cold solve) or non-zero
+          Farkas-ray entry (dual simplex), each paired with that
+          multiplier: an infeasible subsystem witness.  Multiplier
+          signs follow the internal convention — consumers needing a
+          nonnegative Farkas combination must resolve the sign (both
+          global orientations occur across exits). *)
   | Unbounded
   | Iteration_limit of float option
       (** gave up; [Some z] is a safe dual (Lagrangian) lower bound on the

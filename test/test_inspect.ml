@@ -210,6 +210,8 @@ let bench_row name elapsed nodes : Inspect.Bench.row =
     simplex_iters = nodes * 2;
     warm_hits = nodes / 4;
     imports = 0;
+    proof_steps = nodes * 3;
+    check_ms = float_of_int nodes;
   }
 
 let test_bench_golden () =
@@ -222,7 +224,8 @@ let test_bench_golden () =
      \"scale\":0.25,\"per_family\":2,\"instances\":[{\"name\":\"grout-2-2:1\",\
      \"solver\":\"LPR\",\"status\":\"OPTIMAL\",\"cost\":9,\"elapsed\":0.5,\
      \"nodes\":120,\"conflicts\":60,\"bound_conflicts\":40,\"lb_calls\":40,\
-     \"simplex_iters\":240,\"warm_hits\":30,\"imports\":0}]}"
+     \"simplex_iters\":240,\"warm_hits\":30,\"imports\":0,\
+     \"proof_steps\":360,\"check_ms\":120.0}]}"
   in
   Alcotest.(check string) "golden serialization" expected (Json.to_string report)
 
@@ -265,7 +268,15 @@ let test_bench_roundtrip () =
       entries
   in
   Alcotest.(check (list string)) "regressed keys"
-    [ "a:1.status"; "a:1.cost"; "a:1.elapsed"; "a:1.nodes"; "a:1.simplex_iters" ]
+    [
+      "a:1.status";
+      "a:1.cost";
+      "a:1.elapsed";
+      "a:1.nodes";
+      "a:1.simplex_iters";
+      "a:1.proof_steps";
+      "a:1.check_ms";
+    ]
     regressed
 
 let test_bench_missing_instance () =

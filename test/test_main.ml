@@ -27,6 +27,7 @@ let () =
       ("portfolio", Test_portfolio.suite);
       ("milp", Test_milp.suite);
       ("cutting-planes", Test_cutting_planes.suite);
+      ("proof", Test_proof.suite);
       ("telemetry", Test_telemetry.suite);
       ("inspect", Test_inspect.suite);
       ("fuzz", Test_fuzz.suite);

@@ -177,7 +177,19 @@ let oracle_broadcast_prunes () =
   let bsolo =
     {
       Portfolio.pname = "bsolo";
-      psolve = (fun ~options problem -> Bsolo.Solver.solve ~options problem);
+      psolve =
+        (fun ~options problem ->
+          (* Wait for the oracle's broadcast before searching, otherwise
+             this worker can race to the optimum on its own and import
+             nothing — the very thing the assertions below measure. *)
+          (match options.Bsolo.Options.external_incumbent with
+          | Some hook ->
+            let deadline = Unix.gettimeofday () +. 5.0 in
+            while hook () = None && Unix.gettimeofday () < deadline do
+              Domain.cpu_relax ()
+            done
+          | None -> Alcotest.fail "parallel portfolio should install external_incumbent");
+          Bsolo.Solver.solve ~options problem);
     }
   in
   let tel = Telemetry.Ctx.create ~timing:false () in

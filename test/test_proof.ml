@@ -1,0 +1,222 @@
+(* Proof logging round-trips: every proof the solver emits must replay
+   through the exact checker, and corrupted proofs must be rejected.
+   This is the executable statement of the trust model in docs/PROOFS.md:
+   the checker, not the solver, is the part you have to believe. *)
+
+open Pbo
+
+let solve_with_proof ?(options = Bsolo.Options.default) problem =
+  let buf = Buffer.create 4096 in
+  let sink = Proof.Sink.of_buffer buf in
+  let logger = Proof.create sink problem in
+  let o = Bsolo.Solver.solve ~options:{ options with proof = Some logger } problem in
+  Proof.Sink.close sink;
+  o, Buffer.contents buf
+
+let check_ok problem text =
+  match Proof.Check.check_string problem text with
+  | Ok s -> s
+  | Error msg -> Alcotest.failf "proof rejected: %s" msg
+
+(* The checked verdict must not claim less than the solver reported:
+   an Optimal outcome must replay to OPTIMAL at the same cost, an
+   Unsatisfiable one to UNSAT.  Unknown runs may conclude anything the
+   steps support (SAT/BOUNDS/NONE). *)
+let verdict_matches (o : Bsolo.Outcome.t) (s : Proof.Check.summary) =
+  match o.status with
+  | Bsolo.Outcome.Optimal ->
+    let c = match Bsolo.Outcome.best_cost o with Some c -> c | None -> 0 in
+    Alcotest.(check string) "optimal verdict" ("OPTIMAL " ^ string_of_int c) s.verdict
+  | Bsolo.Outcome.Unsatisfiable -> Alcotest.(check string) "unsat verdict" "UNSAT" s.verdict
+  | Bsolo.Outcome.Satisfiable | Bsolo.Outcome.Unknown -> ()
+
+let roundtrip_seed seed =
+  let problem = Gen.problem seed in
+  let o, text = solve_with_proof problem in
+  verdict_matches o (check_ok problem text)
+
+let roundtrip_covering seed =
+  let problem = Gen.covering seed in
+  let o, text = solve_with_proof problem in
+  verdict_matches o (check_ok problem text)
+
+let roundtrip_random () = for seed = 0 to 39 do roundtrip_seed seed done
+let roundtrip_covering_instances () = for seed = 0 to 19 do roundtrip_covering seed done
+
+(* Every lower-bound procedure produces its own certificate shape (LPR
+   duals, MIS cover ratios, LGR multipliers, plain path costs); each must
+   round-trip, not just the default. *)
+let roundtrip_lb_methods () =
+  List.iter
+    (fun lb ->
+      for seed = 0 to 9 do
+        let problem = Gen.covering seed in
+        let options = Bsolo.Options.with_lb lb in
+        let o, text = solve_with_proof ~options problem in
+        verdict_matches o (check_ok problem text)
+      done)
+    [ Bsolo.Options.Plain; Bsolo.Options.Mis; Bsolo.Options.Lgr; Bsolo.Options.Lpr ]
+
+(* qcheck: arbitrary generator seeds, both instance families. *)
+let qcheck_roundtrip =
+  QCheck2.Test.make ~name:"solver proofs replay through the checker" ~count:60
+    QCheck2.Gen.(pair (int_bound 1_000_000) bool)
+    (fun (seed, covering) ->
+      let problem = if covering then Gen.covering seed else Gen.problem seed in
+      let o, text = solve_with_proof problem in
+      match Proof.Check.check_string problem text with
+      | Error _ -> false
+      | Ok s -> (
+        match o.status, Bsolo.Outcome.best_cost o with
+        | Bsolo.Outcome.Optimal, Some c -> s.verdict = "OPTIMAL " ^ string_of_int c
+        | Bsolo.Outcome.Unsatisfiable, _ -> s.verdict = "UNSAT"
+        | _ -> true))
+
+(* --- mutation rejection ----------------------------------------------------- *)
+
+(* A proved-Optimal run whose proof we then corrupt.  Gen.covering 1 is
+   satisfiable with a nontrivial optimum, so the log carries solution
+   steps and an OPTIMAL conclusion. *)
+let optimal_proof () =
+  let problem = Gen.covering 1 in
+  let o, text = solve_with_proof problem in
+  (match o.status with
+  | Bsolo.Outcome.Optimal -> ()
+  | _ -> Alcotest.fail "expected an Optimal run");
+  let cost = match Bsolo.Outcome.best_cost o with Some c -> c | None -> 0 in
+  problem, text, cost
+
+let lines text = String.split_on_char '\n' text
+let unlines ls = String.concat "\n" ls
+
+let reject problem text what =
+  match Proof.Check.check_string problem text with
+  | Error _ -> ()
+  | Ok s -> Alcotest.failf "%s accepted (verdict %s)" what s.verdict
+
+let mutation_dropped_solution () =
+  let problem, text, _ = optimal_proof () in
+  (* Drop the last verified-solution step: the OPTIMAL conclusion now
+     claims a cost no surviving witness reaches. *)
+  let ls = lines text in
+  let last_s =
+    List.fold_left
+      (fun (i, best) l ->
+        (i + 1, if String.length l >= 2 && String.sub l 0 2 = "s " then Some i else best))
+      (0, None) ls
+    |> snd
+  in
+  let last_s = match last_s with Some i -> i | None -> Alcotest.fail "no solution step" in
+  let mutated = unlines (List.filteri (fun i _ -> i <> last_s) ls) in
+  reject problem mutated "dropped solution step"
+
+let mutation_weakened_conclusion () =
+  let problem, text, cost = optimal_proof () in
+  (* Claim an optimum one better than anything witnessed. *)
+  let target = "c OPTIMAL " ^ string_of_int cost in
+  let forged = "c OPTIMAL " ^ string_of_int (cost - 1) in
+  let ls =
+    List.map (fun l -> if String.trim l = target then forged else l) (lines text)
+  in
+  let mutated = unlines ls in
+  if mutated = text then Alcotest.fail "conclusion line not found";
+  reject problem mutated "weakened conclusion"
+
+let mutation_truncated () =
+  let problem, text, _ = optimal_proof () in
+  (* Cut the log before its conclusion: replay must report truncation. *)
+  let ls = List.filter (fun l -> String.trim l = "" || l.[0] <> 'c') (lines text) in
+  reject problem (unlines ls) "truncated proof"
+
+(* --- checker cuts mirror the solver's --------------------------------------- *)
+
+let norm_equal a b =
+  match a, b with
+  | Constr.Trivial_true, Constr.Trivial_true | Constr.Trivial_false, Constr.Trivial_false ->
+    true
+  | Constr.Constr x, Constr.Constr y -> Constr.equal x y
+  | _ -> false
+
+let pp_norm = function
+  | Constr.Trivial_true -> "true"
+  | Constr.Trivial_false -> "false"
+  | Constr.Constr c -> Constr.to_string c
+
+(* The checker recomputes the eq. (10) objective cut itself on every
+   verified/imported incumbent, and the eq. (11-13) cardinality cuts on
+   [d] steps; both must stay semantically identical to the solver's
+   Knapsack module or sound solver prunes would be unjustifiable. *)
+let objective_cut_matches () =
+  for seed = 0 to 29 do
+    let problem = Gen.problem seed in
+    let hi = Pbo.Problem.max_cost_sum problem in
+    List.iter
+      (fun upper ->
+        match Proof.objective_cut problem ~upper, Pbo.Problem.is_satisfaction problem with
+        | None, true -> ()
+        | None, false -> Alcotest.fail "objective cut missing on optimization instance"
+        | Some _, true -> Alcotest.fail "objective cut on satisfaction instance"
+        | Some n, false ->
+          let k = Bsolo.Knapsack.upper_cut problem ~upper in
+          if not (norm_equal n k) then
+            Alcotest.failf "objective cut mismatch at upper=%d: %s vs %s" upper (pp_norm n)
+              (pp_norm k))
+      [ 0; 1; (hi / 2) + 1; hi ]
+  done
+
+let cardinality_cut_matches () =
+  for seed = 0 to 29 do
+    let problem = Gen.problem seed in
+    let ncons = Array.length (Pbo.Problem.constraints problem) in
+    let hi = Pbo.Problem.max_cost_sum problem in
+    List.iter
+      (fun upper ->
+        let expected = Bsolo.Knapsack.cardinality_inferences_cids problem ~upper in
+        for cid = 0 to ncons - 1 do
+          match Proof.cardinality_cut problem ~cid ~upper, List.assoc_opt cid expected with
+          | None, None -> ()
+          | Some n, Some k ->
+            if not (norm_equal n k) then
+              Alcotest.failf "cardinality cut mismatch cid=%d upper=%d: %s vs %s" cid upper
+                (pp_norm n) (pp_norm k)
+          | Some _, None -> Alcotest.failf "spurious cardinality cut cid=%d upper=%d" cid upper
+          | None, Some _ -> Alcotest.failf "missing cardinality cut cid=%d upper=%d" cid upper
+        done)
+      [ 1; (hi / 2) + 1; hi ]
+  done
+
+(* --- portfolio stitching ---------------------------------------------------- *)
+
+let portfolio_proof jobs () =
+  let problem = Gen.covering 3 in
+  let path = Filename.temp_file "bsolo_test" ".pbp" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let r = Portfolio.solve ~proof_file:path ~jobs ~budget:5.0 problem in
+      (match r.Portfolio.outcome.status with
+      | Bsolo.Outcome.Optimal -> ()
+      | s -> Alcotest.failf "portfolio did not prove: %s" (Bsolo.Outcome.status_name s));
+      let cost =
+        match Bsolo.Outcome.best_cost r.Portfolio.outcome with Some c -> c | None -> 0
+      in
+      match Proof.Check.check_file problem path with
+      | Error msg -> Alcotest.failf "stitched proof rejected: %s" msg
+      | Ok s ->
+        Alcotest.(check string) "stitched verdict" ("OPTIMAL " ^ string_of_int cost) s.verdict;
+        Alcotest.(check bool) "has sections" true (s.sections <> [] && s.sections <> [ "" ]))
+
+let suite =
+  [
+    Alcotest.test_case "random instances round-trip" `Quick roundtrip_random;
+    Alcotest.test_case "covering instances round-trip" `Quick roundtrip_covering_instances;
+    Alcotest.test_case "all lb methods round-trip" `Slow roundtrip_lb_methods;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+    Alcotest.test_case "dropped solution step rejected" `Quick mutation_dropped_solution;
+    Alcotest.test_case "weakened conclusion rejected" `Quick mutation_weakened_conclusion;
+    Alcotest.test_case "truncated proof rejected" `Quick mutation_truncated;
+    Alcotest.test_case "objective cut mirrors knapsack" `Quick objective_cut_matches;
+    Alcotest.test_case "cardinality cuts mirror knapsack" `Quick cardinality_cut_matches;
+    Alcotest.test_case "sequential portfolio proof stitches" `Quick (portfolio_proof 1);
+    Alcotest.test_case "parallel portfolio proof stitches" `Quick (portfolio_proof 2);
+  ]
