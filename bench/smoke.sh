@@ -1,12 +1,20 @@
 #!/bin/sh
 # Tier-1 smoke check: build, tests, formatting (when ocamlformat is
 # available), and one tiny instrumented solve whose JSONL trace and JSON
-# report are validated.  Exits non-zero on the first failure.
+# report are validated.  Also exercises the live-observability surface:
+# a --trace-spans/--heartbeat/--metrics portfolio solve whose artifacts
+# are validated with `bsolo inspect --spans` / `--live --check`, and a
+# single-engine --profile-hz run whose sampled profile must agree with
+# the exact phase timers (`inspect --profile` exits 1 on disagreement).
+# Exits non-zero on the first failure.
 #
 # With --proof, each smoke instance is additionally solved under
 # certified proof logging and the log replayed through `bsolo
 # checkproof` (including one --portfolio --jobs 2 stitched proof); at
 # least one run must carry certified LPR bound-conflict steps.
+#
+# When SMOKE_ARTIFACTS_DIR is set, the run's artifacts (span/heartbeat/
+# metrics files, reports, proofs) are copied there on exit for CI upload.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -34,7 +42,16 @@ fi
 
 echo "== instrumented solve =="
 tmpdir=$(mktemp -d)
-trap 'rm -rf "$tmpdir"' EXIT
+save_artifacts() {
+  if [ -n "${SMOKE_ARTIFACTS_DIR:-}" ]; then
+    mkdir -p "$SMOKE_ARTIFACTS_DIR"
+    for f in "$tmpdir"/*.json "$tmpdir"/*.jsonl "$tmpdir"/*.prom "$tmpdir"/*.pbp \
+             "$tmpdir"/*.check; do
+      [ -e "$f" ] && cp "$f" "$SMOKE_ARTIFACTS_DIR/" || true
+    done
+  fi
+}
+trap 'save_artifacts; rm -rf "$tmpdir"' EXIT
 ./_build/default/bin/bsolo_main.exe benchmarks/synth-s1.opb \
   --timeout 10 --stats \
   --trace "$tmpdir/trace.jsonl" --json "$tmpdir/report.json" \
@@ -86,9 +103,59 @@ grep -q 'portfolio\.incumbent_broadcasts' "$tmpdir/pstderr.txt" || {
   echo "FAIL: portfolio.* counters missing from --stats"; cat "$tmpdir/pstderr.txt"; exit 1;
 }
 
+bsolo=./_build/default/bin/bsolo_main.exe
+
+echo "== observability solve (spans + heartbeat + metrics, --jobs 2) =="
+timeout 120 "$bsolo" benchmarks/synth-s2.opb \
+  --portfolio --jobs 2 --timeout 60 \
+  --trace-spans "$tmpdir/spans.json" \
+  --heartbeat "$tmpdir/heartbeat.jsonl" --heartbeat-every 0.2 \
+  --metrics "$tmpdir/metrics.prom" \
+  --json "$tmpdir/obs-report.json" \
+  >"$tmpdir/obs.out" 2>&1 || {
+  echo "FAIL: observability solve failed"; cat "$tmpdir/obs.out"; exit 1;
+}
+
+echo "== validate span trace (inspect --spans) =="
+"$bsolo" inspect --spans "$tmpdir/spans.json" || {
+  echo "FAIL: span trace failed validation"; exit 1;
+}
+
+echo "== validate heartbeat (inspect --live --check) =="
+"$bsolo" inspect --live "$tmpdir/heartbeat.jsonl" --check || {
+  echo "FAIL: heartbeat failed validation"; exit 1;
+}
+
+echo "== run_id correlates report, spans and heartbeat =="
+rid=$(sed -n 's/.*"run_id":"\([0-9a-f]*\)".*/\1/p' "$tmpdir/obs-report.json" | head -1)
+[ -n "$rid" ] || { echo "FAIL: report has no run_id"; exit 1; }
+grep -q "\"run_id\":\"$rid\"" "$tmpdir/spans.json" || {
+  echo "FAIL: span header run_id != report run_id ($rid)"; exit 1;
+}
+grep -q "\"run_id\":\"$rid\"" "$tmpdir/heartbeat.jsonl" || {
+  echo "FAIL: heartbeat header run_id != report run_id ($rid)"; exit 1;
+}
+echo "run_id $rid present in all three artifacts"
+
+echo "== validate Prometheus metrics =="
+[ -s "$tmpdir/metrics.prom" ] || { echo "FAIL: empty metrics file"; exit 1; }
+grep -q '^# TYPE bsolo_' "$tmpdir/metrics.prom" || {
+  echo "FAIL: no namespaced TYPE lines in metrics"; exit 1;
+}
+
+echo "== sampling profile agrees with exact timers (inspect --profile) =="
+timeout 120 "$bsolo" benchmarks/synth-s2.opb \
+  --lb lpr --timeout 60 --profile-hz 300 --stats \
+  --json "$tmpdir/profile-report.json" \
+  >"$tmpdir/prof.out" 2>&1 || {
+  echo "FAIL: profiled solve failed"; cat "$tmpdir/prof.out"; exit 1;
+}
+"$bsolo" inspect --profile "$tmpdir/profile-report.json" || {
+  echo "FAIL: sampled profile disagrees with exact phase timers"; exit 1;
+}
+
 if [ "$with_proof" = 1 ]; then
   echo "== proof-checked solves (--proof) =="
-  bsolo=./_build/default/bin/bsolo_main.exe
   for inst in synth-s1 grout-s1 mcnc-s1 acc-s1; do
     f=benchmarks/$inst.opb
     timeout 120 "$bsolo" "$f" --timeout 60 --proof "$tmpdir/$inst.pbp" \

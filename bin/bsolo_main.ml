@@ -55,9 +55,15 @@ let fatal msg =
   Printf.eprintf "c error: %s\n%!" msg;
   exit 2
 
+(* Random hex run id: correlates every artifact (report, trace, spans,
+   heartbeats, proof log) a single invocation leaves behind. *)
+let make_run_id () =
+  let st = Random.State.make_self_init () in
+  String.concat "" (List.init 4 (fun _ -> Printf.sprintf "%04x" (Random.State.bits st land 0xffff)))
+
 let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching no_preprocess
     cold_lpr no_adaptive_lb portfolio jobs verify verbosity stats trace_file json_file
-    proof_file progress_every =
+    proof_file progress_every span_file heartbeat_file heartbeat_every profile_hz metrics_file =
   (match verbosity with
   | [] -> ()
   | [ _ ] ->
@@ -116,9 +122,14 @@ let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching 
         m "parsed %s: %d vars, %d constraints%s" path (Pbo.Problem.nvars problem)
           (Array.length (Pbo.Problem.constraints problem))
           (if Pbo.Problem.is_satisfaction problem then " (satisfaction)" else ""));
+    let run_id = make_run_id () in
+    let started = Unix.gettimeofday () in
     let want_report = stats || json_file <> None in
+    let observing =
+      span_file <> None || heartbeat_file <> None || profile_hz > 0. || metrics_file <> None
+    in
     let want_telemetry =
-      want_report || trace_file <> None || progress_every > 0
+      want_report || trace_file <> None || progress_every > 0 || observing
     in
     let tel =
       if not want_telemetry then None
@@ -127,8 +138,41 @@ let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching 
           match trace_file with
           | None -> None
           | Some f -> (
-            try Some (Telemetry.Trace.open_file f)
+            try
+              let tr = Telemetry.Trace.open_file f in
+              Telemetry.Trace.event tr "header"
+                [
+                  "schema", Telemetry.Json.String "bsolo-trace/1";
+                  "run_id", Telemetry.Json.String run_id;
+                  "started", Telemetry.Json.Float started;
+                ];
+              Some tr
             with Sys_error msg -> fatal ("cannot open trace file: " ^ msg))
+        in
+        let spans =
+          match span_file with
+          | None -> None
+          | Some f -> (
+            try
+              let sp = Telemetry.Span.open_file f in
+              Telemetry.Span.header sp ~run_id ~started;
+              Some sp
+            with Sys_error msg -> fatal ("cannot open span file: " ^ msg))
+        in
+        (* The main-context cell: observed whenever anything samples it
+           (spans, profiler, heartbeats, metrics), inert otherwise so
+           silent runs keep the zero-cost hot path. *)
+        let cell =
+          if observing then begin
+            let name = if portfolio then "main" else engine_name engine in
+            let c = Telemetry.Profile.Cell.make ~observed:true ~name () in
+            (match spans with
+            | Some sp -> Telemetry.Span.name_track sp ~track:(Telemetry.Profile.Cell.track c) name
+            | None -> ());
+            Telemetry.Profile.register c;
+            Some c
+          end
+          else None
         in
         let progress =
           if progress_every > 0 then
@@ -137,19 +181,40 @@ let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching 
                    Printf.eprintf "c %s\n%!" line))
           else None
         in
-        Some (Telemetry.Ctx.create ~timing:want_report ?trace ?progress ())
+        Some (Telemetry.Ctx.create ~timing:want_report ?trace ?spans ?cell ?progress ())
       end
     in
-    (* Keep a trace (and a proof log) parseable on abnormal exit: close
-       (flush) the sinks from signal handlers and at_exit.  Both closes
-       are idempotent, so the normal shutdown path is unaffected. *)
+    (* Heartbeat writer: opened before the solve so even an instant run
+       gets its header plus the start/stop snapshot pair. *)
+    let heartbeat =
+      match heartbeat_file, tel with
+      | Some f, Some _ -> (
+        try Some (Telemetry.Snapshot.open_file f ~run_id ~started ~every:heartbeat_every)
+        with Sys_error msg -> fatal ("cannot open heartbeat file: " ^ msg))
+      | _ -> None
+    in
+    let write_metrics () =
+      match metrics_file, tel with
+      | Some f, Some tel -> (
+        try Telemetry.Promtext.write_file f tel.Telemetry.Ctx.registry
+        with Sys_error _ -> ())
+      | _ -> ()
+    in
+    (* Keep a trace / span file / heartbeat (and a proof log) parseable on
+       abnormal exit: close (flush) the sinks from signal handlers and
+       at_exit.  All closes are idempotent, so the normal shutdown path is
+       unaffected. *)
     let close_sinks () =
       (match tel with
-      | Some tel when trace_file <> None -> Telemetry.Ctx.close tel
+      | Some tel when trace_file <> None || span_file <> None -> Telemetry.Ctx.close tel
       | Some _ | None -> ());
+      (match heartbeat with Some hb -> Telemetry.Snapshot.close hb | None -> ());
       match proof_sink with Some s -> Proof.Sink.close s | None -> ()
     in
-    if (Option.is_some tel && trace_file <> None) || Option.is_some proof_sink then begin
+    if
+      (Option.is_some tel && (trace_file <> None || span_file <> None))
+      || Option.is_some heartbeat || Option.is_some proof_sink
+    then begin
       at_exit close_sinks;
       let close_and_exit n =
         Sys.Signal_handle
@@ -177,6 +242,16 @@ let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching 
         proof = Option.map (fun s -> Proof.create s problem) proof_sink;
       }
     in
+    (* Correlate the proof log with the run's other artifacts, and trace
+       its periodic flushes as spans on the main track. *)
+    Option.iter (fun logger -> Proof.log_comment logger ("run " ^ run_id)) options.proof;
+    (match proof_sink, tel with
+    | Some sink, Some tel when span_file <> None ->
+      let track = Telemetry.Profile.Cell.track tel.Telemetry.Ctx.cell in
+      Proof.Sink.set_flush_hook sink (fun ~lines:_ ~seconds ->
+          Telemetry.Span.complete ~cat:"io" tel.spans ~track ~name:"proof_flush"
+            ~start:(Telemetry.Epoch.now () -. seconds) ~dur:seconds)
+    | _ -> ());
     Logs.debug (fun m ->
         m "engine=%s time_limit=%s cuts=%b lp_branching=%b preprocess=%b telemetry=%b"
           (engine_name engine)
@@ -186,6 +261,24 @@ let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching 
     let incumbents = ref [] in
     let note_incumbent cost =
       incumbents := { Bsolo.Report.at = Unix.gettimeofday () -. start; cost } :: !incumbents
+    in
+    (* Live monitors: the heartbeat ticker (periodic + SIGUSR1-triggered
+       snapshots, each refreshing the metrics file) and the sampling
+       phase profiler, both on their own domains for the solve's
+       duration. *)
+    let ticker =
+      match heartbeat with
+      | None -> None
+      | Some hb ->
+        let registry = Option.map (fun t -> t.Telemetry.Ctx.registry) tel in
+        let tk = Telemetry.Snapshot.Ticker.start ?registry ~on_tick:write_metrics hb ~every:heartbeat_every in
+        (try Sys.set_signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> Telemetry.Snapshot.Ticker.request tk))
+         with Invalid_argument _ | Sys_error _ -> ());
+        Some tk
+    in
+    let sampler =
+      if profile_hz > 0. then Some (Telemetry.Profile.Sampler.start ~hz:profile_hz ())
+      else None
     in
     let portfolio_run = ref None in
     let outcome =
@@ -197,7 +290,10 @@ let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching 
         in
         let budget = match time_limit with Some t -> t | None -> infinity in
         Logs.debug (fun m -> m "portfolio: jobs=%d budget=%g" jobs budget);
-        let r = Portfolio.solve ?telemetry:tel ?proof_file ~jobs ~budget problem in
+        let r =
+          Portfolio.solve ?telemetry:tel ~run_id ~observe:observing ?proof_file ~jobs ~budget
+            problem
+        in
         portfolio_run := Some (r, jobs);
         r.outcome
       end
@@ -214,6 +310,17 @@ let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching 
             problem
         | Milp_engine -> Milp.Branch_and_bound.solve ~options problem
     in
+    (* Join the monitor domains before reports are assembled: the final
+       heartbeat and the profile result must reflect the whole solve. *)
+    let profile_result = Option.map Telemetry.Profile.Sampler.stop sampler in
+    (match ticker with
+    | None -> ()
+    | Some tk ->
+      Telemetry.Snapshot.Ticker.stop tk;
+      (try Sys.set_signal Sys.sigusr1 Sys.Signal_default
+       with Invalid_argument _ | Sys_error _ -> ()));
+    (match heartbeat with Some hb -> Telemetry.Snapshot.close hb | None -> ());
+    write_metrics ();
     (* Engines without the hook still contribute their final incumbent, so
        every report carries a (possibly one-point) trajectory. *)
     (match (if portfolio then None else Some engine), outcome.best with
@@ -273,6 +380,8 @@ let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching 
         let report =
           Bsolo.Report.make ~instance:path
             ~engine:(if portfolio then "portfolio" else engine_name engine)
+            ~run_id ~started
+            ?profile:(Option.map Telemetry.Profile.Sampler.result_json profile_result)
             ~problem ~options
             ~incumbents:(List.rev !incumbents) ~telemetry:tel outcome
         in
@@ -405,6 +514,42 @@ let progress_arg =
   let doc = "Print a progress line to stderr every $(docv) conflicts (0 disables)." in
   Arg.(value & opt int 0 & info [ "progress" ] ~docv:"N" ~doc)
 
+let span_file_arg =
+  let doc =
+    "Write engine-phase / lower-bounding / proof-flush / portfolio-member spans as a Chrome \
+     trace-event JSON file to $(docv), loadable in Perfetto (one track per solver context, \
+     timestamps on one shared epoch across domains).  Validate with $(b,bsolo inspect --spans)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-spans" ] ~docv:"FILE" ~doc)
+
+let heartbeat_arg =
+  let doc =
+    "Append a JSONL heartbeat snapshot (per-member phase, bounds, gap, node rate, incumbent \
+     provenance, counter deltas) to $(docv) every $(b,--heartbeat-every) seconds; SIGUSR1 \
+     forces an immediate snapshot.  Tail live with $(b,bsolo inspect --live)."
+  in
+  Arg.(value & opt (some string) None & info [ "heartbeat" ] ~docv:"FILE" ~doc)
+
+let heartbeat_every_arg =
+  let doc = "Heartbeat period in seconds." in
+  Arg.(value & opt float 1.0 & info [ "heartbeat-every" ] ~docv:"SECONDS" ~doc)
+
+let profile_hz_arg =
+  let doc =
+    "Run the sampling phase profiler at $(docv) samples per second (0 disables).  The folded \
+     stacks and self-time table land in the $(b,--json) report; render with \
+     $(b,bsolo inspect --profile)."
+  in
+  Arg.(value & opt float 0. & info [ "profile-hz" ] ~docv:"HZ" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Write the counter/gauge/histogram registry in Prometheus text exposition format to \
+     $(docv) (atomically, on every heartbeat tick and at exit) — for the node_exporter \
+     textfile collector or any file scraper."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
 (* --- inspect subcommand ---------------------------------------------------- *)
 
 let print_lines = List.iter print_endline
@@ -449,12 +594,102 @@ let inspect_bench path json =
     (Inspect.Bench.rows_of_json json);
   print_newline ()
 
-let inspect_run files diff_mode trace_file threshold show_all =
+(* Tail a heartbeat JSONL file, re-rendering the status view as
+   snapshots arrive; stops at the end record.  The writer flushes every
+   complete line, so a torn tail line is at worst one missed repaint. *)
+let follow_heartbeat path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let seen = ref [] in
+  let finished = ref false in
+  let render () =
+    print_string "\027[H\027[2J";
+    List.iter print_endline (Inspect.heartbeat_view (List.rev !seen));
+    flush stdout
+  in
+  while not !finished do
+    let progressed = ref false in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.trim line <> "" then begin
+           match Inspect.Json.of_string line with
+           | Ok j ->
+             seen := j :: !seen;
+             progressed := true;
+             if Inspect.Json.member "end" j = Some (Inspect.Json.Bool true) then raise Exit
+           | Error _ -> ()
+         end
+       done
+     with
+    | End_of_file -> ()
+    | Exit -> finished := true);
+    if !progressed then render ();
+    if not !finished then Unix.sleepf 0.3
+  done;
+  print_endline "run ended.";
+  0
+
+let inspect_run files diff_mode trace_file spans_file live_file follow check profile_mode
+    threshold show_all =
   let error msg =
     Printf.eprintf "bsolo inspect: %s\n" msg;
     2
   in
   let load path k = match Inspect.load_file path with Ok j -> k j | Error msg -> error msg in
+  match spans_file with
+  | Some path ->
+    (match Inspect.load_spans path with
+    | Error msg -> error msg
+    | Ok events ->
+      Printf.printf "== %s (spans) ==\n" path;
+      (match Inspect.validate_spans events with
+      | Ok stats ->
+        print_lines (Inspect.render_span_stats stats);
+        0
+      | Error violations ->
+        List.iter (fun v -> Printf.printf "VIOLATION: %s\n" v) violations;
+        1))
+  | None ->
+  match live_file with
+  | Some path when follow -> follow_heartbeat path
+  | Some path ->
+    (match Inspect.load_trace path with
+    | Error msg -> error msg
+    | Ok (lines, _skipped) ->
+      Printf.printf "== %s (heartbeat) ==\n" path;
+      print_lines (Inspect.heartbeat_view lines);
+      if check then (
+        match Inspect.heartbeat_check lines with
+        | Ok summary ->
+          print_lines summary;
+          0
+        | Error violations ->
+          List.iter (fun v -> Printf.printf "VIOLATION: %s\n" v) violations;
+          1)
+      else 0)
+  | None ->
+  if profile_mode then begin
+    match files with
+    | [] -> error "--profile needs a run report (--json output of a --profile-hz run)"
+    | files ->
+      let rec go worst = function
+        | [] -> worst
+        | path :: rest ->
+          load path (fun json ->
+              Printf.printf "== %s (profile) ==\n" path;
+              print_lines (Inspect.render_profile json);
+              print_newline ();
+              let rc =
+                match Inspect.profile_agreement json with
+                | Some pa when (not pa.pa_ok) && (not pa.pa_low) && not pa.pa_no_timers -> 1
+                | _ -> 0
+              in
+              go (max worst rc) rest)
+      in
+      go 0 files
+  end
+  else
   match trace_file, diff_mode, files with
   | Some path, _, _ ->
     (match Inspect.load_trace path with
@@ -496,6 +731,36 @@ let inspect_trace_arg =
   let doc = "Summarize a JSONL trace instead of a report (tolerates truncated traces)." in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let inspect_spans_arg =
+  let doc =
+    "Validate a --trace-spans Chrome trace file: one run header, per-track B/E well-nesting, \
+     monotone clocks.  Exit 1 on any violation."
+  in
+  Arg.(value & opt (some string) None & info [ "spans" ] ~docv:"FILE" ~doc)
+
+let inspect_live_arg =
+  let doc = "Render a --heartbeat JSONL file as a terminal status view (see also --follow)." in
+  Arg.(value & opt (some string) None & info [ "live" ] ~docv:"FILE" ~doc)
+
+let inspect_follow_arg =
+  let doc = "With --live, tail the file and repaint as snapshots arrive." in
+  Arg.(value & flag & info [ "follow" ] ~doc)
+
+let inspect_check_arg =
+  let doc =
+    "With --live, verify heartbeat invariants (>= 2 snapshots, non-widening gaps, end record); \
+     exit 1 on violation."
+  in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
+let inspect_profile_arg =
+  let doc =
+    "Render the sampling profile embedded in a run report (folded stacks, self-time table) and \
+     cross-check the dominant phase against the exact timers; exit 1 when they disagree beyond \
+     15%."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
 let threshold_arg =
   let doc = "Relative regression threshold for --diff (0.25 = +25%)." in
   Arg.(value & opt float 0.25 & info [ "threshold" ] ~docv:"FRACTION" ~doc)
@@ -509,8 +774,9 @@ let inspect_cmd =
   let info = Cmd.info "inspect" ~doc in
   Cmd.v info
     Term.(
-      const inspect_run $ inspect_files_arg $ diff_flag $ inspect_trace_arg $ threshold_arg
-      $ diff_all_arg)
+      const inspect_run $ inspect_files_arg $ diff_flag $ inspect_trace_arg $ inspect_spans_arg
+      $ inspect_live_arg $ inspect_follow_arg $ inspect_check_arg $ inspect_profile_arg
+      $ threshold_arg $ diff_all_arg)
 
 (* --- checkproof subcommand -------------------------------------------------- *)
 
@@ -560,7 +826,8 @@ let solve_term =
     const solve_file $ file_arg $ engine_arg $ lb_arg $ time_arg $ conflict_arg $ no_cuts_arg
     $ no_lp_branching_arg $ no_preprocess_arg $ cold_lpr_arg $ no_adaptive_lb_arg
     $ portfolio_arg $ jobs_arg $ verify_arg $ verbose_arg $ stats_arg $ trace_arg $ json_arg
-    $ proof_file_arg $ progress_arg)
+    $ proof_file_arg $ progress_arg $ span_file_arg $ heartbeat_arg $ heartbeat_every_arg
+    $ profile_hz_arg $ metrics_arg)
 
 let cmd =
   let doc = "pseudo-Boolean optimizer with lower bounding (bsolo reproduction)" in

@@ -72,7 +72,7 @@ let learn_pb_resolvent st ci =
 
 let maybe_reduce_db st =
   if st.options.reduce_db && Core.num_learned st.engine > st.max_learned then begin
-    Telemetry.Timer.with_phase st.tel.timer Telemetry.Phase.Reduce_db (fun () ->
+    Telemetry.Ctx.with_phase st.tel Telemetry.Phase.Reduce_db (fun () ->
         Core.reduce_db st.engine);
     Hashtbl.reset st.reduced;
     st.max_learned <- st.max_learned + (st.max_learned / 2)
@@ -99,6 +99,7 @@ let record_model st =
     st.best <- Some (m, cost + st.offset);
     Telemetry.Trace.incumbent st.tel.trace ~cost:(cost + st.offset)
       ~conflicts:(Telemetry.Counter.get (Core.stats st.engine).Core.conflicts);
+    Telemetry.Profile.Cell.update_ub ~self:true st.tel.cell (float_of_int (cost + st.offset));
     match st.options.on_incumbent with
     | Some broadcast -> broadcast m (cost + st.offset)
     | None -> ()
@@ -117,6 +118,7 @@ let poll_external st =
       st.upper <- ext - st.offset;
       st.imported <- true;
       Telemetry.Counter.incr st.imports;
+      Telemetry.Profile.Cell.update_ub ~self:false st.tel.cell (float_of_int ext);
       (match Knapsack.upper_cut (Core.problem st.engine) ~upper:st.upper with
       | Constr.Trivial_false -> `Stop
       | Constr.Trivial_true -> `Continue
@@ -153,14 +155,14 @@ let rec search st =
   else if poll_external st = `Stop then Exhausted
   else begin
     match
-      Telemetry.Timer.with_phase st.tel.timer Telemetry.Phase.Propagate (fun () ->
+      Telemetry.Ctx.with_phase st.tel Telemetry.Phase.Propagate (fun () ->
           Core.propagate st.engine)
     with
     | Some ci ->
       if Core.root_unsat st.engine then Exhausted
       else begin
         match
-          Telemetry.Timer.with_phase st.tel.timer Telemetry.Phase.Analyze (fun () ->
+          Telemetry.Ctx.with_phase st.tel Telemetry.Phase.Analyze (fun () ->
               learn_cardinality_reduction st ci;
               let ci = learn_pb_resolvent st ci in
               Core.resolve_conflict st.engine ci)
@@ -192,6 +194,9 @@ let rec search st =
         match Core.next_branch_var st.engine with
         | None -> assert false
         | Some v ->
+          (* A node is a decision here; keep the live cell in step with
+             the [search.nodes] alias published after the run. *)
+          Telemetry.Profile.Cell.bump_nodes st.tel.cell;
           Core.decide st.engine (Lit.make v (Core.phase_hint st.engine v));
           search st
       end
@@ -229,7 +234,7 @@ let solve ?(options = pbs_like) ?(pb_learning = false) ?(cutting_planes = false)
     if Core.root_unsat engine then Exhausted
     else begin
       if options.preprocess then
-        Telemetry.Timer.with_phase tel.timer Telemetry.Phase.Preprocess (fun () ->
+        Telemetry.Ctx.with_phase tel Telemetry.Phase.Preprocess (fun () ->
             ignore (Preprocess.probe engine));
       if Core.root_unsat engine then Exhausted else search st
     end

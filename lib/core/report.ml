@@ -112,12 +112,16 @@ let telemetry_json (tel : Telemetry.Ctx.t) =
            (Telemetry.Registry.all_series tel.registry)) );
   ]
 
-let make ?instance ?engine ?problem ?options ?(incumbents = []) ~telemetry (outcome : Outcome.t) =
+let make ?instance ?engine ?run_id ?started ?profile ?problem ?options ?(incumbents = [])
+    ~telemetry (outcome : Outcome.t) =
   let opt_field name v f = match v with None -> [] | Some v -> [ name, f v ] in
   Json.Obj
     (("schema", Json.String schema)
      :: (opt_field "instance" instance (fun s -> Json.String s)
-        @ opt_field "engine" engine (fun s -> Json.String s))
+        @ opt_field "engine" engine (fun s -> Json.String s)
+        @ opt_field "run_id" run_id (fun s -> Json.String s)
+        @ opt_field "started_at" started (fun t -> Json.Float t)
+        @ opt_field "profile" profile Fun.id)
     @ status_json outcome
     @ opt_field "pstats" problem pstats_json
     @ opt_field "options" options options_json

@@ -20,12 +20,19 @@ val schema : string
 val make :
   ?instance:string ->
   ?engine:string ->
+  ?run_id:string ->
+  ?started:float ->
+  ?profile:Telemetry.Json.t ->
   ?problem:Problem.t ->
   ?options:Options.t ->
   ?incumbents:incumbent list ->
   telemetry:Telemetry.Ctx.t ->
   Outcome.t ->
   Telemetry.Json.t
+(** [run_id] and [started] (absolute [Unix.gettimeofday] at run start)
+    correlate the report with trace/span/heartbeat/proof artifacts of
+    the same run; [profile] embeds a sampling-profiler result
+    ({!Telemetry.Profile.Sampler.result_json}). *)
 
 val to_string : Telemetry.Json.t -> string
 val write_file : string -> Telemetry.Json.t -> unit

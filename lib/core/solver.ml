@@ -39,7 +39,7 @@ type verdict =
 
 let lb_compute st =
   let cap = st.upper - Core.path_cost st.engine in
-  Telemetry.Timer.with_phase st.tel.timer Telemetry.Phase.Lower_bound (fun () ->
+  Telemetry.Ctx.with_phase st.tel Telemetry.Phase.Lower_bound (fun () ->
       match st.options.lb_method with
       | Options.Plain -> Lowerbound.Bound.none
       | Options.Mis -> Lowerbound.Mis.compute st.engine
@@ -82,6 +82,7 @@ let poll_external st =
       st.upper <- ext - st.offset;
       st.imported <- true;
       Telemetry.Counter.incr st.imports;
+      Telemetry.Profile.Cell.update_ub ~self:false st.tel.cell (float_of_int ext);
       (match st.options.proof with
       | Some proof -> Proof.log_import proof ~cost:ext ~member
       | None -> ())
@@ -89,7 +90,7 @@ let poll_external st =
 
 let maybe_reduce_db st =
   if st.options.reduce_db && Core.num_learned st.engine > st.max_learned then begin
-    Telemetry.Timer.with_phase st.tel.timer Telemetry.Phase.Reduce_db (fun () ->
+    Telemetry.Ctx.with_phase st.tel Telemetry.Phase.Reduce_db (fun () ->
         Core.reduce_db st.engine);
     st.max_learned <- st.max_learned + (st.max_learned / 2)
   end
@@ -132,6 +133,7 @@ let record_incumbent st =
     | None -> ());
     let conflicts = Telemetry.Counter.get (Core.stats st.engine).Core.conflicts in
     Telemetry.Trace.incumbent st.tel.trace ~cost:(cost + st.offset) ~conflicts;
+    Telemetry.Profile.Cell.update_ub ~self:true st.tel.cell (float_of_int (cost + st.offset));
     Lowerbound.Track.gap_sample_now st.track
       ~at:(Unix.gettimeofday () -. st.start)
       ~lb:(st.last_lb + st.offset) ~ub:(cost + st.offset);
@@ -145,7 +147,7 @@ let record_incumbent st =
    the new upper bound; returns a conflicting cut if any (expected: the
    knapsack cut is violated by the incumbent assignment itself). *)
 let add_incumbent_cuts st =
-  Telemetry.Timer.with_phase st.tel.timer Telemetry.Phase.Cut_generation (fun () ->
+  Telemetry.Ctx.with_phase st.tel Telemetry.Phase.Cut_generation (fun () ->
       let problem = Core.problem st.engine in
       let cuts =
         (* the knapsack cut (10) needs no proof step: it is exactly the
@@ -200,7 +202,7 @@ let handle_bound_conflict st (lower : Lowerbound.Bound.t) omega =
   Telemetry.Trace.bound_conflict st.tel.trace ~lb:lower.value ~path:(Core.path_cost st.engine)
     ~upper:st.upper ~level:from_level;
   let analysis =
-    Telemetry.Timer.with_phase st.tel.timer Telemetry.Phase.Analyze (fun () ->
+    Telemetry.Ctx.with_phase st.tel Telemetry.Phase.Analyze (fun () ->
         Core.learn_false_clause st.engine omega)
   in
   let to_level =
@@ -228,14 +230,14 @@ let rec search st =
   else begin
     poll_external st;
     match
-      Telemetry.Timer.with_phase st.tel.timer Telemetry.Phase.Propagate (fun () ->
+      Telemetry.Ctx.with_phase st.tel Telemetry.Phase.Propagate (fun () ->
           Core.propagate st.engine)
     with
     | Some ci ->
       if Core.root_unsat st.engine then Exhausted
       else begin
         match
-          Telemetry.Timer.with_phase st.tel.timer Telemetry.Phase.Analyze (fun () ->
+          Telemetry.Ctx.with_phase st.tel Telemetry.Phase.Analyze (fun () ->
               Core.resolve_conflict st.engine ci)
         with
         | Core.Root_conflict -> Exhausted
@@ -250,6 +252,7 @@ let rec search st =
       else if Core.all_assigned st.engine then handle_full_assignment st
       else begin
         Telemetry.Counter.incr st.nodes;
+        Telemetry.Profile.Cell.bump_nodes st.tel.cell;
         (* Before any incumbent exists, [upper] is above the worst cost
            and no bound can prune, so the search dives for a first
            solution without paying for lower bounds.  [lb_every] thins
@@ -282,6 +285,11 @@ let rec search st =
               Lowerbound.Track.gap_sample st.track
                 ~at:(Unix.gettimeofday () -. st.start)
                 ~lb:(st.last_lb + st.offset) ~ub:(st.upper + st.offset);
+              (* A root-level evaluation (no decisions on the trail)
+                 bounds the whole problem; deeper ones only bound their
+                 subtree and must not reach the live cell. *)
+              if Core.decision_level st.engine = 0 then
+                Lowerbound.Track.publish_global_lb st.track ~lb:(st.last_lb + st.offset);
               lower, true
           end
         in
@@ -356,7 +364,7 @@ and handle_full_assignment st =
     | Some `Root -> Exhausted
     | Some (`Cid ci) ->
       (match
-         Telemetry.Timer.with_phase st.tel.timer Telemetry.Phase.Analyze (fun () ->
+         Telemetry.Ctx.with_phase st.tel Telemetry.Phase.Analyze (fun () ->
              Core.resolve_conflict st.engine ci)
        with
       | Core.Root_conflict -> Exhausted
@@ -372,7 +380,7 @@ and handle_full_assignment st =
       | Some proof -> Proof.log_learned proof omega
       | None -> ());
       (match
-         Telemetry.Timer.with_phase st.tel.timer Telemetry.Phase.Analyze (fun () ->
+         Telemetry.Ctx.with_phase st.tel Telemetry.Phase.Analyze (fun () ->
              Core.learn_false_clause st.engine omega)
        with
       | Core.Root_conflict -> Exhausted
@@ -444,7 +452,7 @@ let solve_with_incumbent_hook ?(options = Options.default) ~on_incumbent problem
   in
   let tel = match options.telemetry with Some t -> t | None -> Telemetry.Ctx.silent () in
   let problem =
-    Telemetry.Timer.with_phase tel.timer Telemetry.Phase.Preprocess (fun () ->
+    Telemetry.Ctx.with_phase tel Telemetry.Phase.Preprocess (fun () ->
         if options.constraint_strengthening then fst (Strengthen.apply problem) else problem)
   in
   let engine = Core.create ~telemetry:tel problem in
@@ -497,7 +505,7 @@ let solve_with_incumbent_hook ?(options = Options.default) ~on_incumbent problem
       let on_fixed =
         Option.map (fun proof l -> Proof.log_learned proof [ l ]) options.proof
       in
-      Telemetry.Timer.with_phase tel.timer Telemetry.Phase.Preprocess (fun () ->
+      Telemetry.Ctx.with_phase tel Telemetry.Phase.Preprocess (fun () ->
           ignore (Preprocess.probe ?on_fixed engine))
     end;
     if Core.root_unsat engine then package st Exhausted

@@ -128,3 +128,65 @@ end
 (** {1 Trace summary} *)
 
 val trace_summary : Json.t list -> skipped:int -> string list
+
+(** {1 Sampling-profile view}
+
+    Renders the ["profile"] member a report gains when the solver ran
+    with [--profile-hz]: folded stacks (flamegraph input), a
+    leaf-attributed self-time table, and a cross-check of the dominant
+    phase's sampled share against the exact phase timers. *)
+
+type profile_agreement = {
+  pa_phase : string;  (** dominant (most-sampled) phase *)
+  pa_sampled : float;  (** its leaf-attributed sampled share, 0..1 *)
+  pa_timer : float;  (** its exact self-time share, 0..1 *)
+  pa_ok : bool;  (** shares agree within 15% (absolute or relative) *)
+  pa_low : bool;  (** too few samples for the check to be meaningful *)
+  pa_no_timers : bool;
+      (** the report has no exact phase times to compare against (e.g. a
+          parallel portfolio run, whose worker timers are silent) *)
+}
+
+val profile_agreement : Json.t -> profile_agreement option
+(** [None] when the report has no profile or no phase-attributed
+    samples. *)
+
+val render_profile : Json.t -> string list
+
+(** {1 Span-file validation} *)
+
+val load_spans : string -> (Json.t list, string) result
+(** Parse a Chrome trace-event JSON array; a file truncated by a signal
+    (missing the closing bracket, possibly with a torn tail line) is
+    repaired before parsing. *)
+
+type span_stats = {
+  sp_events : int;
+  sp_tracks : int;
+  sp_max_depth : int;
+  sp_last_ts : float;  (** microseconds *)
+  sp_run_id : string option;
+}
+
+val validate_spans : Json.t list -> (span_stats, string list) result
+(** Checks exactly one [bsolo_run] header (schema + shared epoch) and,
+    per track, B/E well-nesting ([args.id] matching, [args.parent] =
+    enclosing span) with monotone timestamps.  [Error] lists every
+    violation found. *)
+
+val render_span_stats : span_stats -> string list
+
+(** {1 Heartbeat view} *)
+
+val render_snapshot : Telemetry.Snapshot.snap -> string list
+
+val heartbeat_view : Json.t list -> string list
+(** Terminal status view over the parsed lines of a heartbeat JSONL
+    file: header, latest snapshot's member table and the best-gap
+    trend. *)
+
+val heartbeat_check : Json.t list -> (string list, string list) result
+(** Structural checks for the smoke suite: header present, at least two
+    snapshots, an end record, strictly increasing sequence numbers and
+    per-member gaps that never widen.  [Ok] carries a one-line
+    summary. *)

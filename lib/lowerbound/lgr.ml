@@ -49,7 +49,7 @@ let compute ?(iters = 50) engine ~cap =
     let target = float_of_int cap -. res.obj_offset in
     let sstats = Lagrangian.Subgradient.stats () in
     let result =
-      Telemetry.Timer.with_phase tel.timer Telemetry.Phase.Subgradient (fun () ->
+      Telemetry.Ctx.with_phase tel Telemetry.Phase.Subgradient (fun () ->
           Lagrangian.Subgradient.maximize ~iters ~stats:sstats ~target problem)
     in
     Instr.flush_subgradient tel.registry sstats;

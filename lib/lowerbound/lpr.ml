@@ -41,7 +41,7 @@ let compute engine ~cap =
     in
     let sstats = Simplex.stats () in
     let outcome =
-      Telemetry.Timer.with_phase tel.timer Telemetry.Phase.Simplex (fun () ->
+      Telemetry.Ctx.with_phase tel Telemetry.Phase.Simplex (fun () ->
           Simplex.solve ~should_stop:(fun () -> Core.interrupt_requested engine) ~stats:sstats
             lp)
     in
@@ -232,7 +232,7 @@ let compute_inc inc ~cap =
     else begin
       let sstats = Simplex.stats () in
       let outcome =
-        Telemetry.Timer.with_phase tel.timer Telemetry.Phase.Simplex (fun () ->
+        Telemetry.Ctx.with_phase tel Telemetry.Phase.Simplex (fun () ->
             Simplex.Incremental.reoptimize
               ~should_stop:(fun () -> Core.interrupt_requested inc.engine)
               ~stats:sstats sx)

@@ -18,6 +18,7 @@ type t = {
   path_backjump : Telemetry.Histogram.t;  (* lb.path.bc_backjump *)
   gap : Telemetry.Series.t;  (* search.gap: (lb, ub) trajectory *)
   trace : Telemetry.Trace.t;
+  cell : Telemetry.Profile.Cell.t;  (* live lb for heartbeat monitors *)
 }
 
 let gap_series_name = "search.gap"
@@ -37,6 +38,7 @@ let create (tel : Telemetry.Ctx.t) ~proc =
     path_backjump = h "lb.path.bc_backjump";
     gap = Telemetry.Registry.series reg ~fields:gap_fields gap_series_name;
     trace = tel.trace;
+    cell = tel.cell;
   }
 
 let tightness_pm ~value ~need =
@@ -67,3 +69,12 @@ let gap_sample t ~at ~lb ~ub =
 
 let gap_sample_now t ~at ~lb ~ub =
   Telemetry.Series.observe_now t.gap ~t:at [| float_of_int lb; float_of_int ub |]
+
+(* Publish a *globally valid* lower bound (a root-level evaluation, a
+   best-first tree bound) to the context's profile cell for heartbeat
+   monitors.  Deliberately separate from {!gap_sample}: the gap series
+   records node-local bounds too, which may exceed the optimum on a
+   subtree about to be pruned and must never reach the cell — the cell
+   keeps the maximum and backs the non-widening heartbeat gap. *)
+let publish_global_lb t ~lb =
+  Telemetry.Profile.Cell.update_lb t.cell (float_of_int lb)

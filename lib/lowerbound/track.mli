@@ -37,3 +37,10 @@ val gap_sample : t -> at:float -> lb:int -> ub:int -> unit
 
 val gap_sample_now : t -> at:float -> lb:int -> ub:int -> unit
 (** Always-kept gap point, for incumbent updates. *)
+
+val publish_global_lb : t -> lb:int -> unit
+(** Publish a globally valid lower bound (root-level evaluation) to the
+    context's live profile cell for heartbeat monitors.  Node-local
+    bounds must NOT go through here: the cell keeps the maximum, and a
+    subtree bound above the optimum would freeze a wrong value into the
+    reported gap. *)

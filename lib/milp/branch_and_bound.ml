@@ -168,6 +168,7 @@ let solve ?(options = Bsolo.Options.default) problem =
         upper := c;
         best := Some (m, c);
         Telemetry.Trace.incumbent tel.trace ~cost:c ~conflicts:!nodes;
+        Telemetry.Profile.Cell.update_ub ~self:true tel.Telemetry.Ctx.cell (float_of_int c);
         match options.on_incumbent with Some broadcast -> broadcast m c | None -> ()
       end
     end
@@ -183,7 +184,8 @@ let solve ?(options = Bsolo.Options.default) problem =
       | Some (ext, _member) when ext < !upper ->
         upper := ext;
         imported := true;
-        Telemetry.Counter.incr imports_c
+        Telemetry.Counter.incr imports_c;
+        Telemetry.Profile.Cell.update_ub ~self:false tel.Telemetry.Ctx.cell (float_of_int ext)
       | Some _ | None -> ())
   in
   let out_of_budget () =
@@ -209,6 +211,10 @@ let solve ?(options = Bsolo.Options.default) problem =
       incr nodes;
       poll_external ();
       Telemetry.Counter.incr nodes_c;
+      Telemetry.Profile.Cell.bump_nodes tel.Telemetry.Ctx.cell;
+      (* Best-first: the popped node's bound is the global lower bound. *)
+      if Float.is_finite node.bound then
+        Telemetry.Profile.Cell.update_lb tel.Telemetry.Ctx.cell node.bound;
       Telemetry.Counter.incr decisions_c;
       Telemetry.Progress.tick tel.progress ~count:!nodes ~render:(fun () ->
           Printf.sprintf "nodes=%d open=%d ub=%s" !nodes heap.Heap.size
@@ -218,7 +224,7 @@ let solve ?(options = Bsolo.Options.default) problem =
         Telemetry.Counter.incr lp_calls_c;
         let sstats = Simplex.stats () in
         let lp_outcome =
-          Telemetry.Timer.with_phase tel.timer Telemetry.Phase.Simplex (fun () ->
+          Telemetry.Ctx.with_phase tel Telemetry.Phase.Simplex (fun () ->
               Simplex.solve ~max_iters:2000 ~should_stop:lp_should_stop ~stats:sstats
                 (lp_for relax node.fixings))
         in

@@ -191,7 +191,7 @@ let stitched_claim included =
     | None, Some f -> Proof.Bounds (f, None)
     | None, None -> Proof.No_claim
 
-let stitch_proof ~base problem names runs =
+let stitch_proof ?run_id ~base problem names runs =
   let included = ref [] in
   let sections = ref [] in
   List.iter
@@ -212,6 +212,8 @@ let stitch_proof ~base problem names runs =
     ~finally:(fun () -> close_out oc)
     (fun () ->
       Printf.fprintf oc "p %s\n" Proof.version;
+      (* Run-correlation comment; the checker skips [#] lines. *)
+      Option.iter (fun id -> Printf.fprintf oc "# run %s\n" id) run_id;
       Printf.fprintf oc "f %d\n" (Array.length (Problem.constraints problem));
       if sections = [] then output_string oc "c NONE\n"
       else begin
@@ -229,7 +231,7 @@ let stitch_proof ~base problem names runs =
    budget *still unspent*, so an early unproved finisher (conflict/node
    limit, trivial instance) donates its remainder to later entries
    instead of letting it evaporate. *)
-let solve_sequential tel entries ~budget ~proof_file problem =
+let solve_sequential ?run_id tel entries ~budget ~proof_file problem =
   let runs = ref [] in
   let finished = ref false in
   let spent = ref 0. in
@@ -250,7 +252,15 @@ let solve_sequential tel entries ~budget ~proof_file problem =
             proof = Option.map (fun s -> Proof.create ~header:false s problem) psink;
           }
         in
-        let o = e.psolve ~options problem in
+        (* Sequential members share the caller's context (and so its
+           track): the member span nests around the engine-phase spans
+           the run emits. *)
+        let o =
+          Telemetry.Span.with_span ~cat:"member" tel.spans
+            ~track:(Telemetry.Profile.Cell.track tel.cell)
+            ("member:" ^ e.pname)
+            (fun () -> e.psolve ~options problem)
+        in
         Option.iter Proof.Sink.close psink;
         spent := !spent +. o.elapsed;
         attribute tel e.pname o;
@@ -261,7 +271,7 @@ let solve_sequential tel entries ~budget ~proof_file problem =
     entries;
   let runs = List.rev !runs in
   (match proof_file with
-  | Some base -> stitch_proof ~base problem (List.map (fun e -> e.pname) entries) runs
+  | Some base -> stitch_proof ?run_id ~base problem (List.map (fun e -> e.pname) entries) runs
   | None -> ());
   runs
 
@@ -288,7 +298,7 @@ type worker_result = {
   wcancelled : bool;  (* finished unproved after the stop flag was up *)
 }
 
-let solve_parallel tel entries ~jobs ~budget ~proof_file problem =
+let solve_parallel ?run_id ~observe tel entries ~jobs ~budget ~proof_file problem =
   let entries = Array.of_list entries in
   let n = Array.length entries in
   let jobs = max 1 (min jobs n) in
@@ -299,11 +309,19 @@ let solve_parallel tel entries ~jobs ~budget ~proof_file problem =
   let broadcasts = Atomic.make 0 in
   let run_one index =
     let e = entries.(index) in
+    (* Each member gets its own profile cell — and so its own span track
+       — live (registered) exactly for the duration of its run, so
+       monitors see members come and go. *)
+    let wcell = Telemetry.Profile.Cell.make ~observed:observe ~name:e.pname () in
+    let wtrack = Telemetry.Profile.Cell.track wcell in
+    Telemetry.Span.name_track tel.Telemetry.Ctx.spans ~track:wtrack e.pname;
     let wtel =
       {
         Telemetry.Ctx.timer = Telemetry.Timer.create ~enabled:false ();
         registry = Telemetry.Registry.create ();
         trace = tel.Telemetry.Ctx.trace;
+        spans = tel.spans;
+        cell = wcell;
         progress = Telemetry.Progress.disabled ();
       }
     in
@@ -327,11 +345,17 @@ let solve_parallel tel entries ~jobs ~budget ~proof_file problem =
         proof = Option.map (fun s -> Proof.create ~header:false s problem) psink;
       }
     in
+    Telemetry.Profile.register wcell;
     let wrun =
-      match e.psolve ~options problem with
+      match
+        Telemetry.Span.with_span ~cat:"member" tel.spans ~track:wtrack
+          ("member:" ^ e.pname)
+          (fun () -> e.psolve ~options problem)
+      with
       | o -> Ok o
       | exception exn -> Error (Printexc.to_string exn)
     in
+    Telemetry.Profile.unregister wcell;
     Option.iter Proof.Sink.close psink;
     let stopped_by_peer = Atomic.get stop in
     (* Raise the stop flag on a completed proof — either a proved status,
@@ -398,7 +422,7 @@ let solve_parallel tel entries ~jobs ~budget ~proof_file problem =
      rewritten section never verified, and checkproof would reject it. *)
   (match proof_file with
   | Some base ->
-    stitch_proof ~base problem
+    stitch_proof ?run_id ~base problem
       (List.map (fun e -> e.pname) (Array.to_list entries))
       runs
   | None -> ());
@@ -463,12 +487,14 @@ let solve_parallel tel entries ~jobs ~budget ~proof_file problem =
 
 (* --- entry point ------------------------------------------------------------ *)
 
-let solve ?telemetry ?proof_file ?(entries = default_entries) ?(jobs = 1) ~budget problem =
+let solve ?telemetry ?run_id ?(observe = false) ?proof_file ?(entries = default_entries)
+    ?(jobs = 1) ~budget problem =
   let tel = match telemetry with Some t -> t | None -> Telemetry.Ctx.silent () in
   if entries = [] then invalid_arg "Portfolio.solve: no entries";
+  let observe = observe || Telemetry.Span.enabled tel.Telemetry.Ctx.spans in
   let runs, failures =
-    if jobs <= 1 then solve_sequential tel entries ~budget ~proof_file problem, []
-    else solve_parallel tel entries ~jobs ~budget ~proof_file problem
+    if jobs <= 1 then solve_sequential ?run_id tel entries ~budget ~proof_file problem, []
+    else solve_parallel ?run_id ~observe tel entries ~jobs ~budget ~proof_file problem
   in
   if runs = [] then begin
     let detail =

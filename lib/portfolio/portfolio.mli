@@ -43,6 +43,8 @@ val better : Bsolo.Outcome.t -> Bsolo.Outcome.t -> bool
 
 val solve :
   ?telemetry:Telemetry.Ctx.t ->
+  ?run_id:string ->
+  ?observe:bool ->
   ?proof_file:string ->
   ?entries:entry list ->
   ?jobs:int ->
@@ -77,6 +79,16 @@ val solve :
     [portfolio.<name>.<instrument>] and set the portfolio-level counters
     [portfolio.incumbent_broadcasts], [portfolio.incumbent_imports] and
     [portfolio.cancelled].
+
+    Observability: with [telemetry] given, each member run is wrapped in
+    a [member:<name>] span on the member's own track (parallel mode) or
+    the caller's track (sequential).  Parallel workers each publish a
+    {!Telemetry.Profile.Cell} — named after the member, registered for
+    exactly the run's duration — which the sampling profiler and
+    heartbeat ticker observe; [observe] forces the cells' phase stacks
+    on even when no span sink is attached (the heartbeat/profiler case).
+    [run_id], when given, is recorded as a [# run] comment in the
+    stitched proof log.
 
     When [proof_file] is given, each proof-logging member streams its
     derivation into a private [FILE.<member>.part] log; after the join

@@ -164,6 +164,7 @@ module Sink = struct
     mutable closed : bool;
     mutable nlines : int;
     sname : string;
+    mutable flush_hook : (lines:int -> seconds:float -> unit) option;
   }
 
   let open_file path =
@@ -174,6 +175,7 @@ module Sink = struct
       closed = false;
       nlines = 0;
       sname = path;
+      flush_hook = None;
     }
 
   let of_buffer b =
@@ -184,9 +186,11 @@ module Sink = struct
       closed = false;
       nlines = 0;
       sname = "<buffer>";
+      flush_hook = None;
     }
 
   let name s = s.sname
+  let set_flush_hook s hook = s.flush_hook <- Some hook
 
   let write s line =
     Mutex.lock s.lock;
@@ -199,7 +203,16 @@ module Sink = struct
           | Chan oc ->
             output_string oc line;
             output_char oc '\n';
-            if s.nlines land 63 = 0 then flush oc
+            if s.nlines land 63 = 0 then begin
+              match s.flush_hook with
+              | None -> flush oc
+              | Some hook ->
+                (* The hook observes the flush (span/metrics telemetry);
+                   the proof layer itself stays telemetry-free. *)
+                let t0 = Unix.gettimeofday () in
+                flush oc;
+                hook ~lines:s.nlines ~seconds:(Unix.gettimeofday () -. t0)
+            end
           | Buf b ->
             Buffer.add_string b line;
             Buffer.add_char b '\n'

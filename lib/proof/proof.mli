@@ -94,6 +94,12 @@ module Sink : sig
 
   val name : t -> string
 
+  val set_flush_hook : t -> (lines:int -> seconds:float -> unit) -> unit
+  (** Observe the periodic channel flushes: called (under the sink lock,
+      on the writing domain) after each autoflush with the line count so
+      far and the flush duration.  The CLI wires this to a tracing span;
+      the proof layer itself stays telemetry-free. *)
+
   val write : t -> string -> unit
   (** Append one raw line (the newline is added).  Loggers use this
       internally; the CLI uses it to terminate a log whose run aborted

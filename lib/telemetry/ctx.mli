@@ -1,29 +1,48 @@
 (** One telemetry context per solver run.
 
-    Phase timer, instrument registry, trace sink and progress reporter
-    travel together.  {!silent} is the default used when the caller asked
-    for nothing: counters still accumulate (they back the outcome
-    snapshot) but the timer is off, no trace is written and no progress
-    is printed.
+    Phase timer, instrument registry, trace sink, span sink, profile
+    cell and progress reporter travel together.  {!silent} is the
+    default used when the caller asked for nothing: counters still
+    accumulate (they back the outcome snapshot) but the timer is off, no
+    trace or spans are written, the cell is inert and no progress is
+    printed.
 
-    Domain-safety: a context is single-domain except for its trace sink
-    (see {!Trace}).  Parallel portfolio workers each get a private
-    context — own registry, own timer, disabled progress — that may share
-    the parent's mutex-guarded trace; per-worker registries are merged
-    after the domains are joined. *)
+    Domain-safety: a context is single-domain except for its trace and
+    span sinks (mutex-guarded) and its profile cell (single writer, any
+    readers).  Parallel portfolio workers each get a private context —
+    own registry, own timer, own cell, disabled progress — that may
+    share the parent's trace and span sinks; per-worker registries are
+    merged after the domains are joined. *)
 
 type t = {
   timer : Timer.t;
   registry : Registry.t;
   trace : Trace.t;
+  spans : Span.t;
+  cell : Profile.Cell.t;
   progress : Progress.t;
 }
 
 val silent : unit -> t
 
-val create : ?timing:bool -> ?trace:Trace.t -> ?progress:Progress.t -> unit -> t
-(** [timing] defaults to [true]; omitted [trace]/[progress] are
-    disabled. *)
+val create :
+  ?timing:bool ->
+  ?trace:Trace.t ->
+  ?spans:Span.t ->
+  ?cell:Profile.Cell.t ->
+  ?progress:Progress.t ->
+  unit ->
+  t
+(** [timing] defaults to [true]; omitted [trace]/[spans]/[progress] are
+    disabled, an omitted [cell] is inert. *)
+
+val with_phase : t -> Phase.t -> (unit -> 'a) -> 'a
+(** Run [f] attributed to the phase across the whole observability
+    stack: exact self-time ({!Timer.with_phase}), the sampled phase
+    stack ({!Profile.Cell.push}/[pop]), and — for {!Phase.coarse} phases
+    only — one tracing span on this context's track.  Exception-safe.
+    With no cell observed and no span sink this is exactly
+    [Timer.with_phase] plus one load and branch. *)
 
 val close : t -> unit
-(** Flush and close the trace sink (idempotent). *)
+(** Flush and close the trace and span sinks (idempotent). *)

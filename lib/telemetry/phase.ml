@@ -49,6 +49,34 @@ let name = function
   | Report -> "report"
   | Other -> "other"
 
+(* Inverse of [index]; out-of-range indices answer [None] so decoders of
+   externally sampled stacks (Profile cells) never raise. *)
+let of_index = function
+  | 0 -> Some Parse
+  | 1 -> Some Preprocess
+  | 2 -> Some Propagate
+  | 3 -> Some Decide
+  | 4 -> Some Analyze
+  | 5 -> Some Reduce_db
+  | 6 -> Some Lower_bound
+  | 7 -> Some Simplex
+  | 8 -> Some Subgradient
+  | 9 -> Some Cut_generation
+  | 10 -> Some Certify
+  | 11 -> Some Report
+  | 12 -> Some Other
+  | _ -> None
+
+(* Phases coarse enough to emit one tracing span per entry.  The inner
+   search phases (propagate/decide/analyze) fire thousands of times per
+   second: span-tracing them would swamp any trace file, so they are
+   visible to the sampling profiler (phase cells) but not to Span. *)
+let coarse = function
+  | Parse | Preprocess | Reduce_db | Lower_bound | Simplex | Subgradient | Cut_generation
+  | Certify | Report ->
+    true
+  | Propagate | Decide | Analyze | Other -> false
+
 let all =
   [
     Parse;

@@ -24,5 +24,14 @@ val count : int
 val index : t -> int
 val name : t -> string
 
+val of_index : int -> t option
+(** Inverse of {!index}; [None] outside [0 .. count - 1]. *)
+
+val coarse : t -> bool
+(** Whether the phase is coarse enough for one {!Span} per entry.  The
+    hot inner-search phases (propagate, decide, analyze) answer [false]:
+    they fire thousands of times per second and are observed by the
+    sampling profiler instead. *)
+
 val all : t list
 (** Every phase, in [index] order. *)

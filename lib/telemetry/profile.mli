@@ -1,0 +1,93 @@
+(** Sampling phase profiler.
+
+    Each solver context publishes its current phase stack in a {!Cell} —
+    one atomic int, 4 bits per nesting level — that a monitor domain can
+    sample without locks and without ever seeing a torn stack.  A
+    {!Sampler} domain tallies every live cell at a fixed rate; the
+    result renders as flamegraph folded-stack lines plus a self-time
+    table, cross-checkable against the exact {!Timer} totals.
+
+    Domain-safety: a cell has exactly one writer (its owning domain) and
+    any number of readers.  The registry and sampler are fully
+    domain-safe. *)
+
+module Cell : sig
+  type t
+
+  val make : ?observed:bool -> name:string -> unit -> t
+  (** A fresh cell with a process-unique positive [track] id.
+      [observed] false turns {!push}/{!pop} into no-ops for silent runs
+      (bound and node updates still land, they are off the hot path). *)
+
+  val disabled : unit -> t
+  (** An inert cell (track 0, never observed). *)
+
+  val observed : t -> bool
+  val name : t -> string
+
+  val track : t -> int
+  (** Stable id; also used as the span track for this context. *)
+
+  val push : t -> Phase.t -> unit
+  (** Owner only.  Nesting beyond 15 levels is kept balanced but not
+      published. *)
+
+  val pop : t -> unit
+
+  val stack : t -> Phase.t list
+  (** Any domain; outermost phase first, [[]] when idle. *)
+
+  val leaf : t -> Phase.t option
+  (** Innermost current phase. *)
+
+  val update_lb : t -> float -> unit
+  (** Keeps the maximum: a published lower bound never regresses. *)
+
+  val update_ub : ?self:bool -> t -> float -> unit
+  (** Keeps the minimum.  [self] (default true) records whether this
+      member found the bound itself, or imported it ([self:false]). *)
+
+  val lb : t -> float
+  val ub : t -> float
+  val ub_self : t -> bool
+  val bump_nodes : t -> unit
+  val nodes : t -> int
+end
+
+(** {1 Live-cell registry}
+
+    Monitors (the sampler, the heartbeat ticker) observe whichever cells
+    are registered at the moment they look. *)
+
+val register : Cell.t -> unit
+val unregister : Cell.t -> unit
+
+val live : unit -> Cell.t list
+(** In registration order. *)
+
+module Sampler : sig
+  type result = {
+    hz : float;
+    duration : float;  (** seconds the sampler ran *)
+    ticks : int;  (** sampling rounds completed *)
+    stacks : (string * string * int) list;
+        (** (member, ";"-folded stack or ["idle"], samples), most-sampled
+            first — the flamegraph folded format modulo the count
+            separator. *)
+  }
+
+  type t
+
+  val start : ?hz:float -> unit -> t
+  (** Spawn the sampling domain.  The default rate (97 Hz) is prime to
+      dodge lockstep with periodic solver work. *)
+
+  val stop : t -> result
+  (** Signal and join the domain. *)
+
+  val self_shares : result -> (string * float) list
+  (** Self-time (leaf-attributed) share per phase name over all members,
+      largest first; shares sum to 1 over phase-attributed samples. *)
+
+  val result_json : result -> Json.t
+end

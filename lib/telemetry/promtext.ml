@@ -1,0 +1,73 @@
+(* Prometheus text exposition over a Registry.
+
+   Renders every counter, gauge and histogram in the version-0.0.4 text
+   format, so a node_exporter textfile collector (or anything that
+   scrapes files) can ingest solver metrics without bsolo speaking HTTP.
+   Instrument names are sanitized ([a-zA-Z0-9_], dots become
+   underscores) and namespaced, e.g. [search.nodes] becomes
+   [bsolo_search_nodes].
+
+   Histogram buckets are power-of-two in the registry; they export as
+   the standard cumulative [le] series (inclusive upper bounds match the
+   registry's bucketing), with [_sum] reconstructed from the tracked
+   mean. *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+    name
+
+let metric_name ~namespace name = namespace ^ "_" ^ sanitize name
+
+(* Prometheus floats: avoid OCaml's "inf"/"nan" spellings. *)
+let float_str v =
+  if Float.is_nan v then "NaN"
+  else if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else Printf.sprintf "%.17g" v
+
+let render ?(namespace = "bsolo") registry =
+  let b = Buffer.create 1024 in
+  let head name kind =
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind)
+  in
+  List.iter
+    (fun (name, v) ->
+      let n = metric_name ~namespace name in
+      head n "counter";
+      Buffer.add_string b (Printf.sprintf "%s %d\n" n v))
+    (Registry.counters registry);
+  List.iter
+    (fun (name, v) ->
+      let n = metric_name ~namespace name in
+      head n "gauge";
+      Buffer.add_string b (Printf.sprintf "%s %s\n" n (float_str v)))
+    (Registry.gauges registry);
+  List.iter
+    (fun h ->
+      let n = metric_name ~namespace (Histogram.name h) in
+      let total = Histogram.total h in
+      head n "histogram";
+      let cum = ref 0 in
+      List.iter
+        (fun (_, hi, count) ->
+          cum := !cum + count;
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" n hi !cum))
+        (Histogram.snapshot h);
+      Buffer.add_string b (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n total);
+      Buffer.add_string b
+        (Printf.sprintf "%s_sum %s\n" n
+           (float_str (Histogram.mean h *. float_of_int total)));
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" n total))
+    (Registry.histograms registry);
+  Buffer.contents b
+
+let write_file ?namespace path registry =
+  (* Write-then-rename so scrapers never see a half-written file. *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (render ?namespace registry);
+  close_out oc;
+  Sys.rename tmp path

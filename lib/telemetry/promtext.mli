@@ -1,0 +1,20 @@
+(** Prometheus text exposition (format 0.0.4) over a {!Registry}.
+
+    Counters, gauges and histograms render with sanitized, namespaced
+    names ([search.nodes] → [bsolo_search_nodes]); histograms export
+    their power-of-two buckets as a standard cumulative [le] series.
+    Series are not exported (Prometheus scrapes its own history).
+
+    Intended for the node_exporter textfile collector or any file
+    scraper: write with {!write_file}, which renames a temp file into
+    place so readers never see a partial exposition. *)
+
+val sanitize : string -> string
+(** Replace every character outside [[a-zA-Z0-9_]] with [_]. *)
+
+val render : ?namespace:string -> Registry.t -> string
+(** Full exposition text; [namespace] defaults to ["bsolo"]. *)
+
+val write_file : ?namespace:string -> string -> Registry.t -> unit
+(** [write_file path registry] atomically replaces [path] with the
+    current exposition. *)

@@ -1,0 +1,85 @@
+(** Heartbeat snapshots: periodic JSONL records of run progress.
+
+    A heartbeat file starts with a header line (schema
+    ["bsolo-heartbeat/1"], run id, absolute start time), carries one
+    snapshot per line — per-member phase / bounds / node rate read from
+    the live {!Profile} cells, counter deltas, best incumbent with
+    provenance — and ends with an ["end"] record.  Because lb cells only
+    rise and ub cells only fall, the per-member gap is monotonically
+    non-widening across snapshots.
+
+    A run always gets at least two snapshots: the {!Ticker} writes one
+    as it starts and one as it stops.
+
+    Domain-safety: the writer is mutex-guarded; the ticker runs on its
+    own domain and takes racy-but-tear-free reads of cells and counter
+    lists. *)
+
+type member = {
+  m_name : string;
+  m_phase : string;  (** innermost current phase, or ["idle"] *)
+  m_lb : float;  (** [neg_infinity] when none yet *)
+  m_ub : float;  (** [infinity] when none yet *)
+  m_nodes : int;
+  m_node_rate : float;  (** nodes per second since the previous snapshot *)
+  m_ub_self : bool;  (** found its own incumbent (vs imported) *)
+}
+
+type snap = {
+  s_t : float;  (** seconds on the shared {!Epoch} *)
+  s_seq : int;
+  s_members : member list;
+  s_deltas : (string * int) list;  (** counter increments since previous snapshot *)
+  s_best : (float * string) option;  (** best ub and the member holding it *)
+}
+
+val encode : snap -> Json.t
+
+val decode : Json.t -> snap option
+(** [None] for non-snapshot lines (the header, the end record). *)
+
+(** {1 Writer} *)
+
+type t
+
+val open_file : string -> run_id:string -> started:float -> every:float -> t
+(** Create the file and write the header line.  Every record is flushed
+    immediately so the file can be tailed live. *)
+
+val write : t -> snap -> unit
+(** The writer owns sequence numbering: the snap's [s_seq] is replaced
+    by the next file-order number. *)
+
+val close : t -> unit
+(** Write the end record and close.  Idempotent. *)
+
+(** {1 Collector} *)
+
+type collector
+
+val collector : ?registry:Registry.t -> unit -> collector
+(** Snapshot builder holding previous-tick state for rates and deltas.
+    [registry], when given, contributes counter deltas. *)
+
+val take : collector -> snap
+(** Build a snapshot ([s_seq] 0 — the writer assigns real sequence
+    numbers) from the live cells, and advance the collector. *)
+
+(** {1 Ticker} *)
+
+module Ticker : sig
+  type ticker
+
+  val start : ?registry:Registry.t -> ?on_tick:(unit -> unit) -> t -> every:float -> ticker
+  (** Spawn the heartbeat domain: one snapshot immediately, then one
+      every [every] seconds.  [on_tick] runs on the ticker domain after
+      each snapshot (used to refresh the Prometheus metrics file). *)
+
+  val request : ticker -> unit
+  (** Ask for an out-of-band snapshot at the next ~50 ms quantum —
+      signal-handler safe (sets an atomic flag). *)
+
+  val stop : ticker -> unit
+  (** Stop and join the domain, then write one final snapshot.  The
+      caller still owns the writer (call {!close} after). *)
+end

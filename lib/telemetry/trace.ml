@@ -4,7 +4,9 @@
 
      {"t":0.004512,"ev":"decision","level":3,"var":17,"value":true}
 
-   [t] is seconds since the sink was opened.
+   [t] is seconds on the process-wide shared Epoch — NOT since this sink
+   was opened — so events from sinks opened at different moments (and
+   spans, and heartbeats) line up on one timeline with no skew.
 
    Unlike the rest of the telemetry layer, the sink is domain-safe: a
    mutex serializes every line, so portfolio workers on several domains
@@ -13,7 +15,6 @@
 
 type sink = {
   oc : out_channel;
-  start : float;
   owned : bool;  (* close_out on [close] *)
   buf : Buffer.t;
   lock : Mutex.t;
@@ -25,17 +26,13 @@ type t = { mutable sink : sink option }
 let disabled () = { sink = None }
 
 let of_channel ?(owned = false) oc =
+  (* Fix the shared epoch no later than sink creation, so [t] offsets
+     start near zero for the first sink of the process. *)
+  ignore (Epoch.t0 ());
   {
     sink =
       Some
-        {
-          oc;
-          start = Unix.gettimeofday ();
-          owned;
-          buf = Buffer.create 256;
-          lock = Mutex.create ();
-          nevents = 0;
-        };
+        { oc; owned; buf = Buffer.create 256; lock = Mutex.create (); nevents = 0 };
   }
 
 let open_file path = of_channel ~owned:true (open_out path)
@@ -63,7 +60,7 @@ let close t =
 let write s fields =
   Mutex.lock s.lock;
   Buffer.clear s.buf;
-  let t = Unix.gettimeofday () -. s.start in
+  let t = Epoch.now () in
   Buffer.add_string s.buf (Printf.sprintf "{\"t\":%.6f" t);
   List.iter
     (fun (k, v) ->

@@ -2,7 +2,9 @@
 
     One event per line, e.g.
     [{"t":0.004512,"ev":"decision","level":3,"var":17,"value":true}];
-    ["t"] is seconds since the sink was opened.  Every emitter takes
+    ["t"] is seconds on the process-wide shared {!Epoch} (fixed at the
+    first sink's creation), so sinks opened at different moments — and
+    span / heartbeat artifacts — share one timeline.  Every emitter takes
     immediate (unboxed) arguments and starts with a match on the sink, so
     a disabled trace costs one branch and allocates nothing.  The sink
     flushes every 64 events, keeping traces parseable (minus at most one

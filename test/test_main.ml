@@ -29,6 +29,7 @@ let () =
       ("cutting-planes", Test_cutting_planes.suite);
       ("proof", Test_proof.suite);
       ("telemetry", Test_telemetry.suite);
+      ("observability", Test_observability.suite);
       ("inspect", Test_inspect.suite);
       ("fuzz", Test_fuzz.suite);
       ("stress", Test_stress.suite);

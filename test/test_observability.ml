@@ -1,0 +1,383 @@
+(* Observability subsystem: shared epoch, span sink, sampling-profile
+   cells, heartbeat snapshots, Prometheus rendering and the inspect-side
+   validators.  Everything runs against temp files or in-memory values —
+   no solver needed. *)
+
+module T = Telemetry
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let tmp_file suffix =
+  let path = Filename.temp_file "bsolo-obs" suffix in
+  at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+  path
+
+(* --- Series self-decimation ------------------------------------------------ *)
+
+let series_boundary_exact_capacity () =
+  let s = T.Series.make ~capacity:8 ~fields:[ "v" ] "t.series" in
+  for i = 1 to 8 do
+    T.Series.observe s ~t:(float_of_int i) [| float_of_int i |]
+  done;
+  Alcotest.(check int) "exactly capacity points all retained" 8 (T.Series.length s);
+  let ts = List.map fst (T.Series.samples s) in
+  Alcotest.(check (list (float 0.))) "all offered points present" [ 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8. ]
+    ts
+
+let series_decimation_bounds () =
+  let s = T.Series.make ~capacity:8 ~fields:[ "v" ] "t.series" in
+  for i = 1 to 1000 do
+    T.Series.observe s ~t:(float_of_int i) [| float_of_int i |]
+  done;
+  let n = T.Series.length s in
+  Alcotest.(check bool) "never exceeds capacity" true (n <= 8);
+  Alcotest.(check bool) "keeps a meaningful tail" true (n >= 4);
+  let ts = List.map fst (T.Series.samples s) in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "retained offsets strictly increasing" true (increasing ts);
+  (* every retained sample must be one of the offered points, values intact *)
+  List.iter
+    (fun (t, v) -> Alcotest.(check (float 0.)) "value rides with its offset" t v.(0))
+    (T.Series.samples s)
+
+let series_observe_now_survives () =
+  let s = T.Series.make ~capacity:8 ~fields:[ "v" ] "t.series" in
+  for i = 1 to 1000 do
+    T.Series.observe s ~t:(float_of_int i) [| 0. |]
+  done;
+  (* after heavy decimation the stride drops most offers; observe_now
+     must land regardless *)
+  T.Series.observe_now s ~t:2000. [| 42. |];
+  let found = List.exists (fun (t, v) -> t = 2000. && v.(0) = 42.) (T.Series.samples s) in
+  Alcotest.(check bool) "observe_now kept despite stride" true found
+
+let series_interleaved_fields () =
+  let s = T.Series.make ~capacity:16 ~fields:[ "lb"; "ub" ] "t.gap" in
+  T.Series.observe s ~t:0.1 [| 1.; 10. |];
+  T.Series.observe s ~t:0.2 [| 2.; 9. |];
+  (match T.Series.samples s with
+  | [ (_, a); (_, b) ] ->
+    Alcotest.(check (float 0.)) "first lb" 1. a.(0);
+    Alcotest.(check (float 0.)) "first ub" 10. a.(1);
+    Alcotest.(check (float 0.)) "second lb" 2. b.(0);
+    Alcotest.(check (float 0.)) "second ub" 9. b.(1)
+  | l -> Alcotest.failf "expected 2 samples, got %d" (List.length l));
+  Alcotest.check_raises "arity mismatch rejected"
+    (Invalid_argument "Series.observe: arity mismatch") (fun () ->
+      T.Series.observe s ~t:0.3 [| 1. |])
+
+(* --- profile cells ---------------------------------------------------------- *)
+
+let cell_stack_round_trip () =
+  let c = T.Profile.Cell.make ~name:"w" () in
+  Alcotest.(check bool) "starts idle" true (T.Profile.Cell.stack c = []);
+  T.Profile.Cell.push c T.Phase.Lower_bound;
+  T.Profile.Cell.push c T.Phase.Simplex;
+  Alcotest.(check bool) "stack outermost-first" true
+    (T.Profile.Cell.stack c = [ T.Phase.Lower_bound; T.Phase.Simplex ]);
+  Alcotest.(check bool) "leaf is innermost" true
+    (T.Profile.Cell.leaf c = Some T.Phase.Simplex);
+  T.Profile.Cell.pop c;
+  Alcotest.(check bool) "pop reveals outer" true (T.Profile.Cell.leaf c = Some T.Phase.Lower_bound);
+  T.Profile.Cell.pop c;
+  Alcotest.(check bool) "balanced pops drain" true (T.Profile.Cell.stack c = [])
+
+let cell_deep_nesting_balanced () =
+  let c = T.Profile.Cell.make ~name:"w" () in
+  for _ = 1 to 20 do
+    T.Profile.Cell.push c T.Phase.Simplex
+  done;
+  Alcotest.(check bool) "published depth capped at 15" true
+    (List.length (T.Profile.Cell.stack c) <= 15);
+  for _ = 1 to 20 do
+    T.Profile.Cell.pop c
+  done;
+  Alcotest.(check bool) "over-deep pushes stay balanced" true (T.Profile.Cell.stack c = [])
+
+let cell_bounds_monotone () =
+  let c = T.Profile.Cell.make ~name:"w" () in
+  Alcotest.(check bool) "lb starts -inf" true (T.Profile.Cell.lb c = neg_infinity);
+  Alcotest.(check bool) "ub starts +inf" true (T.Profile.Cell.ub c = infinity);
+  T.Profile.Cell.update_lb c 5.;
+  T.Profile.Cell.update_lb c 3.;
+  Alcotest.(check (float 0.)) "lb keeps the max" 5. (T.Profile.Cell.lb c);
+  T.Profile.Cell.update_ub c 10.;
+  T.Profile.Cell.update_ub c ~self:false 20.;
+  Alcotest.(check (float 0.)) "ub keeps the min" 10. (T.Profile.Cell.ub c);
+  Alcotest.(check bool) "losing import does not flip provenance" true (T.Profile.Cell.ub_self c);
+  T.Profile.Cell.update_ub c ~self:false 4.;
+  Alcotest.(check (float 0.)) "better import taken" 4. (T.Profile.Cell.ub c);
+  Alcotest.(check bool) "provenance now imported" false (T.Profile.Cell.ub_self c);
+  T.Profile.Cell.bump_nodes c;
+  T.Profile.Cell.bump_nodes c;
+  Alcotest.(check int) "node counter" 2 (T.Profile.Cell.nodes c)
+
+let cell_unobserved_is_silent () =
+  let c = T.Profile.Cell.make ~observed:false ~name:"w" () in
+  T.Profile.Cell.push c T.Phase.Simplex;
+  Alcotest.(check bool) "unobserved cell publishes nothing" true (T.Profile.Cell.stack c = []);
+  T.Profile.Cell.pop c
+
+(* --- span sink + shared epoch ---------------------------------------------- *)
+
+let spans_well_nested_file () =
+  let path = tmp_file ".spans.json" in
+  let sink = T.Span.open_file path in
+  T.Span.header sink ~run_id:"cafebabe" ~started:1000.;
+  T.Span.name_track sink ~track:1 "main";
+  let ok =
+    T.Span.with_span sink ~track:1 "outer" (fun () ->
+        T.Span.with_span sink ~track:1 "inner" (fun () -> true))
+  in
+  Alcotest.(check bool) "with_span returns f's result" true ok;
+  let sp = T.Span.begin_ sink ~track:2 "other-track" in
+  T.Span.end_ sink sp;
+  T.Span.close sink;
+  match Inspect.load_spans path with
+  | Error msg -> Alcotest.fail msg
+  | Ok events ->
+    (match Inspect.validate_spans events with
+    | Error violations -> Alcotest.failf "unexpected violations: %s" (String.concat "; " violations)
+    | Ok stats ->
+      Alcotest.(check (option string)) "run id survives" (Some "cafebabe") stats.sp_run_id;
+      Alcotest.(check bool) "nesting depth seen" true (stats.sp_max_depth >= 2);
+      Alcotest.(check bool) "both tracks seen" true (stats.sp_tracks >= 2))
+
+let spans_share_one_epoch () =
+  (* Two sinks opened at different times must stamp on the same clock: a
+     span emitted on the later sink carries the full offset since the
+     process epoch, not a per-sink zero.  This is the cross-domain
+     trace-skew regression test. *)
+  let before = T.Epoch.now () in
+  Unix.sleepf 0.02;
+  let path = tmp_file ".spans.json" in
+  let sink = T.Span.open_file path in
+  T.Span.header sink ~run_id:"r2" ~started:(T.Epoch.t0 ());
+  let sp = T.Span.begin_ sink ~track:1 "late" in
+  T.Span.end_ sink sp;
+  T.Span.close sink;
+  match Inspect.load_spans path with
+  | Error msg -> Alcotest.fail msg
+  | Ok events ->
+    let ts_of e =
+      match Option.bind (Inspect.Json.member "ph" e) Inspect.Json.to_string_opt with
+      | Some "B" -> Option.bind (Inspect.Json.member "ts" e) Inspect.Json.to_float
+      | _ -> None
+    in
+    (match List.filter_map ts_of events with
+    | [ ts ] ->
+      Alcotest.(check bool)
+        (Printf.sprintf "late sink keeps epoch offset (ts=%.0fus, floor=%.0fus)" ts (before *. 1e6))
+        true
+        (ts >= (before +. 0.02) *. 1e6 -. 1000.)
+    | l -> Alcotest.failf "expected 1 begin event, got %d" (List.length l))
+
+let spans_validator_rejects_bad () =
+  let open T.Json in
+  let ev ph name ts args = Obj [ "ph", String ph; "name", String name; "pid", Int 1; "tid", Int 1; "ts", Float ts; "args", Obj args ] in
+  let header =
+    Obj
+      [
+        "ph", String "M";
+        "name", String "bsolo_run";
+        "pid", Int 1;
+        "tid", Int 0;
+        "args", Obj [ "schema", String "bsolo-spans/1"; "run_id", String "x"; "epoch", Float 0. ];
+      ]
+  in
+  (* E with no open B *)
+  (match Inspect.validate_spans [ header; ev "E" "orphan" 10. [] ] with
+  | Ok _ -> Alcotest.fail "orphan E accepted"
+  | Error _ -> ());
+  (* clock going backwards on one track *)
+  (match
+     Inspect.validate_spans
+       [
+         header;
+         ev "B" "a" 100. [ "id", Int 1; "parent", Int 0 ];
+         ev "E" "a" 50. [ "id", Int 1 ];
+       ]
+   with
+  | Ok _ -> Alcotest.fail "backwards clock accepted"
+  | Error _ -> ());
+  (* two run headers *)
+  (match Inspect.validate_spans [ header; header ] with
+  | Ok _ -> Alcotest.fail "duplicate header accepted"
+  | Error _ -> ())
+
+(* --- heartbeat snapshots ---------------------------------------------------- *)
+
+let snap_fixture () =
+  T.Snapshot.
+    {
+      s_t = 1.25;
+      s_seq = 3;
+      s_members =
+        [
+          {
+            m_name = "bsolo-lpr";
+            m_phase = "simplex";
+            m_lb = 10.;
+            m_ub = 42.;
+            m_nodes = 1234;
+            m_node_rate = 987.5;
+            m_ub_self = true;
+          };
+          {
+            m_name = "bsolo-mis";
+            m_phase = "idle";
+            m_lb = neg_infinity;
+            m_ub = infinity;
+            m_nodes = 0;
+            m_node_rate = 0.;
+            m_ub_self = false;
+          };
+        ];
+      s_deltas = [ "engine.conflicts", 17; "search.nodes", 400 ];
+      s_best = Some (42., "bsolo-lpr");
+    }
+
+let snapshot_encode_decode_round_trip () =
+  let s = snap_fixture () in
+  match T.Snapshot.decode (T.Snapshot.encode s) with
+  | None -> Alcotest.fail "decode rejected its own encode"
+  | Some s' ->
+    Alcotest.(check (float 0.)) "t" s.s_t s'.s_t;
+    Alcotest.(check int) "seq" s.s_seq s'.s_seq;
+    Alcotest.(check int) "member count" 2 (List.length s'.s_members);
+    let m = List.hd s'.s_members and m0 = List.hd s.s_members in
+    Alcotest.(check string) "name" m0.m_name m.m_name;
+    Alcotest.(check string) "phase" m0.m_phase m.m_phase;
+    Alcotest.(check (float 0.)) "lb" m0.m_lb m.m_lb;
+    Alcotest.(check (float 0.)) "ub" m0.m_ub m.m_ub;
+    Alcotest.(check int) "nodes" m0.m_nodes m.m_nodes;
+    Alcotest.(check (float 0.)) "rate" m0.m_node_rate m.m_node_rate;
+    Alcotest.(check bool) "ub_self" m0.m_ub_self m.m_ub_self;
+    let idle = List.nth s'.s_members 1 in
+    Alcotest.(check bool) "absent lb decodes -inf" true (idle.m_lb = neg_infinity);
+    Alcotest.(check bool) "absent ub decodes +inf" true (idle.m_ub = infinity);
+    Alcotest.(check bool) "deltas survive" true (s'.s_deltas = s.s_deltas);
+    (match s'.s_best with
+    | Some (c, who) ->
+      Alcotest.(check (float 0.)) "best cost" 42. c;
+      Alcotest.(check string) "best provenance" "bsolo-lpr" who
+    | None -> Alcotest.fail "best lost")
+
+let snapshot_non_snapshot_lines () =
+  let open T.Json in
+  Alcotest.(check bool) "header is not a snapshot" true
+    (T.Snapshot.decode (Obj [ "schema", String "bsolo-heartbeat/1" ]) = None);
+  Alcotest.(check bool) "end record is not a snapshot" true
+    (T.Snapshot.decode (Obj [ "end", Bool true; "t", Float 1. ]) = None)
+
+let heartbeat_file_round_trip () =
+  let path = tmp_file ".hb.jsonl" in
+  let w = T.Snapshot.open_file path ~run_id:"deadbeef" ~started:1234.5 ~every:0.5 in
+  let s = snap_fixture () in
+  T.Snapshot.write w s;
+  T.Snapshot.write w { s with s_t = 2.5 };
+  T.Snapshot.close w;
+  T.Snapshot.close w (* idempotent *);
+  match Inspect.load_trace path with
+  | Error msg -> Alcotest.fail msg
+  | Ok (lines, skipped) ->
+    Alcotest.(check int) "no torn lines" 0 skipped;
+    (match lines with
+    | header :: _ ->
+      Alcotest.(check (option string)) "header schema" (Some "bsolo-heartbeat/1")
+        (Inspect.schema_of header)
+    | [] -> Alcotest.fail "empty heartbeat file");
+    (match Inspect.heartbeat_check lines with
+    | Ok _ -> ()
+    | Error violations -> Alcotest.failf "violations: %s" (String.concat "; " violations))
+
+let heartbeat_check_catches_widening () =
+  let s = snap_fixture () in
+  let widened =
+    {
+      s with
+      s_t = 2.0;
+      s_seq = 4;
+      s_members =
+        List.map
+          (fun (m : T.Snapshot.member) ->
+            if m.m_name = "bsolo-lpr" then { m with m_lb = 5. } else m)
+          s.s_members;
+    }
+  in
+  let open T.Json in
+  let header = Obj [ "schema", String "bsolo-heartbeat/1" ] in
+  let end_rec = Obj [ "end", Bool true ] in
+  let lines = [ header; T.Snapshot.encode s; T.Snapshot.encode widened; end_rec ] in
+  match Inspect.heartbeat_check lines with
+  | Ok _ -> Alcotest.fail "widening gap accepted"
+  | Error violations ->
+    Alcotest.(check bool) "names the widening member" true
+      (List.exists (fun v -> contains v "bsolo-lpr") violations)
+
+(* --- Prometheus text -------------------------------------------------------- *)
+
+let promtext_render () =
+  let reg = T.Registry.create () in
+  let c = T.Registry.counter reg "engine.decisions" in
+  T.Counter.add c 5;
+  let g = T.Registry.gauge reg "lp.objective" in
+  T.Gauge.set g 3.5;
+  let h = T.Registry.histogram reg "lb.mis.value" in
+  T.Histogram.observe h 1;
+  T.Histogram.observe h 3;
+  T.Histogram.observe h 100;
+  let text = T.Promtext.render reg in
+  let has s = contains text s in
+  Alcotest.(check bool) "counter TYPE line" true (has "# TYPE bsolo_engine_decisions counter");
+  Alcotest.(check bool) "counter value" true (has "bsolo_engine_decisions 5");
+  Alcotest.(check bool) "gauge value" true (has "bsolo_lp_objective 3.5");
+  Alcotest.(check bool) "histogram TYPE line" true (has "# TYPE bsolo_lb_mis_value histogram");
+  Alcotest.(check bool) "+Inf bucket carries the total" true
+    (has "bsolo_lb_mis_value_bucket{le=\"+Inf\"} 3");
+  Alcotest.(check bool) "histogram count" true (has "bsolo_lb_mis_value_count 3")
+
+let promtext_sanitize () =
+  Alcotest.(check string) "dots and dashes become underscores" "lb_mis_tightness_pm"
+    (T.Promtext.sanitize "lb.mis.tightness-pm")
+
+let promtext_write_file_atomic () =
+  let path = tmp_file ".prom" in
+  let reg = T.Registry.create () in
+  T.Counter.incr (T.Registry.counter reg "search.nodes");
+  T.Promtext.write_file path reg;
+  let ic = open_in path in
+  let first = input_line ic in
+  close_in ic;
+  Alcotest.(check bool) "file starts with a comment header" true
+    (String.length first > 0 && first.[0] = '#')
+
+(* --- suite ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    Alcotest.test_case "series: exact capacity retained" `Quick series_boundary_exact_capacity;
+    Alcotest.test_case "series: decimation bounds" `Quick series_decimation_bounds;
+    Alcotest.test_case "series: observe_now survives stride" `Quick series_observe_now_survives;
+    Alcotest.test_case "series: interleaved multi-field" `Quick series_interleaved_fields;
+    Alcotest.test_case "cell: stack round trip" `Quick cell_stack_round_trip;
+    Alcotest.test_case "cell: deep nesting balanced" `Quick cell_deep_nesting_balanced;
+    Alcotest.test_case "cell: bounds monotone" `Quick cell_bounds_monotone;
+    Alcotest.test_case "cell: unobserved silent" `Quick cell_unobserved_is_silent;
+    Alcotest.test_case "spans: well-nested file validates" `Quick spans_well_nested_file;
+    Alcotest.test_case "spans: one shared epoch (skew)" `Quick spans_share_one_epoch;
+    Alcotest.test_case "spans: validator rejects bad streams" `Quick spans_validator_rejects_bad;
+    Alcotest.test_case "heartbeat: encode/decode round trip" `Quick snapshot_encode_decode_round_trip;
+    Alcotest.test_case "heartbeat: non-snapshot lines" `Quick snapshot_non_snapshot_lines;
+    Alcotest.test_case "heartbeat: file round trip + check" `Quick heartbeat_file_round_trip;
+    Alcotest.test_case "heartbeat: check catches widening gap" `Quick heartbeat_check_catches_widening;
+    Alcotest.test_case "promtext: render" `Quick promtext_render;
+    Alcotest.test_case "promtext: sanitize" `Quick promtext_sanitize;
+    Alcotest.test_case "promtext: write_file" `Quick promtext_write_file_atomic;
+  ]
