@@ -6,6 +6,10 @@
 # are validated with `bsolo inspect --spans` / `--live --check`, and a
 # single-engine --profile-hz run whose sampled profile must agree with
 # the exact phase timers (`inspect --profile` exits 1 on disagreement).
+# The flight recorder is exercised end to end: a --record run replayed
+# deterministically with `bsolo replay --check`, its forensics node
+# accounting reconciled, a --record-ring run killed with SIGTERM whose
+# tail must still parse, and a stitched --portfolio recording.
 # Exits non-zero on the first failure.
 #
 # With --proof, each smoke instance is additionally solved under
@@ -46,7 +50,7 @@ save_artifacts() {
   if [ -n "${SMOKE_ARTIFACTS_DIR:-}" ]; then
     mkdir -p "$SMOKE_ARTIFACTS_DIR"
     for f in "$tmpdir"/*.json "$tmpdir"/*.jsonl "$tmpdir"/*.prom "$tmpdir"/*.pbp \
-             "$tmpdir"/*.check; do
+             "$tmpdir"/*.check "$tmpdir"/*.rec; do
       [ -e "$f" ] && cp "$f" "$SMOKE_ARTIFACTS_DIR/" || true
     done
   fi
@@ -152,6 +156,55 @@ timeout 120 "$bsolo" benchmarks/synth-s2.opb \
 }
 "$bsolo" inspect --profile "$tmpdir/profile-report.json" || {
   echo "FAIL: sampled profile disagrees with exact phase timers"; exit 1;
+}
+
+echo "== flight recording (--record -> replay --check -> inspect forensics) =="
+timeout 120 "$bsolo" benchmarks/synth-s2.opb \
+  --lb lpr --timeout 60 --record "$tmpdir/flight.rec" \
+  >"$tmpdir/rec.out" 2>&1 || {
+  echo "FAIL: recorded solve failed"; cat "$tmpdir/rec.out"; exit 1;
+}
+grep -q '^c recording:' "$tmpdir/rec.out" || {
+  echo "FAIL: recording summary line missing"; cat "$tmpdir/rec.out"; exit 1;
+}
+timeout 120 "$bsolo" replay benchmarks/synth-s2.opb "$tmpdir/flight.rec" --check \
+  >"$tmpdir/replay.out" 2>&1 || {
+  echo "FAIL: replay --check diverged from the recording"; cat "$tmpdir/replay.out"; exit 1;
+}
+grep -q '^s REPLAY OK' "$tmpdir/replay.out" || {
+  echo "FAIL: no REPLAY OK verdict"; cat "$tmpdir/replay.out"; exit 1;
+}
+echo "replay: $(grep '^c replay:' "$tmpdir/replay.out")"
+"$bsolo" inspect forensics "$tmpdir/flight.rec" >"$tmpdir/forensics.out" 2>&1 || {
+  echo "FAIL: forensics failed on the recording"; cat "$tmpdir/forensics.out"; exit 1;
+}
+# The blame table must reconcile with the engine's own node counter.
+grep -q 'matches recorded fin' "$tmpdir/forensics.out" || {
+  echo "FAIL: forensics node accounting does not match the recorded fin";
+  cat "$tmpdir/forensics.out"; exit 1;
+}
+
+echo "== ring recording leaves a parseable tail after SIGTERM =="
+timeout -s TERM 0.2 "$bsolo" benchmarks/synth-s2.opb \
+  --lb lpr --record "$tmpdir/ring.rec" --record-ring 256 >/dev/null 2>&1 || true
+[ -s "$tmpdir/ring.rec" ] || { echo "FAIL: SIGTERM left no ring recording"; exit 1; }
+"$bsolo" inspect forensics "$tmpdir/ring.rec" >"$tmpdir/ring-forensics.out" 2>&1 || {
+  echo "FAIL: SIGTERM-killed ring recording did not parse";
+  cat "$tmpdir/ring-forensics.out"; exit 1;
+}
+echo "ring tail: $(sed -n '4p' "$tmpdir/ring-forensics.out")"
+
+echo "== portfolio recording stitches member sections =="
+timeout 120 "$bsolo" benchmarks/synth-s1.opb \
+  --portfolio --jobs 2 --timeout 60 --record "$tmpdir/portfolio.rec" \
+  >"$tmpdir/prec.out" 2>&1 || {
+  echo "FAIL: recorded portfolio solve failed"; cat "$tmpdir/prec.out"; exit 1;
+}
+"$bsolo" inspect forensics "$tmpdir/portfolio.rec" >"$tmpdir/pforensics.out" 2>&1 || {
+  echo "FAIL: forensics failed on the stitched recording"; cat "$tmpdir/pforensics.out"; exit 1;
+}
+grep -q '^member ' "$tmpdir/pforensics.out" || {
+  echo "FAIL: stitched recording has no member sections"; cat "$tmpdir/pforensics.out"; exit 1;
 }
 
 if [ "$with_proof" = 1 ]; then

@@ -63,7 +63,8 @@ let make_run_id () =
 
 let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching no_preprocess
     cold_lpr no_adaptive_lb portfolio jobs verify verbosity stats trace_file json_file
-    proof_file progress_every span_file heartbeat_file heartbeat_every profile_hz metrics_file =
+    proof_file progress_every span_file heartbeat_file heartbeat_every profile_hz metrics_file
+    record_file record_ring =
   (match verbosity with
   | [] -> ()
   | [ _ ] ->
@@ -81,6 +82,12 @@ let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching 
     fatal
       (Printf.sprintf "--proof is only supported by the bsolo engine and --portfolio (got --engine %s)"
          (engine_name engine))
+  | Some _ | None -> ());
+  (match record_ring with
+  | Some _ when record_file = None -> fatal "--record-ring needs --record FILE"
+  | Some n when n <= 0 -> fatal "--record-ring needs a positive event count"
+  | Some _ when portfolio ->
+    fatal "--record-ring is not supported with --portfolio (members stream direct recordings)"
   | Some _ | None -> ());
   (* Open the sink before parsing so a bad --proof path fails fast.  The
      portfolio manages its own per-member part sinks and stitches the
@@ -130,6 +137,50 @@ let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching 
     in
     let want_telemetry =
       want_report || trace_file <> None || progress_every > 0 || observing
+      || record_file <> None
+    in
+    (* Flight recorder: opened before the telemetry context so the context
+       owns it and every engine emits through it.  The header flags
+       snapshot the tree-shaping options exactly as `bsolo replay` will
+       reconstruct them.  The portfolio manages its own per-member part
+       recordings and stitches the final file itself, so none is opened
+       here in that mode. *)
+    let recorder =
+      match record_file with
+      | Some f when not portfolio ->
+        let flags =
+          Bsolo.Replay.flags_of_options
+            {
+              (Bsolo.Options.with_lb lb) with
+              knapsack_cuts = not no_cuts;
+              cardinality_inference = not no_cuts;
+              lp_guided_branching = not no_lp_branching;
+              preprocess = not no_preprocess;
+              lpr_warm = not cold_lpr;
+              lb_adaptive = not no_adaptive_lb;
+              restarts =
+                (match engine with
+                | Pbs_engine | Galena_engine -> true
+                | Bsolo_engine | Milp_engine -> false);
+            }
+          lor if proof_sink <> None then Bsolo.Replay.flag_proof else 0
+        in
+        let header =
+          {
+            Telemetry.Recorder.h_run_id = run_id;
+            h_engine = engine_name engine;
+            h_lb_method = String.lowercase_ascii (Bsolo.Options.lb_method_name lb);
+            h_started = started;
+            h_nvars = Pbo.Problem.nvars problem;
+            h_nconstraints = Array.length (Pbo.Problem.constraints problem);
+            h_flags = flags;
+            h_lb_every = Bsolo.Options.default.lb_every;
+            h_lgr_iters = Bsolo.Options.default.lgr_iters;
+          }
+        in
+        (try Some (Telemetry.Recorder.open_file ?ring:record_ring f header)
+         with Sys_error msg -> fatal ("cannot open recording file: " ^ msg))
+      | Some _ | None -> None
     in
     let tel =
       if not want_telemetry then None
@@ -181,7 +232,7 @@ let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching 
                    Printf.eprintf "c %s\n%!" line))
           else None
         in
-        Some (Telemetry.Ctx.create ~timing:want_report ?trace ?spans ?cell ?progress ())
+        Some (Telemetry.Ctx.create ~timing:want_report ?trace ?spans ?cell ?progress ?recorder ())
       end
     in
     (* Heartbeat writer: opened before the solve so even an instant run
@@ -206,14 +257,15 @@ let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching 
        unaffected. *)
     let close_sinks () =
       (match tel with
-      | Some tel when trace_file <> None || span_file <> None -> Telemetry.Ctx.close tel
+      | Some tel when trace_file <> None || span_file <> None || Option.is_some recorder ->
+        Telemetry.Ctx.close tel
       | Some _ | None -> ());
       (match heartbeat with Some hb -> Telemetry.Snapshot.close hb | None -> ());
       match proof_sink with Some s -> Proof.Sink.close s | None -> ()
     in
     if
       (Option.is_some tel && (trace_file <> None || span_file <> None))
-      || Option.is_some heartbeat || Option.is_some proof_sink
+      || Option.is_some heartbeat || Option.is_some proof_sink || Option.is_some recorder
     then begin
       at_exit close_sinks;
       let close_and_exit n =
@@ -291,8 +343,8 @@ let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching 
         let budget = match time_limit with Some t -> t | None -> infinity in
         Logs.debug (fun m -> m "portfolio: jobs=%d budget=%g" jobs budget);
         let r =
-          Portfolio.solve ?telemetry:tel ~run_id ~observe:observing ?proof_file ~jobs ~budget
-            problem
+          Portfolio.solve ?telemetry:tel ~run_id ~observe:observing ?proof_file ?record_file
+            ~jobs ~budget problem
         in
         portfolio_run := Some (r, jobs);
         r.outcome
@@ -355,6 +407,15 @@ let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching 
       Printf.printf "c proof: %s (%d steps, %d uncertified prunes avoided)\n" f
         (Proof.steps logger) (Proof.uncertified logger)
     | _, Some f when portfolio -> Printf.printf "c proof: %s (stitched portfolio log)\n" f
+    | _, _ -> ());
+    (match recorder, record_file with
+    | Some r, Some f ->
+      let dropped = Telemetry.Recorder.ring_dropped r in
+      Printf.printf "c recording: %s (%d events%s)\n" f
+        (Telemetry.Recorder.events_written r)
+        (if dropped > 0 then Printf.sprintf ", %d dropped by the ring" dropped else "")
+    | None, Some f when portfolio ->
+      Printf.printf "c recording: %s (stitched portfolio recording)\n" f
     | _, _ -> ());
     (match !portfolio_run with
     | None -> ()
@@ -550,6 +611,26 @@ let metrics_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let record_arg =
+  let doc =
+    "Record the complete search — decisions, backjumps, lower-bound evaluations, prunes with \
+     blame, learned constraints, incumbents, imports, restarts — as a compact binary flight \
+     recording (format $(b,bsolo-rec/1), see docs/FORMATS.md) to $(docv).  Analyse with \
+     $(b,bsolo inspect forensics), re-execute and cross-check with $(b,bsolo replay).  With \
+     $(b,--portfolio), each member records a .part file and the final file is stitched from \
+     them like a portfolio proof log."
+  in
+  Arg.(value & opt (some string) None & info [ "record" ] ~docv:"FILE" ~doc)
+
+let record_ring_arg =
+  let doc =
+    "With $(b,--record): keep only the last $(docv) events in a bounded in-memory ring, \
+     written out at close (also from the signal handlers), so an arbitrarily long run leaves \
+     a small recording of its final moments.  A ring recording supports forensics but not \
+     $(b,bsolo replay) — the dropped prefix makes the decision sequence incomplete."
+  in
+  Arg.(value & opt (some int) None & info [ "record-ring" ] ~docv:"N" ~doc)
+
 (* --- inspect subcommand ---------------------------------------------------- *)
 
 let print_lines = List.iter print_endline
@@ -630,13 +711,52 @@ let follow_heartbeat path =
   print_endline "run ended.";
   0
 
+(* `bsolo inspect forensics REC`: reconstruct the search tree from a
+   flight recording and explain where it went. *)
+let forensics_run rec_path node =
+  let error msg =
+    Printf.eprintf "bsolo inspect: %s\n" msg;
+    2
+  in
+  match Telemetry.Recorder.read_file rec_path with
+  | Error msg -> error msg
+  | Ok rc ->
+    Printf.printf "== %s (flight recording) ==\n" rec_path;
+    (match rc.Telemetry.Recorder.r_header with
+    | Some h ->
+      Printf.printf "engine=%s lb=%s run=%s vars=%d constraints=%d flags=0x%x\n"
+        h.Telemetry.Recorder.h_engine
+        (if h.h_lb_method = "" then "-" else h.h_lb_method)
+        (if h.h_run_id = "" then "-" else h.h_run_id)
+        h.h_nvars h.h_nconstraints h.h_flags
+    | None -> print_endline "no header (file broke before the header frame)");
+    if rc.r_truncated then print_endline "torn tail: a truncated trailing frame was dropped";
+    print_newline ();
+    (match node with
+    | Some n -> (
+      match Inspect.Forensics.node_fate rc n with
+      | Ok f ->
+        print_lines (Inspect.Forensics.render_node_fate f);
+        0
+      | Error msg -> error msg)
+    | None ->
+      print_lines (Inspect.Forensics.render (Inspect.Forensics.analyze rc));
+      0)
+
 let inspect_run files diff_mode trace_file spans_file live_file follow check profile_mode
-    threshold show_all =
+    threshold show_all node =
   let error msg =
     Printf.eprintf "bsolo inspect: %s\n" msg;
     2
   in
   let load path k = match Inspect.load_file path with Ok j -> k j | Error msg -> error msg in
+  match files with
+  | "forensics" :: rest -> (
+    match rest with
+    | [ rec_path ] -> forensics_run rec_path node
+    | [] -> error "forensics needs a --record recording file"
+    | _ -> error "forensics takes exactly one recording file")
+  | _ ->
   match spans_file with
   | Some path ->
     (match Inspect.load_spans path with
@@ -720,7 +840,11 @@ let inspect_run files diff_mode trace_file spans_file live_file follow check pro
     go files
 
 let inspect_files_arg =
-  let doc = "Run report(s) (--json output) or bench regression reports to analyse." in
+  let doc =
+    "Run report(s) (--json output) or bench regression reports to analyse; or \
+     $(b,forensics) $(i,RECORDING) to reconstruct the search tree from a --record flight \
+     recording (per-procedure subtree blame by depth band, wasted work, gap stalls)."
+  in
   Arg.(value & pos_all string [] & info [] ~docv:"REPORT" ~doc)
 
 let diff_flag =
@@ -769,14 +893,21 @@ let diff_all_arg =
   let doc = "In --diff mode, print all compared metrics, not only regressions." in
   Arg.(value & flag & info [ "all" ] ~doc)
 
+let inspect_node_arg =
+  let doc =
+    "With $(b,forensics): explain one decision ($(docv) is its 1-based index in recording \
+     order) — the path that led to it and the exact event that closed its subtree."
+  in
+  Arg.(value & opt (some int) None & info [ "node" ] ~docv:"N" ~doc)
+
 let inspect_cmd =
-  let doc = "analyse run reports and traces (effectiveness, gap closure, diffs)" in
+  let doc = "analyse run reports, traces and flight recordings" in
   let info = Cmd.info "inspect" ~doc in
   Cmd.v info
     Term.(
       const inspect_run $ inspect_files_arg $ diff_flag $ inspect_trace_arg $ inspect_spans_arg
       $ inspect_live_arg $ inspect_follow_arg $ inspect_check_arg $ inspect_profile_arg
-      $ threshold_arg $ diff_all_arg)
+      $ threshold_arg $ diff_all_arg $ inspect_node_arg)
 
 (* --- checkproof subcommand -------------------------------------------------- *)
 
@@ -819,6 +950,96 @@ let checkproof_cmd =
   in
   Cmd.v (Cmd.info "checkproof" ~doc) Term.(const checkproof_run $ problem_arg $ proof_arg)
 
+(* --- replay subcommand ------------------------------------------------------ *)
+
+let replay_run problem_path rec_path check proof_out =
+  let error msg =
+    Printf.eprintf "bsolo replay: %s\n" msg;
+    2
+  in
+  match parse problem_path with
+  | exception Pbo.Opb.Parse_error msg -> error ("parse error: " ^ msg)
+  | exception Pbo.Dimacs.Parse_error msg -> error ("parse error: " ^ msg)
+  | exception Sys_error msg -> error msg
+  | problem -> (
+    match Telemetry.Recorder.read_file rec_path with
+    | Error msg -> error msg
+    | Ok rc -> (
+      if rc.Telemetry.Recorder.r_truncated then
+        print_endline "c recording has a torn tail: replaying the surviving prefix";
+      match Bsolo.Replay.run ?proof_out problem rc with
+      | Error msg -> error msg
+      | Ok rep ->
+        Printf.printf "c replayed outcome: %s\n"
+          (Format.asprintf "%a" Bsolo.Outcome.pp rep.Bsolo.Replay.outcome);
+        let proof_ok =
+          match proof_out with
+          | None -> true
+          | Some p -> (
+            match Proof.Check.check_file problem p with
+            | exception Sys_error msg ->
+              Printf.printf "c regenerated proof: NOT VERIFIED (%s)\n" msg;
+              false
+            | Error msg ->
+              Printf.printf "c regenerated proof: NOT VERIFIED (%s)\n" msg;
+              false
+            | Ok s ->
+              Printf.printf "c regenerated proof: VERIFIED %s (%d steps)\n"
+                s.Proof.Check.verdict s.Proof.Check.steps;
+              true)
+        in
+        (match rep.mismatch with
+        | Some m ->
+          Printf.printf "c mismatch at event %d/%d:\nc   recorded: %s\nc   replayed: %s\n"
+            m.Bsolo.Replay.at rep.total m.expected m.got;
+          print_string "s REPLAY MISMATCH\n";
+          1
+        | None ->
+          Printf.printf "c replay: %d/%d recorded events matched\n" rep.checked rep.total;
+          if not proof_ok then begin
+            print_string "s REPLAY MISMATCH\n";
+            1
+          end
+          else if check && (rep.checked < rep.total || rc.r_truncated) then begin
+            (* --check demands the full event stream; a truncated tail or
+               unreached suffix replays fine but proves less. *)
+            print_string "s REPLAY INCOMPLETE\n";
+            1
+          end
+          else begin
+            print_string "s REPLAY OK\n";
+            0
+          end)))
+
+let replay_cmd =
+  let doc =
+    "re-execute a --record flight recording deterministically and cross-check every event"
+  in
+  let problem_arg =
+    let doc = "OPB/CNF instance the recording was produced from." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"PROBLEM" ~doc)
+  in
+  let rec_arg =
+    let doc = "Flight recording written by $(b,--record) (not $(b,--record-ring))." in
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"RECORDING" ~doc)
+  in
+  let check_arg =
+    let doc =
+      "Exit 1 unless the replay matches the complete recording: every recorded event \
+       reproduced in order with identical payloads, no torn tail."
+    in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let proof_arg =
+    let doc =
+      "For a recording made with $(b,--proof): keep the replay's regenerated proof log at \
+       $(docv) and re-check it with exact arithmetic."
+    in
+    Arg.(value & opt (some string) None & info [ "proof" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v (Cmd.info "replay" ~doc)
+    Term.(const replay_run $ problem_arg $ rec_arg $ check_arg $ proof_arg)
+
 (* --- entry point ----------------------------------------------------------- *)
 
 let solve_term =
@@ -827,13 +1048,13 @@ let solve_term =
     $ no_lp_branching_arg $ no_preprocess_arg $ cold_lpr_arg $ no_adaptive_lb_arg
     $ portfolio_arg $ jobs_arg $ verify_arg $ verbose_arg $ stats_arg $ trace_arg $ json_arg
     $ proof_file_arg $ progress_arg $ span_file_arg $ heartbeat_arg $ heartbeat_every_arg
-    $ profile_hz_arg $ metrics_arg)
+    $ profile_hz_arg $ metrics_arg $ record_arg $ record_ring_arg)
 
 let cmd =
   let doc = "pseudo-Boolean optimizer with lower bounding (bsolo reproduction)" in
   let info = Cmd.info "bsolo" ~version:"1.0.0" ~doc in
   let solve_cmd = Cmd.v (Cmd.info "solve" ~doc:"solve an OPB/CNF instance (default)") solve_term in
-  Cmd.group ~default:solve_term info [ solve_cmd; inspect_cmd; checkproof_cmd ]
+  Cmd.group ~default:solve_term info [ solve_cmd; inspect_cmd; checkproof_cmd; replay_cmd ]
 
 (* Backward compatibility: `bsolo FILE [flags]` predates the subcommand
    group, so a first argument that is not a command name is routed to the
@@ -842,7 +1063,7 @@ let argv =
   let argv = Sys.argv in
   if Array.length argv > 1 then begin
     match argv.(1) with
-    | "inspect" | "solve" | "checkproof" -> argv
+    | "inspect" | "solve" | "checkproof" | "replay" -> argv
     | s when String.length s > 0 && s.[0] = '-' -> argv
     | _ -> Array.concat [ [| argv.(0); "solve" |]; Array.sub argv 1 (Array.length argv - 1) ]
   end

@@ -10,6 +10,7 @@ type verdict =
 type state = {
   engine : Core.t;
   tel : Telemetry.Ctx.t;
+  recorder : Telemetry.Recorder.t;  (* flight recorder (tel.recorder, hoisted) *)
   options : Options.t;
   pb_learning : bool;
   cutting_planes : bool;
@@ -83,7 +84,8 @@ let maybe_restart st =
   if st.options.restarts && st.conflicts_since_restart >= st.restart_budget then begin
     st.conflicts_since_restart <- 0;
     st.restart_budget <- Engine.Luby.next st.luby;
-    Core.restart st.engine
+    Core.restart st.engine;
+    Telemetry.Recorder.restart st.recorder
   end
 
 let record_model st =
@@ -99,6 +101,7 @@ let record_model st =
     st.best <- Some (m, cost + st.offset);
     Telemetry.Trace.incumbent st.tel.trace ~cost:(cost + st.offset)
       ~conflicts:(Telemetry.Counter.get (Core.stats st.engine).Core.conflicts);
+    Telemetry.Recorder.incumbent st.recorder ~cost:(cost + st.offset);
     Telemetry.Profile.Cell.update_ub ~self:true st.tel.cell (float_of_int (cost + st.offset));
     match st.options.on_incumbent with
     | Some broadcast -> broadcast m (cost + st.offset)
@@ -114,11 +117,12 @@ let poll_external st =
   | None -> `Continue
   | Some hook ->
     (match hook () with
-    | Some (ext, _member) when ext - st.offset < st.upper ->
+    | Some (ext, member) when ext - st.offset < st.upper ->
       st.upper <- ext - st.offset;
       st.imported <- true;
       Telemetry.Counter.incr st.imports;
       Telemetry.Profile.Cell.update_ub ~self:false st.tel.cell (float_of_int ext);
+      Telemetry.Recorder.import st.recorder ~cost:ext ~member;
       (match Knapsack.upper_cut (Core.problem st.engine) ~upper:st.upper with
       | Constr.Trivial_false -> `Stop
       | Constr.Trivial_true -> `Continue
@@ -161,12 +165,19 @@ let rec search st =
     | Some ci ->
       if Core.root_unsat st.engine then Exhausted
       else begin
-        match
+        let from_level = Core.decision_level st.engine in
+        let analysis =
           Telemetry.Ctx.with_phase st.tel Telemetry.Phase.Analyze (fun () ->
               learn_cardinality_reduction st ci;
               let ci = learn_pb_resolvent st ci in
               Core.resolve_conflict st.engine ci)
-        with
+        in
+        (match analysis with
+        | Core.Root_conflict ->
+          Telemetry.Recorder.backjump st.recorder ~from_level ~to_level:0
+        | Core.Backjump { level; _ } ->
+          Telemetry.Recorder.backjump st.recorder ~from_level ~to_level:level);
+        match analysis with
         | Core.Root_conflict -> Exhausted
         | Core.Backjump _ ->
           maybe_reduce_db st;
@@ -197,7 +208,11 @@ let rec search st =
           (* A node is a decision here; keep the live cell in step with
              the [search.nodes] alias published after the run. *)
           Telemetry.Profile.Cell.bump_nodes st.tel.cell;
-          Core.decide st.engine (Lit.make v (Core.phase_hint st.engine v));
+          let l = Lit.make v (Core.phase_hint st.engine v) in
+          Core.decide st.engine l;
+          Telemetry.Recorder.decision st.recorder
+            ~level:(Core.decision_level st.engine)
+            ~var:(Lit.var l) ~value:(Lit.is_pos l);
           search st
       end
   end
@@ -212,6 +227,7 @@ let solve ?(options = pbs_like) ?(pb_learning = false) ?(cutting_planes = false)
     {
       engine;
       tel;
+      recorder = tel.recorder;
       options;
       pb_learning;
       cutting_planes;
@@ -258,4 +274,6 @@ let solve ?(options = pbs_like) ?(pb_learning = false) ?(cutting_planes = false)
       else Outcome.Unsatisfiable, None
     | Out_of_budget, _ -> Outcome.Unknown, None
   in
+  Telemetry.Recorder.fin st.recorder ~status:(Outcome.status_name status) ~nodes:counters.nodes
+    ~decisions:counters.decisions ~conflicts:counters.conflicts;
   { Outcome.status; best = st.best; proved_lb; counters; elapsed = Unix.gettimeofday () -. start }

@@ -25,6 +25,7 @@ type t = {
   external_incumbent : (unit -> (int * string) option) option;
   should_stop : (unit -> bool) option;
   on_incumbent : (Pbo.Model.t -> int -> unit) option;
+  decision_oracle : (unit -> Pbo.Lit.t option) option;
   proof : Proof.t option;
 }
 
@@ -50,6 +51,7 @@ let default =
     external_incumbent = None;
     should_stop = None;
     on_incumbent = None;
+    decision_oracle = None;
     proof = None;
   }
 

@@ -65,6 +65,14 @@ type t = {
           incumbent with the model and its cost (offset included) — the
           broadcast side of the portfolio's shared-incumbent cell.  Runs
           on the solving domain; must be cheap and domain-safe. *)
+  decision_oracle : (unit -> Pbo.Lit.t option) option;
+      (** deterministic-replay hook: when set, the bsolo driver asks it
+          for every branching decision instead of consulting the
+          activity/phase heuristics.  [Some lit] decides [lit]; [None]
+          (or a literal that is already assigned, which a faithful
+          replay never produces) ends the search with an [Unknown]
+          outcome.  Used by {!Replay} to re-execute a recorded decision
+          sequence. *)
   proof : Proof.t option;
       (** when set, the driver streams a checkable derivation log through
           this logger: verified solutions, RUP steps for learned clauses,

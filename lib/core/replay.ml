@@ -1,0 +1,226 @@
+(* Deterministic replay: re-execute a flight recording's decision
+   sequence through the engine and cross-check every emitted event
+   against the recorded one.
+
+   The replay is driven by three hooks threaded through Options:
+
+   - [decision_oracle] feeds the recorded decisions back to the driver
+     instead of the activity/phase heuristics;
+   - [external_incumbent] releases recorded portfolio imports exactly
+     when the cursor reaches them (the driver polls it every loop
+     iteration, so the release position is exact);
+   - [should_stop] ends the replay when the cursor reaches a final
+     frame with status "unknown" — the recorded run stopped on a
+     budget there, and replay must stop at the same loop top rather
+     than search on.
+
+   Cross-checking rides the recorder itself: the replayed run gets an
+   [Observer] recorder whose callback compares each event against the
+   recording at the cursor and advances it.  Everything else about the
+   engine is deterministic given the same decisions, so a faithful
+   replay matches frame for frame; the first divergence is latched and
+   the run is stopped. *)
+
+module R = Telemetry.Recorder
+
+(* Header flag bits: every boolean option that shapes the search tree.
+   Bit 10 records that proof logging was on, which matters because
+   certificate validation gates pruning (a failing certificate
+   downgrades the prune to a plain decision). *)
+let flag_bcl = 0x1
+let flag_knapsack = 0x2
+let flag_cardinality = 0x4
+let flag_lp_branching = 0x8
+let flag_preprocess = 0x10
+let flag_strengthen = 0x20
+let flag_restarts = 0x40
+let flag_lpr_warm = 0x80
+let flag_lb_adaptive = 0x100
+let flag_reduce_db = 0x200
+let flag_proof = 0x400
+
+let flags_of_options (o : Options.t) =
+  let b on bit = if on then bit else 0 in
+  b o.bound_conflict_learning flag_bcl
+  lor b o.knapsack_cuts flag_knapsack
+  lor b o.cardinality_inference flag_cardinality
+  lor b o.lp_guided_branching flag_lp_branching
+  lor b o.preprocess flag_preprocess
+  lor b o.constraint_strengthening flag_strengthen
+  lor b o.restarts flag_restarts
+  lor b o.lpr_warm flag_lpr_warm
+  lor b o.lb_adaptive flag_lb_adaptive
+  lor b o.reduce_db flag_reduce_db
+  lor b (Option.is_some o.proof) flag_proof
+
+let lb_method_of_name = function
+  | "plain" -> Some Options.Plain
+  | "mis" -> Some Options.Mis
+  | "lgr" -> Some Options.Lgr
+  | "lpr" -> Some Options.Lpr
+  | _ -> None
+
+let options_of_header (h : R.header) =
+  match lb_method_of_name (String.lowercase_ascii h.h_lb_method) with
+  | None -> Error (Printf.sprintf "unknown lower-bound method %S in header" h.h_lb_method)
+  | Some lb_method ->
+    let has bit = h.h_flags land bit <> 0 in
+    Ok
+      {
+        Options.default with
+        lb_method;
+        bound_conflict_learning = has flag_bcl;
+        knapsack_cuts = has flag_knapsack;
+        cardinality_inference = has flag_cardinality;
+        lp_guided_branching = has flag_lp_branching;
+        preprocess = has flag_preprocess;
+        constraint_strengthening = has flag_strengthen;
+        restarts = has flag_restarts;
+        lpr_warm = has flag_lpr_warm;
+        lb_adaptive = has flag_lb_adaptive;
+        reduce_db = has flag_reduce_db;
+        lgr_iters = h.h_lgr_iters;
+        lb_every = h.h_lb_every;
+      }
+
+type mismatch = {
+  at : int;
+  expected : string;
+  got : string;
+}
+
+type report = {
+  outcome : Outcome.t;
+  checked : int;
+  total : int;
+  mismatch : mismatch option;
+}
+
+let has_event p (rc : R.recording) = List.exists (fun (_, e) -> p e) rc.r_events
+
+let validate problem (rc : R.recording) =
+  match rc.r_header with
+  | None -> Error "recording has no header (file broke before the header frame)"
+  | Some h ->
+    if h.h_engine <> "bsolo" then
+      Error
+        (Printf.sprintf "replay drives the bsolo engine only; this recording is from %S"
+           h.h_engine)
+    else if has_event (function R.Gap _ -> true | _ -> false) rc then
+      Error
+        "ring-buffer recording: the dropped prefix makes replay impossible (use --record, \
+         not --record-ring)"
+    else if has_event (function R.Section _ -> true | _ -> false) rc then
+      Error "stitched portfolio recording: replay a single member's .part file instead"
+    else if Pbo.Problem.nvars problem <> h.h_nvars then
+      Error
+        (Printf.sprintf "problem mismatch: header says %d variables, problem has %d"
+           h.h_nvars (Pbo.Problem.nvars problem))
+    else Ok h
+
+(* Elapsed times are the one payload that legitimately differs between a
+   run and its replay; everything else must be identical. *)
+let normalize = function
+  | R.Lb_eval e -> R.Lb_eval { e with elapsed_us = 0 }
+  | e -> e
+
+let run ?proof_out problem (rc : R.recording) =
+  match validate problem rc with
+  | Error _ as e -> e
+  | Ok h when proof_out <> None && h.h_flags land flag_proof = 0 ->
+    Error "recording was made without --proof; there is no proof log to regenerate"
+  | Ok h -> (
+    match options_of_header h with
+    | Error _ as e -> e
+    | Ok options ->
+      let expected = Array.of_list rc.r_events in
+      let total = Array.length expected in
+      (* A complete recording ends with its Fin frame; a truncated one
+         (run killed mid-write) only constrains its surviving prefix,
+         so events past its end are not divergences. *)
+      let complete =
+        (not rc.r_truncated)
+        && total > 0
+        && match snd expected.(total - 1) with R.Fin _ -> true | _ -> false
+      in
+      let pos = ref 0 and checked = ref 0 in
+      let mism = ref None in
+      let observe _t ev =
+        match !mism with
+        | Some _ -> ()
+        | None ->
+          if !pos >= total then begin
+            if complete then
+              mism :=
+                Some { at = total; expected = "end of recording"; got = R.event_to_string ev }
+          end
+          else begin
+            let exp = snd expected.(!pos) in
+            if normalize exp = normalize ev then begin
+              incr pos;
+              incr checked
+            end
+            else
+              mism :=
+                Some
+                  {
+                    at = !pos;
+                    expected = R.event_to_string exp;
+                    got = R.event_to_string ev;
+                  }
+          end
+      in
+      let peek () =
+        if !mism = None && !pos < total then Some (snd expected.(!pos)) else None
+      in
+      let oracle () =
+        match peek () with
+        | Some (R.Decision { var; value; _ }) -> Some (Pbo.Lit.make var value)
+        | _ -> None
+      in
+      let import () =
+        match peek () with
+        | Some (R.Import { cost; member }) -> Some (cost, member)
+        | _ -> None
+      in
+      let stop () =
+        !mism <> None
+        (* the recorded run ran out of budget here: stop at the same
+           loop top instead of searching past the recording's end *)
+        || (match peek () with
+           | Some (R.Fin { status = "unknown"; _ }) -> true
+           | _ -> false)
+        || ((not complete) && !pos >= total)
+      in
+      (* Proof mode gates pruning on certificate validation, so a
+         proof-mode recording must be replayed with a (throwaway)
+         logger to take the identical branches. *)
+      let proof_tmp =
+        if h.h_flags land flag_proof <> 0 then begin
+          let path, keep =
+            match proof_out with
+            | Some p -> (p, true)
+            | None -> (Filename.temp_file "bsolo-replay" ".pbp", false)
+          in
+          Some (path, Proof.Sink.open_file path, keep)
+        end
+        else None
+      in
+      let tel = Telemetry.Ctx.create ~timing:false ~recorder:(R.observer observe) () in
+      let options =
+        {
+          options with
+          telemetry = Some tel;
+          decision_oracle = Some oracle;
+          external_incumbent = Some import;
+          should_stop = Some stop;
+          proof = Option.map (fun (_, sink, _) -> Proof.create sink problem) proof_tmp;
+        }
+      in
+      let outcome = Solver.solve ~options problem in
+      Option.iter
+        (fun (path, sink, keep) ->
+          Proof.Sink.close sink;
+          if not keep then try Sys.remove path with Sys_error _ -> ())
+        proof_tmp;
+      Ok { outcome; checked = !checked; total; mismatch = !mism })

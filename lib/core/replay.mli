@@ -1,0 +1,62 @@
+(** Deterministic replay of a flight recording ({!Telemetry.Recorder}).
+
+    [run problem recording] re-executes the recorded decision sequence
+    through the bsolo engine — the recorded options are reconstructed
+    from the header, branching is driven by the recorded decisions,
+    portfolio imports are released at their exact recorded positions —
+    and cross-checks every event the replayed engine emits against the
+    recording: decisions with their levels, backjumps, lower-bound
+    evaluations (elapsed times excluded), prunes with blame, learned
+    constraints, incumbents, restarts and the final summary must appear
+    in the identical order with identical payloads.  The first
+    divergence stops the replay and is reported.
+
+    Replay needs the complete event stream from the root, so it rejects
+    ring-buffer recordings (dropped prefix), stitched portfolio
+    recordings (interleaving lost; replay one member's part instead)
+    and recordings made by other engines.  A truncated direct recording
+    (run killed mid-write) replays and checks the surviving prefix.
+
+    Recordings made in proof mode are replayed with a throwaway proof
+    logger, because certificate validation gates pruning: a bound
+    conflict whose certificate fails exact validation is downgraded to
+    a plain decision, and replay must take the identical branches. *)
+
+val flags_of_options : Options.t -> int
+(** Option bitmask stored in the recording header — every boolean that
+    shapes the search tree, plus whether proof logging was on. *)
+
+val flag_proof : int
+(** The proof-mode bit, exposed so a caller that only holds a proof
+    sink (not yet a logger) can set it in a header. *)
+
+val options_of_header : Telemetry.Recorder.header -> (Options.t, string) result
+(** Reconstruct solver options from a recording header.  Limits stay
+    unset: a budget-terminated recording is cut off by the replay
+    cursor reaching its final frame instead, which is exact where a
+    re-imposed wall-clock limit would not be. *)
+
+type mismatch = {
+  at : int;  (** index into the recording's event list *)
+  expected : string;  (** {!Telemetry.Recorder.event_to_string} rendering *)
+  got : string;
+}
+
+type report = {
+  outcome : Outcome.t;  (** the replayed run's outcome *)
+  checked : int;  (** events that matched before any divergence *)
+  total : int;  (** events in the recording *)
+  mismatch : mismatch option;  (** [None] = byte-identical event stream *)
+}
+
+val run :
+  ?proof_out:string -> Pbo.Problem.t -> Telemetry.Recorder.recording -> (report, string) result
+(** [Error] for recordings that cannot be replayed at all (no header,
+    wrong engine, ring or stitched recording, problem dimensions that
+    do not match the header).  Divergence during replay is not an
+    [Error]: it lands in [report.mismatch].
+
+    [proof_out] keeps the replay's regenerated proof log at the given
+    path (instead of a deleted temp file) so the caller can check it;
+    it is an [Error] to ask for one when the recording was not made in
+    proof mode. *)

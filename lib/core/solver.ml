@@ -8,6 +8,8 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 type search_state = {
   engine : Core.t;
   tel : Telemetry.Ctx.t;
+  recorder : Telemetry.Recorder.t;  (* flight recorder (tel.recorder, hoisted) *)
+  proc : string;  (* lower-case lb_method name, the recorder's blame label *)
   options : Options.t;
   offset : int;
   satisfaction : bool;
@@ -63,6 +65,9 @@ let lb_compute st =
 let out_of_budget st =
   let stats = Core.stats st.engine in
   Core.interrupted st.engine
+  (* also poll the hook directly: the engine latches it on a propagation
+     cadence, but replay needs the stop observed exactly at a loop top *)
+  || (match st.options.should_stop with Some stop -> stop () | None -> false)
   || (match st.options.conflict_limit with
      | Some l -> Telemetry.Counter.get stats.conflicts >= l
      | None -> false)
@@ -83,6 +88,7 @@ let poll_external st =
       st.imported <- true;
       Telemetry.Counter.incr st.imports;
       Telemetry.Profile.Cell.update_ub ~self:false st.tel.cell (float_of_int ext);
+      Telemetry.Recorder.import st.recorder ~cost:ext ~member;
       (match st.options.proof with
       | Some proof -> Proof.log_import proof ~cost:ext ~member
       | None -> ())
@@ -119,7 +125,8 @@ let maybe_restart st =
   if st.options.restarts && st.conflicts_since_restart >= st.restart_budget then begin
     st.conflicts_since_restart <- 0;
     st.restart_budget <- Engine.Luby.next st.luby;
-    Core.restart st.engine
+    Core.restart st.engine;
+    Telemetry.Recorder.restart st.recorder
   end
 
 let record_incumbent st =
@@ -133,6 +140,7 @@ let record_incumbent st =
     | None -> ());
     let conflicts = Telemetry.Counter.get (Core.stats st.engine).Core.conflicts in
     Telemetry.Trace.incumbent st.tel.trace ~cost:(cost + st.offset) ~conflicts;
+    Telemetry.Recorder.incumbent st.recorder ~cost:(cost + st.offset);
     Telemetry.Profile.Cell.update_ub ~self:true st.tel.cell (float_of_int (cost + st.offset));
     Lowerbound.Track.gap_sample_now st.track
       ~at:(Unix.gettimeofday () -. st.start)
@@ -199,8 +207,9 @@ let handle_bound_conflict st (lower : Lowerbound.Bound.t) omega =
   let stats = Core.stats st.engine in
   Telemetry.Counter.incr stats.bound_conflicts;
   let from_level = Core.decision_level st.engine in
-  Telemetry.Trace.bound_conflict st.tel.trace ~lb:lower.value ~path:(Core.path_cost st.engine)
-    ~upper:st.upper ~level:from_level;
+  let path = Core.path_cost st.engine in
+  let upper = st.upper in
+  Telemetry.Trace.bound_conflict st.tel.trace ~lb:lower.value ~path ~upper ~level:from_level;
   let analysis =
     Telemetry.Ctx.with_phase st.tel Telemetry.Phase.Analyze (fun () ->
         Core.learn_false_clause st.engine omega)
@@ -208,8 +217,8 @@ let handle_bound_conflict st (lower : Lowerbound.Bound.t) omega =
   let to_level =
     match analysis with Core.Root_conflict -> 0 | Core.Backjump { level; _ } -> level
   in
-  Lowerbound.Track.note_bound_conflict st.track ~lb_driven:(lower.value > 0) ~from_level
-    ~to_level;
+  Lowerbound.Track.note_bound_conflict st.track ~lb_driven:(lower.value > 0) ~lb:lower.value
+    ~path ~upper ~from_level ~to_level;
   analysis
 
 let pick_decision st (lower : Lowerbound.Bound.t) =
@@ -225,6 +234,28 @@ let pick_decision st (lower : Lowerbound.Bound.t) =
   | None -> None
   | Some v -> Some (Lit.make v (Core.phase_hint st.engine v))
 
+(* Branching: the replay oracle, when set, overrides the heuristics.  An
+   oracle literal that is already assigned means the recording diverged
+   from this run (a faithful replay never produces one); surfaced as
+   [None] so the caller gives up cleanly instead of looping. *)
+let next_decision st (lower : Lowerbound.Bound.t) =
+  match st.options.decision_oracle with
+  | None -> pick_decision st lower
+  | Some next -> (
+    match next () with
+    | Some l when Value.equal (Core.value_var st.engine (Lit.var l)) Value.Unknown -> Some l
+    | Some _ | None -> None)
+
+(* Record the conflict backjump the analysis decided on; returns the
+   analysis unchanged.  Bound conflicts do not come through here — their
+   retreat is recorded as a [Prune] frame by {!Lowerbound.Track}. *)
+let record_backjump st ~from_level analysis =
+  (match analysis with
+  | Core.Root_conflict -> Telemetry.Recorder.backjump st.recorder ~from_level ~to_level:0
+  | Core.Backjump { level; _ } ->
+    Telemetry.Recorder.backjump st.recorder ~from_level ~to_level:level);
+  analysis
+
 let rec search st =
   if out_of_budget st then Out_of_budget
   else begin
@@ -236,9 +267,11 @@ let rec search st =
     | Some ci ->
       if Core.root_unsat st.engine then Exhausted
       else begin
+        let from_level = Core.decision_level st.engine in
         match
-          Telemetry.Ctx.with_phase st.tel Telemetry.Phase.Analyze (fun () ->
-              Core.resolve_conflict st.engine ci)
+          record_backjump st ~from_level
+            (Telemetry.Ctx.with_phase st.tel Telemetry.Phase.Analyze (fun () ->
+                 Core.resolve_conflict st.engine ci))
         with
         | Core.Root_conflict -> Exhausted
         | Core.Backjump _ ->
@@ -261,7 +294,7 @@ let rec search st =
            evaluations keep failing to prune. *)
         let eligible = (not st.satisfaction) && (st.best <> None || st.imported) in
         let every = st.options.lb_every * st.lb_skip in
-        let lower, evaluated =
+        let lower, evaluated, lb_elapsed_us =
           if
             (not eligible)
             || (every > 1 && Telemetry.Counter.get st.nodes mod every <> 0)
@@ -271,14 +304,16 @@ let rec search st =
               && (st.options.lb_every <= 1
                  || Telemetry.Counter.get st.nodes mod st.options.lb_every = 0)
             then Telemetry.Counter.incr st.lb_skips;
-            Lowerbound.Bound.none, false
+            Lowerbound.Bound.none, false, 0
           end
           else begin
             match st.options.lb_method with
-            | Options.Plain -> Lowerbound.Bound.none, false
+            | Options.Plain -> Lowerbound.Bound.none, false, 0
             | Options.Mis | Options.Lgr | Options.Lpr ->
               Telemetry.Counter.incr st.lb_calls;
+              let t0 = Unix.gettimeofday () in
               let lower = lb_compute st in
+              let elapsed_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
               let path = Core.path_cost st.engine in
               st.last_lb <- path + lower.value;
               Lowerbound.Track.note_call st.track ~value:lower.value ~path ~upper:st.upper;
@@ -290,7 +325,7 @@ let rec search st =
                  subtree and must not reach the live cell. *)
               if Core.decision_level st.engine = 0 then
                 Lowerbound.Track.publish_global_lb st.track ~lb:(st.last_lb + st.offset);
-              lower, true
+              lower, true, elapsed_us
           end
         in
         let prunes =
@@ -329,6 +364,12 @@ let rec search st =
               end
           end
         in
+        (* [pruned] reflects the *actual* prune — after any proof-mode
+           downgrade — so a replay in the same mode sees the same flag *)
+        if evaluated then
+          Telemetry.Recorder.lb_eval st.recorder ~proc:st.proc ~value:lower.value
+            ~path:(Core.path_cost st.engine) ~upper:st.upper ~elapsed_us:lb_elapsed_us
+            ~pruned:(pruning <> None);
         match pruning with
         | Some omega -> begin
           match handle_bound_conflict st lower omega with
@@ -338,12 +379,16 @@ let rec search st =
             search st
         end
         | None -> begin
-          match pick_decision st lower with
+          match next_decision st lower with
           | None ->
-            (* no unassigned variable: cannot happen, all_assigned is false *)
-            assert false
+            (* heuristic mode: cannot happen, all_assigned is false.
+               Oracle mode: recording exhausted or diverged — stop. *)
+            if st.options.decision_oracle = None then assert false else Out_of_budget
           | Some l ->
             Core.decide st.engine l;
+            Telemetry.Recorder.decision st.recorder
+              ~level:(Core.decision_level st.engine)
+              ~var:(Lit.var l) ~value:(Lit.is_pos l);
             search st
         end
       end
@@ -360,12 +405,14 @@ and handle_full_assignment st =
   end
   else begin
     record_incumbent st;
+    let from_level = Core.decision_level st.engine in
     match add_incumbent_cuts st with
     | Some `Root -> Exhausted
     | Some (`Cid ci) ->
       (match
-         Telemetry.Ctx.with_phase st.tel Telemetry.Phase.Analyze (fun () ->
-             Core.resolve_conflict st.engine ci)
+         record_backjump st ~from_level
+           (Telemetry.Ctx.with_phase st.tel Telemetry.Phase.Analyze (fun () ->
+                Core.resolve_conflict st.engine ci))
        with
       | Core.Root_conflict -> Exhausted
       | Core.Backjump _ -> search st)
@@ -380,8 +427,9 @@ and handle_full_assignment st =
       | Some proof -> Proof.log_learned proof omega
       | None -> ());
       (match
-         Telemetry.Ctx.with_phase st.tel Telemetry.Phase.Analyze (fun () ->
-             Core.learn_false_clause st.engine omega)
+         record_backjump st ~from_level
+           (Telemetry.Ctx.with_phase st.tel Telemetry.Phase.Analyze (fun () ->
+                Core.learn_false_clause st.engine omega))
        with
       | Core.Root_conflict -> Exhausted
       | Core.Backjump _ -> search st)
@@ -432,6 +480,8 @@ let package st verdict =
   Log.info (fun k ->
       k "%s: %d decisions, %d conflicts (%d bound), %d lb calls" (Outcome.status_name status)
         counters.decisions counters.conflicts counters.bound_conflicts counters.lb_calls);
+  Telemetry.Recorder.fin st.recorder ~status:(Outcome.status_name status) ~nodes:counters.nodes
+    ~decisions:counters.decisions ~conflicts:counters.conflicts;
   {
     Outcome.status;
     best = st.best;
@@ -457,9 +507,16 @@ let solve_with_incumbent_hook ?(options = Options.default) ~on_incumbent problem
   in
   let engine = Core.create ~telemetry:tel problem in
   Option.iter (Core.set_interrupt engine) options.should_stop;
-  (match options.proof with
-  | Some proof -> Core.set_on_learned engine (fun clause -> Proof.log_learned proof clause)
-  | None -> ());
+  (* the learned-clause hook serves both consumers: proof logging and the
+     flight recorder ([level] is the level the clause was learned at,
+     i.e. before the backjump it causes) *)
+  if Option.is_some options.proof || Telemetry.Recorder.enabled tel.recorder then
+    Core.set_on_learned engine (fun clause ->
+        (match options.proof with
+        | Some proof -> Proof.log_learned proof clause
+        | None -> ());
+        Telemetry.Recorder.learned tel.recorder ~size:(List.length clause)
+          ~level:(Core.decision_level engine));
   let offset = match Problem.objective problem with None -> 0 | Some o -> o.offset in
   let on_incumbent =
     match options.on_incumbent with
@@ -469,10 +526,13 @@ let solve_with_incumbent_hook ?(options = Options.default) ~on_incumbent problem
         broadcast m c;
         on_incumbent m c
   in
+  let proc = String.lowercase_ascii (Options.lb_method_name options.lb_method) in
   let st =
     {
       engine;
       tel;
+      recorder = tel.recorder;
+      proc;
       options;
       offset;
       satisfaction = Problem.is_satisfaction problem;
@@ -486,9 +546,7 @@ let solve_with_incumbent_hook ?(options = Options.default) ~on_incumbent problem
       lpr_inc = None;
       lb_skip = 1;
       lb_noprune = 0;
-      track =
-        Lowerbound.Track.create tel
-          ~proc:(String.lowercase_ascii (Options.lb_method_name options.lb_method));
+      track = Lowerbound.Track.create tel ~proc;
       last_lb = 0;
       max_learned = 4000;
       restart_budget = 100;

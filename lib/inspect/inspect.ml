@@ -719,6 +719,7 @@ type span_stats = {
   sp_max_depth : int;
   sp_last_ts : float;  (** microseconds *)
   sp_run_id : string option;
+  sp_dropped : int;  (** begin events dropped at the writer's event cap *)
 }
 
 (* Check the structural invariants the writer promises: exactly one
@@ -737,6 +738,7 @@ let validate_spans events =
   let max_depth = ref 0 in
   let last_ts = ref 0. in
   let nevents = ref 0 in
+  let dropped = ref 0 in
   let str m e = Option.bind (Json.member m e) Json.to_string_opt in
   let num m e = Option.bind (Json.member m e) Json.to_float in
   let arg m e = Option.bind (Json.member "args" e) (Json.member m) in
@@ -752,7 +754,11 @@ let validate_spans events =
       let ts = Option.value ~default:0. (num "ts" e) in
       if ts > !last_ts then last_ts := ts;
       (match ph with
-      | "M" -> if name = "bsolo_run" then headers := e :: !headers
+      | "M" ->
+        if name = "bsolo_run" then headers := e :: !headers
+        else if name = "bsolo_dropped_events" then
+          dropped :=
+            !dropped + Option.value ~default:0 (Option.bind (arg "dropped" e) Json.to_int)
       | "B" | "E" ->
         if ts < 0. then violation "negative ts %.1f on %s %S" ts ph name;
         (match Hashtbl.find_opt clocks track with
@@ -818,6 +824,7 @@ let validate_spans events =
         sp_max_depth = !max_depth;
         sp_last_ts = !last_ts;
         sp_run_id = run_id;
+        sp_dropped = !dropped;
       }
   | l -> Error (List.rev l)
 
@@ -828,6 +835,15 @@ let render_span_stats s =
       (match s.sp_run_id with Some id -> ", run " ^ id | None -> "");
     "well-nested: yes (single shared epoch, per-track clocks monotone)";
   ]
+  @
+  if s.sp_dropped > 0 then
+    [
+      Printf.sprintf
+        "WARNING: %d begin event(s) dropped at the writer's event cap (file is a truncated \
+         prefix of the run)"
+        s.sp_dropped;
+    ]
+  else []
 
 (* --- heartbeat view -------------------------------------------------------- *)
 
@@ -951,3 +967,7 @@ let heartbeat_check lines =
           (Hashtbl.length last_gap);
       ]
   | l -> Error (List.rev l)
+
+(* [inspect.ml] shadows the library's interface module, so the
+   forensics module must be re-exported to be visible to callers. *)
+module Forensics = Forensics

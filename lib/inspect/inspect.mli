@@ -166,6 +166,10 @@ type span_stats = {
   sp_max_depth : int;
   sp_last_ts : float;  (** microseconds *)
   sp_run_id : string option;
+  sp_dropped : int;
+      (** begin events the writer dropped at its event cap (the
+          [bsolo_dropped_events] meta); a non-zero count means the file
+          is a truncated prefix of the run and the summary says so *)
 }
 
 val validate_spans : Json.t list -> (span_stats, string list) result
@@ -190,3 +194,7 @@ val heartbeat_check : Json.t list -> (string list, string list) result
     snapshots, an end record, strictly increasing sequence numbers and
     per-member gaps that never widen.  [Ok] carries a one-line
     summary. *)
+
+(** {1 Pruning forensics over flight recordings} *)
+
+module Forensics : module type of Forensics

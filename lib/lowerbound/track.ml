@@ -19,6 +19,7 @@ type t = {
   gap : Telemetry.Series.t;  (* search.gap: (lb, ub) trajectory *)
   trace : Telemetry.Trace.t;
   cell : Telemetry.Profile.Cell.t;  (* live lb for heartbeat monitors *)
+  recorder : Telemetry.Recorder.t;  (* flight recorder: Prune frames with blame *)
 }
 
 let gap_series_name = "search.gap"
@@ -39,6 +40,7 @@ let create (tel : Telemetry.Ctx.t) ~proc =
     gap = Telemetry.Registry.series reg ~fields:gap_fields gap_series_name;
     trace = tel.trace;
     cell = tel.cell;
+    recorder = tel.recorder;
   }
 
 let tightness_pm ~value ~need =
@@ -52,8 +54,10 @@ let note_call t ~value ~path ~upper =
 (* A bound conflict fired; [lb_driven] tells whether the LB procedure
    contributed (value > 0) or the path cost alone reached the incumbent,
    so non-chronological backtracks are attributed to the procedure that
-   actually earned them. *)
-let note_bound_conflict t ~lb_driven ~from_level ~to_level =
+   actually earned them.  The same attribution feeds the flight
+   recorder's Prune frame, so post-mortem forensics blame exactly what
+   the live counters credit. *)
+let note_bound_conflict t ~lb_driven ~lb ~path ~upper ~from_level ~to_level =
   let jump = max 0 (from_level - to_level) in
   if lb_driven then begin
     Telemetry.Counter.incr t.bound_conflicts;
@@ -62,7 +66,10 @@ let note_bound_conflict t ~lb_driven ~from_level ~to_level =
   else begin
     Telemetry.Counter.incr t.path_conflicts;
     Telemetry.Histogram.observe t.path_backjump jump
-  end
+  end;
+  Telemetry.Recorder.prune t.recorder
+    ~blame:(if lb_driven then t.proc else "path")
+    ~lb ~path ~upper ~from_level ~to_level
 
 let gap_sample t ~at ~lb ~ub =
   Telemetry.Series.observe t.gap ~t:at [| float_of_int lb; float_of_int ub |]

@@ -26,10 +26,13 @@ val note_call : t -> value:int -> path:int -> upper:int -> unit
 (** Record one LB evaluation: tightness and raw-value histograms, plus an
     ["lb"] trace event when tracing. *)
 
-val note_bound_conflict : t -> lb_driven:bool -> from_level:int -> to_level:int -> unit
+val note_bound_conflict :
+  t -> lb_driven:bool -> lb:int -> path:int -> upper:int -> from_level:int -> to_level:int -> unit
 (** Attribute one bound conflict and its backjump length.  [lb_driven]
     is false when the path cost alone reached the incumbent (attributed
-    to the pseudo-procedure ["path"]). *)
+    to the pseudo-procedure ["path"]).  Also emits a [Prune] frame with
+    the same blame to the context's flight recorder, carrying the
+    bound / path / incumbent values that justified the prune. *)
 
 val gap_sample : t -> at:float -> lb:int -> ub:int -> unit
 (** Offer a gap-trajectory point ([at] seconds into the run); subject to

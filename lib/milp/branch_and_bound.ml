@@ -154,6 +154,7 @@ let solve ?(options = Bsolo.Options.default) problem =
   let nodes_c = Telemetry.Registry.counter tel.registry "search.nodes" in
   let lp_calls_c = Telemetry.Registry.counter tel.registry "search.lb_calls" in
   let decisions_c = Telemetry.Registry.counter tel.registry "engine.decisions" in
+  let recorder = tel.Telemetry.Ctx.recorder in
   let relax = relaxation_of problem in
   let heap = Heap.create () in
   let best = ref None in
@@ -168,6 +169,7 @@ let solve ?(options = Bsolo.Options.default) problem =
         upper := c;
         best := Some (m, c);
         Telemetry.Trace.incumbent tel.trace ~cost:c ~conflicts:!nodes;
+        Telemetry.Recorder.incumbent recorder ~cost:c;
         Telemetry.Profile.Cell.update_ub ~self:true tel.Telemetry.Ctx.cell (float_of_int c);
         match options.on_incumbent with Some broadcast -> broadcast m c | None -> ()
       end
@@ -181,11 +183,12 @@ let solve ?(options = Bsolo.Options.default) problem =
     | None -> ()
     | Some hook ->
       (match hook () with
-      | Some (ext, _member) when ext < !upper ->
+      | Some (ext, member) when ext < !upper ->
         upper := ext;
         imported := true;
         Telemetry.Counter.incr imports_c;
-        Telemetry.Profile.Cell.update_ub ~self:false tel.Telemetry.Ctx.cell (float_of_int ext)
+        Telemetry.Profile.Cell.update_ub ~self:false tel.Telemetry.Ctx.cell (float_of_int ext);
+        Telemetry.Recorder.import recorder ~cost:ext ~member
       | Some _ | None -> ())
   in
   let out_of_budget () =
@@ -223,17 +226,28 @@ let solve ?(options = Bsolo.Options.default) problem =
       else begin
         Telemetry.Counter.incr lp_calls_c;
         let sstats = Simplex.stats () in
+        let t0 = Unix.gettimeofday () in
         let lp_outcome =
           Telemetry.Ctx.with_phase tel Telemetry.Phase.Simplex (fun () ->
               Simplex.solve ~max_iters:2000 ~should_stop:lp_should_stop ~stats:sstats
                 (lp_for relax node.fixings))
         in
+        let lp_elapsed_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
         flush_simplex tel.registry sstats;
+        (* One Lb_eval frame per LP relaxation solve: proc "lp", the
+           rounded-up bound as the value (path cost is folded into the
+           relaxation, so path = 0), pruned when the node closes. *)
+        let record_lp ~value ~pruned =
+          Telemetry.Recorder.lb_eval recorder ~proc:"lp" ~value ~path:0 ~upper:!upper
+            ~elapsed_us:lp_elapsed_us ~pruned
+        in
         match lp_outcome with
-        | Simplex.Infeasible _ -> ()
+        | Simplex.Infeasible _ -> record_lp ~value:!upper ~pruned:true
         | Simplex.Optimal sol ->
           let bound_int = int_of_float (ceil (sol.value +. relax.obj_offset -. 1e-6)) in
-          if !upper < max_int && bound_int >= !upper then ()
+          let pruned = !upper < max_int && bound_int >= !upper in
+          record_lp ~value:bound_int ~pruned;
+          if pruned then ()
           else begin
             try_incumbent (model_of_rounding sol.x node.fixings relax.nvars);
             match most_fractional sol.x node.fixings relax.nvars with
@@ -252,6 +266,7 @@ let solve ?(options = Bsolo.Options.default) problem =
               Heap.push heap (child (sol.x.(v) < 0.5))
           end
         | Simplex.Unbounded | Simplex.Iteration_limit _ ->
+          record_lp ~value:0 ~pruned:false;
           (* cannot prune: branch blindly on the first unfixed variable *)
           (match first_unfixed node.fixings relax.nvars with
           | None -> ()
@@ -276,6 +291,9 @@ let solve ?(options = Bsolo.Options.default) problem =
     | Some `Budget, _ | None, _ -> Bsolo.Outcome.Unknown, None
   in
   let counters = Bsolo.Outcome.counters_of_registry tel.registry in
+  Telemetry.Recorder.fin recorder
+    ~status:(Bsolo.Outcome.status_name status)
+    ~nodes:counters.nodes ~decisions:counters.decisions ~conflicts:counters.conflicts;
   {
     Bsolo.Outcome.status;
     best = !best;

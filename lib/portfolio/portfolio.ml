@@ -225,13 +225,68 @@ let stitch_proof ?run_id ~base problem names runs =
         Printf.fprintf oc "F %s\n" (Proof.conclusion_to_string (stitched_claim included))
       end)
 
+(* --- recording stitching ---------------------------------------------------- *)
+
+(* Flight-recorder parts mirror the proof parts: each member records into
+   [<base>.<member>.part] and the parts are stitched into one recording
+   with per-member [Section] frames after the members finish.  Member
+   parts carry the member name as their engine tag; the stitched file is
+   tagged "portfolio".  (Stitched recordings serve forensics, not
+   replay: the interleaving between members is not recorded.) *)
+let member_recorder ?run_id ~record_file ~started problem name =
+  match record_file with
+  | None -> Telemetry.Recorder.disabled ()
+  | Some base -> (
+    let header =
+      {
+        Telemetry.Recorder.h_run_id = Option.value ~default:"" run_id;
+        h_engine = name;
+        h_lb_method = "";
+        h_started = started;
+        h_nvars = Problem.nvars problem;
+        h_nconstraints = Array.length (Problem.constraints problem);
+        h_flags = 0;
+        h_lb_every = 0;
+        h_lgr_iters = 0;
+      }
+    in
+    try Telemetry.Recorder.open_file (part_path base name) header
+    with Sys_error _ -> Telemetry.Recorder.disabled ())
+
+let stitch_recording ?run_id ~base ~started problem names =
+  let header =
+    {
+      Telemetry.Recorder.h_run_id = Option.value ~default:"" run_id;
+      h_engine = "portfolio";
+      h_lb_method = "";
+      h_started = started;
+      h_nvars = Problem.nvars problem;
+      h_nconstraints = Array.length (Problem.constraints problem);
+      h_flags = 0;
+      h_lb_every = 0;
+      h_lgr_iters = 0;
+    }
+  in
+  let parts =
+    List.filter_map
+      (fun name ->
+        let p = part_path base name in
+        if Sys.file_exists p then Some (name, p) else None)
+      names
+  in
+  (match Telemetry.Recorder.stitch base header parts with
+  | Ok () -> ()
+  | Error _ -> ());
+  List.iter (fun (_, p) -> try Sys.remove p with Sys_error _ -> ()) parts
+
 (* --- sequential portfolio -------------------------------------------------- *)
 
 (* One entry after the other.  An entry's slice is its fair share of the
    budget *still unspent*, so an early unproved finisher (conflict/node
    limit, trivial instance) donates its remainder to later entries
    instead of letting it evaporate. *)
-let solve_sequential ?run_id tel entries ~budget ~proof_file problem =
+let solve_sequential ?run_id tel entries ~budget ~proof_file ~record_file problem =
+  let started = Unix.gettimeofday () in
   let runs = ref [] in
   let finished = ref false in
   let spent = ref 0. in
@@ -245,10 +300,15 @@ let solve_sequential ?run_id tel entries ~budget ~proof_file problem =
         let psink =
           Option.map (fun base -> Proof.Sink.open_file (part_path base e.pname)) proof_file
         in
+        let wrec = member_recorder ?run_id ~record_file ~started problem e.pname in
         let options =
           {
             Bsolo.Options.default with
             time_limit = Some slice;
+            telemetry =
+              (if Telemetry.Recorder.enabled wrec then
+                 Some (Telemetry.Ctx.create ~timing:false ~recorder:wrec ())
+               else None);
             proof = Option.map (fun s -> Proof.create ~header:false s problem) psink;
           }
         in
@@ -262,6 +322,7 @@ let solve_sequential ?run_id tel entries ~budget ~proof_file problem =
             (fun () -> e.psolve ~options problem)
         in
         Option.iter Proof.Sink.close psink;
+        Telemetry.Recorder.close wrec;
         spent := !spent +. o.elapsed;
         attribute tel e.pname o;
         runs := (e.pname, o) :: !runs;
@@ -272,6 +333,10 @@ let solve_sequential ?run_id tel entries ~budget ~proof_file problem =
   let runs = List.rev !runs in
   (match proof_file with
   | Some base -> stitch_proof ?run_id ~base problem (List.map (fun e -> e.pname) entries) runs
+  | None -> ());
+  (match record_file with
+  | Some base ->
+    stitch_recording ?run_id ~base ~started problem (List.map (fun e -> e.pname) entries)
   | None -> ());
   runs
 
@@ -298,7 +363,8 @@ type worker_result = {
   wcancelled : bool;  (* finished unproved after the stop flag was up *)
 }
 
-let solve_parallel ?run_id ~observe tel entries ~jobs ~budget ~proof_file problem =
+let solve_parallel ?run_id ~observe tel entries ~jobs ~budget ~proof_file ~record_file
+    problem =
   let entries = Array.of_list entries in
   let n = Array.length entries in
   let jobs = max 1 (min jobs n) in
@@ -315,6 +381,7 @@ let solve_parallel ?run_id ~observe tel entries ~jobs ~budget ~proof_file proble
     let wcell = Telemetry.Profile.Cell.make ~observed:observe ~name:e.pname () in
     let wtrack = Telemetry.Profile.Cell.track wcell in
     Telemetry.Span.name_track tel.Telemetry.Ctx.spans ~track:wtrack e.pname;
+    let wrec = member_recorder ?run_id ~record_file ~started:start problem e.pname in
     let wtel =
       {
         Telemetry.Ctx.timer = Telemetry.Timer.create ~enabled:false ();
@@ -323,6 +390,7 @@ let solve_parallel ?run_id ~observe tel entries ~jobs ~budget ~proof_file proble
         spans = tel.spans;
         cell = wcell;
         progress = Telemetry.Progress.disabled ();
+        recorder = wrec;
       }
     in
     let psink =
@@ -357,6 +425,7 @@ let solve_parallel ?run_id ~observe tel entries ~jobs ~budget ~proof_file proble
     in
     Telemetry.Profile.unregister wcell;
     Option.iter Proof.Sink.close psink;
+    Telemetry.Recorder.close wrec;
     let stopped_by_peer = Atomic.get stop in
     (* Raise the stop flag on a completed proof — either a proved status,
        or an exhausted search under an imported bound that pins the
@@ -426,6 +495,11 @@ let solve_parallel ?run_id ~observe tel entries ~jobs ~budget ~proof_file proble
       (List.map (fun e -> e.pname) (Array.to_list entries))
       runs
   | None -> ());
+  (match record_file with
+  | Some base ->
+    stitch_recording ?run_id ~base ~started:start problem
+      (List.map (fun e -> e.pname) (Array.to_list entries))
+  | None -> ());
   Telemetry.Counter.add
     (Telemetry.Registry.counter reg "portfolio.incumbent_broadcasts")
     (Atomic.get broadcasts);
@@ -487,14 +561,17 @@ let solve_parallel ?run_id ~observe tel entries ~jobs ~budget ~proof_file proble
 
 (* --- entry point ------------------------------------------------------------ *)
 
-let solve ?telemetry ?run_id ?(observe = false) ?proof_file ?(entries = default_entries)
-    ?(jobs = 1) ~budget problem =
+let solve ?telemetry ?run_id ?(observe = false) ?proof_file ?record_file
+    ?(entries = default_entries) ?(jobs = 1) ~budget problem =
   let tel = match telemetry with Some t -> t | None -> Telemetry.Ctx.silent () in
   if entries = [] then invalid_arg "Portfolio.solve: no entries";
   let observe = observe || Telemetry.Span.enabled tel.Telemetry.Ctx.spans in
   let runs, failures =
-    if jobs <= 1 then solve_sequential ?run_id tel entries ~budget ~proof_file problem, []
-    else solve_parallel ?run_id ~observe tel entries ~jobs ~budget ~proof_file problem
+    if jobs <= 1 then
+      solve_sequential ?run_id tel entries ~budget ~proof_file ~record_file problem, []
+    else
+      solve_parallel ?run_id ~observe tel entries ~jobs ~budget ~proof_file ~record_file
+        problem
   in
   if runs = [] then begin
     let detail =

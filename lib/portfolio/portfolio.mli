@@ -46,6 +46,7 @@ val solve :
   ?run_id:string ->
   ?observe:bool ->
   ?proof_file:string ->
+  ?record_file:string ->
   ?entries:entry list ->
   ?jobs:int ->
   budget:float ->
@@ -87,6 +88,13 @@ val solve :
     exactly the run's duration — which the sampling profiler and
     heartbeat ticker observe; [observe] forces the cells' phase stacks
     on even when no span sink is attached (the heartbeat/profiler case).
+
+    With [record_file] each member writes a flight recording into
+    [<record_file>.<member>.part] and the parts are stitched — like the
+    proof parts — into one [record_file] with per-member [Section]
+    frames once the members finish.  Stitched recordings feed
+    [inspect forensics]; they are not replayable (the interleaving
+    between members is not recorded).
     [run_id], when given, is recorded as a [# run] comment in the
     stitched proof log.
 

@@ -12,6 +12,7 @@ type t = {
   spans : Span.t;
   cell : Profile.Cell.t;
   progress : Progress.t;
+  recorder : Recorder.t;
 }
 
 let silent () =
@@ -22,9 +23,10 @@ let silent () =
     spans = Span.disabled ();
     cell = Profile.Cell.disabled ();
     progress = Progress.disabled ();
+    recorder = Recorder.disabled ();
   }
 
-let create ?(timing = true) ?trace ?spans ?cell ?progress () =
+let create ?(timing = true) ?trace ?spans ?cell ?progress ?recorder () =
   {
     timer = Timer.create ~enabled:timing ();
     registry = Registry.create ();
@@ -32,6 +34,7 @@ let create ?(timing = true) ?trace ?spans ?cell ?progress () =
     spans = (match spans with Some s -> s | None -> Span.disabled ());
     cell = (match cell with Some c -> c | None -> Profile.Cell.disabled ());
     progress = (match progress with Some p -> p | None -> Progress.disabled ());
+    recorder = (match recorder with Some r -> r | None -> Recorder.disabled ());
   }
 
 (* Phase attribution for the whole observability stack in one call:
@@ -57,4 +60,5 @@ let with_phase t phase f =
 
 let close t =
   Trace.close t.trace;
-  Span.close t.spans
+  Span.close t.spans;
+  Recorder.close t.recorder

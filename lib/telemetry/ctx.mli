@@ -21,6 +21,7 @@ type t = {
   spans : Span.t;
   cell : Profile.Cell.t;
   progress : Progress.t;
+  recorder : Recorder.t;
 }
 
 val silent : unit -> t
@@ -31,10 +32,12 @@ val create :
   ?spans:Span.t ->
   ?cell:Profile.Cell.t ->
   ?progress:Progress.t ->
+  ?recorder:Recorder.t ->
   unit ->
   t
 (** [timing] defaults to [true]; omitted [trace]/[spans]/[progress] are
-    disabled, an omitted [cell] is inert. *)
+    disabled, an omitted [cell] is inert and an omitted [recorder] is
+    disabled. *)
 
 val with_phase : t -> Phase.t -> (unit -> 'a) -> 'a
 (** Run [f] attributed to the phase across the whole observability
@@ -45,4 +48,5 @@ val with_phase : t -> Phase.t -> (unit -> 'a) -> 'a
     [Timer.with_phase] plus one load and branch. *)
 
 val close : t -> unit
-(** Flush and close the trace and span sinks (idempotent). *)
+(** Flush and close the trace and span sinks and the recorder
+    (idempotent). *)

@@ -59,9 +59,12 @@ let test_track_attribution () =
   Lowerbound.Track.note_call tr ~value:6 ~path:2 ~upper:10;
   Lowerbound.Track.note_call tr ~value:8 ~path:2 ~upper:10;
   (* Two LB-driven bound conflicts and one path-cost-only one. *)
-  Lowerbound.Track.note_bound_conflict tr ~lb_driven:true ~from_level:10 ~to_level:4;
-  Lowerbound.Track.note_bound_conflict tr ~lb_driven:true ~from_level:7 ~to_level:5;
-  Lowerbound.Track.note_bound_conflict tr ~lb_driven:false ~from_level:3 ~to_level:2;
+  Lowerbound.Track.note_bound_conflict tr ~lb_driven:true ~from_level:10 ~to_level:4 ~lb:8
+    ~path:2 ~upper:10;
+  Lowerbound.Track.note_bound_conflict tr ~lb_driven:true ~from_level:7 ~to_level:5 ~lb:8
+    ~path:2 ~upper:10;
+  Lowerbound.Track.note_bound_conflict tr ~lb_driven:false ~from_level:3 ~to_level:2 ~lb:10
+    ~path:10 ~upper:10;
   let counter name = Option.value ~default:0 (Telemetry.Registry.find_counter reg name) in
   Alcotest.(check int) "lpr conflicts" 2 (counter "lb.lpr.bound_conflicts");
   Alcotest.(check int) "path conflicts" 1 (counter "lb.path.bound_conflicts");

@@ -31,6 +31,7 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("observability", Test_observability.suite);
       ("inspect", Test_inspect.suite);
+      ("recorder", Test_recorder.suite);
       ("fuzz", Test_fuzz.suite);
       ("stress", Test_stress.suite);
       ("solvers", Test_solvers.suite);

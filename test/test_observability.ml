@@ -297,6 +297,33 @@ let heartbeat_file_round_trip () =
     | Ok _ -> ()
     | Error violations -> Alcotest.failf "violations: %s" (String.concat "; " violations))
 
+(* The SIGUSR1 path: Ticker.request must force an out-of-band snapshot
+   at the next ~50 ms quantum — long before the periodic [every]
+   elapses — with the writer's sequence numbering intact. *)
+let ticker_request_forces_snapshot () =
+  let path = tmp_file ".hb.jsonl" in
+  let w =
+    T.Snapshot.open_file path ~run_id:"deadbeef" ~started:(Unix.gettimeofday ()) ~every:60.
+  in
+  let tk = T.Snapshot.Ticker.start w ~every:60. in
+  Unix.sleepf 0.15 (* let the start-of-run snapshot land *);
+  T.Snapshot.Ticker.request tk;
+  Unix.sleepf 0.3 (* several polling quanta, still way under [every] *);
+  T.Snapshot.Ticker.stop tk;
+  T.Snapshot.close w;
+  match Inspect.load_trace path with
+  | Error msg -> Alcotest.fail msg
+  | Ok (lines, _) ->
+    let snaps = List.filter_map T.Snapshot.decode lines in
+    (* start + requested + final stop snapshot: a 60 s periodic tick
+       cannot have fired inside a sub-second test, so the middle one can
+       only come from the request. *)
+    Alcotest.(check int) "snapshots" 3 (List.length snaps);
+    List.iteri
+      (fun i (s : T.Snapshot.snap) ->
+        Alcotest.(check int) (Printf.sprintf "seq of snapshot %d" i) i s.s_seq)
+      snaps
+
 let heartbeat_check_catches_widening () =
   let s = snap_fixture () in
   let widened =
@@ -376,6 +403,8 @@ let suite =
     Alcotest.test_case "heartbeat: encode/decode round trip" `Quick snapshot_encode_decode_round_trip;
     Alcotest.test_case "heartbeat: non-snapshot lines" `Quick snapshot_non_snapshot_lines;
     Alcotest.test_case "heartbeat: file round trip + check" `Quick heartbeat_file_round_trip;
+    Alcotest.test_case "heartbeat: SIGUSR1 request forces snapshot" `Quick
+      ticker_request_forces_snapshot;
     Alcotest.test_case "heartbeat: check catches widening gap" `Quick heartbeat_check_catches_widening;
     Alcotest.test_case "promtext: render" `Quick promtext_render;
     Alcotest.test_case "promtext: sanitize" `Quick promtext_sanitize;

@@ -1,0 +1,264 @@
+(* Flight recorder: binary codec round trip, ring wraparound, torn-tail
+   recovery, portfolio stitching, forensics accounting and deterministic
+   replay — everything against temp files, with the solver runs on the
+   small generated instances. *)
+
+module R = Telemetry.Recorder
+
+let tmp suffix =
+  let path = Filename.temp_file "bsolo-rec" suffix in
+  at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+  path
+
+let header ?(engine = "bsolo") ?(lb = "lpr") ?(flags = 0) ?(nvars = 5) () =
+  {
+    R.h_run_id = "cafe0123";
+    h_engine = engine;
+    h_lb_method = lb;
+    h_started = 1234.5625;
+    h_nvars = nvars;
+    h_nconstraints = 7;
+    h_flags = flags;
+    h_lb_every = 1;
+    h_lgr_iters = 50;
+  }
+
+let all_events =
+  [
+    R.Decision { level = 1; var = 3; value = true };
+    R.Decision { level = 2; var = 0; value = false };
+    R.Lb_eval { proc = "lpr"; value = 9; path = 2; upper = 14; elapsed_us = 137; pruned = false };
+    R.Learned { size = 4; level = 2 };
+    R.Backjump { from_level = 2; to_level = 1 };
+    R.Prune { blame = "lpr"; lb = 12; path = 3; upper = 12; from_level = 3; to_level = 1 };
+    R.Incumbent { cost = 12 };
+    R.Import { cost = 11; member = "bsolo-mis" };
+    R.Restart;
+    R.Fin { status = "optimal"; nodes = 42; decisions = 40; conflicts = 17 };
+  ]
+
+let events_of (rc : R.recording) = List.map snd rc.r_events
+
+let test_codec_round_trip () =
+  let path = tmp ".rec" in
+  let h = header ~flags:0x3bf () in
+  let w = R.open_file path h in
+  List.iter (R.emit w) all_events;
+  R.close w;
+  R.close w (* idempotent *);
+  match R.read_file path with
+  | Error msg -> Alcotest.fail msg
+  | Ok rc ->
+    Alcotest.(check bool) "not truncated" false rc.r_truncated;
+    (match rc.r_header with
+    | None -> Alcotest.fail "header lost"
+    | Some h' ->
+      Alcotest.(check bool) "header round-trips" true (h = h');
+      Alcotest.(check string) "run id" "cafe0123" h'.h_run_id);
+    Alcotest.(check int) "event count" (List.length all_events) (List.length rc.r_events);
+    List.iter2
+      (fun expected got ->
+        Alcotest.(check string) "event round-trips" (R.event_to_string expected)
+          (R.event_to_string got);
+        Alcotest.(check bool) "event equal" true (expected = got))
+      all_events (events_of rc)
+
+let test_ring_wraparound () =
+  let path = tmp ".rec" in
+  let w = R.open_file ~ring:5 path (header ()) in
+  for i = 1 to 12 do
+    R.decision w ~level:i ~var:i ~value:(i mod 2 = 0)
+  done;
+  Alcotest.(check int) "events seen" 12 (R.events_written w);
+  Alcotest.(check int) "dropped" 7 (R.ring_dropped w);
+  R.close w;
+  match R.read_file path with
+  | Error msg -> Alcotest.fail msg
+  | Ok rc -> (
+    Alcotest.(check bool) "not truncated" false rc.r_truncated;
+    match events_of rc with
+    | R.Gap { dropped } :: rest ->
+      Alcotest.(check int) "gap records the drop count" 7 dropped;
+      Alcotest.(check int) "ring keeps the last 5" 5 (List.length rest);
+      List.iteri
+        (fun i e ->
+          match e with
+          | R.Decision { level; _ } -> Alcotest.(check int) "tail in order" (8 + i) level
+          | e -> Alcotest.failf "unexpected event %s" (R.event_name e))
+        rest
+    | e :: _ -> Alcotest.failf "expected Gap first, got %s" (R.event_name e)
+    | [] -> Alcotest.fail "empty recording")
+
+let test_ring_no_wrap_no_gap () =
+  let path = tmp ".rec" in
+  let w = R.open_file ~ring:16 path (header ()) in
+  R.decision w ~level:1 ~var:0 ~value:true;
+  R.restart w;
+  R.close w;
+  match R.read_file path with
+  | Error msg -> Alcotest.fail msg
+  | Ok rc ->
+    Alcotest.(check bool) "no gap frame when nothing dropped" false
+      (List.exists (function R.Gap _ -> true | _ -> false) (events_of rc));
+    Alcotest.(check int) "both events kept" 2 (List.length rc.r_events)
+
+(* Kill-mid-write recovery: cut the file inside the final frame and the
+   reader must return every intact frame, flagged truncated. *)
+let test_truncated_tail () =
+  let path = tmp ".rec" in
+  let w = R.open_file path (header ()) in
+  List.iter (R.emit w) all_events;
+  R.close w;
+  let size = (Unix.stat path).Unix.st_size in
+  Unix.truncate path (size - 3);
+  match R.read_file path with
+  | Error msg -> Alcotest.fail msg
+  | Ok rc ->
+    Alcotest.(check bool) "flagged truncated" true rc.r_truncated;
+    (match rc.r_header with
+    | Some h -> Alcotest.(check string) "header survives" "cafe0123" h.h_run_id
+    | None -> Alcotest.fail "header lost");
+    (* The torn frame is the Fin; everything before it survives. *)
+    Alcotest.(check int) "intact prefix kept" (List.length all_events - 1)
+      (List.length rc.r_events);
+    Alcotest.(check bool) "fin is the torn frame" false
+      (List.exists (function R.Fin _ -> true | _ -> false) (events_of rc))
+
+(* Cut even harder: inside the header frame.  Still not a read error —
+   the caller learns there is no header and no events. *)
+let test_truncated_header () =
+  let path = tmp ".rec" in
+  let w = R.open_file path (header ()) in
+  R.close w;
+  Unix.truncate path (String.length R.schema + 3);
+  match R.read_file path with
+  | Error msg -> Alcotest.fail msg
+  | Ok rc ->
+    Alcotest.(check bool) "truncated" true rc.r_truncated;
+    Alcotest.(check bool) "no header" true (rc.r_header = None);
+    Alcotest.(check int) "no events" 0 (List.length rc.r_events)
+
+let test_stitch_sections () =
+  let part name events =
+    let path = tmp ".part" in
+    let w = R.open_file path (header ~engine:name ()) in
+    List.iter (R.emit w) events;
+    R.close w;
+    path
+  in
+  let a = part "bsolo-lpr" [ R.Decision { level = 1; var = 0; value = true }; R.Restart ] in
+  let b = part "bsolo-mis" [ R.Incumbent { cost = 3 } ] in
+  let base = tmp ".rec" in
+  match R.stitch base (header ~engine:"portfolio" ()) [ "bsolo-lpr", a; "bsolo-mis", b ] with
+  | Error msg -> Alcotest.fail msg
+  | Ok () -> (
+    match R.read_file base with
+    | Error msg -> Alcotest.fail msg
+    | Ok rc -> (
+      match events_of rc with
+      | [ R.Section "bsolo-lpr"; R.Decision _; R.Restart; R.Section "bsolo-mis"; R.Incumbent _ ]
+        -> ()
+      | evs ->
+        Alcotest.failf "unexpected stitched stream: %s"
+          (String.concat "; " (List.map R.event_name evs))))
+
+(* --- recorded solver runs -------------------------------------------------- *)
+
+let record_solve ?(lb = Bsolo.Options.Lpr) problem path =
+  let base = Bsolo.Options.with_lb lb in
+  let h =
+    {
+      R.h_run_id = "test";
+      h_engine = "bsolo";
+      h_lb_method = String.lowercase_ascii (Bsolo.Options.lb_method_name lb);
+      h_started = Unix.gettimeofday ();
+      h_nvars = Pbo.Problem.nvars problem;
+      h_nconstraints = Array.length (Pbo.Problem.constraints problem);
+      h_flags = Bsolo.Replay.flags_of_options base;
+      h_lb_every = base.lb_every;
+      h_lgr_iters = base.lgr_iters;
+    }
+  in
+  let recorder = R.open_file path h in
+  let tel = Telemetry.Ctx.create ~timing:false ~recorder () in
+  let outcome = Bsolo.Solver.solve ~options:{ base with telemetry = Some tel } problem in
+  Telemetry.Ctx.close tel;
+  outcome
+
+(* The forensics invariant: every decision is closed by exactly one
+   later conflict/prune (or stays open), and each prune is itself a
+   node, so blame totals reconcile with the engine's node counter. *)
+let test_forensics_accounting () =
+  List.iter
+    (fun seed ->
+      let problem = Gen.problem seed in
+      let path = tmp ".rec" in
+      ignore (record_solve problem path);
+      match R.read_file path with
+      | Error msg -> Alcotest.fail msg
+      | Ok rc -> (
+        match Inspect.Forensics.analyze rc with
+        | [ a ] -> (
+          match a.Inspect.Forensics.a_fin with
+          | Some (_, nodes) ->
+            Alcotest.(check int)
+              (Printf.sprintf "seed %d: blame accounts for every node" seed)
+              nodes a.a_accounted
+          | None -> Alcotest.fail "recording has no fin frame")
+        | l -> Alcotest.failf "expected one section, got %d" (List.length l)))
+    [ 0; 3; 7; 12; 23 ]
+
+(* Deterministic replay: re-executing the recorded decision sequence
+   reproduces the recorded event stream byte for byte. *)
+let test_replay_matches () =
+  List.iter
+    (fun (lb, seed) ->
+      let problem = Gen.problem seed in
+      let path = tmp ".rec" in
+      let recorded = record_solve ~lb problem path in
+      match R.read_file path with
+      | Error msg -> Alcotest.fail msg
+      | Ok rc -> (
+        match Bsolo.Replay.run problem rc with
+        | Error msg -> Alcotest.fail msg
+        | Ok rep ->
+          (match rep.Bsolo.Replay.mismatch with
+          | Some m ->
+            Alcotest.failf "seed %d: diverged at event %d: recorded %s, replayed %s" seed m.at
+              m.expected m.got
+          | None -> ());
+          Alcotest.(check int)
+            (Printf.sprintf "seed %d: every event checked" seed)
+            rep.total rep.checked;
+          Alcotest.(check string) "same status"
+            (Bsolo.Outcome.status_name recorded.Bsolo.Outcome.status)
+            (Bsolo.Outcome.status_name rep.outcome.Bsolo.Outcome.status)))
+    [ Bsolo.Options.Lpr, 3; Bsolo.Options.Mis, 11; Bsolo.Options.Plain, 17; Bsolo.Options.Lgr, 29 ]
+
+let test_replay_rejects_ring () =
+  let problem = Gen.problem 3 in
+  let path = tmp ".rec" in
+  let w = R.open_file ~ring:2 path (header ~nvars:(Pbo.Problem.nvars problem) ()) in
+  for i = 1 to 5 do
+    R.decision w ~level:i ~var:0 ~value:true
+  done;
+  R.close w;
+  match R.read_file path with
+  | Error msg -> Alcotest.fail msg
+  | Ok rc -> (
+    match Bsolo.Replay.run problem rc with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "replay accepted a dropped-prefix ring recording")
+
+let suite =
+  [
+    Alcotest.test_case "codec: all events round-trip" `Quick test_codec_round_trip;
+    Alcotest.test_case "ring: wraparound keeps tail + gap" `Quick test_ring_wraparound;
+    Alcotest.test_case "ring: no gap without wraparound" `Quick test_ring_no_wrap_no_gap;
+    Alcotest.test_case "reader: torn tail recovered" `Quick test_truncated_tail;
+    Alcotest.test_case "reader: torn header tolerated" `Quick test_truncated_header;
+    Alcotest.test_case "stitch: member sections" `Quick test_stitch_sections;
+    Alcotest.test_case "forensics: blame accounts for all nodes" `Quick test_forensics_accounting;
+    Alcotest.test_case "replay: recorded runs replay exactly" `Quick test_replay_matches;
+    Alcotest.test_case "replay: rejects ring recordings" `Quick test_replay_rejects_ring;
+  ]
