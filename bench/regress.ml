@@ -154,6 +154,8 @@ let () =
             imports = 0;
             proof_steps;
             check_ms;
+            props_per_sec =
+              (if o.elapsed > 0. then float_of_int c.propagations /. o.elapsed else 0.);
           }
         in
         Printf.printf "  %-28s %-14s %8.3fs %8d nodes\n%!" row.name row.status row.elapsed
@@ -199,6 +201,8 @@ let () =
               imports = preg "portfolio.incumbent_imports";
               proof_steps = pproof_steps;
               check_ms = pcheck_ms;
+              (* portfolio wall clock mixes workers; no meaningful rate *)
+              props_per_sec = 0.;
             }
           in
           Printf.printf "  %-28s %-14s %8.3fs %8d imports (winner %s)\n%!" prow.name

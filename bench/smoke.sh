@@ -9,7 +9,9 @@
 # The flight recorder is exercised end to end: a --record run replayed
 # deterministically with `bsolo replay --check`, its forensics node
 # accounting reconciled, a --record-ring run killed with SIGTERM whose
-# tail must still parse, and a stitched --portfolio recording.
+# tail must still parse, and a stitched --portfolio recording.  The
+# three --bcp propagation modes must produce identical optima and a
+# hybrid recording must replay cleanly under all three.
 # Exits non-zero on the first failure.
 #
 # With --proof, each smoke instance is additionally solved under
@@ -193,6 +195,39 @@ timeout -s TERM 0.2 "$bsolo" benchmarks/synth-s2.opb \
   cat "$tmpdir/ring-forensics.out"; exit 1;
 }
 echo "ring tail: $(sed -n '4p' "$tmpdir/ring-forensics.out")"
+
+echo "== BCP modes agree (watched / counting / hybrid) =="
+# All three propagation modes must find the same optimum, and a run
+# recorded under one mode must replay byte-identically under the other
+# two — the lagged-slack discipline makes the event stream mode-invariant.
+for mode in watched counting hybrid; do
+  timeout 120 "$bsolo" benchmarks/synth-s1.opb --timeout 60 --bcp "$mode" \
+    >"$tmpdir/bcp-$mode.out" 2>&1 || {
+    echo "FAIL: --bcp $mode solve failed"; cat "$tmpdir/bcp-$mode.out"; exit 1;
+  }
+  grep -E '^[so] ' "$tmpdir/bcp-$mode.out" >"$tmpdir/bcp-$mode.opt"
+done
+for mode in counting hybrid; do
+  cmp -s "$tmpdir/bcp-watched.opt" "$tmpdir/bcp-$mode.opt" || {
+    echo "FAIL: --bcp $mode optimum differs from watched";
+    diff "$tmpdir/bcp-watched.opt" "$tmpdir/bcp-$mode.opt" || true; exit 1;
+  }
+done
+timeout 120 "$bsolo" benchmarks/synth-s2.opb --timeout 60 --bcp hybrid \
+  --record "$tmpdir/bcp.rec" >/dev/null 2>&1 || {
+  echo "FAIL: recorded --bcp hybrid solve failed"; exit 1;
+}
+for mode in watched counting hybrid; do
+  timeout 120 "$bsolo" replay benchmarks/synth-s2.opb "$tmpdir/bcp.rec" \
+    --check --bcp "$mode" >"$tmpdir/bcp-replay-$mode.out" 2>&1 || {
+    echo "FAIL: replay --check --bcp $mode diverged from the hybrid recording";
+    cat "$tmpdir/bcp-replay-$mode.out"; exit 1;
+  }
+  grep -q '^s REPLAY OK' "$tmpdir/bcp-replay-$mode.out" || {
+    echo "FAIL: no REPLAY OK verdict under --bcp $mode"; exit 1;
+  }
+done
+echo "bcp modes: identical optima, cross-mode replay OK"
 
 echo "== portfolio recording stitches member sections =="
 timeout 120 "$bsolo" benchmarks/synth-s1.opb \

@@ -61,7 +61,7 @@ let make_run_id () =
   let st = Random.State.make_self_init () in
   String.concat "" (List.init 4 (fun _ -> Printf.sprintf "%04x" (Random.State.bits st land 0xffff)))
 
-let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching no_preprocess
+let solve_file path engine lb bcp time_limit conflict_limit no_cuts no_lp_branching no_preprocess
     cold_lpr no_adaptive_lb portfolio jobs verify verbosity stats trace_file json_file
     proof_file progress_every span_file heartbeat_file heartbeat_every profile_hz metrics_file
     record_file record_ring =
@@ -282,6 +282,7 @@ let solve_file path engine lb time_limit conflict_limit no_cuts no_lp_branching 
     let options =
       {
         (Bsolo.Options.with_lb lb) with
+        bcp;
         time_limit;
         conflict_limit;
         knapsack_cuts = not no_cuts;
@@ -490,6 +491,21 @@ let lb_arg =
   let doc = "Lower-bound procedure for the bsolo engine: plain, mis, lgr or lpr." in
   Arg.(value & opt (enum choices) Bsolo.Options.Lpr & info [ "lb" ] ~doc)
 
+let bcp_arg =
+  let choices =
+    [
+      "watched", Engine.Solver_core.Watched;
+      "counting", Engine.Solver_core.Counting;
+      "hybrid", Engine.Solver_core.Hybrid;
+    ]
+  in
+  let doc =
+    "Boolean constraint propagation strategy: hybrid (per-constraint watched/counting \
+     selection, the default), watched, or counting.  All three explore the identical \
+     search tree; only propagation throughput differs."
+  in
+  Arg.(value & opt (enum choices) Engine.Solver_core.Hybrid & info [ "bcp" ] ~doc)
+
 let time_arg =
   let doc = "Wall-clock time limit in seconds." in
   Arg.(value & opt (some float) None & info [ "timeout"; "t" ] ~doc)
@@ -659,19 +675,24 @@ let inspect_report path json =
   print_newline ();
   print_endline "search-tree shape:";
   print_lines (Inspect.render_tree_shape json);
+  print_newline ();
+  print_endline "propagation engine:";
+  print_lines (Inspect.render_bcp json);
   print_newline ()
 
 let inspect_bench path json =
   Printf.printf "== %s (bench regression report) ==\n" path;
   let rev = Option.bind (Inspect.Json.member "rev" json) Inspect.Json.to_string_opt in
   Printf.printf "rev=%s\n\n" (Option.value ~default:"?" rev);
-  Printf.printf "%-28s %-12s %-14s %10s %10s %10s %10s %8s\n" "instance" "solver" "status"
-    "cost" "elapsed" "nodes" "conflicts" "imports";
+  Printf.printf "%-28s %-12s %-14s %10s %10s %10s %10s %8s %11s\n" "instance" "solver" "status"
+    "cost" "elapsed" "nodes" "conflicts" "imports" "props/s";
   List.iter
     (fun (r : Inspect.Bench.row) ->
-      Printf.printf "%-28s %-12s %-14s %10s %10.3f %10d %10d %8d\n" r.name r.solver r.status
+      Printf.printf "%-28s %-12s %-14s %10s %10.3f %10d %10d %8d %11s\n" r.name r.solver
+        r.status
         (match r.cost with None -> "-" | Some c -> string_of_int c)
-        r.elapsed r.nodes r.conflicts r.imports)
+        r.elapsed r.nodes r.conflicts r.imports
+        (if r.props_per_sec > 0. then Printf.sprintf "%.0f" r.props_per_sec else "-"))
     (Inspect.Bench.rows_of_json json);
   print_newline ()
 
@@ -952,7 +973,7 @@ let checkproof_cmd =
 
 (* --- replay subcommand ------------------------------------------------------ *)
 
-let replay_run problem_path rec_path check proof_out =
+let replay_run problem_path rec_path check proof_out bcp =
   let error msg =
     Printf.eprintf "bsolo replay: %s\n" msg;
     2
@@ -967,7 +988,7 @@ let replay_run problem_path rec_path check proof_out =
     | Ok rc -> (
       if rc.Telemetry.Recorder.r_truncated then
         print_endline "c recording has a torn tail: replaying the surviving prefix";
-      match Bsolo.Replay.run ?proof_out problem rc with
+      match Bsolo.Replay.run ?proof_out ?bcp problem rc with
       | Error msg -> error msg
       | Ok rep ->
         Printf.printf "c replayed outcome: %s\n"
@@ -1037,14 +1058,29 @@ let replay_cmd =
     in
     Arg.(value & opt (some string) None & info [ "proof" ] ~docv:"FILE" ~doc)
   in
+  let replay_bcp_arg =
+    let choices =
+      [
+        "watched", Engine.Solver_core.Watched;
+        "counting", Engine.Solver_core.Counting;
+        "hybrid", Engine.Solver_core.Hybrid;
+      ]
+    in
+    let doc =
+      "Propagation strategy for the replaying engine.  Recordings carry no mode — every \
+       $(b,--bcp) mode emits the identical event stream — so replaying under a different \
+       mode must still match byte for byte."
+    in
+    Arg.(value & opt (some (enum choices)) None & info [ "bcp" ] ~doc)
+  in
   Cmd.v (Cmd.info "replay" ~doc)
-    Term.(const replay_run $ problem_arg $ rec_arg $ check_arg $ proof_arg)
+    Term.(const replay_run $ problem_arg $ rec_arg $ check_arg $ proof_arg $ replay_bcp_arg)
 
 (* --- entry point ----------------------------------------------------------- *)
 
 let solve_term =
   Term.(
-    const solve_file $ file_arg $ engine_arg $ lb_arg $ time_arg $ conflict_arg $ no_cuts_arg
+    const solve_file $ file_arg $ engine_arg $ lb_arg $ bcp_arg $ time_arg $ conflict_arg $ no_cuts_arg
     $ no_lp_branching_arg $ no_preprocess_arg $ cold_lpr_arg $ no_adaptive_lb_arg
     $ portfolio_arg $ jobs_arg $ verify_arg $ verbose_arg $ stats_arg $ trace_arg $ json_arg
     $ proof_file_arg $ progress_arg $ span_file_arg $ heartbeat_arg $ heartbeat_every_arg

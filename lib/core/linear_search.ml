@@ -220,7 +220,7 @@ let rec search st =
 let solve ?(options = pbs_like) ?(pb_learning = false) ?(cutting_planes = false) problem =
   let start = Unix.gettimeofday () in
   let tel = match options.telemetry with Some t -> t | None -> Telemetry.Ctx.silent () in
-  let engine = Core.create ~telemetry:tel problem in
+  let engine = Core.create ~telemetry:tel ~bcp:options.bcp problem in
   Option.iter (Core.set_interrupt engine) options.should_stop;
   let offset = match Problem.objective problem with None -> 0 | Some o -> o.offset in
   let st =

@@ -6,6 +6,7 @@ type lb_method =
 
 type t = {
   lb_method : lb_method;
+  bcp : Engine.Solver_core.bcp_mode;
   bound_conflict_learning : bool;
   knapsack_cuts : bool;
   cardinality_inference : bool;
@@ -32,6 +33,7 @@ type t = {
 let default =
   {
     lb_method = Lpr;
+    bcp = Engine.Solver_core.Hybrid;
     bound_conflict_learning = true;
     knapsack_cuts = true;
     cardinality_inference = true;
@@ -62,3 +64,14 @@ let lb_method_name = function
   | Mis -> "MIS"
   | Lgr -> "LGR"
   | Lpr -> "LPR"
+
+let bcp_mode_name = function
+  | Engine.Solver_core.Watched -> "watched"
+  | Engine.Solver_core.Counting -> "counting"
+  | Engine.Solver_core.Hybrid -> "hybrid"
+
+let bcp_mode_of_string = function
+  | "watched" -> Some Engine.Solver_core.Watched
+  | "counting" -> Some Engine.Solver_core.Counting
+  | "hybrid" -> Some Engine.Solver_core.Hybrid
+  | _ -> None

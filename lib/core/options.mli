@@ -13,6 +13,10 @@ type lb_method =
 
 type t = {
   lb_method : lb_method;
+  bcp : Engine.Solver_core.bcp_mode;
+      (** propagation strategy: per-constraint hybrid watched/counting
+          (the default) or a forced uniform mode; all three produce
+          identical search behaviour, only throughput differs *)
   bound_conflict_learning : bool;
       (** when false, bound conflicts use the all-decisions explanation,
           which degenerates to chronological backtracking (ablation A) *)
@@ -91,3 +95,8 @@ val with_lb : lb_method -> t
 (** {!default} with the given lower-bound method. *)
 
 val lb_method_name : lb_method -> string
+
+val bcp_mode_name : Engine.Solver_core.bcp_mode -> string
+(** ["watched" | "counting" | "hybrid"] — the [--bcp] flag values. *)
+
+val bcp_mode_of_string : string -> Engine.Solver_core.bcp_mode option

@@ -124,7 +124,7 @@ let normalize = function
   | R.Lb_eval e -> R.Lb_eval { e with elapsed_us = 0 }
   | e -> e
 
-let run ?proof_out problem (rc : R.recording) =
+let run ?proof_out ?bcp problem (rc : R.recording) =
   match validate problem rc with
   | Error _ as e -> e
   | Ok h when proof_out <> None && h.h_flags land flag_proof = 0 ->
@@ -133,6 +133,13 @@ let run ?proof_out problem (rc : R.recording) =
     match options_of_header h with
     | Error _ as e -> e
     | Ok options ->
+      (* The propagation strategy is not recorded: all --bcp modes emit
+         the identical event stream, so a recording made under any mode
+         replays under any other.  An explicit override lets CI prove
+         exactly that. *)
+      let options =
+        match bcp with None -> options | Some bcp -> { options with Options.bcp }
+      in
       let expected = Array.of_list rc.r_events in
       let total = Array.length expected in
       (* A complete recording ends with its Fin frame; a truncated one

@@ -50,8 +50,18 @@ type report = {
 }
 
 val run :
-  ?proof_out:string -> Pbo.Problem.t -> Telemetry.Recorder.recording -> (report, string) result
-(** [Error] for recordings that cannot be replayed at all (no header,
+  ?proof_out:string ->
+  ?bcp:Engine.Solver_core.bcp_mode ->
+  Pbo.Problem.t ->
+  Telemetry.Recorder.recording ->
+  (report, string) result
+(** [bcp] overrides the propagation strategy of the replaying engine
+    (default: the header reconstruction, i.e. hybrid).  Every mode
+    emits the identical event stream, so replaying a recording under a
+    different mode must still match byte for byte — the cross-mode
+    determinism check.
+
+    [Error] for recordings that cannot be replayed at all (no header,
     wrong engine, ring or stitched recording, problem dimensions that
     do not match the header).  Divergence during replay is not an
     [Error]: it lands in [report.mismatch].

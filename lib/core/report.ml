@@ -44,6 +44,7 @@ let options_json (o : Options.t) =
   Json.Obj
     [
       "lb_method", Json.String (Options.lb_method_name o.lb_method);
+      "bcp", Json.String (Options.bcp_mode_name o.bcp);
       "bound_conflict_learning", Json.Bool o.bound_conflict_learning;
       "knapsack_cuts", Json.Bool o.knapsack_cuts;
       "cardinality_inference", Json.Bool o.cardinality_inference;

@@ -505,7 +505,7 @@ let solve_with_incumbent_hook ?(options = Options.default) ~on_incumbent problem
     Telemetry.Ctx.with_phase tel Telemetry.Phase.Preprocess (fun () ->
         if options.constraint_strengthening then fst (Strengthen.apply problem) else problem)
   in
-  let engine = Core.create ~telemetry:tel problem in
+  let engine = Core.create ~telemetry:tel ~bcp:options.bcp problem in
   Option.iter (Core.set_interrupt engine) options.should_stop;
   (* the learned-clause hook serves both consumers: proof logging and the
      flight recorder ([level] is the level the clause was learned at,

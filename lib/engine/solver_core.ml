@@ -13,16 +13,27 @@ type reason =
   | Decision
   | Implied of cid
 
+(* Propagation strategy, fixed per engine.  [Hybrid] picks a mode per
+   constraint at attach time (and re-evaluates learned constraints when
+   the database is reduced); the pure modes force every constraint one
+   way, for A/B runs and equivalence testing.  All three produce the
+   same assignments, reasons and conflicts in the same order, so the
+   recorder event stream is byte-identical across modes. *)
+type bcp_mode =
+  | Watched
+  | Counting
+  | Hybrid
+
+(* Hot data (terms, slacks, watch bits) lives in one flat int arena —
+   see the layout constants below.  The cstate keeps only the cold
+   per-constraint facts plus the boxed [Constr.t] used by conflict
+   analysis, certificates and the lower-bounding view. *)
 type cstate = {
   constr : Constr.t;
-  mutable slack : int;  (* sum of coeffs over non-false literals - degree;
-                           not maintained for watched clauses *)
   learned : bool;
   in_lb : bool;
   mutable cactivity : float;
-  watched : bool;  (* clause propagated by two watched literals *)
-  mutable w1 : int;  (* indices into the constraint's term array *)
-  mutable w2 : int;
+  mutable base : int;  (* arena offset of this constraint's block *)
 }
 
 (* Search counters, declared once against the run's telemetry registry so
@@ -41,6 +52,31 @@ type stats = {
   learned_size : Telemetry.Histogram.t;  (* literals per learned clause *)
   depth : Telemetry.Histogram.t;  (* decision level at each decision *)
 }
+
+(* BCP-specific counters ("bcp.*"): propagation micro-behaviour that the
+   engine.* family is too coarse to show.  Mode population counters are
+   absolute values maintained with [set]. *)
+type bcp_stats = {
+  b_props : Telemetry.Counter.t;  (* implied assignments (mirrors engine.propagations) *)
+  b_visits : Telemetry.Counter.t;  (* constraint examinations during propagation *)
+  b_moves : Telemetry.Counter.t;  (* falsified watches retired from a watch set *)
+  b_extends : Telemetry.Counter.t;  (* literals added to a watch set *)
+  b_nwatched : Telemetry.Counter.t;  (* constraints currently in watched mode *)
+  b_ncounting : Telemetry.Counter.t;  (* constraints currently in counting mode *)
+  b_nwatchall : Telemetry.Counter.t;  (* watched constraints degraded to watch-all *)
+}
+
+let bcp_stats_of_registry reg =
+  let c = Telemetry.Registry.counter reg in
+  {
+    b_props = c "bcp.propagations";
+    b_visits = c "bcp.visits";
+    b_moves = c "bcp.watch_moves";
+    b_extends = c "bcp.watch_extends";
+    b_nwatched = c "bcp.constrs_watched";
+    b_ncounting = c "bcp.constrs_counting";
+    b_nwatchall = c "bcp.constrs_watch_all";
+  }
 
 let stats_of_registry reg =
   let c = Telemetry.Registry.counter reg in
@@ -68,8 +104,25 @@ type t = {
   trail_lim : int Vec.t;  (* trail size at each decision level start *)
   mutable qhead : int;
   constrs : cstate Vec.t;
-  occs : (int * int) Vec.t array;  (* per literal index: (cid, coeff) *)
-  watches : int Vec.t array;  (* per literal index: watched-clause cids *)
+  bcp : bcp_mode;
+  (* One flat arena holding every constraint's hot block: header words
+     followed by (literal-index, coefficient) pairs.  Occ and watch
+     lists index into it; propagation never chases a pointer. *)
+  mutable arena : int array;
+  mutable arena_top : int;
+  occs : int Vec.t array;  (* per literal index, stride 2: (base, coeff) of counting constraints *)
+  watches : int Vec.t array;
+  (* per literal index: packed [base lsl wshift lor term_idx] entries of
+     watched constraints — one word per watch keeps the visit and
+     restore walks to a single read per entry *)
+  lfalse : Bytes.t;
+  (* per literal index: non-zero iff the literal is currently assigned
+     false (pending or dequeued) — a one-load mirror of [value_lit _ =
+     False] for the propagation inner loops *)
+  actors : int Vec.t;
+  (* scratch for [process_falsified]: bases of the constraints of the
+     current dequeue whose final slack fell below maxcoeff, acted on in
+     ascending arena order after all decrements are in *)
   lit_cost : int array;  (* per literal index *)
   mutable path : int;
   heap : Idheap.t;
@@ -82,6 +135,7 @@ type t = {
   changed : Lit.var Vec.t;  (* vars (un)assigned since the last drain, deduped *)
   changed_mark : bool array;
   stats : stats;
+  bstats : bcp_stats;
   tel : Telemetry.Ctx.t;
   (* Cooperative cancellation: an externally installed check, polled at a
      bounded cadence inside [propagate] (the engine's innermost batch
@@ -106,14 +160,83 @@ let dummy_cstate =
       (match Constr.clause [ dummy_lit ] with
       | Constr.Constr c -> c
       | Constr.Trivial_true | Constr.Trivial_false -> assert false);
-    slack = 0;
     learned = false;
     in_lb = false;
     cactivity = 0.;
-    watched = false;
-    w1 = 0;
-    w2 = 0;
+    base = 0;
   }
+
+(* --- arena layout ---------------------------------------------------------
+
+   Each constraint owns one block:
+
+     [cid] [nterms] [degree] [maxcoeff] [slack] [wslack] [flags]
+     (lit_index, coeff)*
+
+   Term order is the constraint's (decreasing coefficient).  Bit 62 of a
+   coefficient word marks the term as watched; coefficients are bounded
+   far below that (Constr caps them at 2^40).  [slack] is the counting
+   mode's lagged slack, [wslack] the watched mode's watch-set slack —
+   both count a falsified literal only once its assignment has been
+   *dequeued* by [propagate] (or, symmetrically, until the backjump that
+   pops a dequeued assignment).  Lagging makes the examined slack depend
+   only on which literal is being dequeued, never on how earlier
+   candidates of the same dequeue reacted, which is what keeps the three
+   BCP modes byte-identical. *)
+
+let h_cid = 0
+let h_n = 1
+let h_deg = 2
+let h_max = 3
+let h_slack = 4
+let h_wslack = 5
+let h_flags = 6
+let hdr_size = 7
+let flag_watched = 1
+let flag_watch_all = 2
+
+(* Watch entries pack (arena base, term index) into one word; term
+   indices are bounded by [wshift] bits (checked at allocation — a
+   million-term constraint would be pathological long before this). *)
+let wshift = 20
+let wmask = (1 lsl wshift) - 1
+let watch_bit = 1 lsl 62
+let coeff_mask = watch_bit - 1
+
+let arena_ensure t need =
+  let len = Array.length t.arena in
+  if t.arena_top + need > len then begin
+    let nlen = ref (max 1024 (2 * len)) in
+    while t.arena_top + need > !nlen do
+      nlen := 2 * !nlen
+    done;
+    let a = Array.make !nlen 0 in
+    Array.blit t.arena 0 a 0 t.arena_top;
+    t.arena <- a
+  end
+
+(* Allocate and fill a block for [c]; slack fields and flags start at 0
+   and are set by the attach path that picks the constraint's mode. *)
+let arena_alloc t ci c =
+  let terms = Constr.terms c in
+  let n = Array.length terms in
+  assert (n <= wmask);
+  arena_ensure t (hdr_size + (2 * n));
+  let base = t.arena_top in
+  t.arena_top <- t.arena_top + hdr_size + (2 * n);
+  let a = t.arena in
+  a.(base + h_cid) <- ci;
+  a.(base + h_n) <- n;
+  a.(base + h_deg) <- Constr.degree c;
+  a.(base + h_max) <- (if n = 0 then 0 else Constr.max_coeff c);
+  a.(base + h_slack) <- 0;
+  a.(base + h_wslack) <- 0;
+  a.(base + h_flags) <- 0;
+  for i = 0 to n - 1 do
+    a.(base + hdr_size + (2 * i)) <- Lit.to_index terms.(i).Constr.lit;
+    a.(base + hdr_size + (2 * i) + 1) <- terms.(i).Constr.coeff
+  done;
+  base
 
 let problem t = t.problem
 let root_unsat t = t.unsat
@@ -131,6 +254,7 @@ let all_assigned t = Vec.size t.trail = t.nvars
 let path_cost t = t.path
 let cost_of_lit t l = t.lit_cost.(Lit.to_index l)
 let stats t = t.stats
+let bcp_stats t = t.bstats
 let telemetry t = t.tel
 let trail_epoch t = t.epoch
 
@@ -183,9 +307,26 @@ let model t =
 
 (* --- assignment & trail -------------------------------------------------- *)
 
-(* Assigning [l] true falsifies [negate l]; every constraint holding the
-   falsified literal loses that coefficient from its slack.  [unassign]
-   mirrors this exactly, so slacks stay consistent across backjumps. *)
+(* The lagged-false predicate: a literal counts against arena slacks
+   once its falsifying assignment has been dequeued by [propagate],
+   i.e. its trail position is below [qhead].  Between assignment and
+   dequeue the literal is "pending" and still counts as available
+   weight; [propagate] applies the decrement exactly when it dequeues
+   the assignment, and [backjump_to] reverts it only for popped
+   assignments that had been dequeued. *)
+let lagged_false t l =
+  Value.equal (value_lit t l) Value.False && t.var_pos.(Lit.var l) < t.qhead
+
+(* Lagged slack of a constraint that is not (yet) in the arena:
+   coefficient sum over non-lagged-false literals minus the degree. *)
+let lagged_slack_now t c =
+  Array.fold_left
+    (fun acc { Constr.coeff; lit } -> if lagged_false t lit then acc else acc + coeff)
+    (-Constr.degree c) (Constr.terms c)
+
+(* Assigning a literal no longer touches any slack: decrements are
+   applied lazily when [propagate] dequeues the assignment, so [assign]
+   is a handful of stores regardless of occurrence-list length. *)
 let assign t l reason =
   let v = Lit.var l in
   assert (Value.equal t.value.(v) Value.Unknown);
@@ -194,6 +335,7 @@ let assign t l reason =
   t.var_reason.(v) <- reason;
   t.var_pos.(v) <- Vec.size t.trail;
   t.phase.(v) <- Lit.is_pos l;
+  Bytes.unsafe_set t.lfalse (Lit.to_index (Lit.negate l)) '\001';
   Vec.push t.trail l;
   Telemetry.Counter.set_max t.stats.max_trail (Vec.size t.trail);
   t.epoch <- t.epoch + 1;
@@ -201,37 +343,58 @@ let assign t l reason =
     t.changed_mark.(v) <- true;
     Vec.push t.changed v
   end;
-  t.path <- t.path + t.lit_cost.(Lit.to_index l);
-  let falsified = Lit.negate l in
-  let weaken (ci, a) =
-    let cs = Vec.get t.constrs ci in
-    cs.slack <- cs.slack - a
-  in
-  Vec.iter weaken t.occs.(Lit.to_index falsified)
+  t.path <- t.path + t.lit_cost.(Lit.to_index l)
 
 let unassign t l =
   let v = Lit.var l in
   t.value.(v) <- Value.Unknown;
+  Bytes.unsafe_set t.lfalse (Lit.to_index (Lit.negate l)) '\000';
   t.epoch <- t.epoch + 1;
   if not t.changed_mark.(v) then begin
     t.changed_mark.(v) <- true;
     Vec.push t.changed v
   end;
   t.path <- t.path - t.lit_cost.(Lit.to_index l);
-  Idheap.insert t.heap v;
-  let falsified = Lit.negate l in
-  let strengthen (ci, a) =
-    let cs = Vec.get t.constrs ci in
-    cs.slack <- cs.slack + a
-  in
-  Vec.iter strengthen t.occs.(Lit.to_index falsified)
+  Idheap.insert t.heap v
+
+(* Revert the dequeue-time decrements of falsified literal [q]: counting
+   slacks through its occ list, watch-set slacks through its watch
+   list.  Watch entries dropped since the decrement never re-appear
+   here, matching the fact that an unwatched term contributes nothing
+   to wslack in either direction. *)
+let restore_falsified t q =
+  let a = t.arena in
+  let qi = Lit.to_index q in
+  let olist = t.occs.(qi) in
+  let on = Vec.size olist in
+  let i = ref 0 in
+  while !i < on do
+    let base = Vec.unsafe_get olist !i in
+    a.(base + h_slack) <- a.(base + h_slack) + Vec.unsafe_get olist (!i + 1);
+    i := !i + 2
+  done;
+  let wlist = t.watches.(qi) in
+  let wn = Vec.size wlist in
+  let j = ref 0 in
+  while !j < wn do
+    let packed = Vec.unsafe_get wlist !j in
+    let base = packed lsr wshift in
+    let ti = packed land wmask in
+    a.(base + h_wslack) <-
+      a.(base + h_wslack) + (a.(base + hdr_size + (2 * ti) + 1) land coeff_mask);
+    incr j
+  done
 
 let backjump_to t lvl =
   if lvl < decision_level t then begin
     let keep = Vec.get t.trail_lim lvl in
+    (* [qhead] stays put while popping: a popped assignment was dequeued
+       (and thus decremented) exactly when its position is below it. *)
     let rec pop () =
       if Vec.size t.trail > keep then begin
-        unassign t (Vec.pop t.trail);
+        let l = Vec.pop t.trail in
+        if t.var_pos.(Lit.var l) < t.qhead then restore_falsified t (Lit.negate l);
+        unassign t l;
         pop ()
       end
     in
@@ -255,18 +418,22 @@ let decide t l =
 
 (* --- propagation --------------------------------------------------------- *)
 
-(* Scan a constraint for implied literals: terms are sorted by decreasing
-   coefficient, so we can stop at the first coefficient <= slack. *)
-let scan_implications t ci =
-  let cs = Vec.get t.constrs ci in
-  let terms = Constr.terms cs.constr in
-  let n = Array.length terms in
+(* Scan the block at [base] for implied literals under slack [s]: terms
+   are sorted by decreasing coefficient, so stop at the first
+   coefficient <= s.  Callers only pass a slack equal to the lagged
+   slack of the constraint, so this acts identically in every mode. *)
+let scan_implications_arena t base s =
+  let a = t.arena in
+  let n = a.(base + h_n) in
+  let ci = a.(base + h_cid) in
   let rec go i =
     if i < n then begin
-      let { Constr.coeff; lit } = terms.(i) in
-      if coeff > cs.slack then begin
+      let coeff = a.(base + hdr_size + (2 * i) + 1) land coeff_mask in
+      if coeff > s then begin
+        let lit = Lit.of_index a.(base + hdr_size + (2 * i)) in
         if Value.equal (value_lit t lit) Value.Unknown then begin
           Telemetry.Counter.incr t.stats.propagations;
+          Telemetry.Counter.incr t.bstats.b_props;
           assign t lit (Implied ci)
         end;
         go (i + 1)
@@ -275,64 +442,191 @@ let scan_implications t ci =
   in
   go 0
 
-(* Visit the watched clauses of a just-falsified literal [p].  Entries
-   whose watch moves away are compacted out of the list; on conflict the
-   remaining entries are preserved verbatim. *)
-let propagate_watches t p =
-  let plist = t.watches.(Lit.to_index p) in
-  let n = Vec.size plist in
-  let keep = ref 0 in
-  let conflict = ref None in
-  let retain ci =
-    Vec.set plist !keep ci;
-    incr keep
+(* Candidates of one dequeue must be examined in ascending arena-base
+   (= constraint id) order in every mode, or the modes would enqueue
+   implications in different trail orders.  Rather than keeping watch
+   lists sorted under watch moves, visits run in two phases: phase 1
+   applies every slack decrement and all watch maintenance (which never
+   touches the event stream) in whatever order the lists are in, and
+   collects the few constraints whose final slack fell below maxcoeff;
+   phase 2 sorts that (almost always tiny) set and acts — conflicts and
+   implications — in ascending arena order.  Lagged slacks make the two
+   orders equivalent: a constraint's examined slack depends only on
+   which literal is being dequeued, never on when in the dequeue it is
+   read. *)
+let push_watch t li base ti = Vec.push t.watches.(li) ((base lsl wshift) lor ti)
+
+(* Put every term of the block on watch (including lagged-false ones,
+   which contribute nothing to wslack but must be tracked so a backjump
+   that revives them restores their weight).  After this the watch-set
+   slack equals the lagged slack exactly: the constraint behaves as
+   counting-through-watch-lists.  The state is transient — once a
+   backjump restores enough weight that the set covers maxcoeff, visits
+   shed watches again and clear the flag (see [process_falsified]). *)
+let degrade_to_watch_all t base =
+  let a = t.arena in
+  a.(base + h_flags) <- a.(base + h_flags) lor flag_watch_all;
+  let n = a.(base + h_n) in
+  let add = ref 0 in
+  for i = 0 to n - 1 do
+    let cw = a.(base + hdr_size + (2 * i) + 1) in
+    if cw land watch_bit = 0 then begin
+      a.(base + hdr_size + (2 * i) + 1) <- cw lor watch_bit;
+      push_watch t a.(base + hdr_size + (2 * i)) base i;
+      if not (lagged_false t (Lit.of_index a.(base + hdr_size + (2 * i)))) then
+        add := !add + cw
+    end
+  done;
+  a.(base + h_wslack) <- a.(base + h_wslack) + !add;
+  Telemetry.Counter.incr t.bstats.b_nwatchall
+
+(* Process the dequeue of falsified literal [q].
+
+   Phase 1 decrements the slack of every counting occurrence and the
+   watch-set slack of every watch entry, doing watch maintenance as it
+   goes: a watched visit whose remaining set still covers maxcoeff
+   simply retires [q]; otherwise the set is extended with unwatched
+   non-false terms until it covers maxcoeff again, and when that is
+   impossible the constraint degrades to watch-all, at which point
+   wslack is the exact lagged slack.  Constraints whose final slack fell
+   below maxcoeff are collected.
+
+   Phase 2 acts on the collected constraints in ascending arena order —
+   the first with negative slack is the conflict, the rest propagate —
+   so the enqueue order is canonical regardless of list order, and a
+   conflict stops acting exactly as in a single ordered walk. *)
+let process_falsified t q conflict =
+  let a = t.arena in
+  let qi = Lit.to_index q in
+  let olist = t.occs.(qi) in
+  let wlist = t.watches.(qi) in
+  let actors = t.actors in
+  (* phase 1a: counting occurrences *)
+  let on = Vec.size olist in
+  let oi = ref 0 in
+  while !oi < on do
+    let ob = Vec.unsafe_get olist !oi in
+    let coeff = Vec.unsafe_get olist (!oi + 1) in
+    oi := !oi + 2;
+    Telemetry.Counter.incr t.bstats.b_visits;
+    let s = a.(ob + h_slack) - coeff in
+    a.(ob + h_slack) <- s;
+    if s < a.(ob + h_max) then Vec.push actors ob
+  done;
+  (* phase 1b: watch entries, compacting retirements in place *)
+  let wn = Vec.size wlist in
+  let wi = ref 0 and wkeep = ref 0 in
+  let retain packed =
+    Vec.unsafe_set wlist !wkeep packed;
+    incr wkeep
   in
-  let i = ref 0 in
-  while !i < n do
-    let ci = Vec.get plist !i in
-    incr i;
-    if !conflict <> None then retain ci
-    else begin
-      let cs = Vec.get t.constrs ci in
-      let terms = Constr.terms cs.constr in
-      (* normalize so that w1 is the falsified watch *)
-      if not (Lit.equal terms.(cs.w1).Constr.lit p) then begin
-        let tmp = cs.w1 in
-        cs.w1 <- cs.w2;
-        cs.w2 <- tmp
-      end;
-      let other = terms.(cs.w2).Constr.lit in
-      if Value.equal (value_lit t other) Value.True then retain ci
+  while !wi < wn do
+    let packed = Vec.unsafe_get wlist !wi in
+    let wb = packed lsr wshift in
+    let ti = packed land wmask in
+    incr wi;
+    Telemetry.Counter.incr t.bstats.b_visits;
+    let coeff = a.(wb + hdr_size + (2 * ti) + 1) land coeff_mask in
+    let ws = a.(wb + h_wslack) - coeff in
+    a.(wb + h_wslack) <- ws;
+    if a.(wb + h_flags) land flag_watch_all <> 0 then begin
+      if ws >= a.(wb + h_max) then begin
+        (* a backjump restored enough weight that the rest of the set
+           covers maxcoeff again: shed this watch and leave watch-all,
+           so the set recovers toward a covering prefix instead of
+           emulating counting mode forever *)
+        a.(wb + hdr_size + (2 * ti) + 1) <- coeff;
+        a.(wb + h_flags) <- a.(wb + h_flags) land lnot flag_watch_all;
+        Telemetry.Counter.incr t.bstats.b_moves
+      end
       else begin
-        (* look for a non-false replacement watch *)
-        let len = Array.length terms in
-        let found = ref (-1) in
-        let j = ref 0 in
-        while !found < 0 && !j < len do
-          if !j <> cs.w1 && !j <> cs.w2
-             && not (Value.equal (value_lit t terms.(!j).Constr.lit) Value.False)
-          then found := !j;
-          incr j
+        retain packed;
+        Vec.push actors wb
+      end
+    end
+    else begin
+      let mc = a.(wb + h_max) in
+      if ws >= mc then begin
+        (* the rest of the watch set still covers maxcoeff: retire [q] *)
+        a.(wb + hdr_size + (2 * ti) + 1) <- coeff;
+        Telemetry.Counter.incr t.bstats.b_moves
+      end
+      else begin
+        let n = a.(wb + h_n) in
+        let ws' = ref ws in
+        let watch j cw =
+          a.(wb + hdr_size + (2 * j) + 1) <- cw lor watch_bit;
+          push_watch t a.(wb + hdr_size + (2 * j)) wb j;
+          ws' := !ws' + cw;
+          Telemetry.Counter.incr t.bstats.b_extends
+        in
+        (* Extend only with truly non-false replacements — a watch on a
+           true or unassigned literal is not sitting in the queue about
+           to trigger the next visit.  When that fails, the remaining
+           weight lives in queued-false terms that are about to be
+           dequeued one after another; degrading to watch-all right away
+           (folding their still-counted weight into wslack, which makes
+           it the exact lagged slack) turns each of those dequeues into
+           an O(1) watch-all visit instead of a fresh failing scan.
+
+           The search resumes where the last one stopped — [h_slack] is
+           dead storage in watched mode and holds the circular cursor —
+           so repeated visits don't rescan the watched-or-false prefix;
+           which replacement is picked never affects the event stream. *)
+        let start = a.(wb + h_slack) in
+        let start = if start >= n then 0 else start in
+        let j = ref start and steps = ref n in
+        while !ws' < mc && !steps > 0 do
+          let cw = a.(wb + hdr_size + (2 * !j) + 1) in
+          if cw land watch_bit = 0
+             && Bytes.unsafe_get t.lfalse a.(wb + hdr_size + (2 * !j)) = '\000'
+          then watch !j cw;
+          decr steps;
+          incr j;
+          if !j = n then j := 0
         done;
-        match !found with
-        | -1 ->
-          if Value.equal (value_lit t other) Value.False then begin
-            conflict := Some ci;
-            retain ci
-          end
-          else begin
-            Telemetry.Counter.incr t.stats.propagations;
-            assign t other (Implied ci);
-            retain ci
-          end
-        | r ->
-          cs.w1 <- r;
-          Vec.push t.watches.(Lit.to_index terms.(r).Constr.lit) ci
+        a.(wb + h_slack) <- !j;
+        a.(wb + h_wslack) <- !ws';
+        if !ws' >= mc then begin
+          a.(wb + hdr_size + (2 * ti) + 1) <- coeff;
+          Telemetry.Counter.incr t.bstats.b_moves
+        end
+        else begin
+          retain packed;
+          degrade_to_watch_all t wb;
+          if a.(wb + h_wslack) < mc then Vec.push actors wb
+        end
       end
     end
   done;
-  Vec.shrink plist !keep;
-  !conflict
+  Vec.shrink wlist !wkeep;
+  (* phase 2: act in ascending arena order *)
+  let na = Vec.size actors in
+  if na > 0 then begin
+    let k = ref 1 in
+    while !k < na do
+      let b = Vec.unsafe_get actors !k in
+      let j = ref (!k - 1) in
+      while !j >= 0 && Vec.unsafe_get actors !j > b do
+        Vec.unsafe_set actors (!j + 1) (Vec.unsafe_get actors !j);
+        decr j
+      done;
+      Vec.unsafe_set actors (!j + 1) b;
+      incr k
+    done;
+    let k = ref 0 in
+    while !conflict = None && !k < na do
+      let base = Vec.unsafe_get actors !k in
+      incr k;
+      let s =
+        if a.(base + h_flags) land flag_watched <> 0 then a.(base + h_wslack)
+        else a.(base + h_slack)
+      in
+      if s < 0 then conflict := Some a.(base + h_cid)
+      else scan_implications_arena t base s
+    done;
+    Vec.clear actors
+  end
 
 let propagate t =
   if t.unsat then Some (-1)
@@ -342,71 +636,133 @@ let propagate t =
       poll_interrupt t;
       let l = Vec.get t.trail t.qhead in
       t.qhead <- t.qhead + 1;
-      let falsified = Lit.negate l in
-      conflict := propagate_watches t falsified;
-      if !conflict = None then begin
-        let watching = t.occs.(Lit.to_index falsified) in
-        let n = Vec.size watching in
-        let i = ref 0 in
-        while !conflict = None && !i < n do
-          let ci, _ = Vec.get watching !i in
-          incr i;
-          let cs = Vec.get t.constrs ci in
-          if cs.slack < 0 then conflict := Some ci
-          else if cs.slack < Constr.max_coeff cs.constr then scan_implications t ci
-        done
-      end
+      process_falsified t (Lit.negate l) conflict
     done;
+    (* A conflict at decision level 0 proves unsatisfiability; latch it
+       here so [root_unsat] is truthful even when the caller chooses not
+       to run conflict analysis (the preprocessor's probe does).  The
+       lagged-slack discipline applies each decrement exactly once, so
+       an unresolved conflict would otherwise never be re-detected. *)
+    (match !conflict with
+    | Some _ when decision_level t = 0 -> t.unsat <- true
+    | Some _ | None -> ());
     !conflict
   end
 
 (* --- storing constraints -------------------------------------------------- *)
 
-let slack_now t c = Constr.slack_under (value_lit t) c
+(* Mode-selection heuristic (Müssig-Johannsen style).  Clauses always
+   pay off as watched sets (they degenerate to the classical two-watched
+   scheme).  A general PB constraint is watched when the minimal
+   decreasing-coefficient prefix covering degree + maxcoeff — the size
+   its watch set starts at — is at most half its arity; flat or tight
+   constraints, where the watch set would cover most of the terms
+   anyway, stay in counting mode.  Pure modes force the choice. *)
+let wants_watched t c =
+  let n = Constr.size c in
+  n >= 2
+  &&
+  match t.bcp with
+  | Counting -> false
+  | Watched -> true
+  | Hybrid ->
+    Constr.is_clause c
+    ||
+    let terms = Constr.terms c in
+    let need = Constr.degree c + Constr.max_coeff c in
+    let sum = ref 0 and k = ref 0 in
+    while !k < n && !sum < need do
+      sum := !sum + terms.(!k).Constr.coeff;
+      incr k
+    done;
+    !sum >= need && 2 * !k <= n
 
-let attach t ?(learned = false) ?(in_lb = true) c =
+let push_cstate t ~learned ~in_lb c =
   let ci = Vec.size t.constrs in
-  let cs =
-    {
-      constr = c;
-      slack = slack_now t c;
-      learned;
-      in_lb;
-      cactivity = 0.;
-      watched = false;
-      w1 = 0;
-      w2 = 0;
-    }
-  in
-  Vec.push t.constrs cs;
-  let register { Constr.coeff; lit } = Vec.push t.occs.(Lit.to_index lit) (ci, coeff) in
-  Array.iter register (Constr.terms c);
-  ci
+  let base = arena_alloc t ci c in
+  Vec.push t.constrs { constr = c; learned; in_lb; cactivity = 0.; base };
+  (ci, base)
 
-(* Clauses propagated with two watched literals instead of counters: no
-   per-assignment slack updates.  The caller must supply watch positions
-   respecting the invariant: either both watches are non-false, or the
-   false watch was falsified at the level where the other was asserted
-   (so any backjump unassigning one unassigns both). *)
-let attach_watched_clause t ?(learned = false) ?(in_lb = true) c ~w1 ~w2 =
+(* Counting attach: register every term on its occ list and seed the
+   lagged slack.  Returns the slack the caller should act on. *)
+let attach_counting t ~learned ~in_lb c =
+  let ci, base = push_cstate t ~learned ~in_lb c in
+  let a = t.arena in
+  a.(base + h_slack) <- lagged_slack_now t c;
+  Array.iter
+    (fun { Constr.coeff; lit } ->
+      Vec.push t.occs.(Lit.to_index lit) base;
+      Vec.push t.occs.(Lit.to_index lit) coeff)
+    (Constr.terms c);
+  Telemetry.Counter.incr t.bstats.b_ncounting;
+  (ci, a.(base + h_slack))
+
+(* Watched attach: watch the minimal decreasing-coefficient prefix of
+   non-lagged-false terms whose weight covers degree + maxcoeff.  When
+   no such prefix exists the constraint starts in watch-all, where
+   wslack is the exact lagged slack.  The returned slack is wslack —
+   a lower bound on the lagged slack that is only below maxcoeff when
+   it is exact, so acting on it matches counting mode. *)
+let attach_watched t ~learned ~in_lb c =
+  let ci, base = push_cstate t ~learned ~in_lb c in
+  let a = t.arena in
+  a.(base + h_flags) <- flag_watched;
+  let n = a.(base + h_n) in
+  let mc = a.(base + h_max) in
+  let ws = ref (-a.(base + h_deg)) in
+  let i = ref 0 in
+  while !ws < mc && !i < n do
+    let lit = Lit.of_index a.(base + hdr_size + (2 * !i)) in
+    if not (lagged_false t lit) then begin
+      let cw = a.(base + hdr_size + (2 * !i) + 1) in
+      a.(base + hdr_size + (2 * !i) + 1) <- cw lor watch_bit;
+      push_watch t (Lit.to_index lit) base !i;
+      ws := !ws + cw
+    end;
+    incr i
+  done;
+  a.(base + h_wslack) <- !ws;
+  Telemetry.Counter.incr t.bstats.b_nwatched;
+  if !ws < mc then degrade_to_watch_all t base;
+  (ci, a.(base + h_wslack))
+
+(* Learned asserting clauses skip the prefix rule: watch the asserting
+   literal plus a literal of the backjump level.  Every other literal is
+   false, so "all non-lagged-false terms watched" holds at attach, and
+   the level pairing (any backjump popping one pops both, restoring
+   wslack to watch weight 2) keeps the watch invariant across backjumps
+   without ever degrading to watch-all. *)
+let attach_learned_clause t c ~w1 ~w2 =
   assert (Constr.is_clause c && Array.length (Constr.terms c) >= 2 && w1 <> w2);
-  let ci = Vec.size t.constrs in
-  let cs = { constr = c; slack = 0; learned; in_lb; cactivity = 0.; watched = true; w1; w2 } in
-  Vec.push t.constrs cs;
-  let terms = Constr.terms c in
-  Vec.push t.watches.(Lit.to_index terms.(w1).Constr.lit) ci;
-  Vec.push t.watches.(Lit.to_index terms.(w2).Constr.lit) ci;
+  let ci, base = push_cstate t ~learned:true ~in_lb:false c in
+  let a = t.arena in
+  a.(base + h_flags) <- flag_watched;
+  let ws = ref (-a.(base + h_deg)) in
+  let put i =
+    let lit = Lit.of_index a.(base + hdr_size + (2 * i)) in
+    let cw = a.(base + hdr_size + (2 * i) + 1) in
+    a.(base + hdr_size + (2 * i) + 1) <- cw lor watch_bit;
+    push_watch t (Lit.to_index lit) base i;
+    if not (lagged_false t lit) then ws := !ws + cw
+  in
+  put w1;
+  put w2;
+  a.(base + h_wslack) <- !ws;
+  Telemetry.Counter.incr t.bstats.b_nwatched;
   ci
 
 let add_constraint_dynamic t ?(in_lb = false) c =
-  let ci = attach t ~learned:true ~in_lb c in
-  let cs = Vec.get t.constrs ci in
-  if cs.slack < 0 then begin
+  let ci, s =
+    if wants_watched t c then attach_watched t ~learned:true ~in_lb c
+    else attach_counting t ~learned:true ~in_lb c
+  in
+  if s < 0 then begin
     if decision_level t = 0 then t.unsat <- true;
     Some ci
   end
   else begin
-    if cs.slack < Constr.max_coeff c then scan_implications t ci;
+    if s < Constr.max_coeff c then
+      scan_implications_arena t (Vec.get t.constrs ci).base s;
     None
   end
 
@@ -573,7 +929,8 @@ let analyze_false_clause t lits =
       Telemetry.Trace.learned t.tel.trace ~size:(List.length clause) ~level:back_level;
       let terms = Constr.terms c in
       let ci =
-        if Array.length terms < 2 then attach t ~learned:true ~in_lb:false c
+        if Array.length terms < 2 || t.bcp = Counting then
+          fst (attach_counting t ~learned:true ~in_lb:false c)
         else begin
           (* watch the asserting literal and a literal of the backjump
              level: both become unassigned together on any later
@@ -587,7 +944,7 @@ let analyze_false_clause t lits =
             find (fun l ->
                 (not (Lit.equal l asserting)) && t.var_level.(Lit.var l) = back_level)
           in
-          attach_watched_clause t ~learned:true ~in_lb:false c ~w1:wa ~w2:wb
+          attach_learned_clause t c ~w1:wa ~w2:wb
         end
       in
       bump_cla_activity t ci;
@@ -729,20 +1086,119 @@ let reduce_db t =
   Vec.iteri keep t.constrs;
   Vec.clear t.constrs;
   Vec.iter (Vec.push t.constrs) kept;
+  (* Slide surviving arena blocks left, in order — sources are ascending
+     and destinations never overtake them, so the in-place blits are
+     safe.  Ids are rewritten in the headers as the blocks move. *)
+  let a = t.arena in
+  let top = ref 0 in
+  Vec.iteri
+    (fun i cs ->
+      let len = hdr_size + (2 * a.(cs.base + h_n)) in
+      if cs.base <> !top then Array.blit a cs.base a !top len;
+      cs.base <- !top;
+      a.(!top + h_cid) <- i;
+      top := !top + len)
+    t.constrs;
+  t.arena_top <- !top;
   Array.iter Vec.clear t.occs;
   Array.iter Vec.clear t.watches;
-  let register i cs =
-    if cs.watched then begin
-      let terms = Constr.terms cs.constr in
-      Vec.push t.watches.(Lit.to_index terms.(cs.w1).Constr.lit) i;
-      Vec.push t.watches.(Lit.to_index terms.(cs.w2).Constr.lit) i
-    end
-    else begin
-      let add { Constr.coeff; lit } = Vec.push t.occs.(Lit.to_index lit) (i, coeff) in
-      Array.iter add (Constr.terms cs.constr)
-    end
+  (* Re-register every constraint, re-evaluating the BCP mode of the
+     learned database as we go: a surviving watched constraint keeps its
+     (still valid) watch set, but one that degraded to watch-all gets a
+     fresh chance at a covering prefix — and is demoted to counting mode
+     when none exists, rather than paying watch-list overhead to emulate
+     counting.  Demoted constraints are re-promoted the same way once a
+     prefix covers degree + maxcoeff again. *)
+  let nwatched = ref 0 and ncounting = ref 0 and nwatchall = ref 0 in
+  let register_counting cs =
+    let base = cs.base in
+    a.(base + h_flags) <- 0;
+    a.(base + h_slack) <- lagged_slack_now t cs.constr;
+    Array.iter
+      (fun { Constr.coeff; lit } ->
+        Vec.push t.occs.(Lit.to_index lit) base;
+        Vec.push t.occs.(Lit.to_index lit) coeff)
+      (Constr.terms cs.constr);
+    incr ncounting
   in
-  Vec.iteri register t.constrs;
+  let register_watch_bits cs =
+    (* keep the current watch set; recompute its slack from the bits *)
+    let base = cs.base in
+    let nterms = a.(base + h_n) in
+    let ws = ref (-a.(base + h_deg)) in
+    for i = 0 to nterms - 1 do
+      let cw = a.(base + hdr_size + (2 * i) + 1) in
+      if cw land watch_bit <> 0 then begin
+        let lit = Lit.of_index a.(base + hdr_size + (2 * i)) in
+        push_watch t (Lit.to_index lit) base i;
+        if not (lagged_false t lit) then ws := !ws + (cw land coeff_mask)
+      end
+    done;
+    a.(base + h_wslack) <- !ws;
+    incr nwatched;
+    if a.(base + h_flags) land flag_watch_all <> 0 then incr nwatchall
+  in
+  let register_fresh_watched cs =
+    (* clear stale bits, then retry the covering-prefix selection —
+       committing nothing until we know whether a prefix covers mc *)
+    let base = cs.base in
+    let nterms = a.(base + h_n) in
+    for i = 0 to nterms - 1 do
+      a.(base + hdr_size + (2 * i) + 1) <- a.(base + hdr_size + (2 * i) + 1) land coeff_mask
+    done;
+    let mc = a.(base + h_max) in
+    let ws = ref (-a.(base + h_deg)) in
+    let k = ref 0 in
+    let i = ref 0 in
+    while !ws < mc && !i < nterms do
+      if not (lagged_false t (Lit.of_index a.(base + hdr_size + (2 * !i)))) then begin
+        ws := !ws + a.(base + hdr_size + (2 * !i) + 1);
+        k := !i + 1
+      end;
+      incr i
+    done;
+    if !ws >= mc || t.bcp = Watched then begin
+      let watch j =
+        let cw = a.(base + hdr_size + (2 * j) + 1) in
+        if cw land watch_bit = 0 then begin
+          a.(base + hdr_size + (2 * j) + 1) <- cw lor watch_bit;
+          push_watch t a.(base + hdr_size + (2 * j)) base j
+        end
+      in
+      if !ws >= mc then begin
+        a.(base + h_flags) <- flag_watched;
+        for j = 0 to !k - 1 do
+          if not (lagged_false t (Lit.of_index a.(base + hdr_size + (2 * j)))) then watch j
+        done
+      end
+      else begin
+        (* forced watched mode with no covering prefix: watch-all *)
+        a.(base + h_flags) <- flag_watched lor flag_watch_all;
+        for j = 0 to nterms - 1 do
+          watch j
+        done;
+        incr nwatchall
+      end;
+      a.(base + h_wslack) <- !ws;
+      incr nwatched
+    end
+    else
+      (* no covering prefix: cheaper as a counting constraint *)
+      register_counting cs
+  in
+  Vec.iter
+    (fun cs ->
+      if not (wants_watched t cs.constr) then register_counting cs
+      else begin
+        let flags = a.(cs.base + h_flags) in
+        if flags land flag_watched <> 0 && flags land flag_watch_all = 0 then
+          register_watch_bits cs
+        else register_fresh_watched cs
+      end)
+    t.constrs;
+  Telemetry.Counter.set t.bstats.b_nwatched !nwatched;
+  Telemetry.Counter.set t.bstats.b_ncounting !ncounting;
+  Telemetry.Counter.set t.bstats.b_nwatchall !nwatchall;
   for v = 0 to t.nvars - 1 do
     match t.var_reason.(v) with
     | Decision -> ()
@@ -756,9 +1212,14 @@ let reduce_db t =
 
 (* --- creation ----------------------------------------------------------------- *)
 
-let create ?telemetry p =
+let create ?telemetry ?(bcp = Hybrid) p =
   let tel = match telemetry with Some tel -> tel | None -> Telemetry.Ctx.silent () in
   let nvars = max (Problem.nvars p) 1 in
+  let arena_guess =
+    Array.fold_left
+      (fun acc c -> acc + hdr_size + (2 * Constr.size c))
+      1024 (Problem.constraints p)
+  in
   let t =
     {
       problem = p;
@@ -771,8 +1232,13 @@ let create ?telemetry p =
       trail_lim = Vec.create ~dummy:0 ();
       qhead = 0;
       constrs = Vec.create ~dummy:dummy_cstate ();
-      occs = Array.init (2 * nvars) (fun _ -> Vec.create ~dummy:(0, 0) ());
+      bcp;
+      arena = Array.make arena_guess 0;
+      arena_top = 0;
+      occs = Array.init (2 * nvars) (fun _ -> Vec.create ~dummy:0 ());
       watches = Array.init (2 * nvars) (fun _ -> Vec.create ~dummy:0 ());
+      lfalse = Bytes.make (2 * nvars) '\000';
+      actors = Vec.create ~dummy:0 ();
       lit_cost = Array.make (2 * nvars) 0;
       path = 0;
       heap = Idheap.create nvars;
@@ -785,6 +1251,7 @@ let create ?telemetry p =
       changed = Vec.create ~dummy:0 ();
       changed_mark = Array.make nvars false;
       stats = stats_of_registry tel.Telemetry.Ctx.registry;
+      bstats = bcp_stats_of_registry tel.Telemetry.Ctx.registry;
       tel;
       interrupt_check = None;
       interrupted = false;
@@ -805,16 +1272,16 @@ let create ?telemetry p =
     Idheap.insert t.heap v
   done;
   let load c =
-    if Constr.is_clause c && Constr.size c >= 2 then
-      (* nothing is assigned at load time, so any two positions satisfy
-         the watch invariant *)
-      ignore (attach_watched_clause t c ~w1:0 ~w2:1)
-    else begin
-      let ci = attach t c in
-      let cs = Vec.get t.constrs ci in
-      if cs.slack < 0 then t.unsat <- true
-      else if cs.slack < Constr.max_coeff c then scan_implications t ci
-    end
+    let ci, s =
+      if wants_watched t c then attach_watched t ~learned:false ~in_lb:true c
+      else attach_counting t ~learned:false ~in_lb:true c
+    in
+    (* the lagged slack ignores units still pending in the load queue;
+       checking the value-based slack too keeps [root_unsat] exact right
+       after [create], as it was with eager counting *)
+    if s < 0 || Constr.slack_under (value_lit t) c < 0 then t.unsat <- true
+    else if s < Constr.max_coeff c then
+      scan_implications_arena t (Vec.get t.constrs ci).base s
   in
   Array.iter load (Problem.constraints p);
   t
@@ -824,9 +1291,10 @@ let constr_of t ci = (Vec.get t.constrs ci).constr
 let decisions t =
   List.init (decision_level t) (fun lvl -> Vec.get t.trail (Vec.get t.trail_lim lvl))
 
-let slack_of t ci =
-  let cs = Vec.get t.constrs ci in
-  if cs.watched then Constr.slack_under (value_lit t) cs.constr else cs.slack
+(* Value-based slack, identical in every BCP mode (the arena keeps
+   *lagged* slacks, which only coincide with this at propagation
+   fixpoints).  Cold path: conflict resolution and tests. *)
+let slack_of t ci = Constr.slack_under (value_lit t) (Vec.get t.constrs ci).constr
 
 let rec resolve_conflict t ci =
   match analyze t ci with
@@ -987,37 +1455,51 @@ let derive_pb_resolvent t ci =
 let check_invariants t =
   let error = ref None in
   let fail fmt = Printf.ksprintf (fun s -> if !error = None then error := Some s) fmt in
-  (* slacks of counter-based constraints *)
+  let a = t.arena in
+  (* Arena bookkeeping, valid at every moment: counting slacks and
+     watch-set slacks must equal their lagged recomputation, and the
+     header must agree with the boxed constraint. *)
   Vec.iteri
     (fun ci cs ->
-      if (not cs.watched) && cs.slack <> Constr.slack_under (value_lit t) cs.constr then
-        fail "constraint %d: slack %d, recomputed %d" ci cs.slack
-          (Constr.slack_under (value_lit t) cs.constr))
-    t.constrs;
-  (* watched clauses: if both watches are false the clause must be
-     falsified-or-unit-detectable, i.e. some non-watched literal is
-     non-false, or the clause is genuinely conflicting right now *)
-  Vec.iteri
-    (fun ci cs ->
-      if cs.watched then begin
-        let terms = Constr.terms cs.constr in
-        let v i = value_lit t terms.(i).Constr.lit in
-        let w1 = v cs.w1 and w2 = v cs.w2 in
-        let true_watch = Value.equal w1 Value.True || Value.equal w2 Value.True in
-        let both_nonfalse =
-          (not (Value.equal w1 Value.False)) && not (Value.equal w2 Value.False)
-        in
-        if not (true_watch || both_nonfalse) then begin
-          (* one watch false: the other must be the unit/asserted literal
-             or the clause is currently conflicting (pending analysis) *)
-          let nonfalse =
-            Array.exists
-              (fun tm -> not (Value.equal (value_lit t tm.Constr.lit) Value.False))
-              terms
-          in
-          let conflicting = Constr.slack_under (value_lit t) cs.constr < 0 in
-          if not (nonfalse || conflicting) then fail "watched clause %d: invariant broken" ci
-        end
+      let base = cs.base in
+      let terms = Constr.terms cs.constr in
+      let n = a.(base + h_n) in
+      if a.(base + h_cid) <> ci then fail "constraint %d: arena cid %d" ci a.(base + h_cid);
+      if n <> Array.length terms then fail "constraint %d: arena nterms %d" ci n;
+      if a.(base + h_flags) land flag_watched = 0 then begin
+        if a.(base + h_slack) <> lagged_slack_now t cs.constr then
+          fail "constraint %d: slack %d, lagged recompute %d" ci
+            a.(base + h_slack) (lagged_slack_now t cs.constr)
+      end
+      else begin
+        (* wslack bookkeeping: weight of watched non-lagged-false terms *)
+        let ws = ref (-a.(base + h_deg)) in
+        let watched_false = ref false in
+        let uncovered = ref false in
+        for i = 0 to n - 1 do
+          let cw = a.(base + hdr_size + (2 * i) + 1) in
+          let lit = Lit.of_index a.(base + hdr_size + (2 * i)) in
+          let lf = lagged_false t lit in
+          if cw land watch_bit <> 0 then begin
+            if lf then watched_false := true else ws := !ws + (cw land coeff_mask)
+          end
+          else begin
+            if a.(base + h_flags) land flag_watch_all <> 0 then
+              fail "constraint %d: watch-all with unwatched term %d" ci i;
+            if not lf then uncovered := true
+          end
+        done;
+        if a.(base + h_wslack) <> !ws then
+          fail "constraint %d: wslack %d, recomputed %d" ci a.(base + h_wslack) !ws;
+        (* The watch invariant: the set covers maxcoeff, or every
+           non-lagged-false term is watched (so wslack is exact).  A
+           watched lagged-false term marks the transient states that are
+           allowed to violate it: an aborted visit after a conflict, or
+           a learned clause's backjump-level watch. *)
+        if !ws < a.(base + h_max) && !uncovered && not !watched_false then
+          fail "constraint %d: watch set slack %d below maxcoeff %d with unwatched \
+                non-false terms"
+            ci !ws a.(base + h_max)
       end)
     t.constrs;
   (* trail levels are monotone and values consistent *)

@@ -26,7 +26,19 @@ type analysis =
           (** literal asserted by the learned clause, when one exists *)
     }
 
-val create : ?telemetry:Telemetry.Ctx.t -> Problem.t -> t
+(** Boolean constraint propagation strategy.  [Hybrid] (the default)
+    picks watched-set or counting-mode propagation per constraint at
+    attach time and re-evaluates learned constraints when the database
+    is reduced; [Watched] and [Counting] force a uniform mode.  All
+    three modes produce identical assignments, reasons, conflicts and
+    decisions — the recorder event stream of a run is byte-identical
+    across modes. *)
+type bcp_mode =
+  | Watched
+  | Counting
+  | Hybrid
+
+val create : ?telemetry:Telemetry.Ctx.t -> ?bcp:bcp_mode -> Problem.t -> t
 (** Loads every problem constraint.  Check {!root_unsat} before searching:
     it is set when the problem is trivially unsatisfiable.  Search
     counters are registered against the telemetry context's registry
@@ -206,6 +218,23 @@ type stats = {
 
 val stats : t -> stats
 
+(** BCP micro-counters (names ["bcp.*"]): implied assignments, constraint
+    examinations, watch moves and extensions, and the per-mode constraint
+    population ([constrs_watch_all] counts the watched constraints that
+    degraded to watching every literal; it is a subset of
+    [constrs_watched]). *)
+type bcp_stats = {
+  b_props : Telemetry.Counter.t;
+  b_visits : Telemetry.Counter.t;
+  b_moves : Telemetry.Counter.t;
+  b_extends : Telemetry.Counter.t;
+  b_nwatched : Telemetry.Counter.t;
+  b_ncounting : Telemetry.Counter.t;
+  b_nwatchall : Telemetry.Counter.t;
+}
+
+val bcp_stats : t -> bcp_stats
+
 val telemetry : t -> Telemetry.Ctx.t
 (** The telemetry context the engine was created with. *)
 
@@ -244,8 +273,9 @@ val derive_pb_resolvent : t -> cid -> Constr.t option
     (size or coefficient blow-up).  The engine state is not modified. *)
 
 val check_invariants : t -> (unit, string) result
-(** Expensive self-check for tests and debugging: incremental slacks
-    match recomputation, watched clauses have a sound watch pair (a true
-    watch, two non-false watches, or a detectable unit/conflict state),
-    trail levels are monotone, and the path cost matches the assigned
-    cost literals. *)
+(** Expensive self-check for tests and debugging: lagged counting slacks
+    match recomputation, watch-set slacks match the weight of their
+    watched non-false terms, the watch invariant holds (the watch set
+    covers maxcoeff, or every non-false term is watched, or a watched
+    falsified term marks an allowed transient state), trail levels are
+    monotone, and the path cost matches the assigned cost literals. *)

@@ -18,6 +18,9 @@ let set v i x =
   if i < 0 || i >= v.size then invalid_arg "Vec.set";
   v.data.(i) <- x
 
+let[@inline] unsafe_get v i = Array.unsafe_get v.data i
+let[@inline] unsafe_set v i x = Array.unsafe_set v.data i x
+
 let grow v =
   let data = Array.make (2 * Array.length v.data) v.dummy in
   Array.blit v.data 0 data 0 v.size;

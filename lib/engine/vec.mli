@@ -9,6 +9,12 @@ val size : 'a t -> int
 val is_empty : 'a t -> bool
 val get : 'a t -> int -> 'a
 val set : 'a t -> int -> 'a -> unit
+
+val unsafe_get : 'a t -> int -> 'a
+(** [get] without the bounds check, inlined; for hot loops whose index
+    is already known to be in range. *)
+
+val unsafe_set : 'a t -> int -> 'a -> unit
 val push : 'a t -> 'a -> unit
 val pop : 'a t -> 'a
 (** Removes and returns the last element.  Raises [Invalid_argument] when

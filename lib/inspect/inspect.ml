@@ -253,6 +253,25 @@ let render_tree_shape json =
       (if decisions > 0 then float_of_int conflicts /. float_of_int decisions else 0.);
   ]
 
+let render_bcp json =
+  let c = counter json in
+  let mode =
+    Option.value ~default:"?"
+      (Option.bind
+         (Option.bind (Json.member "options" json) (Json.member "bcp"))
+         Json.to_string_opt)
+  in
+  let visits = c "bcp.visits" in
+  [
+    Printf.sprintf "%-22s %s" "mode" mode;
+    Printf.sprintf "%-22s %d" "implied assignments" (c "bcp.propagations");
+    Printf.sprintf "%-22s %d" "constraint visits" visits;
+    Printf.sprintf "%-22s %d moves, %d extends" "watch updates" (c "bcp.watch_moves")
+      (c "bcp.watch_extends");
+    Printf.sprintf "%-22s %d watched (%d watch-all), %d counting" "constraint modes"
+      (c "bcp.constrs_watched") (c "bcp.constrs_watch_all") (c "bcp.constrs_counting");
+  ]
+
 (* --- report diff ----------------------------------------------------------- *)
 
 type diff_entry = {
@@ -335,6 +354,10 @@ module Bench = struct
     imports : int;  (** shared-incumbent imports (portfolio rows; 0 otherwise) *)
     proof_steps : int;  (** derivation steps in the checked proof (0 = no --proof) *)
     check_ms : float;  (** checkproof replay time in milliseconds *)
+    props_per_sec : float;
+        (** propagation throughput (implied assignments per second of
+            solve wall time); 0 = not measured.  Higher is better: the
+            diff flags drops, not gains. *)
   }
 
   let row_json (r : row) =
@@ -354,6 +377,7 @@ module Bench = struct
         "imports", Json.Int r.imports;
         "proof_steps", Json.Int r.proof_steps;
         "check_ms", Json.Float r.check_ms;
+        "props_per_sec", Json.Float r.props_per_sec;
       ]
 
   let make ~rev ~limit ~scale ~per_family rows =
@@ -390,6 +414,7 @@ module Bench = struct
           imports = i "imports";
           proof_steps = i "proof_steps";
           check_ms = f "check_ms";
+          props_per_sec = f "props_per_sec";
         }
 
   let rows_of_json json =
@@ -456,7 +481,24 @@ module Bench = struct
                  entry ~threshold ~floor:(1000. *. seconds_floor) (b.name ^ ".check_ms")
                    b.check_ms c.check_ms;
                ]
-             else []))
+             else [])
+          (* Propagation throughput is higher-is-better: regress when the
+             candidate is slower by more than the threshold.  Baselines
+             that never measured it carry 0 and are skipped. *)
+          @
+          if b.props_per_sec > 0. && c.props_per_sec > 0. then begin
+            let ratio = c.props_per_sec /. b.props_per_sec in
+            [
+              {
+                key = b.name ^ ".props_per_sec";
+                base = b.props_per_sec;
+                cand = c.props_per_sec;
+                ratio;
+                regression = ratio < 1. /. (1. +. threshold);
+              };
+            ]
+          end
+          else [])
       base_rows
 end
 

@@ -71,6 +71,10 @@ val render_gap_timeline : ?max_lines:int -> (float * float option * float) list 
 
 val render_tree_shape : Json.t -> string list
 
+val render_bcp : Json.t -> string list
+(** Propagation-engine summary from a run report: selected [--bcp] mode,
+    the [bcp.*] micro-counters and the per-mode constraint population. *)
+
 (** {1 Report diff} *)
 
 type diff_entry = {
@@ -116,6 +120,10 @@ module Bench : sig
             report was produced without [--proof], which gates the diff
             exactly like [simplex_iters] *)
     check_ms : float;  (** [checkproof] replay time in milliseconds *)
+    props_per_sec : float;
+        (** propagation throughput (implied assignments per second of
+            solve wall time); 0 = not measured; higher is better, the
+            diff flags drops *)
   }
 
   val row_json : row -> Json.t

@@ -1,0 +1,256 @@
+(* Cross-mode BCP equivalence: watched, counting and hybrid propagation
+   must explore the identical search tree — same fixpoints, same
+   conflicts, same outcomes, byte-identical recorded event streams. *)
+open Pbo
+module Core = Engine.Solver_core
+module R = Telemetry.Recorder
+
+let modes = [ Core.Watched, "watched"; Core.Counting, "counting"; Core.Hybrid, "hybrid" ]
+
+(* --- engine-level lockstep ------------------------------------------------- *)
+
+(* Drive one engine per mode through the identical decision sequence and
+   compare the full propagation fixpoint after every step: trail
+   contents (order included), conflict verdicts, analysis results.  The
+   hybrid engine picks the decisions; its VSIDS state stays in step with
+   the others exactly because everything else does. *)
+let trail_of engine =
+  let lits = ref [] in
+  (* no trail iterator in the API: recover the assignment from values +
+     levels, which determines the trail up to within-level order *)
+  for v = Core.nvars engine - 1 downto 0 do
+    match Core.value_var engine v with
+    | Value.True -> lits := (v, true, Core.level_of_var engine v) :: !lits
+    | Value.False -> lits := (v, false, Core.level_of_var engine v) :: !lits
+    | Value.Unknown -> ()
+  done;
+  !lits
+
+let check_engine seed engine name =
+  match Core.check_invariants engine with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "seed %d (%s): invariant: %s" seed name e
+
+let lockstep_walk () =
+  for seed = 0 to 60 do
+    let problem = Gen.problem seed in
+    let engines = List.map (fun (m, name) -> Core.create ~bcp:m problem, name) modes in
+    let lead = fst (List.hd engines) in
+    let rng = Random.State.make [| seed; 0xbc9 |] in
+    let compare_states where =
+      let ref_trail = trail_of lead in
+      List.iter
+        (fun (e, name) ->
+          check_engine seed e name;
+          if Core.root_unsat e <> Core.root_unsat lead then
+            Alcotest.failf "seed %d %s (%s): root_unsat differs" seed where name;
+          if trail_of e <> ref_trail then
+            Alcotest.failf "seed %d %s (%s): assignment differs from watched engine" seed
+              where name;
+          if Core.decision_level e <> Core.decision_level lead then
+            Alcotest.failf "seed %d %s (%s): decision level differs" seed where name)
+        (List.tl engines)
+    in
+    let propagate_all where =
+      let results = List.map (fun (e, name) -> Core.propagate e, name) engines in
+      let lead_conflict, _ = List.hd results in
+      List.iter
+        (fun (c, name) ->
+          match lead_conflict, c with
+          | None, None -> ()
+          | Some _, Some _ -> ()
+          | _ ->
+            Alcotest.failf "seed %d %s (%s): conflict verdict differs" seed where name)
+        results;
+      compare_states where;
+      List.map fst results
+    in
+    let rec walk fuel =
+      if fuel > 0 && not (Core.root_unsat lead) then begin
+        match propagate_all "propagate" with
+        | Some _ :: _ as conflicts ->
+          let analyses =
+            List.map2
+              (fun conflict (e, name) ->
+                (* each engine analyzes its own conflict cid; the learned
+                   clause and backjump must agree *)
+                match conflict with
+                | Some ci -> Core.resolve_conflict e ci, name
+                | None -> Alcotest.failf "seed %d (%s): conflict not reported" seed name)
+              conflicts engines
+          in
+          let lead_a, _ = List.hd analyses in
+          List.iter
+            (fun (a, name) ->
+              match lead_a, a with
+              | Core.Root_conflict, Core.Root_conflict -> ()
+              | ( Core.Backjump { level = l1; asserting = a1 },
+                  Core.Backjump { level = l2; asserting = a2 } )
+                when l1 = l2 && a1 = a2 ->
+                ()
+              | _ -> Alcotest.failf "seed %d (%s): analysis differs" seed name)
+            (List.tl analyses);
+          compare_states "after analysis";
+          walk (fuel - 1)
+        | _ ->
+          (match Core.next_branch_var lead with
+          | None -> ()
+          | Some v ->
+            let l = Lit.make v (Random.State.bool rng) in
+            List.iter (fun (e, _) -> Core.decide e l) engines;
+            walk (fuel - 1))
+      end
+    in
+    walk 40
+  done
+
+(* Propagate never re-reports a conflict it already returned (the trail
+   is fully dequeued), so the lockstep loop above re-propagates before
+   resolving; double-check that behaviour is uniform too. *)
+
+(* --- solver-level equivalence over all four LB methods --------------------- *)
+
+let lb_methods =
+  [
+    Bsolo.Options.Plain, "plain";
+    Bsolo.Options.Mis, "mis";
+    Bsolo.Options.Lgr, "lgr";
+    Bsolo.Options.Lpr, "lpr";
+  ]
+
+let outcome_signature problem options =
+  let tel = Telemetry.Ctx.silent () in
+  let outcome =
+    Bsolo.Solver.solve ~options:{ options with Bsolo.Options.telemetry = Some tel } problem
+  in
+  let counters = Telemetry.Registry.counters tel.registry in
+  let pick name = try List.assoc name counters with Not_found -> 0 in
+  ( Bsolo.Outcome.status_name outcome.Bsolo.Outcome.status,
+    Option.map snd outcome.best,
+    pick "engine.decisions",
+    pick "engine.conflicts",
+    pick "engine.propagations" )
+
+let qcheck_solver_equivalence =
+  let gen = QCheck2.Gen.(pair (int_bound 10_000) (oneofl (List.map fst lb_methods))) in
+  QCheck2.Test.make ~name:"all --bcp modes explore the identical tree" ~count:60 gen
+    (fun (seed, lb) ->
+      let problem = Gen.problem seed in
+      let base = Bsolo.Options.with_lb lb in
+      let reference = outcome_signature problem { base with bcp = Core.Watched } in
+      List.for_all
+        (fun (m, _) -> outcome_signature problem { base with bcp = m } = reference)
+        (List.tl modes))
+
+let solver_equivalence_covering () =
+  List.iter
+    (fun (lb, lb_name) ->
+      for seed = 0 to 15 do
+        let problem = Gen.covering seed in
+        let base = Bsolo.Options.with_lb lb in
+        let signatures =
+          List.map (fun (m, name) -> outcome_signature problem { base with bcp = m }, name) modes
+        in
+        let ref_sig, _ = List.hd signatures in
+        List.iter
+          (fun (s, name) ->
+            if s <> ref_sig then
+              Alcotest.failf "covering seed %d lb=%s: %s disagrees with watched" seed lb_name
+                name)
+          (List.tl signatures)
+      done)
+    lb_methods
+
+(* --- recorded event stream across modes ------------------------------------ *)
+
+let tmp suffix = Filename.temp_file "bcpmodes" suffix
+
+let record_solve ~bcp problem path =
+  let base = { Bsolo.Options.default with bcp } in
+  let h =
+    {
+      R.h_run_id = "bcp-modes";
+      h_engine = "bsolo";
+      h_lb_method = "lpr";
+      h_started = Unix.gettimeofday ();
+      h_nvars = Problem.nvars problem;
+      h_nconstraints = Array.length (Problem.constraints problem);
+      h_flags = Bsolo.Replay.flags_of_options base;
+      h_lb_every = base.lb_every;
+      h_lgr_iters = base.lgr_iters;
+    }
+  in
+  let recorder = R.open_file path h in
+  let tel = Telemetry.Ctx.create ~timing:false ~recorder () in
+  let outcome = Bsolo.Solver.solve ~options:{ base with telemetry = Some tel } problem in
+  Telemetry.Ctx.close tel;
+  outcome
+
+(* A recording made under one mode must replay byte-identically under
+   every other mode — the `bsolo replay --check --bcp` contract. *)
+let cross_mode_replay () =
+  List.iter
+    (fun seed ->
+      let problem = Gen.problem seed in
+      List.iter
+        (fun (rec_mode, rec_name) ->
+          let path = tmp ".rec" in
+          Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+          @@ fun () ->
+          let recorded = record_solve ~bcp:rec_mode problem path in
+          match R.read_file path with
+          | Error msg -> Alcotest.fail msg
+          | Ok rc ->
+            List.iter
+              (fun (replay_mode, replay_name) ->
+                match Bsolo.Replay.run ~bcp:replay_mode problem rc with
+                | Error msg -> Alcotest.failf "seed %d %s->%s: %s" seed rec_name replay_name msg
+                | Ok rep ->
+                  (match rep.Bsolo.Replay.mismatch with
+                  | Some m ->
+                    Alcotest.failf
+                      "seed %d: recorded under %s, replayed under %s, diverged at event %d: \
+                       recorded %s, replayed %s"
+                      seed rec_name replay_name m.at m.expected m.got
+                  | None -> ());
+                  if rep.checked <> rep.total then
+                    Alcotest.failf "seed %d %s->%s: %d/%d events checked" seed rec_name
+                      replay_name rep.checked rep.total;
+                  if
+                    Bsolo.Outcome.status_name rep.outcome.Bsolo.Outcome.status
+                    <> Bsolo.Outcome.status_name recorded.Bsolo.Outcome.status
+                  then Alcotest.failf "seed %d %s->%s: outcome differs" seed rec_name replay_name)
+              modes)
+        modes)
+    [ 3; 9; 17 ]
+
+(* --- per-mode population sanity -------------------------------------------- *)
+
+(* Forced modes must register every (multi-literal) constraint in their
+   mode; hybrid must use both on a mixed instance. *)
+let mode_populations () =
+  let problem = Gen.problem 5 in
+  let pops bcp =
+    let tel = Telemetry.Ctx.silent () in
+    let engine = Core.create ~telemetry:tel ~bcp problem in
+    ignore (Core.propagate engine);
+    let stats = Core.bcp_stats engine in
+    ( Telemetry.Counter.get stats.Core.b_nwatched,
+      Telemetry.Counter.get stats.Core.b_ncounting )
+  in
+  let w_watched, w_counting = pops Core.Watched in
+  let c_watched, c_counting = pops Core.Counting in
+  if w_watched = 0 then Alcotest.fail "forced watched registered no watched constraints";
+  if c_watched <> 0 then Alcotest.fail "forced counting registered watched constraints";
+  if c_counting = 0 then Alcotest.fail "forced counting registered no counting constraints";
+  ignore w_counting
+
+let suite =
+  [
+    Alcotest.test_case "lockstep engines agree at every fixpoint" `Slow lockstep_walk;
+    QCheck_alcotest.to_alcotest qcheck_solver_equivalence;
+    Alcotest.test_case "covering instances agree across modes and LB methods" `Slow
+      solver_equivalence_covering;
+    Alcotest.test_case "recordings replay across modes" `Slow cross_mode_replay;
+    Alcotest.test_case "forced modes register accordingly" `Quick mode_populations;
+  ]
