@@ -40,6 +40,14 @@ let variants_for = function
         voptions = { base with constraint_strengthening = false };
       };
     ]
+  | `Cut_pool ->
+    [
+      { vname = "cut pool + presolve (tree)"; voptions = base };
+      {
+        vname = "no cuts, no presolve";
+        voptions = { base with cuts = Bsolo.Options.Cuts_off; presolve = false };
+      };
+    ]
   | `Lgr_iters ->
     [
       { vname = "LGR 50 subgradient iters"; voptions = { base with lb_method = Bsolo.Options.Lgr } };

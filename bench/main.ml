@@ -11,7 +11,8 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [table1|ablation-bc|ablation-branch|ablation-knapsack|ablation-lgr|ablation-strengthen|scaling|extension-cp|micro|all]\n\
+    "usage: main.exe \
+     [table1|ablation-bc|ablation-branch|ablation-knapsack|ablation-lgr|ablation-strengthen|ablation-cuts|scaling|extension-cp|micro|all]\n\
     \       [--limit SECS] [--scale S] [--per-family N] [--json FILE]"
 
 let () =
@@ -55,6 +56,7 @@ let () =
   | "ablation-knapsack" -> ablation `Knapsack "Ablation C: incumbent cuts"
   | "ablation-lgr" -> ablation `Lgr_iters "Ablation D: LGR iteration budget"
   | "ablation-strengthen" -> ablation `Strengthen "Ablation E: constraint strengthening"
+  | "ablation-cuts" -> ablation `Cut_pool "Ablation F: cut pool + presolve"
   | "scaling" -> Scaling.run ~limit ~per_family ()
   | "extension-cp" -> Cp_extension.run ~limit ~scale ~per_family ()
   | "micro" -> Micro.run ()
@@ -65,6 +67,7 @@ let () =
     ablation `Knapsack "Ablation C: incumbent cuts";
     ablation `Lgr_iters "Ablation D: LGR iteration budget";
     ablation `Strengthen "Ablation E: constraint strengthening";
+    ablation `Cut_pool "Ablation F: cut pool + presolve";
     print_newline ();
     Scaling.run ~limit:(min limit 2.0) ~per_family:(min per_family 3) ();
     print_newline ();

@@ -156,6 +156,15 @@ let () =
             check_ms;
             props_per_sec =
               (if o.elapsed > 0. then float_of_int c.propagations /. o.elapsed else 0.);
+            cuts_separated =
+              reg_counter "cuts.cover.separated" + reg_counter "cuts.clique.separated"
+              + reg_counter "cuts.implied.separated";
+            cuts_active =
+              reg_counter "cuts.cover.applied" + reg_counter "cuts.clique.applied"
+              + reg_counter "cuts.implied.applied"
+              - (reg_counter "cuts.cover.evicted" + reg_counter "cuts.clique.evicted"
+                + reg_counter "cuts.implied.evicted");
+            presolve_reductions = reg_counter "presolve.reductions";
           }
         in
         Printf.printf "  %-28s %-14s %8.3fs %8d nodes\n%!" row.name row.status row.elapsed
@@ -203,6 +212,11 @@ let () =
               check_ms = pcheck_ms;
               (* portfolio wall clock mixes workers; no meaningful rate *)
               props_per_sec = 0.;
+              (* per-worker registries are not stitched; cut/presolve
+                 activity is reported on the single-engine row only *)
+              cuts_separated = 0;
+              cuts_active = 0;
+              presolve_reductions = 0;
             }
           in
           Printf.printf "  %-28s %-14s %8.3fs %8d imports (winner %s)\n%!" prow.name

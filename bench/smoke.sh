@@ -242,9 +242,52 @@ grep -q '^member ' "$tmpdir/pforensics.out" || {
   echo "FAIL: stitched recording has no member sections"; cat "$tmpdir/pforensics.out"; exit 1;
 }
 
+echo "== cut separation modes agree (--cuts=off / root / tree) =="
+# Cuts shape the bound, never the answer: all three modes (and a
+# presolve-disabled run) must print identical s/o lines on the
+# general-coefficient knapsack instance where cuts actually fire.
+for mode in off root tree; do
+  timeout 120 "$bsolo" benchmarks/knap-s1.opb --timeout 60 --cuts "$mode" \
+    >"$tmpdir/cuts-$mode.out" 2>&1 || {
+    echo "FAIL: --cuts $mode solve failed"; cat "$tmpdir/cuts-$mode.out"; exit 1;
+  }
+  grep -E '^[so] ' "$tmpdir/cuts-$mode.out" >"$tmpdir/cuts-$mode.opt"
+done
+for mode in root tree; do
+  cmp -s "$tmpdir/cuts-off.opt" "$tmpdir/cuts-$mode.opt" || {
+    echo "FAIL: --cuts $mode optimum differs from --cuts off";
+    diff "$tmpdir/cuts-off.opt" "$tmpdir/cuts-$mode.opt" || true; exit 1;
+  }
+done
+timeout 120 "$bsolo" benchmarks/knap-s1.opb --timeout 60 --no-presolve \
+  >"$tmpdir/cuts-nopre.out" 2>&1 || {
+  echo "FAIL: --no-presolve solve failed"; cat "$tmpdir/cuts-nopre.out"; exit 1;
+}
+grep -E '^[so] ' "$tmpdir/cuts-nopre.out" >"$tmpdir/cuts-nopre.opt"
+cmp -s "$tmpdir/cuts-off.opt" "$tmpdir/cuts-nopre.opt" || {
+  echo "FAIL: --no-presolve optimum differs";
+  diff "$tmpdir/cuts-off.opt" "$tmpdir/cuts-nopre.opt" || true; exit 1;
+}
+# The instrumented run must actually separate something, and the cut
+# pool must surface in the inspect report.
+timeout 120 "$bsolo" benchmarks/knap-s2.opb --timeout 60 --cuts tree --stats \
+  --json "$tmpdir/cuts-report.json" >"$tmpdir/cuts-stats.out" 2>&1 || {
+  echo "FAIL: --cuts tree --stats solve failed"; cat "$tmpdir/cuts-stats.out"; exit 1;
+}
+grep -Eq 'cuts\.(cover|clique|implied)\.separated' "$tmpdir/cuts-stats.out" || {
+  echo "FAIL: cuts.* counters missing from --stats"; cat "$tmpdir/cuts-stats.out"; exit 1;
+}
+"$bsolo" inspect "$tmpdir/cuts-report.json" >"$tmpdir/cuts-inspect.out" 2>&1 || {
+  echo "FAIL: inspect failed on the cuts report"; cat "$tmpdir/cuts-inspect.out"; exit 1;
+}
+grep -q 'cut pool and presolve:' "$tmpdir/cuts-inspect.out" || {
+  echo "FAIL: inspect report has no cut-pool table"; cat "$tmpdir/cuts-inspect.out"; exit 1;
+}
+echo "cut modes: identical optima, counters and pool table present"
+
 if [ "$with_proof" = 1 ]; then
   echo "== proof-checked solves (--proof) =="
-  for inst in synth-s1 grout-s1 mcnc-s1 acc-s1; do
+  for inst in synth-s1 grout-s1 mcnc-s1 acc-s1 knap-s1; do
     f=benchmarks/$inst.opb
     timeout 120 "$bsolo" "$f" --timeout 60 --proof "$tmpdir/$inst.pbp" \
       >"$tmpdir/$inst.out" 2>&1 || {
@@ -281,6 +324,26 @@ if [ "$with_proof" = 1 ]; then
     echo "FAIL: no VERIFIED verdict for the portfolio proof"; cat "$tmpdir/pproof.check"; exit 1;
   }
   echo "portfolio: $(grep '^s VERIFIED' "$tmpdir/pproof.check")"
+
+  echo "== certified cut separation (--cuts=tree --proof) =="
+  # The knapsack instance has general coefficients, so cover cuts and
+  # presolve tightenings actually fire; every one must enter the log as
+  # a j (cutting-planes) step the checker replays exactly.
+  timeout 120 "$bsolo" benchmarks/knap-s1.opb --timeout 60 \
+    --cuts tree --proof "$tmpdir/cuts.pbp" >"$tmpdir/cuts-proof.out" 2>&1 || {
+    echo "FAIL: --cuts tree proof-logged solve failed"; cat "$tmpdir/cuts-proof.out"; exit 1;
+  }
+  grep -q '^j ' "$tmpdir/cuts.pbp" || {
+    echo "FAIL: no j (cutting-planes derivation) steps in the cuts proof"; exit 1;
+  }
+  "$bsolo" checkproof benchmarks/knap-s1.opb "$tmpdir/cuts.pbp" \
+    >"$tmpdir/cuts-proof.check" 2>&1 || {
+    echo "FAIL: checkproof rejected the cut derivations"; cat "$tmpdir/cuts-proof.check"; exit 1;
+  }
+  grep -q '^s VERIFIED' "$tmpdir/cuts-proof.check" || {
+    echo "FAIL: no VERIFIED verdict for the cuts proof"; cat "$tmpdir/cuts-proof.check"; exit 1;
+  }
+  echo "cuts: $(grep '^s VERIFIED' "$tmpdir/cuts-proof.check") ($(grep -c '^j ' "$tmpdir/cuts.pbp") j steps)"
 fi
 
 echo "smoke: OK"

@@ -61,7 +61,8 @@ let make_run_id () =
   let st = Random.State.make_self_init () in
   String.concat "" (List.init 4 (fun _ -> Printf.sprintf "%04x" (Random.State.bits st land 0xffff)))
 
-let solve_file path engine lb bcp time_limit conflict_limit no_cuts no_lp_branching no_preprocess
+let solve_file path engine lb bcp time_limit conflict_limit no_cuts cuts_mode cut_rounds
+    no_presolve no_lp_branching no_preprocess
     cold_lpr no_adaptive_lb portfolio jobs verify verbosity stats trace_file json_file
     proof_file progress_every span_file heartbeat_file heartbeat_every profile_hz metrics_file
     record_file record_ring =
@@ -154,6 +155,9 @@ let solve_file path engine lb bcp time_limit conflict_limit no_cuts no_lp_branch
               (Bsolo.Options.with_lb lb) with
               knapsack_cuts = not no_cuts;
               cardinality_inference = not no_cuts;
+              cuts = cuts_mode;
+              cut_rounds;
+              presolve = not no_presolve;
               lp_guided_branching = not no_lp_branching;
               preprocess = not no_preprocess;
               lpr_warm = not cold_lpr;
@@ -287,6 +291,9 @@ let solve_file path engine lb bcp time_limit conflict_limit no_cuts no_lp_branch
         conflict_limit;
         knapsack_cuts = not no_cuts;
         cardinality_inference = not no_cuts;
+        cuts = cuts_mode;
+        cut_rounds;
+        presolve = not no_presolve;
         lp_guided_branching = not no_lp_branching;
         preprocess = not no_preprocess;
         lpr_warm = not cold_lpr;
@@ -518,6 +525,34 @@ let no_cuts_arg =
   let doc = "Disable the knapsack and cardinality incumbent cuts (Section 5)." in
   Arg.(value & flag & info [ "no-cuts" ] ~doc)
 
+let cuts_mode_arg =
+  let choices =
+    [
+      "off", Bsolo.Options.Cuts_off;
+      "root", Bsolo.Options.Cuts_root;
+      "tree", Bsolo.Options.Cuts_tree;
+    ]
+  in
+  let doc =
+    "LP cut separation mode: $(b,off), $(b,root) (separate cover/clique/implied-bound \
+     cuts against the fractional LPR optimum at decision level 0 only) or $(b,tree) \
+     (separate at every LP evaluation, the default).  Cuts live only in the LP \
+     relaxation, managed by an activity-aged pool; in proof mode every cut is certified \
+     before use."
+  in
+  Arg.(value & opt (enum choices) Bsolo.Options.default.cuts & info [ "cuts" ] ~docv:"MODE" ~doc)
+
+let cut_rounds_arg =
+  let doc = "Separation/re-solve rounds per LP evaluation (with $(b,--cuts))." in
+  Arg.(value & opt int Bsolo.Options.default.cut_rounds & info [ "cut-rounds" ] ~docv:"N" ~doc)
+
+let no_presolve_arg =
+  let doc =
+    "Disable the exact constraint-level presolve (subset-sum coefficient tightening and \
+     dominated-constraint removal)."
+  in
+  Arg.(value & flag & info [ "no-presolve" ] ~doc)
+
 let no_lp_branching_arg =
   let doc = "Disable LP-guided branching (Section 5)." in
   Arg.(value & flag & info [ "no-lp-branching" ] ~doc)
@@ -678,21 +713,25 @@ let inspect_report path json =
   print_newline ();
   print_endline "propagation engine:";
   print_lines (Inspect.render_bcp json);
+  print_newline ();
+  print_endline "cut pool and presolve:";
+  print_lines (Inspect.render_cuts json);
   print_newline ()
 
 let inspect_bench path json =
   Printf.printf "== %s (bench regression report) ==\n" path;
   let rev = Option.bind (Inspect.Json.member "rev" json) Inspect.Json.to_string_opt in
   Printf.printf "rev=%s\n\n" (Option.value ~default:"?" rev);
-  Printf.printf "%-28s %-12s %-14s %10s %10s %10s %10s %8s %11s\n" "instance" "solver" "status"
-    "cost" "elapsed" "nodes" "conflicts" "imports" "props/s";
+  Printf.printf "%-28s %-12s %-14s %10s %10s %10s %10s %8s %11s %6s %6s %8s\n" "instance" "solver"
+    "status" "cost" "elapsed" "nodes" "conflicts" "imports" "props/s" "cuts" "active" "presolve";
   List.iter
     (fun (r : Inspect.Bench.row) ->
-      Printf.printf "%-28s %-12s %-14s %10s %10.3f %10d %10d %8d %11s\n" r.name r.solver
-        r.status
+      Printf.printf "%-28s %-12s %-14s %10s %10.3f %10d %10d %8d %11s %6d %6d %8d\n" r.name
+        r.solver r.status
         (match r.cost with None -> "-" | Some c -> string_of_int c)
         r.elapsed r.nodes r.conflicts r.imports
-        (if r.props_per_sec > 0. then Printf.sprintf "%.0f" r.props_per_sec else "-"))
+        (if r.props_per_sec > 0. then Printf.sprintf "%.0f" r.props_per_sec else "-")
+        r.cuts_separated r.cuts_active r.presolve_reductions)
     (Inspect.Bench.rows_of_json json);
   print_newline ()
 
@@ -1081,6 +1120,7 @@ let replay_cmd =
 let solve_term =
   Term.(
     const solve_file $ file_arg $ engine_arg $ lb_arg $ bcp_arg $ time_arg $ conflict_arg $ no_cuts_arg
+    $ cuts_mode_arg $ cut_rounds_arg $ no_presolve_arg
     $ no_lp_branching_arg $ no_preprocess_arg $ cold_lpr_arg $ no_adaptive_lb_arg
     $ portfolio_arg $ jobs_arg $ verify_arg $ verbose_arg $ stats_arg $ trace_arg $ json_arg
     $ proof_file_arg $ progress_arg $ span_file_arg $ heartbeat_arg $ heartbeat_every_arg

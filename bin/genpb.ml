@@ -19,6 +19,10 @@ let generate family seed scale output =
         ~params:{ Benchgen.Two_level.default with minterms = s 70; implicants = s 40 }
         seed
     | `Acc -> Benchgen.Acc.generate ~params:{ Benchgen.Acc.default with tasks = s 30 } seed
+    | `Knap ->
+      Benchgen.Knapsack.generate
+        ~params:{ Benchgen.Knapsack.default with items = s 66; rows = s 31 }
+        seed
   in
   match output with
   | None -> Pbo.Opb.print Format.std_formatter problem
@@ -28,8 +32,10 @@ let generate family seed scale output =
       (Array.length (Pbo.Problem.constraints problem))
 
 let family_arg =
-  let choices = [ "grout", `Grout; "synth", `Synth; "mcnc", `Mcnc; "acc", `Acc ] in
-  let doc = "Benchmark family: grout, synth, mcnc or acc." in
+  let choices =
+    [ "grout", `Grout; "synth", `Synth; "mcnc", `Mcnc; "acc", `Acc; "knap", `Knap ]
+  in
+  let doc = "Benchmark family: grout, synth, mcnc, acc or knap." in
   Arg.(required & pos 0 (some (enum choices)) None & info [] ~docv:"FAMILY" ~doc)
 
 let seed_arg =

@@ -1,0 +1,91 @@
+open Pbo
+
+type params = {
+  items : int;
+  rows : int;
+  row_width : int;
+  max_weight : int;
+  max_cost : int;
+  dominant_rows : int;
+  duplicate_rows : int;
+}
+
+let default =
+  {
+    items = 30;
+    rows = 14;
+    row_width = 8;
+    max_weight = 9;
+    max_cost = 20;
+    dominant_rows = 4;
+    duplicate_rows = 2;
+  }
+
+(* Weighted covering instances with *general* coefficients — the regime
+   where cover cuts and coefficient tightening actually have work to do,
+   unlike the clause/cardinality-dominated EDA families.  Every row has
+   degree at most its coefficient sum, so the all-ones point is always
+   feasible.  Three row shapes:
+
+   - cover rows: random items with weights in [2, max_weight] and degree
+     just over half the weight sum, so the LP relaxation sits on a
+     fractional vertex and greedy covers separate;
+   - dominant rows: one coefficient equal to the degree plus small
+     companions whose coefficients overshoot what the degree needs —
+     exact subset-sum tightening reduces them;
+   - duplicate rows: a doubled copy of an earlier cover row, removed by
+     presolve dominance. *)
+let generate ?(params = default) seed =
+  let p = params in
+  let rng = Random.State.make [| seed; 0x5eedba9 |] in
+  let b = Problem.Builder.create ~nvars:p.items () in
+  let pick_items k =
+    (* k distinct item indices *)
+    let chosen = Hashtbl.create k in
+    while Hashtbl.length chosen < min k p.items do
+      Hashtbl.replace chosen (Random.State.int rng p.items) ()
+    done;
+    Hashtbl.fold (fun i () acc -> i :: acc) chosen []
+  in
+  let lit i =
+    (* an occasional negated literal keeps normalization honest *)
+    if Random.State.int rng 8 = 0 then Lit.neg i else Lit.pos i
+  in
+  let cover_rows = ref [] in
+  for _ = 1 to p.rows do
+    let members = pick_items (2 + Random.State.int rng (max 1 (p.row_width - 1))) in
+    let terms =
+      List.map (fun i -> (2 + Random.State.int rng (p.max_weight - 1), lit i)) members
+    in
+    let total = List.fold_left (fun acc (a, _) -> acc + a) 0 terms in
+    (* cap by the positive-literal weight so all-ones stays feasible
+       even when the polarity coin lands on several negations *)
+    let pos_weight =
+      List.fold_left (fun acc (a, l) -> if Lit.is_pos l then acc + a else acc) 0 terms
+    in
+    let degree = max 1 (min ((total / 2) + 1) pos_weight) in
+    Problem.Builder.add_ge b terms degree;
+    cover_rows := (terms, degree) :: !cover_rows
+  done;
+  for _ = 1 to p.dominant_rows do
+    match pick_items 4 with
+    | h :: rest ->
+      let d = 5 + Random.State.int rng 5 in
+      let terms =
+        (d, Lit.pos h)
+        :: List.map (fun i -> (2 + Random.State.int rng (d - 3), lit i)) rest
+      in
+      Problem.Builder.add_ge b terms d
+    | [] -> ()
+  done;
+  (match !cover_rows with
+  | [] -> ()
+  | rows ->
+    let nrows = List.length rows in
+    for _ = 1 to p.duplicate_rows do
+      let terms, degree = List.nth rows (Random.State.int rng nrows) in
+      Problem.Builder.add_ge b (List.map (fun (a, l) -> (2 * a, l)) terms) (2 * degree)
+    done);
+  let obj = List.init p.items (fun i -> (1 + Random.State.int rng p.max_cost, Lit.pos i)) in
+  Problem.Builder.set_objective b obj;
+  Problem.Builder.build b

@@ -1,0 +1,22 @@
+open Pbo
+
+(** Weighted covering instances with general coefficients — the regime
+    where cover-cut separation and exact coefficient tightening have
+    real work to do, unlike the clause/cardinality-dominated EDA
+    families.  Rows mix fractional-vertex covers, dominant-coefficient
+    rows that subset-sum tightening reduces, and doubled duplicates that
+    presolve dominance removes.  Always satisfiable (all-ones). *)
+
+type params = {
+  items : int;
+  rows : int;  (** cover rows *)
+  row_width : int;  (** max items per cover row *)
+  max_weight : int;
+  max_cost : int;
+  dominant_rows : int;
+  duplicate_rows : int;
+}
+
+val default : params
+
+val generate : ?params:params -> int -> Problem.t

@@ -3,6 +3,7 @@ type family =
   | Synth
   | Mcnc
   | Acc
+  | Knap
 
 type instance = {
   family : family;
@@ -15,12 +16,14 @@ let family_name = function
   | Synth -> "synth"
   | Mcnc -> "mcnc"
   | Acc -> "acc-tight"
+  | Knap -> "knap"
 
 let family_ref = function
   | Grout -> "[2]"
   | Synth -> "[18]"
   | Mcnc -> "[17]"
   | Acc -> "[16]"
+  | Knap -> "[-]"
 
 let scaled scale n = max 1 (int_of_float (float_of_int n *. scale +. 0.5))
 
@@ -60,5 +63,13 @@ let instances ?(scale = 1.0) ?(per_family = 10) () =
       problem = Acc.generate ~params seed;
     }
   in
+  let knap seed =
+    let params = { Knapsack.default with items = s 66; rows = s 31 } in
+    {
+      family = Knap;
+      name = Printf.sprintf "knap-%d:%d" (s 66) seed;
+      problem = Knapsack.generate ~params seed;
+    }
+  in
   let range f = List.init per_family (fun i -> f (i + 1)) in
-  range grout @ range synth @ range mcnc @ range acc
+  range grout @ range synth @ range mcnc @ range acc @ range knap

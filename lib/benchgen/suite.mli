@@ -1,13 +1,16 @@
 open Pbo
 
-(** The full benchmark suite mirroring Table 1: ten instances of each of
-    the four families, with sizes controlled by a scale factor. *)
+(** The full benchmark suite mirroring Table 1 — ten instances of each
+    of the four paper families, with sizes controlled by a scale factor
+    — plus a weighted-knapsack family that exercises the cut/presolve
+    machinery on general coefficients. *)
 
 type family =
   | Grout  (** routing [2] *)
   | Synth  (** mixed PTL/CMOS synthesis [18] *)
   | Mcnc  (** two-level minimization [17] *)
   | Acc  (** PB satisfaction [16] *)
+  | Knap  (** weighted covering, general coefficients (not in the paper) *)
 
 type instance = {
   family : family;

@@ -4,6 +4,11 @@ type lb_method =
   | Lgr
   | Lpr
 
+type cuts_mode =
+  | Cuts_off
+  | Cuts_root
+  | Cuts_tree
+
 type t = {
   lb_method : lb_method;
   bcp : Engine.Solver_core.bcp_mode;
@@ -12,6 +17,9 @@ type t = {
   cardinality_inference : bool;
   lp_guided_branching : bool;
   preprocess : bool;
+  presolve : bool;
+  cuts : cuts_mode;
+  cut_rounds : int;
   constraint_strengthening : bool;
   restarts : bool;
   lgr_iters : int;
@@ -39,6 +47,9 @@ let default =
     cardinality_inference = true;
     lp_guided_branching = true;
     preprocess = true;
+    presolve = true;
+    cuts = Cuts_tree;
+    cut_rounds = 2;
     constraint_strengthening = true;
     restarts = false;
     lgr_iters = 50;
@@ -74,4 +85,15 @@ let bcp_mode_of_string = function
   | "watched" -> Some Engine.Solver_core.Watched
   | "counting" -> Some Engine.Solver_core.Counting
   | "hybrid" -> Some Engine.Solver_core.Hybrid
+  | _ -> None
+
+let cuts_mode_name = function
+  | Cuts_off -> "off"
+  | Cuts_root -> "root"
+  | Cuts_tree -> "tree"
+
+let cuts_mode_of_string = function
+  | "off" -> Some Cuts_off
+  | "root" -> Some Cuts_root
+  | "tree" -> Some Cuts_tree
   | _ -> None

@@ -11,6 +11,13 @@ type lb_method =
   | Lgr
   | Lpr
 
+(** Where LP cut separation runs ({!Lowerbound.Lpr} only): nowhere, at
+    the root node only, or throughout the search tree. *)
+type cuts_mode =
+  | Cuts_off
+  | Cuts_root
+  | Cuts_tree
+
 type t = {
   lb_method : lb_method;
   bcp : Engine.Solver_core.bcp_mode;
@@ -24,6 +31,17 @@ type t = {
   cardinality_inference : bool;  (** eqs. (11)-(13) at every new incumbent *)
   lp_guided_branching : bool;  (** Section 5 branching rule *)
   preprocess : bool;  (** failed-literal probing for necessary assignments *)
+  presolve : bool;
+      (** exact constraint-level presolve before the engine is built:
+          subset-sum coefficient tightening and dominated-constraint
+          removal ({!Preprocess.presolve}); in proof mode every applied
+          tightening is certified by a cutting-planes derivation first *)
+  cuts : cuts_mode;
+      (** LPR cut separation: cover, clique and implied-bound cuts
+          separated against the fractional LP optimum and managed by an
+          aging pool (default [Cuts_tree]) *)
+  cut_rounds : int;
+      (** maximum separate/re-solve rounds per LP evaluation (default 4) *)
   constraint_strengthening : bool;
       (** probing-based constraint strengthening (Section 6 / {!Strengthen}) *)
   restarts : bool;  (** Luby restarts (used by the linear-search drivers) *)
@@ -100,3 +118,8 @@ val bcp_mode_name : Engine.Solver_core.bcp_mode -> string
 (** ["watched" | "counting" | "hybrid"] — the [--bcp] flag values. *)
 
 val bcp_mode_of_string : string -> Engine.Solver_core.bcp_mode option
+
+val cuts_mode_name : cuts_mode -> string
+(** ["off" | "root" | "tree"] — the [--cuts] flag values. *)
+
+val cuts_mode_of_string : string -> cuts_mode option

@@ -38,6 +38,11 @@ let flag_lpr_warm = 0x80
 let flag_lb_adaptive = 0x100
 let flag_reduce_db = 0x200
 let flag_proof = 0x400
+let flag_presolve = 0x800
+
+(* LP cut separation mode uses two bits: both clear = off. *)
+let flag_cuts_root = 0x1000
+let flag_cuts_tree = 0x2000
 
 let flags_of_options (o : Options.t) =
   let b on bit = if on then bit else 0 in
@@ -52,6 +57,12 @@ let flags_of_options (o : Options.t) =
   lor b o.lb_adaptive flag_lb_adaptive
   lor b o.reduce_db flag_reduce_db
   lor b (Option.is_some o.proof) flag_proof
+  lor b o.presolve flag_presolve
+  lor
+  (match o.cuts with
+  | Options.Cuts_off -> 0
+  | Options.Cuts_root -> flag_cuts_root
+  | Options.Cuts_tree -> flag_cuts_tree)
 
 let lb_method_of_name = function
   | "plain" -> Some Options.Plain
@@ -79,6 +90,13 @@ let options_of_header (h : R.header) =
         lpr_warm = has flag_lpr_warm;
         lb_adaptive = has flag_lb_adaptive;
         reduce_db = has flag_reduce_db;
+        presolve = has flag_presolve;
+        cuts =
+          (if has flag_cuts_tree then Options.Cuts_tree
+           else if has flag_cuts_root then Options.Cuts_root
+           else Options.Cuts_off);
+        (* cut_rounds is not recorded; replays of runs made with a
+           non-default --cut-rounds will diverge at the first LP bound *)
         lgr_iters = h.h_lgr_iters;
         lb_every = h.h_lb_every;
       }

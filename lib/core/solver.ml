@@ -22,6 +22,7 @@ type search_state = {
   mutable imported : bool;  (* an import is (or was) the active upper bound *)
   track : Lowerbound.Track.t;  (* bound-quality instruments for lb_method *)
   mutable lpr_inc : Lowerbound.Lpr.inc option;  (* warm LP state, created lazily *)
+  mutable cuts : Cuts.config option;  (* separation pool, built after preprocessing *)
   mutable lb_skip : int;  (* adaptive multiplier on lb_every, 1..8 *)
   mutable lb_noprune : int;  (* consecutive evaluations that failed to prune *)
   mutable last_lb : int;  (* most recent lower-bound estimate, for progress *)
@@ -54,7 +55,7 @@ let lb_compute st =
             | None ->
               (* created at the first evaluation, i.e. after preprocessing
                  settled the constraint set *)
-              let inc = Lowerbound.Lpr.make st.engine in
+              let inc = Lowerbound.Lpr.make ?cuts:st.cuts st.engine in
               st.lpr_inc <- Some inc;
               inc
           in
@@ -172,9 +173,17 @@ let add_incumbent_cuts st =
         else []
       in
       let add conflict (kind, cid, norm) =
-        (match st.options.proof, cid with
-        | Some proof, Some cid -> Proof.log_cardinality_cut proof ~cid
-        | (Some _ | None), _ -> ());
+        (* In proof mode a cardinality cut is only usable when its [d]
+           step can reference the untouched original constraint; a cid
+           aliased to a presolve tightening has no checker-side cut, so
+           the inference is skipped rather than trusted. *)
+        let loggable =
+          match st.options.proof, cid with
+          | Some proof, Some cid -> Proof.log_cardinality_cut proof ~cid
+          | Some _, None | None, _ -> true
+        in
+        if not loggable then conflict
+        else
         match norm with
         | Constr.Trivial_true -> conflict
         | Constr.Trivial_false ->
@@ -505,6 +514,36 @@ let solve_with_incumbent_hook ?(options = Options.default) ~on_incumbent problem
     Telemetry.Ctx.with_phase tel Telemetry.Phase.Preprocess (fun () ->
         if options.constraint_strengthening then fst (Strengthen.apply problem) else problem)
   in
+  (* Exact presolve before the engine is built.  In proof mode every
+     applied tightening is certified by a cutting-planes derivation
+     first (uncertifiable ones are skipped), and the alias map lets
+     later steps reference tightened constraints by their derived
+     form. *)
+  let problem =
+    if options.presolve && not (Problem.trivially_unsat problem) then
+      Telemetry.Ctx.with_phase tel Telemetry.Phase.Preprocess (fun () ->
+          let certify =
+            Option.map
+              (fun proof ->
+                fun ~refs ~divisor ~expect ->
+                 match Proof.log_derived proof ~refs ~divisor with
+                 | Some (k, c) when Constr.equal c expect -> Some (-(k + 1))
+                 | Some _ | None -> None)
+              options.proof
+          in
+          let r = Preprocess.presolve ?certify problem in
+          (match options.proof with
+          | Some proof -> Proof.set_cid_map proof r.Preprocess.cid_map
+          | None -> ());
+          let count name n =
+            Telemetry.Counter.add (Telemetry.Registry.counter tel.registry name) n
+          in
+          count "presolve.reductions" (r.Preprocess.tightened + r.Preprocess.removed);
+          count "presolve.tightened" r.Preprocess.tightened;
+          count "presolve.removed" r.Preprocess.removed;
+          r.Preprocess.reduced)
+    else problem
+  in
   let engine = Core.create ~telemetry:tel ~bcp:options.bcp problem in
   Option.iter (Core.set_interrupt engine) options.should_stop;
   (* the learned-clause hook serves both consumers: proof logging and the
@@ -544,6 +583,7 @@ let solve_with_incumbent_hook ?(options = Options.default) ~on_incumbent problem
       imports = Telemetry.Registry.counter tel.registry "search.incumbent_imports";
       imported = false;
       lpr_inc = None;
+      cuts = None;
       lb_skip = 1;
       lb_noprune = 0;
       track = Lowerbound.Track.create tel ~proc;
@@ -560,14 +600,35 @@ let solve_with_incumbent_hook ?(options = Options.default) ~on_incumbent problem
   if Core.root_unsat engine then package st Exhausted
   else begin
     if options.preprocess then begin
-      let on_fixed =
-        Option.map (fun proof l -> Proof.log_learned proof [ l ]) options.proof
+      let on_reduction =
+        Option.map
+          (fun proof (r : Preprocess.reduction) ->
+            match r with
+            | Preprocess.Fixed l -> Proof.log_learned proof [ l ]
+            | Preprocess.Tightened _ | Preprocess.Removed _ -> ())
+          options.proof
       in
       Telemetry.Ctx.with_phase tel Telemetry.Phase.Preprocess (fun () ->
-          ignore (Preprocess.probe ?on_fixed engine))
+          ignore (Preprocess.probe ?on_reduction engine))
     end;
     if Core.root_unsat engine then package st Exhausted
     else begin
+      (* Build the cut pool once preprocessing settled the level-0 state:
+         implications are mined by root probing, cover/clique cuts are
+         separated lazily against each fractional LP optimum. *)
+      (if (not st.satisfaction) && options.lb_method = Options.Lpr && options.lpr_warm then
+         match options.cuts with
+         | Options.Cuts_off -> ()
+         | Options.Cuts_root | Options.Cuts_tree ->
+           let mode =
+             match options.cuts with
+             | Options.Cuts_root -> Cuts.Root
+             | Options.Cuts_tree | Options.Cuts_off -> Cuts.Tree
+           in
+           let pool = Cuts.Pool.create ?proof:options.proof tel in
+           Telemetry.Ctx.with_phase tel Telemetry.Phase.Preprocess (fun () ->
+               Cuts.Pool.note_implications pool (Cuts.mine_implications engine));
+           st.cuts <- Some { Cuts.pool; mode; rounds = max 1 options.cut_rounds });
       let verdict = search st in
       package st verdict
     end

@@ -1,0 +1,434 @@
+open Pbo
+module Core = Engine.Solver_core
+
+type mode =
+  | Off
+  | Root
+  | Tree
+
+type family =
+  | Cover
+  | Clique
+  | Implied
+
+let family_name = function Cover -> "cover" | Clique -> "clique" | Implied -> "implied"
+
+type cut = {
+  family : family;
+  constr : Constr.t;
+  proof_ref : int option;
+}
+
+(* How a candidate cut will be certified: a cutting-planes division step
+   (weakening literal axioms + one ceiling division of a source
+   constraint) or reverse unit propagation (implied-bound clauses). *)
+type recipe =
+  | Division of {
+      refs : (Proof.dref * int) list;
+      divisor : int;
+    }
+  | Rup of Lit.t list
+
+(* --- fractional-point evaluation --------------------------------------- *)
+
+let lit_value xval l =
+  let v = xval (Lit.var l) in
+  if Lit.is_pos l then v else 1. -. v
+
+let lp_value xval (c : Constr.t) =
+  Array.fold_left
+    (fun acc (t : Constr.term) ->
+      acc +. (float_of_int t.Constr.coeff *. lit_value xval t.Constr.lit))
+    0. (Constr.terms c)
+
+let violation xval c = float_of_int (Constr.degree c) -. lp_value xval c
+let min_violation = 0.01
+
+let lp_row (c : Constr.t) =
+  let rhs = ref (float_of_int (Constr.degree c)) in
+  let coeffs =
+    Array.map
+      (fun (t : Constr.term) ->
+        let a = float_of_int t.Constr.coeff in
+        if Lit.is_pos t.Constr.lit then (Lit.var t.Constr.lit, a)
+        else begin
+          rhs := !rhs -. a;
+          (Lit.var t.Constr.lit, -.a)
+        end)
+      (Constr.terms c)
+  in
+  { Simplex.coeffs; rel = Simplex.Ge; rhs = !rhs }
+
+let false_lits engine (c : Constr.t) =
+  Array.fold_left
+    (fun acc (t : Constr.term) ->
+      if Value.equal (Core.value_lit engine t.Constr.lit) Value.False then t.Constr.lit :: acc
+      else acc)
+    [] (Constr.terms c)
+
+(* --- division cuts ----------------------------------------------------- *)
+
+let cdiv a b = (a + b - 1) / b
+
+(* Predict the checker's result for "source constraint + weakening
+   axioms, ceiling-divided by [divisor]" — the exact arithmetic of
+   [Proof.log_derived], so a certified cut is known before the step is
+   written.  [w.(i)] is the weakening applied to term [i]. *)
+let divide_prediction (c : Constr.t) w divisor =
+  let ts = Constr.terms c in
+  let sumw = ref 0 in
+  let raw = ref [] in
+  Array.iteri
+    (fun i (t : Constr.term) ->
+      sumw := !sumw + w.(i);
+      let b = t.Constr.coeff - w.(i) in
+      if b > 0 then raw := (cdiv b divisor, t.Constr.lit) :: !raw)
+    ts;
+  let deg = Constr.degree c - !sumw in
+  if deg <= 0 || divisor < 1 then None
+  else
+    match Constr.make_ge !raw (cdiv deg divisor) with
+    | Constr.Constr r -> Some r
+    | Constr.Trivial_true | Constr.Trivial_false -> None
+
+let division_recipe (cid : int) (c : Constr.t) w divisor =
+  let refs = ref [] in
+  let ts = Constr.terms c in
+  for i = Array.length ts - 1 downto 0 do
+    if w.(i) > 0 then refs := (Proof.Rlit (Lit.negate ts.(i).Constr.lit), w.(i)) :: !refs
+  done;
+  Division { refs = (Proof.Rcid cid, 1) :: !refs; divisor }
+
+(* Cover cuts.  Read [sum a_i l_i >= d] as the knapsack
+   [sum a_i ~l_i <= A - d]: a cover [C] with [sum_C a_i > A - d] cannot
+   have all its literals false, so [sum_C l_i >= 1].  The cover is
+   grown greedily over the fractional point (cheapest LP value first)
+   and certified by weakening every non-cover literal away, then
+   dividing by the largest cover coefficient.  The lifted variant keeps
+   large outside coefficients at their floor multiples of the divisor,
+   which the same division turns into integer lifting coefficients. *)
+let cover_cut xval (cid, (c : Constr.t)) =
+  let ts = Constr.terms c in
+  let n = Array.length ts in
+  let cap = Constr.coeff_sum c - Constr.degree c in
+  if n < 2 || cap <= 0 then None
+  else begin
+    let v = Array.map (fun (t : Constr.term) -> lit_value xval t.Constr.lit) ts in
+    let idx = Array.init n (fun i -> i) in
+    Array.sort (fun i j -> compare v.(i) v.(j)) idx;
+    let incover = Array.make n false in
+    let weight = ref 0 in
+    let k = ref 0 in
+    while !weight <= cap && !k < n do
+      incover.(idx.(!k)) <- true;
+      weight := !weight + ts.(idx.(!k)).Constr.coeff;
+      incr k
+    done;
+    if !weight <= cap then None
+    else begin
+      (* minimalize: drop redundant members, largest LP value first *)
+      for j = !k - 1 downto 0 do
+        let i = idx.(j) in
+        if incover.(i) && !weight - ts.(i).Constr.coeff > cap then begin
+          incover.(i) <- false;
+          weight := !weight - ts.(i).Constr.coeff
+        end
+      done;
+      let divisor = ref 0 in
+      for i = 0 to n - 1 do
+        if incover.(i) then divisor := max !divisor ts.(i).Constr.coeff
+      done;
+      let divisor = !divisor in
+      let w_plain =
+        Array.init n (fun i -> if incover.(i) then 0 else ts.(i).Constr.coeff)
+      in
+      let w_lifted =
+        Array.init n (fun i ->
+            if incover.(i) then 0
+            else if ts.(i).Constr.coeff >= divisor then ts.(i).Constr.coeff mod divisor
+            else ts.(i).Constr.coeff)
+      in
+      let best = ref None in
+      List.iter
+        (fun w ->
+          match divide_prediction c w divisor with
+          | Some r ->
+            let viol = violation xval r in
+            if
+              viol > min_violation
+              && (match !best with Some (bv, _, _) -> viol > bv | None -> true)
+            then best := Some (viol, r, w)
+          | None -> ())
+        [ w_plain; w_lifted ];
+      match !best with
+      | Some (_, r, w) -> Some (r, division_recipe cid c w divisor)
+      | None -> None
+    end
+  end
+
+(* Clique cuts.  In [sum a_i l_i >= d] (coefficients sorted decreasing,
+   [A = sum a_i]) any two literals [l_i, l_j] with [a_i + a_j > A - d]
+   cannot both be false; the largest prefix whose two smallest members
+   satisfy this is a clique in that conflict graph, hence at most one
+   of its literals is false: [sum_prefix l_i >= k - 1].  Certified in
+   one division step: weaken the rest of the constraint away, weaken
+   every prefix coefficient down to the second-smallest [r], divide by
+   [r] — the needed degree survives exactly when the pairwise condition
+   holds. *)
+let clique_cut xval (cid, (c : Constr.t)) =
+  let ts = Constr.terms c in
+  let n = Array.length ts in
+  let cap = Constr.coeff_sum c - Constr.degree c in
+  if n < 2 || cap < 0 then None
+  else begin
+    let k = ref 0 in
+    while
+      !k < n && (!k < 2 || ts.(!k - 2).Constr.coeff + ts.(!k - 1).Constr.coeff > cap)
+    do
+      incr k
+    done;
+    let k = !k in
+    if k < 2 || ts.(k - 2).Constr.coeff + ts.(k - 1).Constr.coeff <= cap then None
+    else begin
+      let divisor = ts.(k - 2).Constr.coeff in
+      let w =
+        Array.init n (fun i ->
+            if i >= k then ts.(i).Constr.coeff else max 0 (ts.(i).Constr.coeff - divisor))
+      in
+      match divide_prediction c w divisor with
+      | Some r when violation xval r > min_violation -> Some (r, division_recipe cid c w divisor)
+      | Some _ | None -> None
+    end
+  end
+
+(* --- implied-bound cuts ------------------------------------------------ *)
+
+(* Root probing for implications [l -> m]: decide [l], propagate, read
+   the implied literals off the change set.  The clause [~l \/ m] is
+   valid (and RUP: asserting [l, ~m] replays the very propagation that
+   produced it), giving the LP the bound [x_m >= x_l] it cannot see
+   through the joint relaxation.  Must be called at decision level 0. *)
+let mine_implications ?(max_probes = 64) ?(max_implications = 256) engine =
+  assert (Core.decision_level engine = 0);
+  let acc = ref [] in
+  (match Core.propagate engine with
+  | Some _ -> ()
+  | None ->
+    let nvars = Core.nvars engine in
+    let count = ref 0 in
+    let probes = ref 0 in
+    let v = ref 0 in
+    while !v < nvars && !probes < max_probes && !count < max_implications do
+      List.iter
+        (fun positive ->
+          if
+            !probes < max_probes && !count < max_implications
+            && Value.equal (Core.value_var engine !v) Value.Unknown
+          then begin
+            incr probes;
+            let l = Lit.make !v positive in
+            Core.decide engine l;
+            (match Core.propagate engine with
+            | Some _ -> () (* failed literal: probing's business, not ours *)
+            | None ->
+              Core.drain_changed_vars engine (fun w ->
+                  if w <> !v && !count < max_implications then
+                    match Core.value_var engine w with
+                    | Value.True ->
+                      acc := (l, Lit.make w true) :: !acc;
+                      incr count
+                    | Value.False ->
+                      acc := (l, Lit.make w false) :: !acc;
+                      incr count
+                    | Value.Unknown -> ()));
+            Core.backjump_to engine 0
+          end)
+        [ true; false ];
+      incr v
+    done;
+    (* absorb the churn this probing left in the change set *)
+    Core.drain_changed_vars engine (fun _ -> ()));
+  !acc
+
+let implied_cut xval (l, m) =
+  match Constr.clause [ Lit.negate l; m ] with
+  | Constr.Constr c when violation xval c > min_violation ->
+    Some (c, Rup [ Lit.negate l; m ])
+  | Constr.Constr _ | Constr.Trivial_true | Constr.Trivial_false -> None
+
+(* --- the pool ---------------------------------------------------------- *)
+
+module Pool = struct
+  type entry = {
+    cut : cut;
+    mutable row : int;  (* LP row index while active, -1 otherwise *)
+    mutable idle : int;  (* consecutive optimal solves with a zero dual *)
+  }
+
+  type fam = {
+    separated : Telemetry.Counter.t;
+    applied : Telemetry.Counter.t;
+    evicted : Telemetry.Counter.t;
+    tight : Telemetry.Counter.t;
+  }
+
+  type t = {
+    proof : Proof.t option;
+    max_active : int;
+    max_per_round : int;
+    stale_after : int;
+    mutable implications : (Lit.t * Lit.t) list;
+    mutable sources : (int * Constr.t) list option;
+        (* lazily cached separation candidates: rows with a coefficient
+           >= 2.  All-unit rows divide by 1, so their cover/clique
+           "cuts" are LP-implied and never violated — scanning them
+           every solve is pure waste on clause-dominated instances. *)
+    seen : (string, unit) Hashtbl.t;
+    mutable entries : entry list;  (* active (row >= 0) entries *)
+    cover : fam;
+    clique : fam;
+    implied : fam;
+  }
+
+  let fam_counters reg name =
+    let c suffix = Telemetry.Registry.counter reg (Printf.sprintf "cuts.%s.%s" name suffix) in
+    { separated = c "separated"; applied = c "applied"; evicted = c "evicted"; tight = c "tight" }
+
+  let create ?proof ?(max_active = 32) ?(max_per_round = 8) ?(stale_after = 50)
+      (tel : Telemetry.Ctx.t) =
+    let reg = tel.Telemetry.Ctx.registry in
+    {
+      proof;
+      max_active;
+      max_per_round;
+      stale_after;
+      implications = [];
+      sources = None;
+      seen = Hashtbl.create 64;
+      entries = [];
+      cover = fam_counters reg "cover";
+      clique = fam_counters reg "clique";
+      implied = fam_counters reg "implied";
+    }
+
+  let counters pool = function
+    | Cover -> pool.cover
+    | Clique -> pool.clique
+    | Implied -> pool.implied
+
+  let note_implications pool imps = pool.implications <- imps @ pool.implications
+  let active pool = pool.entries
+
+  (* Certify a candidate before it may touch the LP: in proof mode the
+     derivation (or RUP step) is written and must land exactly on the
+     cut — an uncertifiable cut is dropped, never trusted. *)
+  let certify pool constr = function
+    | _ when pool.proof = None -> Some None
+    | Division { refs; divisor } -> (
+      let proof = Option.get pool.proof in
+      match Proof.log_derived proof ~refs ~divisor with
+      | Some (k, c) when Constr.equal c constr -> Some (Some (-(k + 1)))
+      | Some _ | None -> None)
+    | Rup lits -> (
+      let proof = Option.get pool.proof in
+      match Proof.log_rup proof lits with
+      | Some (k, c) when Constr.equal c constr -> Some (Some (-(k + 1)))
+      | Some _ | None -> None)
+
+  let separation_sources pool engine =
+    match pool.sources with
+    | Some srcs -> srcs
+    | None ->
+      (* lb_constraints is stable for the solver's lifetime, so the
+         filter runs once *)
+      let srcs =
+        List.filter (fun (_, c) -> Constr.max_coeff c >= 2) (Core.lb_constraints engine)
+      in
+      pool.sources <- Some srcs;
+      srcs
+
+  let separate pool engine ~xval =
+    if List.length pool.entries >= pool.max_active then []
+    else begin
+      let sources = separation_sources pool engine in
+      if sources = [] && pool.implications = [] then []
+      else begin
+        let budget = ref pool.max_per_round in
+        let out = ref [] in
+        (* returns whether the candidate was consumed (already seen, or
+           processed now) — false only when the round budget ran out *)
+        let consider family (constr, recipe) =
+          if !budget <= 0 then false
+          else begin
+            let key = Constr.to_string constr in
+            if Hashtbl.mem pool.seen key then true
+            else begin
+              Hashtbl.add pool.seen key ();
+              Telemetry.Counter.incr (counters pool family).separated;
+              (match certify pool constr recipe with
+              | None -> () (* uncertifiable: never enters the LP *)
+              | Some proof_ref ->
+                decr budget;
+                Telemetry.Counter.incr (counters pool family).applied;
+                let e = { cut = { family; constr; proof_ref }; row = -1; idle = 0 } in
+                pool.entries <- e :: pool.entries;
+                out := e :: !out);
+              true
+            end
+          end
+        in
+        (* an implication consumed by the pool never needs re-deriving;
+           dropping it keeps the per-solve scan proportional to what is
+           still separable *)
+        pool.implications <-
+          List.filter
+            (fun imp ->
+              match implied_cut xval imp with
+              | None -> true
+              | Some cand -> not (consider Implied cand))
+            pool.implications;
+        List.iter
+          (fun src ->
+            Option.iter (fun cand -> ignore (consider Clique cand)) (clique_cut xval src);
+            Option.iter (fun cand -> ignore (consider Cover cand)) (cover_cut xval src))
+          sources;
+        List.rev !out
+      end
+    end
+
+  (* Aging: called once per optimal LP solve with the row duals.  A cut
+     carrying a nonzero dual is doing bounding work; one that stays at
+     zero for [stale_after] consecutive solves is a candidate for
+     eviction. *)
+  let observe pool ~duals =
+    List.iter
+      (fun e ->
+        if e.row >= 0 && e.row < Array.length duals then begin
+          if abs_float duals.(e.row) > 1e-9 then begin
+            e.idle <- 0;
+            Telemetry.Counter.incr (counters pool e.cut.family).tight
+          end
+          else e.idle <- e.idle + 1
+        end)
+      pool.entries
+
+  (* Stale entries, highest LP row first so the caller can drop rows
+     without disturbing the indices of the ones still pending. *)
+  let evictable pool =
+    List.sort
+      (fun (a : entry) b -> compare b.row a.row)
+      (List.filter (fun e -> e.row >= 0 && e.idle >= pool.stale_after) pool.entries)
+
+  let note_evicted pool e =
+    let row = e.row in
+    Telemetry.Counter.incr (counters pool e.cut.family).evicted;
+    e.row <- -1;
+    pool.entries <- List.filter (fun e' -> e' != e) pool.entries;
+    List.iter (fun e' -> if e'.row > row then e'.row <- e'.row - 1) pool.entries
+end
+
+type config = {
+  pool : Pool.t;
+  mode : mode;
+  rounds : int;
+}

@@ -1,0 +1,140 @@
+open Pbo
+
+(** In-tree cut separation for the LPR lower bound.
+
+    Three cut families are separated against the fractional optimum of
+    the residual LP and spliced into the live tableau as extra rows
+    ({!Simplex.Incremental.add_row}), managed by an activity-aged
+    {!Pool}:
+
+    - {b cover cuts}: a PB constraint [sum a_i l_i >= d] is the
+      knapsack [sum a_i ~l_i <= A - d]; a cover of that knapsack yields
+      [sum_C l_i >= 1], optionally lifted by keeping large outside
+      coefficients at floor multiples of the divisor;
+    - {b clique cuts}: literals pairwise incompatible through a single
+      constraint (any two of them false would overrun the knapsack
+      capacity) admit [sum_Q l_i >= |Q| - 1];
+    - {b implied-bound cuts}: root-probing implications [l -> m] as the
+      LP rows [x_m >= x_l] the joint relaxation cannot see.
+
+    Every cut is certified {e before} it may influence the search: in
+    proof mode a cutting-planes derivation ([j] step — weakening
+    literal axioms plus one ceiling division) or a RUP step is written,
+    and the cut enters the LP only when the checker-side replay of that
+    derivation lands exactly on the cut.  An uncertifiable cut is
+    dropped, never trusted.  Cuts live only in the LP relaxation (never
+    in the engine), so propagation and conflict analysis are
+    unaffected. *)
+
+type mode =
+  | Off
+  | Root  (** separate at decision level 0 only *)
+  | Tree  (** separate at every LP evaluation *)
+
+type family =
+  | Cover
+  | Clique
+  | Implied
+
+val family_name : family -> string
+
+type cut = {
+  family : family;
+  constr : Constr.t;  (** the cut, in PB normal form over problem variables *)
+  proof_ref : int option;
+      (** proof reference [-(k+1)] of the derived constraint backing the
+          cut; [None] outside proof mode *)
+}
+
+(** Certification plan of a candidate cut (consumed by {!Pool.separate}). *)
+type recipe =
+  | Division of {
+      refs : (Proof.dref * int) list;
+      divisor : int;
+    }
+  | Rup of Lit.t list
+
+val lit_value : (Lit.var -> float) -> Lit.t -> float
+(** LP value of a literal at a fractional point given by variable. *)
+
+val violation : (Lit.var -> float) -> Constr.t -> float
+(** [degree - lp_value]; positive means the point violates the cut. *)
+
+val lp_row : Constr.t -> Simplex.row
+(** The cut as a full-LP row (column [j] = variable [j]): positive
+    literals contribute [+a], negated ones [-a] with the degree reduced
+    accordingly. *)
+
+val false_lits : Engine.Solver_core.t -> Constr.t -> Lit.t list
+(** Literals of the cut currently false in the engine — the cut's
+    contribution to a bound-conflict explanation. *)
+
+val cover_cut :
+  (Lit.var -> float) -> int * Constr.t -> (Constr.t * recipe) option
+(** Most violated (plain or lifted) cover cut separated from one
+    constraint [(cid, c)] at the fractional point, with its
+    certification recipe; [None] when no violated cover exists. *)
+
+val clique_cut :
+  (Lit.var -> float) -> int * Constr.t -> (Constr.t * recipe) option
+(** Largest-prefix clique cut of one constraint, when violated. *)
+
+val mine_implications :
+  ?max_probes:int -> ?max_implications:int -> Engine.Solver_core.t -> (Lit.t * Lit.t) list
+(** Root-probing implication mining (decision level 0 required; the
+    engine is left at level 0, change set drained).  Defaults: 64
+    probes, 256 implications. *)
+
+val implied_cut : (Lit.var -> float) -> Lit.t * Lit.t -> (Constr.t * recipe) option
+(** The clause [~l \/ m] of an implication, when violated at the point. *)
+
+(** Aging cut pool: deduplicates candidates, certifies them on entry,
+    tracks per-row dual activity and nominates stale rows for
+    eviction.  Telemetry counters
+    [cuts.<family>.{separated,applied,evicted,tight}] are registered on
+    creation. *)
+module Pool : sig
+  type entry = {
+    cut : cut;
+    mutable row : int;  (** LP row index while active, [-1] otherwise *)
+    mutable idle : int;  (** consecutive optimal solves with a zero dual *)
+  }
+
+  type t
+
+  val create :
+    ?proof:Proof.t -> ?max_active:int -> ?max_per_round:int -> ?stale_after:int ->
+    Telemetry.Ctx.t -> t
+  (** Defaults: at most 64 active rows, 8 new cuts per separation
+      round, eviction after 50 consecutive idle solves. *)
+
+  val note_implications : t -> (Lit.t * Lit.t) list -> unit
+  (** Seed the pool with mined implications (candidate implied-bound
+      cuts, separated lazily when violated). *)
+
+  val separate :
+    t -> Engine.Solver_core.t -> xval:(Lit.var -> float) -> entry list
+  (** Fresh violated cuts at the fractional point: deduplicated,
+      certified (proof mode — uncertifiable candidates are dropped),
+      capped per round and by pool size.  The caller must add each
+      entry's row to the LP and store the index in [entry.row]. *)
+
+  val active : t -> entry list
+
+  val observe : t -> duals:float array -> unit
+  (** Age the pool against one optimal solve's row duals. *)
+
+  val evictable : t -> entry list
+  (** Stale entries, highest LP row first (drop in that order). *)
+
+  val note_evicted : t -> entry -> unit
+  (** Record the eviction of an entry whose LP row was just dropped;
+      shifts the stored row indices of the remaining entries down. *)
+end
+
+(** Separation configuration carried by the LPR incremental state. *)
+type config = {
+  pool : Pool.t;
+  mode : mode;
+  rounds : int;  (** separation/re-solve rounds per LP evaluation *)
+}

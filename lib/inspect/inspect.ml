@@ -272,6 +272,33 @@ let render_bcp json =
       (c "bcp.constrs_watched") (c "bcp.constrs_watch_all") (c "bcp.constrs_counting");
   ]
 
+let render_cuts json =
+  let c = counter json in
+  let families = [ "cover"; "clique"; "implied" ] in
+  let row fam =
+    let g field = c (Printf.sprintf "cuts.%s.%s" fam field) in
+    fam, g "separated", g "applied", g "evicted", g "tight"
+  in
+  let rows = List.map row families in
+  let total f = List.fold_left (fun acc (_, s, a, e, t) -> acc + f (s, a, e, t)) 0 rows in
+  let sep = total (fun (s, _, _, _) -> s) in
+  if sep = 0 && c "presolve.reductions" = 0 then
+    [ "no cuts separated and no presolve reductions (run with --cuts / --presolve?)" ]
+  else
+    let header = Printf.sprintf "%-10s %10s %10s %10s %10s" "family" "separated" "applied" "evicted" "tight-rate" in
+    let line (fam, s, a, e, t) =
+      Printf.sprintf "%-10s %10d %10d %10d %10s" fam s a e
+        (if a > 0 then Printf.sprintf "%.0f%%" (100. *. float_of_int t /. float_of_int a) else "-")
+    in
+    (header :: List.map line rows)
+    @ [
+        Printf.sprintf "%-10s %10d %10d %10d" "total" sep
+          (total (fun (_, a, _, _) -> a))
+          (total (fun (_, _, e, _) -> e));
+        Printf.sprintf "presolve: %d reductions (%d coefficients tightened, %d constraints removed)"
+          (c "presolve.reductions") (c "presolve.tightened") (c "presolve.removed");
+      ]
+
 (* --- report diff ----------------------------------------------------------- *)
 
 type diff_entry = {
@@ -358,6 +385,12 @@ module Bench = struct
         (** propagation throughput (implied assignments per second of
             solve wall time); 0 = not measured.  Higher is better: the
             diff flags drops, not gains. *)
+    cuts_separated : int;  (** LP cuts separated, all families ([cuts.*.separated]) *)
+    cuts_active : int;
+        (** cuts still in the pool at the end (applied minus evicted);
+            0 on baselines written before cut separation existed, which
+            gates the diff exactly like [props_per_sec] *)
+    presolve_reductions : int;  (** exact presolve reductions ([presolve.reductions]) *)
   }
 
   let row_json (r : row) =
@@ -378,6 +411,9 @@ module Bench = struct
         "proof_steps", Json.Int r.proof_steps;
         "check_ms", Json.Float r.check_ms;
         "props_per_sec", Json.Float r.props_per_sec;
+        "cuts_separated", Json.Int r.cuts_separated;
+        "cuts_active", Json.Int r.cuts_active;
+        "presolve_reductions", Json.Int r.presolve_reductions;
       ]
 
   let make ~rev ~limit ~scale ~per_family rows =
@@ -415,6 +451,9 @@ module Bench = struct
           proof_steps = i "proof_steps";
           check_ms = f "check_ms";
           props_per_sec = f "props_per_sec";
+          cuts_separated = i "cuts_separated";
+          cuts_active = i "cuts_active";
+          presolve_reductions = i "presolve_reductions";
         }
 
   let rows_of_json json =
@@ -485,20 +524,44 @@ module Bench = struct
           (* Propagation throughput is higher-is-better: regress when the
              candidate is slower by more than the threshold.  Baselines
              that never measured it carry 0 and are skipped. *)
+          @ (if b.props_per_sec > 0. && c.props_per_sec > 0. then begin
+               let ratio = c.props_per_sec /. b.props_per_sec in
+               [
+                 {
+                   key = b.name ^ ".props_per_sec";
+                   base = b.props_per_sec;
+                   cand = c.props_per_sec;
+                   ratio;
+                   regression = ratio < 1. /. (1. +. threshold);
+                 };
+               ]
+             end
+             else [])
+          (* Cut/presolve activity is higher-is-better (losing it means
+             the separator or presolve went quiet); gated like
+             props_per_sec on baselines that measured it. *)
           @
-          if b.props_per_sec > 0. && c.props_per_sec > 0. then begin
-            let ratio = c.props_per_sec /. b.props_per_sec in
+          List.concat_map
+            (fun (key, bv, cv) ->
+              if bv > 0 && cv >= 0 then begin
+                let bf = float_of_int bv and cf = float_of_int cv in
+                let ratio = if bf = 0. then 1. else cf /. bf in
+                [
+                  {
+                    key = b.name ^ "." ^ key;
+                    base = bf;
+                    cand = cf;
+                    ratio;
+                    regression = cv = 0 || ratio < 1. /. (1. +. threshold);
+                  };
+                ]
+              end
+              else [])
             [
-              {
-                key = b.name ^ ".props_per_sec";
-                base = b.props_per_sec;
-                cand = c.props_per_sec;
-                ratio;
-                regression = ratio < 1. /. (1. +. threshold);
-              };
-            ]
-          end
-          else [])
+              "cuts_separated", b.cuts_separated, c.cuts_separated;
+              "cuts_active", b.cuts_active, c.cuts_active;
+              "presolve_reductions", b.presolve_reductions, c.presolve_reductions;
+            ])
       base_rows
 end
 

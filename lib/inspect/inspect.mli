@@ -75,6 +75,12 @@ val render_bcp : Json.t -> string list
 (** Propagation-engine summary from a run report: selected [--bcp] mode,
     the [bcp.*] micro-counters and the per-mode constraint population. *)
 
+val render_cuts : Json.t -> string list
+(** Cut-pool table from a run report: per-family
+    separated/applied/evicted counts and tight-rate (share of applied
+    cuts that were ever tight at an LP optimum) from the [cuts.*]
+    counters, plus the [presolve.*] reduction summary. *)
+
 (** {1 Report diff} *)
 
 type diff_entry = {
@@ -124,6 +130,12 @@ module Bench : sig
         (** propagation throughput (implied assignments per second of
             solve wall time); 0 = not measured; higher is better, the
             diff flags drops *)
+    cuts_separated : int;
+        (** LP cuts separated across all families ([cuts.*.separated]);
+            0 on baselines written before cut separation existed, which
+            gates the diff exactly like [props_per_sec] *)
+    cuts_active : int;  (** cuts still pooled at the end (applied minus evicted) *)
+    presolve_reductions : int;  (** exact presolve reductions ([presolve.reductions]) *)
   }
 
   val row_json : row -> Json.t

@@ -101,14 +101,22 @@ type last =
       z : float;  (* LP objective, excluding obj_offset *)
       x : float array;
       tight : Core.cid list;
-      duals : (Core.cid * float) list;  (* non-zero row duals, for proof logging *)
+      ctight : Constr.t list;  (* tight cut rows (explanations recompute their false literals) *)
+      duals : (int * float) list;
+          (* non-zero row duals, for proof logging: engine cid (>= 0) or
+             the proof reference of a cut row (< 0) *)
     }
-  | Last_inf of (Core.cid * float) list  (* Farkas witness rows with multipliers *)
+  | Last_inf of {
+      refs : (int * float) list;  (* Farkas witness with multipliers, same encoding *)
+      cids : Core.cid list;  (* witness constraint rows, for the explanation *)
+      cuts : Constr.t list;  (* witness cut rows *)
+    }
 
 type inc = {
   engine : Core.t;
   full : Residual.Full.t option;
   sx : Simplex.Incremental.t option;
+  cuts : Cuts.config option;
   c_warm_hits : Telemetry.Counter.t;
   c_warm_iters : Telemetry.Counter.t;
   c_cold_falls : Telemetry.Counter.t;
@@ -116,7 +124,7 @@ type inc = {
   mutable last : last;
 }
 
-let make engine =
+let make ?cuts engine =
   let tel = Core.telemetry engine in
   let reg = tel.Telemetry.Ctx.registry in
   let full = Residual.Full.build engine in
@@ -138,6 +146,7 @@ let make engine =
     engine;
     full;
     sx;
+    cuts;
     c_warm_hits = Telemetry.Registry.counter reg "lpr.warm_hits";
     c_warm_iters = Telemetry.Registry.counter reg "lpr.warm_iters";
     c_cold_falls = Telemetry.Registry.counter reg "lpr.cold_falls";
@@ -175,10 +184,20 @@ let dual_refs (full : Residual.Full.t) (sol : Simplex.solution) =
   done;
   !acc
 
-let bound_of_opt inc (full : Residual.Full.t) ~path ~z ~x ~tight ~duals =
+(* Bound-conflict explanations must also pin the currently-false
+   literals of any cut row involved: cut constraints are globally valid,
+   but the Lagrangian bound they support depends on which of their
+   literals the path has falsified. *)
+let omega_with_cuts inc tight ctight =
+  lazy
+    (List.sort_uniq Lit.compare
+       (List.concat_map (Cuts.false_lits inc.engine) ctight
+       @ List.concat_map (Core.false_lits_of inc.engine) tight))
+
+let bound_of_opt inc (full : Residual.Full.t) ~path ~z ~x ~tight ~ctight ~duals =
   {
     Bound.value = Bound.trusted_value (z +. full.obj_offset -. path);
-    omega_pl = lazy (omega_of_cids inc.engine tight);
+    omega_pl = omega_with_cuts inc tight ctight;
     branch_hint = full_hint full x;
     cert = lazy (Proof.Cert_bound duals);
   }
@@ -202,6 +221,69 @@ let cache_valid inc (edits : Residual.Full.edits) =
     | Last_opt o ->
       List.for_all (fun (c, v) -> abs_float (o.x.(c) -. v) <= 1e-6) edits.fixes
 
+(* Contribution of the active cut rows to one optimal solve: tight cut
+   constraints (for the explanation) and nonzero-dual proof references
+   (for the certificate; entries without a reference only exist outside
+   proof mode, where certificates are never forced). *)
+let cut_solve_refs (cfg : Cuts.config) (sol : Simplex.solution) =
+  let ctight = ref [] in
+  let cduals = ref [] in
+  List.iter
+    (fun (e : Cuts.Pool.entry) ->
+      if e.row >= 0 && e.row < Array.length sol.duals then begin
+        if sol.row_activity.(e.row) <= (Cuts.lp_row e.cut.constr).Simplex.rhs +. 1e-6 then
+          ctight := e.cut.constr :: !ctight;
+        match e.cut.proof_ref with
+        | Some r when abs_float sol.duals.(e.row) > 1e-9 ->
+          cduals := (r, sol.duals.(e.row)) :: !cduals
+        | Some _ | None -> ()
+      end)
+    (Cuts.Pool.active cfg.pool);
+  (!ctight, !cduals)
+
+(* Map an infeasibility witness over base and cut rows. *)
+let split_witness inc (full : Residual.Full.t) witness =
+  let nbase = Array.length full.cids in
+  let base, cutw = List.partition (fun (i, _) -> i < nbase) witness in
+  let refs = List.map (fun (i, m) -> (full.cids.(i), m)) base in
+  let cut_refs, cut_constrs =
+    match inc.cuts with
+    | None -> [], []
+    | Some cfg ->
+      let refs = ref [] and constrs = ref [] in
+      List.iter
+        (fun (i, m) ->
+          List.iter
+            (fun (e : Cuts.Pool.entry) ->
+              if e.row = i then begin
+                constrs := e.cut.constr :: !constrs;
+                match e.cut.proof_ref with
+                | Some r -> refs := (r, m) :: !refs
+                | None -> ()
+              end)
+            (Cuts.Pool.active cfg.pool))
+        cutw;
+      !refs, !constrs
+  in
+  let cids =
+    match refs, cut_constrs with
+    | [], [] -> Array.to_list full.cids
+    | _ -> List.map fst refs
+  in
+  (refs @ cut_refs, cids, cut_constrs)
+
+let inf_bound inc ~cap ~refs ~cids ~cuts =
+  {
+    Bound.value = cap;
+    omega_pl =
+      lazy
+        (List.sort_uniq Lit.compare
+           (List.concat_map (Cuts.false_lits inc.engine) cuts
+           @ List.concat_map (Core.false_lits_of inc.engine) cids));
+    branch_hint = None;
+    cert = lazy (Proof.Cert_farkas refs);
+  }
+
 let compute_inc inc ~cap =
   let tel = Core.telemetry inc.engine in
   Instr.add tel.Telemetry.Ctx.registry "lpr.calls" 1;
@@ -215,73 +297,115 @@ let compute_inc inc ~cap =
       match inc.last with
       | Last_opt o ->
         Telemetry.Trace.simplex tel.trace ~mode:"cache" ~iters:0 ~outcome:"optimal";
-        bound_of_opt inc full ~path ~z:o.z ~x:o.x ~tight:o.tight ~duals:o.duals
-      | Last_inf refs ->
+        bound_of_opt inc full ~path ~z:o.z ~x:o.x ~tight:o.tight ~ctight:o.ctight
+          ~duals:o.duals
+      | Last_inf { refs; cids; cuts } ->
         Telemetry.Trace.simplex tel.trace ~mode:"cache" ~iters:0 ~outcome:"infeasible";
-        let cids =
-          match refs with [] -> Array.to_list full.cids | _ -> List.map fst refs
-        in
-        {
-          Bound.value = cap;
-          omega_pl = lazy (omega_of_cids inc.engine cids);
-          branch_hint = None;
-          cert = lazy (Proof.Cert_farkas refs);
-        }
+        inf_bound inc ~cap ~refs ~cids ~cuts
       | Last_none -> assert false
     end
     else begin
       let sstats = Simplex.stats () in
-      let outcome =
+      let solve () =
         Telemetry.Ctx.with_phase tel Telemetry.Phase.Simplex (fun () ->
             Simplex.Incremental.reoptimize
               ~should_stop:(fun () -> Core.interrupt_requested inc.engine)
               ~stats:sstats sx)
       in
-      Instr.flush_simplex tel.registry sstats;
-      let info = Simplex.Incremental.last_info sx in
-      if info.warm then begin
-        Telemetry.Counter.incr inc.c_warm_hits;
-        Telemetry.Counter.add inc.c_warm_iters info.iters
-      end
-      else Telemetry.Counter.incr inc.c_cold_falls;
-      let mode = if info.warm then "warm" else "cold" in
-      let trace outcome = Telemetry.Trace.simplex tel.trace ~mode ~iters:info.iters ~outcome in
-      match outcome with
-      | Simplex.Optimal sol ->
-        trace "optimal";
-        let tight = tight_cids full sol in
-        let duals = dual_refs full sol in
-        inc.last <- Last_opt { z = sol.value; x = sol.x; tight; duals };
-        bound_of_opt inc full ~path ~z:sol.value ~x:sol.x ~tight ~duals
-      | Simplex.Infeasible witness ->
-        trace "infeasible";
-        let refs = List.map (fun (i, m) -> (full.cids.(i), m)) witness in
-        let cids =
-          match refs with [] -> Array.to_list full.cids | _ -> List.map fst refs
-        in
-        inc.last <- Last_inf refs;
-        {
-          Bound.value = cap;
-          omega_pl = lazy (omega_of_cids inc.engine cids);
-          branch_hint = None;
-          cert = lazy (Proof.Cert_farkas refs);
-        }
-      | Simplex.Iteration_limit zo ->
-        trace "limit";
-        inc.last <- Last_none;
-        let value =
-          match zo with Some z -> Bound.trusted_value (z +. full.obj_offset -. path) | None -> 0
-        in
-        if value > 0 then
-          {
-            Bound.value = value;
-            omega_pl = lazy (omega_of_cids inc.engine (Array.to_list full.cids));
-            branch_hint = None;
-            cert = lazy Proof.Cert_path;
-          }
-        else Bound.none
-      | Simplex.Unbounded ->
-        trace "unbounded";
-        inc.last <- Last_none;
-        Bound.none
+      let separation_allowed =
+        match inc.cuts with
+        | None -> false
+        | Some cfg -> (
+          match cfg.mode with
+          | Cuts.Off -> false
+          | Cuts.Tree -> true
+          | Cuts.Root -> Core.decision_level inc.engine = 0)
+      in
+      let finalize () =
+        Instr.flush_simplex tel.registry sstats;
+        let info = Simplex.Incremental.last_info sx in
+        if info.warm then begin
+          Telemetry.Counter.incr inc.c_warm_hits;
+          Telemetry.Counter.add inc.c_warm_iters info.iters
+        end
+        else Telemetry.Counter.incr inc.c_cold_falls;
+        let mode = if info.warm then "warm" else "cold" in
+        fun outcome -> Telemetry.Trace.simplex tel.trace ~mode ~iters:info.iters ~outcome
+      in
+      (* Separation loop: solve, separate violated cuts against the
+         fractional optimum, splice them in as extra rows, re-solve warm
+         (dual feasibility survives a row addition, so the dual simplex
+         repairs the primal violation cheaply); bounded rounds.  Aging
+         and eviction run once, on the final optimal solve. *)
+      let rec go rounds outcome =
+        match outcome with
+        | Simplex.Optimal sol
+          when separation_allowed
+               && (match inc.cuts with Some cfg -> rounds < cfg.rounds | None -> false) -> (
+          let cfg = Option.get inc.cuts in
+          let fresh =
+            Cuts.Pool.separate cfg.pool inc.engine ~xval:(fun v -> sol.Simplex.x.(v))
+          in
+          match fresh with
+          | [] -> finish (Simplex.Optimal sol)
+          | entries ->
+            List.iter
+              (fun (e : Cuts.Pool.entry) ->
+                e.row <- Simplex.Incremental.add_row sx (Cuts.lp_row e.cut.constr))
+              entries;
+            go (rounds + 1) (solve ()))
+        | outcome -> finish outcome
+      and finish outcome =
+        let trace = finalize () in
+        match outcome with
+        | Simplex.Optimal sol ->
+          trace "optimal";
+          let tight = tight_cids full sol in
+          let duals = dual_refs full sol in
+          let ctight, cduals =
+            match inc.cuts with
+            | None -> [], []
+            | Some cfg ->
+              let ctight, cduals = cut_solve_refs cfg sol in
+              Cuts.Pool.observe cfg.pool ~duals:sol.duals;
+              (* evict stale zero-dual rows, highest index first *)
+              List.iter
+                (fun (e : Cuts.Pool.entry) ->
+                  if abs_float sol.duals.(e.row) <= 1e-9 then begin
+                    Simplex.Incremental.drop_row sx e.row;
+                    Cuts.Pool.note_evicted cfg.pool e
+                  end)
+                (Cuts.Pool.evictable cfg.pool);
+              ctight, cduals
+          in
+          let duals = duals @ cduals in
+          inc.last <- Last_opt { z = sol.value; x = sol.x; tight; ctight; duals };
+          bound_of_opt inc full ~path ~z:sol.value ~x:sol.x ~tight ~ctight ~duals
+        | Simplex.Infeasible witness ->
+          trace "infeasible";
+          let refs, cids, cuts = split_witness inc full witness in
+          inc.last <- Last_inf { refs; cids; cuts };
+          inf_bound inc ~cap ~refs ~cids ~cuts
+        | Simplex.Iteration_limit zo ->
+          trace "limit";
+          inc.last <- Last_none;
+          let value =
+            match zo with
+            | Some z -> Bound.trusted_value (z +. full.obj_offset -. path)
+            | None -> 0
+          in
+          if value > 0 then
+            {
+              Bound.value = value;
+              omega_pl = lazy (omega_of_cids inc.engine (Array.to_list full.cids));
+              branch_hint = None;
+              cert = lazy Proof.Cert_path;
+            }
+          else Bound.none
+        | Simplex.Unbounded ->
+          trace "unbounded";
+          inc.last <- Last_none;
+          Bound.none
+      in
+      go 0 (solve ())
     end

@@ -29,11 +29,22 @@ val compute : Engine.Solver_core.t -> cap:int -> Bound.t
 
 type inc
 
-val make : Engine.Solver_core.t -> inc
+val make : ?cuts:Cuts.config -> Engine.Solver_core.t -> inc
 (** Snapshot the engine's lower-bounding constraint set and current
     assignment.  Create once per search (after preprocessing); the
     constraint rows are fixed from then on — later learned constraints
-    never join the LP, matching the cold path's [in_lb] view. *)
+    never join the LP, matching the cold path's [in_lb] view.
+
+    With [cuts], each {!compute_inc} evaluation runs a bounded
+    separation loop on top of the fixed rows: solve, separate violated
+    cover/clique/implied-bound cuts against the fractional optimum
+    ({!Cuts.Pool.separate}), splice them in as extra rows
+    ({!Simplex.Incremental.add_row}) and re-solve warm, up to
+    [cuts.rounds] times ([Root] mode separates at decision level 0
+    only).  After the final optimal solve the pool ages its rows
+    against the duals and stale zero-dual cut rows are dropped from the
+    live tableau.  Cut rows carry their own proof references and false
+    literals into bound-conflict certificates and explanations. *)
 
 val compute_inc : inc -> cap:int -> Bound.t
 (** Same contract as {!compute}, warm.  Equal bound values to {!compute}

@@ -54,12 +54,20 @@ let pinning nvars omega =
    L(m/denom) minimized over the box that the pinning allows, hence a
    valid lower bound on the cost (resp. on constraint surplus when the
    objective is excluded) of any completion falsifying omega. *)
-let certify_scaled problem ~refs ~omega ~objective ~upper =
+(* Reference space shared by [b]/[y]/[j] steps: a non-negative integer
+   names an original problem constraint, a negative integer [-(k+1)]
+   names the [k]-th derived constraint of the current proof section
+   (written [x<k>] in the log).  [lookup_derived] resolves the latter. *)
+let certify_scaled_gen problem ~lookup_derived ~refs ~omega ~objective ~upper =
   let nvars = Problem.nvars problem in
   let constraints = Problem.constraints problem in
   let n = Array.length constraints in
+  let resolve cid =
+    if cid >= 0 then (if cid < n then Some constraints.(cid) else None)
+    else lookup_derived (-cid - 1)
+  in
   try
-    if List.exists (fun (cid, m) -> cid < 0 || cid >= n || m < 0) refs then raise Exit;
+    if List.exists (fun (cid, m) -> m < 0 || resolve cid = None) refs then raise Exit;
     match pinning nvars omega with
     | None -> true
     | Some pins ->
@@ -68,7 +76,7 @@ let certify_scaled problem ~refs ~omega ~objective ~upper =
       List.iter
         (fun (cid, m) ->
           if m > 0 then begin
-            let c = constraints.(cid) in
+            let c = match resolve cid with Some c -> c | None -> raise Exit in
             base := add_exn !base (mul_exn m (Constr.degree c));
             Array.iter
               (fun (t : Constr.term) ->
@@ -101,6 +109,71 @@ let certify_scaled problem ~refs ~omega ~objective ~upper =
       done;
       if objective then !total > mul_exn (upper - 1) denom else !total > 0
   with Overflow | Exit -> false
+
+let certify_scaled ?(derived = [||]) problem ~refs ~omega ~objective ~upper =
+  let lookup_derived k =
+    if k >= 0 && k < Array.length derived then Some derived.(k) else None
+  in
+  certify_scaled_gen problem ~lookup_derived ~refs ~omega ~objective ~upper
+
+(* --- cutting-planes derivations -------------------------------------------- *)
+
+type dref =
+  | Rcid of int
+  | Rderived of int
+  | Rlit of Lit.t
+
+(* Exact nonnegative combination of the referenced constraints and
+   literal axioms [lit >= 0], opposite-literal cancellation, then
+   ceiling division by [divisor].  Saturation and gcd reduction happen
+   inside [Constr.make_ge]; every one of those operations is a sound
+   cutting-planes inference over 0/1 variables, so the result is
+   entailed by the references.  [None] on overflow, a bad reference or
+   a non-positive divisor — the step is then unjustifiable. *)
+let derive_combination ~nvars ~resolve ~refs ~divisor =
+  if divisor < 1 then None
+  else begin
+    try
+      let a = Array.make (2 * nvars) 0 in
+      let deg = ref 0 in
+      List.iter
+        (fun (r, m) ->
+          if m < 0 then raise Exit;
+          if m > 0 then
+            match r with
+            | Rlit l ->
+              if Lit.var l < 0 || Lit.var l >= nvars then raise Exit;
+              let i = Lit.to_index l in
+              a.(i) <- add_exn a.(i) m
+            | Rcid _ | Rderived _ -> (
+              match resolve r with
+              | None -> raise Exit
+              | Some c ->
+                deg := add_exn !deg (mul_exn m (Constr.degree c));
+                Array.iter
+                  (fun (t : Constr.term) ->
+                    let i = Lit.to_index t.lit in
+                    a.(i) <- add_exn a.(i) (mul_exn m t.coeff))
+                  (Constr.terms c)))
+        refs;
+      (* a+ l + a- ~l = (a+ - a-) l + a- *)
+      for v = 0 to nvars - 1 do
+        let ip = Lit.to_index (Lit.pos v) and im = Lit.to_index (Lit.neg v) in
+        let c = min a.(ip) a.(im) in
+        if c > 0 then begin
+          a.(ip) <- a.(ip) - c;
+          a.(im) <- a.(im) - c;
+          deg := !deg - c
+        end
+      done;
+      let cdiv x = if x >= 0 then (x + divisor - 1) / divisor else x / divisor in
+      let raw = ref [] in
+      for i = (2 * nvars) - 1 downto 0 do
+        if a.(i) > 0 then raw := (cdiv a.(i), Lit.of_index i) :: !raw
+      done;
+      Some (Constr.make_ge !raw (cdiv !deg))
+    with Overflow | Exit | Invalid_argument _ -> None
+  end
 
 (* --- objective cuts (checker-side recomputation) --------------------------- *)
 
@@ -255,6 +328,16 @@ type t = {
   problem : Problem.t;
   mutable nsteps : int;
   mutable nuncertified : int;
+  (* Section-local table of derived constraints, mirroring the
+     checker's numbering: every [u] step whose clause normalizes to a
+     real constraint and every [j] step appends one entry. *)
+  mutable derived : Constr.t array;
+  mutable nderived : int;
+  (* Engine cid -> proof reference, installed after presolve rewrote
+     the constraint database: a reduced cid aliases either the
+     untouched original constraint (>= 0) or a derived tightening
+     (-(k+1)). *)
+  mutable cid_map : int array option;
 }
 
 let create ?(header = true) sink problem =
@@ -262,10 +345,32 @@ let create ?(header = true) sink problem =
     Sink.write sink ("p " ^ version);
     Sink.write sink (Printf.sprintf "f %d" (Array.length (Problem.constraints problem)))
   end;
-  { sink; problem; nsteps = 0; nuncertified = 0 }
+  { sink; problem; nsteps = 0; nuncertified = 0; derived = [||]; nderived = 0; cid_map = None }
 
 let steps t = t.nsteps
 let uncertified t = t.nuncertified
+let derived_count t = t.nderived
+let set_cid_map t map = t.cid_map <- Some map
+
+let dpush t c =
+  let cap = Array.length t.derived in
+  if t.nderived = cap then begin
+    let arr = Array.make (max 16 (2 * cap)) c in
+    Array.blit t.derived 0 arr 0 t.nderived;
+    t.derived <- arr
+  end;
+  t.derived.(t.nderived) <- c;
+  t.nderived <- t.nderived + 1;
+  t.nderived - 1
+
+let dget t k = if k >= 0 && k < t.nderived then Some t.derived.(k) else None
+
+let translate_cid t cid =
+  if cid < 0 then Some cid
+  else
+    match t.cid_map with
+    | None -> Some cid
+    | Some map -> if cid < Array.length map then Some map.(cid) else None
 
 let step t line =
   t.nsteps <- t.nsteps + 1;
@@ -291,9 +396,63 @@ let log_solution t ~cost model =
 let log_import t ~cost ~member = step t (Printf.sprintf "i %d %s" cost (token member))
 
 let lit_tokens lits = List.map (fun l -> string_of_int (lit_to_int l)) lits @ [ "0" ]
-let log_learned t lits = step t (String.concat " " ("u" :: lit_tokens lits))
-let log_contradiction t = step t "u 0"
-let log_cardinality_cut t ~cid = step t (Printf.sprintf "d %d" cid)
+
+let log_rup t lits =
+  step t (String.concat " " ("u" :: lit_tokens lits));
+  match Constr.clause lits with
+  | Constr.Constr c -> Some (dpush t c, c)
+  | Constr.Trivial_true | Constr.Trivial_false -> None
+
+let log_learned t lits = ignore (log_rup t lits)
+let log_contradiction t = ignore (log_rup t [])
+
+let log_cardinality_cut t ~cid =
+  match translate_cid t cid with
+  | Some c when c >= 0 ->
+    step t (Printf.sprintf "d %d" c);
+    true
+  | Some _ | None -> false
+
+let log_derived t ~refs ~divisor =
+  (* Normalize references into proof space first: engine cids go
+     through the presolve alias map and may land on derived
+     constraints; the emitted tokens must be the translated ones. *)
+  let translated =
+    List.fold_left
+      (fun acc (r, m) ->
+        match acc with
+        | None -> None
+        | Some rs -> (
+          match r with
+          | Rlit _ | Rderived _ -> Some ((r, m) :: rs)
+          | Rcid c -> (
+            match translate_cid t c with
+            | None -> None
+            | Some c' when c' >= 0 -> Some ((Rcid c', m) :: rs)
+            | Some c' -> Some ((Rderived (-c' - 1), m) :: rs))))
+      (Some []) refs
+  in
+  match translated with
+  | None -> None
+  | Some refs_rev -> (
+    let refs = List.rev refs_rev in
+    let pconstrs = Problem.constraints t.problem in
+    let resolve = function
+      | Rlit _ -> None
+      | Rcid c -> if c >= 0 && c < Array.length pconstrs then Some pconstrs.(c) else None
+      | Rderived k -> dget t k
+    in
+    match derive_combination ~nvars:(Problem.nvars t.problem) ~resolve ~refs ~divisor with
+    | None | Some Constr.Trivial_true | Some Constr.Trivial_false -> None
+    | Some (Constr.Constr c) ->
+      let tok (r, m) =
+        match r with
+        | Rcid cid -> Printf.sprintf "%d:%d" cid m
+        | Rderived k -> Printf.sprintf "x%d:%d" k m
+        | Rlit l -> Printf.sprintf "l%d:%d" (lit_to_int l) m
+      in
+      step t (String.concat " " (("j" :: List.map tok refs) @ [ ";"; string_of_int divisor ]));
+      Some (dpush t c, c))
 
 let scale_refs refs =
   List.filter_map
@@ -307,16 +466,28 @@ let scale_refs refs =
 
 let log_bound_conflict t ~upper ~omega cert =
   let emit kind refs =
-    let toks =
-      (kind :: List.map (fun (c, m) -> Printf.sprintf "%d:%d" c m) refs)
-      @ (";" :: lit_tokens omega)
+    let ref_tok (c, m) =
+      if c >= 0 then Printf.sprintf "%d:%d" c m else Printf.sprintf "x%d:%d" (-c - 1) m
     in
+    let toks = (kind :: List.map ref_tok refs) @ (";" :: lit_tokens omega) in
     step t (String.concat " " toks);
     true
   in
   let reject () =
     t.nuncertified <- t.nuncertified + 1;
     false
+  in
+  let lookup_derived k = dget t k in
+  let valid refs ~objective =
+    certify_scaled_gen t.problem ~lookup_derived ~refs ~omega ~objective ~upper
+  in
+  (* Engine cids become proof references (original or derived) before
+     validation; an untranslatable ref just weakens the candidate. *)
+  let translate rf =
+    List.filter_map
+      (fun (c, m) ->
+        match translate_cid t c with Some c' -> Some (c', m) | None -> None)
+      rf
   in
   (* Dual sign conventions differ per simplex exit; validation is exact,
      so try the raw, negated and absolute variants and keep the first
@@ -328,14 +499,13 @@ let log_bound_conflict t ~upper ~omega cert =
   let first_valid ~objective cands =
     List.find_map
       (fun rf ->
-        let refs = scale_refs rf in
-        if certify_scaled t.problem ~refs ~omega ~objective ~upper then Some refs else None)
+        let refs = scale_refs (translate rf) in
+        if valid refs ~objective then Some refs else None)
       cands
   in
   match cert with
   | Cert_path | Cert_bound [] ->
-    if certify_scaled t.problem ~refs:[] ~omega ~objective:true ~upper then emit "b" []
-    else reject ()
+    if valid [] ~objective:true then emit "b" [] else reject ()
   | Cert_bound rf -> (
     match first_valid ~objective:true (variants rf @ [ [] ]) with
     | Some refs -> emit "b" refs
@@ -345,7 +515,9 @@ let log_bound_conflict t ~upper ~omega cert =
     | Some refs -> emit "y" refs
     | None -> reject ())
 
-let log_member t name = Sink.write t.sink ("m " ^ token name)
+let log_member t name =
+  t.nderived <- 0;
+  Sink.write t.sink ("m " ^ token name)
 let log_conclusion t c = Sink.write t.sink ("c " ^ conclusion_to_string c)
 let log_final t c = Sink.write t.sink ("F " ^ conclusion_to_string c)
 
@@ -552,16 +724,49 @@ module Check = struct
     in
     go [] toks
 
+  let split_ref tok =
+    match String.index_opt tok ':' with
+    | None -> failf "bad multiplier token %S (want ref:m)" tok
+    | Some i ->
+      let head = String.sub tok 0 i in
+      let m = int_of (String.sub tok (i + 1) (String.length tok - i - 1)) in
+      if m < 0 then failf "negative multiplier in %S" tok;
+      if head = "" then failf "empty reference in %S" tok;
+      head, m
+
+  (* [b]/[y] references: plain cid or [x<k>] derived constraint,
+     encoded internally as [-(k+1)]. *)
   let parse_refs toks =
     List.map
       (fun tok ->
-        match String.index_opt tok ':' with
-        | None -> failf "bad multiplier token %S (want cid:m)" tok
-        | Some i ->
-          let cid = int_of (String.sub tok 0 i) in
-          let m = int_of (String.sub tok (i + 1) (String.length tok - i - 1)) in
-          if m < 0 then failf "negative multiplier in %S" tok;
-          cid, m)
+        let head, m = split_ref tok in
+        if head.[0] = 'x' then begin
+          let k = int_of (String.sub head 1 (String.length head - 1)) in
+          if k < 0 then failf "bad derived reference %S" tok;
+          (-k - 1, m)
+        end
+        else int_of head, m)
+      toks
+
+  (* [j] references additionally allow literal axioms [l<n>:m]. *)
+  let parse_drefs toks =
+    List.map
+      (fun tok ->
+        let head, m = split_ref tok in
+        let r =
+          if head.[0] = 'x' then begin
+            let k = int_of (String.sub head 1 (String.length head - 1)) in
+            if k < 0 then failf "bad derived reference %S" tok;
+            Rderived k
+          end
+          else if head.[0] = 'l' then begin
+            let n = int_of (String.sub head 1 (String.length head - 1)) in
+            if n = 0 then failf "bad literal axiom %S" tok;
+            Rlit (lit_of_int n)
+          end
+          else Rcid (int_of head)
+        in
+        r, m)
       toks
 
   let rec split_at_semi acc = function
@@ -582,8 +787,28 @@ module Check = struct
   let check_lines problem next_line =
     let offset = match Problem.objective problem with Some o -> o.offset | None -> 0 in
     let init_upper = Problem.max_cost_sum problem + 1 in
-    let nconstraints = Array.length (Problem.constraints problem) in
+    let pconstrs = Problem.constraints problem in
+    let nconstraints = Array.length pconstrs in
     let eng = ref (fresh_eng problem) in
+    (* Section-local derived constraints ([u] clauses and [j] results),
+       referenced as [x<k>]; reset together with the engine. *)
+    let dt = ref [||] in
+    let ndt = ref 0 in
+    let dt_reset () =
+      dt := [||];
+      ndt := 0
+    in
+    let dt_push c =
+      let cap = Array.length !dt in
+      if !ndt = cap then begin
+        let arr = Array.make (max 16 (2 * cap)) c in
+        Array.blit !dt 0 arr 0 !ndt;
+        dt := arr
+      end;
+      !dt.(!ndt) <- c;
+      incr ndt
+    in
+    let dt_get k = if k >= 0 && k < !ndt then Some !dt.(k) else None in
     let fresh_section name =
       {
         member = name;
@@ -668,7 +893,9 @@ module Check = struct
         incr stats_rup;
         let lits = parse_lits !eng rest in
         if not (rup_holds !eng lits) then failf "RUP check failed";
-        add_norm !eng (Constr.clause lits);
+        let norm = Constr.clause lits in
+        add_norm !eng norm;
+        (match norm with Constr.Constr c -> dt_push c | _ -> ());
         (!sec).nsteps <- (!sec).nsteps + 1
       | kind :: rest when kind = "b" || kind = "y" ->
         require_open ();
@@ -679,11 +906,36 @@ module Check = struct
         let objective = kind = "b" in
         if
           not
-            (certify_scaled problem ~refs ~omega ~objective ~upper:(!sec).u_active
+            (certify_scaled_gen problem ~lookup_derived:dt_get ~refs ~omega ~objective
+               ~upper:(!sec).u_active
             || (!eng).closed)
         then failf "%s certificate does not justify the clause" kind;
         add_norm !eng (Constr.clause omega);
         (!sec).nsteps <- (!sec).nsteps + 1
+      | "j" :: rest ->
+        require_open ();
+        incr stats_cuts;
+        let ref_toks, div_toks = split_at_semi [] rest in
+        let divisor =
+          match div_toks with [ d ] -> int_of d | _ -> failf "bad 'j' divisor clause"
+        in
+        if divisor < 1 then failf "non-positive divisor %d" divisor;
+        let refs = parse_drefs ref_toks in
+        let resolve = function
+          | Rlit _ -> None
+          | Rcid c -> if c >= 0 && c < nconstraints then Some pconstrs.(c) else None
+          | Rderived k -> dt_get k
+        in
+        (match derive_combination ~nvars:(Problem.nvars problem) ~resolve ~refs ~divisor with
+        | None -> failf "invalid cutting-planes derivation"
+        | Some Constr.Trivial_true -> failf "cutting-planes derivation is a tautology"
+        | Some Constr.Trivial_false ->
+          (!eng).closed <- true;
+          (!sec).nsteps <- (!sec).nsteps + 1
+        | Some (Constr.Constr c) ->
+          add_norm !eng (Constr.Constr c);
+          dt_push c;
+          (!sec).nsteps <- (!sec).nsteps + 1)
       | [ "d"; cid ] ->
         require_open ();
         incr stats_cuts;
@@ -699,11 +951,13 @@ module Check = struct
         if s.concluded <> None then begin
           done_secs := s :: !done_secs;
           eng := fresh_eng problem;
+          dt_reset ();
           sec := fresh_section name
         end
         else if s.nsteps = 0 then begin
           (* pristine implicit section: replaced by the first member *)
           eng := fresh_eng problem;
+          dt_reset ();
           sec := fresh_section name
         end
         else failf "member section %S starts before previous section concluded" name

@@ -49,10 +49,13 @@ type cert =
           clause's pinning, independent of the objective. *)
 
 val certify_scaled :
+  ?derived:Constr.t array ->
   Problem.t -> refs:(int * int) list -> omega:Lit.t list -> objective:bool -> upper:int -> bool
 (** Exact validation shared by the logger and the checker.  [refs]
     are [(cid, m)] with [m >= 0] scaled by {!denom}; [omega] the
-    clause being derived.  Let [rho] pin every literal of [omega]
+    clause being derived.  A negative reference [-(k+1)] names the
+    [k]-th entry of [derived] — the proof section's derived-constraint
+    table (written [x<k>] in the log).  Let [rho] pin every literal of [omega]
     false and [B = sum m_i d_i + sum_v min-term_v(rho)] the Lagrangian
     bound (cost terms included iff [objective]).  Returns [true] when
     [objective] and [B/denom > upper - 1] (every completion of [rho]
@@ -150,13 +153,57 @@ val log_import : t -> cost:int -> member:string -> unit
 val log_learned : t -> Lit.t list -> unit
 (** RUP step for a clause learned by conflict analysis. *)
 
+val log_rup : t -> Lit.t list -> (int * Constr.t) option
+(** Like {!log_learned} but returns the clause's derived-constraint
+    index (and normal form) so later steps can reference it as
+    [x<k>]; [None] when the clause normalizes to a triviality (the
+    step is still written). *)
+
 val log_contradiction : t -> unit
 (** Empty-clause RUP step: the checker's root state must already be
     conflicting. *)
 
-val log_cardinality_cut : t -> cid:int -> unit
-(** Cut from {!cardinality_cut} added at the current incumbent
-    bound. *)
+val log_cardinality_cut : t -> cid:int -> bool
+(** Cut from {!cardinality_cut} added at the current incumbent bound.
+    [cid] is an engine cid; it is translated through the presolve
+    alias map first and the step is only written — returning [true] —
+    when it aliases an untouched original constraint (the checker
+    recomputes the cut from the original database). *)
+
+(** {2 Cutting-planes derivations}
+
+    A [j] step derives a new constraint as an exact nonnegative
+    integer combination of references followed by a ceiling division:
+    [j r1:m1 r2:m2 ... ; d].  References are original cids, derived
+    constraints [x<k>], or literal axioms [l<n>:m] standing for
+    [m * (lit_of_int n >= 0)] (how coefficients are weakened away
+    before dividing).  The checker recomputes the combination, divides,
+    saturates, and appends the result to the section's
+    derived-constraint table — the logger never writes a claimed
+    constraint, so a [j] step cannot overstate what it derives. *)
+
+type dref =
+  | Rcid of int  (** engine cid (translated through the alias map) *)
+  | Rderived of int  (** [k]-th derived constraint of the section *)
+  | Rlit of Lit.t  (** literal axiom [lit >= 0] *)
+
+val log_derived : t -> refs:(dref * int) list -> divisor:int -> (int * Constr.t) option
+(** Compute the derivation exactly as the checker will; when the
+    result is a real constraint, write the [j] step and return its
+    derived index and normal form.  [None] (nothing written) when a
+    reference is unresolvable, arithmetic overflows, the divisor is
+    non-positive, or the result is trivial — the caller must then drop
+    the cut. *)
+
+val derived_count : t -> int
+(** Entries in the current section's derived-constraint table. *)
+
+val set_cid_map : t -> int array -> unit
+(** Install the presolve alias map: entry [c] gives the proof
+    reference for engine cid [c] — an untouched original cid ([>= 0])
+    or a derived tightening [-(k+1)].  Affects subsequent
+    {!log_bound_conflict}, {!log_derived} and
+    {!log_cardinality_cut}. *)
 
 val log_bound_conflict : t -> upper:int -> omega:Lit.t list -> cert -> bool
 (** Validate the certificate exactly (trying both dual sign

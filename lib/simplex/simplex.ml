@@ -558,12 +558,12 @@ module Incremental = struct
   }
 
   type t = {
-    base : problem;
+    mutable base : problem;
     cur_lower : float array;
     cur_upper : float array;
     eps : float;
     mutable st : state;
-    cost : float array;  (* structural objective over ntotal columns *)
+    mutable cost : float array;  (* structural objective over ntotal columns *)
     mutable have_basis : bool;
     mutable info : info;
     mutable pivots_at_rebuild : int;
@@ -589,8 +589,204 @@ module Incremental = struct
     }
 
   let ncols t = t.base.ncols
+  let nrows t = Array.length t.base.rows
   let last_info t = t.info
   let invalidate t = t.have_basis <- false
+
+  (* Rebuild the state for the edited base problem without a usable
+     basis; the next [reoptimize] solves cold. *)
+  let resync_cold t =
+    t.have_basis <- false;
+    let st = init_state ~eps:t.eps t.base in
+    t.st <- st;
+    t.cost <- phase2_cost_of st t.base;
+    t.pivots_at_rebuild <- 0
+
+  (* Splice [r] into the live tableau while preserving the current basis:
+     the new row (as an equality over a fresh slack and artificial) is
+     eliminated against every basic column — yielding the B^-1-transformed
+     row — and its slack is made basic.  Since the slack has zero cost the
+     duals of the old rows are unchanged, so dual feasibility survives;
+     the slack's (possibly out-of-bound) primal value is repaired by the
+     next dual-simplex reoptimize.  Column layout: the new slack lands at
+     index [n + m] and the new artificial last, so old columns at or above
+     [n + m] (the old artificials) shift up by one. *)
+  let add_row t (r : row) =
+    let idx = Array.length t.base.rows in
+    t.base <- { t.base with rows = Array.append t.base.rows [| r |] };
+    if not t.have_basis then resync_cold t
+    else begin
+      let st = t.st in
+      let n = st.n and m = st.m in
+      let m' = m + 1 in
+      let ntotal' = n + (2 * m') in
+      let map j = if j < n + m then j else j + 1 in
+      let slack_new = n + m in
+      let art_new = ntotal' - 1 in
+      let lb = Array.make ntotal' 0. in
+      let ub = Array.make ntotal' infinity in
+      let xval = Array.make ntotal' 0. in
+      let in_basis = Array.make ntotal' false in
+      for j = 0 to st.ntotal - 1 do
+        let j' = map j in
+        lb.(j') <- st.lb.(j);
+        ub.(j') <- st.ub.(j);
+        xval.(j') <- st.xval.(j);
+        in_basis.(j') <- st.in_basis.(j)
+      done;
+      (match r.rel with Ge | Le -> () | Eq -> ub.(slack_new) <- 0.);
+      ub.(art_new) <- 0.;
+      let tab = Array.make_matrix m' ntotal' 0. in
+      for i = 0 to m - 1 do
+        let src = st.tab.(i) and dst = tab.(i) in
+        for j = 0 to st.ntotal - 1 do
+          dst.(map j) <- src.(j)
+        done
+      done;
+      let basis = Array.init m' (fun i -> if i < m then map st.basis.(i) else slack_new) in
+      let sigma = Array.make m' 1. in
+      Array.blit st.sigma 0 sigma 0 m;
+      let rhs = Array.make m' 0. in
+      Array.blit st.rhs 0 rhs 0 m;
+      rhs.(m) <- r.rhs;
+      let d = tab.(m) in
+      Array.iter (fun (j, a) -> d.(j) <- d.(j) +. a) r.coeffs;
+      let c_s = match r.rel with Ge -> -1. | Le | Eq -> 1. in
+      d.(slack_new) <- c_s;
+      d.(art_new) <- c_s;
+      sigma.(m) <- c_s;
+      (* Basic columns are unit vectors across the tableau, so the
+         elimination order is immaterial. *)
+      for i = 0 to m - 1 do
+        let f = d.(basis.(i)) in
+        if f <> 0. then begin
+          let row_i = tab.(i) in
+          for c = 0 to ntotal' - 1 do
+            d.(c) <- d.(c) -. (f *. row_i.(c))
+          done
+        end
+      done;
+      (* normalize so the basic slack column carries +1 *)
+      if c_s < 0. then
+        for c = 0 to ntotal' - 1 do
+          d.(c) <- -.d.(c)
+        done;
+      in_basis.(slack_new) <- true;
+      let st' =
+        {
+          m = m';
+          n;
+          ntotal = ntotal';
+          tab;
+          lb;
+          ub;
+          xval;
+          basis;
+          in_basis;
+          sigma;
+          rc = Array.make ntotal' 0.;
+          rhs;
+          pivots_since_refresh = st.pivots_since_refresh;
+          npivots = st.npivots;
+          nrefresh = st.nrefresh;
+          eps = st.eps;
+        }
+      in
+      t.st <- st';
+      t.cost <- phase2_cost_of st' t.base
+    end;
+    idx
+
+  (* Delete row [i] while keeping the basis warm when possible.  The row's
+     own slack is pivoted into the row if it is not already basic there;
+     with the slack basic in its own row, the basis matrix is block
+     triangular in that row/column pair, so deleting the row together with
+     its slack and artificial columns leaves a valid basis (and unchanged
+     reduced costs) for the remaining system.  Falls back to a cold
+     rebuild when the pivot entry is numerically unusable or the slack or
+     artificial is basic in a different row.  Rows above [i] shift down by
+     one. *)
+  let drop_row t i =
+    let nr = Array.length t.base.rows in
+    if i < 0 || i >= nr then invalid_arg "Simplex.Incremental.drop_row";
+    let rows' =
+      Array.init (nr - 1) (fun k -> if k < i then t.base.rows.(k) else t.base.rows.(k + 1))
+    in
+    t.base <- { t.base with rows = rows' };
+    if not t.have_basis then resync_cold t
+    else begin
+      let st = t.st in
+      let n = st.n and m = st.m in
+      let slack_i = n + i and art_i = n + m + i in
+      let ok =
+        if st.basis.(i) = slack_i then true
+        else if (not st.in_basis.(slack_i)) && abs_float st.tab.(i).(slack_i) > st.eps then begin
+          (* primal pivot; any dual-feasibility damage is repaired by the
+             reduced-cost refresh + nonbasic resting of the next warm
+             start *)
+          pivot_tableau st i slack_i;
+          true
+        end
+        else false
+      in
+      if (not ok) || st.in_basis.(art_i) then resync_cold t
+      else begin
+        let m' = m - 1 in
+        let ntotal' = n + (2 * m') in
+        let map j = if j < slack_i then j else if j < art_i then j - 1 else j - 2 in
+        let lb = Array.make ntotal' 0. in
+        let ub = Array.make ntotal' infinity in
+        let xval = Array.make ntotal' 0. in
+        let in_basis = Array.make ntotal' false in
+        for j = 0 to st.ntotal - 1 do
+          if j <> slack_i && j <> art_i then begin
+            let j' = map j in
+            lb.(j') <- st.lb.(j);
+            ub.(j') <- st.ub.(j);
+            xval.(j') <- st.xval.(j);
+            in_basis.(j') <- st.in_basis.(j)
+          end
+        done;
+        let tab = Array.make_matrix m' ntotal' 0. in
+        let basis = Array.make (max m' 1) 0 in
+        let sigma = Array.make (max m' 1) 1. in
+        let rhs = Array.make (max m' 1) 0. in
+        for k = 0 to m - 1 do
+          if k <> i then begin
+            let k' = if k < i then k else k - 1 in
+            let src = st.tab.(k) and dst = tab.(k') in
+            for j = 0 to st.ntotal - 1 do
+              if j <> slack_i && j <> art_i then dst.(map j) <- src.(j)
+            done;
+            basis.(k') <- map st.basis.(k);
+            sigma.(k') <- st.sigma.(k);
+            rhs.(k') <- st.rhs.(k)
+          end
+        done;
+        let st' =
+          {
+            m = m';
+            n;
+            ntotal = ntotal';
+            tab;
+            lb;
+            ub;
+            xval;
+            basis = (if m' = 0 then [||] else basis);
+            in_basis;
+            sigma = (if m' = 0 then [||] else sigma);
+            rhs = (if m' = 0 then [||] else rhs);
+            rc = Array.make ntotal' 0.;
+            pivots_since_refresh = st.pivots_since_refresh;
+            npivots = st.npivots;
+            nrefresh = st.nrefresh;
+            eps = st.eps;
+          }
+        in
+        t.st <- st';
+        t.cost <- phase2_cost_of st' t.base
+      end
+    end
 
   let fix t j v =
     t.cur_lower.(j) <- v;

@@ -117,6 +117,26 @@ module Incremental : sig
   val unfix : t -> int -> unit
   (** Restore column [j]'s bounds from the base problem. *)
 
+  val nrows : t -> int
+  (** Current number of rows in the (edited) base problem. *)
+
+  val add_row : t -> row -> int
+  (** Append a row to the base problem and splice it into the live
+      tableau, returning its row index.  The current basis is preserved
+      (the new row's slack enters the basis), so a following
+      {!reoptimize} warm-starts: dual feasibility is unaffected by the
+      zero-cost slack and any primal violation of the new row is repaired
+      by the dual simplex — exactly the cutting-plane workload.  With no
+      usable basis the edit only touches the stored problem and the next
+      solve is cold. *)
+
+  val drop_row : t -> int -> unit
+  (** Remove row [i] from the base problem.  Indices of later rows shift
+      down by one.  The basis is kept warm when the row's slack can be
+      (re)made basic in the row — the common case for a slack or evicted
+      cut row — and dropped (cold rebuild on next [reoptimize])
+      otherwise. *)
+
   val reoptimize :
     ?max_iters:int -> ?should_stop:(unit -> bool) -> ?stats:stats -> t -> outcome
   (** Re-solve under the current bounds.  [Infeasible] witnesses index

@@ -5,6 +5,9 @@ let small_synth = { Benchgen.Synthesis.default with nodes = 5; support_cells = 4
 let small_mcnc = { Benchgen.Two_level.default with minterms = 10; implicants = 8; groups = 1 }
 let small_acc = { Benchgen.Acc.default with tasks = 6; slots = 3; conflicts = 5 }
 
+let small_knap =
+  { Benchgen.Knapsack.default with items = 8; rows = 5; dominant_rows = 2; duplicate_rows = 1 }
+
 let deterministic () =
   let eq p1 p2 = Opb.to_string p1 = Opb.to_string p2 in
   Alcotest.(check bool) "routing" true
@@ -14,7 +17,9 @@ let deterministic () =
   Alcotest.(check bool) "two_level" true
     (eq (Benchgen.Two_level.generate ~params:small_mcnc 3) (Benchgen.Two_level.generate ~params:small_mcnc 3));
   Alcotest.(check bool) "acc" true
-    (eq (Benchgen.Acc.generate ~params:small_acc 3) (Benchgen.Acc.generate ~params:small_acc 3))
+    (eq (Benchgen.Acc.generate ~params:small_acc 3) (Benchgen.Acc.generate ~params:small_acc 3));
+  Alcotest.(check bool) "knapsack" true
+    (eq (Benchgen.Knapsack.generate ~params:small_knap 3) (Benchgen.Knapsack.generate ~params:small_knap 3))
 
 let seeds_differ () =
   let differ p1 p2 = Opb.to_string p1 <> Opb.to_string p2 in
@@ -31,9 +36,15 @@ let planted_satisfiable () =
     | s -> Alcotest.failf "routing seed %d: %s" seed (Bsolo.Outcome.status_name s));
     let acc = Benchgen.Acc.generate ~params:small_acc seed in
     let o = Bsolo.Solver.solve ~options:{ Bsolo.Options.default with time_limit = Some 10. } acc in
-    match o.status with
+    (match o.status with
     | Bsolo.Outcome.Satisfiable -> ()
-    | s -> Alcotest.failf "acc seed %d: %s" seed (Bsolo.Outcome.status_name s)
+    | s -> Alcotest.failf "acc seed %d: %s" seed (Bsolo.Outcome.status_name s));
+    (* knapsack rows always admit the all-ones point *)
+    let knap = Benchgen.Knapsack.generate ~params:small_knap seed in
+    let o = Bsolo.Solver.solve ~options:{ Bsolo.Options.default with time_limit = Some 10. } knap in
+    match o.status with
+    | Bsolo.Outcome.Optimal -> ()
+    | s -> Alcotest.failf "knap seed %d: %s" seed (Bsolo.Outcome.status_name s)
   done
 
 let families_have_expected_shape () =
@@ -56,13 +67,16 @@ let families_have_expected_shape () =
 
 let suite_covers_families () =
   let instances = Benchgen.Suite.instances ~scale:0.3 ~per_family:2 () in
-  Alcotest.(check int) "count" 8 (List.length instances);
+  Alcotest.(check int) "count" 10 (List.length instances);
   let count f =
     List.length (List.filter (fun (i : Benchgen.Suite.instance) -> i.family = f) instances)
   in
   List.iter
     (fun f -> Alcotest.(check int) (Benchgen.Suite.family_name f) 2 (count f))
-    [ Benchgen.Suite.Grout; Benchgen.Suite.Synth; Benchgen.Suite.Mcnc; Benchgen.Suite.Acc ]
+    [
+      Benchgen.Suite.Grout; Benchgen.Suite.Synth; Benchgen.Suite.Mcnc; Benchgen.Suite.Acc;
+      Benchgen.Suite.Knap;
+    ]
 
 let scale_grows_instances () =
   let size scale =

@@ -216,6 +216,9 @@ let bench_row name elapsed nodes : Inspect.Bench.row =
     proof_steps = nodes * 3;
     check_ms = float_of_int nodes;
     props_per_sec = (if elapsed > 0. then float_of_int nodes /. elapsed else 0.);
+    cuts_separated = nodes / 5;
+    cuts_active = nodes / 10;
+    presolve_reductions = 2;
   }
 
 let test_bench_golden () =
@@ -229,7 +232,7 @@ let test_bench_golden () =
      \"solver\":\"LPR\",\"status\":\"OPTIMAL\",\"cost\":9,\"elapsed\":0.5,\
      \"nodes\":120,\"conflicts\":60,\"bound_conflicts\":40,\"lb_calls\":40,\
      \"simplex_iters\":240,\"warm_hits\":30,\"imports\":0,\
-     \"proof_steps\":360,\"check_ms\":120.0,\"props_per_sec\":240.0}]}"
+     \"proof_steps\":360,\"check_ms\":120.0,\"props_per_sec\":240.0,\"cuts_separated\":24,\"cuts_active\":12,\"presolve_reductions\":2}]}"
   in
   Alcotest.(check string) "golden serialization" expected (Json.to_string report)
 

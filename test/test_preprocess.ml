@@ -51,10 +51,92 @@ let idempotent_on_clean_instance () =
   Alcotest.(check int) "second pass finds nothing new" 0 n2;
   Alcotest.(check bool) "still at level 0" true (Core.decision_level engine = 0)
 
+(* --- exact presolve --------------------------------------------------------- *)
+
+(* Presolve must preserve the full 0/1 solution set, not just the
+   optimum: exhaustive model counts before and after must agree. *)
+let presolve_preserves_solution_set () =
+  for seed = 0 to 80 do
+    let problem = Gen.problem seed in
+    if not (Problem.trivially_unsat problem) then begin
+      let r = Bsolo.Preprocess.presolve problem in
+      let before = Bsolo.Exhaustive.count_models problem in
+      let after = Bsolo.Exhaustive.count_models r.reduced in
+      if before <> after then
+        Alcotest.failf "seed %d: presolve changed the model count (%d -> %d)" seed before after;
+      (match Bsolo.Exhaustive.optimum problem, Bsolo.Exhaustive.optimum r.reduced with
+      | None, None -> ()
+      | Some (_, a), Some (_, b) when a = b -> ()
+      | _ -> Alcotest.failf "seed %d: presolve changed the optimum" seed);
+      Alcotest.(check int) "cid_map covers surviving constraints"
+        (Array.length (Problem.constraints r.reduced))
+        (Array.length r.cid_map)
+    end
+  done
+
+(* Regression for the simultaneous-weakening bug: in
+   7 x0 + 3 ~x1 + 3 x2 + 2 x3 >= 7 each 3-coefficient can be reduced to
+   2 *individually* but not both at once (the point x0=0, ~x1=x2=x3=1
+   reaches 8 >= 7 and must survive).  Reductions are sequential. *)
+let presolve_sequential_tightening () =
+  let b = Problem.Builder.create ~nvars:4 () in
+  Problem.Builder.add_ge b [ (7, Lit.pos 0); (3, Lit.neg 1); (3, Lit.pos 2); (2, Lit.pos 3) ] 7;
+  let problem = Problem.Builder.build b in
+  let r = Bsolo.Preprocess.presolve problem in
+  Alcotest.(check bool) "something tightened" true (r.tightened >= 1);
+  Alcotest.(check int) "solution set preserved"
+    (Bsolo.Exhaustive.count_models problem)
+    (Bsolo.Exhaustive.count_models r.reduced)
+
+let presolve_removes_dominated () =
+  (* 2x0 + 2x1 >= 2 dominates x0 + x1 >= 1 (they are equivalent);
+     exactly one survives. *)
+  let b = Problem.Builder.create ~nvars:2 () in
+  Problem.Builder.add_ge b [ (2, Lit.pos 0); (2, Lit.pos 1) ] 2;
+  Problem.Builder.add_ge b [ (1, Lit.pos 0); (1, Lit.pos 1) ] 1;
+  let problem = Problem.Builder.build b in
+  let r = Bsolo.Preprocess.presolve problem in
+  Alcotest.(check int) "one constraint removed" 1 r.removed;
+  Alcotest.(check int) "one survivor" 1 (Array.length (Problem.constraints r.reduced))
+
+(* Certified mode: every accepted tightening writes a [j] step whose
+   checker-side replay lands exactly on the installed constraint, so the
+   whole log must check; rejected certificates leave the constraint
+   untouched rather than installing an unproved reduction. *)
+let presolve_certified () =
+  for seed = 0 to 30 do
+    let problem = Gen.problem seed in
+    let buf = Buffer.create 1024 in
+    let sink = Proof.Sink.of_buffer buf in
+    let proof = Proof.create sink problem in
+    let certify ~refs ~divisor ~expect =
+      match Proof.log_derived proof ~refs ~divisor with
+      | Some (k, c) when Pbo.Constr.equal c expect -> Some (-(k + 1))
+      | Some _ | None -> None
+    in
+    let r = Bsolo.Preprocess.presolve ~certify problem in
+    Proof.log_conclusion proof Proof.No_claim;
+    Proof.Sink.close sink;
+    let text = Buffer.contents buf in
+    (match Proof.Check.check_string problem text with
+    | Ok _ -> ()
+    | Error msg -> Alcotest.failf "seed %d: presolve certificates rejected: %s" seed msg);
+    (* every derived ref in the map points into the derived table *)
+    Array.iter
+      (fun p ->
+        if p < -Proof.derived_count proof - 1 then
+          Alcotest.failf "seed %d: dangling derived ref %d" seed p)
+      r.cid_map
+  done
+
 let suite =
   [
     Alcotest.test_case "finds failed literal" `Quick finds_failed_literal;
     Alcotest.test_case "detects unsat" `Quick detects_unsat_by_probing;
     Alcotest.test_case "preserves optimum" `Slow preserves_optimum;
     Alcotest.test_case "leaves engine at level 0" `Quick idempotent_on_clean_instance;
+    Alcotest.test_case "presolve preserves solution set" `Quick presolve_preserves_solution_set;
+    Alcotest.test_case "presolve sequential tightening" `Quick presolve_sequential_tightening;
+    Alcotest.test_case "presolve removes dominated" `Quick presolve_removes_dominated;
+    Alcotest.test_case "presolve certified" `Quick presolve_certified;
   ]

@@ -185,6 +185,101 @@ let cardinality_cut_matches () =
       [ 1; (hi / 2) + 1; hi ]
   done
 
+(* --- cutting-planes [j] steps ----------------------------------------------- *)
+
+(* log_derived computes the combination exactly as the checker replays
+   it: weakening 7x0 + 3~x1 + 3x2 + 2x3 >= 7 with literal axioms down
+   to raw coefficients 7/2/3/2 and ceiling-dividing by 1 must land on
+   the sequentially-tightened constraint, and the emitted log must
+   check. *)
+let j_step_roundtrip () =
+  let b = Pbo.Problem.Builder.create ~nvars:4 () in
+  Pbo.Problem.Builder.add_ge b
+    [ (7, Pbo.Lit.pos 0); (3, Pbo.Lit.neg 1); (3, Pbo.Lit.pos 2); (2, Pbo.Lit.pos 3) ]
+    7;
+  let problem = Pbo.Problem.Builder.build b in
+  let buf = Buffer.create 256 in
+  let sink = Proof.Sink.of_buffer buf in
+  let logger = Proof.create sink problem in
+  (match
+     Proof.log_derived logger
+       ~refs:[ (Proof.Rcid 0, 1); (Proof.Rlit (Pbo.Lit.pos 1), 1) ]
+       ~divisor:1
+   with
+  | None -> Alcotest.fail "valid j step refused"
+  | Some (k, c) ->
+    Alcotest.(check int) "first derived index" 0 k;
+    (match Pbo.Constr.make_ge [ (7, Pbo.Lit.pos 0); (2, Pbo.Lit.neg 1); (3, Pbo.Lit.pos 2); (2, Pbo.Lit.pos 3) ] 6 with
+    | Pbo.Constr.Constr expect ->
+      Alcotest.(check bool) "derived constraint" true (Pbo.Constr.equal c expect)
+    | _ -> Alcotest.fail "expected normal form"));
+  (* an unresolvable reference or bad divisor writes nothing *)
+  (match Proof.log_derived logger ~refs:[ (Proof.Rderived 7, 1) ] ~divisor:1 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "dangling derived ref accepted");
+  (match Proof.log_derived logger ~refs:[ (Proof.Rcid 0, 1) ] ~divisor:0 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "non-positive divisor accepted");
+  Proof.log_conclusion logger Proof.No_claim;
+  Proof.Sink.close sink;
+  match Proof.Check.check_string problem (Buffer.contents buf) with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "j-step log rejected: %s" msg
+
+(* Weakened-derivation mutation: default options now run certified
+   presolve and cut separation, so solver logs carry [j] steps whose
+   derived constraints later steps depend on (through the cid alias map
+   and bound-conflict certificates).  Doubling a [j] divisor weakens the
+   derived constraint; across the corpus at least one such forgery must
+   be caught, and none may crash the checker. *)
+let mutation_weakened_derivation () =
+  let is_j l = String.length l >= 2 && String.sub l 0 2 = "j " in
+  let with_j = ref 0 and zeroed_caught = ref 0 and dropped_caught = ref 0 in
+  for seed = 0 to 24 do
+    let problem = Gen.problem seed in
+    let _, text = solve_with_proof problem in
+    let ls = lines text in
+    let first_j = ref (-1) in
+    List.iteri (fun i l -> if !first_j < 0 && is_j l then first_j := i) ls;
+    if !first_j >= 0 then begin
+      incr with_j;
+      (* a non-positive divisor no longer justifies the division *)
+      let zeroed =
+        List.mapi
+          (fun i l ->
+            if i = !first_j then begin
+              match String.rindex_opt l ' ' with
+              | Some sp -> String.sub l 0 (sp + 1) ^ "0"
+              | None -> l
+            end
+            else l)
+          ls
+      in
+      (match Proof.Check.check_string problem (unlines zeroed) with
+      | Error _ -> incr zeroed_caught
+      | Ok _ -> ());
+      (* pointing the step at a derived constraint that does not exist
+         leaves the combination unresolvable *)
+      let dangling =
+        List.mapi
+          (fun i l ->
+            if i = !first_j then begin
+              match String.split_on_char ' ' l with
+              | "j" :: _ :: rest -> String.concat " " ("j" :: "x9999:1" :: rest)
+              | _ -> l
+            end
+            else l)
+          ls
+      in
+      match Proof.Check.check_string problem (unlines dangling) with
+      | Error _ -> incr dropped_caught
+      | Ok _ -> ()
+    end
+  done;
+  Alcotest.(check bool) "corpus contains j steps" true (!with_j > 0);
+  Alcotest.(check int) "every zeroed divisor caught" !with_j !zeroed_caught;
+  Alcotest.(check int) "every dangling reference caught" !with_j !dropped_caught
+
 (* --- portfolio stitching ---------------------------------------------------- *)
 
 let portfolio_proof jobs () =
@@ -217,6 +312,8 @@ let suite =
     Alcotest.test_case "truncated proof rejected" `Quick mutation_truncated;
     Alcotest.test_case "objective cut mirrors knapsack" `Quick objective_cut_matches;
     Alcotest.test_case "cardinality cuts mirror knapsack" `Quick cardinality_cut_matches;
+    Alcotest.test_case "j steps round-trip" `Quick j_step_roundtrip;
+    Alcotest.test_case "weakened derivation rejected" `Quick mutation_weakened_derivation;
     Alcotest.test_case "sequential portfolio proof stitches" `Quick (portfolio_proof 1);
     Alcotest.test_case "parallel portfolio proof stitches" `Quick (portfolio_proof 2);
   ]

@@ -300,6 +300,91 @@ let qcheck_warm_equals_cold =
         script;
       !ok)
 
+(* --- live cut rows (add_row / drop_row) ------------------------------------ *)
+
+let add_row_warm_repair () =
+  (* min x + y s.t. x + y >= 1: optimum 1 fractional-friendly; then cut
+     2x + 2y >= 3 pushes it to 1.5, and dropping the cut restores 1. *)
+  let p = lp 2 [ 1.; 1. ] [ [ 0, 1.; 1, 1. ], Simplex.Ge, 1. ] in
+  let sx = Simplex.Incremental.create p in
+  (match Simplex.Incremental.reoptimize sx with
+  | Simplex.Optimal s -> check_float "base optimum" 1. s.value
+  | _ -> Alcotest.fail "expected optimal");
+  let r =
+    Simplex.Incremental.add_row sx
+      { Simplex.coeffs = [| 0, 2.; 1, 2. |]; rel = Simplex.Ge; rhs = 3. }
+  in
+  Alcotest.(check int) "cut row index" 1 r;
+  Alcotest.(check int) "row count grew" 2 (Simplex.Incremental.nrows sx);
+  (match Simplex.Incremental.reoptimize sx with
+  | Simplex.Optimal s ->
+    check_float "cut binds" 1.5 s.value;
+    Alcotest.(check bool) "cut repair is warm" true (Simplex.Incremental.last_info sx).warm;
+    check_float "cut row activity" 3. s.row_activity.(r)
+  | _ -> Alcotest.fail "expected optimal with cut");
+  Simplex.Incremental.drop_row sx r;
+  Alcotest.(check int) "row count shrank" 1 (Simplex.Incremental.nrows sx);
+  match Simplex.Incremental.reoptimize sx with
+  | Simplex.Optimal s -> check_float "optimum restored" 1. s.value
+  | _ -> Alcotest.fail "expected optimal after drop"
+
+(* qcheck: adding random Ge cut rows then dropping them returns exactly to
+   the base optimum, and every intermediate warm solve matches a cold
+   solve of the same (edited) problem. *)
+let qcheck_cut_rows_warm_equals_cold =
+  let gen =
+    QCheck2.Gen.(
+      let row = pair (list_size (int_range 1 4) (pair (int_range 0 4) (int_range 1 4))) (int_range 1 6) in
+      pair (list_size (int_range 1 4) row) (list_size (int_range 1 4) row))
+  in
+  QCheck2.Test.make ~name:"cut rows: warm add/drop matches cold solves" ~count:200 gen
+    (fun (base_rows, cut_rows) ->
+      let nvars = 5 in
+      let mk (terms, rhs) =
+        {
+          Simplex.coeffs = Array.of_list (List.map (fun (v, a) -> v, float_of_int a) terms);
+          rel = Simplex.Ge;
+          rhs = float_of_int rhs;
+        }
+      in
+      let problem =
+        {
+          Simplex.ncols = nvars;
+          lower = Array.make nvars 0.;
+          upper = Array.make nvars 1.;
+          objective = Array.init nvars (fun v -> float_of_int (v + 1));
+          rows = Array.of_list (List.map mk base_rows);
+        }
+      in
+      let sx = Simplex.Incremental.create problem in
+      let live = ref (List.map mk base_rows) in
+      let agree () =
+        let cold = Simplex.solve { problem with rows = Array.of_list !live } in
+        match Simplex.Incremental.reoptimize sx, cold with
+        | Simplex.Optimal a, Simplex.Optimal b -> abs_float (a.value -. b.value) <= feps
+        | Simplex.Infeasible w, Simplex.Infeasible _ -> w <> []
+        | _, _ -> false
+      in
+      let ok = ref (agree ()) in
+      let added =
+        List.map
+          (fun raw ->
+            let r = mk raw in
+            let idx = Simplex.Incremental.add_row sx r in
+            live := !live @ [ r ];
+            if !ok then ok := agree ();
+            idx)
+          cut_rows
+      in
+      (* drop in reverse so stored indices stay valid *)
+      List.iter
+        (fun idx ->
+          Simplex.Incremental.drop_row sx idx;
+          live := List.filteri (fun i _ -> i <> idx) !live;
+          if !ok then ok := agree ())
+        (List.rev added);
+      !ok && Simplex.Incremental.nrows sx = List.length base_rows)
+
 let suite =
   [
     Alcotest.test_case "simple cover" `Quick simple_cover;
@@ -312,7 +397,9 @@ let suite =
     Alcotest.test_case "degenerate rows" `Quick degenerate_ok;
     Alcotest.test_case "empty problem" `Quick empty_problem;
     Alcotest.test_case "incremental basics" `Quick incremental_basics;
+    Alcotest.test_case "cut row add/drop" `Quick add_row_warm_repair;
     QCheck_alcotest.to_alcotest qcheck_lp_bounds_ip;
     QCheck_alcotest.to_alcotest qcheck_solution_consistent;
     QCheck_alcotest.to_alcotest qcheck_warm_equals_cold;
+    QCheck_alcotest.to_alcotest qcheck_cut_rows_warm_equals_cold;
   ]
