@@ -1,0 +1,78 @@
+(* Observability overhead gate: measure what --listen costs a solve and
+   fail if it exceeds the budget.
+
+     obsd_overhead.exe [--nodes N] [--scale S] [--reps N]
+                       [--pct-max PCT] [--json] [--report-only]
+
+   Both arms solve the same node-limited instance (identical search
+   work, see Overhead_probe); the observed arm is scraped continuously
+   over HTTP and SSE the whole time, which is harsher than any sane
+   monitoring cadence.  Default gate: 2%. *)
+
+let usage () =
+  print_endline
+    "usage: obsd_overhead.exe [--nodes N] [--scale S] [--reps N] [--pct-max PCT]\n\
+    \       [--json] [--report-only]"
+
+let () =
+  Overhead_probe.run_as_child_if_requested ();
+  let nodes = ref 5_000 in
+  let scale = ref 2.0 in
+  let reps = ref 6 in
+  let pct_max = ref 2.0 in
+  let json = ref false in
+  let report_only = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--nodes" :: v :: rest ->
+      nodes := int_of_string v;
+      parse rest
+    | "--scale" :: v :: rest ->
+      scale := float_of_string v;
+      parse rest
+    | "--reps" :: v :: rest ->
+      reps := int_of_string v;
+      parse rest
+    | "--pct-max" :: v :: rest ->
+      pct_max := float_of_string v;
+      parse rest
+    | "--json" :: rest ->
+      json := true;
+      parse rest
+    | "--report-only" :: rest ->
+      report_only := true;
+      parse rest
+    | ("--help" | "-h") :: _ ->
+      usage ();
+      exit 0
+    | other :: _ ->
+      Printf.eprintf "unknown argument %S\n" other;
+      usage ();
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let r = Overhead_probe.measure ~nodes:!nodes ~scale:!scale ~reps:!reps () in
+  let pass = r.pct <= !pct_max in
+  if !json then
+    print_endline
+      (Telemetry.Json.to_string
+         (Telemetry.Json.Obj
+            [
+              "schema", Telemetry.Json.String "bsolo-obsd-overhead/1";
+              "nodes", Telemetry.Json.Int r.nodes;
+              "reps", Telemetry.Json.Int !reps;
+              "off_s", Telemetry.Json.Float r.off_s;
+              "on_s", Telemetry.Json.Float r.on_s;
+              "overhead_pct", Telemetry.Json.Float r.pct;
+              "scrapes", Telemetry.Json.Int r.scrapes;
+              "gate_pct", Telemetry.Json.Float !pct_max;
+              "pass", Telemetry.Json.Bool pass;
+            ]))
+  else begin
+    Printf.printf "obsd overhead: %d nodes, best block of %d reps, %d scrapes served\n" r.nodes
+      !reps r.scrapes;
+    Printf.printf "  off %.3fs  on %.3fs  overhead %+.2f%% (gate %.1f%%)\n" r.off_s r.on_s r.pct
+      !pct_max;
+    print_endline (if pass then "PASS" else "FAIL")
+  end;
+  if (not pass) && not !report_only then exit 1

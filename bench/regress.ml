@@ -5,7 +5,8 @@
 
      regress.exe [--out FILE] [--baseline FILE] [--limit SECS]
                  [--scale S] [--per-family N] [--threshold FRACTION]
-                 [--portfolio-jobs N] [--proof] [--report-only] [--rev NAME]
+                 [--portfolio-jobs N] [--proof] [--skip-obsd]
+                 [--report-only] [--rev NAME]
 
    With --proof, every row additionally solves under proof logging, replays
    the log with the exact checker and records proof_steps / check_ms; a
@@ -20,6 +21,11 @@
    portfolio wall clock and whose imports column counts shared-incumbent
    imports across the workers.
 
+   Unless --skip-obsd is given, the report also carries
+   obsd_overhead_pct — the CPU cost of serving live /metrics + /status
+   + /events during a solve (bench/overhead_probe) — which the diff
+   gates absolutely at 2% rather than against the baseline value.
+
    The baseline must have been produced with the same limit/scale/
    per-family settings, otherwise instance names do not line up; a
    mismatch is reported and the comparison skipped. *)
@@ -28,7 +34,7 @@ let usage () =
   print_endline
     "usage: regress.exe [--out FILE] [--baseline FILE] [--limit SECS] [--scale S]\n\
     \       [--per-family N] [--threshold FRACTION] [--portfolio-jobs N]\n\
-    \       [--proof] [--report-only] [--rev NAME]"
+    \       [--proof] [--skip-obsd] [--report-only] [--rev NAME]"
 
 let git_rev () =
   match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
@@ -40,6 +46,7 @@ let git_rev () =
     | _ -> "dev")
 
 let () =
+  Overhead_probe.run_as_child_if_requested ();
   let out = ref None in
   let baseline = ref None in
   let limit = ref 1.0 in
@@ -48,6 +55,7 @@ let () =
   let threshold = ref 0.5 in
   let portfolio_jobs = ref 2 in
   let with_proof = ref false in
+  let skip_obsd = ref false in
   let report_only = ref false in
   let rev = ref None in
   let rec parse = function
@@ -75,6 +83,9 @@ let () =
       parse rest
     | "--proof" :: rest ->
       with_proof := true;
+      parse rest
+    | "--skip-obsd" :: rest ->
+      skip_obsd := true;
       parse rest
     | "--report-only" :: rest ->
       report_only := true;
@@ -225,7 +236,17 @@ let () =
         end)
       instances
   in
-  let report = Inspect.Bench.make ~rev ~limit ~scale ~per_family rows in
+  let obsd_overhead_pct =
+    if !skip_obsd then None
+    else begin
+      Printf.printf "measuring obsd serving overhead...\n%!";
+      let r = Overhead_probe.measure () in
+      Printf.printf "  obsd overhead %+.2f%% (off %.3fs, on %.3fs CPU, %d scrapes)\n%!" r.pct
+        r.off_s r.on_s r.scrapes;
+      Some r.pct
+    end
+  in
+  let report = Inspect.Bench.make ?obsd_overhead_pct ~rev ~limit ~scale ~per_family rows in
   let oc = open_out out in
   output_string oc (Inspect.Json.to_string report);
   output_char oc '\n';

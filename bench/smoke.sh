@@ -149,6 +149,68 @@ grep -q '^# TYPE bsolo_' "$tmpdir/metrics.prom" || {
   echo "FAIL: no namespaced TYPE lines in metrics"; exit 1;
 }
 
+echo "== remote observability (--listen + top + SSE) =="
+# Needs a solve that outlives the scrapes: every stock benchmark instance
+# solves sub-second, so generate a harder knapsack that runs into its
+# timeout.  Port 0 lets the kernel pick; the solver prints the bound
+# address on stdout.
+./_build/default/bin/genpb.exe knap --scale 8 --seed 7 -o "$tmpdir/hard.opb"
+timeout 60 "$bsolo" "$tmpdir/hard.opb" \
+  --portfolio --jobs 2 --timeout 15 --listen 127.0.0.1:0 \
+  --heartbeat-every 0.2 --json "$tmpdir/obsd-report.json" \
+  >"$tmpdir/obsd.out" 2>&1 &
+obsd_pid=$!
+port=""
+for _ in $(seq 1 100); do
+  port=$(sed -n 's|^c obsd: listening on http://127\.0\.0\.1:\([0-9]*\)$|\1|p' "$tmpdir/obsd.out")
+  [ -n "$port" ] && break
+  sleep 0.1
+done
+[ -n "$port" ] || {
+  echo "FAIL: --listen never announced its address"; cat "$tmpdir/obsd.out"; exit 1;
+}
+"$bsolo" top --connect "127.0.0.1:$port" --get /healthz >"$tmpdir/healthz.out" || {
+  echo "FAIL: /healthz not 200 during a live solve"; cat "$tmpdir/healthz.out"; exit 1;
+}
+"$bsolo" top --connect "127.0.0.1:$port" --get /status >"$tmpdir/status.json" || {
+  echo "FAIL: /status fetch failed"; exit 1;
+}
+grep -q '"schema":"bsolo-status/1"' "$tmpdir/status.json" || {
+  echo "FAIL: /status schema marker missing"; cat "$tmpdir/status.json"; exit 1;
+}
+"$bsolo" top --connect "127.0.0.1:$port" --get /metrics >"$tmpdir/scrape.prom" || {
+  echo "FAIL: /metrics scrape failed"; exit 1;
+}
+echo "== scraped exposition is lint-clean (inspect --metrics) =="
+"$bsolo" inspect --metrics "$tmpdir/scrape.prom" || {
+  echo "FAIL: scraped /metrics exposition failed lint"; exit 1;
+}
+grep -q '^bsolo_portfolio_' "$tmpdir/scrape.prom" || {
+  echo "FAIL: live scrape carries no portfolio member metrics"; exit 1;
+}
+echo "== bsolo top renders 3 live frames =="
+timeout 30 "$bsolo" top --connect "127.0.0.1:$port" --frames 3 >"$tmpdir/top.out" 2>&1 || {
+  echo "FAIL: top did not render 3 heartbeat frames"; cat "$tmpdir/top.out"; exit 1;
+}
+# Exit 1 = UNKNOWN: expected, the hard instance is built to outlive its
+# --timeout.  Anything else (crash, hard timeout kill) is a failure.
+obsd_rc=0
+wait "$obsd_pid" || obsd_rc=$?
+case "$obsd_rc" in
+  0|1) ;;
+  *) echo "FAIL: --listen solve exited $obsd_rc"; cat "$tmpdir/obsd.out"; exit 1 ;;
+esac
+grep -q '^c obsd: served' "$tmpdir/obsd.out" || {
+  echo "FAIL: no obsd request-count summary line"; cat "$tmpdir/obsd.out"; exit 1;
+}
+echo "== /status run_id matches the run report =="
+orid=$(sed -n 's/.*"run_id":"\([0-9a-f]*\)".*/\1/p' "$tmpdir/obsd-report.json" | head -1)
+[ -n "$orid" ] || { echo "FAIL: obsd report has no run_id"; exit 1; }
+grep -q "\"run_id\":\"$orid\"" "$tmpdir/status.json" || {
+  echo "FAIL: /status run_id != report run_id ($orid)"; cat "$tmpdir/status.json"; exit 1;
+}
+echo "obsd: $(grep '^c obsd: served' "$tmpdir/obsd.out")"
+
 echo "== sampling profile agrees with exact timers (inspect --profile) =="
 timeout 120 "$bsolo" benchmarks/synth-s2.opb \
   --lb lpr --timeout 60 --profile-hz 300 --stats \

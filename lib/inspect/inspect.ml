@@ -416,16 +416,19 @@ module Bench = struct
         "presolve_reductions", Json.Int r.presolve_reductions;
       ]
 
-  let make ~rev ~limit ~scale ~per_family rows =
+  let make ?obsd_overhead_pct ~rev ~limit ~scale ~per_family rows =
     Json.Obj
-      [
-        "schema", Json.String schema;
-        "rev", Json.String rev;
-        "limit", Json.Float limit;
-        "scale", Json.Float scale;
-        "per_family", Json.Int per_family;
-        "instances", Json.List (List.map row_json rows);
-      ]
+      ([
+         "schema", Json.String schema;
+         "rev", Json.String rev;
+         "limit", Json.Float limit;
+         "scale", Json.Float scale;
+         "per_family", Json.Int per_family;
+       ]
+      @ (match obsd_overhead_pct with
+        | None -> []
+        | Some pct -> [ "obsd_overhead_pct", Json.Float pct ])
+      @ [ "instances", Json.List (List.map row_json rows) ])
 
   let row_of_json j =
     let s name = Option.bind (Json.member name j) Json.to_string_opt in
@@ -464,6 +467,30 @@ module Bench = struct
   let solved status =
     match status with "OPTIMAL" | "SATISFIABLE" | "UNSATISFIABLE" -> true | _ -> false
 
+  (* Observability overhead is an absolute percentage gate, not a
+     ratio-vs-baseline: the candidate regresses when serving
+     /metrics + /status + /events costs the solver more than this many
+     percent CPU, regardless of what the baseline happened to measure
+     (the measurement is noise-centred near zero, so ratios between two
+     near-zero numbers mean nothing).  Reports written before the field
+     existed skip the comparison entirely. *)
+  let obsd_overhead_gate = 2.0
+
+  let obsd_overhead_entries base cand =
+    let get j = Option.bind (Json.member "obsd_overhead_pct" j) Json.to_float in
+    match get base, get cand with
+    | Some b, Some c ->
+      [
+        {
+          key = "obsd_overhead_pct";
+          base = b;
+          cand = c;
+          ratio = 1.;
+          regression = c > obsd_overhead_gate;
+        };
+      ]
+    | _ -> []
+
   (* Per-instance comparison: losing a solved status or finding a worse
      cost is always a regression; wall time and node counts regress past
      the relative threshold (with the same noise floors as report
@@ -471,7 +498,8 @@ module Bench = struct
   let diff ~threshold base cand =
     let base_rows = rows_of_json base and cand_rows = rows_of_json cand in
     let find name rows = List.find_opt (fun (r : row) -> r.name = name) rows in
-    List.concat_map
+    obsd_overhead_entries base cand
+    @ List.concat_map
       (fun (b : row) ->
         match find b.name cand_rows with
         | None ->

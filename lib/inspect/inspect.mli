@@ -139,7 +139,23 @@ module Bench : sig
   }
 
   val row_json : row -> Json.t
-  val make : rev:string -> limit:float -> scale:float -> per_family:int -> row list -> Json.t
+
+  val make :
+    ?obsd_overhead_pct:float ->
+    rev:string ->
+    limit:float ->
+    scale:float ->
+    per_family:int ->
+    row list ->
+    Json.t
+  (** [obsd_overhead_pct], when measured (bench/obsd_overhead), is the
+      CPU cost of serving live /metrics + /status + /events during a
+      solve as a percentage of the solve itself.  {!diff} gates it
+      absolutely (candidate above 2%), not against the baseline value:
+      the measurement is noise-centred near zero, so a ratio between two
+      near-zero numbers would be meaningless.  Reports without the field
+      skip the comparison, like the other late-added columns. *)
+
   val rows_of_json : Json.t -> row list
   val solved : string -> bool
   val diff : threshold:float -> Json.t -> Json.t -> diff_entry list

@@ -1,0 +1,202 @@
+(* Client side of the observability protocol: plain blocking sockets,
+   used by [bsolo top --connect], the smoke script (via [top --get])
+   and the test suite.  Nothing here runs inside the solver. *)
+
+let parse_addr s =
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "expected HOST:PORT, got %S" s)
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port with
+    | Some p when p >= 0 && p < 65536 ->
+      Ok ((if host = "" then "127.0.0.1" else host), p)
+    | _ -> Error (Printf.sprintf "bad port in %S" s))
+
+let connect ~host ~port =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+      | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+      | _ -> failwith (Printf.sprintf "cannot resolve host %S" host))
+  in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+let send_get fd ~host path =
+  let req =
+    Printf.sprintf "GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n" path
+      host
+  in
+  let rec write off =
+    if off < String.length req then
+      write (off + Unix.write_substring fd req off (String.length req - off))
+  in
+  write 0
+
+let read_all fd =
+  let b = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec loop () =
+    match Unix.read fd chunk 0 4096 with
+    | 0 -> Buffer.contents b
+    | n ->
+      Buffer.add_subbytes b chunk 0 n;
+      loop ()
+    | exception Unix.Unix_error (EINTR, _, _) -> loop ()
+  in
+  loop ()
+
+(* Split "HTTP/1.1 200 OK\r\nheaders...\r\n\r\nbody" into (status, body). *)
+let split_response raw =
+  let head_end =
+    let rec scan i =
+      if i + 1 >= String.length raw then None
+      else if raw.[i] = '\n' && raw.[i + 1] = '\n' then Some (i, i + 2)
+      else if
+        i + 3 < String.length raw
+        && raw.[i] = '\r' && raw.[i + 1] = '\n' && raw.[i + 2] = '\r'
+        && raw.[i + 3] = '\n'
+      then Some (i, i + 4)
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  match head_end with
+  | None -> Error "truncated response (no header terminator)"
+  | Some (_, body_at) -> (
+    match String.split_on_char ' ' raw with
+    | _http :: code :: _ -> (
+      match int_of_string_opt code with
+      | Some status ->
+        Ok (status, String.sub raw body_at (String.length raw - body_at))
+      | None -> Error "malformed status line")
+    | _ -> Error "malformed status line")
+
+let get ~host ~port path =
+  match connect ~host ~port with
+  | fd ->
+    let result =
+      try
+        send_get fd ~host path;
+        split_response (read_all fd)
+      with
+      | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+      | Failure m -> Error m
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    result
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "connect %s:%d: %s" host port (Unix.error_message e))
+  | exception Failure m -> Error m
+
+(* {1 SSE} *)
+
+(* Feed raw bytes in, get (event, data) pairs out once each frame's
+   blank-line terminator arrives. *)
+type sse_parser = {
+  buf : Buffer.t;
+  mutable event : string;
+  mutable data : string list;  (* reversed data lines of the open frame *)
+}
+
+let sse_parser () = { buf = Buffer.create 1024; event = "message"; data = [] }
+
+let feed p bytes ~emit =
+  Buffer.add_string p.buf bytes;
+  let s = Buffer.contents p.buf in
+  let lines = String.split_on_char '\n' s in
+  (* The final element is an unterminated partial line: keep it. *)
+  let rec consume = function
+    | [] | [ _ ] -> ()
+    | line :: rest ->
+      let line =
+        let n = String.length line in
+        if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+      in
+      (if line = "" then begin
+         (if p.data <> [] || p.event <> "message" then
+            emit ~event:p.event ~data:(String.concat "\n" (List.rev p.data)));
+         p.event <- "message";
+         p.data <- []
+       end
+       else
+         let field, value =
+           match String.index_opt line ':' with
+           | Some i ->
+             let v = String.sub line (i + 1) (String.length line - i - 1) in
+             let v =
+               if String.length v > 0 && v.[0] = ' ' then
+                 String.sub v 1 (String.length v - 1)
+               else v
+             in
+             String.sub line 0 i, v
+           | None -> line, ""
+         in
+         match field with
+         | "event" -> p.event <- value
+         | "data" -> p.data <- value :: p.data
+         | _ -> ());
+      consume rest
+  in
+  consume lines;
+  let tail =
+    match List.rev lines with partial :: _ -> partial | [] -> ""
+  in
+  Buffer.clear p.buf;
+  Buffer.add_string p.buf tail
+
+let events ~host ~port ?(path = "/events") ~on_event () =
+  match connect ~host ~port with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "connect %s:%d: %s" host port (Unix.error_message e))
+  | exception Failure m -> Error m
+  | fd ->
+    let result =
+      try
+        send_get fd ~host path;
+        let chunk = Bytes.create 4096 in
+        (* Skip the response head first. *)
+        let head = Buffer.create 256 in
+        let rec read_head () =
+          match Unix.read fd chunk 0 4096 with
+          | 0 -> Error "connection closed before response head"
+          | n -> (
+            Buffer.add_subbytes head chunk 0 n;
+            match split_response (Buffer.contents head) with
+            | Ok (200, body_prefix) -> Ok body_prefix
+            | Ok (status, _) -> Error (Printf.sprintf "HTTP %d" status)
+            | Error _ -> read_head ())
+          | exception Unix.Unix_error (EINTR, _, _) -> read_head ()
+        in
+        match read_head () with
+        | Error _ as e -> e
+        | Ok prefix ->
+          let p = sse_parser () in
+          let continue = ref true in
+          let emit ~event ~data =
+            if !continue then continue := on_event ~event ~data
+          in
+          feed p prefix ~emit;
+          let rec loop () =
+            if not !continue then Ok ()
+            else
+              match Unix.read fd chunk 0 4096 with
+              | 0 -> Ok ()  (* server closed the stream *)
+              | n ->
+                feed p (Bytes.sub_string chunk 0 n) ~emit;
+                loop ()
+              | exception Unix.Unix_error (EINTR, _, _) -> loop ()
+          in
+          loop ()
+      with
+      | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+      | Failure m -> Error m
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    result

@@ -1,0 +1,18 @@
+(** Client side of the observability protocol: blocking sockets for
+    [bsolo top], the smoke script and the test suite. *)
+
+val parse_addr : string -> (string * int, string) result
+(** Parse ["HOST:PORT"]; an empty host means 127.0.0.1. *)
+
+val get : host:string -> port:int -> string -> (int * string, string) result
+(** One-shot [GET path]; [Ok (status, body)]. *)
+
+val events :
+  host:string ->
+  port:int ->
+  ?path:string ->
+  on_event:(event:string -> data:string -> bool) ->
+  unit ->
+  (unit, string) result
+(** Subscribe to the SSE stream and invoke [on_event] per frame until
+    it returns [false] or the server closes the stream. *)

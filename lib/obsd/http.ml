@@ -1,0 +1,102 @@
+(* Minimal HTTP/1.1 request parsing and response formatting for the
+   observability server.  Pure string functions — no sockets here — so
+   every parse/format path is unit-testable without opening a port.
+
+   Scope is deliberately tiny: the server only ever answers GET on four
+   fixed paths, so parsing is a request-line check plus a header skim,
+   and anything outside that envelope maps to a precise error status
+   (400 malformed, 405 non-GET, 414 oversized target, 505 unsupported
+   version) rather than a generic failure. *)
+
+type request = {
+  meth : string;
+  path : string;  (* target with any ?query stripped *)
+  version : string;  (* "HTTP/1.0" or "HTTP/1.1" *)
+}
+
+let reason = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 414 -> "URI Too Long"
+  | 431 -> "Request Header Fields Too Large"
+  | 503 -> "Service Unavailable"
+  | 505 -> "HTTP Version Not Supported"
+  | _ -> "Unknown"
+
+(* Longest request target we accept; the real paths are < 10 bytes. *)
+let max_target = 2048
+
+let parse_request_line line =
+  match String.split_on_char ' ' line with
+  | [ meth; target; version ] ->
+    if meth = "" || target = "" then Error 400
+    else if not (String.equal meth "GET") then
+      (* Token-shaped method that just isn't GET: the path may well
+         exist, so the honest status is 405, not 400. *)
+      if String.for_all (fun c -> (c >= 'A' && c <= 'Z') || c = '-') meth then Error 405
+      else Error 400
+    else if String.length target > max_target then Error 414
+    else if target.[0] <> '/' then Error 400
+    else if not (String.equal version "HTTP/1.1" || String.equal version "HTTP/1.0")
+    then
+      if String.length version > 5 && String.sub version 0 5 = "HTTP/" then Error 505
+      else Error 400
+    else
+      let path =
+        match String.index_opt target '?' with
+        | Some q -> String.sub target 0 q
+        | None -> target
+      in
+      Ok { meth; path; version }
+  | _ -> Error 400
+
+let strip_cr s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+(* [head] is everything up to (not including) the blank line that ends
+   the header section. *)
+let parse_request head =
+  match String.split_on_char '\n' head with
+  | [] -> Error 400
+  | first :: _ -> parse_request_line (strip_cr first)
+
+let response ?(headers = []) ~status body =
+  let b = Buffer.create (256 + String.length body) in
+  Buffer.add_string b (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (reason status));
+  List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v)) headers;
+  Buffer.add_string b
+    (Printf.sprintf "Content-Length: %d\r\nConnection: close\r\n\r\n"
+       (String.length body));
+  Buffer.add_string b body;
+  Buffer.contents b
+
+let error_response status =
+  response
+    ~headers:[ "Content-Type", "text/plain; charset=utf-8" ]
+    ~status
+    (Printf.sprintf "%d %s\n" status (reason status))
+
+(* SSE stream preamble: no Content-Length, connection stays open. *)
+let sse_header =
+  "HTTP/1.1 200 OK\r\n\
+   Content-Type: text/event-stream\r\n\
+   Cache-Control: no-store\r\n\r\n"
+
+let sse_frame ~event ~data =
+  let b = Buffer.create (32 + String.length data) in
+  Buffer.add_string b "event: ";
+  Buffer.add_string b event;
+  Buffer.add_char b '\n';
+  (* A data payload may itself contain newlines; each line needs its own
+     [data:] field per the SSE framing rules. *)
+  List.iter
+    (fun line ->
+      Buffer.add_string b "data: ";
+      Buffer.add_string b line;
+      Buffer.add_char b '\n')
+    (String.split_on_char '\n' data);
+  Buffer.add_char b '\n';
+  Buffer.contents b

@@ -1,0 +1,365 @@
+(* Embedded observability server: one listening socket and a select
+   loop on a dedicated domain, serving the live telemetry of the solver
+   that spawned it.
+
+   Endpoints (all GET):
+     /metrics  Prometheus exposition, rendered by the [metrics] callback
+               (the same closure the --metrics textfile uses, so the two
+               outputs are byte-identical)
+     /status   in-progress run report JSON from the [status] callback
+     /healthz  200 while [beat] keeps being called (the heartbeat ticker
+               calls it every tick), 503 once the engine has gone
+               [stall_after] seconds without one
+     /events   Server-Sent Events stream of heartbeat snapshots and
+               incumbent events pushed via [publish]
+
+   Back-pressure discipline: a slow or stuck scraper must never slow
+   the solver.  [publish] only appends to bounded per-client queues
+   under a mutex and pokes a self-pipe — it never blocks on a socket.
+   When a client's queue is full the new frame is dropped and counted
+   (per-client and globally); the loop domain does all actual socket
+   I/O in non-blocking mode.
+
+   The render callbacks run on the server domain; like the heartbeat
+   ticker they take racy-but-tear-free reads of cells and registries
+   (see snapshot.ml for why that is sound). *)
+
+type client = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;  (* request head accumulates here *)
+  outq : string Queue.t;  (* pending output chunks, oldest first *)
+  mutable sent : int;  (* bytes of the front chunk already written *)
+  mutable queued : int;  (* frames waiting in [outq] (SSE bound) *)
+  mutable sse : bool;  (* streaming /events: keep open after writes *)
+  mutable close_after_flush : bool;
+  mutable dropped : int;
+  mutable dead : bool;
+}
+
+type stats = { clients : int; served : int; dropped : int }
+
+type t = {
+  sock : Unix.file_descr;
+  port : int;
+  host : string;
+  metrics : unit -> string;
+  status : unit -> string;
+  stall_after : float;
+  last_beat : float Atomic.t;
+  lock : Mutex.t;  (* guards [clients] and every client's [outq] *)
+  mutable clients : client list;
+  wake_r : Unix.file_descr;  (* self-pipe: publish → select wake-up *)
+  wake_w : Unix.file_descr;
+  stop_req : bool Atomic.t;
+  served : int Atomic.t;
+  drops : int Atomic.t;
+  mutable loop : unit Domain.t option;
+}
+
+(* Head size cap (431 beyond this) and SSE queue bound.  64 frames is
+   ~13 s of heartbeats at the default cadence — enough for a GC pause
+   on the reader, not enough to hoard memory for a stuck one. *)
+let max_head = 8192
+let max_queue = 64
+
+let port t = t.port
+let host t = t.host
+
+let stats t =
+  Mutex.lock t.lock;
+  let clients = List.length t.clients in
+  Mutex.unlock t.lock;
+  { clients; served = Atomic.get t.served; dropped = Atomic.get t.drops }
+
+let beat t = Atomic.set t.last_beat (Telemetry.Epoch.now ())
+
+let healthy t =
+  t.stall_after <= 0.
+  || Telemetry.Epoch.now () -. Atomic.get t.last_beat < t.stall_after
+
+(* {1 Publish side (any domain)} *)
+
+let poke t =
+  (* Wake the select loop; a full pipe already guarantees a wake-up. *)
+  try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EPIPE | EBADF), _, _) -> ()
+
+let enqueue_frame t c frame =
+  if c.sse && not c.dead then
+    if c.queued >= max_queue then begin
+      c.dropped <- c.dropped + 1;
+      Atomic.incr t.drops
+    end
+    else begin
+      Queue.add frame c.outq;
+      c.queued <- c.queued + 1
+    end
+
+let publish t ~event ~data =
+  let frame = Http.sse_frame ~event ~data in
+  Mutex.lock t.lock;
+  List.iter (fun c -> enqueue_frame t c frame) t.clients;
+  Mutex.unlock t.lock;
+  poke t
+
+(* {1 Loop side (server domain)} *)
+
+let close_client t c =
+  if not c.dead then begin
+    c.dead <- true;
+    (try Unix.close c.fd with Unix.Unix_error _ -> ())
+  end;
+  Mutex.lock t.lock;
+  t.clients <- List.filter (fun c' -> c' != c) t.clients;
+  Mutex.unlock t.lock
+
+let respond t c body =
+  Mutex.lock t.lock;
+  Queue.add body c.outq;
+  c.close_after_flush <- true;
+  Mutex.unlock t.lock;
+  Atomic.incr t.served
+
+let route t c (req : Http.request) =
+  match req.path with
+  | "/metrics" ->
+    respond t c
+      (Http.response
+         ~headers:[ "Content-Type", "text/plain; version=0.0.4; charset=utf-8" ]
+         ~status:200 (t.metrics ()))
+  | "/status" ->
+    respond t c
+      (Http.response
+         ~headers:[ "Content-Type", "application/json" ]
+         ~status:200 (t.status ()))
+  | "/healthz" ->
+    let st = if healthy t then 200 else 503 in
+    respond t c
+      (Http.response
+         ~headers:[ "Content-Type", "text/plain; charset=utf-8" ]
+         ~status:st
+         (if st = 200 then "ok\n" else "stalled\n"))
+  | "/events" ->
+    Mutex.lock t.lock;
+    Queue.add Http.sse_header c.outq;
+    c.sse <- true;
+    Mutex.unlock t.lock;
+    Atomic.incr t.served
+  | _ -> respond t c (Http.error_response 404)
+
+let find_head_end buf =
+  let s = Buffer.contents buf in
+  let n = String.length s in
+  let rec scan i =
+    if i + 1 >= n then None
+    else if s.[i] = '\n' && s.[i + 1] = '\n' then Some i
+    else if i + 3 < n && s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r'
+            && s.[i + 3] = '\n'
+    then Some i
+    else scan (i + 1)
+  in
+  Option.map (fun i -> String.sub s 0 i) (scan 0)
+
+let on_readable t c =
+  let chunk = Bytes.create 4096 in
+  match Unix.read c.fd chunk 0 4096 with
+  | 0 -> close_client t c
+  | n ->
+    Buffer.add_subbytes c.inbuf chunk 0 n;
+    if Buffer.length c.inbuf > max_head then respond t c (Http.error_response 431)
+    else (
+      match find_head_end c.inbuf with
+      | None -> ()
+      | Some head -> (
+        match Http.parse_request head with
+        | Ok req -> route t c req
+        | Error status -> respond t c (Http.error_response status)))
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> close_client t c
+
+let on_writable t c =
+  Mutex.lock t.lock;
+  let front = Queue.peek_opt c.outq in
+  Mutex.unlock t.lock;
+  match front with
+  | None -> if c.close_after_flush then close_client t c
+  | Some chunk -> (
+    let len = String.length chunk - c.sent in
+    match Unix.write_substring c.fd chunk c.sent len with
+    | n ->
+      if n = len then begin
+        c.sent <- 0;
+        Mutex.lock t.lock;
+        ignore (Queue.pop c.outq);
+        if c.sse && c.queued > 0 then c.queued <- c.queued - 1;
+        let empty = Queue.is_empty c.outq in
+        Mutex.unlock t.lock;
+        if empty && c.close_after_flush then close_client t c
+      end
+      else c.sent <- c.sent + n
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ -> close_client t c)
+
+let accept_clients t =
+  let rec loop () =
+    match Unix.accept ~cloexec:true t.sock with
+    | fd, _ ->
+      Unix.set_nonblock fd;
+      let c =
+        {
+          fd;
+          inbuf = Buffer.create 256;
+          outq = Queue.create ();
+          sent = 0;
+          queued = 0;
+          sse = false;
+          close_after_flush = false;
+          dropped = 0;
+          dead = false;
+        }
+      in
+      Mutex.lock t.lock;
+      t.clients <- c :: t.clients;
+      Mutex.unlock t.lock;
+      loop ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  loop ()
+
+let has_pending t c =
+  Mutex.lock t.lock;
+  let p = not (Queue.is_empty c.outq) in
+  Mutex.unlock t.lock;
+  p && not c.dead
+
+let run t =
+  let drain = Bytes.create 64 in
+  let stop_deadline = ref None in
+  let running = ref true in
+  while !running do
+    if Atomic.get t.stop_req && !stop_deadline = None then
+      (* Grace window to flush pending responses / final SSE frames to
+         connected clients before tearing the sockets down. *)
+      stop_deadline := Some (Unix.gettimeofday () +. 0.5);
+    let clients =
+      Mutex.lock t.lock;
+      let cs = t.clients in
+      Mutex.unlock t.lock;
+      cs
+    in
+    (match !stop_deadline with
+    | Some dl
+      when Unix.gettimeofday () > dl
+           || not (List.exists (has_pending t) clients) ->
+      running := false
+    | _ ->
+      let accepting = !stop_deadline = None in
+      let rd =
+        (if accepting then [ t.sock ] else [])
+        @ t.wake_r
+          :: List.filter_map (fun c -> if c.dead then None else Some c.fd) clients
+      in
+      let wr = List.filter_map (fun c -> if has_pending t c then Some c.fd else None) clients in
+      (match Unix.select rd wr [] 0.25 with
+      | rd_ok, wr_ok, _ ->
+        if List.mem t.wake_r rd_ok then (
+          try ignore (Unix.read t.wake_r drain 0 64)
+          with Unix.Unix_error _ -> ());
+        if accepting && List.mem t.sock rd_ok then accept_clients t;
+        List.iter
+          (fun c ->
+            if (not c.dead) && List.mem c.fd wr_ok then on_writable t c)
+          clients;
+        List.iter
+          (fun c ->
+            if (not c.dead) && List.mem c.fd rd_ok then
+              if c.sse then (
+                (* Streaming clients only ever hang up; drain/close. *)
+                match Unix.read c.fd drain 0 64 with
+                | 0 -> close_client t c
+                | _ -> ()
+                | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _)
+                  ->
+                  ()
+                | exception Unix.Unix_error _ -> close_client t c)
+              else on_readable t c)
+          clients
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+      | exception Unix.Unix_error (EBADF, _, _) ->
+        (* A client fd closed under select: the per-client handlers will
+           drop it on the next pass. *)
+        ()))
+  done;
+  Mutex.lock t.lock;
+  let cs = t.clients in
+  t.clients <- [];
+  Mutex.unlock t.lock;
+  List.iter
+    (fun c ->
+      if not c.dead then begin
+        c.dead <- true;
+        try Unix.close c.fd with Unix.Unix_error _ -> ()
+      end)
+    cs;
+  (try Unix.close t.sock with Unix.Unix_error _ -> ());
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  try Unix.close t.wake_w with Unix.Unix_error _ -> ()
+
+let create ~host ~port ~metrics ~status ?(stall_after = 0.) () =
+  (* A dead SSE client must surface as EPIPE on write, not kill the
+     process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+      | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+      | _ -> failwith (Printf.sprintf "obsd: cannot resolve host %S" host))
+  in
+  let sock = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  (try Unix.bind sock (Unix.ADDR_INET (addr, port))
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.listen sock 16;
+  Unix.set_nonblock sock;
+  let actual_port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let t =
+    {
+      sock;
+      port = actual_port;
+      host;
+      metrics;
+      status;
+      stall_after;
+      last_beat = Atomic.make (Telemetry.Epoch.now ());
+      lock = Mutex.create ();
+      clients = [];
+      wake_r;
+      wake_w;
+      stop_req = Atomic.make false;
+      served = Atomic.make 0;
+      drops = Atomic.make 0;
+      loop = None;
+    }
+  in
+  t.loop <- Some (Domain.spawn (fun () -> run t));
+  t
+
+let stop ?final_event t =
+  (match final_event with
+  | Some (event, data) -> publish t ~event ~data
+  | None -> ());
+  Atomic.set t.stop_req true;
+  poke t;
+  Option.iter Domain.join t.loop;
+  t.loop <- None

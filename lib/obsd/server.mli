@@ -1,0 +1,59 @@
+(** Embedded HTTP/1.1 observability server.
+
+    One listening socket and a select loop on a dedicated domain,
+    exposing the spawning solver's live telemetry:
+
+    {v
+    GET /metrics   Prometheus exposition (byte-identical to --metrics)
+    GET /status    in-progress run report JSON
+    GET /healthz   200 while beats arrive, 503 after stall_after seconds
+    GET /events    SSE stream of heartbeat snapshots + incumbent events
+    v}
+
+    Back-pressure discipline: {!publish} appends to bounded per-client
+    queues and pokes a self-pipe — it never blocks on a socket, so a
+    slow scraper can never slow the solver.  Overflowing frames are
+    dropped and counted ({!stats}).
+
+    The [metrics] and [status] callbacks run on the server domain; like
+    the heartbeat ticker they must confine themselves to
+    racy-but-tear-free reads of cells and registries. *)
+
+type t
+
+val create :
+  host:string ->
+  port:int ->
+  metrics:(unit -> string) ->
+  status:(unit -> string) ->
+  ?stall_after:float ->
+  unit ->
+  t
+(** Bind, listen and spawn the server domain.  [port] 0 picks a free
+    port — read it back with {!port}.  [stall_after] ≤ 0 (the default)
+    makes [/healthz] always 200; otherwise it flips to 503 once
+    {!beat} has not been called for that many epoch-seconds.  Raises
+    [Unix.Unix_error] if the address cannot be bound. *)
+
+val port : t -> int
+(** The actual bound port (resolves port 0). *)
+
+val host : t -> string
+
+val beat : t -> unit
+(** Mark the engine alive; call from the heartbeat ticker's tick. *)
+
+val publish : t -> event:string -> data:string -> unit
+(** Enqueue one SSE frame to every [/events] subscriber.  Safe from any
+    domain; never blocks. *)
+
+type stats = { clients : int; served : int; dropped : int }
+
+val stats : t -> stats
+(** Connected clients now, requests served, SSE frames dropped on full
+    client queues since start. *)
+
+val stop : ?final_event:string * string -> t -> unit
+(** Publish an optional final [(event, data)] frame, then shut down:
+    stop accepting, give connected clients a short grace window to
+    drain, close everything and join the domain. *)

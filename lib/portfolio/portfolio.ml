@@ -363,8 +363,8 @@ type worker_result = {
   wcancelled : bool;  (* finished unproved after the stop flag was up *)
 }
 
-let solve_parallel ?run_id ~observe tel entries ~jobs ~budget ~proof_file ~record_file
-    problem =
+let solve_parallel ?run_id ~observe ~on_member_start ~on_member_done tel entries ~jobs
+    ~budget ~proof_file ~record_file problem =
   let entries = Array.of_list entries in
   let n = Array.length entries in
   let jobs = max 1 (min jobs n) in
@@ -414,6 +414,11 @@ let solve_parallel ?run_id ~observe tel entries ~jobs ~budget ~proof_file ~recor
       }
     in
     Telemetry.Profile.register wcell;
+    (* Expose the worker's private registry for the member's lifetime:
+       the observability server scrapes it live under the same
+       [portfolio.<name>.] prefix its post-join merge will use, so
+       metric names stay stable across the member's finish. *)
+    on_member_start e.pname wtel.registry;
     let wrun =
       match
         Telemetry.Span.with_span ~cat:"member" tel.spans ~track:wtrack
@@ -424,6 +429,10 @@ let solve_parallel ?run_id ~observe tel entries ~jobs ~budget ~proof_file ~recor
       | exception exn -> Error (Printexc.to_string exn)
     in
     Telemetry.Profile.unregister wcell;
+    (* Withdraw the live source before the main domain merges the
+       registry after the join — a scrape between the two sees the
+       member's counters in neither place rather than in both. *)
+    on_member_done e.pname;
     Option.iter Proof.Sink.close psink;
     Telemetry.Recorder.close wrec;
     let stopped_by_peer = Atomic.get stop in
@@ -561,8 +570,9 @@ let solve_parallel ?run_id ~observe tel entries ~jobs ~budget ~proof_file ~recor
 
 (* --- entry point ------------------------------------------------------------ *)
 
-let solve ?telemetry ?run_id ?(observe = false) ?proof_file ?record_file
-    ?(entries = default_entries) ?(jobs = 1) ~budget problem =
+let solve ?telemetry ?run_id ?(observe = false) ?(on_member_start = fun _ _ -> ())
+    ?(on_member_done = fun _ -> ()) ?proof_file ?record_file ?(entries = default_entries)
+    ?(jobs = 1) ~budget problem =
   let tel = match telemetry with Some t -> t | None -> Telemetry.Ctx.silent () in
   if entries = [] then invalid_arg "Portfolio.solve: no entries";
   let observe = observe || Telemetry.Span.enabled tel.Telemetry.Ctx.spans in
@@ -570,8 +580,8 @@ let solve ?telemetry ?run_id ?(observe = false) ?proof_file ?record_file
     if jobs <= 1 then
       solve_sequential ?run_id tel entries ~budget ~proof_file ~record_file problem, []
     else
-      solve_parallel ?run_id ~observe tel entries ~jobs ~budget ~proof_file ~record_file
-        problem
+      solve_parallel ?run_id ~observe ~on_member_start ~on_member_done tel entries ~jobs
+        ~budget ~proof_file ~record_file problem
   in
   if runs = [] then begin
     let detail =

@@ -45,6 +45,8 @@ val solve :
   ?telemetry:Telemetry.Ctx.t ->
   ?run_id:string ->
   ?observe:bool ->
+  ?on_member_start:(string -> Telemetry.Registry.t -> unit) ->
+  ?on_member_done:(string -> unit) ->
   ?proof_file:string ->
   ?record_file:string ->
   ?entries:entry list ->
@@ -88,6 +90,14 @@ val solve :
     exactly the run's duration — which the sampling profiler and
     heartbeat ticker observe; [observe] forces the cells' phase stacks
     on even when no span sink is attached (the heartbeat/profiler case).
+
+    [on_member_start name registry] / [on_member_done name] bracket each
+    parallel member's run from the worker domain, handing out its
+    private registry so the observability server can scrape live members
+    under the same [portfolio.<name>.] prefix the post-join merge uses.
+    The registry must only be read racy-but-tear-free while live (it is
+    written by the worker).  Sequential members share the caller's
+    context and do not fire the hooks.
 
     With [record_file] each member writes a flight recording into
     [<record_file>.<member>.part] and the parts are stitched — like the

@@ -181,15 +181,19 @@ let close t =
 
 type collector = {
   registry : Registry.t option;
+  mutable primed : bool;
+      (* a collector has no previous observation until its first
+         advancing take: rates on the first snapshot are 0, not
+         nodes-so-far divided by a near-zero interval *)
   mutable prev_t : float;
   mutable prev_nodes : (string * int) list;
   mutable prev_counters : (string * int) list;
 }
 
 let collector ?registry () =
-  { registry; prev_t = Epoch.now (); prev_nodes = []; prev_counters = [] }
+  { registry; primed = false; prev_t = Epoch.now (); prev_nodes = []; prev_counters = [] }
 
-let take c =
+let build ~advance c =
   let now = Epoch.now () in
   let dt = now -. c.prev_t in
   let cells = Profile.live () in
@@ -199,7 +203,9 @@ let take c =
         let name = Profile.Cell.name cell in
         let nodes = Profile.Cell.nodes cell in
         let rate =
-          if dt <= 0. then 0.
+          (* 1 ms floor: a forced snapshot microseconds after a periodic
+             tick must not turn a handful of nodes into a huge rate. *)
+          if (not c.primed) || dt <= 1e-3 then 0.
           else
             let prev = Option.value ~default:0 (List.assoc_opt name c.prev_nodes) in
             float_of_int (nodes - prev) /. dt
@@ -238,16 +244,27 @@ let take c =
         else acc)
       None members
   in
-  c.prev_t <- now;
-  c.prev_nodes <- List.map (fun m -> m.m_name, m.m_nodes) members;
-  c.prev_counters <- counters;
+  if advance then begin
+    c.primed <- true;
+    c.prev_t <- now;
+    c.prev_nodes <- List.map (fun m -> m.m_name, m.m_nodes) members;
+    c.prev_counters <- counters
+  end;
   { s_t = now; s_seq = 0; s_members = members; s_deltas = deltas; s_best = best }
+
+let take c = build ~advance:true c
+
+(* A forced (out-of-band) snapshot: same view, but the collector's
+   previous-tick state is left untouched, so the next periodic tick's
+   counter deltas and node rates still cover one full interval instead
+   of being truncated at the forced snapshot. *)
+let peek c = build ~advance:false c
 
 (* {1 Ticker} *)
 
 module Ticker = struct
   type ticker = {
-    writer : t;
+    emit : snap -> unit;
     coll : collector;
     req : bool Atomic.t;  (* out-of-band snapshot request (SIGUSR1) *)
     req_stop : bool Atomic.t;
@@ -256,7 +273,14 @@ module Ticker = struct
   }
 
   let snap_now tk =
-    write tk.writer (take tk.coll);
+    tk.emit (take tk.coll);
+    tk.on_tick ()
+
+  (* A forced snapshot peeks — it does not advance the collector, so the
+     per-interval deltas and rates of the next periodic tick stay whole
+     — and does not reset the periodic cadence. *)
+  let snap_forced tk =
+    tk.emit (peek tk.coll);
     tk.on_tick ()
 
   let run every tk =
@@ -269,19 +293,18 @@ module Ticker = struct
       elapsed := !elapsed +. Float.min quantum every;
       if Atomic.get tk.req then begin
         Atomic.set tk.req false;
-        elapsed := 0.;
-        snap_now tk
-      end
-      else if !elapsed >= every then begin
+        snap_forced tk
+      end;
+      if !elapsed >= every then begin
         elapsed := 0.;
         snap_now tk
       end
     done
 
-  let start ?registry ?(on_tick = fun () -> ()) writer ~every =
+  let start_emit ?registry ?(on_tick = fun () -> ()) ~emit ~every () =
     let tk =
       {
-        writer;
+        emit;
         coll = collector ?registry ();
         req = Atomic.make false;
         req_stop = Atomic.make false;
@@ -293,6 +316,9 @@ module Ticker = struct
        record. *)
     tk.handle <- Some (Domain.spawn (fun () -> snap_now tk; run every tk));
     tk
+
+  let start ?registry ?on_tick writer ~every =
+    start_emit ?registry ?on_tick ~emit:(write writer) ~every ()
 
   let request tk = Atomic.set tk.req true
 

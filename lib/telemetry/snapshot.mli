@@ -63,7 +63,14 @@ val collector : ?registry:Registry.t -> unit -> collector
 
 val take : collector -> snap
 (** Build a snapshot ([s_seq] 0 — the writer assigns real sequence
-    numbers) from the live cells, and advance the collector. *)
+    numbers) from the live cells, and advance the collector.  The first
+    advancing take has no previous observation, so its node rates are 0
+    rather than nodes-so-far over a near-zero interval. *)
+
+val peek : collector -> snap
+(** Like {!take} but without advancing the collector: rates and deltas
+    are measured against the last advancing {!take}, whose interval
+    stays whole.  Used for forced (out-of-band) snapshots. *)
 
 (** {1 Ticker} *)
 
@@ -75,9 +82,23 @@ module Ticker : sig
       every [every] seconds.  [on_tick] runs on the ticker domain after
       each snapshot (used to refresh the Prometheus metrics file). *)
 
+  val start_emit :
+    ?registry:Registry.t ->
+    ?on_tick:(unit -> unit) ->
+    emit:(snap -> unit) ->
+    every:float ->
+    unit ->
+    ticker
+  (** Like {!start} but with an arbitrary consumer instead of a file
+      writer — the observability server streams snapshots to SSE
+      subscribers this way, with or without a heartbeat file. *)
+
   val request : ticker -> unit
   (** Ask for an out-of-band snapshot at the next ~50 ms quantum —
-      signal-handler safe (sets an atomic flag). *)
+      signal-handler safe (sets an atomic flag).  Forced snapshots
+      {!peek} rather than {!take}, and do not reset the periodic
+      cadence: the next periodic tick's deltas still cover one whole
+      interval. *)
 
   val stop : ticker -> unit
   (** Stop and join the domain, then write one final snapshot.  The

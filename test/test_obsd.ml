@@ -1,0 +1,315 @@
+(* The embedded observability server: request parsing, endpoint
+   behaviour over real sockets, the /metrics ≡ textfile byte-equality
+   guarantee, healthz staleness, slow-client drop accounting and
+   concurrent scrapers.  Every server test binds 127.0.0.1 port 0. *)
+
+module T = Telemetry
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let tmp_file suffix =
+  let path = Filename.temp_file "bsolo-obsd" suffix in
+  at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+  path
+
+(* --- request parsing --------------------------------------------------------- *)
+
+let parse_ok () =
+  (match Obsd.Http.parse_request "GET /metrics HTTP/1.1\r\nHost: x\r\n" with
+  | Ok r ->
+    Alcotest.(check string) "meth" "GET" r.Obsd.Http.meth;
+    Alcotest.(check string) "path" "/metrics" r.path;
+    Alcotest.(check string) "version" "HTTP/1.1" r.version
+  | Error s -> Alcotest.failf "rejected with %d" s);
+  (match Obsd.Http.parse_request "GET /status?pretty=1 HTTP/1.0" with
+  | Ok r -> Alcotest.(check string) "query stripped" "/status" r.path
+  | Error s -> Alcotest.failf "1.0 rejected with %d" s)
+
+let parse_errors () =
+  let status head =
+    match Obsd.Http.parse_request head with Ok _ -> 200 | Error s -> s
+  in
+  Alcotest.(check int) "POST is 405" 405 (status "POST /metrics HTTP/1.1");
+  Alcotest.(check int) "DELETE is 405" 405 (status "DELETE /x HTTP/1.1");
+  Alcotest.(check int) "relative target is 400" 400 (status "GET metrics HTTP/1.1");
+  Alcotest.(check int) "garbage method is 400" 400 (status "ge!t / HTTP/1.1");
+  Alcotest.(check int) "missing version is 400" 400 (status "GET /metrics");
+  Alcotest.(check int) "extra fields are 400" 400 (status "GET /a b HTTP/1.1");
+  Alcotest.(check int) "empty head is 400" 400 (status "");
+  Alcotest.(check int) "future version is 505" 505 (status "GET /x HTTP/2.0");
+  Alcotest.(check int) "ancient version is 505" 505 (status "GET /x HTTP/0.9");
+  Alcotest.(check int) "non-HTTP protocol is 400" 400 (status "GET /x GOPHER/1.1");
+  Alcotest.(check int) "oversized target is 414" 414
+    (status ("GET /" ^ String.make 4096 'a' ^ " HTTP/1.1"))
+
+let sse_frame_format () =
+  Alcotest.(check string) "single-line data" "event: heartbeat\ndata: {\"t\":1}\n\n"
+    (Obsd.Http.sse_frame ~event:"heartbeat" ~data:"{\"t\":1}");
+  Alcotest.(check string) "multi-line data splits into data: fields"
+    "event: log\ndata: a\ndata: b\n\n"
+    (Obsd.Http.sse_frame ~event:"log" ~data:"a\nb")
+
+let parse_addr () =
+  (match Obsd.Client.parse_addr "127.0.0.1:8080" with
+  | Ok (h, p) ->
+    Alcotest.(check string) "host" "127.0.0.1" h;
+    Alcotest.(check int) "port" 8080 p
+  | Error e -> Alcotest.fail e);
+  (match Obsd.Client.parse_addr ":9" with
+  | Ok (h, p) ->
+    Alcotest.(check string) "empty host is loopback" "127.0.0.1" h;
+    Alcotest.(check int) "port" 9 p
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "no colon rejected" true
+    (Result.is_error (Obsd.Client.parse_addr "localhost"));
+  Alcotest.(check bool) "bad port rejected" true
+    (Result.is_error (Obsd.Client.parse_addr "h:x"));
+  Alcotest.(check bool) "huge port rejected" true
+    (Result.is_error (Obsd.Client.parse_addr "h:70000"))
+
+(* --- server endpoints over real sockets -------------------------------------- *)
+
+let with_server ?stall_after ~metrics ~status f =
+  let srv =
+    Obsd.Server.create ~host:"127.0.0.1" ~port:0 ~metrics ~status ?stall_after ()
+  in
+  Fun.protect ~finally:(fun () -> Obsd.Server.stop srv) (fun () -> f srv)
+
+let get srv path =
+  match Obsd.Client.get ~host:"127.0.0.1" ~port:(Obsd.Server.port srv) path with
+  | Ok (status, body) -> status, body
+  | Error e -> Alcotest.failf "GET %s: %s" path e
+
+let endpoints_roundtrip () =
+  with_server
+    ~metrics:(fun () -> "# HELP x solver counter x\n# TYPE x counter\nx 1\n")
+    ~status:(fun () -> "{\"schema\":\"bsolo-status/1\"}")
+  @@ fun srv ->
+  let st, body = get srv "/metrics" in
+  Alcotest.(check int) "metrics 200" 200 st;
+  Alcotest.(check bool) "metrics body" true (contains body "x 1");
+  let st, body = get srv "/status" in
+  Alcotest.(check int) "status 200" 200 st;
+  Alcotest.(check bool) "status body" true (contains body "bsolo-status/1");
+  let st, _ = get srv "/healthz" in
+  Alcotest.(check int) "healthz 200 without stall_after" 200 st;
+  let st, _ = get srv "/nope" in
+  Alcotest.(check int) "unknown path 404" 404 st;
+  let stats = Obsd.Server.stats srv in
+  Alcotest.(check bool) "requests counted" true (stats.Obsd.Server.served >= 4)
+
+(* A raw (non-Client) request exercises the error statuses end to end. *)
+let raw_request srv req =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd
+    (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", Obsd.Server.port srv));
+  let rec write off =
+    if off < String.length req then
+      write (off + Unix.write_substring fd req off (String.length req - off))
+  in
+  write 0;
+  let b = Buffer.create 512 in
+  let chunk = Bytes.create 512 in
+  let rec read () =
+    match Unix.read fd chunk 0 512 with
+    | 0 -> Buffer.contents b
+    | n ->
+      Buffer.add_subbytes b chunk 0 n;
+      read ()
+  in
+  read ()
+
+let wire_error_statuses () =
+  with_server ~metrics:(fun () -> "") ~status:(fun () -> "{}")
+  @@ fun srv ->
+  let resp = raw_request srv "POST /metrics HTTP/1.1\r\n\r\n" in
+  Alcotest.(check bool) "405 on the wire" true (contains resp "405 Method Not Allowed");
+  let resp = raw_request srv "GET /x HTTP/3.0\r\n\r\n" in
+  Alcotest.(check bool) "505 on the wire" true (contains resp "505");
+  let resp = raw_request srv "complete garbage\r\n\r\n" in
+  Alcotest.(check bool) "400 on the wire" true (contains resp "400 Bad Request");
+  let resp = raw_request srv ("GET / HTTP/1.1\r\nX: " ^ String.make 9000 'y' ^ "\r\n\r\n") in
+  Alcotest.(check bool) "431 on oversized head" true (contains resp "431")
+
+(* The load-bearing equality: GET /metrics and the --metrics textfile
+   render the same source list through the same renderer, so their bytes
+   match — including multi-registry (live portfolio member) sources. *)
+let metrics_equals_textfile () =
+  let main = T.Registry.create () in
+  T.Counter.add (T.Registry.counter main "search.nodes") 42;
+  T.Gauge.set (T.Registry.gauge main "lp.objective") 2.5;
+  let h = T.Registry.histogram main "lb.value" in
+  T.Histogram.observe h 1;
+  T.Histogram.observe h 9;
+  let member = T.Registry.create () in
+  T.Counter.add (T.Registry.counter member "bcp.visits") 7;
+  let sources () = [ "", main; "portfolio.bsolo-lpr.", member ] in
+  with_server
+    ~metrics:(fun () -> T.Promtext.render_sources (sources ()))
+    ~status:(fun () -> "{}")
+  @@ fun srv ->
+  let st, scraped = get srv "/metrics" in
+  Alcotest.(check int) "200" 200 st;
+  let path = tmp_file ".prom" in
+  T.Promtext.write_file_sources path (sources ());
+  let ic = open_in_bin path in
+  let file = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check string) "scrape is byte-identical to the textfile" file scraped;
+  (match T.Promtext.lint scraped with
+  | Ok n -> Alcotest.(check bool) "lint-clean with samples" true (n > 0)
+  | Error vs -> Alcotest.failf "lint violations: %s" (String.concat "; " vs));
+  Alcotest.(check bool) "member metrics under the merge prefix" true
+    (contains scraped "bsolo_portfolio_bsolo_lpr_bcp_visits 7")
+
+let healthz_flips_on_stall () =
+  with_server ~stall_after:0.25 ~metrics:(fun () -> "") ~status:(fun () -> "{}")
+  @@ fun srv ->
+  Obsd.Server.beat srv;
+  let st, _ = get srv "/healthz" in
+  Alcotest.(check int) "beating engine is healthy" 200 st;
+  (* Deliberately stalled engine: no beats for > stall_after. *)
+  Unix.sleepf 0.4;
+  let st, body = get srv "/healthz" in
+  Alcotest.(check int) "stalled engine is 503" 503 st;
+  Alcotest.(check bool) "says stalled" true (contains body "stalled");
+  Obsd.Server.beat srv;
+  let st, _ = get srv "/healthz" in
+  Alcotest.(check int) "recovers on the next beat" 200 st
+
+(* A subscriber that never reads: publishes far beyond its bounded queue
+   must be dropped and counted, never block the publisher. *)
+let slow_client_drops () =
+  with_server ~metrics:(fun () -> "") ~status:(fun () -> "{}")
+  @@ fun srv ->
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd
+    (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", Obsd.Server.port srv));
+  let req = "GET /events HTTP/1.1\r\n\r\n" in
+  ignore (Unix.write_substring fd req 0 (String.length req));
+  Unix.sleepf 0.2 (* let the server register the subscriber *);
+  (* Big frames fill the kernel socket buffer fast; after that the
+     bounded queue (64 frames) absorbs a little and the rest must drop. *)
+  let data = String.make 65536 'x' in
+  let deadline = Unix.gettimeofday () +. 5. in
+  let rec pump i =
+    if Obsd.Server.((stats srv).dropped) > 0 || Unix.gettimeofday () > deadline then i
+    else begin
+      Obsd.Server.publish srv ~event:"heartbeat" ~data;
+      if i mod 16 = 0 then Unix.sleepf 0.01;
+      pump (i + 1)
+    end
+  in
+  let published = pump 1 in
+  let stats = Obsd.Server.stats srv in
+  Alcotest.(check bool)
+    (Printf.sprintf "drops counted after %d publishes (dropped=%d)" published
+       stats.Obsd.Server.dropped)
+    true (stats.dropped > 0)
+
+(* SSE round trip: subscribe, receive heartbeats, then the final end
+   event published by stop's grace-window flush. *)
+let sse_stream_roundtrip () =
+  let srv =
+    Obsd.Server.create ~host:"127.0.0.1" ~port:0
+      ~metrics:(fun () -> "")
+      ~status:(fun () -> "{}")
+      ()
+  in
+  let port = Obsd.Server.port srv in
+  let events = Atomic.make [] in
+  let reader =
+    Domain.spawn (fun () ->
+        Obsd.Client.events ~host:"127.0.0.1" ~port
+          ~on_event:(fun ~event ~data ->
+            Atomic.set events ((event, data) :: Atomic.get events);
+            event <> "end")
+          ())
+  in
+  (* Wait for the subscription to land (stats shows the request). *)
+  let deadline = Unix.gettimeofday () +. 5. in
+  while Obsd.Server.((stats srv).served) < 1 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.02
+  done;
+  Unix.sleepf 0.1;
+  Obsd.Server.publish srv ~event:"heartbeat" ~data:"{\"seq\":0}";
+  Obsd.Server.publish srv ~event:"heartbeat" ~data:"{\"seq\":1}";
+  Obsd.Server.publish srv ~event:"incumbent" ~data:"{\"cost\":7}";
+  Unix.sleepf 0.2 (* let the loop flush before the stop grace window *);
+  Obsd.Server.stop ~final_event:("end", "{\"run_id\":\"t\"}") srv;
+  (match Domain.join reader with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "reader failed: %s" e);
+  let seen = List.rev (Atomic.get events) in
+  let count ev = List.length (List.filter (fun (e, _) -> e = ev) seen) in
+  Alcotest.(check int) "two heartbeats" 2 (count "heartbeat");
+  Alcotest.(check int) "one incumbent" 1 (count "incumbent");
+  Alcotest.(check int) "final end event" 1 (count "end");
+  match List.rev seen with
+  | ("end", data) :: _ -> Alcotest.(check bool) "end carries run id" true (contains data "run_id")
+  | _ -> Alcotest.fail "end was not the last event"
+
+(* Concurrent scrapers against live render callbacks: every response is
+   a complete, parseable exposition — no torn or interleaved bodies. *)
+let concurrent_scrapers () =
+  let reg = T.Registry.create () in
+  let cnt = T.Registry.counter reg "search.nodes" in
+  with_server
+    ~metrics:(fun () -> T.Promtext.render reg)
+    ~status:(fun () -> "{\"schema\":\"bsolo-status/1\"}")
+  @@ fun srv ->
+  let port = Obsd.Server.port srv in
+  let scraper _ =
+    Domain.spawn (fun () ->
+        let ok = ref 0 in
+        for i = 1 to 10 do
+          let path = if i mod 2 = 0 then "/metrics" else "/status" in
+          match Obsd.Client.get ~host:"127.0.0.1" ~port path with
+          | Ok (200, body) ->
+            let clean =
+              if path = "/metrics" then Result.is_ok (T.Promtext.lint body)
+              else contains body "bsolo-status/1"
+            in
+            if clean then incr ok
+          | Ok _ | Error _ -> ()
+        done;
+        !ok)
+  in
+  let writer =
+    Domain.spawn (fun () ->
+        for _ = 1 to 2000 do
+          T.Counter.incr cnt;
+          Obsd.Server.publish srv ~event:"heartbeat" ~data:"{}"
+        done)
+  in
+  let domains = List.init 4 scraper in
+  let oks = List.map Domain.join domains in
+  Domain.join writer;
+  List.iteri
+    (fun i ok -> Alcotest.(check int) (Printf.sprintf "scraper %d all clean" i) 10 ok)
+    oks
+
+(* --- suite ------------------------------------------------------------------- *)
+
+let suite =
+  [
+    Alcotest.test_case "http: well-formed requests parse" `Quick parse_ok;
+    Alcotest.test_case "http: bad method/path/version statuses" `Quick parse_errors;
+    Alcotest.test_case "http: SSE frame format" `Quick sse_frame_format;
+    Alcotest.test_case "client: HOST:PORT parsing" `Quick parse_addr;
+    Alcotest.test_case "server: endpoint round trip" `Quick endpoints_roundtrip;
+    Alcotest.test_case "server: error statuses on the wire" `Quick wire_error_statuses;
+    Alcotest.test_case "server: /metrics byte-identical to textfile" `Quick
+      metrics_equals_textfile;
+    Alcotest.test_case "server: /healthz flips on a stalled engine" `Quick healthz_flips_on_stall;
+    Alcotest.test_case "server: slow client drops are counted" `Quick slow_client_drops;
+    Alcotest.test_case "server: SSE stream round trip" `Quick sse_stream_roundtrip;
+    Alcotest.test_case "server: concurrent scrapers" `Quick concurrent_scrapers;
+  ]

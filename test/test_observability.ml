@@ -324,6 +324,46 @@ let ticker_request_forces_snapshot () =
         Alcotest.(check int) (Printf.sprintf "seq of snapshot %d" i) i s.s_seq)
       snaps
 
+(* The first advancing take has no previous observation: its node rates
+   must be 0, not nodes-so-far divided by the near-zero interval since
+   the collector was created. *)
+let collector_first_tick_rate_zero () =
+  let c = T.Profile.Cell.make ~observed:true ~name:"rate-first-tick" () in
+  T.Profile.register c;
+  Fun.protect ~finally:(fun () -> T.Profile.unregister c) @@ fun () ->
+  for _ = 1 to 1000 do
+    T.Profile.Cell.bump_nodes c
+  done;
+  let coll = T.Snapshot.collector () in
+  Unix.sleepf 0.01;
+  let s = T.Snapshot.take coll in
+  match
+    List.find_opt (fun (m : T.Snapshot.member) -> m.m_name = "rate-first-tick") s.s_members
+  with
+  | None -> Alcotest.fail "cell not seen by the collector"
+  | Some m -> Alcotest.(check (float 0.)) "first-tick rate is 0" 0. m.m_node_rate
+
+(* A forced (SIGUSR1) snapshot peeks: it must not advance the collector,
+   so the next periodic take's counter deltas still cover the whole
+   interval since the previous periodic take rather than only the part
+   after the forced snapshot. *)
+let peek_preserves_periodic_deltas () =
+  let reg = T.Registry.create () in
+  let cnt = T.Registry.counter reg "x.events" in
+  let coll = T.Snapshot.collector ~registry:reg () in
+  ignore (T.Snapshot.take coll) (* prime: the first periodic tick *);
+  T.Counter.add cnt 5;
+  let forced = T.Snapshot.peek coll in
+  Alcotest.(check bool) "forced snapshot sees the deltas so far" true
+    (List.assoc_opt "x.events" forced.s_deltas = Some 5);
+  T.Counter.add cnt 3;
+  let periodic = T.Snapshot.take coll in
+  Alcotest.(check bool) "periodic deltas cover the whole interval" true
+    (List.assoc_opt "x.events" periodic.s_deltas = Some 8);
+  let next = T.Snapshot.take coll in
+  Alcotest.(check bool) "nothing new after the advancing take" true
+    (List.assoc_opt "x.events" next.s_deltas = None)
+
 let heartbeat_check_catches_widening () =
   let s = snap_fixture () in
   let widened =
@@ -405,6 +445,10 @@ let suite =
     Alcotest.test_case "heartbeat: file round trip + check" `Quick heartbeat_file_round_trip;
     Alcotest.test_case "heartbeat: SIGUSR1 request forces snapshot" `Quick
       ticker_request_forces_snapshot;
+    Alcotest.test_case "heartbeat: first-tick node rate is zero" `Quick
+      collector_first_tick_rate_zero;
+    Alcotest.test_case "heartbeat: forced peek keeps periodic deltas whole" `Quick
+      peek_preserves_periodic_deltas;
     Alcotest.test_case "heartbeat: check catches widening gap" `Quick heartbeat_check_catches_widening;
     Alcotest.test_case "promtext: render" `Quick promtext_render;
     Alcotest.test_case "promtext: sanitize" `Quick promtext_sanitize;
